@@ -1,0 +1,20 @@
+//! # imageproof-akm
+//!
+//! The approximate-k-means retrieval substrate of SIFT-based CBIR
+//! (paper §II-A):
+//!
+//! * [`rkd`] — randomized k-d trees and forests with best-bin-first search,
+//!   the index AKM uses for nearest-cluster queries. The tree layout here is
+//!   what `imageproof-mrkd` Merkle-izes.
+//! * [`kmeans`] — AKM codebook training (Lloyd iterations with approximate
+//!   assignments) and the [`kmeans::Codebook`] assignment rule.
+//! * [`bovw`] — sparse bag-of-visual-words encodings, tf-idf impact values
+//!   (Eq. 1), and the cosine similarity of Eq. 3.
+
+pub mod bovw;
+pub mod kmeans;
+pub mod rkd;
+
+pub use bovw::{impact_value, impacts_with_weights, similarity, ImpactModel, SparseBovw};
+pub use kmeans::{AkmParams, Codebook};
+pub use rkd::{dist_sq, Neighbor, Node, OrdF32, RkdForest, RkdTree};

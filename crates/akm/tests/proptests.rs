@@ -1,0 +1,69 @@
+//! Property-based tests for the retrieval substrate: exactness of range
+//! search and nearest-cluster assignment over arbitrary point sets.
+
+use imageproof_akm::bovw::{similarity, SparseBovw};
+use imageproof_akm::rkd::{dist_sq, RkdForest, RkdTree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn points_strategy(dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0.0f32..1.0, dim..=dim),
+        2..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Range search returns exactly the linear-scan result for arbitrary
+    /// point sets, queries, and thresholds.
+    #[test]
+    fn range_search_is_exact(points in points_strategy(6),
+                             query in proptest::collection::vec(0.0f32..1.0, 6),
+                             threshold in 0.0f32..1.5) {
+        let tree = RkdTree::build(&points, 2, &mut StdRng::seed_from_u64(1));
+        let mut got = tree.collect_within(&points, &query, threshold);
+        got.sort_unstable();
+        let mut expected: Vec<u32> = (0..points.len() as u32)
+            .filter(|&i| dist_sq(&query, &points[i as usize]) <= threshold)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The protocol's exact-nearest assignment matches brute force.
+    #[test]
+    fn exact_nearest_is_exact(points in points_strategy(5),
+                              query in proptest::collection::vec(0.0f32..1.0, 5)) {
+        let forest = RkdForest::build(&points, 3, 2, 2);
+        let got = forest.exact_nearest(&points, &query, 4);
+        let brute = (0..points.len() as u32)
+            .min_by(|&a, &b| dist_sq(&query, &points[a as usize])
+                .total_cmp(&dist_sq(&query, &points[b as usize]))
+                .then(a.cmp(&b)))
+            .unwrap();
+        prop_assert_eq!(got.cluster, brute);
+    }
+
+    /// BoVW norms follow the L2 definition for arbitrary count vectors.
+    #[test]
+    fn bovw_norm_is_l2(pairs in proptest::collection::vec((0u32..100, 1u32..50), 0..30)) {
+        let b = SparseBovw::from_counts(pairs.clone());
+        let expected: f64 = b.iter()
+            .map(|(_, f)| (f as f64) * (f as f64))
+            .sum::<f64>()
+            .sqrt();
+        prop_assert!((b.norm() as f64 - expected).abs() < 1e-3);
+    }
+
+    /// Sparse similarity is symmetric and zero on disjoint supports.
+    #[test]
+    fn similarity_symmetry(a in proptest::collection::vec((0u32..50, 0.0f32..1.0), 0..20),
+                           b in proptest::collection::vec((0u32..50, 0.0f32..1.0), 0..20)) {
+        let mut a = a; a.sort_by_key(|&(c, _)| c); a.dedup_by_key(|e| e.0);
+        let mut b = b; b.sort_by_key(|&(c, _)| c); b.dedup_by_key(|e| e.0);
+        prop_assert_eq!(similarity(&a, &b).to_bits(), similarity(&b, &a).to_bits());
+    }
+}

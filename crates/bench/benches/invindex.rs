@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the inverted-index step (paper
+//! Figs. 9–11): `InvSearch` vs the [15]-style Baseline vs the grouped
+//! Optimized variant, plus client verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imageproof_akm::SparseBovw;
+use imageproof_bench::fixture::{Fixture, FixtureConfig};
+use imageproof_core::{IndexVariant, Scheme};
+use imageproof_crypto::Digest;
+use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk};
+use imageproof_invindex::{inv_search, verify_topk, BoundsMode};
+use imageproof_vision::DescriptorKind;
+use std::collections::HashMap;
+
+fn query_bovw(fixture: &Fixture, scheme: Scheme, n_features: usize) -> SparseBovw {
+    let query = &fixture.queries(1, n_features)[0];
+    let system = fixture.system(scheme);
+    let db = system.0.database();
+    SparseBovw::from_counts(query.iter().map(|f| (db.codebook.assign(f), 1)))
+}
+
+/// Figs. 9–10: search cost per scheme.
+fn inv_search_bench(c: &mut Criterion) {
+    let fixture = Fixture::build(FixtureConfig::quick(DescriptorKind::Surf));
+    let mut group = c.benchmark_group("inv_sp/fig9-10");
+    group.sample_size(10);
+    let k = 5;
+    for (scheme, mode) in [
+        (Scheme::Baseline, Some(BoundsMode::MaxBound)),
+        (Scheme::ImageProof, Some(BoundsMode::CuckooFiltered)),
+        (Scheme::OptimizedBoth, None),
+    ] {
+        let bovw = query_bovw(&fixture, scheme, 60);
+        let system = fixture.system(scheme);
+        let db = system.0.database();
+        match (&db.inv, mode) {
+            (IndexVariant::Plain(index), Some(mode)) => {
+                group.bench_function(BenchmarkId::new(scheme.label(), k), |b| {
+                    b.iter(|| inv_search(index, &bovw, k, mode).stats.popped)
+                });
+            }
+            (IndexVariant::Grouped(index), None) => {
+                group.bench_function(BenchmarkId::new(scheme.label(), k), |b| {
+                    b.iter(|| grouped_search(index, &bovw, k).stats.popped)
+                });
+            }
+            _ => unreachable!("scheme/index variant mismatch"),
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 11: client verification cost as k grows (ImageProof + Optimized).
+fn inv_verify_bench(c: &mut Criterion) {
+    let fixture = Fixture::build(FixtureConfig::quick(DescriptorKind::Surf));
+    let mut group = c.benchmark_group("inv_client/fig11");
+    group.sample_size(10);
+    for k in [1usize, 10] {
+        // ImageProof (plain + filters).
+        let scheme = Scheme::ImageProof;
+        let bovw = query_bovw(&fixture, scheme, 60);
+        let system = fixture.system(scheme);
+        let db = system.0.database();
+        if let IndexVariant::Plain(index) = &db.inv {
+            let digests: HashMap<u32, Digest> =
+                index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+            let out = inv_search(index, &bovw, k, BoundsMode::CuckooFiltered);
+            let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+            group.bench_function(BenchmarkId::new(scheme.label(), k), |b| {
+                b.iter(|| {
+                    verify_topk(
+                        &out.vo,
+                        &bovw,
+                        &digests,
+                        &claimed,
+                        k,
+                        BoundsMode::CuckooFiltered,
+                    )
+                    .expect("verifies")
+                })
+            });
+        }
+
+        // Optimized (grouped).
+        let scheme = Scheme::OptimizedBoth;
+        let bovw = query_bovw(&fixture, scheme, 60);
+        let system = fixture.system(scheme);
+        let db = system.0.database();
+        if let IndexVariant::Grouped(index) = &db.inv {
+            let digests: HashMap<u32, Digest> =
+                index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+            let out = grouped_search(index, &bovw, k);
+            let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+            group.bench_function(BenchmarkId::new(scheme.label(), k), |b| {
+                b.iter(|| {
+                    verify_grouped_topk(&out.vo, &bovw, &digests, &claimed, k).expect("verifies")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, inv_search_bench, inv_verify_bench);
+criterion_main!(benches);

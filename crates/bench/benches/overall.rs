@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the complete authenticated query path
+//! (paper Figs. 12–14): SP `query` and client `verify` per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imageproof_bench::fixture::{Fixture, FixtureConfig};
+use imageproof_core::Scheme;
+use imageproof_vision::DescriptorKind;
+
+fn overall_sp(c: &mut Criterion) {
+    let fixture = Fixture::build(FixtureConfig::quick(DescriptorKind::Surf));
+    let mut group = c.benchmark_group("overall_sp/fig12-14");
+    group.sample_size(10);
+    let query = &fixture.queries(1, 60)[0];
+    for scheme in Scheme::ALL {
+        let system = fixture.system(scheme);
+        group.bench_function(BenchmarkId::new(scheme.label(), 60), |b| {
+            b.iter(|| system.0.query(query, 5).0.results.len())
+        });
+    }
+    group.finish();
+}
+
+fn overall_client(c: &mut Criterion) {
+    let fixture = Fixture::build(FixtureConfig::quick(DescriptorKind::Surf));
+    let mut group = c.benchmark_group("overall_client/fig12-14");
+    group.sample_size(10);
+    let query = &fixture.queries(1, 60)[0];
+    for scheme in Scheme::ALL {
+        let system = fixture.system(scheme);
+        let (response, _) = system.0.query(query, 5);
+        group.bench_function(BenchmarkId::new(scheme.label(), 60), |b| {
+            b.iter(|| {
+                system
+                    .1
+                    .verify(query, 5, &response)
+                    .expect("honest response verifies")
+                    .topk
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, overall_sp, overall_client);
+criterion_main!(benches);

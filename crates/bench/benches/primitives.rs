@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks for the cryptographic and data-structure
+//! substrates (not tied to a specific paper figure; these quantify the
+//! building blocks every figure's costs decompose into).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imageproof_akm::rkd::RkdForest;
+use imageproof_crypto::sha3::Sha3_256;
+use imageproof_crypto::{MerkleTree, SigningKey};
+use imageproof_cuckoo::{max_count, CuckooFilter};
+use rand_like::SplitMix;
+
+/// Tiny deterministic generator so the bench crate needs no extra deps.
+mod rand_like {
+    pub struct SplitMix(pub u64);
+    impl SplitMix {
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        pub fn f32(&mut self) -> f32 {
+            (self.next() >> 40) as f32 / (1u64 << 24) as f32
+        }
+    }
+}
+
+fn sha3_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha3_256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| Sha3_256::digest(&data))
+        });
+    }
+    group.finish();
+}
+
+fn ed25519_bench(c: &mut Criterion) {
+    let sk = SigningKey::from_seed(&[1u8; 32]);
+    let pk = sk.public_key();
+    let msg = [0x5au8; 32];
+    let sig = sk.sign(&msg);
+    c.bench_function("ed25519/sign", |b| b.iter(|| sk.sign(&msg)));
+    c.bench_function("ed25519/verify", |b| b.iter(|| pk.verify(&msg, &sig)));
+}
+
+fn merkle_bench(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..1024u32).map(|i| i.to_le_bytes().to_vec()).collect();
+    c.bench_function("merkle/build_1024", |b| {
+        b.iter(|| MerkleTree::from_leaf_data(&leaves).root())
+    });
+    let tree = MerkleTree::from_leaf_data(&leaves);
+    let proof = tree.prove(500);
+    let root = tree.root();
+    c.bench_function("merkle/verify_path", |b| {
+        b.iter(|| proof.verify_data(&leaves[500], &root))
+    });
+}
+
+fn cuckoo_bench(c: &mut Criterion) {
+    let mut filter = CuckooFilter::with_capacity(10_000);
+    for i in 0..10_000u64 {
+        filter.insert(i).expect("sized");
+    }
+    c.bench_function("cuckoo/lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 20_000;
+            filter.contains(i)
+        })
+    });
+    let filters: Vec<CuckooFilter> = (0..32)
+        .map(|f| {
+            let mut filter = CuckooFilter::with_buckets(256);
+            for i in 0..400u64 {
+                filter.insert(i * 32 + f).expect("room");
+            }
+            filter
+        })
+        .collect();
+    let refs: Vec<&CuckooFilter> = filters.iter().collect();
+    c.bench_function("cuckoo/max_count_32x256", |b| b.iter(|| max_count(&refs)));
+}
+
+fn rkd_bench(c: &mut Criterion) {
+    let mut rng = SplitMix(42);
+    let points: Vec<Vec<f32>> = (0..4096)
+        .map(|_| (0..64).map(|_| rng.f32()).collect())
+        .collect();
+    let forest = RkdForest::build(&points, 8, 2, 7);
+    let query: Vec<f32> = (0..64).map(|_| rng.f32()).collect();
+    c.bench_function("rkd/approx_nearest_4096x64d", |b| {
+        b.iter(|| forest.approx_nearest(&points, &query, 32).cluster)
+    });
+    c.bench_function("rkd/exact_nearest_4096x64d", |b| {
+        b.iter(|| forest.exact_nearest(&points, &query, 32).cluster)
+    });
+}
+
+criterion_group!(benches, sha3_bench, ed25519_bench, merkle_bench, cuckoo_bench, rkd_bench);
+criterion_main!(benches);

@@ -1,0 +1,400 @@
+//! Regenerates every figure of the paper's evaluation (§VII, Figs. 6–14).
+//!
+//! ```sh
+//! cargo run -p imageproof-bench --release --bin figures            # all figures
+//! cargo run -p imageproof-bench --release --bin figures -- --fig 9 # one figure
+//! cargo run -p imageproof-bench --release --bin figures -- --quick # smoke scale
+//! ```
+//!
+//! Axes are scaled from the paper's server-scale setting to laptop scale
+//! with identical ratios (DESIGN.md §3.4); the series *shapes* are the
+//! reproduction target, not absolute values.
+
+use imageproof_bench::fixture::{Fixture, FixtureConfig};
+use imageproof_bench::measure::{measure_bovw_step, measure_inv_step, measure_overall};
+use imageproof_bench::table::{kib, ms, pct, Table};
+use imageproof_core::Scheme;
+use imageproof_vision::DescriptorKind;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sweep axes for one run scale.
+struct Scale {
+    features_sweep: Vec<usize>,
+    codebook_sweep: Vec<usize>,
+    dataset_sweep: Vec<usize>,
+    k_sweep: Vec<usize>,
+    default_features: usize,
+    default_k: usize,
+    n_queries: usize,
+    base_sift: FixtureConfig,
+    base_surf: FixtureConfig,
+}
+
+impl Scale {
+    fn full() -> Scale {
+        Scale {
+            features_sweep: vec![100, 200, 300, 400, 500],
+            codebook_sweep: vec![1000, 2000, 4000],
+            dataset_sweep: vec![1000, 2000, 4000],
+            k_sweep: vec![1, 5, 10, 20, 50],
+            default_features: 200,
+            default_k: 10,
+            // The paper averages 10 query images; 5 keeps the full-scale
+            // harness within an hour on two cores with the same trends.
+            n_queries: 5,
+            base_sift: FixtureConfig::default_scale(DescriptorKind::Sift),
+            base_surf: FixtureConfig::default_scale(DescriptorKind::Surf),
+        }
+    }
+
+    fn quick() -> Scale {
+        Scale {
+            features_sweep: vec![50, 100],
+            codebook_sweep: vec![256, 512],
+            dataset_sweep: vec![150, 300],
+            k_sweep: vec![1, 10],
+            default_features: 60,
+            default_k: 5,
+            n_queries: 2,
+            base_sift: FixtureConfig::quick(DescriptorKind::Sift),
+            base_surf: FixtureConfig::quick(DescriptorKind::Surf),
+        }
+    }
+}
+
+/// Caches fixtures across figures (several figures share the default
+/// configuration).
+struct FixtureCache {
+    built: HashMap<String, Arc<Fixture>>,
+}
+
+impl FixtureCache {
+    fn new() -> FixtureCache {
+        FixtureCache {
+            built: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, config: &FixtureConfig) -> Arc<Fixture> {
+        let key = format!(
+            "{:?}/{}/{}",
+            config.kind, config.n_images, config.codebook_size
+        );
+        if let Some(f) = self.built.get(&key) {
+            return f.clone();
+        }
+        eprintln!(
+            "[build] {:?} corpus: {} images, codebook {} …",
+            config.kind, config.n_images, config.codebook_size
+        );
+        let t = std::time::Instant::now();
+        let fixture = Arc::new(Fixture::build(config.clone()));
+        eprintln!("[build] done in {:.1}s", t.elapsed().as_secs_f64());
+        self.built.insert(key, fixture.clone());
+        fixture
+    }
+}
+
+const BOVW_SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::ImageProof, Scheme::OptimizedBovw];
+const INV_SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::ImageProof, Scheme::OptimizedBoth];
+
+fn fig6_7(cache: &mut FixtureCache, scale: &Scale, kind: DescriptorKind, fig: u32) {
+    let base = match kind {
+        DescriptorKind::Sift => &scale.base_sift,
+        DescriptorKind::Surf => &scale.base_surf,
+    };
+    let fixture = cache.get(base);
+    println!(
+        "\n== Fig. {fig}: BoVW performance vs # {kind:?} feature vectors ==\n\
+         (paper: Baseline worst everywhere, gap grows with n_Q; ImageProof best CPU;\n\
+          Optimized best VO size; shared-node ratio ~0.4-0.5)\n"
+    );
+    let mut t = Table::new([
+        "scheme",
+        "n_feat",
+        "sp_ms",
+        "client_ms",
+        "vo_KiB",
+        "shared_ratio",
+    ]);
+    for &n_features in &scale.features_sweep {
+        let queries = fixture.queries(scale.n_queries, n_features);
+        for scheme in BOVW_SCHEMES {
+            let m = measure_bovw_step(&fixture, scheme, &queries);
+            t.row([
+                scheme.label().to_string(),
+                n_features.to_string(),
+                ms(m.sp_seconds),
+                ms(m.client_seconds),
+                kib(m.vo_bytes),
+                format!("{:.2}", m.shared_ratio),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn fig8(cache: &mut FixtureCache, scale: &Scale) {
+    println!(
+        "\n== Fig. 8: BoVW performance vs codebook size (SURF) ==\n\
+         (paper: costs almost flat in codebook size; VO grows slightly)\n"
+    );
+    let mut t = Table::new([
+        "scheme",
+        "codebook",
+        "sp_ms",
+        "client_ms",
+        "vo_KiB",
+        "shared_ratio",
+    ]);
+    for &codebook_size in &scale.codebook_sweep {
+        let config = FixtureConfig {
+            codebook_size,
+            ..scale.base_surf.clone()
+        };
+        let fixture = cache.get(&config);
+        let queries = fixture.queries(scale.n_queries, scale.default_features);
+        for scheme in BOVW_SCHEMES {
+            let m = measure_bovw_step(&fixture, scheme, &queries);
+            t.row([
+                scheme.label().to_string(),
+                codebook_size.to_string(),
+                ms(m.sp_seconds),
+                ms(m.client_seconds),
+                kib(m.vo_bytes),
+                format!("{:.2}", m.shared_ratio),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn fig9(cache: &mut FixtureCache, scale: &Scale) {
+    let fixture = cache.get(&scale.base_surf);
+    println!(
+        "\n== Fig. 9: inverted-index performance vs # feature vectors ==\n\
+         (paper: Baseline pops ~all postings and is slowest; InvSearch and\n\
+          Optimized stop far earlier)\n"
+    );
+    let mut t = Table::new(["scheme", "n_feat", "sp_ms", "client_ms", "popped_%"]);
+    for &n_features in &scale.features_sweep {
+        let queries = fixture.queries(scale.n_queries, n_features);
+        for scheme in INV_SCHEMES {
+            let m = measure_inv_step(&fixture, scheme, &queries, scale.default_k);
+            t.row([
+                scheme.label().to_string(),
+                n_features.to_string(),
+                ms(m.sp_seconds),
+                ms(m.client_seconds),
+                pct(m.popped_ratio),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn fig10(cache: &mut FixtureCache, scale: &Scale) {
+    println!(
+        "\n== Fig. 10: inverted-index performance vs codebook size ==\n\
+         (paper: all CPU costs fall with codebook size; popped %% falls for\n\
+          InvSearch/Optimized, stays ~100%% for Baseline)\n"
+    );
+    let mut t = Table::new(["scheme", "codebook", "sp_ms", "client_ms", "popped_%"]);
+    for &codebook_size in &scale.codebook_sweep {
+        let config = FixtureConfig {
+            codebook_size,
+            ..scale.base_surf.clone()
+        };
+        let fixture = cache.get(&config);
+        let queries = fixture.queries(scale.n_queries, scale.default_features);
+        for scheme in INV_SCHEMES {
+            let m = measure_inv_step(&fixture, scheme, &queries, scale.default_k);
+            t.row([
+                scheme.label().to_string(),
+                codebook_size.to_string(),
+                ms(m.sp_seconds),
+                ms(m.client_seconds),
+                pct(m.popped_ratio),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn fig11(cache: &mut FixtureCache, scale: &Scale) {
+    let fixture = cache.get(&scale.base_surf);
+    println!(
+        "\n== Fig. 11: inverted-index performance vs k ==\n\
+         (paper: popped %% grows with k for InvSearch/Optimized; Optimized\n\
+          reduces client CPU, similar SP CPU)\n"
+    );
+    let mut t = Table::new(["scheme", "k", "sp_ms", "client_ms", "popped_%"]);
+    let queries = fixture.queries(scale.n_queries, scale.default_features);
+    for &k in &scale.k_sweep {
+        for scheme in INV_SCHEMES {
+            let m = measure_inv_step(&fixture, scheme, &queries, k);
+            t.row([
+                scheme.label().to_string(),
+                k.to_string(),
+                ms(m.sp_seconds),
+                ms(m.client_seconds),
+                pct(m.popped_ratio),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn overall_row(
+    t: &mut Table,
+    fixture: &Fixture,
+    scheme: Scheme,
+    axis_label: String,
+    queries: &[Vec<Vec<f32>>],
+    k: usize,
+) {
+    let m = measure_overall(fixture, scheme, queries, k);
+    t.row([
+        scheme.label().to_string(),
+        axis_label,
+        kib(m.vo_bytes),
+        ms(m.sp_seconds),
+        ms(m.client_seconds),
+    ]);
+}
+
+fn fig12(cache: &mut FixtureCache, scale: &Scale) {
+    let fixture = cache.get(&scale.base_surf);
+    println!(
+        "\n== Fig. 12: overall performance vs # feature vectors ==\n\
+         (paper: all costs grow with n_Q; Optimized(BoVW) trades client CPU for\n\
+          VO size; Optimized(Both) best client CPU + VO)\n"
+    );
+    let mut t = Table::new(["scheme", "n_feat", "vo_KiB", "sp_ms", "client_ms"]);
+    for &n_features in &scale.features_sweep {
+        let queries = fixture.queries(scale.n_queries, n_features);
+        for scheme in Scheme::ALL {
+            overall_row(
+                &mut t,
+                &fixture,
+                scheme,
+                n_features.to_string(),
+                &queries,
+                scale.default_k,
+            );
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn fig13(cache: &mut FixtureCache, scale: &Scale) {
+    println!(
+        "\n== Fig. 13: overall performance vs codebook size ==\n\
+         (paper: all costs fall as the codebook grows — shorter posting lists)\n"
+    );
+    let mut t = Table::new(["scheme", "codebook", "vo_KiB", "sp_ms", "client_ms"]);
+    for &codebook_size in &scale.codebook_sweep {
+        let config = FixtureConfig {
+            codebook_size,
+            ..scale.base_surf.clone()
+        };
+        let fixture = cache.get(&config);
+        let queries = fixture.queries(scale.n_queries, scale.default_features);
+        for scheme in Scheme::ALL {
+            overall_row(
+                &mut t,
+                &fixture,
+                scheme,
+                codebook_size.to_string(),
+                &queries,
+                scale.default_k,
+            );
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn fig14(cache: &mut FixtureCache, scale: &Scale) {
+    println!(
+        "\n== Fig. 14: overall performance vs dataset size ==\n\
+         (paper: Baseline degrades fastest; ImageProof's SP CPU and VO are far\n\
+          lower; Optimized(Both) best client CPU + VO, advantage grows with data)\n"
+    );
+    let mut t = Table::new(["scheme", "images", "vo_KiB", "sp_ms", "client_ms"]);
+    for &n_images in &scale.dataset_sweep {
+        let config = FixtureConfig {
+            n_images,
+            ..scale.base_surf.clone()
+        };
+        let fixture = cache.get(&config);
+        let queries = fixture.queries(scale.n_queries, scale.default_features);
+        for scheme in Scheme::ALL {
+            overall_row(
+                &mut t,
+                &fixture,
+                scheme,
+                n_images.to_string(),
+                &queries,
+                scale.default_k,
+            );
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figs: Vec<u32> = Vec::new();
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                i += 1;
+                figs.push(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if figs.is_empty() {
+        figs = (6..=14).collect();
+    }
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let mut cache = FixtureCache::new();
+
+    println!(
+        "ImageProof evaluation harness — {} scale, {} queries per point",
+        if quick { "quick" } else { "full" },
+        scale.n_queries
+    );
+    for fig in figs {
+        match fig {
+            6 => fig6_7(&mut cache, &scale, DescriptorKind::Sift, 6),
+            7 => fig6_7(&mut cache, &scale, DescriptorKind::Surf, 7),
+            8 => fig8(&mut cache, &scale),
+            9 => fig9(&mut cache, &scale),
+            10 => fig10(&mut cache, &scale),
+            11 => fig11(&mut cache, &scale),
+            12 => fig12(&mut cache, &scale),
+            13 => fig13(&mut cache, &scale),
+            14 => fig14(&mut cache, &scale),
+            other => {
+                eprintln!("unknown figure {other}; the paper has Figs. 6-14");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: figures [--fig N]... [--quick]");
+    std::process::exit(2);
+}

@@ -1,0 +1,180 @@
+//! Per-step and end-to-end measurements, averaged over a query workload.
+
+use crate::fixture::Fixture;
+use imageproof_akm::SparseBovw;
+use imageproof_core::{IndexVariant, Scheme};
+use imageproof_crypto::wire::Encode;
+use imageproof_crypto::Digest;
+use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk};
+use imageproof_invindex::{inv_search, verify_topk, BoundsMode};
+use imageproof_mrkd::{
+    mrkd_search, mrkd_search_baseline, verify_bovw, verify_bovw_baseline,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// BoVW-step metrics (Figs. 6–8).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BovwMeasurement {
+    pub sp_seconds: f64,
+    pub client_seconds: f64,
+    pub vo_bytes: f64,
+    pub shared_ratio: f64,
+}
+
+/// Inverted-index-step metrics (Figs. 9–11).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InvMeasurement {
+    pub sp_seconds: f64,
+    pub client_seconds: f64,
+    pub popped_ratio: f64,
+    pub vo_bytes: f64,
+}
+
+/// End-to-end metrics (Figs. 12–14).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverallMeasurement {
+    pub sp_seconds: f64,
+    pub client_seconds: f64,
+    pub vo_bytes: f64,
+}
+
+/// Measures only the BoVW encoding step of `scheme` over `queries`.
+///
+/// SP time covers threshold computation (AKM search) plus `MRKDSearch` VO
+/// generation; client time covers full BoVW verification.
+pub fn measure_bovw_step(
+    fixture: &Fixture,
+    scheme: Scheme,
+    queries: &[Vec<Vec<f32>>],
+) -> BovwMeasurement {
+    let system = fixture.system(scheme);
+    let (sp, _) = &*system;
+    let db = sp.database();
+    let mut out = BovwMeasurement::default();
+    for features in queries {
+        let t0 = Instant::now();
+        let thresholds: Vec<f32> = features
+            .iter()
+            .map(|f| db.codebook.assign_with_threshold(f).1)
+            .collect();
+        if scheme.shares_nodes() {
+            let search = mrkd_search(&db.mrkd, features, &thresholds);
+            out.sp_seconds += t0.elapsed().as_secs_f64();
+            out.vo_bytes += search.vo.wire_size() as f64;
+            out.shared_ratio += search.stats.shared_ratio();
+
+            let t1 = Instant::now();
+            verify_bovw(&search.vo, features, scheme.candidate_mode())
+                .expect("honest BoVW VO verifies");
+            out.client_seconds += t1.elapsed().as_secs_f64();
+        } else {
+            let (vo, _, stats) = mrkd_search_baseline(&db.mrkd, features, &thresholds);
+            out.sp_seconds += t0.elapsed().as_secs_f64();
+            out.vo_bytes += vo.wire_size() as f64;
+            out.shared_ratio += stats.shared_ratio();
+
+            let t1 = Instant::now();
+            verify_bovw_baseline(&vo, features).expect("honest baseline BoVW VO verifies");
+            out.client_seconds += t1.elapsed().as_secs_f64();
+        }
+    }
+    let n = queries.len().max(1) as f64;
+    BovwMeasurement {
+        sp_seconds: out.sp_seconds / n,
+        client_seconds: out.client_seconds / n,
+        vo_bytes: out.vo_bytes / n,
+        shared_ratio: out.shared_ratio / n,
+    }
+}
+
+/// Measures only the inverted-index step of `scheme` over `queries`.
+pub fn measure_inv_step(
+    fixture: &Fixture,
+    scheme: Scheme,
+    queries: &[Vec<Vec<f32>>],
+    k: usize,
+) -> InvMeasurement {
+    let system = fixture.system(scheme);
+    let (sp, _) = &*system;
+    let db = sp.database();
+    let mut out = InvMeasurement::default();
+    for features in queries {
+        // The BoVW vector is an input to this step; encode it outside the
+        // timed region.
+        let bovw = SparseBovw::from_counts(
+            features.iter().map(|f| (db.codebook.assign(f), 1)),
+        );
+        match &db.inv {
+            IndexVariant::Plain(index) => {
+                let digests: HashMap<u32, Digest> =
+                    index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+                let mode = if scheme.uses_filters() {
+                    BoundsMode::CuckooFiltered
+                } else {
+                    BoundsMode::MaxBound
+                };
+                let t0 = Instant::now();
+                let search = inv_search(index, &bovw, k, mode);
+                out.sp_seconds += t0.elapsed().as_secs_f64();
+                out.popped_ratio += search.stats.popped_ratio();
+                out.vo_bytes += search.vo.wire_size() as f64;
+                let claimed: Vec<u64> = search.topk.iter().map(|&(i, _)| i).collect();
+                let t1 = Instant::now();
+                verify_topk(&search.vo, &bovw, &digests, &claimed, k, mode)
+                    .expect("honest inverted VO verifies");
+                out.client_seconds += t1.elapsed().as_secs_f64();
+            }
+            IndexVariant::Grouped(index) => {
+                let digests: HashMap<u32, Digest> =
+                    index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+                let t0 = Instant::now();
+                let search = grouped_search(index, &bovw, k);
+                out.sp_seconds += t0.elapsed().as_secs_f64();
+                out.popped_ratio += search.stats.popped_ratio();
+                out.vo_bytes += search.vo.wire_size() as f64;
+                let claimed: Vec<u64> = search.topk.iter().map(|&(i, _)| i).collect();
+                let t1 = Instant::now();
+                verify_grouped_topk(&search.vo, &bovw, &digests, &claimed, k)
+                    .expect("honest grouped VO verifies");
+                out.client_seconds += t1.elapsed().as_secs_f64();
+            }
+        }
+    }
+    let n = queries.len().max(1) as f64;
+    InvMeasurement {
+        sp_seconds: out.sp_seconds / n,
+        client_seconds: out.client_seconds / n,
+        popped_ratio: out.popped_ratio / n,
+        vo_bytes: out.vo_bytes / n,
+    }
+}
+
+/// Measures the complete authenticated query path of `scheme`.
+pub fn measure_overall(
+    fixture: &Fixture,
+    scheme: Scheme,
+    queries: &[Vec<Vec<f32>>],
+    k: usize,
+) -> OverallMeasurement {
+    let system = fixture.system(scheme);
+    let (sp, client) = &*system;
+    let mut out = OverallMeasurement::default();
+    for features in queries {
+        let t0 = Instant::now();
+        let (response, _) = sp.query(features, k);
+        out.sp_seconds += t0.elapsed().as_secs_f64();
+        out.vo_bytes += response.vo.wire_size() as f64;
+        let t1 = Instant::now();
+        client
+            .verify(features, k, &response)
+            .expect("honest response verifies");
+        out.client_seconds += t1.elapsed().as_secs_f64();
+    }
+    let n = queries.len().max(1) as f64;
+    OverallMeasurement {
+        sp_seconds: out.sp_seconds / n,
+        client_seconds: out.client_seconds / n,
+        vo_bytes: out.vo_bytes / n,
+    }
+}

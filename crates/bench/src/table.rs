@@ -1,0 +1,100 @@
+//! Minimal fixed-width table printer for the figure harness.
+
+/// A column-aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "ragged table row");
+        self.rows.push(row);
+    }
+
+    /// Renders with every column right-aligned except the first.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Milliseconds with one decimal.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e3)
+}
+
+/// Kibibytes with one decimal.
+pub fn kib(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1024.0)
+}
+
+/// Percentage with one decimal.
+pub fn pct(ratio: f64) -> String {
+    format!("{:.1}", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["scheme", "ms"]);
+        t.row(["Baseline", "12.0"]);
+        t.row(["ImageProof", "3.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("scheme"));
+        assert!(lines[3].starts_with("ImageProof"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_are_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn unit_formatters() {
+        assert_eq!(ms(0.0123), "12.3");
+        assert_eq!(kib(2048.0), "2.0");
+        assert_eq!(pct(0.5), "50.0");
+    }
+}

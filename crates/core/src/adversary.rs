@@ -1,0 +1,123 @@
+//! Malicious-SP behaviours for the §V-D security analysis.
+//!
+//! Each function takes an honest [`QueryResponse`] and mutates it the way a
+//! cheating SP would, covering the three attack cases of Theorem 1:
+//!
+//! 1. forging the BoVW vector (tampering MRKD disclosures);
+//! 2. forging the top-k set (swapping winners, tampering postings or
+//!    filters);
+//! 3. returning fake image data (with a stale or forged signature).
+//!
+//! Integration and unit tests assert the client rejects every one of them.
+
+use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo};
+use crate::sp::QueryResponse;
+use imageproof_crypto::Signature;
+use imageproof_mrkd::{Reveal, VoNode};
+
+/// Case 3: replace the first result's raw bytes (keeping its signature).
+pub fn tamper_image_data(response: &mut QueryResponse) {
+    let first = response
+        .results
+        .first_mut()
+        .expect("response has results");
+    first.data[0] ^= 0xFF;
+}
+
+/// Case 3: replace the first result's signature with garbage.
+pub fn forge_image_signature(response: &mut QueryResponse) {
+    let QueryVo { signatures, .. } = &mut response.vo;
+    signatures[0] = Signature::from_bytes([0x42; 64]);
+}
+
+/// Case 2: swap the first result for a different image of the database
+/// (with that image's own *valid* payload and signature) while leaving the
+/// inverted-index VO untouched — a "plausible" substitution attack.
+pub fn substitute_result(
+    response: &mut QueryResponse,
+    substitute_id: u64,
+    substitute_data: Vec<u8>,
+    substitute_sig: Signature,
+) {
+    let first = response.results.first_mut().expect("response has results");
+    first.id = substitute_id;
+    first.data = substitute_data;
+    response.vo.signatures[0] = substitute_sig;
+}
+
+/// Case 2: tamper a popped posting's impact value in the inverted VO.
+pub fn tamper_posting(response: &mut QueryResponse) -> bool {
+    match &mut response.vo.inv {
+        InvVoVariant::Plain(vo) => {
+            for list in &mut vo.lists {
+                if let Some(p) = list.popped.first_mut() {
+                    p.1 *= 0.5;
+                    return true;
+                }
+            }
+            false
+        }
+        InvVoVariant::Grouped(vo) => {
+            for list in &mut vo.lists {
+                if let Some(g) = list.popped.first_mut() {
+                    g.members[0].1 *= 2.0;
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Case 1: tamper a revealed centroid coordinate in the BoVW VO.
+pub fn tamper_bovw_centroid(response: &mut QueryResponse) -> bool {
+    fn walk(node: &mut VoNode) -> bool {
+        match node {
+            VoNode::Pruned(_) => false,
+            VoNode::Leaf { entries } => {
+                for e in entries {
+                    match &mut e.reveal {
+                        Reveal::Full { coords } | Reveal::FullCompressed { coords } => {
+                            coords[0] += 0.5;
+                            return true;
+                        }
+                        Reveal::Partial { .. } => {}
+                    }
+                }
+                false
+            }
+            VoNode::Internal { left, right, .. } => walk(left) || walk(right),
+        }
+    }
+    match &mut response.vo.bovw {
+        BovwVoVariant::Shared(vo) => vo.trees.iter_mut().any(walk),
+        BovwVoVariant::PerQuery(vo) => vo
+            .per_query
+            .iter_mut()
+            .any(|q| q.trees.iter_mut().any(walk)),
+    }
+}
+
+/// Case 1: tamper a splitting hyperplane in the BoVW VO (changes the
+/// reconstructed root).
+pub fn tamper_bovw_split(response: &mut QueryResponse) -> bool {
+    fn walk(node: &mut VoNode) -> bool {
+        match node {
+            VoNode::Pruned(_) | VoNode::Leaf { .. } => false,
+            VoNode::Internal {
+                value, left, right, ..
+            } => {
+                *value += 0.125;
+                let _ = (left, right);
+                true
+            }
+        }
+    }
+    match &mut response.vo.bovw {
+        BovwVoVariant::Shared(vo) => vo.trees.iter_mut().any(walk),
+        BovwVoVariant::PerQuery(vo) => vo
+            .per_query
+            .iter_mut()
+            .any(|q| q.trees.iter_mut().any(walk)),
+    }
+}

@@ -1,0 +1,196 @@
+//! The client: result verification (paper §V-C).
+//!
+//! Four steps, mirroring the paper: (i) verify the BoVW encoding against
+//! the MRKD VOs and the owner's root signature; (ii) rebuild `B_Q` from the
+//! verified assignments; (iii) verify the inverted-index termination
+//! conditions against the authenticated list digests; (iv) verify each
+//! returned image's signature over its raw bytes.
+
+use crate::owner::{image_signing_message, root_signing_message, PublishedParams};
+use crate::scheme::{BovwVoVariant, InvVoVariant};
+use crate::sp::QueryResponse;
+use imageproof_akm::SparseBovw;
+use imageproof_invindex::grouped::verify_grouped_topk;
+use imageproof_invindex::{verify_topk, BoundsMode, InvVerifyError};
+use imageproof_mrkd::{verify_bovw, verify_bovw_baseline, VerifyError as BovwError};
+use imageproof_vision::ImageId;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Why the client rejected a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The BoVW-step VO failed verification.
+    Bovw(BovwError),
+    /// The reconstructed root does not match the owner's signature.
+    RootSignatureInvalid,
+    /// The VO variants do not match the published scheme.
+    SchemeMismatch,
+    /// The inverted-index VO failed verification.
+    Inv(InvVerifyError),
+    /// Result count does not match the signature count.
+    ResultShapeMismatch,
+    /// An image signature failed (case-3 attack of §V-D).
+    ImageSignatureInvalid { id: ImageId },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Bovw(e) => write!(f, "BoVW verification failed: {e}"),
+            ClientError::RootSignatureInvalid => write!(f, "root signature invalid"),
+            ClientError::SchemeMismatch => write!(f, "VO variant does not match scheme"),
+            ClientError::Inv(e) => write!(f, "inverted-index verification failed: {e}"),
+            ClientError::ResultShapeMismatch => write!(f, "results and signatures disagree"),
+            ClientError::ImageSignatureInvalid { id } => {
+                write!(f, "signature of image {id} invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<BovwError> for ClientError {
+    fn from(e: BovwError) -> Self {
+        ClientError::Bovw(e)
+    }
+}
+
+impl From<InvVerifyError> for ClientError {
+    fn from(e: InvVerifyError) -> Self {
+        ClientError::Inv(e)
+    }
+}
+
+/// A fully verified query result.
+#[derive(Debug, Clone)]
+pub struct VerifiedResult {
+    /// `(image id, verified similarity score)`, in the SP's claimed order.
+    pub topk: Vec<(ImageId, f32)>,
+    /// The verified BoVW assignment of each query feature vector.
+    pub assignments: Vec<u32>,
+    /// Client-side cost breakdown.
+    pub stats: ClientStats,
+}
+
+/// Client-side verification cost breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    pub bovw_seconds: f64,
+    pub inv_seconds: f64,
+    pub signature_seconds: f64,
+}
+
+impl ClientStats {
+    pub fn total_seconds(&self) -> f64 {
+        self.bovw_seconds + self.inv_seconds + self.signature_seconds
+    }
+}
+
+/// The verifying client.
+pub struct Client {
+    params: PublishedParams,
+}
+
+impl Client {
+    pub fn new(params: PublishedParams) -> Client {
+        Client { params }
+    }
+
+    /// Verifies a response to `query(features, k)` end to end (§V-C).
+    pub fn verify(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        response: &QueryResponse,
+    ) -> Result<VerifiedResult, ClientError> {
+        let scheme = self.params.scheme;
+        let mut stats = ClientStats::default();
+
+        // (i) + (ii): BoVW encoding.
+        let t0 = Instant::now();
+        let verified_bovw = match (&response.vo.bovw, scheme.shares_nodes()) {
+            (BovwVoVariant::Shared(vo), true) => {
+                verify_bovw(vo, features, scheme.candidate_mode())?
+            }
+            (BovwVoVariant::PerQuery(vo), false) => verify_bovw_baseline(vo, features)?,
+            _ => return Err(ClientError::SchemeMismatch),
+        };
+        if !self.params.public_key.verify(
+            &root_signing_message(&verified_bovw.combined_root),
+            &self.params.root_signature,
+        ) {
+            return Err(ClientError::RootSignatureInvalid);
+        }
+        let query_bovw =
+            SparseBovw::from_counts(verified_bovw.assignments.iter().map(|&c| (c, 1)));
+        stats.bovw_seconds = t0.elapsed().as_secs_f64();
+
+        // (iii): inverted-index search.
+        let t1 = Instant::now();
+        if response.results.len() != response.vo.signatures.len() {
+            return Err(ClientError::ResultShapeMismatch);
+        }
+        let claimed: Vec<u64> = response.results.iter().map(|r| r.id).collect();
+        let digests: HashMap<u32, _> = verified_bovw
+            .inv_digests
+            .iter()
+            .map(|(&c, &d)| (c, d))
+            .collect();
+        let verified_topk = match (&response.vo.inv, scheme.grouped_index()) {
+            (InvVoVariant::Plain(vo), false) => {
+                let mode = if scheme.uses_filters() {
+                    BoundsMode::CuckooFiltered
+                } else {
+                    BoundsMode::MaxBound
+                };
+                verify_topk(vo, &query_bovw, &digests, &claimed, k, mode)?
+            }
+            (InvVoVariant::Grouped(vo), true) => {
+                verify_grouped_topk(vo, &query_bovw, &digests, &claimed, k)?
+            }
+            _ => return Err(ClientError::SchemeMismatch),
+        };
+        stats.inv_seconds = t1.elapsed().as_secs_f64();
+
+        // (iv): image signatures — batch-verified (one shared doubling
+        // chain); on failure, fall back to individual checks to name the
+        // forged image.
+        let t2 = Instant::now();
+        let messages: Vec<[u8; 32]> = response
+            .results
+            .iter()
+            .map(|r| image_signing_message(r.id, &r.data))
+            .collect();
+        let batch: Vec<(&[u8], imageproof_crypto::PublicKey, imageproof_crypto::Signature)> =
+            messages
+                .iter()
+                .zip(&response.vo.signatures)
+                .map(|(m, s)| (m.as_slice(), self.params.public_key, *s))
+                .collect();
+        if !imageproof_crypto::verify_batch(&batch) {
+            for (result, (msg, signature)) in response
+                .results
+                .iter()
+                .zip(messages.iter().zip(&response.vo.signatures))
+            {
+                if !self.params.public_key.verify(msg, signature) {
+                    return Err(ClientError::ImageSignatureInvalid { id: result.id });
+                }
+            }
+            // The batch equation failed but every member verifies — can
+            // only happen with astronomically small probability or a bug.
+            return Err(ClientError::ImageSignatureInvalid {
+                id: response.results.first().map(|r| r.id).unwrap_or(0),
+            });
+        }
+        stats.signature_seconds = t2.elapsed().as_secs_f64();
+
+        Ok(VerifiedResult {
+            topk: verified_topk.topk,
+            assignments: verified_bovw.assignments,
+            stats,
+        })
+    }
+}

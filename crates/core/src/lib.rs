@@ -1,0 +1,313 @@
+//! # imageproof-core
+//!
+//! The complete ImageProof protocol (Guo, Xu, Zhang, Xu, Xiang — *ImageProof:
+//! Enabling Authentication for Large-Scale Image Retrieval*, ICDE 2019):
+//! authenticated SIFT-based content-based image retrieval with a trusted
+//! image owner, an untrusted service provider, and a verifying client.
+//!
+//! ```
+//! use imageproof_akm::AkmParams;
+//! use imageproof_core::{Client, Owner, Scheme, ServiceProvider};
+//! use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
+//!
+//! // Owner: build and outsource the database + ADSs.
+//! let corpus = Corpus::generate(&CorpusConfig::small(DescriptorKind::Surf));
+//! let owner = Owner::new(&[7u8; 32]);
+//! let akm = AkmParams { n_clusters: 64, ..AkmParams::default() };
+//! let (db, published) = owner.build_system(&corpus, &akm, Scheme::ImageProof);
+//!
+//! // SP: answer a top-k query with a verification object.
+//! let sp = ServiceProvider::new(db);
+//! let query = corpus.query_from_image(3, 30, 99);
+//! let (response, _stats) = sp.query(&query, 5);
+//!
+//! // Client: verify soundness and completeness.
+//! let client = Client::new(published);
+//! let verified = client.verify(&query, 5, &response).expect("honest SP");
+//! assert_eq!(verified.topk.len(), 5);
+//! ```
+//!
+//! Module map: [`owner`] (§V-A ADS generation), [`sp`] (§V-B query
+//! processing, Alg. 5), [`client`] (§V-C verification), [`scheme`] (the four
+//! §VII schemes and the combined VO), [`adversary`] (the §V-D attack cases,
+//! for tests).
+
+pub mod adversary;
+pub mod client;
+pub mod owner;
+pub mod scheme;
+pub mod sp;
+pub mod update;
+
+pub use client::{Client, ClientError, ClientStats, VerifiedResult};
+pub use owner::{Database, IndexVariant, Owner, PublishedParams, StoredImage};
+pub use scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme};
+pub use sp::{ImageResult, QueryResponse, ServiceProvider, SpStats};
+pub use update::UpdateError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imageproof_akm::AkmParams;
+    use imageproof_crypto::wire::{Decode, Encode};
+    use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
+
+    fn small_akm(k: usize) -> AkmParams {
+        AkmParams {
+            n_clusters: k,
+            n_trees: 4,
+            max_leaf_size: 2,
+            max_checks: 16,
+            iterations: 2,
+            seed: 11,
+        }
+    }
+
+    fn setup(scheme: Scheme) -> (Corpus, ServiceProvider, Client) {
+        // Codebook larger than the latent vocabulary, like the paper's
+        // large/medium codebooks: quantization is fine, so assignment
+        // thresholds stay small.
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_latent_words: 100,
+            ..CorpusConfig::small(DescriptorKind::Surf)
+        });
+        let owner = Owner::new(&[9u8; 32]);
+        let (db, published) = owner.build_system(&corpus, &small_akm(128), scheme);
+        (corpus, ServiceProvider::new(db), Client::new(published))
+    }
+
+    #[test]
+    fn every_scheme_round_trips_honestly() {
+        for scheme in Scheme::ALL {
+            let (corpus, sp, client) = setup(scheme);
+            let query = corpus.query_from_image(5, 25, 1);
+            let (response, stats) = sp.query(&query, 5);
+            let verified = client
+                .verify(&query, 5, &response)
+                .unwrap_or_else(|e| panic!("{scheme:?} rejected honest SP: {e}"));
+            assert_eq!(verified.topk.len(), 5, "{scheme:?}");
+            assert!(stats.bovw_seconds >= 0.0);
+            // The query derives from image 5; it must rank in the top-5.
+            assert!(
+                verified.topk.iter().any(|&(id, _)| id == 5),
+                "{scheme:?}: source image missing from top-k {:?}",
+                verified.topk
+            );
+        }
+    }
+
+    #[test]
+    fn all_schemes_agree_on_the_result_set() {
+        let mut sets: Vec<Vec<u64>> = Vec::new();
+        for scheme in Scheme::ALL {
+            let (corpus, sp, _) = setup(scheme);
+            let query = corpus.query_from_image(8, 25, 2);
+            let (response, _) = sp.query(&query, 5);
+            let mut ids: Vec<u64> = response.results.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            sets.push(ids);
+        }
+        // All schemes index the same corpus with the same codebook seed, so
+        // the top-k sets must agree (scores may differ in float rounding
+        // between grouped/ungrouped accumulation, but the sets coincide for
+        // non-degenerate queries).
+        for s in &sets[1..] {
+            assert_eq!(s, &sets[0]);
+        }
+    }
+
+    #[test]
+    fn query_vo_round_trips_on_the_wire() {
+        for scheme in Scheme::ALL {
+            let (corpus, sp, _) = setup(scheme);
+            let query = corpus.query_from_image(2, 20, 3);
+            let (response, _) = sp.query(&query, 3);
+            let bytes = response.vo.to_wire();
+            let decoded = QueryVo::from_wire(&bytes).expect("round trip");
+            assert_eq!(decoded, response.vo, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn tampered_image_data_is_rejected() {
+        let (corpus, sp, client) = setup(Scheme::ImageProof);
+        let query = corpus.query_from_image(1, 20, 4);
+        let (mut response, _) = sp.query(&query, 4);
+        adversary::tamper_image_data(&mut response);
+        assert!(matches!(
+            client.verify(&query, 4, &response),
+            Err(ClientError::ImageSignatureInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_signature_is_rejected() {
+        let (corpus, sp, client) = setup(Scheme::ImageProof);
+        let query = corpus.query_from_image(1, 20, 5);
+        let (mut response, _) = sp.query(&query, 4);
+        adversary::forge_image_signature(&mut response);
+        assert!(matches!(
+            client.verify(&query, 4, &response),
+            Err(ClientError::ImageSignatureInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn substituted_result_is_rejected() {
+        let (corpus, sp, client) = setup(Scheme::ImageProof);
+        let query = corpus.query_from_image(1, 20, 6);
+        let (mut response, _) = sp.query(&query, 4);
+        // Pick a database image not in the results; its payload and
+        // signature are genuine, but it is not a true winner.
+        let winner_ids: Vec<u64> = response.results.iter().map(|r| r.id).collect();
+        let substitute = corpus
+            .images
+            .iter()
+            .find(|img| !winner_ids.contains(&img.id))
+            .expect("non-winner exists");
+        let stored = sp.database().images[&substitute.id].clone();
+        adversary::substitute_result(&mut response, substitute.id, stored.data, stored.signature);
+        assert!(client.verify(&query, 4, &response).is_err());
+    }
+
+    #[test]
+    fn tampered_posting_is_rejected() {
+        for scheme in [Scheme::ImageProof, Scheme::OptimizedBoth] {
+            let (corpus, sp, client) = setup(scheme);
+            let query = corpus.query_from_image(1, 20, 7);
+            let (mut response, _) = sp.query(&query, 4);
+            assert!(adversary::tamper_posting(&mut response));
+            assert!(
+                matches!(
+                    client.verify(&query, 4, &response),
+                    Err(ClientError::Inv(_))
+                ),
+                "{scheme:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_bovw_centroid_is_rejected() {
+        for scheme in [Scheme::Baseline, Scheme::ImageProof, Scheme::OptimizedBovw] {
+            let (corpus, sp, client) = setup(scheme);
+            let query = corpus.query_from_image(1, 20, 8);
+            let (mut response, _) = sp.query(&query, 4);
+            assert!(adversary::tamper_bovw_centroid(&mut response), "{scheme:?}");
+            assert!(client.verify(&query, 4, &response).is_err(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn tampered_bovw_split_is_rejected() {
+        let (corpus, sp, client) = setup(Scheme::ImageProof);
+        let query = corpus.query_from_image(1, 20, 9);
+        let (mut response, _) = sp.query(&query, 4);
+        assert!(adversary::tamper_bovw_split(&mut response));
+        assert!(matches!(
+            client.verify(&query, 4, &response),
+            Err(ClientError::RootSignatureInvalid) | Err(ClientError::Bovw(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_owner_key_is_rejected() {
+        let corpus = Corpus::generate(&CorpusConfig::small(DescriptorKind::Surf));
+        let owner = Owner::new(&[9u8; 32]);
+        let impostor = Owner::new(&[10u8; 32]);
+        let (db, mut published) =
+            owner.build_system(&corpus, &small_akm(64), Scheme::ImageProof);
+        published.public_key = impostor.public_key();
+        let sp = ServiceProvider::new(db);
+        let client = Client::new(published);
+        let query = corpus.query_from_image(0, 20, 10);
+        let (response, _) = sp.query(&query, 3);
+        assert!(matches!(
+            client.verify(&query, 3, &response),
+            Err(ClientError::RootSignatureInvalid)
+        ));
+    }
+
+    #[test]
+    fn scheme_mismatch_is_detected() {
+        // A client configured for ImageProof must reject a Baseline-shaped
+        // VO even when the underlying database is identical.
+        let (corpus, sp_baseline, _) = setup(Scheme::Baseline);
+        let (_, _, client_imageproof) = setup(Scheme::ImageProof);
+        let query = corpus.query_from_image(3, 20, 12);
+        let (response, _) = sp_baseline.query(&query, 3);
+        assert!(matches!(
+            client_imageproof.verify(&query, 3, &response),
+            Err(ClientError::SchemeMismatch)
+        ));
+    }
+
+    #[test]
+    fn result_signature_shape_mismatch_is_detected() {
+        let (corpus, sp, client) = setup(Scheme::ImageProof);
+        let query = corpus.query_from_image(3, 20, 13);
+        let (mut response, _) = sp.query(&query, 3);
+        response.vo.signatures.pop();
+        assert!(matches!(
+            client.verify(&query, 3, &response),
+            Err(ClientError::ResultShapeMismatch)
+        ));
+    }
+
+    #[test]
+    fn dropping_a_result_row_is_detected() {
+        let (corpus, sp, client) = setup(Scheme::ImageProof);
+        let query = corpus.query_from_image(3, 20, 14);
+        let (mut response, _) = sp.query(&query, 3);
+        response.results.pop();
+        response.vo.signatures.pop();
+        assert!(client.verify(&query, 3, &response).is_err());
+    }
+
+    #[test]
+    fn reordering_results_keeps_the_set_verifiable() {
+        // Definition 1 is a set property: the client accepts any order of
+        // the genuine top-k (scores are re-derived per image).
+        let (corpus, sp, client) = setup(Scheme::ImageProof);
+        let query = corpus.query_from_image(3, 20, 15);
+        let (mut response, _) = sp.query(&query, 4);
+        response.results.swap(0, 3);
+        response.vo.signatures.swap(0, 3);
+        let verified = client
+            .verify(&query, 4, &response)
+            .expect("reordered genuine set verifies");
+        assert_eq!(verified.topk[0].0, response.results[0].id);
+    }
+
+    #[test]
+    fn shared_vo_is_smaller_and_optimized_smaller_still() {
+        let sizes: Vec<usize> = Scheme::ALL
+            .iter()
+            .map(|&scheme| {
+                let (corpus, sp, _) = setup(scheme);
+                let query = corpus.query_from_image(4, 30, 11);
+                let (response, _) = sp.query(&query, 5);
+                response.vo.wire_size()
+            })
+            .collect();
+        // Baseline > ImageProof > Optimized(BoVW) >= Optimized(Both).
+        assert!(
+            sizes[0] > sizes[1],
+            "baseline {} <= imageproof {}",
+            sizes[0],
+            sizes[1]
+        );
+        assert!(
+            sizes[1] > sizes[2],
+            "imageproof {} <= opt-bovw {}",
+            sizes[1],
+            sizes[2]
+        );
+        assert!(
+            sizes[2] >= sizes[3],
+            "opt-bovw {} < opt-both {}",
+            sizes[2],
+            sizes[3]
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! The image owner: ADS generation and signing (paper §V-A).
+
+use crate::scheme::Scheme;
+use imageproof_akm::{AkmParams, Codebook, ImpactModel, SparseBovw};
+use imageproof_crypto::{Digest, PublicKey, Signature, SigningKey};
+use imageproof_invindex::grouped::GroupedInvertedIndex;
+use imageproof_invindex::MerkleInvertedIndex;
+use imageproof_mrkd::MrkdForest;
+use imageproof_vision::{Corpus, ImageId};
+use std::collections::HashMap;
+
+/// Everything the owner publishes to clients.
+#[derive(Clone, Debug)]
+pub struct PublishedParams {
+    pub scheme: Scheme,
+    pub public_key: PublicKey,
+    /// Signature over the combined MRKD root digest (which transitively
+    /// binds the whole inverted index).
+    pub root_signature: Signature,
+    /// Number of MRKD-trees (clients must receive one VO tree per tree).
+    pub n_trees: usize,
+}
+
+/// One outsourced image: raw payload plus the owner's signature (Eq. 15).
+#[derive(Clone, Debug)]
+pub struct StoredImage {
+    pub data: Vec<u8>,
+    pub signature: Signature,
+}
+
+/// The inverted index in the form the scheme requires.
+#[derive(Clone, Debug)]
+pub enum IndexVariant {
+    Plain(MerkleInvertedIndex),
+    Grouped(GroupedInvertedIndex),
+}
+
+impl IndexVariant {
+    /// `h_Γ` per cluster.
+    pub fn list_digests(&self) -> Vec<Digest> {
+        match self {
+            IndexVariant::Plain(i) => i.list_digests(),
+            IndexVariant::Grouped(i) => i.list_digests(),
+        }
+    }
+
+    /// Total postings in the given clusters.
+    pub fn total_postings(&self, clusters: impl Iterator<Item = u32>) -> usize {
+        match self {
+            IndexVariant::Plain(i) => i.total_postings(clusters),
+            IndexVariant::Grouped(i) => i.total_postings(clusters),
+        }
+    }
+}
+
+/// Everything outsourced to the SP.
+#[derive(Clone, Debug)]
+pub struct Database {
+    pub scheme: Scheme,
+    pub codebook: Codebook,
+    pub mrkd: MrkdForest,
+    pub inv: IndexVariant,
+    pub images: HashMap<ImageId, StoredImage>,
+    /// Per-image BoVW encodings (kept for diagnostics and ablations; a real
+    /// SP could drop them).
+    pub encodings: Vec<(ImageId, SparseBovw)>,
+}
+
+/// The message an image signature covers: `h(I | h(img_I))` (Eq. 15).
+pub fn image_signing_message(id: ImageId, data: &[u8]) -> [u8; 32] {
+    Digest::builder()
+        .u64(id)
+        .digest(&Digest::of(data))
+        .finish()
+        .0
+}
+
+/// The message the root signature covers (domain-separated from image
+/// signatures).
+pub fn root_signing_message(root: &Digest) -> [u8; 40] {
+    let mut msg = [0u8; 40];
+    msg[..8].copy_from_slice(b"IPROOF.1");
+    msg[8..].copy_from_slice(&root.0);
+    msg
+}
+
+/// The image owner.
+pub struct Owner {
+    signing_key: SigningKey,
+}
+
+impl Owner {
+    /// Creates an owner from a key seed.
+    pub fn new(seed: &[u8; 32]) -> Owner {
+        Owner {
+            signing_key: SigningKey::from_seed(seed),
+        }
+    }
+
+    /// The owner's public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.signing_key.public_key()
+    }
+
+    /// Crate-internal access for the update module.
+    pub(crate) fn signing_key(&self) -> &SigningKey {
+        &self.signing_key
+    }
+
+    /// Full system setup (§V-A): trains the codebook, encodes the corpus,
+    /// builds the inverted index and MRKD forest for `scheme`, and signs the
+    /// root digest and every image.
+    pub fn build_system(
+        &self,
+        corpus: &Corpus,
+        akm: &AkmParams,
+        scheme: Scheme,
+    ) -> (Database, PublishedParams) {
+        // 1. Codebook over all corpus descriptors.
+        let codebook = Codebook::train(corpus.config.kind, corpus.all_features(), akm);
+        self.build_system_with_codebook(corpus, codebook, scheme)
+    }
+
+    /// Setup with a pre-trained codebook (lets experiments reuse one
+    /// codebook across schemes, exactly like the paper compares schemes on
+    /// identical indexes).
+    pub fn build_system_with_codebook(
+        &self,
+        corpus: &Corpus,
+        codebook: Codebook,
+        scheme: Scheme,
+    ) -> (Database, PublishedParams) {
+        // 2. BoVW-encode every image with the protocol's assignment rule.
+        let encodings: Vec<(ImageId, SparseBovw)> = corpus
+            .images
+            .iter()
+            .map(|img| {
+                (
+                    img.id,
+                    SparseBovw::encode(&codebook, img.features.iter().map(Vec::as_slice)),
+                )
+            })
+            .collect();
+        self.build_system_prepared(corpus, codebook, encodings, scheme)
+    }
+
+    /// Setup with pre-computed encodings (lets experiments amortize the
+    /// encoding pass, the most expensive build step, across schemes).
+    pub fn build_system_prepared(
+        &self,
+        corpus: &Corpus,
+        codebook: Codebook,
+        encodings: Vec<(ImageId, SparseBovw)>,
+        scheme: Scheme,
+    ) -> (Database, PublishedParams) {
+        let plain_encodings: Vec<SparseBovw> =
+            encodings.iter().map(|(_, b)| b.clone()).collect();
+        let model = ImpactModel::build(codebook.len(), &plain_encodings);
+
+        // 3. The inverted index (plain or grouped).
+        let inv = if scheme.grouped_index() {
+            IndexVariant::Grouped(GroupedInvertedIndex::build(
+                codebook.len(),
+                &encodings,
+                &model,
+            ))
+        } else {
+            IndexVariant::Plain(MerkleInvertedIndex::build(
+                codebook.len(),
+                &encodings,
+                &model,
+            ))
+        };
+
+        // 4. The MRKD forest over the codebook's randomized k-d trees.
+        let mrkd = MrkdForest::build(
+            &codebook.forest,
+            &codebook.centers,
+            &inv.list_digests(),
+            scheme.candidate_mode(),
+        );
+
+        // 5. Signatures.
+        let root_signature = self
+            .signing_key
+            .sign(&root_signing_message(&mrkd.combined_root_digest()));
+        let images: HashMap<ImageId, StoredImage> = corpus
+            .images
+            .iter()
+            .map(|img| {
+                let signature = self
+                    .signing_key
+                    .sign(&image_signing_message(img.id, &img.data));
+                (
+                    img.id,
+                    StoredImage {
+                        data: img.data.clone(),
+                        signature,
+                    },
+                )
+            })
+            .collect();
+
+        let published = PublishedParams {
+            scheme,
+            public_key: self.public_key(),
+            root_signature,
+            n_trees: codebook.forest.trees().len(),
+        };
+        let db = Database {
+            scheme,
+            codebook,
+            mrkd,
+            inv,
+            images,
+            encodings,
+        };
+        (db, published)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use imageproof_vision::{CorpusConfig, DescriptorKind};
+
+    fn tiny() -> (Corpus, Owner) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_images: 60,
+            n_latent_words: 60,
+            ..CorpusConfig::small(DescriptorKind::Surf)
+        });
+        (corpus, Owner::new(&[21u8; 32]))
+    }
+
+    fn tiny_akm() -> AkmParams {
+        AkmParams {
+            n_clusters: 48,
+            n_trees: 3,
+            max_leaf_size: 2,
+            max_checks: 8,
+            iterations: 1,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn database_covers_every_image_with_a_valid_signature() {
+        let (corpus, owner) = tiny();
+        let (db, published) = owner.build_system(&corpus, &tiny_akm(), Scheme::ImageProof);
+        assert_eq!(db.images.len(), corpus.images.len());
+        for img in &corpus.images {
+            let stored = &db.images[&img.id];
+            assert_eq!(stored.data, img.data);
+            let msg = image_signing_message(img.id, &stored.data);
+            assert!(published.public_key.verify(&msg, &stored.signature));
+        }
+    }
+
+    #[test]
+    fn root_signature_covers_the_mrkd_root() {
+        let (corpus, owner) = tiny();
+        let (db, published) = owner.build_system(&corpus, &tiny_akm(), Scheme::ImageProof);
+        let msg = root_signing_message(&db.mrkd.combined_root_digest());
+        assert!(published.public_key.verify(&msg, &published.root_signature));
+        // Domain separation: the root message never verifies as an image
+        // signature and vice versa.
+        assert!(!published
+            .public_key
+            .verify(&msg[..32], &published.root_signature));
+    }
+
+    #[test]
+    fn index_digests_are_embedded_in_the_forest() {
+        let (corpus, owner) = tiny();
+        for scheme in [Scheme::ImageProof, Scheme::OptimizedBoth] {
+            let (db, _) = owner.build_system(&corpus, &tiny_akm(), scheme);
+            let digests = db.inv.list_digests();
+            for (c, d) in digests.iter().enumerate() {
+                assert_eq!(db.mrkd.inv_digest(c as u32), *d, "{scheme:?} cluster {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn schemes_produce_distinct_root_digests() {
+        // Different ADS layouts commit differently; a VO for one scheme can
+        // never be replayed against another scheme's signature.
+        let (corpus, owner) = tiny();
+        let mut roots = std::collections::HashSet::new();
+        for scheme in [Scheme::ImageProof, Scheme::OptimizedBovw, Scheme::OptimizedBoth] {
+            let (db, _) = owner.build_system(&corpus, &tiny_akm(), scheme);
+            assert!(roots.insert(db.mrkd.combined_root_digest()), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_nonempty_and_cover_all_images() {
+        let (corpus, owner) = tiny();
+        let (db, _) = owner.build_system(&corpus, &tiny_akm(), Scheme::ImageProof);
+        assert_eq!(db.encodings.len(), corpus.images.len());
+        for (_, bovw) in &db.encodings {
+            assert!(!bovw.is_empty());
+        }
+    }
+}

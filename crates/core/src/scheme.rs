@@ -1,0 +1,176 @@
+//! Scheme variants evaluated in the paper's experiments (§VII-A) and the
+//! shared protocol types.
+
+use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
+use imageproof_crypto::Signature;
+use imageproof_invindex::grouped::GroupedInvVo;
+use imageproof_invindex::InvVo;
+use imageproof_mrkd::{BaselineBovwVo, BovwVo, CandidateMode};
+
+/// The four authentication schemes of §VII.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Scheme {
+    /// No-sharing `MRKDSearch` + the maximal-bound inverted search of
+    /// Pang & Mouratidis \[15\].
+    Baseline,
+    /// The ImageProof scheme of §V: shared MRKD traversal + cuckoo-filtered
+    /// inverted search.
+    ImageProof,
+    /// ImageProof + the §VI-A BoVW candidate-compression optimization
+    /// ("Optimized (BoVW)" in §VII-D).
+    OptimizedBovw,
+    /// ImageProof + both optimizations: compressed candidates and the
+    /// frequency-grouped inverted index ("Optimized (Both)").
+    OptimizedBoth,
+}
+
+impl Scheme {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Baseline,
+        Scheme::ImageProof,
+        Scheme::OptimizedBovw,
+        Scheme::OptimizedBoth,
+    ];
+
+    /// How cluster centroids are committed in MRKD leaves.
+    pub fn candidate_mode(self) -> CandidateMode {
+        match self {
+            Scheme::Baseline | Scheme::ImageProof => CandidateMode::Full,
+            Scheme::OptimizedBovw | Scheme::OptimizedBoth => CandidateMode::Compressed,
+        }
+    }
+
+    /// Whether MRKD traversals share nodes across query vectors.
+    pub fn shares_nodes(self) -> bool {
+        !matches!(self, Scheme::Baseline)
+    }
+
+    /// Whether the inverted search uses cuckoo-filtered bounds.
+    pub fn uses_filters(self) -> bool {
+        !matches!(self, Scheme::Baseline)
+    }
+
+    /// Whether the inverted index is frequency-grouped.
+    pub fn grouped_index(self) -> bool {
+        matches!(self, Scheme::OptimizedBoth)
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::ImageProof => "ImageProof",
+            Scheme::OptimizedBovw => "Optimized (BoVW)",
+            Scheme::OptimizedBoth => "Optimized (Both)",
+        }
+    }
+}
+
+/// BoVW-step VO, shared or per-query depending on the scheme.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BovwVoVariant {
+    Shared(BovwVo),
+    PerQuery(BaselineBovwVo),
+}
+
+/// Inverted-index VO, plain or frequency-grouped.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InvVoVariant {
+    Plain(InvVo),
+    Grouped(GroupedInvVo),
+}
+
+/// The complete VO of one top-k query (Alg. 5 line 7): the BoVW VOs, the
+/// inverted-index VO, and the winners' image signatures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryVo {
+    pub bovw: BovwVoVariant,
+    pub inv: InvVoVariant,
+    pub signatures: Vec<Signature>,
+}
+
+impl Encode for QueryVo {
+    fn encode(&self, w: &mut Writer) {
+        match &self.bovw {
+            BovwVoVariant::Shared(vo) => {
+                w.u8(0);
+                vo.encode(w);
+            }
+            BovwVoVariant::PerQuery(vo) => {
+                w.u8(1);
+                vo.encode(w);
+            }
+        }
+        match &self.inv {
+            InvVoVariant::Plain(vo) => {
+                w.u8(0);
+                vo.encode(w);
+            }
+            InvVoVariant::Grouped(vo) => {
+                w.u8(1);
+                vo.encode(w);
+            }
+        }
+        w.seq_len(self.signatures.len());
+        for s in &self.signatures {
+            w.bytes(&s.0);
+        }
+    }
+}
+
+impl Decode for QueryVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bovw = match r.u8()? {
+            0 => BovwVoVariant::Shared(BovwVo::decode(r)?),
+            1 => BovwVoVariant::PerQuery(BaselineBovwVo::decode(r)?),
+            t => return Err(WireError::InvalidTag(t)),
+        };
+        let inv = match r.u8()? {
+            0 => InvVoVariant::Plain(InvVo::decode(r)?),
+            1 => InvVoVariant::Grouped(GroupedInvVo::decode(r)?),
+            t => return Err(WireError::InvalidTag(t)),
+        };
+        let n = r.seq_len()?;
+        let mut signatures = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bytes = r.bytes()?;
+            let arr: [u8; 64] = bytes
+                .try_into()
+                .map_err(|_| WireError::InvalidTag(0xFF))?;
+            signatures.push(Signature::from_bytes(arr));
+        }
+        Ok(QueryVo {
+            bovw,
+            inv,
+            signatures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_properties_match_the_paper() {
+        assert!(!Scheme::Baseline.shares_nodes());
+        assert!(!Scheme::Baseline.uses_filters());
+        assert!(Scheme::ImageProof.shares_nodes());
+        assert!(Scheme::ImageProof.uses_filters());
+        assert_eq!(Scheme::ImageProof.candidate_mode(), CandidateMode::Full);
+        assert_eq!(
+            Scheme::OptimizedBovw.candidate_mode(),
+            CandidateMode::Compressed
+        );
+        assert!(!Scheme::OptimizedBovw.grouped_index());
+        assert!(Scheme::OptimizedBoth.grouped_index());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            Scheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

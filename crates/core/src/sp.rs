@@ -1,0 +1,151 @@
+//! The service provider: authenticated query processing (paper §V-B,
+//! Alg. 5).
+
+use crate::owner::{Database, IndexVariant};
+use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo};
+use imageproof_akm::SparseBovw;
+use imageproof_invindex::grouped::grouped_search;
+use imageproof_invindex::{inv_search, BoundsMode};
+use imageproof_mrkd::{mrkd_search, mrkd_search_baseline};
+use imageproof_vision::ImageId;
+use std::time::Instant;
+
+/// One returned image with its raw payload.
+#[derive(Clone, Debug)]
+pub struct ImageResult {
+    pub id: ImageId,
+    pub data: Vec<u8>,
+    /// The SP's claimed similarity score (the client re-derives its own).
+    pub score: f32,
+}
+
+/// The SP's answer to a top-k query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    pub results: Vec<ImageResult>,
+    pub vo: QueryVo,
+}
+
+/// SP-side cost breakdown for one query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpStats {
+    /// Wall-clock seconds spent on BoVW encoding + MRKD VO generation.
+    pub bovw_seconds: f64,
+    /// Wall-clock seconds spent on inverted-index search + VO generation.
+    pub inv_seconds: f64,
+    /// Shared-node ratio of the MRKD traversal (Figs. 7–8).
+    pub shared_ratio: f64,
+    /// Postings popped / total postings in relevant lists (Figs. 9–11).
+    pub popped: usize,
+    pub total_postings: usize,
+}
+
+impl SpStats {
+    pub fn popped_ratio(&self) -> f64 {
+        if self.total_postings == 0 {
+            0.0
+        } else {
+            self.popped as f64 / self.total_postings as f64
+        }
+    }
+}
+
+/// The service provider hosting one outsourced database.
+pub struct ServiceProvider {
+    db: Database,
+}
+
+impl ServiceProvider {
+    pub fn new(db: Database) -> ServiceProvider {
+        ServiceProvider { db }
+    }
+
+    /// Read access to the hosted database (used by adversarial tests and
+    /// ablation benchmarks).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Reclaims the hosted database (e.g. to hand back to the owner for
+    /// maintenance).
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Processes a top-k query (Alg. 5): BoVW-encodes the query features
+    /// with threshold computation, runs `MRKDSearch` per tree, searches the
+    /// inverted index, and assembles the VO.
+    pub fn query(&self, features: &[Vec<f32>], k: usize) -> (QueryResponse, SpStats) {
+        let mut stats = SpStats::default();
+        let scheme = self.db.scheme;
+
+        // --- BoVW step (Alg. 5 lines 1–4) ---
+        let t0 = Instant::now();
+        let mut assignments = Vec::with_capacity(features.len());
+        let mut thresholds = Vec::with_capacity(features.len());
+        for f in features {
+            let (cluster, dist_sq) = self.db.codebook.assign_with_threshold(f);
+            assignments.push(cluster);
+            thresholds.push(dist_sq);
+        }
+        let (bovw_vo, mrkd_stats) = if scheme.shares_nodes() {
+            let out = mrkd_search(&self.db.mrkd, features, &thresholds);
+            (BovwVoVariant::Shared(out.vo), out.stats)
+        } else {
+            let (vo, _, s) = mrkd_search_baseline(&self.db.mrkd, features, &thresholds);
+            (BovwVoVariant::PerQuery(vo), s)
+        };
+        let query_bovw = SparseBovw::from_counts(assignments.iter().map(|&c| (c, 1)));
+        stats.bovw_seconds = t0.elapsed().as_secs_f64();
+        stats.shared_ratio = mrkd_stats.shared_ratio();
+
+        // --- Inverted-index step (Alg. 5 line 5) ---
+        let t1 = Instant::now();
+        let (topk, inv_vo) = match (&self.db.inv, scheme.uses_filters()) {
+            (IndexVariant::Plain(index), true) => {
+                let out = inv_search(index, &query_bovw, k, BoundsMode::CuckooFiltered);
+                stats.popped = out.stats.popped;
+                stats.total_postings = out.stats.total_postings;
+                (out.topk, InvVoVariant::Plain(out.vo))
+            }
+            (IndexVariant::Plain(index), false) => {
+                let out = inv_search(index, &query_bovw, k, BoundsMode::MaxBound);
+                stats.popped = out.stats.popped;
+                stats.total_postings = out.stats.total_postings;
+                (out.topk, InvVoVariant::Plain(out.vo))
+            }
+            (IndexVariant::Grouped(index), _) => {
+                let out = grouped_search(index, &query_bovw, k);
+                stats.popped = out.stats.popped;
+                stats.total_postings = out.stats.total_postings;
+                (out.topk, InvVoVariant::Grouped(out.vo))
+            }
+        };
+        stats.inv_seconds = t1.elapsed().as_secs_f64();
+
+        // --- Results + signatures (Alg. 5 lines 6–7) ---
+        let mut results = Vec::with_capacity(topk.len());
+        let mut signatures = Vec::with_capacity(topk.len());
+        for &(id, score) in &topk {
+            let stored = &self.db.images[&id];
+            results.push(ImageResult {
+                id,
+                data: stored.data.clone(),
+                score,
+            });
+            signatures.push(stored.signature);
+        }
+
+        (
+            QueryResponse {
+                results,
+                vo: QueryVo {
+                    bovw: bovw_vo,
+                    inv: inv_vo,
+                    signatures,
+                },
+            },
+            stats,
+        )
+    }
+}

@@ -1,0 +1,300 @@
+//! Owner-side dynamic catalogue updates — an extension beyond the paper's
+//! static setting.
+//!
+//! The paper picks cuckoo filters partly because they "support dynamic
+//! deletions" (§II-B) but never spells out the update protocol. This module
+//! supplies it: the owner inserts or removes one image, incrementally
+//! repairing exactly the affected state —
+//!
+//! 1. the affected clusters' Merkle inverted lists are rebuilt (postings,
+//!    filter, chain digests);
+//! 2. the MRKD forest's digests are refreshed along the paths to the
+//!    affected leaves (`O(k log n)` hashes for `k` touched clusters);
+//! 3. the combined root is re-signed and the new [`PublishedParams`] is
+//!    returned for distribution to clients.
+//!
+//! **Frozen weights.** True tf-idf weights `w_c = ln(n_D/n_{D,c})` depend
+//! globally on the corpus, so exact maintenance would re-hash every list on
+//! every update. Like production search engines, updates freeze the
+//! weights of the initial build; images mapped to clusters that were empty
+//! at build time (weight 0) contribute zero similarity until the owner
+//! re-indexes. This is a documented trade-off, not a soundness issue — the
+//! scheme authenticates whatever ranking function the index encodes.
+
+use crate::owner::{image_signing_message, root_signing_message, Database, IndexVariant, Owner, PublishedParams, StoredImage};
+use imageproof_akm::bovw::{impact_value, SparseBovw};
+use imageproof_crypto::Digest;
+use imageproof_invindex::Posting;
+use imageproof_vision::ImageId;
+use std::collections::BTreeMap;
+
+/// Why an update was rejected (the database is left unchanged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// Inserting an id that already exists.
+    DuplicateImage { id: ImageId },
+    /// Removing an id that does not exist.
+    UnknownImage { id: ImageId },
+    /// The new posting set no longer fits the committed filter geometry;
+    /// the owner must rebuild the index (the geometry is a global
+    /// commitment `MaxCount` depends on).
+    FilterGeometryExhausted { cluster: u32 },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::DuplicateImage { id } => write!(f, "image {id} already exists"),
+            UpdateError::UnknownImage { id } => write!(f, "image {id} does not exist"),
+            UpdateError::FilterGeometryExhausted { cluster } => write!(
+                f,
+                "cluster {cluster} outgrew the committed filter geometry; re-index required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl Owner {
+    /// Inserts a new image into the outsourced database, returning the
+    /// refreshed [`PublishedParams`] (new root signature) for clients.
+    pub fn insert_image(
+        &self,
+        db: &mut Database,
+        id: ImageId,
+        data: Vec<u8>,
+        features: &[Vec<f32>],
+    ) -> Result<PublishedParams, UpdateError> {
+        if db.images.contains_key(&id) {
+            return Err(UpdateError::DuplicateImage { id });
+        }
+        let bovw = SparseBovw::encode(&db.codebook, features.iter().map(Vec::as_slice));
+        let norm = bovw.norm();
+
+        // Rebuild each affected cluster's list with the new posting.
+        let mut digest_updates: BTreeMap<u32, Digest> = BTreeMap::new();
+        for (cluster, freq) in bovw.iter() {
+            let digest = match &mut db.inv {
+                IndexVariant::Plain(index) => {
+                    let weight = index.list(cluster).weight;
+                    let mut postings = index.list(cluster).postings.clone();
+                    postings.push(Posting {
+                        image: id,
+                        impact: impact_value(weight, freq, norm),
+                    });
+                    index.replace_list(cluster, postings)
+                }
+                IndexVariant::Grouped(index) => {
+                    let mut entries = grouped_entries(index, cluster);
+                    entries.push((id, freq, norm));
+                    index.replace_list(cluster, entries)
+                }
+            }
+            .map_err(|_| UpdateError::FilterGeometryExhausted { cluster })?;
+            digest_updates.insert(cluster, digest);
+        }
+
+        db.mrkd.apply_inv_digest_updates(&digest_updates);
+        let signature = self.sign_image(id, &data);
+        db.images.insert(id, StoredImage { data, signature });
+        db.encodings.push((id, bovw));
+        Ok(self.republish(db))
+    }
+
+    /// Removes an image from the outsourced database, returning the
+    /// refreshed [`PublishedParams`].
+    pub fn remove_image(
+        &self,
+        db: &mut Database,
+        id: ImageId,
+    ) -> Result<PublishedParams, UpdateError> {
+        if !db.images.contains_key(&id) {
+            return Err(UpdateError::UnknownImage { id });
+        }
+        let position = db
+            .encodings
+            .iter()
+            .position(|(i, _)| *i == id)
+            .expect("stored images always have an encoding");
+        let (_, bovw) = db.encodings.remove(position);
+
+        let mut digest_updates: BTreeMap<u32, Digest> = BTreeMap::new();
+        for (cluster, _) in bovw.iter() {
+            let digest = match &mut db.inv {
+                IndexVariant::Plain(index) => {
+                    let postings: Vec<Posting> = index
+                        .list(cluster)
+                        .postings
+                        .iter()
+                        .copied()
+                        .filter(|p| p.image != id)
+                        .collect();
+                    index.replace_list(cluster, postings)
+                }
+                IndexVariant::Grouped(index) => {
+                    let entries: Vec<(u64, u32, f32)> = grouped_entries(index, cluster)
+                        .into_iter()
+                        .filter(|&(image, _, _)| image != id)
+                        .collect();
+                    index.replace_list(cluster, entries)
+                }
+            }
+            .map_err(|_| UpdateError::FilterGeometryExhausted { cluster })?;
+            digest_updates.insert(cluster, digest);
+        }
+
+        db.mrkd.apply_inv_digest_updates(&digest_updates);
+        db.images.remove(&id);
+        Ok(self.republish(db))
+    }
+
+    fn sign_image(&self, id: ImageId, data: &[u8]) -> imageproof_crypto::Signature {
+        self.signing_key().sign(&image_signing_message(id, data))
+    }
+
+    fn republish(&self, db: &Database) -> PublishedParams {
+        PublishedParams {
+            scheme: db.scheme,
+            public_key: self.public_key(),
+            root_signature: self
+                .signing_key()
+                .sign(&root_signing_message(&db.mrkd.combined_root_digest())),
+            n_trees: db.mrkd.trees().len(),
+        }
+    }
+}
+
+/// Flattens a grouped list back into `(image, frequency, norm)` entries.
+fn grouped_entries(
+    index: &imageproof_invindex::grouped::GroupedInvertedIndex,
+    cluster: u32,
+) -> Vec<(u64, u32, f32)> {
+    index
+        .list(cluster)
+        .groups
+        .iter()
+        .flat_map(|g| {
+            g.members
+                .iter()
+                .map(move |&(image, norm)| (image, g.frequency, norm))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Client, Scheme, ServiceProvider};
+    use imageproof_akm::AkmParams;
+    use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
+
+    fn setup(scheme: Scheme) -> (Corpus, Owner, Database, PublishedParams) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_images: 80,
+            n_latent_words: 80,
+            ..CorpusConfig::small(DescriptorKind::Surf)
+        });
+        let owner = Owner::new(&[33u8; 32]);
+        let akm = AkmParams {
+            n_clusters: 96,
+            n_trees: 3,
+            max_leaf_size: 2,
+            max_checks: 16,
+            iterations: 1,
+            seed: 7,
+        };
+        let (db, published) = owner.build_system(&corpus, &akm, scheme);
+        (corpus, owner, db, published)
+    }
+
+    #[test]
+    fn inserted_image_is_retrieved_and_verifies() {
+        for scheme in [Scheme::ImageProof, Scheme::OptimizedBoth] {
+            let (corpus, owner, mut db, _) = setup(scheme);
+            // A brand-new image reusing image 5's scene (same latent words,
+            // fresh noise) with a distinctive id.
+            let new_id = 10_000;
+            let features = corpus.query_from_image(5, 40, 777);
+            let data = vec![0xEE; 128];
+            let published = owner
+                .insert_image(&mut db, new_id, data, &features)
+                .expect("insert succeeds");
+
+            let sp = ServiceProvider::new(db);
+            let client = Client::new(published);
+            let query = corpus.query_from_image(5, 40, 778);
+            let (response, _) = sp.query(&query, 4);
+            let verified = client.verify(&query, 4, &response).expect("verifies");
+            assert!(
+                verified.topk.iter().any(|&(id, _)| id == new_id),
+                "{scheme:?}: inserted near-duplicate must be retrieved: {:?}",
+                verified.topk
+            );
+        }
+    }
+
+    #[test]
+    fn removed_image_disappears_and_queries_still_verify() {
+        for scheme in [Scheme::ImageProof, Scheme::OptimizedBoth] {
+            let (corpus, owner, mut db, _) = setup(scheme);
+            let victim = 5u64;
+            let published = owner.remove_image(&mut db, victim).expect("remove");
+            let sp = ServiceProvider::new(db);
+            let client = Client::new(published);
+            let query = corpus.query_from_image(victim, 40, 779);
+            let (response, _) = sp.query(&query, 4);
+            let verified = client.verify(&query, 4, &response).expect("verifies");
+            assert!(
+                verified.topk.iter().all(|&(id, _)| id != victim),
+                "{scheme:?}: removed image must not reappear"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_published_params_reject_updated_database() {
+        let (corpus, owner, mut db, stale) = setup(Scheme::ImageProof);
+        let features = corpus.query_from_image(9, 30, 780);
+        owner
+            .insert_image(&mut db, 20_000, vec![1, 2, 3], &features)
+            .expect("insert");
+        let sp = ServiceProvider::new(db);
+        let stale_client = Client::new(stale);
+        let query = corpus.query_from_image(9, 30, 781);
+        let (response, _) = sp.query(&query, 3);
+        // The stale root signature no longer matches the updated ADS.
+        assert!(stale_client.verify(&query, 3, &response).is_err());
+    }
+
+    #[test]
+    fn duplicate_insert_and_unknown_remove_are_rejected() {
+        let (corpus, owner, mut db, _) = setup(Scheme::ImageProof);
+        let features = corpus.query_from_image(0, 20, 782);
+        assert!(matches!(
+            owner.insert_image(&mut db, 0, vec![1], &features),
+            Err(UpdateError::DuplicateImage { id: 0 })
+        ));
+        assert!(matches!(
+            owner.remove_image(&mut db, 999_999),
+            Err(UpdateError::UnknownImage { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_then_remove_restores_the_root() {
+        let (corpus, owner, mut db, _) = setup(Scheme::ImageProof);
+        let before = db.mrkd.combined_root_digest();
+        let features = corpus.query_from_image(3, 30, 783);
+        owner
+            .insert_image(&mut db, 30_000, vec![9; 64], &features)
+            .expect("insert");
+        assert_ne!(db.mrkd.combined_root_digest(), before);
+        owner.remove_image(&mut db, 30_000).expect("remove");
+        assert_eq!(
+            db.mrkd.combined_root_digest(),
+            before,
+            "insert ∘ remove must be the identity on the ADS"
+        );
+    }
+}

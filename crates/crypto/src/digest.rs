@@ -1,0 +1,172 @@
+//! The 32-byte digest type shared by every authenticated data structure, plus
+//! helpers for hashing heterogeneous field concatenations.
+//!
+//! The paper defines all ADS digests as SHA3-256 over `|`-concatenated
+//! fields, e.g. `h_N = h(l_N | h_left | h_right)` (Def. 2). Concatenating
+//! variable-length fields naively is ambiguous (`"ab"|"c"` vs `"a"|"bc"`), so
+//! [`DigestBuilder`] length-prefixes every variable-length field. Both the SP
+//! and the client build digests through the same API, so the encoding is an
+//! internal detail that never leaks into the protocol.
+
+use crate::sha3::Sha3_256;
+use std::fmt;
+
+/// A SHA3-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the chain terminator for the last posting
+    /// of a Merkle inverted list (Def. 4 leaves `h_{pos_{c_i, n+1}}`
+    /// unspecified; a fixed terminator makes list length non-malleable).
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Hashes a single byte string.
+    pub fn of(data: &[u8]) -> Self {
+        Digest(Sha3_256::digest(data))
+    }
+
+    /// Shorthand for a builder.
+    pub fn builder() -> DigestBuilder {
+        DigestBuilder::new()
+    }
+
+    /// Hex rendering for logs and examples.
+    pub fn to_hex(self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", &self.to_hex()[..12])
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Builds a digest over a sequence of typed fields with unambiguous framing.
+pub struct DigestBuilder {
+    hasher: Sha3_256,
+}
+
+impl Default for DigestBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DigestBuilder {
+    pub fn new() -> Self {
+        DigestBuilder {
+            hasher: Sha3_256::new(),
+        }
+    }
+
+    /// Appends a variable-length byte field, length-prefixed.
+    pub fn bytes(mut self, data: &[u8]) -> Self {
+        self.hasher.update(&(data.len() as u64).to_le_bytes());
+        self.hasher.update(data);
+        self
+    }
+
+    /// Appends a fixed-width digest field.
+    pub fn digest(mut self, d: &Digest) -> Self {
+        self.hasher.update(&d.0);
+        self
+    }
+
+    /// Appends a `u64` field.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.hasher.update(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32` field.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.hasher.update(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f32` field by its IEEE-754 bit pattern.
+    ///
+    /// Impact values and cluster weights are `f32`s computed identically by
+    /// owner and client, so bit-pattern hashing is deterministic.
+    pub fn f32(mut self, v: f32) -> Self {
+        self.hasher.update(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64` field by its bit pattern.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.hasher.update(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Appends a slice of `f32`s (e.g. a splitting hyperplane or cluster
+    /// centroid), length-prefixed.
+    pub fn f32_slice(mut self, vs: &[f32]) -> Self {
+        self.hasher.update(&(vs.len() as u64).to_le_bytes());
+        for v in vs {
+            self.hasher.update(&v.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Finishes and returns the digest.
+    pub fn finish(self) -> Digest {
+        Digest(self.hasher.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_deterministic() {
+        let a = Digest::builder().u64(7).bytes(b"abc").finish();
+        let b = Digest::builder().u64(7).bytes(b"abc").finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn field_framing_disambiguates_concatenation() {
+        let a = Digest::builder().bytes(b"ab").bytes(b"c").finish();
+        let b = Digest::builder().bytes(b"a").bytes(b"bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let a = Digest::builder().u64(1).u64(2).finish();
+        let b = Digest::builder().u64(2).u64(1).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f32_hashing_uses_bit_patterns() {
+        // 0.0 and -0.0 compare equal as floats but have distinct encodings;
+        // the digest must distinguish them to be collision-free.
+        let a = Digest::builder().f32(0.0).finish();
+        let b = Digest::builder().f32(-0.0).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn of_matches_plain_sha3() {
+        assert_eq!(
+            Digest::of(b"abc").0,
+            crate::sha3::Sha3_256::digest(b"abc")
+        );
+    }
+
+    #[test]
+    fn hex_rendering_is_64_chars() {
+        assert_eq!(Digest::of(b"x").to_hex().len(), 64);
+    }
+}

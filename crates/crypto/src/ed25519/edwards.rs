@@ -1,0 +1,299 @@
+//! Points on the twisted Edwards curve `-x^2 + y^2 = 1 + d x^2 y^2` over
+//! GF(2^255 - 19), in extended homogeneous coordinates `(X : Y : Z : T)` with
+//! `x = X/Z`, `y = Y/Z`, `xy = T/Z`.
+//!
+//! Formulas are the `add-2008-hwcd-3` / `dbl-2008-hwcd` ones from the
+//! Explicit Formulas Database, specialized to `a = -1`.
+
+use super::field::FieldElement;
+use super::scalar::Scalar;
+use std::sync::OnceLock;
+
+/// Curve constants derived once at first use (they are fully determined by
+/// the curve equation, so deriving them beats transcribing 5-limb literals).
+struct Constants {
+    d: FieldElement,
+    d2: FieldElement,
+    base: EdwardsPoint,
+}
+
+fn constants() -> &'static Constants {
+    static CACHE: OnceLock<Constants> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        // d = -121665 / 121666.
+        let d = -FieldElement::from_u64(121_665) * FieldElement::from_u64(121_666).invert();
+        let d2 = d + d;
+        // Base point: y = 4/5 with the even (sign bit 0) x coordinate.
+        let y = FieldElement::from_u64(4) * FieldElement::from_u64(5).invert();
+        let mut enc = y.to_bytes();
+        enc[31] &= 0x7f; // sign(x) = 0
+        let base = EdwardsPoint::decompress_with_d(&enc, d).expect("base point decompresses");
+        Constants { d, d2, base }
+    })
+}
+
+/// A curve point in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+impl EdwardsPoint {
+    /// The neutral element (0, 1).
+    pub fn identity() -> Self {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The Ed25519 base point `B`.
+    pub fn base_point() -> Self {
+        constants().base
+    }
+
+    /// Decompresses an RFC 8032 encoded point: 255-bit little-endian `y`
+    /// plus a sign bit for `x`. Returns `None` for invalid encodings.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<Self> {
+        Self::decompress_with_d(bytes, constants().d)
+    }
+
+    fn decompress_with_d(bytes: &[u8; 32], d: FieldElement) -> Option<Self> {
+        let sign = bytes[31] >> 7 == 1;
+        let y = FieldElement::from_bytes(bytes);
+        // Reject non-canonical y (y >= p): re-encoding must reproduce the
+        // input (ignoring the sign bit).
+        let mut canonical = y.to_bytes();
+        canonical[31] |= (sign as u8) << 7;
+        if &canonical != bytes {
+            return None;
+        }
+
+        // x^2 = (y^2 - 1) / (d y^2 + 1) = u / v.
+        let yy = y.square();
+        let u = yy - FieldElement::ONE;
+        let v = d * yy + FieldElement::ONE;
+
+        // Candidate root: x = u v^3 (u v^7)^((p-5)/8).
+        let v3 = v.square() * v;
+        let v7 = v3.square() * v;
+        let mut x = u * v3 * (u * v7).pow_p58();
+
+        let vxx = v * x.square();
+        if vxx == u {
+            // x is already a root.
+        } else if vxx == -u {
+            x = x * FieldElement::sqrt_m1();
+        } else {
+            return None;
+        }
+
+        if x.is_zero() && sign {
+            // "Negative zero" is not a valid encoding.
+            return None;
+        }
+        if x.is_negative() != sign {
+            x = -x;
+        }
+
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x * y,
+        })
+    }
+
+    /// RFC 8032 point compression.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x * zinv;
+        let y = self.y * zinv;
+        let mut out = y.to_bytes();
+        out[31] |= (x.is_negative() as u8) << 7;
+        out
+    }
+
+    /// Point addition (`add-2008-hwcd-3`, a = -1).
+    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let k = constants().d2;
+        let a = (self.y - self.x) * (other.y - other.x);
+        let b = (self.y + self.x) * (other.y + other.x);
+        let c = self.t * k * other.t;
+        let d = (self.z + self.z) * other.z;
+        let e = b - a;
+        let f = d - c;
+        let g = d + c;
+        let h = b + a;
+        EdwardsPoint {
+            x: e * f,
+            y: g * h,
+            z: f * g,
+            t: e * h,
+        }
+    }
+
+    /// Point doubling (`dbl-2008-hwcd`, a = -1).
+    pub fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square() + self.z.square();
+        let d = -a;
+        let e = (self.x + self.y).square() - a - b;
+        let g = d + b;
+        let f = g - c;
+        let h = d - b;
+        EdwardsPoint {
+            x: e * f,
+            y: g * h,
+            z: f * g,
+            t: e * h,
+        }
+    }
+
+    /// Scalar multiplication by double-and-add (variable time; see the module
+    /// docs of [`super::field`] for why that is acceptable here).
+    pub fn mul_scalar(&self, scalar: &Scalar) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if scalar.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplication by a *clamped* 256-bit integer (not reduced mod `l`),
+    /// as RFC 8032 key generation requires.
+    pub fn mul_clamped(&self, bytes: &[u8; 32]) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if (bytes[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Projective equality: `X1 Z2 == X2 Z1` and `Y1 Z2 == Y2 Z1`.
+    pub fn equals(&self, other: &EdwardsPoint) -> bool {
+        self.x * other.z == other.x * self.z && self.y * other.z == other.y * self.z
+    }
+
+    /// `Σ scalars[i] · points[i]` with one shared doubling chain: 256
+    /// doublings total instead of 256 per term, which is what makes batch
+    /// signature verification pay off.
+    ///
+    /// # Panics
+    /// Panics when the slices have different lengths.
+    pub fn multiscalar_mul(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
+        assert_eq!(scalars.len(), points.len(), "one scalar per point");
+        let mut acc = EdwardsPoint::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            for (s, p) in scalars.iter().zip(points) {
+                if s.bit(i) {
+                    acc = acc.add(p);
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trips_through_compression() {
+        let id = EdwardsPoint::identity();
+        let enc = id.compress();
+        let mut expected = [0u8; 32];
+        expected[0] = 1; // y = 1, sign 0
+        assert_eq!(enc, expected);
+        assert!(EdwardsPoint::decompress(&enc)
+            .expect("identity decompresses")
+            .equals(&id));
+    }
+
+    #[test]
+    fn base_point_round_trips() {
+        let b = EdwardsPoint::base_point();
+        let enc = b.compress();
+        // The canonical base point encoding: 0x58 followed by 31 x 0x66.
+        let mut expected = [0x66u8; 32];
+        expected[0] = 0x58;
+        assert_eq!(enc, expected);
+        assert!(EdwardsPoint::decompress(&enc).expect("valid").equals(&b));
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative_on_multiples_of_base() {
+        let b = EdwardsPoint::base_point();
+        let b2 = b.double();
+        let b3a = b2.add(&b);
+        let b3b = b.add(&b2);
+        assert!(b3a.equals(&b3b));
+        let b4a = b3a.add(&b);
+        let b4b = b2.double();
+        assert!(b4a.equals(&b4b));
+    }
+
+    #[test]
+    fn adding_identity_is_a_no_op() {
+        let b = EdwardsPoint::base_point();
+        assert!(b.add(&EdwardsPoint::identity()).equals(&b));
+    }
+
+    #[test]
+    fn scalar_multiplication_matches_repeated_addition() {
+        let b = EdwardsPoint::base_point();
+        let mut acc = EdwardsPoint::identity();
+        for n in 0u64..8 {
+            let s = Scalar::from_bytes_mod_order(&{
+                let mut bytes = [0u8; 32];
+                bytes[0] = n as u8;
+                bytes
+            });
+            assert!(b.mul_scalar(&s).equals(&acc), "n = {n}");
+            acc = acc.add(&b);
+        }
+    }
+
+    #[test]
+    fn multiplying_by_group_order_gives_identity() {
+        use super::super::scalar::L;
+        let mut bytes = [0u8; 32];
+        for (chunk, limb) in bytes.chunks_exact_mut(8).zip(L) {
+            chunk.copy_from_slice(&limb.to_le_bytes());
+        }
+        let b = EdwardsPoint::base_point();
+        assert!(b.mul_clamped(&bytes).equals(&EdwardsPoint::identity()));
+    }
+
+    #[test]
+    fn decompress_rejects_invalid_encodings() {
+        // y = 2 is not on the curve.
+        let mut bad = [0u8; 32];
+        bad[0] = 2;
+        assert!(EdwardsPoint::decompress(&bad).is_none());
+        // Non-canonical y = p.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        assert!(EdwardsPoint::decompress(&p_bytes).is_none());
+        // Negative zero: y = 1 (x = 0) with sign bit set.
+        let mut neg_zero = [0u8; 32];
+        neg_zero[0] = 1;
+        neg_zero[31] = 0x80;
+        assert!(EdwardsPoint::decompress(&neg_zero).is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! Arithmetic in GF(2^255 - 19), the base field of Curve25519.
+//!
+//! Elements are held in five 51-bit limbs (radix 2^51), the classic
+//! representation that lets 64-bit products accumulate in `u128` without
+//! overflow. Functions here are *not* constant-time; this reproduction uses
+//! signatures for integrity only (the signer is the trusted image owner, the
+//! verifier checks public data), so side-channel hardening is out of scope
+//! and documented as such.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+const MASK_51: u64 = (1u64 << 51) - 1;
+
+/// 16·p in radix-2^51 limbs, added before subtraction to keep limbs positive.
+const SIXTEEN_P: [u64; 5] = [
+    36_028_797_018_963_664, // 16 * (2^51 - 19)
+    36_028_797_018_963_952, // 16 * (2^51 - 1)
+    36_028_797_018_963_952,
+    36_028_797_018_963_952,
+    36_028_797_018_963_952,
+];
+
+/// An element of GF(2^255 - 19).
+#[derive(Clone, Copy, Debug)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+impl FieldElement {
+    pub const ZERO: FieldElement = FieldElement([0; 5]);
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Constructs an element from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        let mut fe = FieldElement([0; 5]);
+        fe.0[0] = v & MASK_51;
+        fe.0[1] = v >> 51;
+        fe
+    }
+
+    /// Decodes 32 little-endian bytes, ignoring the top (sign) bit as
+    /// RFC 8032 prescribes for point decompression inputs.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let load = |range: std::ops::Range<usize>| -> u64 {
+            let mut buf = [0u8; 8];
+            buf[..range.len()].copy_from_slice(&bytes[range]);
+            u64::from_le_bytes(buf)
+        };
+        FieldElement([
+            load(0..8) & MASK_51,
+            (load(6..14) >> 3) & MASK_51,
+            (load(12..20) >> 6) & MASK_51,
+            (load(19..27) >> 1) & MASK_51,
+            (load(24..32) >> 12) & ((1u64 << 51) - 1),
+        ])
+    }
+
+    /// Encodes the fully-reduced canonical 32-byte little-endian form.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut h = self.weak_reduce().0;
+        // Compute q = 1 iff h >= p, by simulating the addition of 19 and the
+        // ripple of carries through the limbs.
+        let mut q = (h[0].wrapping_add(19)) >> 51;
+        q = (h[1] + q) >> 51;
+        q = (h[2] + q) >> 51;
+        q = (h[3] + q) >> 51;
+        q = (h[4] + q) >> 51;
+        // h -= q * p, i.e. h += 19q then drop bit 255.
+        h[0] += 19 * q;
+        let mut carry = h[0] >> 51;
+        h[0] &= MASK_51;
+        for limb in h.iter_mut().skip(1) {
+            *limb += carry;
+            carry = *limb >> 51;
+            *limb &= MASK_51;
+        }
+        // carry (bit 255) is discarded: that's the -2^255 part of -q*p.
+
+        let mut out = [0u8; 32];
+        let words = [
+            h[0] | (h[1] << 51),
+            (h[1] >> 13) | (h[2] << 38),
+            (h[2] >> 26) | (h[3] << 25),
+            (h[3] >> 39) | (h[4] << 12),
+        ];
+        for (chunk, w) in out.chunks_exact_mut(8).zip(words) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Carries each limb into the next, leaving limbs below 2^52.
+    fn weak_reduce(self) -> Self {
+        let mut l = self.0;
+        let mut carry = l[4] >> 51;
+        l[4] &= MASK_51;
+        l[0] += carry * 19;
+        for i in 0..4 {
+            carry = l[i] >> 51;
+            l[i] &= MASK_51;
+            l[i + 1] += carry;
+        }
+        carry = l[4] >> 51;
+        l[4] &= MASK_51;
+        l[0] += carry * 19;
+        FieldElement(l)
+    }
+
+    /// Squares the element.
+    pub fn square(self) -> Self {
+        self * self
+    }
+
+    /// Raises to the power encoded little-endian in `exp`.
+    pub fn pow(self, exp: &[u8; 32]) -> Self {
+        let mut result = FieldElement::ONE;
+        // MSB-first square-and-multiply.
+        for byte in exp.iter().rev() {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result * self;
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: `self^(p-2)`.
+    pub fn invert(self) -> Self {
+        // p - 2 = 2^255 - 21.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow(&exp)
+    }
+
+    /// `self^((p-5)/8)`, the exponent used by the Ed25519 square-root step.
+    pub fn pow_p58(self) -> Self {
+        // (p - 5) / 8 = 2^252 - 3.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow(&exp)
+    }
+
+    /// True iff the canonical encoding is all zero.
+    pub fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// The "sign" of a field element per RFC 8032: the low bit of the
+    /// canonical encoding.
+    pub fn is_negative(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// sqrt(-1) = 2^((p-1)/4), computed once on first use.
+    pub fn sqrt_m1() -> Self {
+        use std::sync::OnceLock;
+        static CACHE: OnceLock<[u64; 5]> = OnceLock::new();
+        FieldElement(*CACHE.get_or_init(|| {
+            // (p - 1) / 4 = 2^253 - 5.
+            let mut exp = [0xffu8; 32];
+            exp[0] = 0xfb;
+            exp[31] = 0x1f;
+            FieldElement::from_u64(2).pow(&exp).weak_reduce().0
+        }))
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for FieldElement {}
+
+impl Add for FieldElement {
+    type Output = FieldElement;
+    fn add(self, rhs: FieldElement) -> FieldElement {
+        let mut l = self.0;
+        for (a, b) in l.iter_mut().zip(rhs.0) {
+            *a += b;
+        }
+        FieldElement(l).weak_reduce()
+    }
+}
+
+impl Sub for FieldElement {
+    type Output = FieldElement;
+    fn sub(self, rhs: FieldElement) -> FieldElement {
+        let mut l = self.0;
+        for i in 0..5 {
+            l[i] = l[i] + SIXTEEN_P[i] - rhs.0[i];
+        }
+        FieldElement(l).weak_reduce()
+    }
+}
+
+impl Neg for FieldElement {
+    type Output = FieldElement;
+    fn neg(self) -> FieldElement {
+        FieldElement::ZERO - self
+    }
+}
+
+impl Mul for FieldElement {
+    type Output = FieldElement;
+    fn mul(self, rhs: FieldElement) -> FieldElement {
+        let a = self.weak_reduce().0;
+        let b = rhs.weak_reduce().0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+
+        let r0 = m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let mut r1 = m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let mut r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let mut r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
+        let mut r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        // Carry chain; r4 overflow wraps into r0 with weight 19.
+        let mut out = [0u64; 5];
+        r1 += r0 >> 51;
+        out[0] = (r0 as u64) & MASK_51;
+        r2 += r1 >> 51;
+        out[1] = (r1 as u64) & MASK_51;
+        r3 += r2 >> 51;
+        out[2] = (r2 as u64) & MASK_51;
+        r4 += r3 >> 51;
+        out[3] = (r3 as u64) & MASK_51;
+        let carry = (r4 >> 51) as u64;
+        out[4] = (r4 as u64) & MASK_51;
+        out[0] += carry * 19;
+        let carry = out[0] >> 51;
+        out[0] &= MASK_51;
+        out[1] += carry;
+
+        FieldElement(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> FieldElement {
+        FieldElement::from_u64(v)
+    }
+
+    #[test]
+    fn small_integer_round_trip() {
+        for v in [0u64, 1, 2, 19, 255, 1 << 40, u64::MAX] {
+            let e = fe(v);
+            let b = e.to_bytes();
+            assert_eq!(FieldElement::from_bytes(&b), e);
+        }
+    }
+
+    #[test]
+    fn p_encodes_as_zero() {
+        // p = 2^255 - 19 is congruent to 0.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        // from_bytes masks the high bit but 0x7f has it clear already.
+        let p = FieldElement::from_bytes(&p_bytes);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn addition_and_subtraction_are_inverse() {
+        let a = fe(123_456_789);
+        let b = fe(987_654_321);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a - a, FieldElement::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_small_cases() {
+        assert_eq!(fe(7) * fe(6), fe(42));
+        assert_eq!(fe(1 << 30) * fe(1 << 30), fe(1 << 60));
+    }
+
+    #[test]
+    fn negative_nineteen_wraps() {
+        // -19 == 2^255 - 38 == 2 * (2^254 - 19) ... check via -19 + 19 == 0.
+        let m19 = -fe(19);
+        assert_eq!(m19 + fe(19), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn inversion_is_correct() {
+        for v in [1u64, 2, 3, 19, 123_456_789] {
+            let a = fe(v);
+            assert_eq!(a * a.invert(), FieldElement::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = FieldElement::sqrt_m1();
+        assert_eq!(i.square(), -FieldElement::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = fe(3);
+        let mut exp = [0u8; 32];
+        exp[0] = 13;
+        assert_eq!(a.pow(&exp), fe(1_594_323)); // 3^13
+    }
+
+    #[test]
+    fn sign_bit_follows_low_bit_of_encoding() {
+        assert!(!fe(2).is_negative());
+        assert!(fe(3).is_negative());
+        assert!(!FieldElement::ZERO.is_negative());
+    }
+}

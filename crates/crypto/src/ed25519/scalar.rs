@@ -1,0 +1,229 @@
+//! Arithmetic modulo the Ed25519 group order
+//! `l = 2^252 + 27742317777372353535851937790883648493`.
+//!
+//! Scalars are four little-endian 64-bit limbs. Reduction uses simple
+//! shift-and-subtract long division, which is ample for signature workloads
+//! (a few thousand reductions per experiment).
+
+/// The group order `l` as little-endian 64-bit limbs.
+pub const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+];
+
+/// A scalar in the range `[0, l)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scalar(pub(crate) [u64; 4]);
+
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0, "subtraction must not underflow");
+}
+
+impl Scalar {
+    pub const ZERO: Scalar = Scalar([0; 4]);
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Reduces a 512-bit little-endian integer modulo `l`.
+    ///
+    /// This is how RFC 8032 turns SHA-512 outputs into scalars.
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Self {
+        let mut limbs = [0u64; 8];
+        for (limb, chunk) in limbs.iter_mut().zip(bytes.chunks_exact(8)) {
+            *limb = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Self::reduce_wide(limbs)
+    }
+
+    /// Interprets 32 little-endian bytes, reducing modulo `l`.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Self {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(bytes);
+        Self::from_bytes_wide(&wide)
+    }
+
+    /// Parses a *canonical* scalar: returns `None` when `bytes >= l`.
+    ///
+    /// Verification uses this to reject signature malleability (RFC 8032
+    /// requires `0 <= S < l`).
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        let mut limbs = [0u64; 4];
+        for (limb, chunk) in limbs.iter_mut().zip(bytes.chunks_exact(8)) {
+            *limb = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if geq(&limbs, &L) {
+            None
+        } else {
+            Some(Scalar(limbs))
+        }
+    }
+
+    /// Canonical little-endian encoding.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (chunk, limb) in out.chunks_exact_mut(8).zip(self.0) {
+            chunk.copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// `(self + rhs) mod l`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        let mut limbs = [0u64; 4];
+        let mut carry = 0u64;
+        for (limb, (a, b)) in limbs.iter_mut().zip(self.0.iter().zip(&rhs.0)) {
+            let (s1, c1) = a.overflowing_add(*b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        debug_assert_eq!(carry, 0, "both inputs < l < 2^253, no overflow");
+        if geq(&limbs, &L) {
+            sub_in_place(&mut limbs, &L);
+        }
+        Scalar(limbs)
+    }
+
+    /// `(self * rhs) mod l`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let acc =
+                    wide[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                wide[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            wide[i + 4] = carry as u64;
+        }
+        Self::reduce_wide(wide)
+    }
+
+    /// Reduces eight little-endian limbs (512 bits) modulo `l` by binary long
+    /// division: fold one bit at a time from the most significant end.
+    fn reduce_wide(limbs: [u64; 8]) -> Scalar {
+        let mut r = [0u64; 4];
+        for i in (0..8).rev() {
+            for bit in (0..64).rev() {
+                // r = 2r + bit.
+                let mut carry = (limbs[i] >> bit) & 1;
+                for limb in r.iter_mut() {
+                    let shifted = (*limb << 1) | carry;
+                    carry = *limb >> 63;
+                    *limb = shifted;
+                }
+                debug_assert_eq!(carry, 0, "r < l keeps bit 255 clear");
+                if geq(&r, &L) {
+                    sub_in_place(&mut r, &L);
+                }
+            }
+        }
+        Scalar(r)
+    }
+
+    /// True for the zero scalar.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0u64; 4]
+    }
+
+    /// Returns the `i`-th bit (little-endian) of the scalar.
+    pub fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_u64(v: u64) -> Scalar {
+        Scalar([v, 0, 0, 0])
+    }
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let mut bytes = [0u8; 32];
+        for (chunk, limb) in bytes.chunks_exact_mut(8).zip(L) {
+            chunk.copy_from_slice(&limb.to_le_bytes());
+        }
+        assert!(Scalar::from_bytes_mod_order(&bytes).is_zero());
+        assert!(Scalar::from_canonical_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn l_minus_one_is_canonical() {
+        let mut limbs = L;
+        limbs[0] -= 1;
+        let mut bytes = [0u8; 32];
+        for (chunk, limb) in bytes.chunks_exact_mut(8).zip(limbs) {
+            chunk.copy_from_slice(&limb.to_le_bytes());
+        }
+        let s = Scalar::from_canonical_bytes(&bytes).expect("l-1 is canonical");
+        assert_eq!(s.add(Scalar::ONE), Scalar::ZERO);
+    }
+
+    #[test]
+    fn small_multiplication() {
+        assert_eq!(from_u64(6).mul(from_u64(7)), from_u64(42));
+    }
+
+    #[test]
+    fn wide_reduction_matches_modular_identity() {
+        // (2^256) mod l computed two ways: via from_bytes_wide and via
+        // repeated doubling of 1.
+        let mut wide = [0u8; 64];
+        wide[32] = 1; // 2^256
+        let direct = Scalar::from_bytes_wide(&wide);
+        let mut doubled = Scalar::ONE;
+        for _ in 0..256 {
+            doubled = doubled.add(doubled);
+        }
+        assert_eq!(direct, doubled);
+    }
+
+    #[test]
+    fn addition_wraps_mod_l() {
+        let mut l_minus_2 = L;
+        l_minus_2[0] -= 2;
+        let a = Scalar(l_minus_2);
+        assert_eq!(a.add(from_u64(5)), from_u64(3));
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let a = Scalar::from_bytes_mod_order(&[7u8; 32]);
+        let b = Scalar::from_bytes_mod_order(&[13u8; 32]);
+        let c = Scalar::from_bytes_mod_order(&[42u8; 32]);
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn bit_accessor_matches_encoding() {
+        let s = from_u64(0b1011);
+        assert!(s.bit(0));
+        assert!(s.bit(1));
+        assert!(!s.bit(2));
+        assert!(s.bit(3));
+        assert!(!s.bit(200));
+    }
+}

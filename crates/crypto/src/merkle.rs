@@ -1,0 +1,431 @@
+//! A generic binary Merkle hash tree (Merkle, CRYPTO '89; paper §II-B,
+//! Fig. 1) with membership proofs.
+//!
+//! ImageProof embeds an MH-tree over the *dimensions* of each cluster
+//! centroid for the §VI-A candidate-compression optimization: the SP reveals
+//! only enough dimensions to prove a distance bound, and the client checks
+//! the revealed dimensions against the per-cluster MH-tree root that the
+//! MRKD-tree leaf digest commits to.
+
+use crate::digest::Digest;
+
+/// Domain-separation tags so a leaf digest can never be confused with an
+/// internal-node digest (a classic second-preimage pitfall in Merkle trees).
+const LEAF_TAG: u8 = 0x00;
+const NODE_TAG: u8 = 0x01;
+
+fn leaf_digest(data: &[u8]) -> Digest {
+    Digest::builder().bytes(&[LEAF_TAG]).bytes(data).finish()
+}
+
+fn node_digest(left: &Digest, right: &Digest) -> Digest {
+    Digest::builder()
+        .bytes(&[NODE_TAG])
+        .digest(left)
+        .digest(right)
+        .finish()
+}
+
+/// A complete binary Merkle tree over an ordered sequence of leaves.
+///
+/// Odd nodes at each level are promoted unchanged (no duplication), so the
+/// tree is uniquely determined by the leaf sequence.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf digests, last level = `[root]`.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// One step of a Merkle authentication path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PathStep {
+    /// The sibling digest to combine with.
+    pub sibling: Digest,
+    /// True if the sibling sits to the left of the running digest.
+    pub sibling_is_left: bool,
+}
+
+/// A membership proof for one leaf.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MerkleProof {
+    pub leaf_index: usize,
+    pub path: Vec<PathStep>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over pre-hashed leaf values.
+    ///
+    /// # Panics
+    /// Panics if `leaves` is empty: an empty authenticated set has no root.
+    pub fn from_leaf_data<D: AsRef<[u8]>>(leaves: &[D]) -> Self {
+        let digests: Vec<Digest> = leaves.iter().map(|d| leaf_digest(d.as_ref())).collect();
+        Self::from_leaf_digests(digests)
+    }
+
+    /// Builds a tree when leaf digests are computed externally.
+    pub fn from_leaf_digests(leaves: Vec<Digest>) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = vec![leaves];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                match pair {
+                    [l, r] => next.push(node_digest(l, r)),
+                    [only] => next.push(*only),
+                    _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True when the tree has exactly one leaf.
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects empty leaf sets
+    }
+
+    /// Produces the authentication path for `leaf_index`.
+    ///
+    /// # Panics
+    /// Panics when `leaf_index` is out of range.
+    pub fn prove(&self, leaf_index: usize) -> MerkleProof {
+        assert!(leaf_index < self.len(), "leaf index out of range");
+        let mut path = Vec::new();
+        let mut idx = leaf_index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            if sibling_idx < level.len() {
+                path.push(PathStep {
+                    sibling: level[sibling_idx],
+                    sibling_is_left: sibling_idx < idx,
+                });
+            }
+            // When the sibling does not exist the node was promoted: no step.
+            idx /= 2;
+        }
+        MerkleProof { leaf_index, path }
+    }
+}
+
+impl MerkleProof {
+    /// Recomputes the root from raw leaf data and compares with `root`.
+    pub fn verify_data(&self, leaf_data: &[u8], root: &Digest) -> bool {
+        self.verify_digest(leaf_digest(leaf_data), root)
+    }
+
+    /// Recomputes the root from a pre-computed leaf digest.
+    pub fn verify_digest(&self, leaf: Digest, root: &Digest) -> bool {
+        let mut acc = leaf;
+        for step in &self.path {
+            acc = if step.sibling_is_left {
+                node_digest(&step.sibling, &acc)
+            } else {
+                node_digest(&acc, &step.sibling)
+            };
+        }
+        acc == *root
+    }
+}
+
+/// Hashes raw leaf data exactly as the tree does; exposed so other crates can
+/// build leaf digests without constructing a tree.
+pub fn hash_leaf(data: &[u8]) -> Digest {
+    leaf_digest(data)
+}
+
+/// A batched membership proof for a *subset* of leaves.
+///
+/// Sibling digests shared between the individual authentication paths are
+/// included once, so proving `k` of `n` leaves costs about
+/// `k log2(n/k)` digests instead of `k log2(n)`. ImageProof's §VI-A
+/// optimization reveals a handful of a cluster centroid's dimensions and
+/// proves them jointly against the per-cluster dimension tree.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SubsetProof {
+    /// Total number of leaves in the tree (fixes the tree shape).
+    pub n_leaves: u32,
+    /// Digests of the maximal subtrees containing no revealed leaf, in
+    /// deterministic post-order traversal order.
+    pub fill: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Produces a batched proof for the (sorted, deduplicated) leaf indices.
+    ///
+    /// # Panics
+    /// Panics when `indices` is empty, unsorted, or out of range.
+    pub fn prove_subset(&self, indices: &[usize]) -> SubsetProof {
+        assert!(!indices.is_empty(), "subset proof needs at least one leaf");
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        assert!(*indices.last().expect("non-empty") < self.len());
+
+        let mut fill = Vec::new();
+        // Walk levels bottom-up. At each level, a node is "covered" when its
+        // subtree contains a revealed leaf. Uncovered siblings of covered
+        // nodes contribute their digest to the fill, in (level, index) order.
+        let mut covered: Vec<usize> = indices.to_vec();
+        for level in &self.levels[..self.levels.len() - 1] {
+            let mut next = Vec::new();
+            let mut i = 0;
+            while i < covered.len() {
+                let idx = covered[i];
+                let sib = idx ^ 1;
+                let pair_covered = i + 1 < covered.len() && covered[i + 1] == sib;
+                if sib < level.len() && !pair_covered {
+                    fill.push(level[sib]);
+                }
+                next.push(idx / 2);
+                i += if pair_covered { 2 } else { 1 };
+            }
+            covered = next;
+        }
+        SubsetProof {
+            n_leaves: self.len() as u32,
+            fill,
+        }
+    }
+}
+
+impl SubsetProof {
+    /// Recomputes the root from `(leaf_index, leaf_digest)` pairs (strictly
+    /// increasing by index) and compares with `root`. Returns `false` on any
+    /// structural mismatch.
+    pub fn verify_digests(&self, revealed: &[(usize, Digest)], root: &Digest) -> bool {
+        if revealed.is_empty()
+            || !revealed.windows(2).all(|w| w[0].0 < w[1].0)
+            || revealed.last().map(|&(i, _)| i >= self.n_leaves as usize) != Some(false)
+        {
+            return false;
+        }
+        // Reconstruct level sizes exactly as construction produced them.
+        let mut level_sizes = vec![self.n_leaves as usize];
+        while *level_sizes.last().expect("non-empty") > 1 {
+            let last = *level_sizes.last().expect("non-empty");
+            level_sizes.push(last.div_ceil(2));
+        }
+
+        let mut fill_iter = self.fill.iter();
+        let mut covered: Vec<(usize, Digest)> = revealed.to_vec();
+        for &size in &level_sizes[..level_sizes.len() - 1] {
+            let mut next = Vec::with_capacity(covered.len());
+            let mut i = 0;
+            while i < covered.len() {
+                let (idx, digest) = covered[i];
+                let sib = idx ^ 1;
+                let pair = if i + 1 < covered.len() && covered[i + 1].0 == sib {
+                    let (_, sib_digest) = covered[i + 1];
+                    i += 2;
+                    Some((digest, sib_digest))
+                } else if sib < size {
+                    let Some(&sib_digest) = fill_iter.next() else {
+                        return false;
+                    };
+                    i += 1;
+                    if sib < idx {
+                        Some((sib_digest, digest))
+                    } else {
+                        Some((digest, sib_digest))
+                    }
+                } else {
+                    i += 1;
+                    None // promoted odd node
+                };
+                let parent = match pair {
+                    Some((l, r)) => node_digest(&l, &r),
+                    None => digest,
+                };
+                next.push((idx / 2, parent));
+            }
+            covered = next;
+        }
+        fill_iter.next().is_none() && covered.len() == 1 && covered[0].1 == *root
+    }
+
+    /// Convenience: verify from raw leaf data.
+    pub fn verify_data(&self, revealed: &[(usize, &[u8])], root: &Digest) -> bool {
+        let digests: Vec<(usize, Digest)> = revealed
+            .iter()
+            .map(|&(i, d)| (i, leaf_digest(d)))
+            .collect();
+        self.verify_digests(&digests, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_the_leaf_digest() {
+        let tree = MerkleTree::from_leaf_data(&leaves(1));
+        assert_eq!(tree.root(), leaf_digest(b"leaf-0"));
+    }
+
+    #[test]
+    fn every_leaf_proof_verifies_for_many_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let data = leaves(n);
+            let tree = MerkleTree::from_leaf_data(&data);
+            let root = tree.root();
+            for (i, leaf) in data.iter().enumerate() {
+                let proof = tree.prove(i);
+                assert!(proof.verify_data(leaf, &root), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf_data() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let proof = tree.prove(3);
+        assert!(!proof.verify_data(b"tampered", &tree.root()));
+    }
+
+    #[test]
+    fn proof_fails_against_wrong_root() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let other = MerkleTree::from_leaf_data(&leaves(9));
+        let proof = tree.prove(3);
+        assert!(!proof.verify_data(&data[3], &other.root()));
+    }
+
+    #[test]
+    fn proof_for_one_position_rejects_data_of_another() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let proof = tree.prove(2);
+        assert!(!proof.verify_data(&data[5], &tree.root()));
+    }
+
+    #[test]
+    fn changing_any_leaf_changes_the_root() {
+        let data = leaves(10);
+        let base = MerkleTree::from_leaf_data(&data).root();
+        for i in 0..10 {
+            let mut tampered = data.clone();
+            tampered[i].push(b'!');
+            assert_ne!(MerkleTree::from_leaf_data(&tampered).root(), base, "i={i}");
+        }
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A two-leaf tree's root must differ from hashing the concatenated
+        // digests as a leaf.
+        let tree = MerkleTree::from_leaf_data(&leaves(2));
+        let l0 = leaf_digest(b"leaf-0");
+        let l1 = leaf_digest(b"leaf-1");
+        let mut concat = Vec::new();
+        concat.extend_from_slice(&l0.0);
+        concat.extend_from_slice(&l1.0);
+        assert_ne!(tree.root(), leaf_digest(&concat));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_tree_is_rejected() {
+        let empty: Vec<Vec<u8>> = Vec::new();
+        let _ = MerkleTree::from_leaf_data(&empty);
+    }
+
+    #[test]
+    fn subset_proofs_verify_for_many_shapes() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 31] {
+            let data = leaves(n);
+            let tree = MerkleTree::from_leaf_data(&data);
+            let root = tree.root();
+            // Try several subset patterns.
+            let subsets: Vec<Vec<usize>> = vec![
+                vec![0],
+                vec![n - 1],
+                (0..n).collect(),
+                (0..n).step_by(2).collect(),
+                (0..n).filter(|i| i % 3 == 1).collect(),
+            ];
+            for subset in subsets.into_iter().filter(|s| !s.is_empty()) {
+                let proof = tree.prove_subset(&subset);
+                let revealed: Vec<(usize, &[u8])> =
+                    subset.iter().map(|&i| (i, data[i].as_slice())).collect();
+                assert!(
+                    proof.verify_data(&revealed, &root),
+                    "n={n} subset={subset:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_proof_rejects_tampered_leaf() {
+        let data = leaves(16);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let proof = tree.prove_subset(&[2, 7, 11]);
+        let mut revealed: Vec<(usize, &[u8])> =
+            [2usize, 7, 11].iter().map(|&i| (i, data[i].as_slice())).collect();
+        revealed[1].1 = b"forged";
+        assert!(!proof.verify_data(&revealed, &tree.root()));
+    }
+
+    #[test]
+    fn subset_proof_rejects_wrong_indices() {
+        let data = leaves(16);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let proof = tree.prove_subset(&[2, 7]);
+        // Same data presented at shifted positions.
+        let revealed: Vec<(usize, &[u8])> = vec![(3, data[2].as_slice()), (8, data[7].as_slice())];
+        assert!(!proof.verify_data(&revealed, &tree.root()));
+        // Out-of-range index.
+        let revealed: Vec<(usize, &[u8])> = vec![(2, data[2].as_slice()), (99, data[7].as_slice())];
+        assert!(!proof.verify_data(&revealed, &tree.root()));
+        // Unsorted.
+        let revealed: Vec<(usize, &[u8])> = vec![(7, data[7].as_slice()), (2, data[2].as_slice())];
+        assert!(!proof.verify_data(&revealed, &tree.root()));
+    }
+
+    #[test]
+    fn subset_proof_rejects_missing_or_extra_fill() {
+        let data = leaves(16);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let mut proof = tree.prove_subset(&[4]);
+        let revealed: Vec<(usize, &[u8])> = vec![(4, data[4].as_slice())];
+        let dropped = proof.fill.pop().expect("non-empty fill");
+        assert!(!proof.verify_data(&revealed, &tree.root()));
+        proof.fill.push(dropped);
+        proof.fill.push(Digest::of(b"extra"));
+        assert!(!proof.verify_data(&revealed, &tree.root()));
+    }
+
+    #[test]
+    fn subset_proof_is_smaller_than_individual_proofs() {
+        let data = leaves(64);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let subset: Vec<usize> = (0..16).collect();
+        let batched = tree.prove_subset(&subset);
+        let individual: usize = subset.iter().map(|&i| tree.prove(i).path.len()).sum();
+        assert!(
+            batched.fill.len() < individual,
+            "batched {} >= individual {individual}",
+            batched.fill.len()
+        );
+    }
+}

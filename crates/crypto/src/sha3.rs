@@ -1,0 +1,278 @@
+//! SHA3-256 as specified by FIPS-202, built on the Keccak-f\[1600\] permutation.
+//!
+//! ImageProof uses SHA3-256 as the cryptographic hash function `h(.)` for all
+//! authenticated-data-structure digests (the paper fixes SHA3-256 in §VII-A).
+//! The implementation is a straightforward sponge construction with rate
+//! 1088 bits (136 bytes) and the `01` SHA-3 domain-separation suffix.
+
+/// Keccak round constants for the 24 rounds of Keccak-f[1600].
+const ROUND_CONSTANTS: [u64; 24] = [
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_8082,
+    0x8000_0000_0000_808a,
+    0x8000_0000_8000_8000,
+    0x0000_0000_0000_808b,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8009,
+    0x0000_0000_0000_008a,
+    0x0000_0000_0000_0088,
+    0x0000_0000_8000_8009,
+    0x0000_0000_8000_000a,
+    0x0000_0000_8000_808b,
+    0x8000_0000_0000_008b,
+    0x8000_0000_0000_8089,
+    0x8000_0000_0000_8003,
+    0x8000_0000_0000_8002,
+    0x8000_0000_0000_0080,
+    0x0000_0000_0000_800a,
+    0x8000_0000_8000_000a,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8080,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8008,
+];
+
+/// Rotation offsets for the rho step, indexed as `[x + 5*y]`.
+const RHO_OFFSETS: [u32; 25] = [
+    0, 1, 62, 28, 27, // y = 0
+    36, 44, 6, 55, 20, // y = 1
+    3, 10, 43, 25, 39, // y = 2
+    41, 45, 15, 21, 8, // y = 3
+    18, 2, 61, 56, 14, // y = 4
+];
+
+/// The Keccak-f\[1600\] permutation applied in place to a 25-lane state.
+///
+/// Exposed for property tests; library users should go through [`Sha3_256`].
+pub fn keccak_f1600(state: &mut [u64; 25]) {
+    for &rc in &ROUND_CONSTANTS {
+        // Theta.
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x + 5 * y] ^= d[x];
+            }
+        }
+
+        // Rho and Pi combined: b[y, 2x+3y] = rotl(a[x, y], r[x, y]).
+        let mut b = [0u64; 25];
+        for x in 0..5 {
+            for y in 0..5 {
+                let idx = x + 5 * y;
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = state[idx].rotate_left(RHO_OFFSETS[idx]);
+            }
+        }
+
+        // Chi.
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x + 5 * y] =
+                    b[x + 5 * y] ^ ((!b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+
+        // Iota.
+        state[0] ^= rc;
+    }
+}
+
+/// Rate of SHA3-256 in bytes (1088 bits).
+const RATE: usize = 136;
+
+/// Incremental SHA3-256 hasher.
+///
+/// ```
+/// use imageproof_crypto::sha3::Sha3_256;
+/// let mut h = Sha3_256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(
+///     digest[..4],
+///     [0x3a, 0x98, 0x5d, 0xa7],
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha3_256 {
+    state: [u64; 25],
+    /// Bytes absorbed into the current (incomplete) rate block.
+    buffer: [u8; RATE],
+    buffered: usize,
+}
+
+impl Default for Sha3_256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha3_256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: [0u64; 25],
+            buffer: [0u8; RATE],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs `data` into the sponge.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut input = data;
+        // Top up a partial block first.
+        if self.buffered > 0 {
+            let take = (RATE - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == RATE {
+                let block = self.buffer;
+                self.absorb_block(&block);
+                self.buffered = 0;
+            }
+        }
+        while input.len() >= RATE {
+            let (block, rest) = input.split_at(RATE);
+            let mut tmp = [0u8; RATE];
+            tmp.copy_from_slice(block);
+            self.absorb_block(&tmp);
+            input = rest;
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    fn absorb_block(&mut self, block: &[u8; RATE]) {
+        for (lane, chunk) in self.state.iter_mut().zip(block.chunks_exact(8)) {
+            *lane ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        keccak_f1600(&mut self.state);
+    }
+
+    /// Applies SHA-3 padding and squeezes the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let mut block = [0u8; RATE];
+        block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
+        // SHA-3 domain suffix `01` followed by pad10*1.
+        block[self.buffered] = 0x06;
+        block[RATE - 1] |= 0x80;
+        self.absorb_block(&block);
+
+        let mut out = [0u8; 32];
+        for (chunk, lane) in out.chunks_exact_mut(8).zip(self.state.iter()) {
+            chunk.copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience: `Sha3_256::digest(m) == {new; update(m); finalize}`.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_message_matches_fips_vector() {
+        assert_eq!(
+            hex(&Sha3_256::digest(b"")),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        );
+    }
+
+    #[test]
+    fn abc_matches_fips_vector() {
+        assert_eq!(
+            hex(&Sha3_256::digest(b"abc")),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        );
+    }
+
+    #[test]
+    fn long_message_matches_known_vector() {
+        // 448-bit NIST test message.
+        let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        assert_eq!(
+            hex(&Sha3_256::digest(msg)),
+            "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376"
+        );
+    }
+
+    #[test]
+    fn million_a_matches_known_vector() {
+        let mut h = Sha3_256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "5c8875ae474a3634ba4fd55ec85bffd661f32aca75c6d699d0cdcb6c115891c1"
+        );
+    }
+
+    #[test]
+    fn rate_boundary_messages_round_trip_incrementally() {
+        // Hash messages whose lengths straddle the 136-byte rate both in one
+        // shot and byte-by-byte; the results must agree.
+        for len in [0usize, 1, 135, 136, 137, 271, 272, 273, 500] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let oneshot = Sha3_256::digest(&msg);
+            let mut inc = Sha3_256::new();
+            for b in &msg {
+                inc.update(std::slice::from_ref(b));
+            }
+            assert_eq!(oneshot, inc.finalize(), "length {len}");
+        }
+    }
+
+    #[test]
+    fn chunked_updates_are_split_invariant() {
+        let msg: Vec<u8> = (0..1024u32).map(|i| (i % 256) as u8).collect();
+        let oneshot = Sha3_256::digest(&msg);
+        for split in [1usize, 7, 64, 135, 136, 137, 512] {
+            let mut h = Sha3_256::new();
+            for chunk in msg.chunks(split) {
+                h.update(chunk);
+            }
+            assert_eq!(oneshot, h.finalize(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn keccak_permutation_is_not_identity_and_is_deterministic() {
+        // The FIPS vectors above pin down the permutation exactly; this test
+        // guards the in-place API contract (deterministic, state-mutating).
+        let mut a = [0u64; 25];
+        let mut b = [0u64; 25];
+        keccak_f1600(&mut a);
+        keccak_f1600(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, [0u64; 25]);
+    }
+
+    #[test]
+    fn distinct_messages_produce_distinct_digests() {
+        let a = Sha3_256::digest(b"imageproof");
+        let b = Sha3_256::digest(b"imageprooF");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,307 @@
+//! SHA-512 as specified by FIPS-180-4.
+//!
+//! SHA-512 is a substrate for the Ed25519 signature scheme (RFC 8032 uses it
+//! to derive nonces and challenge scalars); it is not used for ADS digests,
+//! which are SHA3-256 (see [`crate::sha3`]).
+
+/// SHA-512 round constants: the first 64 bits of the fractional parts of the
+/// cube roots of the first 80 primes.
+const K: [u64; 80] = [
+    0x428a2f98d728ae22,
+    0x7137449123ef65cd,
+    0xb5c0fbcfec4d3b2f,
+    0xe9b5dba58189dbbc,
+    0x3956c25bf348b538,
+    0x59f111f1b605d019,
+    0x923f82a4af194f9b,
+    0xab1c5ed5da6d8118,
+    0xd807aa98a3030242,
+    0x12835b0145706fbe,
+    0x243185be4ee4b28c,
+    0x550c7dc3d5ffb4e2,
+    0x72be5d74f27b896f,
+    0x80deb1fe3b1696b1,
+    0x9bdc06a725c71235,
+    0xc19bf174cf692694,
+    0xe49b69c19ef14ad2,
+    0xefbe4786384f25e3,
+    0x0fc19dc68b8cd5b5,
+    0x240ca1cc77ac9c65,
+    0x2de92c6f592b0275,
+    0x4a7484aa6ea6e483,
+    0x5cb0a9dcbd41fbd4,
+    0x76f988da831153b5,
+    0x983e5152ee66dfab,
+    0xa831c66d2db43210,
+    0xb00327c898fb213f,
+    0xbf597fc7beef0ee4,
+    0xc6e00bf33da88fc2,
+    0xd5a79147930aa725,
+    0x06ca6351e003826f,
+    0x142929670a0e6e70,
+    0x27b70a8546d22ffc,
+    0x2e1b21385c26c926,
+    0x4d2c6dfc5ac42aed,
+    0x53380d139d95b3df,
+    0x650a73548baf63de,
+    0x766a0abb3c77b2a8,
+    0x81c2c92e47edaee6,
+    0x92722c851482353b,
+    0xa2bfe8a14cf10364,
+    0xa81a664bbc423001,
+    0xc24b8b70d0f89791,
+    0xc76c51a30654be30,
+    0xd192e819d6ef5218,
+    0xd69906245565a910,
+    0xf40e35855771202a,
+    0x106aa07032bbd1b8,
+    0x19a4c116b8d2d0c8,
+    0x1e376c085141ab53,
+    0x2748774cdf8eeb99,
+    0x34b0bcb5e19b48a8,
+    0x391c0cb3c5c95a63,
+    0x4ed8aa4ae3418acb,
+    0x5b9cca4f7763e373,
+    0x682e6ff3d6b2b8a3,
+    0x748f82ee5defb2fc,
+    0x78a5636f43172f60,
+    0x84c87814a1f0ab72,
+    0x8cc702081a6439ec,
+    0x90befffa23631e28,
+    0xa4506cebde82bde9,
+    0xbef9a3f7b2c67915,
+    0xc67178f2e372532b,
+    0xca273eceea26619c,
+    0xd186b8c721c0c207,
+    0xeada7dd6cde0eb1e,
+    0xf57d4f7fee6ed178,
+    0x06f067aa72176fba,
+    0x0a637dc5a2c898a6,
+    0x113f9804bef90dae,
+    0x1b710b35131c471b,
+    0x28db77f523047d84,
+    0x32caab7b40c72493,
+    0x3c9ebe0a15c9bebc,
+    0x431d67c49c100d4c,
+    0x4cc5d4becb3e42b6,
+    0x597f299cfc657e2a,
+    0x5fcb6fab3ad6faec,
+    0x6c44198c4a475817,
+];
+
+const INITIAL_STATE: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
+/// Incremental SHA-512 hasher.
+#[derive(Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buffer: [u8; 128],
+    buffered: usize,
+    /// Total message length in bytes (FIPS-180-4 allows 2^128 bits; a u128
+    /// byte counter covers every realistic input).
+    length: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: INITIAL_STATE,
+            buffer: [0u8; 128],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length += data.len() as u128;
+        let mut input = data;
+        if self.buffered > 0 {
+            let take = (128 - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 128 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while input.len() >= 128 {
+            let (block, rest) = input.split_at(128);
+            let mut tmp = [0u8; 128];
+            tmp.copy_from_slice(block);
+            self.compress(&tmp);
+            input = rest;
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 128]) {
+        let mut w = [0u64; 80];
+        for (i, chunk) in block.chunks_exact(8).enumerate() {
+            w[i] = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        for t in 16..80 {
+            let s0 = w[t - 15].rotate_right(1) ^ w[t - 15].rotate_right(8) ^ (w[t - 15] >> 7);
+            let s1 = w[t - 2].rotate_right(19) ^ w[t - 2].rotate_right(61) ^ (w[t - 2] >> 6);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..80 {
+            let big_s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let big_s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+
+    /// Pads and produces the 64-byte digest.
+    pub fn finalize(mut self) -> [u8; 64] {
+        let bit_len = self.length * 8;
+        // Append 0x80, zeros, then the 128-bit big-endian bit length.
+        self.update(&[0x80]);
+        // After the 0x80 byte, `buffered` is in [1, 128]; pad zeros so that
+        // exactly 16 bytes remain in the final block.
+        let zeros = if self.buffered <= 112 {
+            112 - self.buffered
+        } else {
+            128 - self.buffered + 112
+        };
+        const ZERO: [u8; 128] = [0u8; 128];
+        // Don't let the zero padding perturb the recorded message length.
+        let saved = self.length;
+        self.update(&ZERO[..zeros]);
+        self.update(&bit_len.to_be_bytes());
+        self.length = saved;
+        debug_assert_eq!(self.buffered, 0, "padding must complete a block");
+
+        let mut out = [0u8; 64];
+        for (chunk, word) in out.chunks_exact_mut(8).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> [u8; 64] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_message_matches_fips_vector() {
+        assert_eq!(
+            hex(&Sha512::digest(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+                .replace(' ', "")
+        );
+    }
+
+    #[test]
+    fn abc_matches_fips_vector() {
+        assert_eq!(
+            hex(&Sha512::digest(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+                .replace(' ', "")
+        );
+    }
+
+    #[test]
+    fn two_block_message_matches_fips_vector() {
+        let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        assert_eq!(
+            hex(&Sha512::digest(msg)),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018\
+             501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+                .replace(' ', "")
+        );
+    }
+
+    #[test]
+    fn padding_boundaries_are_split_invariant() {
+        for len in [0usize, 1, 110, 111, 112, 113, 127, 128, 129, 240, 256] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
+            let oneshot = Sha512::digest(&msg);
+            let mut inc = Sha512::new();
+            for chunk in msg.chunks(13) {
+                inc.update(chunk);
+            }
+            assert_eq!(oneshot, inc.finalize(), "length {len}");
+        }
+    }
+
+    #[test]
+    fn million_a_matches_known_vector() {
+        let mut h = Sha512::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb\
+             de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b"
+                .replace(' ', "")
+        );
+    }
+}

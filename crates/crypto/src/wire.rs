@@ -1,0 +1,329 @@
+//! A minimal binary wire format for verification objects.
+//!
+//! The paper reports *VO size* as a headline metric (Figs. 6–8, 12–14), so
+//! VOs must have a concrete, compact byte encoding rather than an in-memory
+//! estimate. This module provides an explicit little-endian writer/reader
+//! pair; every VO type implements [`Encode`]/[`Decode`] against it, and the
+//! encoded length is the reported VO size.
+//!
+//! The format is deliberately simple: fixed-width integers, IEEE-754 floats
+//! by bit pattern, `u32` length prefixes for sequences. Decoding is fully
+//! validated — a malformed VO yields [`WireError`], never a panic — because
+//! VOs arrive from the untrusted SP.
+
+use crate::digest::Digest;
+
+/// Decoding error: the byte stream did not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than required remained.
+    UnexpectedEnd,
+    /// A tag byte had no corresponding variant.
+    InvalidTag(u8),
+    /// A length prefix exceeded sane bounds.
+    LengthOverflow,
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "unexpected end of VO bytes"),
+            WireError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            WireError::LengthOverflow => write!(f, "length prefix exceeds stream size"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after VO"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn digest(&mut self, d: &Digest) {
+        self.buf.extend_from_slice(&d.0);
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self, data: &[u8]) {
+        self.u32(data.len() as u32);
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Length prefix for a sequence the caller will then encode item-wise.
+    pub fn seq_len(&mut self, len: usize) {
+        self.u32(len as u32);
+    }
+
+    /// LEB128 variable-length unsigned integer — the compact-integer
+    /// representation the paper's §VI-B compression techniques call for
+    /// (small frequency counts and d-gaps fit in one byte).
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Byte reader over a borrowed slice.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.data.len() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn digest(&mut self) -> Result<Digest, WireError> {
+        Ok(Digest(self.take(32)?.try_into().expect("32")))
+    }
+
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.seq_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a sequence length, bounding it by the remaining stream so a
+    /// hostile prefix cannot trigger huge allocations.
+    pub fn seq_len(&mut self) -> Result<usize, WireError> {
+        let len = self.u32()? as usize;
+        let remaining = self.data.len() - self.pos;
+        // Every sequence element occupies at least one byte, so any honest
+        // length fits in the remaining stream.
+        if len > remaining {
+            return Err(WireError::LengthOverflow);
+        }
+        Ok(len)
+    }
+
+    /// Reads a LEB128 varint (at most ten bytes for a `u64`).
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(WireError::LengthOverflow);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Asserts the stream is fully consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+/// Types with a canonical wire encoding.
+pub trait Encode {
+    fn encode(&self, w: &mut Writer);
+
+    /// Serializes to a fresh byte vector.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Exact size in bytes of the canonical encoding — the "VO size" metric.
+    fn wire_size(&self) -> usize {
+        // Simple and always correct; hot paths may override.
+        self.to_wire().len()
+    }
+}
+
+/// Types decodable from the wire encoding.
+pub trait Decode: Sized {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Parses a complete byte string (rejecting trailing bytes).
+    fn from_wire(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.f32(-1.5);
+        w.digest(&Digest::of(b"x"));
+        w.bytes(b"hello");
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f32().unwrap(), -1.5);
+        assert_eq!(r.digest().unwrap(), Digest::of(b"x"));
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..4]);
+        assert_eq!(r.u64(), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // claims 4 GiB of payload
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.seq_len(), Err(WireError::LengthOverflow));
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let buf = vec![0u8; 3];
+        let mut r = Reader::new(&buf);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn varint_round_trips_across_widths() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut w = Writer::new();
+        for &v in &values {
+            w.varint(v);
+        }
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn varint_small_values_take_one_byte() {
+        let mut w = Writer::new();
+        w.varint(5);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn varint_rejects_overlong_encoding() {
+        // Eleven continuation bytes exceed a u64.
+        let buf = [0xffu8; 11];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.varint(), Err(WireError::LengthOverflow));
+    }
+
+    #[test]
+    fn nan_f32_round_trips_by_bits() {
+        let mut w = Writer::new();
+        w.f32(f32::NAN);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert!(r.f32().unwrap().is_nan());
+    }
+}

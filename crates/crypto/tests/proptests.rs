@@ -1,0 +1,108 @@
+//! Property-based tests for the cryptographic substrate.
+
+use imageproof_crypto::merkle::MerkleTree;
+use imageproof_crypto::sha3::Sha3_256;
+use imageproof_crypto::sha512::Sha512;
+use imageproof_crypto::wire::{Reader, Writer};
+use imageproof_crypto::SigningKey;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hashing is invariant under arbitrary chunk boundaries.
+    #[test]
+    fn sha3_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..600),
+                                splits in proptest::collection::vec(1usize..64, 0..8)) {
+        let oneshot = Sha3_256::digest(&data);
+        let mut h = Sha3_256::new();
+        let mut rest: &[u8] = &data;
+        for s in splits {
+            if rest.is_empty() { break; }
+            let take = s.min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        h.update(rest);
+        prop_assert_eq!(oneshot, h.finalize());
+    }
+
+    #[test]
+    fn sha512_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..600),
+                                  split in 0usize..600) {
+        let oneshot = Sha512::digest(&data);
+        let mut h = Sha512::new();
+        let cut = split.min(data.len());
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(oneshot.to_vec(), h.finalize().to_vec());
+    }
+
+    /// Signatures round-trip and bind the message.
+    #[test]
+    fn ed25519_sign_verify_roundtrip(seed in any::<[u8; 32]>(),
+                                     msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let sk = SigningKey::from_seed(&seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.public_key().verify(&msg, &sig));
+        // Any single-byte change to the message invalidates the signature.
+        if !msg.is_empty() {
+            let mut forged = msg.clone();
+            forged[0] ^= 1;
+            prop_assert!(!sk.public_key().verify(&forged, &sig));
+        }
+    }
+
+    /// Merkle membership proofs verify for every leaf of arbitrary trees
+    /// and reject cross-leaf substitution.
+    #[test]
+    fn merkle_proofs_sound(leaves in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..16), 1..40)) {
+        let tree = MerkleTree::from_leaf_data(&leaves);
+        let root = tree.root();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i);
+            prop_assert!(proof.verify_data(leaf, &root));
+            let other = (i + 1) % leaves.len();
+            if leaves[other] != *leaf {
+                prop_assert!(!proof.verify_data(&leaves[other], &root));
+            }
+        }
+    }
+
+    /// Subset proofs verify for arbitrary index subsets.
+    #[test]
+    fn merkle_subset_proofs_sound(n in 1usize..40, picks in proptest::collection::vec(any::<usize>(), 1..10)) {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("L{i}").into_bytes()).collect();
+        let tree = MerkleTree::from_leaf_data(&leaves);
+        let mut indices: Vec<usize> = picks.into_iter().map(|p| p % n).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        let proof = tree.prove_subset(&indices);
+        let revealed: Vec<(usize, &[u8])> =
+            indices.iter().map(|&i| (i, leaves[i].as_slice())).collect();
+        prop_assert!(proof.verify_data(&revealed, &tree.root()));
+    }
+
+    /// Wire primitives round-trip for arbitrary values.
+    #[test]
+    fn wire_roundtrip(vals in proptest::collection::vec(any::<u64>(), 0..50),
+                      floats in proptest::collection::vec(any::<f32>(), 0..50)) {
+        let mut w = Writer::new();
+        w.seq_len(vals.len());
+        for &v in &vals { w.varint(v); }
+        w.seq_len(floats.len());
+        for &f in &floats { w.f32(f); }
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        let n = r.seq_len().unwrap();
+        for &v in vals.iter().take(n) {
+            prop_assert_eq!(r.varint().unwrap(), v);
+        }
+        let m = r.seq_len().unwrap();
+        for &f in floats.iter().take(m) {
+            prop_assert_eq!(r.f32().unwrap().to_bits(), f.to_bits());
+        }
+        prop_assert!(r.finish().is_ok());
+    }
+}

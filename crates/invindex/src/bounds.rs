@@ -1,0 +1,297 @@
+//! Termination-condition bounds for authenticated top-k search
+//! (paper §IV-B2, Eqs. 9–12 and Alg. 2/3 conditions).
+//!
+//! Both the SP (while deciding how much to pop) and the client (while
+//! verifying the final state) evaluate the *same* bounds over the *same*
+//! observable state: the popped posting prefixes, the per-list remaining-
+//! impact caps, and the cuckoo filters with popped images deleted. The
+//! computation lives here, once, and is careful to fix every float summation
+//! order so the two sides agree bit-for-bit.
+//!
+//! The remaining-impact cap `p̂_c` deliberately uses only client-observable
+//! data: the impact of the *last popped* posting (descending order bounds
+//! everything after it), or the cluster weight `w_c` when nothing was popped
+//! (impacts never exceed the weight because `f ≤ ||B_I||`). A claimed
+//! "actual next impact" from the SP would be unverifiable and unsound.
+
+use imageproof_cuckoo::{max_count, CuckooFilter};
+use std::collections::HashMap;
+
+/// Which upper-bound machinery a scheme uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BoundsMode {
+    /// ImageProof: cuckoo filters tighten `S^U` and `π^U` (Eqs. 11–12).
+    CuckooFiltered,
+    /// The Baseline of §VII (Pang & Mouratidis \[15\]): maximal bounds
+    /// (Eq. 10) — every unexhausted list is assumed to contain every image.
+    MaxBound,
+}
+
+/// The observable state of one relevant posting list.
+pub struct ListSnapshot<'a> {
+    pub cluster: u32,
+    /// Query impact `p_{Q,c}` for this cluster.
+    pub query_impact: f32,
+    /// Popped `(image, impact)` pairs in popped order (a prefix of the
+    /// owner's descending-impact order; grouped lists expand groups here).
+    pub popped: &'a [(u64, f32)],
+    /// Upper bound on the impact of any unpopped posting (see module docs);
+    /// `None` when the list is exhausted.
+    pub remaining_cap: Option<f32>,
+    /// The list's cuckoo filter with popped images deleted. `Some` only for
+    /// unexhausted lists under [`BoundsMode::CuckooFiltered`].
+    pub filter: Option<&'a CuckooFilter>,
+}
+
+/// Bounds evaluation result.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// `s_k^L`: the smallest verified lower-bound score among the claimed
+    /// top-k images.
+    pub s_k_lower: f32,
+    /// `π^U` (Eq. 12, or Eq. 10's `π_max` under [`BoundsMode::MaxBound`]).
+    pub pi_upper: f32,
+    /// `γ` from `MaxCount` (0 under [`BoundsMode::MaxBound`]).
+    pub gamma: u32,
+    /// Condition 1: `s_k^L ≥ π^U`.
+    pub condition1: bool,
+    /// Popped non-top-k images whose `S^U` exceeds `s_k^L` (condition 2
+    /// holds iff this is empty), ascending by image id.
+    pub exceeded: Vec<u64>,
+    /// Verified lower-bound scores `S^L(Q, I)` of every popped image.
+    pub lower_scores: HashMap<u64, f32>,
+}
+
+/// Evaluates the termination conditions over the observable state.
+///
+/// `snapshots` must be ordered by ascending cluster id — the summation order
+/// both sides share. `topk` is the claimed result set.
+pub fn evaluate(snapshots: &[ListSnapshot<'_>], topk: &[u64], mode: BoundsMode) -> Evaluation {
+    debug_assert!(
+        snapshots.windows(2).all(|w| w[0].cluster < w[1].cluster),
+        "snapshots must be ascending by cluster"
+    );
+
+    // S^L (Eq. 9): accumulate popped contributions in list order.
+    let mut lower_scores: HashMap<u64, f32> = HashMap::new();
+    for snap in snapshots {
+        for &(image, impact) in snap.popped {
+            *lower_scores.entry(image).or_insert(0.0) += snap.query_impact * impact;
+        }
+    }
+
+    // s_k^L: the weakest claimed winner; an image never popped scores 0.
+    let mut s_k_lower = f32::INFINITY;
+    for image in topk {
+        let s = lower_scores.get(image).copied().unwrap_or(0.0);
+        if s < s_k_lower {
+            s_k_lower = s;
+        }
+    }
+    if topk.is_empty() {
+        s_k_lower = 0.0;
+    }
+
+    // Remaining-list contributions p_{Q,c} · p̂_c, descending (ties: by
+    // cluster, fixing the float summation order).
+    let mut remaining: Vec<(f32, u32)> = snapshots
+        .iter()
+        .filter_map(|s| s.remaining_cap.map(|cap| (s.query_impact * cap, s.cluster)))
+        .collect();
+    remaining.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+
+    // γ and π^U.
+    let (gamma, pi_upper) = match mode {
+        BoundsMode::CuckooFiltered => {
+            let filters: Vec<&CuckooFilter> =
+                snapshots.iter().filter_map(|s| s.filter).collect();
+            let gamma = max_count(&filters);
+            let pi: f32 = remaining
+                .iter()
+                .take(gamma as usize)
+                .map(|&(v, _)| v)
+                .sum();
+            (gamma, pi)
+        }
+        BoundsMode::MaxBound => {
+            let pi: f32 = remaining.iter().map(|&(v, _)| v).sum();
+            (0, pi)
+        }
+    };
+    let condition1 = s_k_lower >= pi_upper;
+
+    // Condition 2: S^U (Eq. 11 / Eq. 10) for every popped non-top-k image.
+    let mut exceeded = Vec::new();
+    let mut images: Vec<u64> = lower_scores.keys().copied().collect();
+    images.sort_unstable();
+    for image in images {
+        if topk.contains(&image) {
+            continue;
+        }
+        let mut upper = lower_scores[&image];
+        for snap in snapshots {
+            let Some(cap) = snap.remaining_cap else {
+                continue;
+            };
+            let might_contain = match mode {
+                BoundsMode::CuckooFiltered => {
+                    snap.filter.is_some_and(|f| f.contains(image))
+                }
+                BoundsMode::MaxBound => true,
+            };
+            if might_contain {
+                upper += snap.query_impact * cap;
+            }
+        }
+        if upper > s_k_lower {
+            exceeded.push(image);
+        }
+    }
+
+    Evaluation {
+        s_k_lower,
+        pi_upper,
+        gamma,
+        condition1,
+        exceeded,
+        lower_scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filterless(
+        cluster: u32,
+        query_impact: f32,
+        popped: &[(u64, f32)],
+        cap: Option<f32>,
+    ) -> ListSnapshot<'_> {
+        ListSnapshot {
+            cluster,
+            query_impact,
+            popped,
+            remaining_cap: cap,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn lower_scores_accumulate_across_lists() {
+        let a = [(1u64, 0.5f32), (2, 0.3)];
+        let b = [(1u64, 0.2f32)];
+        let snaps = vec![
+            filterless(0, 2.0, &a, None),
+            filterless(1, 1.0, &b, None),
+        ];
+        let eval = evaluate(&snaps, &[1], BoundsMode::MaxBound);
+        assert_eq!(eval.lower_scores[&1], 2.0 * 0.5 + 1.0 * 0.2);
+        assert_eq!(eval.lower_scores[&2], 2.0 * 0.3);
+        assert_eq!(eval.s_k_lower, eval.lower_scores[&1]);
+    }
+
+    #[test]
+    fn condition1_fails_while_remaining_mass_is_large() {
+        let a = [(1u64, 0.5f32)];
+        let snaps = vec![
+            filterless(0, 1.0, &a, Some(0.4)),
+            filterless(1, 1.0, &[], Some(0.9)),
+        ];
+        let eval = evaluate(&snaps, &[1], BoundsMode::MaxBound);
+        // π^U = 0.4 + 0.9 > S^L(1) = 0.5.
+        assert!(!eval.condition1);
+        // Exhausting both lists flips it.
+        let snaps = vec![filterless(0, 1.0, &a, None), filterless(1, 1.0, &[], None)];
+        let eval = evaluate(&snaps, &[1], BoundsMode::MaxBound);
+        assert!(eval.condition1);
+        assert_eq!(eval.pi_upper, 0.0);
+    }
+
+    #[test]
+    fn filters_tighten_pi_via_gamma() {
+        // Three lists, each holding one distinct image → γ = 2·1 = 2, so
+        // π^U only counts the top-2 remaining contributions.
+        let mut filters = Vec::new();
+        for image in [10u64, 20, 30] {
+            let mut f = imageproof_cuckoo::CuckooFilter::with_buckets(8);
+            f.insert(image).expect("room");
+            filters.push(f);
+        }
+        let snaps: Vec<ListSnapshot> = filters
+            .iter()
+            .enumerate()
+            .map(|(i, f)| ListSnapshot {
+                cluster: i as u32,
+                query_impact: 1.0,
+                popped: &[],
+                remaining_cap: Some(0.5),
+                filter: Some(f),
+            })
+            .collect();
+        let eval = evaluate(&snaps, &[], BoundsMode::CuckooFiltered);
+        assert_eq!(eval.gamma, 2);
+        assert_eq!(eval.pi_upper, 1.0); // two of the three 0.5 contributions
+        let unfiltered_snaps: Vec<ListSnapshot> = (0..3u32)
+            .map(|i| filterless(i, 1.0, &[], Some(0.5)))
+            .collect();
+        let unfiltered = evaluate(&unfiltered_snaps, &[], BoundsMode::MaxBound);
+        assert_eq!(unfiltered.pi_upper, 1.5);
+    }
+
+    #[test]
+    fn condition2_flags_images_that_could_still_win() {
+        // Image 2 popped with score 0.4; list 1 unexhausted and its filter
+        // contains image 2 → S^U(2) = 0.4 + 0.6 > s_k^L = 0.5.
+        let mut f = imageproof_cuckoo::CuckooFilter::with_buckets(8);
+        f.insert(2).expect("room");
+        let a = [(1u64, 0.5f32), (2, 0.4)];
+        let snaps = vec![
+            ListSnapshot {
+                cluster: 0,
+                query_impact: 1.0,
+                popped: &a,
+                remaining_cap: None,
+                filter: None,
+            },
+            ListSnapshot {
+                cluster: 1,
+                query_impact: 1.0,
+                popped: &[],
+                remaining_cap: Some(0.6),
+                filter: Some(&f),
+            },
+        ];
+        let eval = evaluate(&snaps, &[1], BoundsMode::CuckooFiltered);
+        assert_eq!(eval.exceeded, vec![2]);
+
+        // If the filter proves image 2 absent from list 1, condition 2 holds.
+        let empty = imageproof_cuckoo::CuckooFilter::with_buckets(8);
+        let snaps2 = vec![
+            ListSnapshot {
+                cluster: 0,
+                query_impact: 1.0,
+                popped: &a,
+                remaining_cap: None,
+                filter: None,
+            },
+            ListSnapshot {
+                cluster: 1,
+                query_impact: 1.0,
+                popped: &[],
+                remaining_cap: Some(0.6),
+                filter: Some(&empty),
+            },
+        ];
+        let eval = evaluate(&snaps2, &[1], BoundsMode::CuckooFiltered);
+        assert!(eval.exceeded.is_empty());
+    }
+
+    #[test]
+    fn unpopped_topk_image_gives_zero_lower_bound() {
+        let snaps = vec![filterless(0, 1.0, &[], Some(0.5))];
+        let eval = evaluate(&snaps, &[99], BoundsMode::MaxBound);
+        assert_eq!(eval.s_k_lower, 0.0);
+        assert!(!eval.condition1);
+    }
+}

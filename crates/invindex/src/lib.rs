@@ -1,0 +1,32 @@
+//! # imageproof-invindex
+//!
+//! The Merkle inverted index with cuckoo filters — ImageProof's second
+//! authenticated data structure (paper §IV-B) — together with the
+//! authenticated top-k search and verification algorithms:
+//!
+//! * [`merkle`] — the impact-ordered Merkle inverted index (Defs. 4–5):
+//!   hash-chained postings, weights, and per-list cuckoo filters.
+//! * [`bounds`] — the termination-condition bounds (Eqs. 9–12, Alg. 2),
+//!   computed identically by SP and client.
+//! * [`search`] — `PostingSearch`/`InvSearch` (Algs. 3–4) and the §VII
+//!   Baseline with maximal bounds (\[15\]).
+//! * [`verify`] — client-side verification of the top-k result.
+//! * [`grouped`] — the frequency-grouped Merkle inverted index with d-gap
+//!   compression (§VI-B optimization, Defs. 6–7).
+//! * [`vo`] — VO types and their canonical wire encoding.
+
+pub mod bounds;
+pub mod grouped;
+pub mod merkle;
+pub mod search;
+pub mod verify;
+pub mod vo;
+
+pub use bounds::BoundsMode;
+pub use merkle::{MerkleInvertedIndex, MerkleList, Posting};
+pub use search::{
+    exhaustive_topk, inv_search, inv_search_with_tuning, InvSearchResult, InvSearchStats,
+    SearchTuning,
+};
+pub use verify::{verify_topk, InvVerifyError, VerifiedTopk};
+pub use vo::{FilterVo, InvVo, ListVo, RemainingVo};

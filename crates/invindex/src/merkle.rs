@@ -1,0 +1,346 @@
+//! The impact-ordered Merkle inverted index with cuckoo filters
+//! (paper §IV-B1, Defs. 4–5).
+//!
+//! Every cluster `c` has a Merkle inverted list `Γ_c` holding its postings
+//! `⟨image, impact⟩` in descending impact order. Posting digests form a
+//! hash chain from the tail forward (Def. 4), so revealing a *prefix* plus
+//! the digest of the first unrevealed posting authenticates exactly that
+//! prefix. The list digest (Def. 5) additionally binds the cluster weight
+//! and the digest of a cuckoo filter seeded with the list's image ids.
+//!
+//! All filters share one bucket geometry, sized from the longest list — the
+//! property `MaxCount` (Alg. 2) relies on.
+
+use imageproof_akm::bovw::{impact_value, ImpactModel, SparseBovw};
+use imageproof_crypto::Digest;
+use imageproof_cuckoo::CuckooFilter;
+
+/// One `⟨image, impact⟩` posting.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Posting {
+    pub image: u64,
+    pub impact: f32,
+}
+
+/// Digest of a posting given the digest of its successor (Def. 4).
+pub fn posting_digest(posting: &Posting, next: &Digest) -> Digest {
+    Digest::builder()
+        .u64(posting.image)
+        .f32(posting.impact)
+        .digest(next)
+        .finish()
+}
+
+/// Digest of a whole list (Def. 5): `h(w | h(Θ) | h_{pos_1})`. The chain of
+/// an empty list terminates at [`Digest::ZERO`].
+pub fn list_digest(weight: f32, filter_digest: &Digest, first_posting: &Digest) -> Digest {
+    Digest::builder()
+        .f32(weight)
+        .digest(filter_digest)
+        .digest(first_posting)
+        .finish()
+}
+
+/// A cluster's Merkle inverted list.
+#[derive(Clone, Debug)]
+pub struct MerkleList {
+    pub cluster: u32,
+    /// `w_c` (Eq. 1); zero for clusters no image maps to.
+    pub weight: f32,
+    /// Postings in descending impact order (ties: ascending image id).
+    pub postings: Vec<Posting>,
+    /// `chain[j]` = digest of posting `j` (covering postings `j..`);
+    /// `chain.len() == postings.len()`.
+    chain: Vec<Digest>,
+    /// Filter seeded with every image id in `postings`.
+    pub filter: CuckooFilter,
+    /// `h_{Γ_c}` (Def. 5).
+    pub digest: Digest,
+}
+
+impl MerkleList {
+    /// Builds a list from unsorted postings.
+    ///
+    /// # Panics
+    /// Panics if the filter geometry cannot hold the postings; index-level
+    /// builders use [`MerkleList::try_build`] and retry with more buckets.
+    pub fn build(cluster: u32, weight: f32, postings: Vec<Posting>, n_buckets: usize) -> Self {
+        Self::try_build(cluster, weight, postings, n_buckets)
+            .expect("filter geometry sized for the longest list")
+    }
+
+    /// Fallible variant of [`MerkleList::build`]: fails when the cuckoo
+    /// filter's displacement chains cannot place every image id.
+    pub fn try_build(
+        cluster: u32,
+        weight: f32,
+        mut postings: Vec<Posting>,
+        n_buckets: usize,
+    ) -> Result<Self, imageproof_cuckoo::FilterFull> {
+        postings.sort_by(|a, b| {
+            b.impact
+                .total_cmp(&a.impact)
+                .then_with(|| a.image.cmp(&b.image))
+        });
+        let mut filter = CuckooFilter::with_buckets(n_buckets);
+        for p in &postings {
+            filter.insert(p.image)?;
+        }
+        let mut chain = vec![Digest::ZERO; postings.len()];
+        let mut next = Digest::ZERO;
+        for j in (0..postings.len()).rev() {
+            next = posting_digest(&postings[j], &next);
+            chain[j] = next;
+        }
+        let digest = list_digest(weight, &filter.digest(), &next);
+        Ok(MerkleList {
+            cluster,
+            weight,
+            postings,
+            chain,
+            filter,
+            digest,
+        })
+    }
+
+    /// Digest of posting `j` (the chain value covering `j..`), or
+    /// [`Digest::ZERO`] past the end.
+    pub fn chain_digest(&self, j: usize) -> Digest {
+        self.chain.get(j).copied().unwrap_or(Digest::ZERO)
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// True when no image maps to this cluster.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+}
+
+/// The full index: one Merkle list per cluster (clusters with no images get
+/// an empty list so the MRKD leaf digests have an `h_Γ` for every cluster).
+#[derive(Clone, Debug)]
+pub struct MerkleInvertedIndex {
+    lists: Vec<MerkleList>,
+    /// Shared filter geometry (power of two).
+    n_buckets: usize,
+}
+
+impl MerkleInvertedIndex {
+    /// Builds the index from every database image's BoVW encoding and the
+    /// corpus impact model. `encodings[i]` must belong to image id `i`... or
+    /// rather, `images[i]` pairs ids with encodings explicitly.
+    pub fn build(
+        n_clusters: usize,
+        images: &[(u64, SparseBovw)],
+        model: &ImpactModel,
+    ) -> MerkleInvertedIndex {
+        // Group postings per cluster.
+        let mut per_cluster: Vec<Vec<Posting>> = vec![Vec::new(); n_clusters];
+        for (image, bovw) in images {
+            let norm = bovw.norm();
+            for (c, f) in bovw.iter() {
+                per_cluster[c as usize].push(Posting {
+                    image: *image,
+                    impact: impact_value(model.weight(c), f, norm),
+                });
+            }
+        }
+        // Common filter geometry from the longest list (the paper sizes
+        // filter capacity from the maximal posting-list length, §VII-A; a
+        // common geometry is what Lemma 1 / `MaxCount` require). Start at
+        // the standard ~95% cuckoo load factor and double on the rare
+        // displacement-chain failure.
+        let max_len = per_cluster.iter().map(Vec::len).max().unwrap_or(0);
+        let mut n_buckets = imageproof_cuckoo::buckets_for_capacity(max_len);
+        loop {
+            let built: Result<Vec<MerkleList>, _> = per_cluster
+                .iter()
+                .enumerate()
+                .map(|(c, postings)| {
+                    MerkleList::try_build(
+                        c as u32,
+                        model.weight(c as u32),
+                        postings.clone(),
+                        n_buckets,
+                    )
+                })
+                .collect();
+            match built {
+                Ok(lists) => return MerkleInvertedIndex { lists, n_buckets },
+                Err(_) => n_buckets *= 2,
+            }
+        }
+    }
+
+    /// The list of one cluster.
+    pub fn list(&self, cluster: u32) -> &MerkleList {
+        &self.lists[cluster as usize]
+    }
+
+    /// All lists, ascending by cluster.
+    pub fn lists(&self) -> &[MerkleList] {
+        &self.lists
+    }
+
+    /// Shared cuckoo-filter bucket count.
+    pub fn n_buckets(&self) -> usize {
+        self.n_buckets
+    }
+
+    /// Per-cluster `h_Γ` digests, in cluster order — the vector the
+    /// MRKD-tree build embeds into leaf digests.
+    pub fn list_digests(&self) -> Vec<Digest> {
+        self.lists.iter().map(|l| l.digest).collect()
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True when the index has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Total posting count across the given clusters (the denominator of the
+    /// "% popped postings" metric).
+    pub fn total_postings(&self, clusters: impl Iterator<Item = u32>) -> usize {
+        clusters.map(|c| self.lists[c as usize].len()).sum()
+    }
+
+    /// Owner-side incremental update: rebuilds one cluster's list with new
+    /// postings (keeping the frozen cluster weight and the common filter
+    /// geometry) and returns the new `h_Γ`.
+    ///
+    /// Fails with [`imageproof_cuckoo::FilterFull`] when the new postings no
+    /// longer fit the common geometry; callers should then rebuild the
+    /// whole index (geometry is a global commitment, see `MaxCount`).
+    pub fn replace_list(
+        &mut self,
+        cluster: u32,
+        postings: Vec<Posting>,
+    ) -> Result<Digest, imageproof_cuckoo::FilterFull> {
+        let weight = self.lists[cluster as usize].weight;
+        let list = MerkleList::try_build(cluster, weight, postings, self.n_buckets)?;
+        let digest = list.digest;
+        self.lists[cluster as usize] = list;
+        Ok(digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_index() -> MerkleInvertedIndex {
+        // Table II's toy corpus shape: a handful of images over 8 clusters.
+        let images: Vec<(u64, SparseBovw)> = vec![
+            (1, SparseBovw::from_counts([(5, 2), (0, 1)])),
+            (3, SparseBovw::from_counts([(5, 1), (6, 1)])),
+            (4, SparseBovw::from_counts([(5, 1), (6, 1), (2, 3)])),
+            (5, SparseBovw::from_counts([(6, 2)])),
+            (8, SparseBovw::from_counts([(6, 1), (0, 1)])),
+        ];
+        let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+        let model = ImpactModel::build(8, &encodings);
+        MerkleInvertedIndex::build(8, &images, &model)
+    }
+
+    #[test]
+    fn postings_are_impact_descending() {
+        let idx = toy_index();
+        for list in idx.lists() {
+            for w in list.postings.windows(2) {
+                assert!(w[0].impact >= w[1].impact, "cluster {}", list.cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn every_cluster_has_a_digest_even_when_empty() {
+        let idx = toy_index();
+        assert_eq!(idx.list_digests().len(), 8);
+        let empty = idx.list(7);
+        assert!(empty.is_empty());
+        assert_eq!(
+            empty.digest,
+            list_digest(0.0, &empty.filter.digest(), &Digest::ZERO)
+        );
+    }
+
+    #[test]
+    fn chain_reconstructs_from_any_prefix() {
+        let idx = toy_index();
+        let list = idx.list(6);
+        assert!(list.len() >= 3, "fixture should have a multi-posting list");
+        for split in 0..=list.len() {
+            // Reveal postings[..split]; reconstruct h_pos_1 from the prefix
+            // and the digest of the first unrevealed posting.
+            let mut h = list.chain_digest(split);
+            for p in list.postings[..split].iter().rev() {
+                h = posting_digest(p, &h);
+            }
+            let expected_first = list.chain_digest(0);
+            assert_eq!(h, expected_first, "split {split}");
+            let rebuilt = list_digest(list.weight, &list.filter.digest(), &h);
+            assert_eq!(rebuilt, list.digest);
+        }
+    }
+
+    #[test]
+    fn filters_share_geometry_and_contain_their_images() {
+        let idx = toy_index();
+        for list in idx.lists() {
+            assert_eq!(list.filter.n_buckets(), idx.n_buckets());
+            for p in &list.postings {
+                assert!(list.filter.contains(p.image));
+            }
+        }
+    }
+
+    #[test]
+    fn tampering_a_posting_breaks_the_chain() {
+        let idx = toy_index();
+        let list = idx.list(6);
+        let mut forged = list.postings.clone();
+        forged[1].impact += 0.1;
+        let mut h = Digest::ZERO;
+        for p in forged.iter().rev() {
+            h = posting_digest(p, &h);
+        }
+        assert_ne!(
+            list_digest(list.weight, &list.filter.digest(), &h),
+            list.digest
+        );
+    }
+
+    #[test]
+    fn impacts_match_the_model() {
+        let images: Vec<(u64, SparseBovw)> = vec![
+            (10, SparseBovw::from_counts([(0, 3), (1, 4)])),
+            (11, SparseBovw::from_counts([(1, 1)])),
+        ];
+        let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+        let model = ImpactModel::build(2, &encodings);
+        let idx = MerkleInvertedIndex::build(2, &images, &model);
+        let list1 = idx.list(1);
+        let p10 = list1
+            .postings
+            .iter()
+            .find(|p| p.image == 10)
+            .expect("image 10 in cluster 1");
+        assert_eq!(p10.impact, model.impact(&encodings[0], 1));
+    }
+
+    #[test]
+    fn total_postings_counts_selected_clusters() {
+        let idx = toy_index();
+        let total: usize = idx.total_postings([5u32, 6].into_iter());
+        assert_eq!(total, idx.list(5).len() + idx.list(6).len());
+    }
+}

@@ -1,0 +1,514 @@
+//! Client-side verification of authenticated top-k search
+//! (paper §IV-B2 "Verification").
+//!
+//! The client holds: the verified BoVW vector `B_Q` (from MRKD
+//! verification), the authenticated per-cluster list digests `h_{Γ_c}`
+//! (bound into the MRKD leaf digests), the claimed top-k image ids, and the
+//! inverted-index VO. It:
+//!
+//! 1. checks the VO covers exactly the query-relevant clusters;
+//! 2. reconstructs every `h_{Γ_c}` from the popped prefix, the re-sealing
+//!    digest, the weight, and the filter (bytes or digest) and compares with
+//!    the authenticated digest — this authenticates weights, popped
+//!    postings, their order, and the filters in one shot;
+//! 3. recomputes `p_Q` from `B_Q` and the verified weights;
+//! 4. deletes popped images from the filters and re-evaluates the
+//!    termination conditions with the shared [`crate::bounds`] logic.
+//!
+//! Success proves the claimed set is a genuine top-k (Def. 1).
+
+use crate::bounds::{evaluate, BoundsMode, ListSnapshot};
+use crate::merkle::{list_digest, posting_digest, Posting};
+use crate::vo::{FilterVo, InvVo, RemainingVo};
+use imageproof_akm::bovw::{impacts_with_weights, SparseBovw};
+use imageproof_crypto::Digest;
+use imageproof_cuckoo::CuckooFilter;
+use std::collections::HashMap;
+
+/// Why an inverted-index VO was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvVerifyError {
+    /// VO lists do not match the query-relevant clusters.
+    ClusterMismatch,
+    /// A reconstructed list digest differs from the authenticated `h_Γ`.
+    DigestMismatch { cluster: u32 },
+    /// No authenticated digest is known for a cluster in the VO.
+    UnknownCluster { cluster: u32 },
+    /// The filter bytes in the VO are not a canonical serialization.
+    MalformedFilter { cluster: u32 },
+    /// The filter form does not match the scheme (bytes vs digest-only).
+    WrongFilterForm { cluster: u32 },
+    /// Termination condition 1 fails: an unpopped image could still beat the
+    /// claimed winners.
+    Condition1Failed,
+    /// Termination condition 2 fails for this popped image.
+    Condition2Failed { image: u64 },
+    /// A claimed winner never appears in any popped posting.
+    WinnerUnsupported { image: u64 },
+    /// Claimed winners are not distinct.
+    DuplicateWinner { image: u64 },
+    /// Fewer than `k` winners claimed while undisclosed postings remain.
+    ShortResult,
+}
+
+impl std::fmt::Display for InvVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvVerifyError::ClusterMismatch => {
+                write!(f, "VO lists do not match the query clusters")
+            }
+            InvVerifyError::DigestMismatch { cluster } => {
+                write!(f, "list digest mismatch for cluster {cluster}")
+            }
+            InvVerifyError::UnknownCluster { cluster } => {
+                write!(f, "no authenticated digest for cluster {cluster}")
+            }
+            InvVerifyError::MalformedFilter { cluster } => {
+                write!(f, "malformed filter bytes for cluster {cluster}")
+            }
+            InvVerifyError::WrongFilterForm { cluster } => {
+                write!(f, "unexpected filter form for cluster {cluster}")
+            }
+            InvVerifyError::Condition1Failed => {
+                write!(f, "termination condition 1 fails: unexplored postings could win")
+            }
+            InvVerifyError::Condition2Failed { image } => {
+                write!(f, "termination condition 2 fails for image {image}")
+            }
+            InvVerifyError::WinnerUnsupported { image } => {
+                write!(f, "claimed winner {image} has no popped posting")
+            }
+            InvVerifyError::DuplicateWinner { image } => {
+                write!(f, "winner {image} claimed twice")
+            }
+            InvVerifyError::ShortResult => {
+                write!(f, "fewer than k winners while postings remain undisclosed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvVerifyError {}
+
+/// The verified outcome: winners with their proven lower-bound scores.
+#[derive(Debug, Clone)]
+pub struct VerifiedTopk {
+    /// `(image, verified score)` in the claimed order.
+    pub topk: Vec<(u64, f32)>,
+    /// Verified cluster weights (available for diagnostics).
+    pub weights: HashMap<u32, f32>,
+}
+
+/// Verifies an inverted-index VO against the claimed top-k.
+///
+/// * `query_bovw` — the BoVW vector the client itself rebuilt from verified
+///   MRKD assignments;
+/// * `authenticated_digests` — `h_{Γ_c}` per cluster, from MRKD leaf
+///   disclosures (`VerifiedBovw::inv_digests`);
+/// * `claimed` — the SP's top-k image ids (order irrelevant to soundness);
+/// * `k` — the requested result size;
+/// * `mode` — bounds machinery of the scheme in use.
+pub fn verify_topk(
+    vo: &InvVo,
+    query_bovw: &SparseBovw,
+    authenticated_digests: &HashMap<u32, Digest>,
+    claimed: &[u64],
+    k: usize,
+    mode: BoundsMode,
+) -> Result<VerifiedTopk, InvVerifyError> {
+    // 1. The VO must cover exactly the query-relevant clusters, ascending.
+    let query_clusters: Vec<u32> = query_bovw.iter().map(|(c, _)| c).collect();
+    let vo_clusters: Vec<u32> = vo.lists.iter().map(|l| l.cluster).collect();
+    if query_clusters != vo_clusters {
+        return Err(InvVerifyError::ClusterMismatch);
+    }
+
+    // Claimed winners must be distinct and either fill k or be provably all
+    // that exists (every list exhausted).
+    let mut seen = std::collections::HashSet::new();
+    for &image in claimed {
+        if !seen.insert(image) {
+            return Err(InvVerifyError::DuplicateWinner { image });
+        }
+    }
+    if claimed.len() < k {
+        let all_exhausted = vo
+            .lists
+            .iter()
+            .all(|l| matches!(l.remaining, RemainingVo::Exhausted { .. }));
+        if !all_exhausted {
+            return Err(InvVerifyError::ShortResult);
+        }
+    }
+
+    // 2. Reconstruct and check every list digest; parse filters.
+    let mut parsed_filters: Vec<Option<CuckooFilter>> = Vec::with_capacity(vo.lists.len());
+    for list in &vo.lists {
+        let expected = authenticated_digests
+            .get(&list.cluster)
+            .ok_or(InvVerifyError::UnknownCluster {
+                cluster: list.cluster,
+            })?;
+
+        let (tail_digest, filter_digest, filter) = match &list.remaining {
+            RemainingVo::Exhausted { filter_digest } => (Digest::ZERO, *filter_digest, None),
+            RemainingVo::Partial {
+                next_digest,
+                filter,
+            } => match (filter, mode) {
+                (FilterVo::Bytes(bytes), BoundsMode::CuckooFiltered) => {
+                    let parsed = CuckooFilter::from_bytes(bytes).ok_or(
+                        InvVerifyError::MalformedFilter {
+                            cluster: list.cluster,
+                        },
+                    )?;
+                    (*next_digest, parsed.digest(), Some(parsed))
+                }
+                (FilterVo::DigestOnly(d), BoundsMode::MaxBound) => (*next_digest, *d, None),
+                _ => {
+                    return Err(InvVerifyError::WrongFilterForm {
+                        cluster: list.cluster,
+                    })
+                }
+            },
+        };
+
+        // Rebuild the chain head from the popped prefix.
+        let mut head = tail_digest;
+        for &(image, impact) in list.popped.iter().rev() {
+            head = posting_digest(&Posting { image, impact }, &head);
+        }
+        let rebuilt = list_digest(list.weight, &filter_digest, &head);
+        if rebuilt != *expected {
+            return Err(InvVerifyError::DigestMismatch {
+                cluster: list.cluster,
+            });
+        }
+        parsed_filters.push(filter);
+    }
+
+    // 3. p_Q from the verified weights.
+    let weights: HashMap<u32, f32> = vo.lists.iter().map(|l| (l.cluster, l.weight)).collect();
+    let query_impacts = impacts_with_weights(query_bovw, |c| weights[&c]);
+
+    // 4. Delete popped images from the filters, snapshot, evaluate.
+    for (list, filter) in vo.lists.iter().zip(&mut parsed_filters) {
+        if let Some(f) = filter {
+            for &(image, _) in &list.popped {
+                f.delete(image);
+            }
+        }
+    }
+    let snapshots: Vec<ListSnapshot> = vo
+        .lists
+        .iter()
+        .zip(&parsed_filters)
+        .zip(&query_impacts)
+        .map(|((list, filter), &(cluster, p_q))| {
+            debug_assert_eq!(cluster, list.cluster);
+            ListSnapshot {
+                cluster: list.cluster,
+                query_impact: p_q,
+                popped: &list.popped,
+                remaining_cap: match &list.remaining {
+                    RemainingVo::Exhausted { .. } => None,
+                    RemainingVo::Partial { .. } => {
+                        if let Some(&(_, impact)) = list.popped.last() {
+                            Some(impact)
+                        } else {
+                            Some(list.weight)
+                        }
+                    }
+                },
+                filter: filter.as_ref(),
+            }
+        })
+        .collect();
+
+    let eval = evaluate(&snapshots, claimed, mode);
+    if !eval.condition1 {
+        return Err(InvVerifyError::Condition1Failed);
+    }
+    if let Some(&image) = eval.exceeded.first() {
+        return Err(InvVerifyError::Condition2Failed { image });
+    }
+    let mut topk = Vec::with_capacity(claimed.len());
+    for &image in claimed {
+        let score = eval
+            .lower_scores
+            .get(&image)
+            .copied()
+            .ok_or(InvVerifyError::WinnerUnsupported { image })?;
+        topk.push((image, score));
+    }
+
+    Ok(VerifiedTopk { topk, weights })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::MerkleInvertedIndex;
+    use crate::search::inv_search;
+    use imageproof_akm::bovw::ImpactModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n_images: u64, n_clusters: usize, seed: u64) -> MerkleInvertedIndex {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let images: Vec<(u64, SparseBovw)> = (0..n_images)
+            .map(|id| {
+                let pairs: Vec<(u32, u32)> = (0..rng.gen_range(3..9))
+                    .map(|_| {
+                        let u: f64 = rng.gen();
+                        let c = ((u * u) * n_clusters as f64) as u32;
+                        (c.min(n_clusters as u32 - 1), rng.gen_range(1..4))
+                    })
+                    .collect();
+                (id, SparseBovw::from_counts(pairs))
+            })
+            .collect();
+        let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+        let model = ImpactModel::build(n_clusters, &encodings);
+        MerkleInvertedIndex::build(n_clusters, &images, &model)
+    }
+
+    fn digests_of(idx: &MerkleInvertedIndex) -> HashMap<u32, Digest> {
+        idx.lists().iter().map(|l| (l.cluster, l.digest)).collect()
+    }
+
+    fn query(seed: u64, n_clusters: usize) -> SparseBovw {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs: Vec<(u32, u32)> = (0..6)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let c = ((u * u) * n_clusters as f64) as u32;
+                (c.min(n_clusters as u32 - 1), rng.gen_range(1..3))
+            })
+            .collect();
+        SparseBovw::from_counts(pairs)
+    }
+
+    #[test]
+    fn honest_search_verifies_in_both_modes() {
+        let idx = corpus(300, 30, 21);
+        let digests = digests_of(&idx);
+        for qseed in 0..4 {
+            let q = query(40 + qseed, 30);
+            for mode in [BoundsMode::CuckooFiltered, BoundsMode::MaxBound] {
+                let out = inv_search(&idx, &q, 10, mode);
+                let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+                let verified = verify_topk(&out.vo, &q, &digests, &claimed, 10, mode)
+                    .expect("honest VO verifies");
+                // Verified scores equal the SP's exact scores (all winner
+                // postings are popped).
+                for ((vi, vs), (si, ss)) in verified.topk.iter().zip(&out.topk) {
+                    assert_eq!(vi, si);
+                    assert_eq!(vs, ss, "mode {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demoting_a_winner_is_rejected() {
+        let idx = corpus(300, 30, 22);
+        let digests = digests_of(&idx);
+        let q = query(50, 30);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let mut claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        // Replace the best image with some popped non-winner.
+        let popped_non_winner = out
+            .vo
+            .lists
+            .iter()
+            .flat_map(|l| l.popped.iter().map(|&(i, _)| i))
+            .find(|i| !claimed.contains(i));
+        let Some(substitute) = popped_non_winner else {
+            panic!("fixture must pop at least one non-winner");
+        };
+        claimed[0] = substitute;
+        let err = verify_topk(&out.vo, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered)
+            .expect_err("forged winner set must fail");
+        assert!(
+            matches!(
+                err,
+                InvVerifyError::Condition2Failed { .. } | InvVerifyError::Condition1Failed
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn fabricated_winner_is_rejected() {
+        let idx = corpus(200, 25, 23);
+        let digests = digests_of(&idx);
+        let q = query(51, 25);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let mut claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        claimed[0] = 999_999; // an image that exists nowhere
+        let err = verify_topk(&out.vo, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered)
+            .expect_err("fabricated winner must fail");
+        assert!(
+            matches!(
+                err,
+                InvVerifyError::WinnerUnsupported { .. }
+                    | InvVerifyError::Condition1Failed
+                    | InvVerifyError::Condition2Failed { .. }
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_popped_impact_breaks_digest() {
+        let idx = corpus(200, 25, 24);
+        let digests = digests_of(&idx);
+        let q = query(52, 25);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        let mut forged = out.vo.clone();
+        let list = forged
+            .lists
+            .iter_mut()
+            .find(|l| !l.popped.is_empty())
+            .expect("something popped");
+        list.popped[0].1 *= 2.0;
+        assert!(matches!(
+            verify_topk(&forged, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            Err(InvVerifyError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_popped_prefix_breaks_digest() {
+        let idx = corpus(200, 25, 25);
+        let digests = digests_of(&idx);
+        let q = query(53, 25);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        let mut forged = out.vo.clone();
+        let list = forged
+            .lists
+            .iter_mut()
+            .find(|l| l.popped.len() >= 2)
+            .expect("a list with two popped postings");
+        list.popped.remove(0);
+        assert!(matches!(
+            verify_topk(&forged, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            Err(InvVerifyError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_weight_breaks_digest() {
+        let idx = corpus(200, 25, 26);
+        let digests = digests_of(&idx);
+        let q = query(54, 25);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        let mut forged = out.vo.clone();
+        forged.lists[0].weight += 1.0;
+        assert!(matches!(
+            verify_topk(&forged, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            Err(InvVerifyError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_filter_breaks_digest() {
+        let idx = corpus(200, 25, 27);
+        let digests = digests_of(&idx);
+        let q = query(55, 25);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        let mut forged = out.vo.clone();
+        let swapped = forged
+            .lists
+            .iter_mut()
+            .find_map(|l| match &mut l.remaining {
+                RemainingVo::Partial {
+                    filter: FilterVo::Bytes(bytes),
+                    ..
+                } => {
+                    // Replace with a fresh (different) filter's canonical
+                    // bytes.
+                    let fresh = CuckooFilter::with_buckets(
+                        CuckooFilter::from_bytes(bytes).expect("canonical").n_buckets(),
+                    );
+                    *bytes = fresh.to_bytes();
+                    Some(())
+                }
+                _ => None,
+            });
+        assert!(swapped.is_some(), "fixture needs a partial list");
+        assert!(matches!(
+            verify_topk(&forged, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            Err(InvVerifyError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_or_extra_lists_are_rejected() {
+        let idx = corpus(200, 25, 28);
+        let digests = digests_of(&idx);
+        let q = query(56, 25);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        let mut missing = out.vo.clone();
+        missing.lists.pop();
+        assert!(matches!(
+            verify_topk(&missing, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            Err(InvVerifyError::ClusterMismatch)
+        ));
+    }
+
+    #[test]
+    fn short_result_requires_exhaustion() {
+        let idx = corpus(300, 30, 29);
+        let digests = digests_of(&idx);
+        let q = query(57, 30);
+        let out = inv_search(&idx, &q, 10, BoundsMode::CuckooFiltered);
+        // Claim fewer winners than k without exhausting the lists.
+        let claimed: Vec<u64> = out.topk.iter().take(3).map(|&(i, _)| i).collect();
+        let any_partial = out
+            .vo
+            .lists
+            .iter()
+            .any(|l| matches!(l.remaining, RemainingVo::Partial { .. }));
+        if any_partial {
+            assert!(matches!(
+                verify_topk(&out.vo, &q, &digests, &claimed, 10, BoundsMode::CuckooFiltered),
+                Err(InvVerifyError::ShortResult)
+            ));
+        }
+    }
+
+    #[test]
+    fn duplicate_winners_are_rejected() {
+        let idx = corpus(200, 25, 30);
+        let digests = digests_of(&idx);
+        let q = query(58, 25);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let mut claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        if claimed.len() >= 2 {
+            claimed[1] = claimed[0];
+            assert!(matches!(
+                verify_topk(&out.vo, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+                Err(InvVerifyError::DuplicateWinner { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn equality_of_eq_impl_for_verified_errors() {
+        assert_eq!(
+            InvVerifyError::Condition1Failed,
+            InvVerifyError::Condition1Failed
+        );
+        assert_ne!(
+            InvVerifyError::Condition2Failed { image: 1 },
+            InvVerifyError::Condition2Failed { image: 2 }
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Verification-object types for authenticated inverted-index search
+//! (`InvSearch`, paper Alg. 4) and their canonical wire encoding.
+
+use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
+use imageproof_crypto::Digest;
+
+/// The undisclosed remainder of one posting list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RemainingVo {
+    /// Every posting was popped (or the list was empty): only the filter
+    /// digest is needed to rebuild `h_Γ` (Alg. 4 line 8).
+    Exhausted { filter_digest: Digest },
+    /// A suffix remains: the digest of its first posting re-seals the chain
+    /// (Alg. 4 line 10), and — in the cuckoo-filtered scheme — the filter
+    /// itself travels so the client can reproduce the bounds
+    /// (Alg. 4 line 11). The Baseline scheme sends the digest instead.
+    Partial {
+        next_digest: Digest,
+        filter: FilterVo,
+    },
+}
+
+/// How the cuckoo filter of a partially-popped list is conveyed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FilterVo {
+    /// Canonical filter bytes (ImageProof / Optimized schemes).
+    Bytes(Vec<u8>),
+    /// Digest only (Baseline: bounds don't use the filter, but `h_Γ`
+    /// reconstruction still needs `h(Θ)`).
+    DigestOnly(Digest),
+}
+
+/// One relevant posting list's share of the VO (Alg. 4 lines 2–11).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ListVo {
+    pub cluster: u32,
+    /// `w_c`, needed by the client to compute `p_Q` (Alg. 4 line 3).
+    pub weight: f32,
+    /// The popped prefix, in list order.
+    pub popped: Vec<(u64, f32)>,
+    pub remaining: RemainingVo,
+}
+
+/// The complete inverted-index VO (`VO_inv`): one entry per query-relevant
+/// cluster, ascending.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvVo {
+    pub lists: Vec<ListVo>,
+}
+
+impl InvVo {
+    /// Total popped postings disclosed (numerator of "% popped postings").
+    pub fn popped_postings(&self) -> usize {
+        self.lists.iter().map(|l| l.popped.len()).sum()
+    }
+}
+
+const TAG_EXHAUSTED: u8 = 0;
+const TAG_PARTIAL_BYTES: u8 = 1;
+const TAG_PARTIAL_DIGEST: u8 = 2;
+
+impl Encode for ListVo {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.cluster);
+        w.f32(self.weight);
+        w.seq_len(self.popped.len());
+        for &(image, impact) in &self.popped {
+            w.varint(image);
+            w.f32(impact);
+        }
+        match &self.remaining {
+            RemainingVo::Exhausted { filter_digest } => {
+                w.u8(TAG_EXHAUSTED);
+                w.digest(filter_digest);
+            }
+            RemainingVo::Partial {
+                next_digest,
+                filter: FilterVo::Bytes(bytes),
+            } => {
+                w.u8(TAG_PARTIAL_BYTES);
+                w.digest(next_digest);
+                w.bytes(bytes);
+            }
+            RemainingVo::Partial {
+                next_digest,
+                filter: FilterVo::DigestOnly(d),
+            } => {
+                w.u8(TAG_PARTIAL_DIGEST);
+                w.digest(next_digest);
+                w.digest(d);
+            }
+        }
+    }
+}
+
+impl Decode for ListVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let cluster = r.u32()?;
+        let weight = r.f32()?;
+        let n = r.seq_len()?;
+        let mut popped = Vec::with_capacity(n);
+        for _ in 0..n {
+            let image = r.varint()?;
+            let impact = r.f32()?;
+            popped.push((image, impact));
+        }
+        let remaining = match r.u8()? {
+            TAG_EXHAUSTED => RemainingVo::Exhausted {
+                filter_digest: r.digest()?,
+            },
+            TAG_PARTIAL_BYTES => RemainingVo::Partial {
+                next_digest: r.digest()?,
+                filter: FilterVo::Bytes(r.bytes()?),
+            },
+            TAG_PARTIAL_DIGEST => RemainingVo::Partial {
+                next_digest: r.digest()?,
+                filter: FilterVo::DigestOnly(r.digest()?),
+            },
+            t => return Err(WireError::InvalidTag(t)),
+        };
+        Ok(ListVo {
+            cluster,
+            weight,
+            popped,
+            remaining,
+        })
+    }
+}
+
+impl Encode for InvVo {
+    fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.lists.len());
+        for l in &self.lists {
+            l.encode(w);
+        }
+    }
+}
+
+impl Decode for InvVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len()?;
+        let mut lists = Vec::with_capacity(n);
+        for _ in 0..n {
+            lists.push(ListVo::decode(r)?);
+        }
+        Ok(InvVo { lists })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inv_vo_round_trips() {
+        let vo = InvVo {
+            lists: vec![
+                ListVo {
+                    cluster: 5,
+                    weight: 2.5,
+                    popped: vec![(1, 0.34), (3, 0.26)],
+                    remaining: RemainingVo::Partial {
+                        next_digest: Digest::of(b"next"),
+                        filter: FilterVo::Bytes(vec![1, 2, 3, 4]),
+                    },
+                },
+                ListVo {
+                    cluster: 6,
+                    weight: 1.5,
+                    popped: vec![],
+                    remaining: RemainingVo::Exhausted {
+                        filter_digest: Digest::of(b"filter"),
+                    },
+                },
+                ListVo {
+                    cluster: 9,
+                    weight: 0.5,
+                    popped: vec![(42, 0.1)],
+                    remaining: RemainingVo::Partial {
+                        next_digest: Digest::of(b"next2"),
+                        filter: FilterVo::DigestOnly(Digest::of(b"fd")),
+                    },
+                },
+            ],
+        };
+        let bytes = vo.to_wire();
+        assert_eq!(InvVo::from_wire(&bytes).expect("round trip"), vo);
+        assert_eq!(vo.popped_postings(), 3);
+    }
+
+    #[test]
+    fn malformed_tag_is_rejected() {
+        let vo = InvVo {
+            lists: vec![ListVo {
+                cluster: 1,
+                weight: 1.0,
+                popped: vec![],
+                remaining: RemainingVo::Exhausted {
+                    filter_digest: Digest::of(b"x"),
+                },
+            }],
+        };
+        let mut bytes = vo.to_wire();
+        // The remaining-tag byte sits after the seq_len + cluster + weight +
+        // empty postings; flip it to an invalid value.
+        let tag_pos = 4 + 4 + 4 + 4;
+        bytes[tag_pos] = 9;
+        assert!(InvVo::from_wire(&bytes).is_err());
+    }
+}

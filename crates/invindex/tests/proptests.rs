@@ -1,0 +1,120 @@
+//! Property-based tests for authenticated top-k search: for arbitrary small
+//! corpora and queries, (i) the authenticated search returns exactly the
+//! exhaustive top-k, (ii) the honest VO verifies, and (iii) the grouped
+//! variant agrees with the plain one.
+
+use imageproof_akm::bovw::{impacts_with_weights, ImpactModel, SparseBovw};
+use imageproof_crypto::Digest;
+use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk, GroupedInvertedIndex};
+use imageproof_invindex::{
+    exhaustive_topk, inv_search, verify_topk, BoundsMode, MerkleInvertedIndex,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const N_CLUSTERS: usize = 12;
+
+/// An arbitrary tiny corpus: each image gets 1..5 (cluster, frequency)
+/// pairs.
+fn corpus_strategy() -> impl Strategy<Value = Vec<(u64, SparseBovw)>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..N_CLUSTERS as u32, 1u32..4), 1..5),
+        1..40,
+    )
+    .prop_map(|images| {
+        images
+            .into_iter()
+            .enumerate()
+            .map(|(id, pairs)| (id as u64, SparseBovw::from_counts(pairs)))
+            .collect()
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = SparseBovw> {
+    proptest::collection::vec((0u32..N_CLUSTERS as u32, 1u32..3), 1..5)
+        .prop_map(SparseBovw::from_counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn authenticated_search_is_exact_and_verifiable(
+        images in corpus_strategy(),
+        query in query_strategy(),
+        k in 1usize..8,
+    ) {
+        let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+        let model = ImpactModel::build(N_CLUSTERS, &encodings);
+        let index = MerkleInvertedIndex::build(N_CLUSTERS, &images, &model);
+        let digests: HashMap<u32, Digest> =
+            index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+
+        let impacts = impacts_with_weights(&query, |c| index.list(c).weight);
+        let oracle = exhaustive_topk(&index, &impacts, k);
+
+        for mode in [BoundsMode::CuckooFiltered, BoundsMode::MaxBound] {
+            let out = inv_search(&index, &query, k, mode);
+            prop_assert_eq!(&out.topk, &oracle);
+            let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+            let verified = verify_topk(&out.vo, &query, &digests, &claimed, k, mode);
+            prop_assert!(verified.is_ok(), "mode {:?}: {:?}", mode, verified.err());
+        }
+    }
+
+    #[test]
+    fn grouped_search_agrees_and_verifies(
+        images in corpus_strategy(),
+        query in query_strategy(),
+        k in 1usize..6,
+    ) {
+        let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+        let model = ImpactModel::build(N_CLUSTERS, &encodings);
+        let plain = MerkleInvertedIndex::build(N_CLUSTERS, &images, &model);
+        let grouped = GroupedInvertedIndex::build(N_CLUSTERS, &images, &model);
+
+        let impacts = impacts_with_weights(&query, |c| plain.list(c).weight);
+        let plain_set: std::collections::BTreeSet<u64> =
+            exhaustive_topk(&plain, &impacts, k).iter().map(|&(i, _)| i).collect();
+
+        let out = grouped_search(&grouped, &query, k);
+        let grouped_set: std::collections::BTreeSet<u64> =
+            out.topk.iter().map(|&(i, _)| i).collect();
+        // Sets agree except for float-rounding ties; sizes always agree.
+        prop_assert_eq!(plain_set.len(), grouped_set.len());
+
+        let digests: HashMap<u32, Digest> =
+            grouped.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+        let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        let verified = verify_grouped_topk(&out.vo, &query, &digests, &claimed, k);
+        prop_assert!(verified.is_ok(), "{:?}", verified.err());
+    }
+
+    /// A forged winner set (swapping in any non-winner) never verifies.
+    #[test]
+    fn forged_winner_never_verifies(
+        images in corpus_strategy(),
+        query in query_strategy(),
+    ) {
+        let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+        let model = ImpactModel::build(N_CLUSTERS, &encodings);
+        let index = MerkleInvertedIndex::build(N_CLUSTERS, &images, &model);
+        let digests: HashMap<u32, Digest> =
+            index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+
+        let k = 2;
+        let out = inv_search(&index, &query, k, BoundsMode::CuckooFiltered);
+        prop_assume!(out.topk.len() == k);
+        let mut claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        // Find a non-winner whose score is strictly below the winner's —
+        // swapping it in must be rejected.
+        let impacts = impacts_with_weights(&query, |c| index.list(c).weight);
+        let all = exhaustive_topk(&index, &impacts, usize::MAX);
+        let kth_score = out.topk.last().map(|&(_, s)| s).unwrap_or(0.0);
+        let strictly_worse = all.iter().find(|&&(i, s)| !claimed.contains(&i) && s < kth_score);
+        prop_assume!(strictly_worse.is_some());
+        claimed[0] = strictly_worse.expect("checked").0;
+        let verified = verify_topk(&out.vo, &query, &digests, &claimed, k, BoundsMode::CuckooFiltered);
+        prop_assert!(verified.is_err(), "forged set verified");
+    }
+}

@@ -1,0 +1,488 @@
+//! SP-side `MRKDSearch` (paper Alg. 1): authenticated candidate collection
+//! and VO generation, with node sharing across query vectors.
+
+use crate::tree::{CandidateMode, MrkdForest, MrkdTree};
+use crate::traverse::{traverse, ActiveQuery, TraversalVisitor, TreeSource, ViewNode};
+use crate::vo::{BovwVo, Reveal, VoLeafEntry, VoNode};
+use imageproof_akm::rkd::{dist_sq, Node};
+use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
+use std::collections::BTreeSet;
+use std::convert::Infallible;
+
+/// Traversal statistics; the "ratio of shared nodes" plotted in Figs. 7–8 is
+/// `nodes_shared / nodes_traversed`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Disclosed nodes visited by at least one query.
+    pub nodes_traversed: usize,
+    /// Disclosed nodes visited by two or more queries simultaneously.
+    pub nodes_shared: usize,
+    /// Leaves disclosed.
+    pub leaves_visited: usize,
+}
+
+impl SearchStats {
+    /// Fraction of traversed nodes that served multiple queries.
+    pub fn shared_ratio(&self) -> f64 {
+        if self.nodes_traversed == 0 {
+            0.0
+        } else {
+            self.nodes_shared as f64 / self.nodes_traversed as f64
+        }
+    }
+
+    fn merge(&mut self, other: &SearchStats) {
+        self.nodes_traversed += other.nodes_traversed;
+        self.nodes_shared += other.nodes_shared;
+        self.leaves_visited += other.leaves_visited;
+    }
+}
+
+/// Output of `MRKDSearch` over the whole forest.
+#[derive(Clone, Debug)]
+pub struct SearchOutput {
+    /// One VO tree per MRKD-tree (`{VO_{C,i}}` in Alg. 5).
+    pub vo: BovwVo,
+    /// Per query: deduplicated `(cluster, squared distance)` candidates
+    /// within the threshold, across all trees (`∪ C_i`).
+    pub candidates: Vec<Vec<(u32, f32)>>,
+    pub stats: SearchStats,
+}
+
+/// [`TreeSource`] over a real MRKD-tree.
+struct MrkdSource<'a>(&'a MrkdTree);
+
+impl TreeSource for MrkdSource<'_> {
+    fn root(&self) -> usize {
+        self.0.rkd().root() as usize
+    }
+    fn view(&self, node: usize) -> ViewNode {
+        match &self.0.rkd().nodes()[node] {
+            Node::Internal {
+                dim,
+                value,
+                left,
+                right,
+            } => ViewNode::Internal {
+                dim: *dim,
+                value: *value,
+                left: *left as usize,
+                right: *right as usize,
+            },
+            Node::Leaf { .. } => ViewNode::Leaf,
+        }
+    }
+}
+
+struct SpVisitor<'a> {
+    forest: &'a MrkdForest,
+    tree: &'a MrkdTree,
+    queries: &'a [Vec<f32>],
+    thresholds_sq: &'a [f32],
+    candidates: &'a mut [Vec<(u32, f32)>],
+    stats: SearchStats,
+}
+
+impl TraversalVisitor for SpVisitor<'_> {
+    type Out = VoNode;
+    type Err = Infallible;
+
+    fn inactive(&mut self, node: usize) -> Result<VoNode, Infallible> {
+        Ok(VoNode::Pruned(self.tree.node_digest(node as u32)))
+    }
+
+    fn opaque(&mut self, _node: usize, _active: &[ActiveQuery]) -> Result<VoNode, Infallible> {
+        unreachable!("the SP walks the real tree, which has no opaque nodes")
+    }
+
+    fn leaf(&mut self, node: usize, active: &[ActiveQuery]) -> Result<VoNode, Infallible> {
+        self.stats.nodes_traversed += 1;
+        self.stats.leaves_visited += 1;
+        if active.len() > 1 {
+            self.stats.nodes_shared += 1;
+        }
+        let Node::Leaf { clusters } = &self.tree.rkd().nodes()[node] else {
+            unreachable!("leaf callback on non-leaf");
+        };
+        let entries = clusters
+            .iter()
+            .map(|&cluster| self.leaf_entry(cluster, active))
+            .collect();
+        Ok(VoNode::Leaf { entries })
+    }
+
+    fn internal(
+        &mut self,
+        _node: usize,
+        dim: u32,
+        value: f32,
+        active: &[ActiveQuery],
+        left: VoNode,
+        right: VoNode,
+    ) -> Result<VoNode, Infallible> {
+        self.stats.nodes_traversed += 1;
+        if active.len() > 1 {
+            self.stats.nodes_shared += 1;
+        }
+        Ok(VoNode::Internal {
+            dim,
+            value,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+}
+
+impl SpVisitor<'_> {
+    fn leaf_entry(&mut self, cluster: u32, active: &[ActiveQuery]) -> VoLeafEntry {
+        let center = &self.forest.centers()[cluster as usize];
+        let mut is_candidate = false;
+        for aq in active {
+            let q = aq.query as usize;
+            let d = dist_sq(&self.queries[q], center);
+            if d <= self.thresholds_sq[q] {
+                self.candidates[q].push((cluster, d));
+                is_candidate = true;
+            }
+        }
+        let reveal = match self.forest.mode() {
+            CandidateMode::Full => Reveal::Full {
+                coords: center.clone(),
+            },
+            CandidateMode::Compressed => {
+                if is_candidate {
+                    Reveal::FullCompressed {
+                        coords: center.clone(),
+                    }
+                } else {
+                    self.partial_reveal(cluster, active)
+                }
+            }
+        };
+        VoLeafEntry {
+            cluster,
+            inv_digest: self.forest.inv_digest(cluster),
+            reveal,
+        }
+    }
+
+    /// Chooses a dimension-block subset proving `dist(q, c) ≥ t_q` for every
+    /// active query (§VI-A): greedily picks the blocks with the largest
+    /// contributions, then validates with the client's exact summation.
+    fn partial_reveal(&self, cluster: u32, active: &[ActiveQuery]) -> Reveal {
+        let center = &self.forest.centers()[cluster as usize];
+        let dim_tree = self
+            .forest
+            .dim_tree(cluster)
+            .expect("compressed mode has dimension trees");
+        let dim = center.len();
+        let total_blocks = crate::tree::n_blocks(dim);
+        let mut selected: BTreeSet<u32> = BTreeSet::new();
+
+        for aq in active {
+            let q = &self.queries[aq.query as usize];
+            let t = self.thresholds_sq[aq.query as usize];
+            if partial_sum_selected(&selected, q, center) >= t {
+                continue;
+            }
+            // Blocks by descending contribution for this query.
+            let mut order: Vec<u32> = (0..total_blocks as u32)
+                .filter(|b| !selected.contains(b))
+                .collect();
+            order.sort_by(|&a, &b| {
+                block_contribution(q, center, b).total_cmp(&block_contribution(q, center, a))
+            });
+            for b in order {
+                selected.insert(b);
+                if partial_sum_selected(&selected, q, center) >= t {
+                    break;
+                }
+            }
+            debug_assert!(
+                partial_sum_selected(&selected, q, center) >= t,
+                "a non-candidate's full distance must exceed the threshold"
+            );
+        }
+
+        if selected.is_empty() {
+            // Every active query's threshold was already met by the empty
+            // sum (t = 0, query coincides with its winner); reveal one block
+            // anyway — the verifier rejects empty disclosures.
+            selected.insert(0);
+        }
+        let indices: Vec<usize> = selected.iter().map(|&b| b as usize).collect();
+        let proof = dim_tree.prove_subset(&indices);
+        let blocks = selected
+            .iter()
+            .map(|&b| {
+                (
+                    b,
+                    center[crate::tree::block_range(b as usize, dim)].to_vec(),
+                )
+            })
+            .collect();
+        Reveal::Partial {
+            dim_root: dim_tree.root(),
+            blocks,
+            proof,
+        }
+    }
+}
+
+fn block_contribution(q: &[f32], center: &[f32], block: u32) -> f32 {
+    crate::tree::block_range(block as usize, center.len())
+        .map(|d| {
+            let diff = q[d] - center[d];
+            diff * diff
+        })
+        .sum()
+}
+
+/// The partial distance over selected blocks, summed in ascending block
+/// order (dimensions ascending within a block) — the exact computation the
+/// client performs, so the SP validates against the same float rounding.
+fn partial_sum_selected(blocks: &BTreeSet<u32>, q: &[f32], center: &[f32]) -> f32 {
+    blocks.iter().map(|&b| block_contribution(q, center, b)).sum()
+}
+
+/// Client-side counterpart over the VO's revealed `(block, coords)` pairs.
+/// Callers must have validated block indices and lengths beforehand.
+pub fn partial_sum_revealed(blocks: &[(u32, Vec<f32>)], q: &[f32]) -> f32 {
+    blocks
+        .iter()
+        .map(|(b, coords)| {
+            crate::tree::block_range(*b as usize, q.len())
+                .zip(coords)
+                .map(|(d, &v)| {
+                    let diff = q[d] - v;
+                    diff * diff
+                })
+                .sum::<f32>()
+        })
+        .sum()
+}
+
+/// `MRKDSearch` with node sharing: one traversal per tree serving all query
+/// vectors, producing the VO forest plus the candidate sets.
+pub fn mrkd_search(
+    forest: &MrkdForest,
+    queries: &[Vec<f32>],
+    thresholds_sq: &[f32],
+) -> SearchOutput {
+    assert_eq!(queries.len(), thresholds_sq.len());
+    let mut candidates = vec![Vec::new(); queries.len()];
+    let mut stats = SearchStats::default();
+    let mut trees = Vec::with_capacity(forest.trees().len());
+    for tree in forest.trees() {
+        let mut visitor = SpVisitor {
+            forest,
+            tree,
+            queries,
+            thresholds_sq,
+            candidates: &mut candidates,
+            stats: SearchStats::default(),
+        };
+        let vo = match traverse(&MrkdSource(tree), queries, thresholds_sq, &mut visitor) {
+            Ok(vo) => vo,
+            Err(e) => match e {},
+        };
+        stats.merge(&visitor.stats);
+        trees.push(vo);
+    }
+    for list in &mut candidates {
+        list.sort_unstable_by_key(|e| e.0);
+        list.dedup_by_key(|e| e.0);
+    }
+    SearchOutput {
+        vo: BovwVo { trees },
+        candidates,
+        stats,
+    }
+}
+
+/// The Baseline scheme's BoVW VO: an independent `MRKDSearch` per query
+/// vector (no node sharing), as used in §VII's Baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineBovwVo {
+    pub per_query: Vec<BovwVo>,
+}
+
+impl Encode for BaselineBovwVo {
+    fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.per_query.len());
+        for vo in &self.per_query {
+            vo.encode(w);
+        }
+    }
+}
+
+impl Decode for BaselineBovwVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len()?;
+        let mut per_query = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_query.push(BovwVo::decode(r)?);
+        }
+        Ok(BaselineBovwVo { per_query })
+    }
+}
+
+/// Baseline `MRKDSearch`: per-query traversals; the VOs duplicate every
+/// shared node's digests, which is exactly the overhead Figs. 6–8 plot.
+pub fn mrkd_search_baseline(
+    forest: &MrkdForest,
+    queries: &[Vec<f32>],
+    thresholds_sq: &[f32],
+) -> (BaselineBovwVo, Vec<Vec<(u32, f32)>>, SearchStats) {
+    assert!(
+        forest.mode() == CandidateMode::Full,
+        "the Baseline scheme uses full candidate disclosure"
+    );
+    let mut per_query = Vec::with_capacity(queries.len());
+    let mut candidates = Vec::with_capacity(queries.len());
+    let mut stats = SearchStats::default();
+    for (q, &t) in queries.iter().zip(thresholds_sq) {
+        let out = mrkd_search(forest, std::slice::from_ref(q), &[t]);
+        stats.merge(&out.stats);
+        per_query.push(out.vo);
+        candidates.push(out.candidates.into_iter().next().expect("one query"));
+    }
+    (BaselineBovwVo { per_query }, candidates, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imageproof_akm::rkd::RkdForest;
+    use imageproof_crypto::Digest;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DIM: usize = 64;
+
+    fn setup(mode: CandidateMode) -> (Vec<Vec<f32>>, MrkdForest) {
+        let mut rng = StdRng::seed_from_u64(51);
+        let centers: Vec<Vec<f32>> = (0..80)
+            .map(|_| (0..DIM).map(|_| rng.gen::<f32>()).collect())
+            .collect();
+        let inv: Vec<Digest> = (0..80u32)
+            .map(|c| Digest::of(format!("inv-{c}").as_bytes()))
+            .collect();
+        let forest = RkdForest::build(&centers, 3, 2, 52);
+        let mrkd = MrkdForest::build(&forest, &centers, &inv, mode);
+        (centers, mrkd)
+    }
+
+    /// Queries are perturbed centroids — like real local features, they sit
+    /// close to one visual word — with threshold = exact NN distance, as
+    /// Alg. 5 line 1 computes.
+    fn queries_and_thresholds(centers: &[Vec<f32>], n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(53);
+        let queries: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                let base = &centers[rng.gen_range(0..centers.len())];
+                base.iter()
+                    .map(|&v| v + rng.gen_range(-0.02f32..0.02))
+                    .collect()
+            })
+            .collect();
+        let thresholds = queries
+            .iter()
+            .map(|q| {
+                centers
+                    .iter()
+                    .map(|c| dist_sq(q, c))
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect();
+        (queries, thresholds)
+    }
+
+    #[test]
+    fn candidates_contain_the_exact_nearest_cluster() {
+        let (centers, mrkd) = setup(CandidateMode::Full);
+        let (queries, thresholds) = queries_and_thresholds(&centers, 10);
+        let out = mrkd_search(&mrkd, &queries, &thresholds);
+        for (qi, q) in queries.iter().enumerate() {
+            let nn = (0..centers.len() as u32)
+                .min_by(|&a, &b| {
+                    dist_sq(q, &centers[a as usize]).total_cmp(&dist_sq(q, &centers[b as usize]))
+                })
+                .expect("non-empty");
+            assert!(
+                out.candidates[qi].iter().any(|&(c, _)| c == nn),
+                "query {qi} lost its nearest cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_search_visits_fewer_nodes_than_baseline() {
+        let (centers, mrkd) = setup(CandidateMode::Full);
+        let (queries, thresholds) = queries_and_thresholds(&centers, 20);
+        let shared = mrkd_search(&mrkd, &queries, &thresholds);
+        let (_, _, baseline_stats) = mrkd_search_baseline(&mrkd, &queries, &thresholds);
+        assert!(shared.stats.nodes_traversed < baseline_stats.nodes_traversed);
+    }
+
+    #[test]
+    fn shared_vo_is_smaller_than_baseline_vo() {
+        let (centers, mrkd) = setup(CandidateMode::Full);
+        let (queries, thresholds) = queries_and_thresholds(&centers, 20);
+        let shared = mrkd_search(&mrkd, &queries, &thresholds);
+        let (baseline_vo, _, _) = mrkd_search_baseline(&mrkd, &queries, &thresholds);
+        assert!(shared.vo.wire_size() < baseline_vo.wire_size());
+    }
+
+    #[test]
+    fn compressed_vo_is_smaller_than_full_vo() {
+        let (centers, full) = setup(CandidateMode::Full);
+        let (_, compressed) = setup(CandidateMode::Compressed);
+        let (queries, thresholds) = queries_and_thresholds(&centers, 20);
+        let a = mrkd_search(&full, &queries, &thresholds);
+        let b = mrkd_search(&compressed, &queries, &thresholds);
+        // Same traversal shape either way.
+        assert_eq!(a.stats.nodes_traversed, b.stats.nodes_traversed);
+        assert!(
+            b.vo.wire_size() < a.vo.wire_size(),
+            "compressed {} >= full {}",
+            b.vo.wire_size(),
+            a.vo.wire_size()
+        );
+    }
+
+    #[test]
+    fn baseline_candidates_match_shared_candidates() {
+        let (centers, mrkd) = setup(CandidateMode::Full);
+        let (queries, thresholds) = queries_and_thresholds(&centers, 15);
+        let shared = mrkd_search(&mrkd, &queries, &thresholds);
+        let (_, baseline_cands, _) = mrkd_search_baseline(&mrkd, &queries, &thresholds);
+        for (qi, mut solo) in baseline_cands.into_iter().enumerate() {
+            solo.sort_unstable_by_key(|e| e.0);
+            solo.dedup_by_key(|e| e.0);
+            assert_eq!(shared.candidates[qi], solo, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn vo_round_trips_through_wire_format() {
+        for mode in [CandidateMode::Full, CandidateMode::Compressed] {
+            let (centers, mrkd) = setup(mode);
+            let (queries, thresholds) = queries_and_thresholds(&centers, 8);
+            let out = mrkd_search(&mrkd, &queries, &thresholds);
+            let bytes = out.vo.to_wire();
+            let decoded = BovwVo::from_wire(&bytes).expect("round trip");
+            assert_eq!(decoded, out.vo);
+        }
+    }
+
+    #[test]
+    fn stats_shared_ratio_is_sane() {
+        let (centers, mrkd) = setup(CandidateMode::Full);
+        let (queries, thresholds) = queries_and_thresholds(&centers, 30);
+        let out = mrkd_search(&mrkd, &queries, &thresholds);
+        let r = out.stats.shared_ratio();
+        assert!((0.0..=1.0).contains(&r));
+        assert!(r > 0.0, "30 queries on one tree must share the root");
+    }
+}

@@ -1,0 +1,503 @@
+//! The Merkle randomized k-d tree (MRKD-tree) and forest (paper §IV-A).
+//!
+//! An MRKD-tree is a randomized k-d tree whose nodes carry digests:
+//!
+//! * internal nodes: `h_N = h(l_N | h_left | h_right)` (Def. 2), where the
+//!   hyperplane `l_N` is the split dimension and value;
+//! * leaf nodes: `h_N = h(c_1 | h_{Γ_{c_1}} | … | c_τ | h_{Γ_{c_τ}})`
+//!   (Def. 3) — each cluster is bound together with the digest of its Merkle
+//!   inverted list, which is what connects the two ADSs of ImageProof.
+//!
+//! A cluster is bound either by its full centroid coordinates (base scheme)
+//! or by the root of a Merkle tree over its coordinates (the §VI-A
+//! candidate-compression optimization) — see [`CandidateMode`].
+
+use imageproof_akm::rkd::{Node, RkdForest, RkdTree};
+use imageproof_crypto::{Digest, MerkleTree};
+
+/// How cluster centroids are committed inside leaf digests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CandidateMode {
+    /// Leaf digests bind full centroid coordinates; the VO reveals them all.
+    Full,
+    /// Leaf digests bind a per-cluster dimension Merkle root; the VO reveals
+    /// full coordinates only for nearest-neighbour candidates and partial
+    /// coordinates (with subset proofs) otherwise (§VI-A).
+    Compressed,
+}
+
+/// Hashes one leaf-entry binding. Shared by owner (build), SP (pruned-leaf
+/// digests) and client (reconstruction) so the binding can never drift.
+pub fn leaf_entry_digest_full(cluster: u32, coords: &[f32], inv_digest: &Digest) -> Digest {
+    Digest::builder()
+        .u32(cluster)
+        .f32_slice(coords)
+        .digest(inv_digest)
+        .finish()
+}
+
+/// Compressed-mode variant: binds the dimension-tree root instead of raw
+/// coordinates.
+pub fn leaf_entry_digest_compressed(cluster: u32, dim_root: &Digest, inv_digest: &Digest) -> Digest {
+    Digest::builder()
+        .u32(cluster)
+        .digest(dim_root)
+        .digest(inv_digest)
+        .finish()
+}
+
+/// Hashes a whole leaf from its entry digests (Def. 3).
+pub fn leaf_digest(entry_digests: &[Digest]) -> Digest {
+    let mut b = Digest::builder().u64(entry_digests.len() as u64);
+    for d in entry_digests {
+        b = b.digest(d);
+    }
+    b.finish()
+}
+
+/// Hashes an internal node (Def. 2).
+pub fn internal_digest(dim: u32, value: f32, left: &Digest, right: &Digest) -> Digest {
+    Digest::builder()
+        .u32(dim)
+        .f32(value)
+        .digest(left)
+        .digest(right)
+        .finish()
+}
+
+/// Dimensions per Merkle leaf of the per-cluster commitment.
+///
+/// Committing *blocks* of dimensions rather than single dimensions keeps the
+/// §VI-A optimization profitable: a revealed dimension costs 4 bytes but a
+/// Merkle sibling costs 32, so per-dimension leaves would make partial
+/// disclosure larger than the full centroid. Sixteen-dimension blocks give
+/// 8 leaves for SIFT (128-d) and 4 for SURF (64-d).
+pub const BLOCK_DIMS: usize = 16;
+
+/// Number of commitment blocks for a `dim`-dimensional centroid.
+pub fn n_blocks(dim: usize) -> usize {
+    dim.div_ceil(BLOCK_DIMS)
+}
+
+/// The dimension range covered by `block`.
+pub fn block_range(block: usize, dim: usize) -> std::ops::Range<usize> {
+    let start = block * BLOCK_DIMS;
+    start..((block + 1) * BLOCK_DIMS).min(dim)
+}
+
+/// Canonical leaf bytes of one block: the block's coordinates as
+/// little-endian IEEE-754 bit patterns.
+pub fn block_bytes(block_coords: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(block_coords.len() * 4);
+    for c in block_coords {
+        out.extend_from_slice(&c.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Builds the Merkle tree over one centroid's dimension blocks, used in
+/// [`CandidateMode::Compressed`].
+pub fn dimension_tree(coords: &[f32]) -> MerkleTree {
+    let leaves: Vec<Vec<u8>> = (0..n_blocks(coords.len()))
+        .map(|b| block_bytes(&coords[block_range(b, coords.len())]))
+        .collect();
+    MerkleTree::from_leaf_data(&leaves)
+}
+
+/// One MRKD-tree: the underlying randomized k-d tree plus per-node digests.
+#[derive(Clone, Debug)]
+pub struct MrkdTree {
+    rkd: RkdTree,
+    digests: Vec<Digest>,
+}
+
+impl MrkdTree {
+    /// Wraps an existing randomized k-d tree with digests.
+    pub fn build(
+        rkd: RkdTree,
+        centers: &[Vec<f32>],
+        inv_digests: &[Digest],
+        mode: CandidateMode,
+        dim_roots: Option<&[Digest]>,
+    ) -> MrkdTree {
+        let mut digests = vec![Digest::ZERO; rkd.nodes().len()];
+        // Children always precede nothing in particular (parents precede
+        // children in the arena), so compute bottom-up by index descending.
+        for idx in (0..rkd.nodes().len()).rev() {
+            digests[idx] = match &rkd.nodes()[idx] {
+                Node::Leaf { clusters } => {
+                    let entry_digests: Vec<Digest> = clusters
+                        .iter()
+                        .map(|&c| match mode {
+                            CandidateMode::Full => leaf_entry_digest_full(
+                                c,
+                                &centers[c as usize],
+                                &inv_digests[c as usize],
+                            ),
+                            CandidateMode::Compressed => leaf_entry_digest_compressed(
+                                c,
+                                &dim_roots.expect("compressed mode needs dim roots")[c as usize],
+                                &inv_digests[c as usize],
+                            ),
+                        })
+                        .collect();
+                    leaf_digest(&entry_digests)
+                }
+                Node::Internal {
+                    dim,
+                    value,
+                    left,
+                    right,
+                } => internal_digest(
+                    *dim,
+                    *value,
+                    &digests[*left as usize],
+                    &digests[*right as usize],
+                ),
+            };
+        }
+        MrkdTree { rkd, digests }
+    }
+
+    /// The underlying randomized k-d tree.
+    pub fn rkd(&self) -> &RkdTree {
+        &self.rkd
+    }
+
+    /// Recomputes the digests after some clusters' inverted-list digests
+    /// changed (owner-side incremental update). One O(n) scan; hashes are
+    /// recomputed only for affected leaves and their ancestors, so an
+    /// update touching `k` clusters costs `O(k log n)` hash invocations.
+    pub fn refresh(
+        &mut self,
+        centers: &[Vec<f32>],
+        inv_digests: &[Digest],
+        mode: CandidateMode,
+        dim_roots: Option<&[Digest]>,
+        changed: &std::collections::BTreeSet<u32>,
+    ) {
+        let n = self.rkd.nodes().len();
+        let mut dirty = vec![false; n];
+        // Parents precede children in the arena, so a reverse scan sees
+        // children first.
+        for idx in (0..n).rev() {
+            match &self.rkd.nodes()[idx] {
+                Node::Leaf { clusters } => {
+                    if clusters.iter().any(|c| changed.contains(c)) {
+                        let entry_digests: Vec<Digest> = clusters
+                            .iter()
+                            .map(|&c| match mode {
+                                CandidateMode::Full => leaf_entry_digest_full(
+                                    c,
+                                    &centers[c as usize],
+                                    &inv_digests[c as usize],
+                                ),
+                                CandidateMode::Compressed => leaf_entry_digest_compressed(
+                                    c,
+                                    &dim_roots.expect("compressed mode needs dim roots")
+                                        [c as usize],
+                                    &inv_digests[c as usize],
+                                ),
+                            })
+                            .collect();
+                        self.digests[idx] = leaf_digest(&entry_digests);
+                        dirty[idx] = true;
+                    }
+                }
+                Node::Internal {
+                    dim,
+                    value,
+                    left,
+                    right,
+                } => {
+                    if dirty[*left as usize] || dirty[*right as usize] {
+                        self.digests[idx] = internal_digest(
+                            *dim,
+                            *value,
+                            &self.digests[*left as usize],
+                            &self.digests[*right as usize],
+                        );
+                        dirty[idx] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Digest of node `idx`.
+    pub fn node_digest(&self, idx: u32) -> Digest {
+        self.digests[idx as usize]
+    }
+
+    /// Root digest of this tree.
+    pub fn root_digest(&self) -> Digest {
+        self.digests[self.rkd.root() as usize]
+    }
+}
+
+/// The MRKD forest: every tree of the AKM forest, Merkle-ized, plus the
+/// shared per-cluster commitments.
+#[derive(Clone, Debug)]
+pub struct MrkdForest {
+    mode: CandidateMode,
+    trees: Vec<MrkdTree>,
+    /// Cluster centroids (shared with the codebook).
+    centers: Vec<Vec<f32>>,
+    /// Per-cluster inverted-list digests `h_{Γ_c}`.
+    inv_digests: Vec<Digest>,
+    /// Per-cluster dimension Merkle trees (compressed mode only).
+    dim_trees: Option<Vec<MerkleTree>>,
+}
+
+impl MrkdForest {
+    /// Builds the authenticated forest over an AKM forest.
+    ///
+    /// `inv_digests[c]` must be the digest of cluster `c`'s Merkle inverted
+    /// list (Def. 5), which Def. 3 embeds into leaf digests.
+    pub fn build(
+        forest: &RkdForest,
+        centers: &[Vec<f32>],
+        inv_digests: &[Digest],
+        mode: CandidateMode,
+    ) -> MrkdForest {
+        assert_eq!(
+            centers.len(),
+            inv_digests.len(),
+            "one inverted-list digest per cluster"
+        );
+        let dim_trees = match mode {
+            CandidateMode::Full => None,
+            CandidateMode::Compressed => {
+                Some(centers.iter().map(|c| dimension_tree(c)).collect::<Vec<_>>())
+            }
+        };
+        let dim_roots: Option<Vec<Digest>> = dim_trees
+            .as_ref()
+            .map(|ts| ts.iter().map(MerkleTree::root).collect());
+        let trees = forest
+            .trees()
+            .iter()
+            .map(|t| {
+                MrkdTree::build(
+                    t.clone(),
+                    centers,
+                    inv_digests,
+                    mode,
+                    dim_roots.as_deref(),
+                )
+            })
+            .collect();
+        MrkdForest {
+            mode,
+            trees,
+            centers: centers.to_vec(),
+            inv_digests: inv_digests.to_vec(),
+            dim_trees,
+        }
+    }
+
+    pub fn mode(&self) -> CandidateMode {
+        self.mode
+    }
+
+    pub fn trees(&self) -> &[MrkdTree] {
+        &self.trees
+    }
+
+    pub fn centers(&self) -> &[Vec<f32>] {
+        &self.centers
+    }
+
+    pub fn inv_digest(&self, cluster: u32) -> Digest {
+        self.inv_digests[cluster as usize]
+    }
+
+    /// Dimension Merkle tree of one cluster (compressed mode).
+    pub fn dim_tree(&self, cluster: u32) -> Option<&MerkleTree> {
+        self.dim_trees.as_ref().map(|t| &t[cluster as usize])
+    }
+
+    /// The combined digest the owner signs: `h(root_1 | … | root_{n_t})`
+    /// (§V-A step iii).
+    pub fn combined_root_digest(&self) -> Digest {
+        combined_root_digest(&self.trees.iter().map(MrkdTree::root_digest).collect::<Vec<_>>())
+    }
+
+    /// Owner-side incremental update: installs new inverted-list digests
+    /// for `updates` and refreshes every tree's digest paths. Used when
+    /// images are inserted into or removed from the outsourced catalogue.
+    pub fn apply_inv_digest_updates(
+        &mut self,
+        updates: &std::collections::BTreeMap<u32, Digest>,
+    ) {
+        if updates.is_empty() {
+            return;
+        }
+        for (&cluster, &digest) in updates {
+            self.inv_digests[cluster as usize] = digest;
+        }
+        let changed: std::collections::BTreeSet<u32> = updates.keys().copied().collect();
+        let dim_roots: Option<Vec<Digest>> = self
+            .dim_trees
+            .as_ref()
+            .map(|ts| ts.iter().map(MerkleTree::root).collect());
+        for tree in &mut self.trees {
+            tree.refresh(
+                &self.centers,
+                &self.inv_digests,
+                self.mode,
+                dim_roots.as_deref(),
+                &changed,
+            );
+        }
+    }
+}
+
+/// Combines per-tree root digests into the signed ImageProof digest; the
+/// client calls this on *reconstructed* roots.
+pub fn combined_root_digest(roots: &[Digest]) -> Digest {
+    let mut b = Digest::builder().u64(roots.len() as u64);
+    for r in roots {
+        b = b.digest(r);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(mode: CandidateMode) -> (Vec<Vec<f32>>, Vec<Digest>, MrkdForest) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let centers: Vec<Vec<f32>> = (0..50)
+            .map(|_| (0..16).map(|_| rng.gen::<f32>()).collect())
+            .collect();
+        let inv_digests: Vec<Digest> = (0..50u32)
+            .map(|c| Digest::of(format!("list-{c}").as_bytes()))
+            .collect();
+        let forest = RkdForest::build(&centers, 3, 2, 11);
+        let mrkd = MrkdForest::build(&forest, &centers, &inv_digests, mode);
+        (centers, inv_digests, mrkd)
+    }
+
+    #[test]
+    fn build_produces_digest_per_node() {
+        let (_, _, mrkd) = setup(CandidateMode::Full);
+        for tree in mrkd.trees() {
+            assert_eq!(tree.digests.len(), tree.rkd().nodes().len());
+            assert!(tree.digests.iter().all(|d| *d != Digest::ZERO));
+        }
+    }
+
+    #[test]
+    fn root_digest_changes_when_a_center_changes() {
+        let (mut centers, inv_digests, mrkd) = setup(CandidateMode::Full);
+        let forest = RkdForest::build(&centers, 3, 2, 11);
+        centers[13][5] += 0.5;
+        let tampered = MrkdForest::build(&forest, &centers, &inv_digests, CandidateMode::Full);
+        assert_ne!(
+            mrkd.combined_root_digest(),
+            tampered.combined_root_digest()
+        );
+    }
+
+    #[test]
+    fn root_digest_changes_when_an_inverted_list_digest_changes() {
+        let (centers, mut inv_digests, mrkd) = setup(CandidateMode::Full);
+        let forest = RkdForest::build(&centers, 3, 2, 11);
+        inv_digests[20] = Digest::of(b"forged list");
+        let tampered = MrkdForest::build(&forest, &centers, &inv_digests, CandidateMode::Full);
+        assert_ne!(
+            mrkd.combined_root_digest(),
+            tampered.combined_root_digest()
+        );
+    }
+
+    #[test]
+    fn modes_produce_distinct_commitments() {
+        let (_, _, full) = setup(CandidateMode::Full);
+        let (_, _, compressed) = setup(CandidateMode::Compressed);
+        assert_ne!(
+            full.combined_root_digest(),
+            compressed.combined_root_digest()
+        );
+    }
+
+    #[test]
+    fn compressed_mode_has_dim_trees_matching_roots() {
+        let (centers, _, mrkd) = setup(CandidateMode::Compressed);
+        for c in 0..centers.len() as u32 {
+            let t = mrkd.dim_tree(c).expect("compressed mode");
+            assert_eq!(t.root(), dimension_tree(&centers[c as usize]).root());
+            assert_eq!(t.len(), n_blocks(16));
+        }
+        let (_, _, full) = setup(CandidateMode::Full);
+        assert!(full.dim_tree(0).is_none());
+    }
+
+    #[test]
+    fn block_geometry_covers_all_dimensions_exactly_once() {
+        for dim in [1usize, 15, 16, 17, 64, 100, 128] {
+            let mut covered = vec![0u32; dim];
+            for b in 0..n_blocks(dim) {
+                for d in block_range(b, dim) {
+                    covered[d] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn leaf_digest_depends_on_entry_order_and_count() {
+        let a = Digest::of(b"a");
+        let b = Digest::of(b"b");
+        assert_ne!(leaf_digest(&[a, b]), leaf_digest(&[b, a]));
+        assert_ne!(leaf_digest(&[a]), leaf_digest(&[a, a]));
+    }
+
+    #[test]
+    fn incremental_refresh_matches_full_rebuild() {
+        for mode in [CandidateMode::Full, CandidateMode::Compressed] {
+            let (centers, mut inv_digests, mut mrkd) = setup(mode);
+            // Change three clusters' list digests.
+            let updates: std::collections::BTreeMap<u32, Digest> = [3u32, 17, 42]
+                .into_iter()
+                .map(|c| (c, Digest::of(format!("new-list-{c}").as_bytes())))
+                .collect();
+            for (&c, &d) in &updates {
+                inv_digests[c as usize] = d;
+            }
+            mrkd.apply_inv_digest_updates(&updates);
+
+            let forest = RkdForest::build(&centers, 3, 2, 11);
+            let rebuilt = MrkdForest::build(&forest, &centers, &inv_digests, mode);
+            assert_eq!(
+                mrkd.combined_root_digest(),
+                rebuilt.combined_root_digest(),
+                "{mode:?}"
+            );
+            for (a, b) in mrkd.trees().iter().zip(rebuilt.trees()) {
+                assert_eq!(a.root_digest(), b.root_digest(), "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_refresh_is_a_no_op() {
+        let (_, _, mut mrkd) = setup(CandidateMode::Full);
+        let before = mrkd.combined_root_digest();
+        mrkd.apply_inv_digest_updates(&std::collections::BTreeMap::new());
+        assert_eq!(mrkd.combined_root_digest(), before);
+    }
+
+    #[test]
+    fn combined_root_binds_count_and_order() {
+        let a = Digest::of(b"a");
+        let b = Digest::of(b"b");
+        assert_ne!(combined_root_digest(&[a, b]), combined_root_digest(&[b, a]));
+        assert_ne!(combined_root_digest(&[a]), combined_root_digest(&[a, a]));
+    }
+}

@@ -1,0 +1,781 @@
+//! Client-side verification of authenticated BoVW encoding (paper §IV-A2).
+//!
+//! Given the query feature vectors and the VO forest, the client:
+//!
+//! 1. **Reconstructs** every tree's root digest from the VO (rejecting
+//!    malformed disclosures), collecting all fully-revealed centroids and
+//!    the per-cluster inverted-list digests;
+//! 2. Derives each query's **verified threshold** `t'_q` — the distance to
+//!    the nearest fully-revealed centroid — and its winner cluster;
+//! 3. **Re-walks** each VO with the shared traversal engine to check
+//!    completeness: no pruned subtree is reachable within `t'_q`, and every
+//!    partially-disclosed cluster proves it is at least `t'_q` away.
+//!
+//! If all checks pass and the combined root digest matches the owner's
+//! signature (checked by the caller), the winners are exactly the clusters
+//! the honest assignment rule produces, so the client can rebuild `B_Q`
+//! itself.
+
+use crate::search::partial_sum_revealed;
+use crate::tree::{
+    block_range, block_bytes, combined_root_digest, dimension_tree, internal_digest,
+    leaf_digest, leaf_entry_digest_compressed, leaf_entry_digest_full, n_blocks, CandidateMode,
+};
+use crate::traverse::{traverse, ActiveQuery, TraversalVisitor, TreeSource, ViewNode};
+use crate::vo::{BovwVo, Reveal, VoLeafEntry, VoNode};
+use imageproof_akm::rkd::dist_sq;
+use imageproof_crypto::merkle::hash_leaf;
+use imageproof_crypto::Digest;
+use std::collections::BTreeMap;
+
+/// Why a VO was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Structurally invalid VO.
+    Malformed(&'static str),
+    /// The SP pruned a subtree that some query can still reach — a
+    /// completeness violation.
+    PrunedSubtreeReachable,
+    /// A partial disclosure does not prove the cluster is at least as far as
+    /// the verified winner.
+    PartialTooClose { cluster: u32, query: u32 },
+    /// A dimension-block subset proof failed.
+    BadSubsetProof { cluster: u32 },
+    /// The reveal kinds do not match the scheme's candidate mode.
+    WrongMode,
+    /// No centroid was fully revealed, so no winner can be established.
+    NoCandidate,
+    /// The same cluster appeared with two different inverted-list digests.
+    InconsistentInvDigest { cluster: u32 },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Malformed(m) => write!(f, "malformed VO: {m}"),
+            VerifyError::PrunedSubtreeReachable => {
+                write!(f, "a pruned subtree is reachable within a verified threshold")
+            }
+            VerifyError::PartialTooClose { cluster, query } => write!(
+                f,
+                "partial disclosure of cluster {cluster} fails to clear query {query}'s threshold"
+            ),
+            VerifyError::BadSubsetProof { cluster } => {
+                write!(f, "dimension subset proof failed for cluster {cluster}")
+            }
+            VerifyError::WrongMode => write!(f, "reveal kind does not match candidate mode"),
+            VerifyError::NoCandidate => write!(f, "no fully revealed centroid in VO"),
+            VerifyError::InconsistentInvDigest { cluster } => {
+                write!(f, "conflicting inverted-list digests for cluster {cluster}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The verified outcome of BoVW-encoding authentication.
+#[derive(Debug, Clone)]
+pub struct VerifiedBovw {
+    /// `h(root_1 | … | root_{n_t})`, to be checked against the owner's
+    /// signature.
+    pub combined_root: Digest,
+    /// Winner cluster per query — the verified BoVW assignments.
+    pub assignments: Vec<u32>,
+    /// Verified squared thresholds `t'_q` (distance to each winner).
+    pub thresholds_sq: Vec<f32>,
+    /// Authenticated `h_{Γ_c}` for every cluster disclosed in a leaf.
+    pub inv_digests: BTreeMap<u32, Digest>,
+}
+
+/// Verifies a shared-traversal BoVW VO (the ImageProof / Optimized schemes).
+pub fn verify_bovw(
+    vo: &BovwVo,
+    queries: &[Vec<f32>],
+    mode: CandidateMode,
+) -> Result<VerifiedBovw, VerifyError> {
+    if queries.is_empty() {
+        return Err(VerifyError::Malformed("no query vectors"));
+    }
+    let dim = queries[0].len();
+    if dim == 0 || queries.iter().any(|q| q.len() != dim) {
+        return Err(VerifyError::Malformed("inconsistent query dimensionality"));
+    }
+    if vo.trees.is_empty() {
+        return Err(VerifyError::Malformed("no VO trees"));
+    }
+
+    // Phase 1: digest reconstruction + reveal collection.
+    let mut collector = Collector {
+        dim,
+        mode,
+        reveals: BTreeMap::new(),
+        inv_digests: BTreeMap::new(),
+    };
+    let mut roots = Vec::with_capacity(vo.trees.len());
+    for tree in &vo.trees {
+        roots.push(collector.reconstruct(tree)?);
+    }
+
+    // Phase 2: verified thresholds and winners.
+    if collector.reveals.is_empty() {
+        return Err(VerifyError::NoCandidate);
+    }
+    let mut assignments = Vec::with_capacity(queries.len());
+    let mut thresholds_sq = Vec::with_capacity(queries.len());
+    for q in queries {
+        let mut best = (f32::INFINITY, u32::MAX);
+        for (&cluster, coords) in &collector.reveals {
+            let d = dist_sq(q, coords);
+            if d < best.0 || (d == best.0 && cluster < best.1) {
+                best = (d, cluster);
+            }
+        }
+        assignments.push(best.1);
+        thresholds_sq.push(best.0);
+    }
+
+    // Phase 3: completeness checks via the shared traversal.
+    for tree in &vo.trees {
+        let source = VoSource::flatten(tree);
+        let mut visitor = ClientVisitor {
+            source: &source,
+            queries,
+            thresholds_sq: &thresholds_sq,
+        };
+        traverse(&source, queries, &thresholds_sq, &mut visitor)?;
+    }
+
+    Ok(VerifiedBovw {
+        combined_root: combined_root_digest(&roots),
+        assignments,
+        thresholds_sq,
+        inv_digests: collector.inv_digests,
+    })
+}
+
+/// Verifies a Baseline (per-query) BoVW VO. All per-query VOs must
+/// reconstruct the same combined root.
+pub fn verify_bovw_baseline(
+    vo: &crate::search::BaselineBovwVo,
+    queries: &[Vec<f32>],
+) -> Result<VerifiedBovw, VerifyError> {
+    if vo.per_query.len() != queries.len() {
+        return Err(VerifyError::Malformed("per-query VO count mismatch"));
+    }
+    let mut combined: Option<Digest> = None;
+    let mut assignments = Vec::with_capacity(queries.len());
+    let mut thresholds_sq = Vec::with_capacity(queries.len());
+    let mut inv_digests = BTreeMap::new();
+    for (q, tree_vo) in queries.iter().zip(&vo.per_query) {
+        let v = verify_bovw(tree_vo, std::slice::from_ref(q), CandidateMode::Full)?;
+        match combined {
+            None => combined = Some(v.combined_root),
+            Some(c) if c == v.combined_root => {}
+            Some(_) => return Err(VerifyError::Malformed("per-query roots disagree")),
+        }
+        assignments.push(v.assignments[0]);
+        thresholds_sq.push(v.thresholds_sq[0]);
+        for (cluster, d) in v.inv_digests {
+            if *inv_digests.entry(cluster).or_insert(d) != d {
+                return Err(VerifyError::InconsistentInvDigest { cluster });
+            }
+        }
+    }
+    Ok(VerifiedBovw {
+        combined_root: combined.ok_or(VerifyError::Malformed("no queries"))?,
+        assignments,
+        thresholds_sq,
+        inv_digests,
+    })
+}
+
+/// Reconstructs the digest of any VO subtree without running completeness
+/// checks. Exposed for diagnostics and adversarial tests.
+pub fn vo_subtree_digest(
+    node: &VoNode,
+    mode: CandidateMode,
+    dim: usize,
+) -> Result<Digest, VerifyError> {
+    let mut collector = Collector {
+        dim,
+        mode,
+        reveals: BTreeMap::new(),
+        inv_digests: BTreeMap::new(),
+    };
+    collector.reconstruct(node)
+}
+
+struct Collector {
+    dim: usize,
+    mode: CandidateMode,
+    /// Fully revealed centroids, deduplicated by cluster.
+    reveals: BTreeMap<u32, Vec<f32>>,
+    inv_digests: BTreeMap<u32, Digest>,
+}
+
+impl Collector {
+    fn reconstruct(&mut self, node: &VoNode) -> Result<Digest, VerifyError> {
+        match node {
+            VoNode::Pruned(d) => Ok(*d),
+            VoNode::Internal {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                if *dim as usize >= self.dim {
+                    return Err(VerifyError::Malformed("split dimension out of range"));
+                }
+                let l = self.reconstruct(left)?;
+                let r = self.reconstruct(right)?;
+                Ok(internal_digest(*dim, *value, &l, &r))
+            }
+            VoNode::Leaf { entries } => {
+                if entries.is_empty() {
+                    return Err(VerifyError::Malformed("empty leaf"));
+                }
+                let mut entry_digests = Vec::with_capacity(entries.len());
+                for e in entries {
+                    entry_digests.push(self.entry_digest(e)?);
+                    match self.inv_digests.entry(e.cluster) {
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            v.insert(e.inv_digest);
+                        }
+                        std::collections::btree_map::Entry::Occupied(o) => {
+                            if *o.get() != e.inv_digest {
+                                return Err(VerifyError::InconsistentInvDigest {
+                                    cluster: e.cluster,
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok(leaf_digest(&entry_digests))
+            }
+        }
+    }
+
+    fn entry_digest(&mut self, e: &VoLeafEntry) -> Result<Digest, VerifyError> {
+        match (&e.reveal, self.mode) {
+            (Reveal::Full { coords }, CandidateMode::Full) => {
+                if coords.len() != self.dim {
+                    return Err(VerifyError::Malformed("centroid dimensionality"));
+                }
+                self.record_reveal(e.cluster, coords)?;
+                Ok(leaf_entry_digest_full(e.cluster, coords, &e.inv_digest))
+            }
+            (Reveal::FullCompressed { coords }, CandidateMode::Compressed) => {
+                if coords.len() != self.dim {
+                    return Err(VerifyError::Malformed("centroid dimensionality"));
+                }
+                self.record_reveal(e.cluster, coords)?;
+                let root = dimension_tree(coords).root();
+                Ok(leaf_entry_digest_compressed(e.cluster, &root, &e.inv_digest))
+            }
+            (
+                Reveal::Partial {
+                    dim_root,
+                    blocks,
+                    proof,
+                },
+                CandidateMode::Compressed,
+            ) => {
+                if blocks.is_empty() {
+                    return Err(VerifyError::Malformed("empty partial disclosure"));
+                }
+                if !blocks.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err(VerifyError::Malformed("unsorted partial blocks"));
+                }
+                let total = n_blocks(self.dim);
+                if proof.n_leaves as usize != total {
+                    return Err(VerifyError::BadSubsetProof { cluster: e.cluster });
+                }
+                let mut revealed = Vec::with_capacity(blocks.len());
+                for (b, coords) in blocks {
+                    let range = block_range(*b as usize, self.dim);
+                    if *b as usize >= total || coords.len() != range.len() {
+                        return Err(VerifyError::Malformed("partial block geometry"));
+                    }
+                    revealed.push((*b as usize, hash_leaf(&block_bytes(coords))));
+                }
+                if !proof.verify_digests(&revealed, dim_root) {
+                    return Err(VerifyError::BadSubsetProof { cluster: e.cluster });
+                }
+                Ok(leaf_entry_digest_compressed(
+                    e.cluster,
+                    dim_root,
+                    &e.inv_digest,
+                ))
+            }
+            _ => Err(VerifyError::WrongMode),
+        }
+    }
+
+    fn record_reveal(&mut self, cluster: u32, coords: &[f32]) -> Result<(), VerifyError> {
+        match self.reveals.entry(cluster) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(coords.to_vec());
+            }
+            std::collections::btree_map::Entry::Occupied(o) => {
+                if o.get() != coords {
+                    return Err(VerifyError::Malformed(
+                        "same cluster revealed with different coordinates",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Flattened VO tree adapting to [`TreeSource`].
+struct VoSource<'a> {
+    nodes: Vec<FlatNode<'a>>,
+}
+
+enum FlatNode<'a> {
+    Pruned,
+    Internal {
+        dim: u32,
+        value: f32,
+        left: usize,
+        right: usize,
+    },
+    Leaf(&'a [VoLeafEntry]),
+}
+
+impl<'a> VoSource<'a> {
+    fn flatten(root: &'a VoNode) -> VoSource<'a> {
+        let mut nodes = Vec::new();
+        Self::push(root, &mut nodes);
+        VoSource { nodes }
+    }
+
+    fn push(node: &'a VoNode, nodes: &mut Vec<FlatNode<'a>>) -> usize {
+        let my = nodes.len();
+        match node {
+            VoNode::Pruned(_) => nodes.push(FlatNode::Pruned),
+            VoNode::Leaf { entries } => nodes.push(FlatNode::Leaf(entries)),
+            VoNode::Internal {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                nodes.push(FlatNode::Internal {
+                    dim: *dim,
+                    value: *value,
+                    left: 0,
+                    right: 0,
+                });
+                let l = Self::push(left, nodes);
+                let r = Self::push(right, nodes);
+                let FlatNode::Internal { left, right, .. } = &mut nodes[my] else {
+                    unreachable!("just pushed an internal node");
+                };
+                *left = l;
+                *right = r;
+            }
+        }
+        my
+    }
+
+    fn entries(&self, node: usize) -> &'a [VoLeafEntry] {
+        match &self.nodes[node] {
+            FlatNode::Leaf(entries) => entries,
+            _ => unreachable!("leaf accessor on non-leaf"),
+        }
+    }
+}
+
+impl TreeSource for VoSource<'_> {
+    fn root(&self) -> usize {
+        0
+    }
+    fn view(&self, node: usize) -> ViewNode {
+        match &self.nodes[node] {
+            FlatNode::Pruned => ViewNode::Opaque,
+            FlatNode::Leaf(_) => ViewNode::Leaf,
+            FlatNode::Internal {
+                dim,
+                value,
+                left,
+                right,
+            } => ViewNode::Internal {
+                dim: *dim,
+                value: *value,
+                left: *left,
+                right: *right,
+            },
+        }
+    }
+}
+
+struct ClientVisitor<'a> {
+    source: &'a VoSource<'a>,
+    queries: &'a [Vec<f32>],
+    thresholds_sq: &'a [f32],
+}
+
+impl TraversalVisitor for ClientVisitor<'_> {
+    type Out = ();
+    type Err = VerifyError;
+
+    fn inactive(&mut self, _node: usize) -> Result<(), VerifyError> {
+        Ok(())
+    }
+
+    fn opaque(&mut self, _node: usize, _active: &[ActiveQuery]) -> Result<(), VerifyError> {
+        Err(VerifyError::PrunedSubtreeReachable)
+    }
+
+    fn leaf(&mut self, node: usize, active: &[ActiveQuery]) -> Result<(), VerifyError> {
+        for e in self.source.entries(node) {
+            if let Reveal::Partial { blocks, .. } = &e.reveal {
+                for aq in active {
+                    let q = aq.query as usize;
+                    let partial = partial_sum_revealed(blocks, &self.queries[q]);
+                    if partial < self.thresholds_sq[q] {
+                        return Err(VerifyError::PartialTooClose {
+                            cluster: e.cluster,
+                            query: aq.query,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn internal(
+        &mut self,
+        _node: usize,
+        _dim: u32,
+        _value: f32,
+        _active: &[ActiveQuery],
+        _left: (),
+        _right: (),
+    ) -> Result<(), VerifyError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{mrkd_search, mrkd_search_baseline};
+    use crate::tree::MrkdForest;
+    use imageproof_akm::rkd::RkdForest;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DIM: usize = 64;
+
+    struct Fixture {
+        centers: Vec<Vec<f32>>,
+        mrkd: MrkdForest,
+        queries: Vec<Vec<f32>>,
+        thresholds: Vec<f32>,
+    }
+
+    fn fixture(mode: CandidateMode, n_queries: usize) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(71);
+        let centers: Vec<Vec<f32>> = (0..60)
+            .map(|_| (0..DIM).map(|_| rng.gen::<f32>()).collect())
+            .collect();
+        let inv: Vec<Digest> = (0..60u32)
+            .map(|c| Digest::of(format!("inv-{c}").as_bytes()))
+            .collect();
+        let forest = RkdForest::build(&centers, 3, 2, 72);
+        let mrkd = MrkdForest::build(&forest, &centers, &inv, mode);
+        let queries: Vec<Vec<f32>> = (0..n_queries)
+            .map(|_| {
+                let base = &centers[rng.gen_range(0..centers.len())];
+                base.iter()
+                    .map(|&v| v + rng.gen_range(-0.02f32..0.02))
+                    .collect()
+            })
+            .collect();
+        let thresholds: Vec<f32> = queries
+            .iter()
+            .map(|q| {
+                centers
+                    .iter()
+                    .map(|c| dist_sq(q, c))
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect();
+        Fixture {
+            centers,
+            mrkd,
+            queries,
+            thresholds,
+        }
+    }
+
+    fn brute_nn(centers: &[Vec<f32>], q: &[f32]) -> u32 {
+        (0..centers.len() as u32)
+            .min_by(|&a, &b| {
+                dist_sq(q, &centers[a as usize]).total_cmp(&dist_sq(q, &centers[b as usize]))
+            })
+            .expect("non-empty")
+    }
+
+    #[test]
+    fn honest_full_mode_vo_verifies() {
+        let f = fixture(CandidateMode::Full, 10);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        let v = verify_bovw(&out.vo, &f.queries, CandidateMode::Full).expect("honest VO");
+        assert_eq!(v.combined_root, f.mrkd.combined_root_digest());
+        for (qi, q) in f.queries.iter().enumerate() {
+            assert_eq!(v.assignments[qi], brute_nn(&f.centers, q), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn honest_compressed_mode_vo_verifies() {
+        let f = fixture(CandidateMode::Compressed, 10);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        let v = verify_bovw(&out.vo, &f.queries, CandidateMode::Compressed).expect("honest VO");
+        assert_eq!(v.combined_root, f.mrkd.combined_root_digest());
+        for (qi, q) in f.queries.iter().enumerate() {
+            assert_eq!(v.assignments[qi], brute_nn(&f.centers, q), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn honest_baseline_vo_verifies() {
+        let f = fixture(CandidateMode::Full, 6);
+        let (vo, _, _) = mrkd_search_baseline(&f.mrkd, &f.queries, &f.thresholds);
+        let v = verify_bovw_baseline(&vo, &f.queries).expect("honest baseline VO");
+        assert_eq!(v.combined_root, f.mrkd.combined_root_digest());
+        for (qi, q) in f.queries.iter().enumerate() {
+            assert_eq!(v.assignments[qi], brute_nn(&f.centers, q));
+        }
+    }
+
+    #[test]
+    fn verified_inv_digests_match_the_forest() {
+        let f = fixture(CandidateMode::Full, 8);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        let v = verify_bovw(&out.vo, &f.queries, CandidateMode::Full).expect("honest VO");
+        for (&cluster, d) in &v.inv_digests {
+            assert_eq!(*d, f.mrkd.inv_digest(cluster));
+        }
+        for a in &v.assignments {
+            assert!(v.inv_digests.contains_key(a), "winner digest available");
+        }
+    }
+
+    /// Rewrites every VO leaf entry for `cluster`, in all trees.
+    fn tamper_entries(vo: &mut BovwVo, cluster: u32, f: &mut dyn FnMut(&mut VoLeafEntry)) -> usize {
+        fn walk(node: &mut VoNode, cluster: u32, f: &mut dyn FnMut(&mut VoLeafEntry)) -> usize {
+            match node {
+                VoNode::Pruned(_) => 0,
+                VoNode::Leaf { entries } => entries
+                    .iter_mut()
+                    .filter(|e| e.cluster == cluster)
+                    .map(|e| {
+                        f(e);
+                        1
+                    })
+                    .sum(),
+                VoNode::Internal { left, right, .. } => {
+                    walk(left, cluster, f) + walk(right, cluster, f)
+                }
+            }
+        }
+        vo.trees
+            .iter_mut()
+            .map(|t| walk(t, cluster, f))
+            .sum()
+    }
+
+    #[test]
+    fn tampered_centroid_changes_reconstructed_root() {
+        let f = fixture(CandidateMode::Full, 5);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        let honest = verify_bovw(&out.vo, &f.queries, CandidateMode::Full).expect("honest");
+        let winner = honest.assignments[0];
+
+        let mut forged = out.vo.clone();
+        let n = tamper_entries(&mut forged, winner, &mut |e| {
+            if let Reveal::Full { coords } = &mut e.reveal {
+                coords[3] += 0.25;
+            }
+        });
+        assert!(n > 0, "winner must appear in the VO");
+        // Either verification fails outright or the root no longer matches
+        // the owner's signature target.
+        if let Ok(v) = verify_bovw(&forged, &f.queries, CandidateMode::Full) {
+            assert_ne!(v.combined_root, f.mrkd.combined_root_digest());
+        }
+    }
+
+    #[test]
+    fn hiding_the_winner_behind_a_pruned_stub_is_detected() {
+        let f = fixture(CandidateMode::Full, 2);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        let honest = verify_bovw(&out.vo, &f.queries, CandidateMode::Full).expect("honest");
+        let victim = honest.assignments[0];
+        assert_ne!(victim, honest.assignments[1], "fixture needs distinct winners");
+
+        // Replace every leaf containing the victim cluster with a pruned
+        // stub carrying the *correct* digest (the strongest forgery the SP
+        // can attempt without breaking the hash function).
+        fn prune_leaves_with(node: &mut VoNode, cluster: u32, dim: usize) {
+            match node {
+                VoNode::Pruned(_) => {}
+                VoNode::Leaf { entries } => {
+                    if entries.iter().any(|e| e.cluster == cluster) {
+                        let digest =
+                            vo_subtree_digest(node, CandidateMode::Full, dim).expect("digest");
+                        *node = VoNode::Pruned(digest);
+                    }
+                }
+                VoNode::Internal { left, right, .. } => {
+                    prune_leaves_with(left, cluster, dim);
+                    prune_leaves_with(right, cluster, dim);
+                }
+            }
+        }
+        let mut forged = out.vo.clone();
+        for tree in &mut forged.trees {
+            prune_leaves_with(tree, victim, DIM);
+        }
+
+        let result = verify_bovw(&forged, &f.queries, CandidateMode::Full);
+        match result {
+            Err(VerifyError::PrunedSubtreeReachable) | Err(VerifyError::NoCandidate) => {}
+            other => panic!("forgery accepted or wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downgrading_the_winner_to_a_partial_reveal_is_detected() {
+        let f = fixture(CandidateMode::Compressed, 2);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        let honest = verify_bovw(&out.vo, &f.queries, CandidateMode::Compressed).expect("honest");
+        let victim = honest.assignments[0];
+        assert_ne!(victim, honest.assignments[1], "fixture needs distinct winners");
+
+        // Forge: disclose the victim only partially (all blocks — the most
+        // honest-looking partial reveal possible).
+        let center = f.centers[victim as usize].clone();
+        let dim_tree = f.mrkd.dim_tree(victim).expect("compressed").clone();
+        let total = crate::tree::n_blocks(DIM);
+        let all: Vec<usize> = (0..total).collect();
+        let proof = dim_tree.prove_subset(&all);
+        let blocks: Vec<(u32, Vec<f32>)> = (0..total)
+            .map(|b| (b as u32, center[crate::tree::block_range(b, DIM)].to_vec()))
+            .collect();
+        let mut forged = out.vo.clone();
+        let n = tamper_entries(&mut forged, victim, &mut |e| {
+            e.reveal = Reveal::Partial {
+                dim_root: dim_tree.root(),
+                blocks: blocks.clone(),
+                proof: proof.clone(),
+            };
+        });
+        assert!(n > 0);
+
+        // Hiding the winner inflates the verified threshold t', which is
+        // then caught either directly (the partial disclosure is too close)
+        // or indirectly (a pruned subtree becomes reachable under the
+        // inflated t').
+        match verify_bovw(&forged, &f.queries, CandidateMode::Compressed) {
+            Err(VerifyError::PartialTooClose { .. })
+            | Err(VerifyError::NoCandidate)
+            | Err(VerifyError::PrunedSubtreeReachable) => {}
+            other => panic!("forgery accepted or wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_partial_block_values_fail_the_subset_proof() {
+        let f = fixture(CandidateMode::Compressed, 4);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        // Find any partial entry and nudge a revealed coordinate.
+        let mut forged = out.vo.clone();
+        let mut tampered = false;
+        fn walk(node: &mut VoNode, tampered: &mut bool) {
+            match node {
+                VoNode::Pruned(_) => {}
+                VoNode::Leaf { entries } => {
+                    for e in entries {
+                        if *tampered {
+                            return;
+                        }
+                        if let Reveal::Partial { blocks, .. } = &mut e.reveal {
+                            blocks[0].1[0] += 1.0;
+                            *tampered = true;
+                        }
+                    }
+                }
+                VoNode::Internal { left, right, .. } => {
+                    walk(left, tampered);
+                    walk(right, tampered);
+                }
+            }
+        }
+        for t in &mut forged.trees {
+            walk(t, &mut tampered);
+        }
+        assert!(tampered, "fixture should produce at least one partial reveal");
+        assert!(matches!(
+            verify_bovw(&forged, &f.queries, CandidateMode::Compressed),
+            Err(VerifyError::BadSubsetProof { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_inv_digest_changes_root() {
+        let f = fixture(CandidateMode::Full, 4);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        let honest = verify_bovw(&out.vo, &f.queries, CandidateMode::Full).expect("honest");
+        let winner = honest.assignments[0];
+        let mut forged = out.vo.clone();
+        tamper_entries(&mut forged, winner, &mut |e| {
+            e.inv_digest = Digest::of(b"forged inverted list");
+        });
+        if let Ok(v) = verify_bovw(&forged, &f.queries, CandidateMode::Full) {
+            assert_ne!(v.combined_root, f.mrkd.combined_root_digest());
+        }
+    }
+
+    #[test]
+    fn wrong_mode_is_rejected() {
+        let f = fixture(CandidateMode::Full, 3);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        assert!(matches!(
+            verify_bovw(&out.vo, &f.queries, CandidateMode::Compressed),
+            Err(VerifyError::WrongMode)
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let f = fixture(CandidateMode::Full, 3);
+        let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
+        assert!(matches!(
+            verify_bovw(&out.vo, &[], CandidateMode::Full),
+            Err(VerifyError::Malformed(_))
+        ));
+        let empty = BovwVo { trees: vec![] };
+        assert!(matches!(
+            verify_bovw(&empty, &f.queries, CandidateMode::Full),
+            Err(VerifyError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn baseline_rejects_query_count_mismatch() {
+        let f = fixture(CandidateMode::Full, 3);
+        let (vo, _, _) = mrkd_search_baseline(&f.mrkd, &f.queries, &f.thresholds);
+        assert!(matches!(
+            verify_bovw_baseline(&vo, &f.queries[..2]),
+            Err(VerifyError::Malformed(_))
+        ));
+    }
+}

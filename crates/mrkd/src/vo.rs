@@ -1,0 +1,261 @@
+//! Verification-object types for authenticated BoVW encoding
+//! (`MRKDSearch`, paper Alg. 1) and their canonical wire encoding.
+
+use imageproof_crypto::merkle::SubsetProof;
+use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
+use imageproof_crypto::Digest;
+
+/// How a leaf cluster's centroid is disclosed in the VO.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reveal {
+    /// All coordinates, bound directly into the leaf digest (base scheme).
+    Full { coords: Vec<f32> },
+    /// All coordinates, bound via the per-cluster dimension Merkle root
+    /// (§VI-A optimization, used for nearest-neighbour candidates — the
+    /// client recomputes the dimension root itself).
+    FullCompressed { coords: Vec<f32> },
+    /// A subset of dimension *blocks* with a batched Merkle proof,
+    /// sufficient to lower-bound the distance to every query vector that
+    /// reaches the leaf (§VI-A optimization, used for non-candidates).
+    Partial {
+        dim_root: Digest,
+        /// `(block index, block coordinates)` pairs, strictly ascending by
+        /// block index; block geometry is fixed by
+        /// [`crate::tree::BLOCK_DIMS`].
+        blocks: Vec<(u32, Vec<f32>)>,
+        proof: SubsetProof,
+    },
+}
+
+/// One cluster of a disclosed leaf.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VoLeafEntry {
+    pub cluster: u32,
+    /// `h_{Γ_{c}}`: digest of the cluster's Merkle inverted list (Def. 3
+    /// embeds it in the leaf).
+    pub inv_digest: Digest,
+    pub reveal: Reveal,
+}
+
+/// A node of the VO tree mirroring the SP's traversal of one MRKD-tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VoNode {
+    /// Subtree no query vector reached: only its digest (Alg. 1 line 2).
+    Pruned(Digest),
+    /// Disclosed internal node: the splitting hyperplane plus children
+    /// (Alg. 1 line 8).
+    Internal {
+        dim: u32,
+        value: f32,
+        left: Box<VoNode>,
+        right: Box<VoNode>,
+    },
+    /// Disclosed leaf (Alg. 1 lines 4–7).
+    Leaf { entries: Vec<VoLeafEntry> },
+}
+
+/// The complete BoVW-encoding VO: one [`VoNode`] tree per MRKD-tree
+/// (`{VO_{C,i}}` of Alg. 5).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BovwVo {
+    pub trees: Vec<VoNode>,
+}
+
+impl VoNode {
+    /// Counts (disclosed internal/leaf nodes, pruned stubs).
+    pub fn node_counts(&self) -> (usize, usize) {
+        match self {
+            VoNode::Pruned(_) => (0, 1),
+            VoNode::Leaf { .. } => (1, 0),
+            VoNode::Internal { left, right, .. } => {
+                let (dl, pl) = left.node_counts();
+                let (dr, pr) = right.node_counts();
+                (1 + dl + dr, pl + pr)
+            }
+        }
+    }
+}
+
+const TAG_PRUNED: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+const TAG_LEAF: u8 = 2;
+
+const TAG_FULL: u8 = 0;
+const TAG_FULL_COMPRESSED: u8 = 1;
+const TAG_PARTIAL: u8 = 2;
+
+impl Encode for Reveal {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Reveal::Full { coords } => {
+                w.u8(TAG_FULL);
+                w.seq_len(coords.len());
+                for &c in coords {
+                    w.f32(c);
+                }
+            }
+            Reveal::FullCompressed { coords } => {
+                w.u8(TAG_FULL_COMPRESSED);
+                w.seq_len(coords.len());
+                for &c in coords {
+                    w.f32(c);
+                }
+            }
+            Reveal::Partial {
+                dim_root,
+                blocks,
+                proof,
+            } => {
+                w.u8(TAG_PARTIAL);
+                w.digest(dim_root);
+                w.seq_len(blocks.len());
+                for (b, coords) in blocks {
+                    w.u32(*b);
+                    w.seq_len(coords.len());
+                    for &v in coords {
+                        w.f32(v);
+                    }
+                }
+                w.u32(proof.n_leaves);
+                w.seq_len(proof.fill.len());
+                for d in &proof.fill {
+                    w.digest(d);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for Reveal {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        match tag {
+            TAG_FULL | TAG_FULL_COMPRESSED => {
+                let n = r.seq_len()?;
+                let mut coords = Vec::with_capacity(n);
+                for _ in 0..n {
+                    coords.push(r.f32()?);
+                }
+                if tag == TAG_FULL {
+                    Ok(Reveal::Full { coords })
+                } else {
+                    Ok(Reveal::FullCompressed { coords })
+                }
+            }
+            TAG_PARTIAL => {
+                let dim_root = r.digest()?;
+                let n = r.seq_len()?;
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let b = r.u32()?;
+                    let len = r.seq_len()?;
+                    let mut coords = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        coords.push(r.f32()?);
+                    }
+                    blocks.push((b, coords));
+                }
+                let n_leaves = r.u32()?;
+                let fills = r.seq_len()?;
+                let mut fill = Vec::with_capacity(fills);
+                for _ in 0..fills {
+                    fill.push(r.digest()?);
+                }
+                Ok(Reveal::Partial {
+                    dim_root,
+                    blocks,
+                    proof: SubsetProof { n_leaves, fill },
+                })
+            }
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for VoLeafEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.cluster);
+        w.digest(&self.inv_digest);
+        self.reveal.encode(w);
+    }
+}
+
+impl Encode for VoNode {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            VoNode::Pruned(d) => {
+                w.u8(TAG_PRUNED);
+                w.digest(d);
+            }
+            VoNode::Internal {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                w.u8(TAG_INTERNAL);
+                w.u32(*dim);
+                w.f32(*value);
+                left.encode(w);
+                right.encode(w);
+            }
+            VoNode::Leaf { entries } => {
+                w.u8(TAG_LEAF);
+                w.seq_len(entries.len());
+                for e in entries {
+                    e.encode(w);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for VoNode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            TAG_PRUNED => Ok(VoNode::Pruned(r.digest()?)),
+            TAG_INTERNAL => Ok(VoNode::Internal {
+                dim: r.u32()?,
+                value: r.f32()?,
+                left: Box::new(VoNode::decode(r)?),
+                right: Box::new(VoNode::decode(r)?),
+            }),
+            TAG_LEAF => {
+                let n = r.seq_len()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let cluster = r.u32()?;
+                    let inv_digest = r.digest()?;
+                    let reveal = Reveal::decode(r)?;
+                    entries.push(VoLeafEntry {
+                        cluster,
+                        inv_digest,
+                        reveal,
+                    });
+                }
+                Ok(VoNode::Leaf { entries })
+            }
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for BovwVo {
+    fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.trees.len());
+        for t in &self.trees {
+            t.encode(w);
+        }
+    }
+}
+
+impl Decode for BovwVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len()?;
+        let mut trees = Vec::with_capacity(n);
+        for _ in 0..n {
+            trees.push(VoNode::decode(r)?);
+        }
+        Ok(BovwVo { trees })
+    }
+}

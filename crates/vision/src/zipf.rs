@@ -1,0 +1,113 @@
+//! Zipf-distributed sampling over ranks `0..n`.
+//!
+//! Visual-word popularity in real BoVW corpora is heavily skewed — the paper
+//! leans on this twice: posting-list lengths vary widely (§IV-B complexity
+//! discussion) and "in a typical inverted list, most frequency counts are
+//! small" (§VI-B). Sampling latent words by rank with probability
+//! proportional to `1 / (rank+1)^s` reproduces both effects.
+
+use rand::Rng;
+
+/// A pre-tabulated Zipf sampler (probability of rank `i` proportional to
+/// `1/(i+1)^s`).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[i] = P(rank <= i)`, normalized to 1.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when only one rank exists.
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects n == 0
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the first
+        // rank whose cumulative probability reaches u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should beat rank 10");
+        assert!(counts[0] > counts[100] * 5, "heavy head expected");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform_ish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

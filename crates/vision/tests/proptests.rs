@@ -1,0 +1,82 @@
+//! Property-based tests for the synthetic corpus generator.
+
+use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn corpus_is_deterministic(seed in any::<u64>(), n_images in 1usize..40) {
+        let config = CorpusConfig {
+            seed,
+            n_images,
+            ..CorpusConfig::small(DescriptorKind::Surf)
+        };
+        let a = Corpus::generate(&config);
+        let b = Corpus::generate(&config);
+        prop_assert_eq!(a.images.len(), b.images.len());
+        for (x, y) in a.images.iter().zip(&b.images) {
+            prop_assert_eq!(&x.data, &y.data);
+            prop_assert_eq!(&x.features, &y.features);
+            prop_assert_eq!(&x.latent_words, &y.latent_words);
+        }
+    }
+
+    /// Every descriptor is finite, in the unit cube, and of the right
+    /// dimensionality.
+    #[test]
+    fn descriptors_are_well_formed(seed in any::<u64>(), sigma in 0.0f32..0.2) {
+        let config = CorpusConfig {
+            seed,
+            n_images: 10,
+            noise_sigma: sigma,
+            ..CorpusConfig::small(DescriptorKind::Sift)
+        };
+        let corpus = Corpus::generate(&config);
+        for f in corpus.all_features() {
+            prop_assert_eq!(f.len(), 128);
+            for &v in f {
+                prop_assert!(v.is_finite());
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    /// Queries never reference words outside the source image's topics.
+    #[test]
+    fn queries_are_reproducible(seed in any::<u64>(), qseed in any::<u64>()) {
+        let config = CorpusConfig {
+            seed,
+            n_images: 20,
+            ..CorpusConfig::small(DescriptorKind::Surf)
+        };
+        let corpus = Corpus::generate(&config);
+        let a = corpus.query_from_image(7, 25, qseed);
+        let b = corpus.query_from_image(7, 25, qseed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Zipf samples stay in range and the empirical head dominates the tail
+    /// for positive exponents.
+    #[test]
+    fn zipf_is_well_behaved(n in 2usize..200, s in 0.1f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut head = 0u32;
+        let mut total = 0u32;
+        for _ in 0..2000 {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            total += 1;
+            if r < n.div_ceil(2) {
+                head += 1;
+            }
+        }
+        // The first half of the ranks must receive at least half the mass.
+        prop_assert!(head * 2 >= total, "head {} of {}", head, total);
+    }
+}

@@ -1,0 +1,99 @@
+//! Attack detection: a malicious service provider attempts each of the
+//! §V-D attack cases; the client catches every one.
+//!
+//! ```sh
+//! cargo run --release --example attack_detection
+//! ```
+
+use imageproof_akm::AkmParams;
+use imageproof_core::{adversary, Client, Owner, QueryResponse, Scheme, ServiceProvider};
+use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
+
+fn check_rejected(
+    name: &str,
+    client: &Client,
+    query: &[Vec<f32>],
+    k: usize,
+    response: &QueryResponse,
+) {
+    match client.verify(query, k, response) {
+        Ok(_) => panic!("ATTACK SUCCEEDED: {name} was not detected!"),
+        Err(e) => println!("  ✗ {name:<42} rejected: {e}"),
+    }
+}
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_images: 300,
+        n_latent_words: 200,
+        ..CorpusConfig::small(DescriptorKind::Surf)
+    });
+    let owner = Owner::new(&[13u8; 32]);
+    let akm = AkmParams {
+        n_clusters: 256,
+        ..AkmParams::default()
+    };
+    let (db, published) = owner.build_system(&corpus, &akm, Scheme::ImageProof);
+    let sp = ServiceProvider::new(db);
+    let client = Client::new(published);
+
+    let query = corpus.query_from_image(9, 60, 3);
+    let k = 4;
+    let (honest, _) = sp.query(&query, k);
+
+    println!("honest response:");
+    let verified = client.verify(&query, k, &honest).expect("honest verifies");
+    for (id, score) in &verified.topk {
+        println!("  ✓ image {id:<4} similarity {score:.4}");
+    }
+
+    println!("\nattacks (paper §V-D):");
+
+    // Case 3: fake image data.
+    let mut attack = honest.clone();
+    adversary::tamper_image_data(&mut attack);
+    check_rejected("case 3: tampered image bytes", &client, &query, k, &attack);
+
+    let mut attack = honest.clone();
+    adversary::forge_image_signature(&mut attack);
+    check_rejected("case 3: forged image signature", &client, &query, k, &attack);
+
+    // Case 2: forged top-k set.
+    let mut attack = honest.clone();
+    let winner_ids: Vec<u64> = attack.results.iter().map(|r| r.id).collect();
+    let substitute = corpus
+        .images
+        .iter()
+        .find(|img| !winner_ids.contains(&img.id))
+        .expect("a non-winner image exists");
+    let stored = sp.database().images[&substitute.id].clone();
+    adversary::substitute_result(&mut attack, substitute.id, stored.data, stored.signature);
+    check_rejected(
+        "case 2: substituted (validly signed) image",
+        &client,
+        &query,
+        k,
+        &attack,
+    );
+
+    let mut attack = honest.clone();
+    assert!(adversary::tamper_posting(&mut attack));
+    check_rejected("case 2: tampered posting impact", &client, &query, k, &attack);
+
+    // Case 1: forged BoVW encoding.
+    let mut attack = honest.clone();
+    assert!(adversary::tamper_bovw_centroid(&mut attack));
+    check_rejected("case 1: tampered cluster centroid", &client, &query, k, &attack);
+
+    let mut attack = honest.clone();
+    assert!(adversary::tamper_bovw_split(&mut attack));
+    check_rejected(
+        "case 1: tampered k-d splitting hyperplane",
+        &client,
+        &query,
+        k,
+        &attack,
+    );
+
+    println!("\nall attacks detected.");
+}

@@ -1,0 +1,75 @@
+//! Dynamic catalogue maintenance: the owner inserts and removes images
+//! after outsourcing, incrementally re-signing the authenticated state —
+//! clients with fresh parameters verify, clients with stale parameters
+//! reject.
+//!
+//! ```sh
+//! cargo run --release --example catalog_updates
+//! ```
+
+use imageproof_akm::AkmParams;
+use imageproof_core::{Client, Owner, Scheme, ServiceProvider};
+use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
+use std::time::Instant;
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_images: 300,
+        n_latent_words: 200,
+        ..CorpusConfig::small(DescriptorKind::Surf)
+    });
+    let owner = Owner::new(&[0x11; 32]);
+    let akm = AkmParams {
+        n_clusters: 256,
+        ..AkmParams::default()
+    };
+    let t = Instant::now();
+    let (mut db, original_params) = owner.build_system(&corpus, &akm, Scheme::ImageProof);
+    println!(
+        "initial build: {} images in {:.1}s",
+        corpus.images.len(),
+        t.elapsed().as_secs_f64()
+    );
+
+    // A new photograph of scene 42 arrives.
+    let new_id = 5_000;
+    let new_features = corpus.query_from_image(42, 45, 901);
+    let t = Instant::now();
+    let fresh_params = owner
+        .insert_image(&mut db, new_id, vec![0xAB; 256], &new_features)
+        .expect("insert");
+    println!(
+        "insert image {new_id}: incremental re-hash + re-sign in {:.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    let query = corpus.query_from_image(42, 45, 902);
+    let sp = ServiceProvider::new(db);
+
+    // A client with the refreshed parameters retrieves and verifies the
+    // new image…
+    let client = Client::new(fresh_params.clone());
+    let (response, _) = sp.query(&query, 5);
+    let verified = client.verify(&query, 5, &response).expect("fresh verifies");
+    assert!(verified.topk.iter().any(|&(id, _)| id == new_id));
+    println!("fresh client: verified top-5 includes the new image {new_id}");
+
+    // …while a client still holding the pre-update signature rejects: the
+    // SP cannot silently serve a different catalogue version.
+    let stale_client = Client::new(original_params);
+    match stale_client.verify(&query, 5, &response) {
+        Err(e) => println!("stale client: rejected as expected ({e})"),
+        Ok(_) => panic!("stale parameters must not verify an updated catalogue"),
+    }
+
+    // The owner can also retire images; insert ∘ remove is the identity on
+    // the authenticated state.
+    let mut db = sp.into_database();
+    let root_before = db.mrkd.combined_root_digest();
+    owner
+        .insert_image(&mut db, 6_000, vec![1; 64], &corpus.query_from_image(7, 30, 903))
+        .expect("insert");
+    owner.remove_image(&mut db, 6_000).expect("remove");
+    assert_eq!(db.mrkd.combined_root_digest(), root_before);
+    println!("insert + remove restored the exact ADS root — incremental updates are consistent.");
+}

@@ -1,0 +1,63 @@
+//! Codebook scaling: how VO size and popped-posting ratio react as the
+//! vocabulary grows (a miniature of the paper's Figs. 8/10/13).
+//!
+//! Larger codebooks → shorter posting lists → earlier termination and
+//! smaller inverted-index VOs, while the BoVW step is nearly insensitive
+//! (tree height grows logarithmically).
+//!
+//! ```sh
+//! cargo run --release --example codebook_scaling
+//! ```
+
+use imageproof_akm::AkmParams;
+use imageproof_core::{Client, Owner, Scheme, ServiceProvider};
+use imageproof_crypto::wire::Encode;
+use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_images: 400,
+        features_per_image: 50,
+        n_latent_words: 200,
+        ..CorpusConfig::small(DescriptorKind::Surf)
+    });
+    let owner = Owner::new(&[5u8; 32]);
+
+    println!(
+        "{:>9} {:>12} {:>12} {:>10} {:>12}",
+        "codebook", "VO bytes", "SP ms", "popped %", "client ms"
+    );
+    for n_clusters in [256usize, 512, 1024] {
+        let akm = AkmParams {
+            n_clusters,
+            ..AkmParams::default()
+        };
+        let (db, published) = owner.build_system(&corpus, &akm, Scheme::ImageProof);
+        let sp = ServiceProvider::new(db);
+        let client = Client::new(published);
+
+        let mut vo = 0usize;
+        let mut sp_ms = 0.0;
+        let mut popped = 0.0;
+        let mut client_ms = 0.0;
+        let queries = 3;
+        for q in 0..queries {
+            let query = corpus.query_from_image(q * 37, 80, 500 + q);
+            let (response, stats) = sp.query(&query, 10);
+            let verified = client.verify(&query, 10, &response).expect("honest");
+            vo += response.vo.wire_size();
+            sp_ms += (stats.bovw_seconds + stats.inv_seconds) * 1e3;
+            popped += stats.popped_ratio() * 100.0;
+            client_ms += verified.stats.total_seconds() * 1e3;
+        }
+        let n = queries as f64;
+        println!(
+            "{:>9} {:>12} {:>12.1} {:>10.1} {:>12.1}",
+            n_clusters,
+            vo / queries as usize,
+            sp_ms / n,
+            popped / n,
+            client_ms / n,
+        );
+    }
+}

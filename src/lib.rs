@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the ImageProof workspace crates.
+pub use imageproof_akm as akm;
+pub use imageproof_core as core;
+pub use imageproof_crypto as crypto;
+pub use imageproof_cuckoo as cuckoo;
+pub use imageproof_invindex as invindex;
+pub use imageproof_mrkd as mrkd;
+pub use imageproof_vision as vision;

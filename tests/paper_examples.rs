@@ -1,0 +1,159 @@
+//! The paper's worked examples as executable tests.
+//!
+//! Table II walks a top-2 `PostingSearch` over two inverted lists; Table III
+//! shows the frequency-grouped version of `Γ_{c_5}`. These tests rebuild
+//! those fixtures and check the documented behaviours (chain digests,
+//! termination, grouping).
+
+use imageproof_akm::bovw::{impacts_with_weights, SparseBovw};
+use imageproof_crypto::Digest;
+use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk, GroupedInvertedIndex};
+use imageproof_invindex::{
+    exhaustive_topk, inv_search, verify_topk, BoundsMode, MerkleInvertedIndex, Posting,
+};
+use std::collections::HashMap;
+
+/// Images/frequencies shaped after Table II's lists for clusters 5 and 6
+/// (impacts there are pre-normalized; we drive the same structure through
+/// the real impact model by choosing counts).
+fn table_ii_images() -> Vec<(u64, SparseBovw)> {
+    vec![
+        (1, SparseBovw::from_counts([(5, 4)])),
+        (3, SparseBovw::from_counts([(5, 3), (6, 3)])),
+        (4, SparseBovw::from_counts([(5, 3), (6, 1), (0, 2)])),
+        (10, SparseBovw::from_counts([(5, 2), (0, 3)])),
+        (7, SparseBovw::from_counts([(5, 1), (0, 4)])),
+        (2, SparseBovw::from_counts([(5, 1), (0, 5)])),
+        (5, SparseBovw::from_counts([(6, 4)])),
+        (8, SparseBovw::from_counts([(6, 3), (0, 1)])),
+        (6, SparseBovw::from_counts([(6, 2), (0, 2)])),
+        (9, SparseBovw::from_counts([(6, 1), (0, 5)])),
+    ]
+}
+
+fn build_plain() -> MerkleInvertedIndex {
+    let images = table_ii_images();
+    let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+    let model = imageproof_akm::ImpactModel::build(8, &encodings);
+    MerkleInvertedIndex::build(8, &images, &model)
+}
+
+#[test]
+fn lists_have_the_papers_shape() {
+    let idx = build_plain();
+    // Cluster 5 holds six postings led by image 1, cluster 6 six postings
+    // led by image 5 — the structure of Table II.
+    let c5: Vec<u64> = idx.list(5).postings.iter().map(|p| p.image).collect();
+    let c6: Vec<u64> = idx.list(6).postings.iter().map(|p| p.image).collect();
+    assert_eq!(c5.len(), 6);
+    assert_eq!(c6.len(), 6);
+    assert_eq!(c5[0], 1, "image 1 leads Γ_5 as in Table II");
+    assert_eq!(c6[0], 5, "image 5 leads Γ_6 as in Table II");
+}
+
+#[test]
+fn top2_search_returns_images_1_and_3() {
+    // The paper's query: B_Q = (0,0,0,0,0,1,1,0) over clusters 5 and 6 with
+    // p_{Q,5} = 2 p_{Q,6}; Table II's top-2 answer is {1, 3}.
+    let idx = build_plain();
+    let q = SparseBovw::from_counts([(5, 2), (6, 1)]);
+    let out = inv_search(&idx, &q, 2, BoundsMode::CuckooFiltered);
+    let ids: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+    // Our impact model normalizes by the true ||B_I|| (the paper's table
+    // lists pre-baked impacts), so the order within the pair may differ —
+    // the *set* is the paper's {1, 3}.
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![1, 3]);
+
+    // And the client agrees.
+    let digests: HashMap<u32, Digest> = idx
+        .lists()
+        .iter()
+        .map(|l| (l.cluster, l.digest))
+        .collect();
+    verify_topk(&out.vo, &q, &digests, &ids, 2, BoundsMode::CuckooFiltered)
+        .expect("the worked example verifies");
+}
+
+#[test]
+fn filtered_search_pops_no_more_than_the_baseline() {
+    let idx = build_plain();
+    let q = SparseBovw::from_counts([(5, 2), (6, 1)]);
+    let filtered = inv_search(&idx, &q, 2, BoundsMode::CuckooFiltered);
+    let baseline = inv_search(&idx, &q, 2, BoundsMode::MaxBound);
+    assert!(filtered.stats.popped <= baseline.stats.popped);
+    assert_eq!(filtered.topk, baseline.topk);
+}
+
+#[test]
+fn posting_digests_chain_as_in_definition_4() {
+    let idx = build_plain();
+    let list = idx.list(5);
+    // h_{pos_j} = h(I | p | h_{pos_{j+1}}), terminating in the zero digest.
+    let mut expected = Digest::ZERO;
+    for j in (0..list.len()).rev() {
+        expected = imageproof_invindex::merkle::posting_digest(
+            &Posting {
+                image: list.postings[j].image,
+                impact: list.postings[j].impact,
+            },
+            &expected,
+        );
+        assert_eq!(list.chain_digest(j), expected, "position {j}");
+    }
+}
+
+#[test]
+fn frequency_grouping_matches_table_iii_structure() {
+    // Table III groups Γ_5 by frequency; with the counts above cluster 5
+    // has frequencies {4:1 image, 3:2 images, 2:1, 1:2}.
+    let images = table_ii_images();
+    let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+    let model = imageproof_akm::ImpactModel::build(8, &encodings);
+    let grouped = GroupedInvertedIndex::build(8, &images, &model);
+    let list = grouped.list(5);
+    let mut by_freq: HashMap<u32, usize> = HashMap::new();
+    for g in &list.groups {
+        *by_freq.entry(g.frequency).or_insert(0) += g.members.len();
+    }
+    assert_eq!(by_freq[&4], 1);
+    assert_eq!(by_freq[&3], 2);
+    assert_eq!(by_freq[&2], 1);
+    assert_eq!(by_freq[&1], 2);
+
+    // Members within a group are ordered ascending by L2 norm (head) and
+    // the group impact is the head's impact (Def. 6 discussion).
+    for g in &list.groups {
+        for &(_, norm) in &g.members[1..] {
+            assert!(g.members[0].1 <= norm);
+        }
+    }
+}
+
+#[test]
+fn grouped_top2_matches_plain_top2() {
+    let images = table_ii_images();
+    let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
+    let model = imageproof_akm::ImpactModel::build(8, &encodings);
+    let plain = build_plain();
+    let grouped = GroupedInvertedIndex::build(8, &images, &model);
+
+    let q = SparseBovw::from_counts([(5, 2), (6, 1)]);
+    let impacts = impacts_with_weights(&q, |c| plain.list(c).weight);
+    let plain_ids: Vec<u64> = exhaustive_topk(&plain, &impacts, 2)
+        .iter()
+        .map(|&(i, _)| i)
+        .collect();
+    let out = grouped_search(&grouped, &q, 2);
+    let grouped_ids: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+    assert_eq!(plain_ids, grouped_ids);
+
+    let digests: HashMap<u32, Digest> = grouped
+        .lists()
+        .iter()
+        .map(|l| (l.cluster, l.digest))
+        .collect();
+    verify_grouped_topk(&out.vo, &q, &digests, &grouped_ids, 2)
+        .expect("grouped worked example verifies");
+}
