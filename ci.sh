@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Tier-1 gate plus the parallel-equivalence suite. Everything runs offline;
+# fmt/clippy run only when the components are installed.
+set -eu
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test (workspace) =="
+cargo test -q
+
+echo "== parallel equivalence at 2 worker threads =="
+# Re-runs the parallel suites explicitly so a green gate always includes
+# them, even if test filtering changes upstream.
+cargo test -q --test parallel_equivalence
+cargo test -q -p imageproof-core --test parallel_adversary
+cargo test -q -p imageproof-parallel
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== fmt =="
+    cargo fmt --check
+else
+    echo "== fmt: rustfmt not installed, skipping =="
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== clippy =="
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== clippy: not installed, skipping =="
+fi
+
+echo "CI OK"

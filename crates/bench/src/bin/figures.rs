@@ -1,4 +1,5 @@
-//! Regenerates every figure of the paper's evaluation (§VII, Figs. 6–14).
+//! Regenerates every figure of the paper's evaluation (§VII, Figs. 6–14),
+//! plus a thread-count sweep (Fig. 15) for the parallel execution layer.
 //!
 //! ```sh
 //! cargo run -p imageproof-bench --release --bin figures            # all figures
@@ -343,6 +344,59 @@ fn fig14(cache: &mut FixtureCache, scale: &Scale) {
     println!("{}", t.render());
 }
 
+/// Thread-count sweep for the deterministic parallel execution layer (not a
+/// paper figure): owner-side ADS build seconds and SP-side query CPU at
+/// 1/2/4/8 workers, with speedups relative to the serial run. VOs and
+/// signed roots are bit-identical across the sweep (see the
+/// `parallel_equivalence` test suite), so only wall-clock moves.
+fn fig15(cache: &mut FixtureCache, scale: &Scale) {
+    let fixture = cache.get(&scale.base_surf);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\n== Fig. 15: thread-count sweep (build + SP query) ==\n\
+         (expected: near-linear build speedup up to the core count — this\n\
+          machine has {cores} — and flat VO bytes; threads=1 is the exact\n\
+          serial path)\n"
+    );
+    let mut t = Table::new([
+        "scheme",
+        "threads",
+        "build_s",
+        "build_speedup",
+        "sp_ms",
+        "sp_speedup",
+    ]);
+    let queries = fixture.queries(scale.n_queries, scale.default_features);
+    for scheme in [Scheme::ImageProof, Scheme::OptimizedBoth] {
+        let mut serial_build = 0.0f64;
+        let mut serial_query = 0.0f64;
+        for threads in [1usize, 2, 4, 8] {
+            let conc = imageproof_core::Concurrency::new(threads);
+            let (sp, build_seconds) = fixture.build_system_timed(scheme, conc);
+            let t0 = std::time::Instant::now();
+            for features in &queries {
+                let _ = sp.query_with(features, scale.default_k, conc);
+            }
+            let query_seconds = t0.elapsed().as_secs_f64() / queries.len() as f64;
+            if threads == 1 {
+                serial_build = build_seconds;
+                serial_query = query_seconds;
+            }
+            t.row([
+                scheme.label().to_string(),
+                threads.to_string(),
+                format!("{build_seconds:.2}"),
+                format!("{:.2}x", serial_build / build_seconds.max(1e-9)),
+                ms(query_seconds),
+                format!("{:.2}x", serial_query / query_seconds.max(1e-9)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figs: Vec<u32> = Vec::new();
@@ -365,7 +419,7 @@ fn main() {
         i += 1;
     }
     if figs.is_empty() {
-        figs = (6..=14).collect();
+        figs = (6..=15).collect();
     }
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let mut cache = FixtureCache::new();
@@ -386,8 +440,9 @@ fn main() {
             12 => fig12(&mut cache, &scale),
             13 => fig13(&mut cache, &scale),
             14 => fig14(&mut cache, &scale),
+            15 => fig15(&mut cache, &scale),
             other => {
-                eprintln!("unknown figure {other}; the paper has Figs. 6-14");
+                eprintln!("unknown figure {other}; Figs. 6-14 are the paper's, 15 is the thread sweep");
                 std::process::exit(2);
             }
         }

@@ -2,7 +2,7 @@
 //! and shared across measurements.
 
 use imageproof_akm::{AkmParams, Codebook, SparseBovw};
-use imageproof_core::{Client, Owner, Scheme, ServiceProvider};
+use imageproof_core::{Client, Concurrency, Owner, Scheme, ServiceProvider, SystemConfig};
 use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind, ImageId};
 use std::collections::HashMap;
 
@@ -138,6 +138,22 @@ impl Fixture {
                 std::sync::Arc::new((ServiceProvider::new(db), Client::new(published)))
             })
             .clone()
+    }
+
+    /// Uncached, timed ADS construction at an explicit thread count (the
+    /// owner-side axis of the thread-sweep figure). Returns the built SP
+    /// and the wall-clock build seconds; the fixture's system cache is
+    /// bypassed so every call measures a full build.
+    pub fn build_system_timed(&self, scheme: Scheme, conc: Concurrency) -> (ServiceProvider, f64) {
+        let t = std::time::Instant::now();
+        let (db, _) = self.owner.build_system_prepared_config(
+            &self.corpus,
+            self.codebook.clone(),
+            self.encodings.clone(),
+            SystemConfig::new(scheme).with_threads(conc.threads),
+        );
+        let seconds = t.elapsed().as_secs_f64();
+        (ServiceProvider::new(db), seconds)
     }
 
     /// Deterministic query workloads: `n_queries` feature sets of

@@ -40,8 +40,9 @@ pub mod sp;
 pub mod update;
 
 pub use client::{Client, ClientError, ClientStats, VerifiedResult};
+pub use imageproof_parallel::Concurrency;
 pub use owner::{Database, IndexVariant, Owner, PublishedParams, StoredImage};
-pub use scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme};
+pub use scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme, SystemConfig};
 pub use sp::{ImageResult, QueryResponse, ServiceProvider, SpStats};
 pub use update::UpdateError;
 

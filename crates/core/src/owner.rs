@@ -1,11 +1,12 @@
 //! The image owner: ADS generation and signing (paper §V-A).
 
-use crate::scheme::Scheme;
+use crate::scheme::{Scheme, SystemConfig};
 use imageproof_akm::{AkmParams, Codebook, ImpactModel, SparseBovw};
 use imageproof_crypto::{Digest, PublicKey, Signature, SigningKey};
 use imageproof_invindex::grouped::GroupedInvertedIndex;
 use imageproof_invindex::MerkleInvertedIndex;
 use imageproof_mrkd::MrkdForest;
+use imageproof_parallel::{par_map, par_map_chunked};
 use imageproof_vision::{Corpus, ImageId};
 use std::collections::HashMap;
 
@@ -116,9 +117,23 @@ impl Owner {
         akm: &AkmParams,
         scheme: Scheme,
     ) -> (Database, PublishedParams) {
+        self.build_system_config(corpus, akm, SystemConfig::new(scheme))
+    }
+
+    /// [`Owner::build_system`] under an explicit [`SystemConfig`]: with
+    /// `config.concurrency.threads > 1` the ADS construction (encoding,
+    /// per-cluster list/filter/digest builds, per-tree Merkle-ization, image
+    /// signing) fans out across workers. The resulting database, root
+    /// digest, and signatures are bit-identical for every thread count.
+    pub fn build_system_config(
+        &self,
+        corpus: &Corpus,
+        akm: &AkmParams,
+        config: SystemConfig,
+    ) -> (Database, PublishedParams) {
         // 1. Codebook over all corpus descriptors.
         let codebook = Codebook::train(corpus.config.kind, corpus.all_features(), akm);
-        self.build_system_with_codebook(corpus, codebook, scheme)
+        self.build_system_with_codebook_config(corpus, codebook, config)
     }
 
     /// Setup with a pre-trained codebook (lets experiments reuse one
@@ -130,18 +145,27 @@ impl Owner {
         codebook: Codebook,
         scheme: Scheme,
     ) -> (Database, PublishedParams) {
+        self.build_system_with_codebook_config(corpus, codebook, SystemConfig::new(scheme))
+    }
+
+    /// [`Owner::build_system_with_codebook`] under an explicit
+    /// [`SystemConfig`].
+    pub fn build_system_with_codebook_config(
+        &self,
+        corpus: &Corpus,
+        codebook: Codebook,
+        config: SystemConfig,
+    ) -> (Database, PublishedParams) {
         // 2. BoVW-encode every image with the protocol's assignment rule.
-        let encodings: Vec<(ImageId, SparseBovw)> = corpus
-            .images
-            .iter()
-            .map(|img| {
+        // Each image encodes independently; merged in image index order.
+        let encodings: Vec<(ImageId, SparseBovw)> =
+            par_map(config.concurrency, &corpus.images, |_, img| {
                 (
                     img.id,
                     SparseBovw::encode(&codebook, img.features.iter().map(Vec::as_slice)),
                 )
-            })
-            .collect();
-        self.build_system_prepared(corpus, codebook, encodings, scheme)
+            });
+        self.build_system_prepared_config(corpus, codebook, encodings, config)
     }
 
     /// Setup with pre-computed encodings (lets experiments amortize the
@@ -153,41 +177,56 @@ impl Owner {
         encodings: Vec<(ImageId, SparseBovw)>,
         scheme: Scheme,
     ) -> (Database, PublishedParams) {
+        self.build_system_prepared_config(corpus, codebook, encodings, SystemConfig::new(scheme))
+    }
+
+    /// [`Owner::build_system_prepared`] under an explicit [`SystemConfig`].
+    pub fn build_system_prepared_config(
+        &self,
+        corpus: &Corpus,
+        codebook: Codebook,
+        encodings: Vec<(ImageId, SparseBovw)>,
+        config: SystemConfig,
+    ) -> (Database, PublishedParams) {
+        let SystemConfig { scheme, concurrency } = config;
         let plain_encodings: Vec<SparseBovw> =
             encodings.iter().map(|(_, b)| b.clone()).collect();
         let model = ImpactModel::build(codebook.len(), &plain_encodings);
 
-        // 3. The inverted index (plain or grouped).
+        // 3. The inverted index (plain or grouped); per-cluster posting
+        // lists, cuckoo filters, and digest chains build in parallel.
         let inv = if scheme.grouped_index() {
-            IndexVariant::Grouped(GroupedInvertedIndex::build(
+            IndexVariant::Grouped(GroupedInvertedIndex::build_with(
                 codebook.len(),
                 &encodings,
                 &model,
+                concurrency,
             ))
         } else {
-            IndexVariant::Plain(MerkleInvertedIndex::build(
+            IndexVariant::Plain(MerkleInvertedIndex::build_with(
                 codebook.len(),
                 &encodings,
                 &model,
+                concurrency,
             ))
         };
 
         // 4. The MRKD forest over the codebook's randomized k-d trees.
-        let mrkd = MrkdForest::build(
+        let mrkd = MrkdForest::build_with(
             &codebook.forest,
             &codebook.centers,
             &inv.list_digests(),
             scheme.candidate_mode(),
+            concurrency,
         );
 
-        // 5. Signatures.
+        // 5. Signatures. Ed25519 signing is deterministic (RFC 8032), so
+        // per-image signatures fan out without affecting the bytes.
         let root_signature = self
             .signing_key
             .sign(&root_signing_message(&mrkd.combined_root_digest()));
-        let images: HashMap<ImageId, StoredImage> = corpus
-            .images
-            .iter()
-            .map(|img| {
+        let images: HashMap<ImageId, StoredImage> =
+            par_map_chunked(concurrency, &corpus.images, 16, |_, img| {
                 let signature = self
                     .signing_key
                     .sign(&image_signing_message(img.id, &img.data));
@@ -199,6 +238,7 @@ impl Owner {
                     },
                 )
             })
+            .into_iter()
             .collect();
 
         let published = PublishedParams {

@@ -3,6 +3,7 @@
 
 use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
 use imageproof_crypto::Signature;
+use imageproof_parallel::Concurrency;
 use imageproof_invindex::grouped::GroupedInvVo;
 use imageproof_invindex::InvVo;
 use imageproof_mrkd::{BaselineBovwVo, BovwVo, CandidateMode};
@@ -64,6 +65,35 @@ impl Scheme {
             Scheme::OptimizedBovw => "Optimized (BoVW)",
             Scheme::OptimizedBoth => "Optimized (Both)",
         }
+    }
+}
+
+/// Everything that shapes one outsourced system: the authentication scheme
+/// plus the execution knobs the owner and SP run under.
+///
+/// Concurrency never changes *what* is computed — VOs, digests, and
+/// signatures are bit-identical for every thread count (enforced by the
+/// `parallel_equivalence` test suite) — only how many workers compute it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    pub scheme: Scheme,
+    pub concurrency: Concurrency,
+}
+
+impl SystemConfig {
+    /// Serial execution of `scheme` — the configuration every pre-existing
+    /// single-argument API maps to.
+    pub fn new(scheme: Scheme) -> SystemConfig {
+        SystemConfig {
+            scheme,
+            concurrency: Concurrency::serial(),
+        }
+    }
+
+    /// Sets the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> SystemConfig {
+        self.concurrency = Concurrency::new(threads);
+        self
     }
 }
 

@@ -6,7 +6,8 @@ use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo};
 use imageproof_akm::SparseBovw;
 use imageproof_invindex::grouped::grouped_search;
 use imageproof_invindex::{inv_search, BoundsMode};
-use imageproof_mrkd::{mrkd_search, mrkd_search_baseline};
+use imageproof_mrkd::{mrkd_search_baseline_with, mrkd_search_with};
+use imageproof_parallel::{par_map, par_map_chunked, Concurrency};
 use imageproof_vision::ImageId;
 use std::time::Instant;
 
@@ -76,23 +77,41 @@ impl ServiceProvider {
     /// with threshold computation, runs `MRKDSearch` per tree, searches the
     /// inverted index, and assembles the VO.
     pub fn query(&self, features: &[Vec<f32>], k: usize) -> (QueryResponse, SpStats) {
+        self.query_with(features, k, Concurrency::serial())
+    }
+
+    /// [`ServiceProvider::query`] with the per-feature work fanned out
+    /// across workers: nearest-cluster assignment chunks `features`, and
+    /// `MRKDSearch` parallelizes per tree (shared schemes) or per query
+    /// vector (Baseline). Per-feature outputs merge in feature index order,
+    /// so shared-node VO compression, [`SpStats`] counters, and the final
+    /// VO bytes are identical to the serial path for every thread count.
+    pub fn query_with(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        conc: Concurrency,
+    ) -> (QueryResponse, SpStats) {
         let mut stats = SpStats::default();
         let scheme = self.db.scheme;
 
         // --- BoVW step (Alg. 5 lines 1–4) ---
         let t0 = Instant::now();
+        let assigned: Vec<(u32, f32)> = par_map_chunked(conc, features, 8, |_, f| {
+            self.db.codebook.assign_with_threshold(f)
+        });
         let mut assignments = Vec::with_capacity(features.len());
         let mut thresholds = Vec::with_capacity(features.len());
-        for f in features {
-            let (cluster, dist_sq) = self.db.codebook.assign_with_threshold(f);
+        for (cluster, dist_sq) in assigned {
             assignments.push(cluster);
             thresholds.push(dist_sq);
         }
         let (bovw_vo, mrkd_stats) = if scheme.shares_nodes() {
-            let out = mrkd_search(&self.db.mrkd, features, &thresholds);
+            let out = mrkd_search_with(&self.db.mrkd, features, &thresholds, conc);
             (BovwVoVariant::Shared(out.vo), out.stats)
         } else {
-            let (vo, _, s) = mrkd_search_baseline(&self.db.mrkd, features, &thresholds);
+            let (vo, _, s) =
+                mrkd_search_baseline_with(&self.db.mrkd, features, &thresholds, conc);
             (BovwVoVariant::PerQuery(vo), s)
         };
         let query_bovw = SparseBovw::from_counts(assignments.iter().map(|&c| (c, 1)));
@@ -147,5 +166,22 @@ impl ServiceProvider {
             },
             stats,
         )
+    }
+
+    /// Serves independent client queries concurrently over the shared
+    /// immutable [`Database`] — the millions-of-users serving shape: one
+    /// database, many simultaneous top-k queries.
+    ///
+    /// Each query runs the serial [`ServiceProvider::query`] path on one
+    /// worker (inter-query parallelism, not intra-query), and responses are
+    /// returned in input order, so `query_batch(qs, k, conc)[i]` is
+    /// bit-identical to `query(&qs[i], k)` for every thread count.
+    pub fn query_batch(
+        &self,
+        queries: &[Vec<Vec<f32>>],
+        k: usize,
+        conc: Concurrency,
+    ) -> Vec<(QueryResponse, SpStats)> {
+        par_map(conc, queries, |_, features| self.query(features, k))
     }
 }

@@ -8,11 +8,17 @@
 //! MRKD-tree leaf digest commits to.
 
 use crate::digest::Digest;
+use imageproof_parallel::{par_map_chunked, Concurrency};
 
 /// Domain-separation tags so a leaf digest can never be confused with an
 /// internal-node digest (a classic second-preimage pitfall in Merkle trees).
 const LEAF_TAG: u8 = 0x00;
 const NODE_TAG: u8 = 0x01;
+
+/// Minimum nodes per scheduled chunk when hashing a level in parallel: one
+/// SHA3 of 65 bytes is far cheaper than claiming a work item, so small
+/// levels (and small trees) stay on the calling thread.
+const PAR_MIN_NODES: usize = 256;
 
 fn leaf_digest(data: &[u8]) -> Digest {
     Digest::builder().bytes(&[LEAF_TAG]).bytes(data).finish()
@@ -57,25 +63,46 @@ impl MerkleTree {
     ///
     /// # Panics
     /// Panics if `leaves` is empty: an empty authenticated set has no root.
-    pub fn from_leaf_data<D: AsRef<[u8]>>(leaves: &[D]) -> Self {
-        let digests: Vec<Digest> = leaves.iter().map(|d| leaf_digest(d.as_ref())).collect();
-        Self::from_leaf_digests(digests)
+    pub fn from_leaf_data<D: AsRef<[u8]> + Sync>(leaves: &[D]) -> Self {
+        Self::from_leaf_data_with(leaves, Concurrency::serial())
+    }
+
+    /// [`MerkleTree::from_leaf_data`] with parallel leaf and level hashing.
+    ///
+    /// The levels of the resulting tree are a pure function of the leaf
+    /// sequence, so the root (and every proof) is identical for every
+    /// thread count.
+    pub fn from_leaf_data_with<D: AsRef<[u8]> + Sync>(leaves: &[D], conc: Concurrency) -> Self {
+        let digests = par_map_chunked(conc, leaves, PAR_MIN_NODES, |_, d| {
+            leaf_digest(d.as_ref())
+        });
+        Self::from_leaf_digests_with(digests, conc)
     }
 
     /// Builds a tree when leaf digests are computed externally.
     pub fn from_leaf_digests(leaves: Vec<Digest>) -> Self {
+        Self::from_leaf_digests_with(leaves, Concurrency::serial())
+    }
+
+    /// [`MerkleTree::from_leaf_digests`] with the bottom-up level hashing
+    /// fanned out across workers. Each level's nodes depend only on the
+    /// previous level, so nodes within a level hash independently and are
+    /// merged back in index order — levels (and the root) are bit-identical
+    /// to the serial build.
+    pub fn from_leaf_digests_with(leaves: Vec<Digest>, conc: Concurrency) -> Self {
         assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
         let mut levels = vec![leaves];
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
+            let pairs: Vec<&[Digest]> = prev.chunks(2).collect();
+            let next = par_map_chunked(conc, &pairs, PAR_MIN_NODES, |_, pair| {
+                let pair: &[Digest] = pair;
                 match pair {
-                    [l, r] => next.push(node_digest(l, r)),
-                    [only] => next.push(*only),
+                    [l, r] => node_digest(l, r),
+                    [only] => *only,
                     _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
                 }
-            }
+            });
             levels.push(next);
         }
         MerkleTree { levels }
@@ -347,6 +374,21 @@ mod tests {
     fn empty_tree_is_rejected() {
         let empty: Vec<Vec<u8>> = Vec::new();
         let _ = MerkleTree::from_leaf_data(&empty);
+    }
+
+    #[test]
+    fn parallel_level_hashing_matches_serial_for_many_sizes() {
+        // Sizes straddling the PAR_MIN_NODES chunking threshold, including
+        // odd levels (promoted nodes) at every depth.
+        for n in [1usize, 2, 3, 7, 255, 256, 257, 600, 1025] {
+            let data = leaves(n);
+            let serial = MerkleTree::from_leaf_data(&data);
+            for threads in [2usize, 4, 8] {
+                let par = MerkleTree::from_leaf_data_with(&data, Concurrency::new(threads));
+                assert_eq!(par.levels, serial.levels, "n={n} threads={threads}");
+                assert_eq!(par.root(), serial.root());
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use imageproof_akm::bovw::{impact_value, impacts_with_weights, ImpactModel, Spar
 use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
 use imageproof_crypto::Digest;
 use imageproof_cuckoo::CuckooFilter;
+use imageproof_parallel::{try_par_map, Concurrency};
 use std::collections::{BTreeMap, HashMap};
 
 /// One frequency-grouped posting.
@@ -138,6 +139,18 @@ impl GroupedInvertedIndex {
         images: &[(u64, SparseBovw)],
         model: &ImpactModel,
     ) -> GroupedInvertedIndex {
+        Self::build_with(n_clusters, images, model, Concurrency::serial())
+    }
+
+    /// [`GroupedInvertedIndex::build`] with per-cluster list builds fanned
+    /// out across workers; deterministic for the same reasons as
+    /// [`crate::merkle::MerkleInvertedIndex::build_with`].
+    pub fn build_with(
+        n_clusters: usize,
+        images: &[(u64, SparseBovw)],
+        model: &ImpactModel,
+        conc: Concurrency,
+    ) -> GroupedInvertedIndex {
         let mut per_cluster: Vec<BTreeMap<u32, Vec<(u64, f32)>>> =
             vec![BTreeMap::new(); n_clusters];
         let mut lengths = vec![0usize; n_clusters];
@@ -154,18 +167,15 @@ impl GroupedInvertedIndex {
         let max_len = lengths.iter().copied().max().unwrap_or(0);
         let mut n_buckets = imageproof_cuckoo::buckets_for_capacity(max_len);
         loop {
-            let built: Result<Vec<GroupedList>, _> = per_cluster
-                .iter()
-                .enumerate()
-                .map(|(c, by_freq)| {
+            let built: Result<Vec<GroupedList>, _> =
+                try_par_map(conc, &per_cluster, |c, by_freq| {
                     GroupedList::try_build(
                         c as u32,
                         model.weight(c as u32),
                         by_freq.clone(),
                         n_buckets,
                     )
-                })
-                .collect();
+                });
             match built {
                 Ok(lists) => return GroupedInvertedIndex { lists, n_buckets },
                 Err(_) => n_buckets *= 2,

@@ -14,6 +14,7 @@
 use imageproof_akm::bovw::{impact_value, ImpactModel, SparseBovw};
 use imageproof_crypto::Digest;
 use imageproof_cuckoo::CuckooFilter;
+use imageproof_parallel::{try_par_map, Concurrency};
 
 /// One `⟨image, impact⟩` posting.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -138,6 +139,24 @@ impl MerkleInvertedIndex {
         images: &[(u64, SparseBovw)],
         model: &ImpactModel,
     ) -> MerkleInvertedIndex {
+        Self::build_with(n_clusters, images, model, Concurrency::serial())
+    }
+
+    /// [`MerkleInvertedIndex::build`] with the per-cluster list builds
+    /// (sorting, cuckoo filter insertion, digest chaining) fanned out
+    /// across workers.
+    ///
+    /// Each cluster's list is a pure function of its postings and the
+    /// shared bucket count; lists are merged in cluster order, and the
+    /// geometry-doubling retry triggers iff *any* cluster fails — the same
+    /// condition the serial build reacts to — so the built index is
+    /// identical for every thread count.
+    pub fn build_with(
+        n_clusters: usize,
+        images: &[(u64, SparseBovw)],
+        model: &ImpactModel,
+        conc: Concurrency,
+    ) -> MerkleInvertedIndex {
         // Group postings per cluster.
         let mut per_cluster: Vec<Vec<Posting>> = vec![Vec::new(); n_clusters];
         for (image, bovw) in images {
@@ -157,18 +176,15 @@ impl MerkleInvertedIndex {
         let max_len = per_cluster.iter().map(Vec::len).max().unwrap_or(0);
         let mut n_buckets = imageproof_cuckoo::buckets_for_capacity(max_len);
         loop {
-            let built: Result<Vec<MerkleList>, _> = per_cluster
-                .iter()
-                .enumerate()
-                .map(|(c, postings)| {
+            let built: Result<Vec<MerkleList>, _> =
+                try_par_map(conc, &per_cluster, |c, postings| {
                     MerkleList::try_build(
                         c as u32,
                         model.weight(c as u32),
                         postings.clone(),
                         n_buckets,
                     )
-                })
-                .collect();
+                });
             match built {
                 Ok(lists) => return MerkleInvertedIndex { lists, n_buckets },
                 Err(_) => n_buckets *= 2,

@@ -6,6 +6,7 @@ use crate::traverse::{traverse, ActiveQuery, TraversalVisitor, TreeSource, ViewN
 use crate::vo::{BovwVo, Reveal, VoLeafEntry, VoNode};
 use imageproof_akm::rkd::{dist_sq, Node};
 use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
+use imageproof_parallel::{par_map, Concurrency};
 use std::collections::BTreeSet;
 use std::convert::Infallible;
 
@@ -262,6 +263,32 @@ pub fn partial_sum_revealed(blocks: &[(u32, Vec<f32>)], q: &[f32]) -> f32 {
         .sum()
 }
 
+/// One tree's share of `MRKDSearch`: the VO tree, per-query candidates in
+/// leaf-visit order, and traversal stats. Trees never share state, so this
+/// is the unit the parallel path fans out.
+fn search_tree(
+    forest: &MrkdForest,
+    tree: &MrkdTree,
+    queries: &[Vec<f32>],
+    thresholds_sq: &[f32],
+) -> (VoNode, Vec<Vec<(u32, f32)>>, SearchStats) {
+    let mut candidates = vec![Vec::new(); queries.len()];
+    let mut visitor = SpVisitor {
+        forest,
+        tree,
+        queries,
+        thresholds_sq,
+        candidates: &mut candidates,
+        stats: SearchStats::default(),
+    };
+    let vo = match traverse(&MrkdSource(tree), queries, thresholds_sq, &mut visitor) {
+        Ok(vo) => vo,
+        Err(e) => match e {},
+    };
+    let stats = visitor.stats;
+    (vo, candidates, stats)
+}
+
 /// `MRKDSearch` with node sharing: one traversal per tree serving all query
 /// vectors, producing the VO forest plus the candidate sets.
 pub fn mrkd_search(
@@ -269,24 +296,34 @@ pub fn mrkd_search(
     queries: &[Vec<f32>],
     thresholds_sq: &[f32],
 ) -> SearchOutput {
+    mrkd_search_with(forest, queries, thresholds_sq, Concurrency::serial())
+}
+
+/// [`mrkd_search`] with the per-tree traversals fanned out across workers.
+///
+/// Determinism: each tree's traversal (and hence its VO subtree, candidate
+/// order, and stats) depends only on that tree and the queries; per-tree
+/// outputs are merged **in tree index order**, reproducing exactly the
+/// serial loop's candidate append order and stats sums. The resulting
+/// [`SearchOutput`] is bit-identical for every thread count.
+pub fn mrkd_search_with(
+    forest: &MrkdForest,
+    queries: &[Vec<f32>],
+    thresholds_sq: &[f32],
+    conc: Concurrency,
+) -> SearchOutput {
     assert_eq!(queries.len(), thresholds_sq.len());
+    let per_tree = par_map(conc, forest.trees(), |_, tree| {
+        search_tree(forest, tree, queries, thresholds_sq)
+    });
     let mut candidates = vec![Vec::new(); queries.len()];
     let mut stats = SearchStats::default();
-    let mut trees = Vec::with_capacity(forest.trees().len());
-    for tree in forest.trees() {
-        let mut visitor = SpVisitor {
-            forest,
-            tree,
-            queries,
-            thresholds_sq,
-            candidates: &mut candidates,
-            stats: SearchStats::default(),
-        };
-        let vo = match traverse(&MrkdSource(tree), queries, thresholds_sq, &mut visitor) {
-            Ok(vo) => vo,
-            Err(e) => match e {},
-        };
-        stats.merge(&visitor.stats);
+    let mut trees = Vec::with_capacity(per_tree.len());
+    for (vo, tree_candidates, tree_stats) in per_tree {
+        stats.merge(&tree_stats);
+        for (q, mut list) in tree_candidates.into_iter().enumerate() {
+            candidates[q].append(&mut list);
+        }
         trees.push(vo);
     }
     for list in &mut candidates {
@@ -334,15 +371,30 @@ pub fn mrkd_search_baseline(
     queries: &[Vec<f32>],
     thresholds_sq: &[f32],
 ) -> (BaselineBovwVo, Vec<Vec<(u32, f32)>>, SearchStats) {
+    mrkd_search_baseline_with(forest, queries, thresholds_sq, Concurrency::serial())
+}
+
+/// [`mrkd_search_baseline`] with the independent per-query traversals fanned
+/// out across workers and merged in query index order, so the VO, candidate
+/// sets, and stats are bit-identical to the serial loop's.
+pub fn mrkd_search_baseline_with(
+    forest: &MrkdForest,
+    queries: &[Vec<f32>],
+    thresholds_sq: &[f32],
+    conc: Concurrency,
+) -> (BaselineBovwVo, Vec<Vec<(u32, f32)>>, SearchStats) {
     assert!(
         forest.mode() == CandidateMode::Full,
         "the Baseline scheme uses full candidate disclosure"
     );
+    assert_eq!(queries.len(), thresholds_sq.len());
+    let outs = par_map(conc, queries, |i, q| {
+        mrkd_search(forest, std::slice::from_ref(q), &[thresholds_sq[i]])
+    });
     let mut per_query = Vec::with_capacity(queries.len());
     let mut candidates = Vec::with_capacity(queries.len());
     let mut stats = SearchStats::default();
-    for (q, &t) in queries.iter().zip(thresholds_sq) {
-        let out = mrkd_search(forest, std::slice::from_ref(q), &[t]);
+    for out in outs {
         stats.merge(&out.stats);
         per_query.push(out.vo);
         candidates.push(out.candidates.into_iter().next().expect("one query"));

@@ -14,6 +14,7 @@
 
 use imageproof_akm::rkd::{Node, RkdForest, RkdTree};
 use imageproof_crypto::{Digest, MerkleTree};
+use imageproof_parallel::{par_map, par_map_chunked, Concurrency};
 
 /// How cluster centroids are committed inside leaf digests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -260,6 +261,23 @@ impl MrkdForest {
         inv_digests: &[Digest],
         mode: CandidateMode,
     ) -> MrkdForest {
+        Self::build_with(forest, centers, inv_digests, mode, Concurrency::serial())
+    }
+
+    /// [`MrkdForest::build`] with the per-cluster dimension trees and the
+    /// per-tree digest builds fanned out across workers.
+    ///
+    /// Each cluster's dimension tree and each tree's digest array is a pure
+    /// function of its inputs; outputs are merged in cluster/tree index
+    /// order, so the forest (and the signed combined root) is identical for
+    /// every thread count.
+    pub fn build_with(
+        forest: &RkdForest,
+        centers: &[Vec<f32>],
+        inv_digests: &[Digest],
+        mode: CandidateMode,
+        conc: Concurrency,
+    ) -> MrkdForest {
         assert_eq!(
             centers.len(),
             inv_digests.len(),
@@ -267,26 +285,22 @@ impl MrkdForest {
         );
         let dim_trees = match mode {
             CandidateMode::Full => None,
-            CandidateMode::Compressed => {
-                Some(centers.iter().map(|c| dimension_tree(c)).collect::<Vec<_>>())
-            }
+            CandidateMode::Compressed => Some(par_map_chunked(conc, centers, 64, |_, c| {
+                dimension_tree(c)
+            })),
         };
         let dim_roots: Option<Vec<Digest>> = dim_trees
             .as_ref()
             .map(|ts| ts.iter().map(MerkleTree::root).collect());
-        let trees = forest
-            .trees()
-            .iter()
-            .map(|t| {
-                MrkdTree::build(
-                    t.clone(),
-                    centers,
-                    inv_digests,
-                    mode,
-                    dim_roots.as_deref(),
-                )
-            })
-            .collect();
+        let trees = par_map(conc, forest.trees(), |_, t| {
+            MrkdTree::build(
+                t.clone(),
+                centers,
+                inv_digests,
+                mode,
+                dim_roots.as_deref(),
+            )
+        });
         MrkdForest {
             mode,
             trees,

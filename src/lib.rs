@@ -1,8 +1,12 @@
-//! Umbrella crate re-exporting the ImageProof workspace crates.
+//! Umbrella crate re-exporting the ImageProof workspace crates, plus the
+//! [`parallel_eq`] test utilities proving parallel/serial equivalence.
 pub use imageproof_akm as akm;
 pub use imageproof_core as core;
 pub use imageproof_crypto as crypto;
 pub use imageproof_cuckoo as cuckoo;
 pub use imageproof_invindex as invindex;
 pub use imageproof_mrkd as mrkd;
+pub use imageproof_parallel as parallel;
 pub use imageproof_vision as vision;
+
+pub mod parallel_eq;

@@ -1,0 +1,174 @@
+//! Reusable parallel-vs-serial equivalence assertions.
+//!
+//! A VO is a cryptographic artifact: the client re-hashes its bytes against
+//! the owner's signature, so the parallel execution layer must produce
+//! *bit-identical* output to the serial reference for every thread count.
+//! These helpers state that contract once; the `parallel_equivalence`
+//! integration suite and proptests call them across schemes, corpora, and
+//! thread counts.
+
+use crate::core::{
+    Concurrency, Owner, QueryResponse, Scheme, ServiceProvider, SpStats, SystemConfig,
+};
+use crate::crypto::wire::Encode;
+use imageproof_akm::Codebook;
+use imageproof_vision::Corpus;
+
+/// Asserts the non-timing fields of two [`SpStats`] agree exactly.
+///
+/// Wall-clock fields (`bovw_seconds`, `inv_seconds`) legitimately differ
+/// between runs; the counters and ratios are pure functions of the query
+/// and must not.
+pub fn assert_stats_equivalent(serial: &SpStats, parallel: &SpStats, context: &str) {
+    assert_eq!(serial.popped, parallel.popped, "{context}: popped differs");
+    assert_eq!(
+        serial.total_postings, parallel.total_postings,
+        "{context}: total_postings differs"
+    );
+    assert_eq!(
+        serial.shared_ratio.to_bits(),
+        parallel.shared_ratio.to_bits(),
+        "{context}: shared_ratio differs"
+    );
+}
+
+/// Asserts two responses are interchangeable: byte-identical wire-serialized
+/// VOs and identical result rows (ids, scores, payloads).
+pub fn assert_responses_equivalent(
+    serial: &QueryResponse,
+    parallel: &QueryResponse,
+    context: &str,
+) {
+    assert_eq!(
+        serial.vo.to_wire(),
+        parallel.vo.to_wire(),
+        "{context}: VO wire bytes differ"
+    );
+    assert_eq!(
+        serial.results.len(),
+        parallel.results.len(),
+        "{context}: result count differs"
+    );
+    for (s, p) in serial.results.iter().zip(&parallel.results) {
+        assert_eq!(s.id, p.id, "{context}: top-k image id differs");
+        assert_eq!(
+            s.score.to_bits(),
+            p.score.to_bits(),
+            "{context}: score differs for image {}",
+            s.id
+        );
+        assert_eq!(s.data, p.data, "{context}: payload differs for image {}", s.id);
+    }
+}
+
+/// Runs one query on the serial path and on the parallel path with
+/// `threads` workers, asserting bit-identical VO bytes, top-k, and stats
+/// counters. Returns the serial response for further checks.
+pub fn assert_query_equivalent(
+    sp: &ServiceProvider,
+    features: &[Vec<f32>],
+    k: usize,
+    threads: usize,
+) -> QueryResponse {
+    let (serial, serial_stats) = sp.query(features, k);
+    let (parallel, parallel_stats) = sp.query_with(features, k, Concurrency::new(threads));
+    let context = format!(
+        "query threads={threads} scheme={:?}",
+        sp.database().scheme
+    );
+    assert_responses_equivalent(&serial, &parallel, &context);
+    assert_stats_equivalent(&serial_stats, &parallel_stats, &context);
+    serial
+}
+
+/// Asserts `query_batch` over `threads` workers returns, in input order,
+/// exactly what per-query serial calls return.
+pub fn assert_batch_equivalent(
+    sp: &ServiceProvider,
+    queries: &[Vec<Vec<f32>>],
+    k: usize,
+    threads: usize,
+) {
+    let batch = sp.query_batch(queries, k, Concurrency::new(threads));
+    assert_eq!(batch.len(), queries.len(), "batch length mismatch");
+    for (i, ((response, stats), features)) in batch.iter().zip(queries).enumerate() {
+        let (serial, serial_stats) = sp.query(features, k);
+        let context = format!("batch[{i}] threads={threads}");
+        assert_responses_equivalent(&serial, response, &context);
+        assert_stats_equivalent(&serial_stats, stats, &context);
+    }
+}
+
+/// Builds `scheme` serially and with `threads` workers from the same corpus
+/// and codebook, asserting the two databases commit to identical roots,
+/// signatures, list digests, and stored images. Returns both service
+/// providers (serial first) so callers can continue with query checks.
+pub fn assert_build_equivalent(
+    owner: &Owner,
+    corpus: &Corpus,
+    codebook: &Codebook,
+    scheme: Scheme,
+    threads: usize,
+) -> (ServiceProvider, ServiceProvider) {
+    let (db_serial, pub_serial) =
+        owner.build_system_with_codebook(corpus, codebook.clone(), scheme);
+    let (db_parallel, pub_parallel) = owner.build_system_with_codebook_config(
+        corpus,
+        codebook.clone(),
+        SystemConfig::new(scheme).with_threads(threads),
+    );
+    let context = format!("build threads={threads} scheme={scheme:?}");
+
+    assert_eq!(
+        db_serial.mrkd.combined_root_digest(),
+        db_parallel.mrkd.combined_root_digest(),
+        "{context}: combined root digest differs"
+    );
+    assert_eq!(
+        pub_serial.root_signature, pub_parallel.root_signature,
+        "{context}: root signature differs"
+    );
+    assert_eq!(
+        pub_serial.public_key, pub_parallel.public_key,
+        "{context}: public key differs"
+    );
+    assert_eq!(
+        pub_serial.n_trees, pub_parallel.n_trees,
+        "{context}: tree count differs"
+    );
+    assert_eq!(
+        db_serial.inv.list_digests(),
+        db_parallel.inv.list_digests(),
+        "{context}: inverted-list digests differ"
+    );
+    assert_eq!(
+        db_serial.images.len(),
+        db_parallel.images.len(),
+        "{context}: image count differs"
+    );
+    for (id, stored) in &db_serial.images {
+        let other = &db_parallel.images[id];
+        assert_eq!(stored.data, other.data, "{context}: image {id} payload differs");
+        assert_eq!(
+            stored.signature, other.signature,
+            "{context}: image {id} signature differs"
+        );
+    }
+    assert_eq!(
+        db_serial.encodings.len(),
+        db_parallel.encodings.len(),
+        "{context}: encoding count differs"
+    );
+    for ((id_s, bovw_s), (id_p, bovw_p)) in db_serial.encodings.iter().zip(&db_parallel.encodings)
+    {
+        assert_eq!(id_s, id_p, "{context}: encoding order differs");
+        assert_eq!(
+            bovw_s, bovw_p,
+            "{context}: BoVW encoding differs for image {id_s}"
+        );
+    }
+    (
+        ServiceProvider::new(db_serial),
+        ServiceProvider::new(db_parallel),
+    )
+}
