@@ -16,6 +16,12 @@ cargo test -q --test parallel_equivalence
 cargo test -q -p imageproof-core --test parallel_adversary
 cargo test -q -p imageproof-parallel
 
+echo "== bench smoke: machine-readable query benchmarks =="
+# Small sweep that exercises the timed build + query + verify loop for all
+# four schemes and emits BENCH_queries.json (consumed by the README table).
+cargo run -q --release -p imageproof-bench --bin figures -- --fig 15 --quick
+test -s BENCH_queries.json
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== fmt =="
     cargo fmt --check

@@ -132,7 +132,11 @@ impl Codebook {
 
     /// Builds a codebook directly from given centroids (used by tests and by
     /// experiments that reuse the corpus generator's latent words).
-    pub fn from_centers(kind: DescriptorKind, centers: Vec<Vec<f32>>, params: &AkmParams) -> Codebook {
+    pub fn from_centers(
+        kind: DescriptorKind,
+        centers: Vec<Vec<f32>>,
+        params: &AkmParams,
+    ) -> Codebook {
         assert!(!centers.is_empty(), "codebook cannot be empty");
         assert!(centers.iter().all(|c| c.len() == kind.dim()));
         let forest = RkdForest::build(
@@ -197,7 +201,11 @@ mod tests {
     #[test]
     fn training_produces_requested_codebook_size() {
         let corpus = Corpus::generate(&CorpusConfig::small(DescriptorKind::Surf));
-        let cb = Codebook::train(DescriptorKind::Surf, corpus.all_features(), &tiny_params(64));
+        let cb = Codebook::train(
+            DescriptorKind::Surf,
+            corpus.all_features(),
+            &tiny_params(64),
+        );
         assert_eq!(cb.len(), 64);
         assert!(cb.centers.iter().all(|c| c.len() == 64));
     }
@@ -205,8 +213,16 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let corpus = Corpus::generate(&CorpusConfig::small(DescriptorKind::Surf));
-        let a = Codebook::train(DescriptorKind::Surf, corpus.all_features(), &tiny_params(32));
-        let b = Codebook::train(DescriptorKind::Surf, corpus.all_features(), &tiny_params(32));
+        let a = Codebook::train(
+            DescriptorKind::Surf,
+            corpus.all_features(),
+            &tiny_params(32),
+        );
+        let b = Codebook::train(
+            DescriptorKind::Surf,
+            corpus.all_features(),
+            &tiny_params(32),
+        );
         assert_eq!(a.centers, b.centers);
     }
 
@@ -214,7 +230,11 @@ mod tests {
     fn centers_reduce_quantization_error_vs_init() {
         let corpus = Corpus::generate(&CorpusConfig::small(DescriptorKind::Surf));
         let features: Vec<&[f32]> = corpus.all_features().collect();
-        let trained = Codebook::train(DescriptorKind::Surf, features.iter().copied(), &tiny_params(32));
+        let trained = Codebook::train(
+            DescriptorKind::Surf,
+            features.iter().copied(),
+            &tiny_params(32),
+        );
         let init = Codebook::train(
             DescriptorKind::Surf,
             features.iter().copied(),
@@ -226,11 +246,7 @@ mod tests {
         let err = |cb: &Codebook| -> f64 {
             features
                 .iter()
-                .map(|f| {
-                    cb.forest
-                        .exact_nearest(&cb.centers, f, 64)
-                        .dist_sq as f64
-                })
+                .map(|f| cb.forest.exact_nearest(&cb.centers, f, 64).dist_sq as f64)
                 .sum()
         };
         assert!(err(&trained) <= err(&init), "training must not hurt");
@@ -239,7 +255,11 @@ mod tests {
     #[test]
     fn assignment_is_exact_nearest() {
         let corpus = Corpus::generate(&CorpusConfig::small(DescriptorKind::Surf));
-        let cb = Codebook::train(DescriptorKind::Surf, corpus.all_features(), &tiny_params(32));
+        let cb = Codebook::train(
+            DescriptorKind::Surf,
+            corpus.all_features(),
+            &tiny_params(32),
+        );
         let q = &corpus.images[0].features[0];
         let assigned = cb.assign(q);
         let brute = cb

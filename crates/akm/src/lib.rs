@@ -10,11 +10,16 @@
 //!   assignments) and the [`kmeans::Codebook`] assignment rule.
 //! * [`bovw`] — sparse bag-of-visual-words encodings, tf-idf impact values
 //!   (Eq. 1), and the cosine similarity of Eq. 3.
+//! * [`kernel`] — chunked distance kernels (bit-identical to the scalar
+//!   fold, plus a monotone early-exit variant) shared by this crate's
+//!   search loops and `imageproof-mrkd`'s authenticated traversal.
 
 pub mod bovw;
+pub mod kernel;
 pub mod kmeans;
 pub mod rkd;
 
 pub use bovw::{impact_value, impacts_with_weights, similarity, ImpactModel, SparseBovw};
+pub use kernel::{dist_sq_scalar, dist_sq_within};
 pub use kmeans::{AkmParams, Codebook};
 pub use rkd::{dist_sq, Neighbor, Node, OrdF32, RkdForest, RkdTree};

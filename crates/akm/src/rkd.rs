@@ -105,7 +105,15 @@ impl RkdTree {
             diffs: vec![0.0; query.len()],
         };
         let mut out = Vec::new();
-        self.range_recursive(self.root, points, query, threshold_sq, 0.0, &mut scratch, &mut out);
+        self.range_recursive(
+            self.root,
+            points,
+            query,
+            threshold_sq,
+            0.0,
+            &mut scratch,
+            &mut out,
+        );
         out
     }
 
@@ -123,8 +131,15 @@ impl RkdTree {
         match &self.nodes[node as usize] {
             Node::Leaf { clusters } => {
                 for &c in clusters {
-                    if dist_sq(query, &points[c as usize]) <= threshold_sq {
-                        out.push(c);
+                    // Early-exit kernel: `None` proves the distance exceeds
+                    // the threshold; `Some` is the exact distance, compared
+                    // exactly as the scalar code did.
+                    if let Some(d) =
+                        crate::kernel::dist_sq_within(query, &points[c as usize], threshold_sq)
+                    {
+                        if d <= threshold_sq {
+                            out.push(c);
+                        }
                     }
                 }
             }
@@ -135,7 +150,11 @@ impl RkdTree {
                 right,
             } => {
                 let d = query[*dim as usize] - value;
-                let (near, far) = if d <= 0.0 { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if d <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.range_recursive(near, points, query, threshold_sq, bound_sq, scratch, out);
                 let far_bound = bound_sq - scratch.diffs[*dim as usize] + d * d;
                 if far_bound <= threshold_sq {
@@ -235,18 +254,11 @@ fn build_recursive(
     my_index
 }
 
-/// Squared Euclidean distance (local copy to keep this crate's hot loop
-/// free of cross-crate inlining concerns).
+/// Squared Euclidean distance: the chunked kernel, bit-identical to the
+/// scalar fold the protocol fixed (see [`crate::kernel`]).
 #[inline]
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    crate::kernel::dist_sq(a, b)
 }
 
 /// A forest of randomized k-d trees searched jointly (the AKM index).
@@ -286,7 +298,12 @@ impl RkdForest {
     /// plane-crossing sums — an inexpensive *over*-estimate that only
     /// affects approximation quality, never protocol soundness (soundness
     /// comes from the exact threshold collection).
-    pub fn approx_nearest(&self, points: &[Vec<f32>], query: &[f32], max_checks: usize) -> Neighbor {
+    pub fn approx_nearest(
+        &self,
+        points: &[Vec<f32>],
+        query: &[f32],
+        max_checks: usize,
+    ) -> Neighbor {
         let mut heap: BinaryHeap<Reverse<(OrdF32, u32, u32)>> = BinaryHeap::new();
         let mut best = Neighbor {
             cluster: u32::MAX,
@@ -311,13 +328,25 @@ impl RkdForest {
                         right,
                     } => {
                         let d = query[*dim as usize] - value;
-                        let (near, far) = if d <= 0.0 { (*left, *right) } else { (*right, *left) };
+                        let (near, far) = if d <= 0.0 {
+                            (*left, *right)
+                        } else {
+                            (*right, *left)
+                        };
                         heap.push(Reverse((OrdF32(bound + d * d), t, far)));
                         node = near;
                     }
                     Node::Leaf { clusters } => {
                         for &c in clusters {
-                            let d = dist_sq(query, &points[c as usize]);
+                            // `None` proves d > best.dist_sq, which can
+                            // neither beat the best nor tie it.
+                            let Some(d) = crate::kernel::dist_sq_within(
+                                query,
+                                &points[c as usize],
+                                best.dist_sq,
+                            ) else {
+                                continue;
+                            };
                             if d < best.dist_sq || (d == best.dist_sq && c < best.cluster) {
                                 best = Neighbor {
                                     cluster: c,
@@ -347,7 +376,10 @@ impl RkdForest {
         let candidates = self.trees[0].collect_within(points, query, upper.dist_sq);
         let mut best = upper;
         for c in candidates {
-            let d = dist_sq(query, &points[c as usize]);
+            let Some(d) = crate::kernel::dist_sq_within(query, &points[c as usize], best.dist_sq)
+            else {
+                continue;
+            };
             if d < best.dist_sq || (d == best.dist_sq && c < best.cluster) {
                 best = Neighbor {
                     cluster: c,

@@ -3,9 +3,11 @@
 //! building blocks every figure's costs decompose into).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imageproof_akm::kernel::{dist_sq, dist_sq_scalar, dist_sq_within};
 use imageproof_akm::rkd::RkdForest;
 use imageproof_crypto::sha3::Sha3_256;
-use imageproof_crypto::{MerkleTree, SigningKey};
+use imageproof_crypto::wire::Writer;
+use imageproof_crypto::{Digest, MerkleTree, SigningKey};
 use imageproof_cuckoo::{max_count, CuckooFilter};
 use rand_like::SplitMix;
 
@@ -100,5 +102,119 @@ fn rkd_bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, sha3_bench, ed25519_bench, merkle_bench, cuckoo_bench, rkd_bench);
+fn dist_kernel_bench(c: &mut Criterion) {
+    let mut rng = SplitMix(7);
+    let mut group = c.benchmark_group("dist_sq");
+    for dim in [64usize, 128] {
+        let a: Vec<f32> = (0..dim).map(|_| rng.f32()).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.f32()).collect();
+        // A limit around half the expected distance makes the early-exit
+        // variant representative: roughly half its checkpoints fire.
+        let limit = dist_sq(&a, &b) * 0.5;
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |bch, _| {
+            bch.iter(|| dist_sq_scalar(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("chunked", dim), &dim, |bch, _| {
+            bch.iter(|| dist_sq(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("chunked_within", dim), &dim, |bch, _| {
+            bch.iter(|| dist_sq_within(&a, &b, limit))
+        });
+    }
+    group.finish();
+}
+
+fn sha3_reuse_bench(c: &mut Criterion) {
+    // One VO node digest is a handful of short absorbs; the memoized hot
+    // path replaces "fresh hasher per digest" with one streaming state
+    // drained via `finalize_reset`.
+    let chunks: [&[u8]; 3] = [&[0x01u8; 8], &[0x5au8; 32], &[0xc3u8; 32]];
+    let mut group = c.benchmark_group("sha3_256_stream");
+    group.bench_function(BenchmarkId::from_parameter("fresh_per_digest_x64"), |b| {
+        b.iter(|| {
+            let mut last = [0u8; 32];
+            for _ in 0..64 {
+                let mut h = Sha3_256::new();
+                for chunk in chunks {
+                    h.update(chunk);
+                }
+                last = h.finalize();
+            }
+            last
+        })
+    });
+    group.bench_function(
+        BenchmarkId::from_parameter("reused_finalize_reset_x64"),
+        |b| {
+            b.iter(|| {
+                let mut h = Sha3_256::new();
+                let mut last = [0u8; 32];
+                for _ in 0..64 {
+                    for chunk in chunks {
+                        h.update(chunk);
+                    }
+                    last = h.finalize_reset();
+                }
+                last
+            })
+        },
+    );
+    group.finish();
+}
+
+fn wire_writer_bench(c: &mut Criterion) {
+    // A synthetic VO record: digests + varints + coordinates, the mix the
+    // real responses serialize. Compares growing a fresh writer per record
+    // against `reset` on a pre-sized one (the zero-realloc assembly path).
+    let digest = Digest([0x77u8; 32]);
+    let coords: Vec<f32> = (0..64).map(|i| i as f32 * 0.25).collect();
+    let encode = |w: &mut Writer| {
+        w.seq_len(coords.len());
+        for &v in &coords {
+            w.f32(v);
+        }
+        for i in 0..8u64 {
+            w.digest(&digest);
+            w.varint(i * 1009);
+        }
+    };
+    let mut group = c.benchmark_group("wire_writer");
+    group.bench_function(BenchmarkId::from_parameter("fresh_per_record_x64"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..64 {
+                let mut w = Writer::new();
+                encode(&mut w);
+                total += w.len();
+            }
+            total
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("reset_reuse_x64"), |b| {
+        let mut w = Writer::with_capacity(1024);
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..64 {
+                w.reset();
+                encode(&mut w);
+                total += w.len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sha3_bench,
+    ed25519_bench,
+    merkle_bench,
+    cuckoo_bench,
+    rkd_bench,
+    dist_kernel_bench,
+    sha3_reuse_bench,
+    wire_writer_bench
+);
 criterion_main!(benches);

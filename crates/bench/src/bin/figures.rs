@@ -15,6 +15,7 @@ use imageproof_bench::fixture::{Fixture, FixtureConfig};
 use imageproof_bench::measure::{measure_bovw_step, measure_inv_step, measure_overall};
 use imageproof_bench::table::{kib, ms, pct, Table};
 use imageproof_core::Scheme;
+use imageproof_crypto::wire::Encode;
 use imageproof_vision::DescriptorKind;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -344,18 +345,62 @@ fn fig14(cache: &mut FixtureCache, scale: &Scale) {
     println!("{}", t.render());
 }
 
+/// One `(scheme, threads)` cell of the thread sweep, as written to
+/// `BENCH_queries.json`.
+struct SweepRecord {
+    scheme: &'static str,
+    threads: usize,
+    build_seconds: f64,
+    sp_ms_per_query: f64,
+    vo_bytes: f64,
+    client_verify_ms: f64,
+    hashes_computed: usize,
+    hashes_cached: usize,
+}
+
+impl SweepRecord {
+    fn cache_hit_ratio(&self) -> f64 {
+        let total = self.hashes_computed + self.hashes_cached;
+        if total == 0 {
+            0.0
+        } else {
+            self.hashes_cached as f64 / total as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"scheme\": \"{}\", \"threads\": {}, \"build_s\": {:.6}, \
+             \"sp_ms_per_query\": {:.6}, \"vo_bytes\": {:.1}, \
+             \"client_verify_ms\": {:.6}, \"hashes_computed\": {}, \
+             \"hashes_cached\": {}, \"cache_hit_ratio\": {:.6}}}",
+            self.scheme,
+            self.threads,
+            self.build_seconds,
+            self.sp_ms_per_query,
+            self.vo_bytes,
+            self.client_verify_ms,
+            self.hashes_computed,
+            self.hashes_cached,
+            self.cache_hit_ratio(),
+        )
+    }
+}
+
 /// Thread-count sweep for the deterministic parallel execution layer (not a
-/// paper figure): owner-side ADS build seconds and SP-side query CPU at
-/// 1/2/4/8 workers, with speedups relative to the serial run. VOs and
-/// signed roots are bit-identical across the sweep (see the
-/// `parallel_equivalence` test suite), so only wall-clock moves.
-fn fig15(cache: &mut FixtureCache, scale: &Scale) {
+/// paper figure): owner-side ADS build seconds, SP-side query CPU, VO
+/// bytes, and client verify CPU for every scheme at 1/2/4/8 workers, with
+/// speedups relative to the serial run. VOs and signed roots are
+/// bit-identical across the sweep (see the `parallel_equivalence` test
+/// suite), so only wall-clock moves. The machine-readable results land in
+/// `BENCH_queries.json` next to the working directory.
+fn fig15(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
     let fixture = cache.get(&scale.base_surf);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!(
-        "\n== Fig. 15: thread-count sweep (build + SP query) ==\n\
+        "\n== Fig. 15: thread-count sweep (build + SP query + client verify) ==\n\
          (expected: near-linear build speedup up to the core count — this\n\
           machine has {cores} — and flat VO bytes; threads=1 is the exact\n\
           serial path)\n"
@@ -367,23 +412,56 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale) {
         "build_speedup",
         "sp_ms",
         "sp_speedup",
+        "vo_KiB",
+        "client_ms",
+        "cache_hit_%",
     ]);
     let queries = fixture.queries(scale.n_queries, scale.default_features);
-    for scheme in [Scheme::ImageProof, Scheme::OptimizedBoth] {
+    let k = scale.default_k;
+    let mut records: Vec<SweepRecord> = Vec::new();
+    for scheme in Scheme::ALL {
         let mut serial_build = 0.0f64;
         let mut serial_query = 0.0f64;
         for threads in [1usize, 2, 4, 8] {
             let conc = imageproof_core::Concurrency::new(threads);
-            let (sp, build_seconds) = fixture.build_system_timed(scheme, conc);
+            let (sp, client, build_seconds) = fixture.build_system_timed(scheme, conc);
+            let mut vo_bytes = 0.0f64;
+            let mut client_seconds = 0.0f64;
+            let mut hashes_computed = 0usize;
+            let mut hashes_cached = 0usize;
             let t0 = std::time::Instant::now();
-            for features in &queries {
-                let _ = sp.query_with(features, scale.default_k, conc);
-            }
+            let responses: Vec<_> = queries
+                .iter()
+                .map(|features| sp.query_with(features, k, conc))
+                .collect();
             let query_seconds = t0.elapsed().as_secs_f64() / queries.len() as f64;
+            for (features, (response, stats)) in queries.iter().zip(&responses) {
+                vo_bytes += response.vo.wire_size() as f64;
+                hashes_computed += stats.hashes_computed;
+                hashes_cached += stats.hashes_cached;
+                let t1 = std::time::Instant::now();
+                client
+                    .verify(features, k, response)
+                    .expect("honest response verifies");
+                client_seconds += t1.elapsed().as_secs_f64();
+            }
+            let n = queries.len().max(1) as f64;
+            vo_bytes /= n;
+            client_seconds /= n;
             if threads == 1 {
                 serial_build = build_seconds;
                 serial_query = query_seconds;
             }
+            let record = SweepRecord {
+                scheme: scheme.label(),
+                threads,
+                build_seconds,
+                sp_ms_per_query: query_seconds * 1e3,
+                vo_bytes,
+                client_verify_ms: client_seconds * 1e3,
+                hashes_computed,
+                hashes_cached,
+            };
             t.row([
                 scheme.label().to_string(),
                 threads.to_string(),
@@ -391,10 +469,30 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale) {
                 format!("{:.2}x", serial_build / build_seconds.max(1e-9)),
                 ms(query_seconds),
                 format!("{:.2}x", serial_query / query_seconds.max(1e-9)),
+                kib(vo_bytes),
+                ms(client_seconds),
+                pct(record.cache_hit_ratio()),
             ]);
+            records.push(record);
         }
     }
     println!("{}", t.render());
+
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"n_queries\": {},\n  \"k\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        queries.len(),
+        k,
+        records
+            .iter()
+            .map(SweepRecord::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    match std::fs::write("BENCH_queries.json", &json) {
+        Ok(()) => println!("wrote BENCH_queries.json ({} records)", records.len()),
+        Err(e) => eprintln!("could not write BENCH_queries.json: {e}"),
+    }
 }
 
 fn main() {
@@ -440,9 +538,11 @@ fn main() {
             12 => fig12(&mut cache, &scale),
             13 => fig13(&mut cache, &scale),
             14 => fig14(&mut cache, &scale),
-            15 => fig15(&mut cache, &scale),
+            15 => fig15(&mut cache, &scale, quick),
             other => {
-                eprintln!("unknown figure {other}; Figs. 6-14 are the paper's, 15 is the thread sweep");
+                eprintln!(
+                    "unknown figure {other}; Figs. 6-14 are the paper's, 15 is the thread sweep"
+                );
                 std::process::exit(2);
             }
         }

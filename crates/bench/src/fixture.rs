@@ -141,19 +141,24 @@ impl Fixture {
     }
 
     /// Uncached, timed ADS construction at an explicit thread count (the
-    /// owner-side axis of the thread-sweep figure). Returns the built SP
-    /// and the wall-clock build seconds; the fixture's system cache is
-    /// bypassed so every call measures a full build.
-    pub fn build_system_timed(&self, scheme: Scheme, conc: Concurrency) -> (ServiceProvider, f64) {
+    /// owner-side axis of the thread-sweep figure). Returns the built SP,
+    /// a client holding the published parameters, and the wall-clock build
+    /// seconds; the fixture's system cache is bypassed so every call
+    /// measures a full build.
+    pub fn build_system_timed(
+        &self,
+        scheme: Scheme,
+        conc: Concurrency,
+    ) -> (ServiceProvider, Client, f64) {
         let t = std::time::Instant::now();
-        let (db, _) = self.owner.build_system_prepared_config(
+        let (db, published) = self.owner.build_system_prepared_config(
             &self.corpus,
             self.codebook.clone(),
             self.encodings.clone(),
             SystemConfig::new(scheme).with_threads(conc.threads),
         );
         let seconds = t.elapsed().as_secs_f64();
-        (ServiceProvider::new(db), seconds)
+        (ServiceProvider::new(db), Client::new(published), seconds)
     }
 
     /// Deterministic query workloads: `n_queries` feature sets of

@@ -52,6 +52,14 @@ impl IndexVariant {
             IndexVariant::Grouped(i) => i.total_postings(clusters),
         }
     }
+
+    /// Drops every list's build-time filter-digest memo.
+    pub fn clear_filter_caches(&mut self) {
+        match self {
+            IndexVariant::Plain(i) => i.clear_filter_caches(),
+            IndexVariant::Grouped(i) => i.clear_filter_caches(),
+        }
+    }
 }
 
 /// Everything outsourced to the SP.
@@ -65,6 +73,17 @@ pub struct Database {
     /// Per-image BoVW encodings (kept for diagnostics and ablations; a real
     /// SP could drop them).
     pub encodings: Vec<(ImageId, SparseBovw)>,
+}
+
+impl Database {
+    /// Disables the query-time digest memos (currently the per-list filter
+    /// commitments), forcing every subsequent VO assembly to recompute them
+    /// from the authenticated structures. The equivalence suite uses this to
+    /// prove memoization is invisible on the wire; the hot path never calls
+    /// it.
+    pub fn clear_hot_path_caches(&mut self) {
+        self.inv.clear_filter_caches();
+    }
 }
 
 /// The message an image signature covers: `h(I | h(img_I))` (Eq. 15).
@@ -188,9 +207,11 @@ impl Owner {
         encodings: Vec<(ImageId, SparseBovw)>,
         config: SystemConfig,
     ) -> (Database, PublishedParams) {
-        let SystemConfig { scheme, concurrency } = config;
-        let plain_encodings: Vec<SparseBovw> =
-            encodings.iter().map(|(_, b)| b.clone()).collect();
+        let SystemConfig {
+            scheme,
+            concurrency,
+        } = config;
+        let plain_encodings: Vec<SparseBovw> = encodings.iter().map(|(_, b)| b.clone()).collect();
         let model = ImpactModel::build(codebook.len(), &plain_encodings);
 
         // 3. The inverted index (plain or grouped); per-cluster posting
@@ -329,7 +350,11 @@ mod tests {
         // never be replayed against another scheme's signature.
         let (corpus, owner) = tiny();
         let mut roots = std::collections::HashSet::new();
-        for scheme in [Scheme::ImageProof, Scheme::OptimizedBovw, Scheme::OptimizedBoth] {
+        for scheme in [
+            Scheme::ImageProof,
+            Scheme::OptimizedBovw,
+            Scheme::OptimizedBoth,
+        ] {
             let (db, _) = owner.build_system(&corpus, &tiny_akm(), scheme);
             assert!(roots.insert(db.mrkd.combined_root_digest()), "{scheme:?}");
         }

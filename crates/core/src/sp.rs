@@ -39,6 +39,12 @@ pub struct SpStats {
     /// Postings popped / total postings in relevant lists (Figs. 9–11).
     pub popped: usize,
     pub total_postings: usize,
+    /// VO digests that required running Keccak at query time.
+    pub hashes_computed: usize,
+    /// VO digests copied from build-time memos (MRKD pruned stubs and
+    /// leaf-embedded list digests, posting-chain digests, filter
+    /// commitments).
+    pub hashes_cached: usize,
 }
 
 impl SpStats {
@@ -47,6 +53,17 @@ impl SpStats {
             0.0
         } else {
             self.popped as f64 / self.total_postings as f64
+        }
+    }
+
+    /// Fraction of VO digests served from build-time memos (guarded like
+    /// [`SpStats::popped_ratio`] against empty VOs).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.hashes_computed + self.hashes_cached;
+        if total == 0 {
+            0.0
+        } else {
+            self.hashes_cached as f64 / total as f64
         }
     }
 }
@@ -110,13 +127,13 @@ impl ServiceProvider {
             let out = mrkd_search_with(&self.db.mrkd, features, &thresholds, conc);
             (BovwVoVariant::Shared(out.vo), out.stats)
         } else {
-            let (vo, _, s) =
-                mrkd_search_baseline_with(&self.db.mrkd, features, &thresholds, conc);
+            let (vo, _, s) = mrkd_search_baseline_with(&self.db.mrkd, features, &thresholds, conc);
             (BovwVoVariant::PerQuery(vo), s)
         };
         let query_bovw = SparseBovw::from_counts(assignments.iter().map(|&c| (c, 1)));
         stats.bovw_seconds = t0.elapsed().as_secs_f64();
         stats.shared_ratio = mrkd_stats.shared_ratio();
+        stats.hashes_cached = mrkd_stats.digests_cached;
 
         // --- Inverted-index step (Alg. 5 line 5) ---
         let t1 = Instant::now();
@@ -125,18 +142,24 @@ impl ServiceProvider {
                 let out = inv_search(index, &query_bovw, k, BoundsMode::CuckooFiltered);
                 stats.popped = out.stats.popped;
                 stats.total_postings = out.stats.total_postings;
+                stats.hashes_computed += out.stats.hashes_computed;
+                stats.hashes_cached += out.stats.hashes_cached;
                 (out.topk, InvVoVariant::Plain(out.vo))
             }
             (IndexVariant::Plain(index), false) => {
                 let out = inv_search(index, &query_bovw, k, BoundsMode::MaxBound);
                 stats.popped = out.stats.popped;
                 stats.total_postings = out.stats.total_postings;
+                stats.hashes_computed += out.stats.hashes_computed;
+                stats.hashes_cached += out.stats.hashes_cached;
                 (out.topk, InvVoVariant::Plain(out.vo))
             }
             (IndexVariant::Grouped(index), _) => {
                 let out = grouped_search(index, &query_bovw, k);
                 stats.popped = out.stats.popped;
                 stats.total_postings = out.stats.total_postings;
+                stats.hashes_computed += out.stats.hashes_computed;
+                stats.hashes_cached += out.stats.hashes_cached;
                 (out.topk, InvVoVariant::Grouped(out.vo))
             }
         };

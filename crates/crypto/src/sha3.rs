@@ -160,6 +160,14 @@ impl Sha3_256 {
 
     /// Applies SHA-3 padding and squeezes the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
+        self.finalize_reset()
+    }
+
+    /// Like [`Sha3_256::finalize`], but leaves the hasher in the
+    /// freshly-[`reset`](Sha3_256::reset) state instead of consuming it, so
+    /// one scratch hasher can serve a whole stream of digests without
+    /// re-zeroing a new state per message.
+    pub fn finalize_reset(&mut self) -> [u8; 32] {
         let mut block = [0u8; RATE];
         block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
         // SHA-3 domain suffix `01` followed by pad10*1.
@@ -171,7 +179,16 @@ impl Sha3_256 {
         for (chunk, lane) in out.chunks_exact_mut(8).zip(self.state.iter()) {
             chunk.copy_from_slice(&lane.to_le_bytes());
         }
+        self.reset();
         out
+    }
+
+    /// Returns the hasher to its initial state (equivalent to `*self =
+    /// Sha3_256::new()` without touching the buffer bytes beyond the
+    /// absorbed prefix).
+    pub fn reset(&mut self) {
+        self.state = [0u64; 25];
+        self.buffered = 0;
     }
 
     /// One-shot convenience: `Sha3_256::digest(m) == {new; update(m); finalize}`.
@@ -267,6 +284,27 @@ mod tests {
         keccak_f1600(&mut b);
         assert_eq!(a, b);
         assert_ne!(a, [0u64; 25]);
+    }
+
+    #[test]
+    fn finalize_reset_reuses_one_hasher_across_messages() {
+        let mut h = Sha3_256::new();
+        // Interleave message lengths around the rate boundary so stale
+        // buffer bytes would be caught if reset missed them.
+        for len in [0usize, 3, 135, 136, 137, 300, 5] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
+            h.update(&msg);
+            assert_eq!(h.finalize_reset(), Sha3_256::digest(&msg), "length {len}");
+        }
+    }
+
+    #[test]
+    fn reset_discards_absorbed_input() {
+        let mut h = Sha3_256::new();
+        h.update(b"poison that must not leak into the next digest");
+        h.reset();
+        h.update(b"abc");
+        assert_eq!(h.finalize(), Sha3_256::digest(b"abc"));
     }
 
     #[test]

@@ -50,6 +50,35 @@ impl Writer {
         Writer { buf: Vec::new() }
     }
 
+    /// A writer whose buffer starts with `capacity` bytes pre-allocated —
+    /// encoding a VO of at most that size performs no allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Clears the written bytes but keeps the allocation, so the writer can
+    /// be reused across VOs without reallocating.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Ensures room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Current allocation size in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// The bytes written so far, without consuming the writer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -196,21 +225,63 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Per-thread scratch [`Writer`] for [`Encode::to_wire`]/[`Encode::wire_size`].
+///
+/// The pool keeps one writer per thread whose capacity grows to the largest
+/// VO that thread has encoded, so steady-state query serving (one worker
+/// encoding one VO after another, as in `query_batch`) performs zero buffer
+/// reallocations: the scratch is sized by the previous query's VO. Bytes are
+/// identical to encoding into a fresh `Writer` — only the allocation
+/// behaviour differs.
+mod scratch {
+    use super::Writer;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static POOL: RefCell<Writer> = RefCell::new(Writer::new());
+    }
+
+    /// Runs `f` with this thread's scratch writer (reset before and after
+    /// use, capacity retained). Falls back to a fresh writer if the scratch
+    /// is already borrowed (an `encode` impl that itself calls `to_wire`).
+    pub fn with_writer<R>(f: impl FnOnce(&mut Writer) -> R) -> R {
+        POOL.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut w) => {
+                w.reset();
+                let r = f(&mut w);
+                w.reset();
+                r
+            }
+            Err(_) => f(&mut Writer::new()),
+        })
+    }
+}
+
 /// Types with a canonical wire encoding.
 pub trait Encode {
     fn encode(&self, w: &mut Writer);
 
-    /// Serializes to a fresh byte vector.
+    /// Serializes to a byte vector sized exactly to the encoding.
+    ///
+    /// Encodes through the per-thread scratch writer, so the only
+    /// allocation is the exact-size output vector — no realloc chain while
+    /// the VO is being assembled.
     fn to_wire(&self) -> Vec<u8> {
-        let mut w = Writer::new();
-        self.encode(&mut w);
-        w.finish()
+        scratch::with_writer(|w| {
+            self.encode(w);
+            w.as_slice().to_vec()
+        })
     }
 
     /// Exact size in bytes of the canonical encoding — the "VO size" metric.
+    ///
+    /// Allocation-free in steady state: measures through the per-thread
+    /// scratch writer without materializing the bytes.
     fn wire_size(&self) -> usize {
-        // Simple and always correct; hot paths may override.
-        self.to_wire().len()
+        scratch::with_writer(|w| {
+            self.encode(w);
+            w.len()
+        })
     }
 }
 
@@ -316,6 +387,64 @@ mod tests {
         let buf = [0xffu8; 11];
         let mut r = Reader::new(&buf);
         assert_eq!(r.varint(), Err(WireError::LengthOverflow));
+    }
+
+    #[test]
+    fn reset_leaves_no_residual_bytes() {
+        let mut w = Writer::with_capacity(64);
+        w.u64(0xFEED_FACE_CAFE_BEEF);
+        w.bytes(b"residue");
+        let cap = w.capacity();
+        w.reset();
+        assert!(w.is_empty(), "reset writer must report empty");
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.as_slice(), &[] as &[u8]);
+        assert_eq!(w.capacity(), cap, "reset must keep the allocation");
+        // A post-reset encoding must match a fresh writer's bit-for-bit.
+        w.u32(7);
+        w.f32(1.25);
+        let mut fresh = Writer::new();
+        fresh.u32(7);
+        fresh.f32(1.25);
+        assert_eq!(w.finish(), fresh.finish());
+    }
+
+    #[test]
+    fn with_capacity_pre_allocates() {
+        let mut w = Writer::with_capacity(128);
+        assert!(w.capacity() >= 128);
+        for i in 0..32u32 {
+            w.u32(i);
+        }
+        assert!(w.capacity() >= 128, "no growth needed within capacity");
+        assert_eq!(w.len(), 128);
+    }
+
+    #[test]
+    fn pooled_to_wire_matches_fresh_writer_encoding() {
+        struct Sample(Vec<u64>);
+        impl Encode for Sample {
+            fn encode(&self, w: &mut Writer) {
+                w.seq_len(self.0.len());
+                for &v in &self.0 {
+                    w.varint(v);
+                }
+            }
+        }
+        let s = Sample((0..100).map(|i| i * 31).collect());
+        let mut fresh = Writer::new();
+        s.encode(&mut fresh);
+        let fresh = fresh.finish();
+        // Repeated pooled encodes (same thread, shared scratch) all match.
+        for _ in 0..3 {
+            assert_eq!(s.to_wire(), fresh);
+            assert_eq!(s.wire_size(), fresh.len());
+        }
+        // And the scratch is clean across differently-sized encodings.
+        let small = Sample(vec![1]);
+        let tiny = small.to_wire();
+        assert_eq!(tiny.len(), small.wire_size());
+        assert_eq!(s.to_wire(), fresh);
     }
 
     #[test]

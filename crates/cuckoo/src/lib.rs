@@ -19,6 +19,7 @@
 //!   committed in the inverted-list digest (Def. 5), so [`CuckooFilter::to_bytes`]
 //!   is a canonical serialization and [`CuckooFilter::digest`] hashes it.
 
+use imageproof_crypto::sha3::Sha3_256;
 use imageproof_crypto::Digest;
 use std::sync::OnceLock;
 
@@ -283,8 +284,17 @@ impl CuckooFilter {
 
     /// `h(Θ)`: the SHA3-256 digest of the canonical serialization, as
     /// committed by the inverted-list digest (Def. 5).
+    ///
+    /// Streams the canonical bytes (bucket-count prefix, then bucket slots
+    /// in order — exactly [`CuckooFilter::to_bytes`]) straight into the
+    /// sponge, so no intermediate serialization buffer is allocated.
     pub fn digest(&self) -> Digest {
-        Digest::of(&self.to_bytes())
+        let mut h = Sha3_256::new();
+        h.update(&(self.buckets.len() as u64).to_le_bytes());
+        for bucket in &self.buckets {
+            h.update(bucket);
+        }
+        Digest(h.finalize())
     }
 }
 
@@ -406,6 +416,19 @@ mod tests {
         let mut short = 4u64.to_le_bytes().to_vec();
         short.extend_from_slice(&[0u8; 8]);
         assert!(CuckooFilter::from_bytes(&short).is_none());
+    }
+
+    #[test]
+    fn streaming_digest_matches_digest_of_canonical_bytes() {
+        // The streamed digest must hash exactly the `to_bytes` stream —
+        // clients recompute `h(Θ)` from the serialized filter.
+        for n in [0u64, 1, 7, 120, 400] {
+            let mut f = CuckooFilter::with_capacity(500);
+            for i in 0..n {
+                f.insert(i * 11 + 5).expect("sized");
+            }
+            assert_eq!(f.digest(), Digest::of(&f.to_bytes()), "{n} items");
+        }
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct GroupedList {
     pub filter: CuckooFilter,
     /// `h_{Γ^f_c}` (Def. 7).
     pub digest: Digest,
+    /// Build-time memo of `h(Θ)`, mirroring the ungrouped
+    /// [`crate::merkle::MerkleList`] cache; `None` after
+    /// [`GroupedList::clear_filter_cache`].
+    filter_commit: Option<Digest>,
 }
 
 impl GroupedList {
@@ -102,7 +106,8 @@ impl GroupedList {
             next = group_digest(&groups[j], &next);
             chain[j] = next;
         }
-        let digest = crate::merkle::list_digest(weight, &filter.digest(), &next);
+        let filter_commit = filter.digest();
+        let digest = crate::merkle::list_digest(weight, &filter_commit, &next);
         Ok(GroupedList {
             cluster,
             weight,
@@ -110,7 +115,22 @@ impl GroupedList {
             chain,
             filter,
             digest,
+            filter_commit: Some(filter_commit),
         })
+    }
+
+    /// `h(Θ)` from the build-time memo when present, recomputed otherwise;
+    /// the flag reports which path was taken.
+    pub fn filter_digest_cached(&self) -> (Digest, bool) {
+        match self.filter_commit {
+            Some(d) => (d, true),
+            None => (self.filter.digest(), false),
+        }
+    }
+
+    /// Drops the build-time `h(Θ)` memo (equivalence-test hook).
+    pub fn clear_filter_cache(&mut self) {
+        self.filter_commit = None;
     }
 
     /// Chain digest of group `j` (ZERO past the end).
@@ -205,6 +225,14 @@ impl GroupedInvertedIndex {
         clusters
             .map(|c| self.lists[c as usize].posting_count())
             .sum()
+    }
+
+    /// Drops every list's `h(Θ)` memo (see
+    /// [`GroupedList::clear_filter_cache`]).
+    pub fn clear_filter_caches(&mut self) {
+        for list in &mut self.lists {
+            list.clear_filter_cache();
+        }
     }
 
     /// Owner-side incremental update: rebuilds one cluster's grouped list
@@ -550,9 +578,7 @@ pub fn grouped_search(
         }
         if let Some(&worst) = eval.exceeded.first() {
             let target = best_target(&states, |s| {
-                s.working_filter
-                    .as_ref()
-                    .is_some_and(|f| f.contains(worst))
+                s.working_filter.as_ref().is_some_and(|f| f.contains(worst))
             })
             .expect("condition 2 holds once every list is exhausted");
             states[target].pop_until_image(worst, batch);
@@ -563,6 +589,8 @@ pub fn grouped_search(
     }
     stats.popped = states.iter().map(|s| s.offsets[s.popped_groups]).sum();
 
+    // As in `inv_search`, static digests come from build-time memos and the
+    // counters record the hit rate.
     let lists = states
         .iter()
         .map(|s| GroupedListVo {
@@ -570,10 +598,15 @@ pub fn grouped_search(
             weight: s.list.weight,
             popped: s.list.groups[..s.popped_groups].to_vec(),
             remaining: if s.exhausted() {
-                RemainingVo::Exhausted {
-                    filter_digest: s.list.filter.digest(),
+                let (filter_digest, cached) = s.list.filter_digest_cached();
+                if cached {
+                    stats.hashes_cached += 1;
+                } else {
+                    stats.hashes_computed += 1;
                 }
+                RemainingVo::Exhausted { filter_digest }
             } else {
+                stats.hashes_cached += 1; // memoized chain digest
                 RemainingVo::Partial {
                     next_digest: s.list.chain_digest(s.popped_groups),
                     filter: FilterVo::Bytes(s.list.filter.to_bytes()),

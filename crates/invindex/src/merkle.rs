@@ -57,6 +57,10 @@ pub struct MerkleList {
     pub filter: CuckooFilter,
     /// `h_{Γ_c}` (Def. 5).
     pub digest: Digest,
+    /// Build-time memo of `h(Θ)` (the filter digest), so query-time VO
+    /// assembly copies 32 bytes instead of re-running Keccak over the
+    /// filter table. `None` after [`MerkleList::clear_filter_cache`].
+    filter_commit: Option<Digest>,
 }
 
 impl MerkleList {
@@ -93,7 +97,8 @@ impl MerkleList {
             next = posting_digest(&postings[j], &next);
             chain[j] = next;
         }
-        let digest = list_digest(weight, &filter.digest(), &next);
+        let filter_commit = filter.digest();
+        let digest = list_digest(weight, &filter_commit, &next);
         Ok(MerkleList {
             cluster,
             weight,
@@ -101,7 +106,25 @@ impl MerkleList {
             chain,
             filter,
             digest,
+            filter_commit: Some(filter_commit),
         })
+    }
+
+    /// `h(Θ)` from the build-time memo when present, recomputed otherwise.
+    /// The flag reports which path was taken (feeds the SP's
+    /// `hashes_cached`/`hashes_computed` counters).
+    pub fn filter_digest_cached(&self) -> (Digest, bool) {
+        match self.filter_commit {
+            Some(d) => (d, true),
+            None => (self.filter.digest(), false),
+        }
+    }
+
+    /// Drops the build-time `h(Θ)` memo so subsequent queries recompute it —
+    /// the reference path the equivalence suite compares the memoized path
+    /// against.
+    pub fn clear_filter_cache(&mut self) {
+        self.filter_commit = None;
     }
 
     /// Digest of posting `j` (the chain value covering `j..`), or
@@ -229,6 +252,14 @@ impl MerkleInvertedIndex {
         clusters.map(|c| self.lists[c as usize].len()).sum()
     }
 
+    /// Drops every list's `h(Θ)` memo (see
+    /// [`MerkleList::clear_filter_cache`]).
+    pub fn clear_filter_caches(&mut self) {
+        for list in &mut self.lists {
+            list.clear_filter_cache();
+        }
+    }
+
     /// Owner-side incremental update: rebuilds one cluster's list with new
     /// postings (keeping the frozen cluster weight and the common filter
     /// geometry) and returns the new `h_Γ`.
@@ -351,6 +382,27 @@ mod tests {
             .find(|p| p.image == 10)
             .expect("image 10 in cluster 1");
         assert_eq!(p10.impact, model.impact(&encodings[0], 1));
+    }
+
+    #[test]
+    fn filter_digest_memo_matches_recomputation() {
+        let mut idx = toy_index();
+        let memoized: Vec<Digest> = idx
+            .lists()
+            .iter()
+            .map(|l| {
+                let (d, cached) = l.filter_digest_cached();
+                assert!(cached, "fresh build must serve from the memo");
+                d
+            })
+            .collect();
+        idx.clear_filter_caches();
+        for (list, memo) in idx.lists().iter().zip(&memoized) {
+            let (d, cached) = list.filter_digest_cached();
+            assert!(!cached, "cleared cache must recompute");
+            assert_eq!(d, *memo);
+            assert_eq!(d, list.filter.digest());
+        }
     }
 
     #[test]

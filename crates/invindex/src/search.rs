@@ -24,6 +24,11 @@ pub struct InvSearchStats {
     pub total_postings: usize,
     /// Termination-condition evaluations performed.
     pub rounds: usize,
+    /// Digests the VO assembly had to run Keccak for (cache misses).
+    pub hashes_computed: usize,
+    /// Digests the VO assembly copied from build-time memos (chain digests
+    /// and filter commitments).
+    pub hashes_cached: usize,
 }
 
 impl InvSearchStats {
@@ -33,6 +38,16 @@ impl InvSearchStats {
             0.0
         } else {
             self.popped as f64 / self.total_postings as f64
+        }
+    }
+
+    /// Fraction of VO digests served from build-time memos.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.hashes_computed + self.hashes_cached;
+        if total == 0 {
+            0.0
+        } else {
+            self.hashes_cached as f64 / total as f64
         }
     }
 }
@@ -243,10 +258,9 @@ pub fn inv_search_with_tuning(
             // Pop toward the offending image in the list that contributes
             // most to its upper bound.
             let target = best_poppable(&states, |s| match mode {
-                BoundsMode::CuckooFiltered => s
-                    .working_filter
-                    .as_ref()
-                    .is_some_and(|f| f.contains(worst)),
+                BoundsMode::CuckooFiltered => {
+                    s.working_filter.as_ref().is_some_and(|f| f.contains(worst))
+                }
                 BoundsMode::MaxBound => true,
             });
             let target = target.expect("condition 2 holds once every list is exhausted");
@@ -258,6 +272,18 @@ pub fn inv_search_with_tuning(
     }
 
     // Assemble the VO from the final popped state (Alg. 4 lines 2–11).
+    // Static digests come from build-time memos (filter commitments, chain
+    // digests) wherever the cache holds them; the counters make the hit
+    // rate observable.
+    let filter_digest = |s: &ListState<'_>, stats: &mut InvSearchStats| {
+        let (d, cached) = s.list.filter_digest_cached();
+        if cached {
+            stats.hashes_cached += 1;
+        } else {
+            stats.hashes_computed += 1;
+        }
+        d
+    };
     let lists = states
         .iter()
         .map(|s| ListVo {
@@ -266,16 +292,15 @@ pub fn inv_search_with_tuning(
             popped: s.pairs[..s.popped_len].to_vec(),
             remaining: if s.exhausted() {
                 RemainingVo::Exhausted {
-                    filter_digest: s.list.filter.digest(),
+                    filter_digest: filter_digest(s, &mut stats),
                 }
             } else {
+                stats.hashes_cached += 1; // memoized chain digest
                 RemainingVo::Partial {
                     next_digest: s.list.chain_digest(s.popped_len),
                     filter: match mode {
-                        BoundsMode::CuckooFiltered => {
-                            FilterVo::Bytes(s.list.filter.to_bytes())
-                        }
-                        BoundsMode::MaxBound => FilterVo::DigestOnly(s.list.filter.digest()),
+                        BoundsMode::CuckooFiltered => FilterVo::Bytes(s.list.filter.to_bytes()),
+                        BoundsMode::MaxBound => FilterVo::DigestOnly(filter_digest(s, &mut stats)),
                     },
                 }
             },
@@ -373,7 +398,9 @@ mod tests {
         let mut baseline_total = 0usize;
         for qseed in 0..5 {
             let q = query(100 + qseed, 30);
-            filtered_total += inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered).stats.popped;
+            filtered_total += inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered)
+                .stats
+                .popped;
             baseline_total += inv_search(&idx, &q, 5, BoundsMode::MaxBound).stats.popped;
         }
         assert!(

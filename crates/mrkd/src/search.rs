@@ -1,10 +1,11 @@
 //! SP-side `MRKDSearch` (paper Alg. 1): authenticated candidate collection
 //! and VO generation, with node sharing across query vectors.
 
-use crate::tree::{CandidateMode, MrkdForest, MrkdTree};
 use crate::traverse::{traverse, ActiveQuery, TraversalVisitor, TreeSource, ViewNode};
+use crate::tree::{CandidateMode, MrkdForest, MrkdTree};
 use crate::vo::{BovwVo, Reveal, VoLeafEntry, VoNode};
-use imageproof_akm::rkd::{dist_sq, Node};
+use imageproof_akm::kernel::dist_sq_within;
+use imageproof_akm::rkd::Node;
 use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
 use imageproof_parallel::{par_map, Concurrency};
 use std::collections::BTreeSet;
@@ -20,6 +21,10 @@ pub struct SearchStats {
     pub nodes_shared: usize,
     /// Leaves disclosed.
     pub leaves_visited: usize,
+    /// Digests copied from the build-time tables into the VO (pruned-stub
+    /// node digests and per-cluster inverted-list digests) instead of being
+    /// recomputed — the MRKD share of the SP's hash-cache hits.
+    pub digests_cached: usize,
 }
 
 impl SearchStats {
@@ -36,6 +41,7 @@ impl SearchStats {
         self.nodes_traversed += other.nodes_traversed;
         self.nodes_shared += other.nodes_shared;
         self.leaves_visited += other.leaves_visited;
+        self.digests_cached += other.digests_cached;
     }
 }
 
@@ -89,6 +95,7 @@ impl TraversalVisitor for SpVisitor<'_> {
     type Err = Infallible;
 
     fn inactive(&mut self, node: usize) -> Result<VoNode, Infallible> {
+        self.stats.digests_cached += 1;
         Ok(VoNode::Pruned(self.tree.node_digest(node as u32)))
     }
 
@@ -140,7 +147,12 @@ impl SpVisitor<'_> {
         let mut is_candidate = false;
         for aq in active {
             let q = aq.query as usize;
-            let d = dist_sq(&self.queries[q], center);
+            // Early-exit kernel: `None` proves d > threshold (not a
+            // candidate); `Some` is the exact distance, compared exactly as
+            // the scalar code did.
+            let Some(d) = dist_sq_within(&self.queries[q], center, self.thresholds_sq[q]) else {
+                continue;
+            };
             if d <= self.thresholds_sq[q] {
                 self.candidates[q].push((cluster, d));
                 is_candidate = true;
@@ -160,6 +172,7 @@ impl SpVisitor<'_> {
                 }
             }
         };
+        self.stats.digests_cached += 1;
         VoLeafEntry {
             cluster,
             inv_digest: self.forest.inv_digest(cluster),
@@ -183,24 +196,30 @@ impl SpVisitor<'_> {
         for aq in active {
             let q = &self.queries[aq.query as usize];
             let t = self.thresholds_sq[aq.query as usize];
-            if partial_sum_selected(&selected, q, center) >= t {
+            // Each block's contribution once, up front: the greedy ordering
+            // and the repeated partial-sum validations below all read from
+            // this cache (every cached value is bit-identical to
+            // recomputation, so selection — and hence the VO — is
+            // unchanged).
+            let contrib: Vec<f32> = (0..total_blocks as u32)
+                .map(|b| block_contribution(q, center, b))
+                .collect();
+            if partial_sum_selected(&selected, &contrib) >= t {
                 continue;
             }
             // Blocks by descending contribution for this query.
             let mut order: Vec<u32> = (0..total_blocks as u32)
                 .filter(|b| !selected.contains(b))
                 .collect();
-            order.sort_by(|&a, &b| {
-                block_contribution(q, center, b).total_cmp(&block_contribution(q, center, a))
-            });
+            order.sort_by(|&a, &b| contrib[b as usize].total_cmp(&contrib[a as usize]));
             for b in order {
                 selected.insert(b);
-                if partial_sum_selected(&selected, q, center) >= t {
+                if partial_sum_selected(&selected, &contrib) >= t {
                     break;
                 }
             }
             debug_assert!(
-                partial_sum_selected(&selected, q, center) >= t,
+                partial_sum_selected(&selected, &contrib) >= t,
                 "a non-candidate's full distance must exceed the threshold"
             );
         }
@@ -230,20 +249,21 @@ impl SpVisitor<'_> {
     }
 }
 
+/// One dimension block's share of the squared distance. Delegates to the
+/// chunked kernel, which is bit-identical to the sequential fold the client
+/// performs over the block.
 fn block_contribution(q: &[f32], center: &[f32], block: u32) -> f32 {
-    crate::tree::block_range(block as usize, center.len())
-        .map(|d| {
-            let diff = q[d] - center[d];
-            diff * diff
-        })
-        .sum()
+    let range = crate::tree::block_range(block as usize, center.len());
+    imageproof_akm::kernel::dist_sq(&q[range.clone()], &center[range])
 }
 
 /// The partial distance over selected blocks, summed in ascending block
-/// order (dimensions ascending within a block) — the exact computation the
-/// client performs, so the SP validates against the same float rounding.
-fn partial_sum_selected(blocks: &BTreeSet<u32>, q: &[f32], center: &[f32]) -> f32 {
-    blocks.iter().map(|&b| block_contribution(q, center, b)).sum()
+/// order from per-block contributions (dimensions ascending within a
+/// block) — the exact computation the client performs, so the SP validates
+/// against the same float rounding. `contrib[b]` must hold
+/// [`block_contribution`] of block `b`.
+fn partial_sum_selected(blocks: &BTreeSet<u32>, contrib: &[f32]) -> f32 {
+    blocks.iter().map(|&b| contrib[b as usize]).sum()
 }
 
 /// Client-side counterpart over the VO's revealed `(block, coords)` pairs.
@@ -405,7 +425,7 @@ pub fn mrkd_search_baseline_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use imageproof_akm::rkd::RkdForest;
+    use imageproof_akm::rkd::{dist_sq, RkdForest};
     use imageproof_crypto::Digest;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

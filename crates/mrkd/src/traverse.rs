@@ -70,6 +70,43 @@ pub trait TraversalVisitor {
     ) -> Result<Self::Out, Self::Err>;
 }
 
+/// Per-depth scratch buffers for the child partition built at each internal
+/// node. The walk is depth-first, so exactly one invocation is live per
+/// depth at any time: vectors are taken from the slot on entry and returned
+/// (cleared, capacity retained) on exit, reducing allocation to O(depth)
+/// per traversal instead of four `Vec`s per visited internal node.
+#[derive(Default)]
+struct FramePool {
+    frames: Vec<Frame>,
+}
+
+#[derive(Default)]
+struct Frame {
+    left_active: Vec<ActiveQuery>,
+    right_active: Vec<ActiveQuery>,
+    left_crossers: Vec<(u32, f32)>,
+    right_crossers: Vec<(u32, f32)>,
+    saved: Vec<f32>,
+}
+
+impl FramePool {
+    fn take(&mut self, depth: usize) -> Frame {
+        if self.frames.len() <= depth {
+            self.frames.resize_with(depth + 1, Frame::default);
+        }
+        std::mem::take(&mut self.frames[depth])
+    }
+
+    fn put(&mut self, depth: usize, mut frame: Frame) {
+        frame.left_active.clear();
+        frame.right_active.clear();
+        frame.left_crossers.clear();
+        frame.right_crossers.clear();
+        frame.saved.clear();
+        self.frames[depth] = frame;
+    }
+}
+
 /// Runs the multi-query traversal.
 ///
 /// `thresholds_sq[q]` is the squared radius within which query `q` must see
@@ -90,6 +127,7 @@ pub fn traverse<S: TreeSource, V: TraversalVisitor>(
             bound_sq: 0.0,
         })
         .collect();
+    let mut pool = FramePool::default();
     recurse(
         source,
         source.root(),
@@ -99,6 +137,8 @@ pub fn traverse<S: TreeSource, V: TraversalVisitor>(
         queries,
         thresholds_sq,
         visitor,
+        &mut pool,
+        0,
     )
 }
 
@@ -112,6 +152,8 @@ fn recurse<S: TreeSource, V: TraversalVisitor>(
     queries: &[Vec<f32>],
     thresholds_sq: &[f32],
     visitor: &mut V,
+    pool: &mut FramePool,
+    depth: usize,
 ) -> Result<V::Out, V::Err> {
     if active.is_empty() {
         return visitor.inactive(node);
@@ -125,12 +167,16 @@ fn recurse<S: TreeSource, V: TraversalVisitor>(
             left,
             right,
         } => {
-            let mut left_active = Vec::new();
-            let mut right_active = Vec::new();
-            // Queries that enter a child across the split plane, with the
-            // diff value to install during that child's recursion.
-            let mut left_crossers: Vec<(u32, f32)> = Vec::new();
-            let mut right_crossers: Vec<(u32, f32)> = Vec::new();
+            let mut frame = pool.take(depth);
+            let Frame {
+                left_active,
+                right_active,
+                // Queries that enter a child across the split plane, with
+                // the diff value to install during that child's recursion.
+                left_crossers,
+                right_crossers,
+                saved,
+            } = &mut frame;
             for aq in active {
                 let q = aq.query as usize;
                 let d = queries[q][dim as usize] - value;
@@ -157,51 +203,59 @@ fn recurse<S: TreeSource, V: TraversalVisitor>(
                 }
             }
 
-            let left_out = with_diffs(diffs, dim_count, dim, &left_crossers, |diffs| {
+            let left_out = with_diffs(diffs, dim_count, dim, left_crossers, saved, |diffs| {
                 recurse(
                     source,
                     left,
-                    &left_active,
+                    left_active,
                     diffs,
                     dim_count,
                     queries,
                     thresholds_sq,
                     visitor,
+                    pool,
+                    depth + 1,
                 )
             })?;
-            let right_out = with_diffs(diffs, dim_count, dim, &right_crossers, |diffs| {
+            let right_out = with_diffs(diffs, dim_count, dim, right_crossers, saved, |diffs| {
                 recurse(
                     source,
                     right,
-                    &right_active,
+                    right_active,
                     diffs,
                     dim_count,
                     queries,
                     thresholds_sq,
                     visitor,
+                    pool,
+                    depth + 1,
                 )
             })?;
-            visitor.internal(node, dim, value, active, left_out, right_out)
+            let out = visitor.internal(node, dim, value, active, left_out, right_out);
+            pool.put(depth, frame);
+            out
         }
     }
 }
 
 /// Temporarily installs crossing-diff values, restoring them afterwards.
+/// `saved` is caller-provided scratch (cleared here before use).
 fn with_diffs<R>(
     diffs: &mut [f32],
     dim_count: usize,
     dim: u32,
     crossers: &[(u32, f32)],
+    saved: &mut Vec<f32>,
     f: impl FnOnce(&mut [f32]) -> R,
 ) -> R {
-    let mut saved = Vec::with_capacity(crossers.len());
+    saved.clear();
     for &(q, new) in crossers {
         let slot = q as usize * dim_count + dim as usize;
         saved.push(diffs[slot]);
         diffs[slot] = new;
     }
     let out = f(diffs);
-    for (&(q, _), old) in crossers.iter().zip(saved) {
+    for (&(q, _), &old) in crossers.iter().zip(saved.iter()) {
         diffs[q as usize * dim_count + dim as usize] = old;
     }
     out
@@ -292,8 +346,7 @@ mod tests {
             tree: &tree,
             reached: vec![Vec::new(); queries.len()],
         };
-        traverse(&RkdSource(&tree), &queries, &thresholds, &mut visitor)
-            .expect("infallible");
+        traverse(&RkdSource(&tree), &queries, &thresholds, &mut visitor).expect("infallible");
 
         for (qi, q) in queries.iter().enumerate() {
             let within: Vec<u32> = (0..points.len() as u32)
@@ -318,8 +371,7 @@ mod tests {
             tree: &tree,
             reached: vec![Vec::new(); 2],
         };
-        traverse(&RkdSource(&tree), &queries, &thresholds, &mut visitor)
-            .expect("infallible");
+        traverse(&RkdSource(&tree), &queries, &thresholds, &mut visitor).expect("infallible");
         assert!(visitor.reached[0].is_empty());
         assert!(!visitor.reached[1].is_empty());
     }
@@ -349,8 +401,13 @@ mod tests {
                 tree: &tree,
                 reached: vec![Vec::new()],
             };
-            traverse(&RkdSource(&tree), std::slice::from_ref(q), &[thresholds[qi]], &mut solo)
-                .expect("infallible");
+            traverse(
+                &RkdSource(&tree),
+                std::slice::from_ref(q),
+                &[thresholds[qi]],
+                &mut solo,
+            )
+            .expect("infallible");
             let mut a = shared.reached[qi].clone();
             let mut b = solo.reached[0].clone();
             a.sort_unstable();

@@ -30,6 +30,14 @@ pub fn assert_stats_equivalent(serial: &SpStats, parallel: &SpStats, context: &s
         parallel.shared_ratio.to_bits(),
         "{context}: shared_ratio differs"
     );
+    assert_eq!(
+        serial.hashes_computed, parallel.hashes_computed,
+        "{context}: hashes_computed differs"
+    );
+    assert_eq!(
+        serial.hashes_cached, parallel.hashes_cached,
+        "{context}: hashes_cached differs"
+    );
 }
 
 /// Asserts two responses are interchangeable: byte-identical wire-serialized
@@ -57,7 +65,11 @@ pub fn assert_responses_equivalent(
             "{context}: score differs for image {}",
             s.id
         );
-        assert_eq!(s.data, p.data, "{context}: payload differs for image {}", s.id);
+        assert_eq!(
+            s.data, p.data,
+            "{context}: payload differs for image {}",
+            s.id
+        );
     }
 }
 
@@ -72,10 +84,7 @@ pub fn assert_query_equivalent(
 ) -> QueryResponse {
     let (serial, serial_stats) = sp.query(features, k);
     let (parallel, parallel_stats) = sp.query_with(features, k, Concurrency::new(threads));
-    let context = format!(
-        "query threads={threads} scheme={:?}",
-        sp.database().scheme
-    );
+    let context = format!("query threads={threads} scheme={:?}", sp.database().scheme);
     assert_responses_equivalent(&serial, &parallel, &context);
     assert_stats_equivalent(&serial_stats, &parallel_stats, &context);
     serial
@@ -148,7 +157,10 @@ pub fn assert_build_equivalent(
     );
     for (id, stored) in &db_serial.images {
         let other = &db_parallel.images[id];
-        assert_eq!(stored.data, other.data, "{context}: image {id} payload differs");
+        assert_eq!(
+            stored.data, other.data,
+            "{context}: image {id} payload differs"
+        );
         assert_eq!(
             stored.signature, other.signature,
             "{context}: image {id} signature differs"
@@ -159,8 +171,7 @@ pub fn assert_build_equivalent(
         db_parallel.encodings.len(),
         "{context}: encoding count differs"
     );
-    for ((id_s, bovw_s), (id_p, bovw_p)) in db_serial.encodings.iter().zip(&db_parallel.encodings)
-    {
+    for ((id_s, bovw_s), (id_p, bovw_p)) in db_serial.encodings.iter().zip(&db_parallel.encodings) {
         assert_eq!(id_s, id_p, "{context}: encoding order differs");
         assert_eq!(
             bovw_s, bovw_p,
@@ -171,4 +182,54 @@ pub fn assert_build_equivalent(
         ServiceProvider::new(db_serial),
         ServiceProvider::new(db_parallel),
     )
+}
+
+/// Asserts the memoized hot path is invisible on the wire: every query run
+/// against `sp` (memos intact) and against a clone whose build-time digest
+/// caches were cleared must produce byte-identical VOs, results, and
+/// counters — only the `hashes_computed`/`hashes_cached` split may move, and
+/// it must move *conservatively* (the cleared copy never serves more cache
+/// hits than the memoized one).
+pub fn assert_memoization_invisible(
+    sp: &ServiceProvider,
+    queries: &[Vec<Vec<f32>>],
+    k: usize,
+    threads: usize,
+) {
+    let mut cleared_db = sp.database().clone();
+    cleared_db.clear_hot_path_caches();
+    let cleared = ServiceProvider::new(cleared_db);
+    for (i, features) in queries.iter().enumerate() {
+        let (memo_resp, memo_stats) = sp.query_with(features, k, Concurrency::new(threads));
+        let (ref_resp, ref_stats) = cleared.query_with(features, k, Concurrency::new(threads));
+        let context = format!(
+            "memoization[{i}] threads={threads} scheme={:?}",
+            sp.database().scheme
+        );
+        assert_responses_equivalent(&ref_resp, &memo_resp, &context);
+        assert_eq!(
+            ref_stats.popped, memo_stats.popped,
+            "{context}: popped differs"
+        );
+        assert_eq!(
+            ref_stats.total_postings, memo_stats.total_postings,
+            "{context}: total_postings differs"
+        );
+        assert_eq!(
+            ref_stats.shared_ratio.to_bits(),
+            memo_stats.shared_ratio.to_bits(),
+            "{context}: shared_ratio differs"
+        );
+        // Same digests flow into the VO either way, so the *totals* match;
+        // clearing only moves digests from the cached to the computed bin.
+        assert_eq!(
+            ref_stats.hashes_computed + ref_stats.hashes_cached,
+            memo_stats.hashes_computed + memo_stats.hashes_cached,
+            "{context}: digest totals differ"
+        );
+        assert!(
+            ref_stats.hashes_cached <= memo_stats.hashes_cached,
+            "{context}: cleared caches served more hits than the memoized path"
+        );
+    }
 }

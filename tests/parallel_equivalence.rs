@@ -10,7 +10,8 @@
 use imageproof_suite::akm::{AkmParams, Codebook};
 use imageproof_suite::core::{Client, Concurrency, Owner, Scheme, SystemConfig};
 use imageproof_suite::parallel_eq::{
-    assert_batch_equivalent, assert_build_equivalent, assert_query_equivalent,
+    assert_batch_equivalent, assert_build_equivalent, assert_memoization_invisible,
+    assert_query_equivalent,
 };
 use imageproof_suite::vision::{Corpus, CorpusConfig, DescriptorKind};
 use proptest::prelude::*;
@@ -148,6 +149,28 @@ fn parallel_responses_verify_for_unmodified_clients() {
     }
 }
 
+/// The hot-path digest memos (filter commitments, chain digests) are
+/// invisible on the wire: a database with its caches cleared answers every
+/// query with byte-identical VOs, top-k, signatures, and counters for every
+/// scheme and thread count.
+#[test]
+fn memoized_hot_path_matches_cache_disabled_reference() {
+    let corpus = corpus(60, 80, 0xCAC4E);
+    let owner = Owner::new(&[38u8; 32]);
+    let params = akm(64, 21);
+    let codebook = trained_codebook(&corpus, &params);
+    let queries: Vec<Vec<Vec<f32>>> = (0..3)
+        .map(|i| corpus.query_from_image(i * 13 % 60, 20, 0xD1D0 + i))
+        .collect();
+    for scheme in Scheme::ALL {
+        let (db, _) = owner.build_system_with_codebook(&corpus, codebook.clone(), scheme);
+        let sp = imageproof_suite::core::ServiceProvider::new(db);
+        for threads in THREAD_COUNTS {
+            assert_memoization_invisible(&sp, &queries, 4, threads);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6,
@@ -182,5 +205,6 @@ proptest! {
             .map(|i| corpus.query_from_image((source + i) % n_images as u64, 14, i))
             .collect();
         assert_batch_equivalent(&sp_serial, &batch, k, threads);
+        assert_memoization_invisible(&sp_serial, &batch, k, threads);
     }
 }
