@@ -16,6 +16,14 @@ cargo test -q --test parallel_equivalence
 cargo test -q -p imageproof-core --test parallel_adversary
 cargo test -q -p imageproof-parallel
 
+echo "== audit: self-tests =="
+cargo test -q -p imageproof-audit
+
+echo "== audit: zero findings on the tree =="
+# The auditor prints one `file:line rule message` per violation and exits
+# non-zero on any finding; the gate requires a clean tree.
+cargo run -q --release -p imageproof-audit
+
 echo "== bench smoke: machine-readable query benchmarks =="
 # Small sweep that exercises the timed build + query + verify loop for all
 # four schemes and emits BENCH_queries.json (consumed by the README table).

@@ -1,0 +1,35 @@
+//! CI entry point: `imageproof-audit [workspace-root]`.
+//!
+//! Prints one machine-readable `file:line rule message` per finding on
+//! stdout and exits 1 on any finding (2 on I/O failure), so `ci.sh` can
+//! gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = PathBuf::from(root);
+    match imageproof_audit::run_audit(&root) {
+        Ok(findings) => {
+            for f in &findings {
+                println!("{}:{} {} {}", f.path, f.line, f.rule, f.message);
+            }
+            let scanned = imageproof_audit::count_files(&root).unwrap_or(0);
+            if findings.is_empty() {
+                eprintln!("audit: clean ({scanned} files scanned)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "audit: {} finding(s) in {scanned} scanned files",
+                    findings.len()
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("audit: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Rule `deps`: dependency hygiene for every workspace `Cargo.toml`.
+//!
+//! A line-oriented TOML subset parser — enough to read dependency section
+//! headers and the crate name on each entry line. The allowed set is the
+//! offline crates baked into the build environment; anything else would
+//! fail to resolve in CI anyway, so the rule turns a confusing resolver
+//! error into a one-line finding.
+
+use crate::rules::Finding;
+
+/// External crates the workspace may depend on.
+const ALLOWED: &[&str] = &[
+    "rand",
+    "proptest",
+    "criterion",
+    "crossbeam",
+    "parking_lot",
+    "bytes",
+    "serde",
+];
+
+fn allowed(name: &str) -> bool {
+    // Workspace-internal crates are always fine.
+    ALLOWED.contains(&name) || name.starts_with("imageproof")
+}
+
+/// Section headers whose entries are dependency declarations:
+/// `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]`, `[target.….dependencies]`, ….
+fn is_dep_section(section: &str) -> bool {
+    matches!(
+        section.rsplit('.').next().unwrap_or(section),
+        "dependencies" | "dev-dependencies" | "build-dependencies"
+    )
+}
+
+/// For `[dependencies.NAME]`-style headers, the declared crate name.
+fn dep_of_section_header(section: &str) -> Option<&str> {
+    let (parent, name) = section.rsplit_once('.')?;
+    is_dep_section(parent).then_some(name)
+}
+
+/// Scans one manifest; returns a `deps` finding per disallowed crate.
+pub fn analyze_manifest(path: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    let flag = |name: &str, line: usize, out: &mut Vec<Finding>| {
+        if !name.is_empty() && !allowed(name) {
+            out.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: "deps",
+                message: format!("dependency '{name}' is outside the allowed crate set"),
+            });
+        }
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[') {
+            let section = section.trim_end_matches(']').trim();
+            in_dep_section = is_dep_section(section);
+            if let Some(name) = dep_of_section_header(section) {
+                flag(name, idx + 1, &mut out);
+            }
+            continue;
+        }
+        if in_dep_section {
+            let name = line
+                .split(['=', '.', ' ', '\t'])
+                .next()
+                .unwrap_or("")
+                .trim_matches('"');
+            flag(name, idx + 1, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_rule_flags_a_disallowed_crate() {
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\nlibc = \"0.2\"\n";
+        let f = analyze_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "deps");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("libc"));
+    }
+
+    #[test]
+    fn deps_rule_flags_expanded_section_headers() {
+        let toml = "[dependencies.syn]\nversion = \"2\"\n";
+        let f = analyze_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("syn"));
+    }
+
+    #[test]
+    fn deps_rule_passes_the_allowed_set_and_workspace_crates() {
+        let toml = "[package]\nname = \"imageproof-core\"\n\n\
+                    [dependencies]\n\
+                    imageproof-crypto = { path = \"../crypto\" }\n\
+                    rand.workspace = true\n\
+                    serde = { version = \"1\", features = [\"derive\"] } # ok\n\n\
+                    [dev-dependencies]\n\
+                    proptest = \"1\"\n\n\
+                    [workspace.dependencies]\n\
+                    criterion = \"0.5\"\n\
+                    crossbeam = \"0.8\"\n\
+                    parking_lot = \"0.12\"\n";
+        let f = analyze_manifest("Cargo.toml", toml);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let toml = "[package]\nname = \"x\"\nlibc = \"not a dep, just a weird key\"\n\
+                    [[bin]]\nname = \"tool\"\n[features]\nextra = []\n";
+        let f = analyze_manifest("Cargo.toml", toml);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,687 @@
+//! The audit rule families.
+//!
+//! Every rule works on [`crate::lexer::scrub`]bed text, so comments and
+//! string literals never produce findings. Rules are deliberately
+//! syntactic — the goal is not a type checker but a cheap, zero-dependency
+//! gate that makes the paper's total-verifier assumption machine-checked:
+//! the client must be able to consume arbitrary attacker-controlled bytes
+//! without panicking, and everything feeding a digest must be
+//! bit-deterministic across threads and runs.
+
+use crate::lexer::{self, Scrubbed};
+
+/// Rule names a `// audit:allow(<rule>) <reason>` annotation may name.
+pub const SUPPRESSIBLE: &[&str] = &["panic", "determinism", "wire", "deps", "unsafe"];
+
+/// One audit finding, printed as `path:line rule message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// One workspace source file. `path` is workspace-relative with `/`
+/// separators, so rules can match on it portably.
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+}
+
+/// Files whose entire non-test code must be panic-free: the VO decode and
+/// client verify paths. A malicious SP controls every byte these see.
+const PANIC_FILES: &[&str] = &[
+    "crates/crypto/src/wire.rs",
+    "crates/invindex/src/verify.rs",
+    "crates/mrkd/src/verify.rs",
+    "crates/core/src/client.rs",
+];
+
+/// Path prefixes exempt from the determinism rule: measurement harnesses
+/// and demo binaries that never feed a digest.
+const DETERMINISM_SKIP: &[&str] = &["crates/bench/", "src/bin/", "examples/"];
+
+/// The one file allowed to reduce floats: its summation order is fixed and
+/// shared verbatim by owner, SP, and client.
+const FLOAT_KERNEL: &str = "crates/akm/src/kernel.rs";
+
+/// Files allowed to contain `unsafe` (currently none).
+const UNSAFE_ALLOW: &[&str] = &[];
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (`&mut [u8]`, `return [a, b]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "impl", "return", "else", "in", "match", "if", "as", "move", "ref", "const",
+    "break", "static", "where",
+];
+
+/// Runs every source-level rule over the workspace and applies
+/// `audit:allow` suppression.
+pub fn analyze_sources(files: &[SourceFile]) -> Vec<Finding> {
+    let scrubbed: Vec<Scrubbed> = files.iter().map(|f| lexer::scrub(&f.text)).collect();
+    let mut findings = Vec::new();
+    for (f, s) in files.iter().zip(&scrubbed) {
+        check_allows(f, s, &mut findings);
+        check_unsafe(f, s, &mut findings);
+        if !is_test_path(&f.path) {
+            check_panic(f, s, &mut findings);
+            check_determinism(f, s, &mut findings);
+            check_wire_lines(f, s, &mut findings);
+        }
+    }
+    check_wire_pairing(files, &scrubbed, &mut findings);
+    suppress(files, &scrubbed, findings)
+}
+
+/// Integration-test and bench files are test code in their entirety (they
+/// carry no `#[cfg(test)]` attribute).
+fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+fn in_any(regions: &[(usize, usize)], pos: usize) -> bool {
+    regions.iter().any(|&(a, b)| pos >= a && pos < b)
+}
+
+/// Rule `panic`: no `.unwrap()`, `.expect()`, panicking macros, or
+/// unchecked indexing in decode/verify regions.
+fn check_panic(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
+    let bytes = s.text.as_bytes();
+    let tests = lexer::test_regions(&s.text);
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    if PANIC_FILES.contains(&f.path.as_str()) {
+        regions.push((0, bytes.len()));
+    }
+    for b in lexer::impl_blocks(&s.text, "Decode") {
+        regions.push((b.start, b.end));
+    }
+    if regions.is_empty() {
+        return;
+    }
+    let live = |pos: usize| in_any(&regions, pos) && !in_any(&tests, pos);
+
+    for word in ["unwrap", "expect"] {
+        let mut i = 0;
+        while let Some(pos) = lexer::find_word(bytes, word.as_bytes(), i) {
+            i = pos + 1;
+            if !live(pos) || pos == 0 || bytes[pos - 1] != b'.' {
+                continue;
+            }
+            if bytes.get(pos + word.len()) != Some(&b'(') {
+                continue;
+            }
+            out.push(Finding {
+                path: f.path.clone(),
+                line: s.line_of(pos),
+                rule: "panic",
+                message: format!(".{word}() may panic in a decode/verify path; return an error"),
+            });
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        let mut i = 0;
+        while let Some(pos) = lexer::find_word(bytes, mac.as_bytes(), i) {
+            i = pos + 1;
+            if !live(pos) || bytes.get(pos + mac.len()) != Some(&b'!') {
+                continue;
+            }
+            out.push(Finding {
+                path: f.path.clone(),
+                line: s.line_of(pos),
+                rule: "panic",
+                message: format!("{mac}! is forbidden in a decode/verify path"),
+            });
+        }
+    }
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'[' || !live(pos) {
+            continue;
+        }
+        let Some(prev) = bytes[..pos].iter().rposition(|&c| !c.is_ascii_whitespace()) else {
+            continue;
+        };
+        let p = bytes[prev];
+        let indexes = if lexer::is_ident(p) {
+            let mut start = prev;
+            while start > 0 && lexer::is_ident(bytes[start - 1]) {
+                start -= 1;
+            }
+            let token = &s.text[start..=prev];
+            // A lifetime before `[` (as in `&'a [T]`) is a type, not an
+            // index base.
+            let lifetime = start > 0 && bytes[start - 1] == b'\'';
+            !lifetime && !NON_INDEX_KEYWORDS.contains(&token)
+        } else {
+            p == b')' || p == b']'
+        };
+        if indexes {
+            out.push(Finding {
+                path: f.path.clone(),
+                line: s.line_of(pos),
+                rule: "panic",
+                message: "unchecked indexing may panic in a decode/verify path; use .get()"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule `determinism`: no HashMap/HashSet, wall-clock time, or float
+/// reductions in files that mention `Digest` or `Encode` in code.
+fn check_determinism(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
+    if DETERMINISM_SKIP.iter().any(|p| f.path.starts_with(p)) {
+        return;
+    }
+    let bytes = s.text.as_bytes();
+    let triggered = lexer::find_word(bytes, b"Digest", 0).is_some()
+        || lexer::find_word(bytes, b"Encode", 0).is_some();
+    if !triggered {
+        return;
+    }
+    let tests = lexer::test_regions(&s.text);
+
+    for word in ["HashMap", "HashSet"] {
+        let mut i = 0;
+        while let Some(pos) = lexer::find_word(bytes, word.as_bytes(), i) {
+            i = pos + 1;
+            if in_any(&tests, pos) {
+                continue;
+            }
+            out.push(Finding {
+                path: f.path.clone(),
+                line: s.line_of(pos),
+                rule: "determinism",
+                message: format!(
+                    "{word} iteration order is nondeterministic near digest/wire code; use a BTree collection"
+                ),
+            });
+        }
+    }
+    let mut i = 0;
+    while let Some(pos) = lexer::find_from(bytes, b"std::time", i) {
+        i = pos + 1;
+        if in_any(&tests, pos) {
+            continue;
+        }
+        out.push(Finding {
+            path: f.path.clone(),
+            line: s.line_of(pos),
+            rule: "determinism",
+            message: "wall-clock time is nondeterministic near digest/wire code".to_string(),
+        });
+    }
+    if f.path != FLOAT_KERNEL {
+        for pat in [".sum::<f32>()", ".sum::<f64>()"] {
+            let mut i = 0;
+            while let Some(pos) = lexer::find_from(bytes, pat.as_bytes(), i) {
+                i = pos + 1;
+                if in_any(&tests, pos) {
+                    continue;
+                }
+                out.push(Finding {
+                    path: f.path.clone(),
+                    line: s.line_of(pos),
+                    rule: "determinism",
+                    message:
+                        "float reduction order affects digests; only akm::kernel may reduce floats"
+                            .to_string(),
+                });
+            }
+        }
+        let mut i = 0;
+        while let Some(pos) = lexer::find_from(bytes, b".fold(", i) {
+            i = pos + 1;
+            if in_any(&tests, pos) {
+                continue;
+            }
+            let mut k = pos + ".fold(".len();
+            while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            let start = k;
+            while k < bytes.len()
+                && (bytes[k].is_ascii_alphanumeric() || bytes[k] == b'.' || bytes[k] == b'_')
+            {
+                k += 1;
+            }
+            let seed = &s.text[start..k];
+            let float_seed = seed.ends_with("f32")
+                || seed.ends_with("f64")
+                || (seed.contains('.') && seed.chars().next().is_some_and(|c| c.is_ascii_digit()));
+            if float_seed {
+                out.push(Finding {
+                    path: f.path.clone(),
+                    line: s.line_of(pos),
+                    rule: "determinism",
+                    message: "float fold order affects digests; only akm::kernel may reduce floats"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `wire` (per-file half): inside `impl Encode` blocks, a
+/// `.len() as <int>` cast is a usize smuggled onto the wire unless it goes
+/// through the bounded `seq_len`/`varint` writers.
+fn check_wire_lines(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
+    let bytes = s.text.as_bytes();
+    let tests = lexer::test_regions(&s.text);
+    for b in lexer::impl_blocks(&s.text, "Encode") {
+        let mut i = b.start;
+        while let Some(pos) = lexer::find_from(bytes, b".len() as ", i) {
+            if pos >= b.end {
+                break;
+            }
+            i = pos + 1;
+            if in_any(&tests, pos) {
+                continue;
+            }
+            let line = s.line_text(pos);
+            if line.contains("seq_len(") || line.contains("varint(") {
+                continue;
+            }
+            out.push(Finding {
+                path: f.path.clone(),
+                line: s.line_of(pos),
+                rule: "wire",
+                message: "usize length cast encoded to the wire; use Writer::seq_len or varint"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule `wire` (cross-file half): every non-test `impl Encode for T` needs
+/// a matching `impl Decode for T` and a test that roundtrips `T` through
+/// `from_wire`.
+fn check_wire_pairing(files: &[SourceFile], scrubbed: &[Scrubbed], out: &mut Vec<Finding>) {
+    struct Site {
+        path: String,
+        line: usize,
+        type_name: String,
+    }
+    let mut encode_sites: Vec<Site> = Vec::new();
+    let mut decode_names: Vec<String> = Vec::new();
+    let mut test_corpus: Vec<&str> = Vec::new();
+
+    for (f, s) in files.iter().zip(scrubbed) {
+        if is_test_path(&f.path) {
+            test_corpus.push(&s.text);
+            continue;
+        }
+        let tests = lexer::test_regions(&s.text);
+        for &(a, b) in &tests {
+            if let Some(region) = s.text.get(a..b) {
+                test_corpus.push(region);
+            }
+        }
+        for blk in lexer::impl_blocks(&s.text, "Encode") {
+            if in_any(&tests, blk.start) {
+                continue;
+            }
+            encode_sites.push(Site {
+                path: f.path.clone(),
+                line: s.line_of(blk.start),
+                type_name: blk.type_name,
+            });
+        }
+        for blk in lexer::impl_blocks(&s.text, "Decode") {
+            if !in_any(&tests, blk.start) {
+                decode_names.push(blk.type_name);
+            }
+        }
+    }
+
+    for site in encode_sites {
+        if !decode_names.contains(&site.type_name) {
+            out.push(Finding {
+                path: site.path.clone(),
+                line: site.line,
+                rule: "wire",
+                message: format!(
+                    "impl Encode for {} has no matching impl Decode",
+                    site.type_name
+                ),
+            });
+        }
+        let covered = test_corpus.iter().any(|t| {
+            let tb = t.as_bytes();
+            lexer::find_word(tb, site.type_name.as_bytes(), 0).is_some()
+                && lexer::find_from(tb, b"from_wire", 0).is_some()
+        });
+        if !covered {
+            out.push(Finding {
+                path: site.path,
+                line: site.line,
+                rule: "wire",
+                message: format!(
+                    "no roundtrip test references {} together with from_wire",
+                    site.type_name
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `unsafe`: no `unsafe` anywhere outside the (empty) allowlist —
+/// test code included.
+fn check_unsafe(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
+    if UNSAFE_ALLOW.contains(&f.path.as_str()) {
+        return;
+    }
+    let bytes = s.text.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = lexer::find_word(bytes, b"unsafe", i) {
+        i = pos + 1;
+        out.push(Finding {
+            path: f.path.clone(),
+            line: s.line_of(pos),
+            rule: "unsafe",
+            message: "unsafe is not allowed in this workspace".to_string(),
+        });
+    }
+}
+
+/// Rule `allow`: every `audit:allow` must name known rules and carry a
+/// justification.
+fn check_allows(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for a in &s.allows {
+        if a.rules.is_empty() {
+            out.push(Finding {
+                path: f.path.clone(),
+                line: a.line,
+                rule: "allow",
+                message: "malformed audit:allow annotation names no rules".to_string(),
+            });
+        }
+        for r in &a.rules {
+            if !SUPPRESSIBLE.contains(&r.as_str()) {
+                out.push(Finding {
+                    path: f.path.clone(),
+                    line: a.line,
+                    rule: "allow",
+                    message: format!("unknown rule '{r}' in audit:allow"),
+                });
+            }
+        }
+        if !a.has_reason {
+            out.push(Finding {
+                path: f.path.clone(),
+                line: a.line,
+                rule: "allow",
+                message: "audit:allow without a justification".to_string(),
+            });
+        }
+    }
+}
+
+/// Drops findings excused by an `audit:allow` on the same line or the line
+/// above. Findings about the annotations themselves are never suppressed.
+fn suppress(
+    files: &[SourceFile],
+    scrubbed: &[Scrubbed],
+    mut findings: Vec<Finding>,
+) -> Vec<Finding> {
+    findings.retain(|fi| {
+        if fi.rule == "allow" {
+            return true;
+        }
+        let Some(idx) = files.iter().position(|f| f.path == fi.path) else {
+            return true;
+        };
+        !scrubbed[idx].allows.iter().any(|a| {
+            a.rules.iter().any(|r| r == fi.rule) && (a.line == fi.line || a.line + 1 == fi.line)
+        })
+    });
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(path: &str, text: &str) -> Vec<Finding> {
+        analyze_sources(&[SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+        }])
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // --- rule `panic`: known-bad fixtures must be flagged ---
+
+    #[test]
+    fn panic_rule_flags_unwrap_in_verify_path() {
+        let f = one(
+            "crates/mrkd/src/verify.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        );
+        assert!(rules_of(&f).contains(&"panic"), "{f:?}");
+    }
+
+    #[test]
+    fn panic_rule_flags_expect_macros_and_indexing() {
+        let src = "fn f(v: Vec<u8>) -> u8 {\n\
+                   let a = v.first().expect(\"boom\");\n\
+                   if v.is_empty() { unreachable!() }\n\
+                   v[0]\n\
+                   }";
+        let f = one("crates/crypto/src/wire.rs", src);
+        let lines: Vec<usize> = f
+            .iter()
+            .filter(|x| x.rule == "panic")
+            .map(|x| x.line)
+            .collect();
+        assert_eq!(lines, vec![2, 3, 4], "{f:?}");
+    }
+
+    #[test]
+    fn panic_rule_covers_decode_impls_in_any_file() {
+        let src = "impl Decode for Foo { fn from_wire(d: &[u8]) -> u8 { d[0] } }";
+        let f = one("crates/cuckoo/src/lib.rs", src);
+        assert!(rules_of(&f).contains(&"panic"), "{f:?}");
+    }
+
+    // --- rule `panic`: known-good fixtures must pass ---
+
+    #[test]
+    fn panic_rule_passes_checked_code_and_test_modules() {
+        let src = "fn f<'a>(buf: &mut [u8], v: &'a [u8]) -> Option<u8> {\n\
+                   let x: [u8; 2] = [1, 2];\n\
+                   let _ = (buf, x);\n\
+                   v.get(0).copied()\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t(v: Vec<u8>) -> u8 { v[0] } }";
+        let f = one("crates/mrkd/src/verify.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_rule_ignores_files_outside_the_verify_paths() {
+        let f = one(
+            "crates/mrkd/src/build.rs",
+            "fn f(v: Vec<u8>) -> u8 { v[0] }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // --- rule `determinism` ---
+
+    #[test]
+    fn determinism_rule_flags_hashmap_near_digest_code() {
+        let src = "use std::collections::HashMap;\n\
+                   fn d(h: &HashMap<u32, u32>) -> Digest { Digest::zero() }";
+        let f = one("crates/core/src/owner.rs", src);
+        assert!(rules_of(&f).contains(&"determinism"), "{f:?}");
+    }
+
+    #[test]
+    fn determinism_rule_flags_wall_clock_and_float_reductions() {
+        let src = "fn d(v: &[f32]) -> Digest {\n\
+                   let t = std::time::Instant::now();\n\
+                   let s = v.iter().sum::<f32>();\n\
+                   let p = v.iter().fold(0.0f32, |a, b| a + b);\n\
+                   Digest::of(s + p)\n\
+                   }";
+        let f = one("crates/akm/src/lib.rs", src);
+        let det: Vec<usize> = f
+            .iter()
+            .filter(|x| x.rule == "determinism")
+            .map(|x| x.line)
+            .collect();
+        assert_eq!(det, vec![2, 3, 4], "{f:?}");
+    }
+
+    #[test]
+    fn determinism_rule_passes_btree_code_and_the_float_kernel() {
+        let good = "use std::collections::BTreeMap;\n\
+                    fn d(h: &BTreeMap<u32, u32>) -> Digest { Digest::zero() }";
+        assert!(one("crates/core/src/owner.rs", good).is_empty());
+        let kernel = "fn dot(v: &[f32]) -> f32 { let d: Digest; v.iter().sum::<f32>() }";
+        assert!(one("crates/akm/src/kernel.rs", kernel).is_empty());
+    }
+
+    #[test]
+    fn determinism_rule_skips_untriggered_and_bench_files() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = std::time::Instant::now(); }";
+        assert!(one("crates/mrkd/src/stats.rs", src).is_empty());
+        let bench = "fn b() -> Digest { let h: HashMap<u32, u32>; Digest::zero() }";
+        assert!(one("crates/bench/src/lib.rs", bench).is_empty());
+    }
+
+    // --- rule `wire` ---
+
+    #[test]
+    fn wire_rule_flags_unpaired_encode_and_missing_roundtrip() {
+        let src = "impl Encode for Foo { fn to_wire(&self) -> Vec<u8> { Vec::new() } }";
+        let f = one("crates/mrkd/src/vo.rs", src);
+        let msgs: Vec<&str> = f
+            .iter()
+            .filter(|x| x.rule == "wire")
+            .map(|x| x.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 2, "{f:?}");
+        assert!(msgs[0].contains("no matching impl Decode"));
+        assert!(msgs[1].contains("no roundtrip test"));
+    }
+
+    #[test]
+    fn wire_rule_flags_len_cast_but_accepts_seq_len() {
+        let bad = "impl Encode for Foo { fn e(&self, w: &mut W) { w.u32(self.xs.len() as u32); } }";
+        let f = one("crates/invindex/src/vo.rs", bad);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "wire" && x.message.contains("seq_len")),
+            "{f:?}"
+        );
+        let good =
+            "impl Encode for Foo { fn e(&self, w: &mut W) { w.seq_len(self.xs.len() as u32); } }";
+        let f = one("crates/invindex/src/vo.rs", good);
+        assert!(
+            !f.iter().any(|x| x.message.contains("usize length cast")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn wire_rule_passes_paired_impls_with_a_roundtrip_test() {
+        let src = "impl Encode for Foo { fn to_wire(&self) -> Vec<u8> { Vec::new() } }\n\
+                   impl Decode for Foo { fn from_wire(d: &[u8]) -> Option<Foo> { None } }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn rt() { let f = Foo::from_wire(&Foo.to_wire()); } }";
+        let f = one("crates/mrkd/src/vo.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // --- rule `unsafe` ---
+
+    #[test]
+    fn unsafe_rule_flags_unsafe_even_in_tests() {
+        let f = one(
+            "crates/akm/src/lib.rs",
+            "#[cfg(test)]\nmod t { fn f(p: *const u8) -> u8 { unsafe { *p } } }",
+        );
+        assert!(rules_of(&f).contains(&"unsafe"), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_ignores_the_word_in_comments_and_strings() {
+        let f = one(
+            "crates/akm/src/lib.rs",
+            "// unsafe here would be bad\nfn f() -> &'static str { \"unsafe\" }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // --- rule `allow` + suppression ---
+
+    #[test]
+    fn allow_suppresses_on_same_line_and_line_above() {
+        let above = "fn f(x: Option<u32>) -> u32 {\n\
+                     // audit:allow(panic) fixture: checked by caller\n\
+                     x.unwrap()\n\
+                     }";
+        assert!(one("crates/mrkd/src/verify.rs", above).is_empty());
+        let trailing =
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // audit:allow(panic) fixture: checked";
+        assert!(one("crates/mrkd/src/verify.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_suppress_other_rules_or_far_lines() {
+        let wrong_rule = "fn f(x: Option<u32>) -> u32 {\n\
+                          // audit:allow(determinism) wrong rule named\n\
+                          x.unwrap()\n\
+                          }";
+        let f = one("crates/mrkd/src/verify.rs", wrong_rule);
+        assert!(rules_of(&f).contains(&"panic"), "{f:?}");
+        let far =
+            "// audit:allow(panic) too far away\n\n\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = one("crates/mrkd/src/verify.rs", far);
+        assert!(rules_of(&f).contains(&"panic"), "{f:?}");
+    }
+
+    #[test]
+    fn allow_rule_flags_missing_reason_and_unknown_rule() {
+        let f = one(
+            "crates/mrkd/src/verify.rs",
+            "// audit:allow(panic)\nfn f() {}",
+        );
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "allow" && x.message.contains("justification")),
+            "{f:?}"
+        );
+        let f = one(
+            "crates/mrkd/src/verify.rs",
+            "// audit:allow(speed) because fast\nfn f() {}",
+        );
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "allow" && x.message.contains("unknown rule")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_coverage_counts_integration_test_files() {
+        let vo = SourceFile {
+            path: "crates/mrkd/src/vo.rs".to_string(),
+            text: "impl Encode for Foo { fn to_wire(&self) {} }\n\
+                   impl Decode for Foo { fn from_wire(d: &[u8]) {} }"
+                .to_string(),
+        };
+        let t = SourceFile {
+            path: "tests/decode_fuzz.rs".to_string(),
+            text: "fn rt() { let f = Foo::from_wire(&[]); }".to_string(),
+        };
+        let f = analyze_sources(&[vo, t]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

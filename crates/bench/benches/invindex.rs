@@ -10,7 +10,7 @@ use imageproof_crypto::Digest;
 use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk};
 use imageproof_invindex::{inv_search, verify_topk, BoundsMode};
 use imageproof_vision::DescriptorKind;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn query_bovw(fixture: &Fixture, scheme: Scheme, n_features: usize) -> SparseBovw {
     let query = &fixture.queries(1, n_features)[0];
@@ -62,8 +62,11 @@ fn inv_verify_bench(c: &mut Criterion) {
         let system = fixture.system(scheme);
         let db = system.0.database();
         if let IndexVariant::Plain(index) = &db.inv {
-            let digests: HashMap<u32, Digest> =
-                index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+            let digests: BTreeMap<u32, Digest> = index
+                .lists()
+                .iter()
+                .map(|l| (l.cluster, l.digest))
+                .collect();
             let out = inv_search(index, &bovw, k, BoundsMode::CuckooFiltered);
             let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
             group.bench_function(BenchmarkId::new(scheme.label(), k), |b| {
@@ -87,8 +90,11 @@ fn inv_verify_bench(c: &mut Criterion) {
         let system = fixture.system(scheme);
         let db = system.0.database();
         if let IndexVariant::Grouped(index) = &db.inv {
-            let digests: HashMap<u32, Digest> =
-                index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+            let digests: BTreeMap<u32, Digest> = index
+                .lists()
+                .iter()
+                .map(|l| (l.cluster, l.digest))
+                .collect();
             let out = grouped_search(index, &bovw, k);
             let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
             group.bench_function(BenchmarkId::new(scheme.label(), k), |b| {

@@ -7,10 +7,8 @@ use imageproof_crypto::wire::Encode;
 use imageproof_crypto::Digest;
 use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk};
 use imageproof_invindex::{inv_search, verify_topk, BoundsMode};
-use imageproof_mrkd::{
-    mrkd_search, mrkd_search_baseline, verify_bovw, verify_bovw_baseline,
-};
-use std::collections::HashMap;
+use imageproof_mrkd::{mrkd_search, mrkd_search_baseline, verify_bovw, verify_bovw_baseline};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// BoVW-step metrics (Figs. 6–8).
@@ -102,13 +100,14 @@ pub fn measure_inv_step(
     for features in queries {
         // The BoVW vector is an input to this step; encode it outside the
         // timed region.
-        let bovw = SparseBovw::from_counts(
-            features.iter().map(|f| (db.codebook.assign(f), 1)),
-        );
+        let bovw = SparseBovw::from_counts(features.iter().map(|f| (db.codebook.assign(f), 1)));
         match &db.inv {
             IndexVariant::Plain(index) => {
-                let digests: HashMap<u32, Digest> =
-                    index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+                let digests: BTreeMap<u32, Digest> = index
+                    .lists()
+                    .iter()
+                    .map(|l| (l.cluster, l.digest))
+                    .collect();
                 let mode = if scheme.uses_filters() {
                     BoundsMode::CuckooFiltered
                 } else {
@@ -126,8 +125,11 @@ pub fn measure_inv_step(
                 out.client_seconds += t1.elapsed().as_secs_f64();
             }
             IndexVariant::Grouped(index) => {
-                let digests: HashMap<u32, Digest> =
-                    index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
+                let digests: BTreeMap<u32, Digest> = index
+                    .lists()
+                    .iter()
+                    .map(|l| (l.cluster, l.digest))
+                    .collect();
                 let t0 = Instant::now();
                 let search = grouped_search(index, &bovw, k);
                 out.sp_seconds += t0.elapsed().as_secs_f64();

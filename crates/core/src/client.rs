@@ -14,7 +14,6 @@ use imageproof_invindex::grouped::verify_grouped_topk;
 use imageproof_invindex::{verify_topk, BoundsMode, InvVerifyError};
 use imageproof_mrkd::{verify_bovw, verify_bovw_baseline, VerifyError as BovwError};
 use imageproof_vision::ImageId;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Why the client rejected a response.
@@ -123,8 +122,7 @@ impl Client {
         ) {
             return Err(ClientError::RootSignatureInvalid);
         }
-        let query_bovw =
-            SparseBovw::from_counts(verified_bovw.assignments.iter().map(|&c| (c, 1)));
+        let query_bovw = SparseBovw::from_counts(verified_bovw.assignments.iter().map(|&c| (c, 1)));
         stats.bovw_seconds = t0.elapsed().as_secs_f64();
 
         // (iii): inverted-index search.
@@ -133,11 +131,7 @@ impl Client {
             return Err(ClientError::ResultShapeMismatch);
         }
         let claimed: Vec<u64> = response.results.iter().map(|r| r.id).collect();
-        let digests: HashMap<u32, _> = verified_bovw
-            .inv_digests
-            .iter()
-            .map(|(&c, &d)| (c, d))
-            .collect();
+        let digests = &verified_bovw.inv_digests;
         let verified_topk = match (&response.vo.inv, scheme.grouped_index()) {
             (InvVoVariant::Plain(vo), false) => {
                 let mode = if scheme.uses_filters() {
@@ -145,10 +139,10 @@ impl Client {
                 } else {
                     BoundsMode::MaxBound
                 };
-                verify_topk(vo, &query_bovw, &digests, &claimed, k, mode)?
+                verify_topk(vo, &query_bovw, digests, &claimed, k, mode)?
             }
             (InvVoVariant::Grouped(vo), true) => {
-                verify_grouped_topk(vo, &query_bovw, &digests, &claimed, k)?
+                verify_grouped_topk(vo, &query_bovw, digests, &claimed, k)?
             }
             _ => return Err(ClientError::SchemeMismatch),
         };
@@ -163,12 +157,15 @@ impl Client {
             .iter()
             .map(|r| image_signing_message(r.id, &r.data))
             .collect();
-        let batch: Vec<(&[u8], imageproof_crypto::PublicKey, imageproof_crypto::Signature)> =
-            messages
-                .iter()
-                .zip(&response.vo.signatures)
-                .map(|(m, s)| (m.as_slice(), self.params.public_key, *s))
-                .collect();
+        let batch: Vec<(
+            &[u8],
+            imageproof_crypto::PublicKey,
+            imageproof_crypto::Signature,
+        )> = messages
+            .iter()
+            .zip(&response.vo.signatures)
+            .map(|(m, s)| (m.as_slice(), self.params.public_key, *s))
+            .collect();
         if !imageproof_crypto::verify_batch(&batch) {
             for (result, (msg, signature)) in response
                 .results

@@ -8,7 +8,7 @@ use imageproof_invindex::MerkleInvertedIndex;
 use imageproof_mrkd::MrkdForest;
 use imageproof_parallel::{par_map, par_map_chunked};
 use imageproof_vision::{Corpus, ImageId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Everything the owner publishes to clients.
 #[derive(Clone, Debug)]
@@ -69,7 +69,7 @@ pub struct Database {
     pub codebook: Codebook,
     pub mrkd: MrkdForest,
     pub inv: IndexVariant,
-    pub images: HashMap<ImageId, StoredImage>,
+    pub images: BTreeMap<ImageId, StoredImage>,
     /// Per-image BoVW encodings (kept for diagnostics and ablations; a real
     /// SP could drop them).
     pub encodings: Vec<(ImageId, SparseBovw)>,
@@ -246,7 +246,7 @@ impl Owner {
         let root_signature = self
             .signing_key
             .sign(&root_signing_message(&mrkd.combined_root_digest()));
-        let images: HashMap<ImageId, StoredImage> =
+        let images: BTreeMap<ImageId, StoredImage> =
             par_map_chunked(concurrency, &corpus.images, 16, |_, img| {
                 let signature = self
                     .signing_key

@@ -73,9 +73,7 @@ impl MerkleTree {
     /// sequence, so the root (and every proof) is identical for every
     /// thread count.
     pub fn from_leaf_data_with<D: AsRef<[u8]> + Sync>(leaves: &[D], conc: Concurrency) -> Self {
-        let digests = par_map_chunked(conc, leaves, PAR_MIN_NODES, |_, d| {
-            leaf_digest(d.as_ref())
-        });
+        let digests = par_map_chunked(conc, leaves, PAR_MIN_NODES, |_, d| leaf_digest(d.as_ref()));
         Self::from_leaf_digests_with(digests, conc)
     }
 
@@ -240,10 +238,11 @@ impl SubsetProof {
             return false;
         }
         // Reconstruct level sizes exactly as construction produced them.
-        let mut level_sizes = vec![self.n_leaves as usize];
-        while *level_sizes.last().expect("non-empty") > 1 {
-            let last = *level_sizes.last().expect("non-empty");
-            level_sizes.push(last.div_ceil(2));
+        let mut cur = self.n_leaves as usize;
+        let mut level_sizes = vec![cur];
+        while cur > 1 {
+            cur = cur.div_ceil(2);
+            level_sizes.push(cur);
         }
 
         let mut fill_iter = self.fill.iter();
@@ -285,10 +284,8 @@ impl SubsetProof {
 
     /// Convenience: verify from raw leaf data.
     pub fn verify_data(&self, revealed: &[(usize, &[u8])], root: &Digest) -> bool {
-        let digests: Vec<(usize, Digest)> = revealed
-            .iter()
-            .map(|&(i, d)| (i, leaf_digest(d)))
-            .collect();
+        let digests: Vec<(usize, Digest)> =
+            revealed.iter().map(|&(i, d)| (i, leaf_digest(d))).collect();
         self.verify_digests(&digests, root)
     }
 }
@@ -422,8 +419,10 @@ mod tests {
         let data = leaves(16);
         let tree = MerkleTree::from_leaf_data(&data);
         let proof = tree.prove_subset(&[2, 7, 11]);
-        let mut revealed: Vec<(usize, &[u8])> =
-            [2usize, 7, 11].iter().map(|&i| (i, data[i].as_slice())).collect();
+        let mut revealed: Vec<(usize, &[u8])> = [2usize, 7, 11]
+            .iter()
+            .map(|&i| (i, data[i].as_slice()))
+            .collect();
         revealed[1].1 = b"forged";
         assert!(!proof.verify_data(&revealed, &tree.root()));
     }
@@ -455,6 +454,67 @@ mod tests {
         proof.fill.push(dropped);
         proof.fill.push(Digest::of(b"extra"));
         assert!(!proof.verify_data(&revealed, &tree.root()));
+    }
+
+    #[test]
+    fn subset_proof_on_single_leaf_tree() {
+        // Degenerate shape: root IS the leaf digest; no fill is needed.
+        let data = leaves(1);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let proof = tree.prove_subset(&[0]);
+        assert!(proof.fill.is_empty());
+        assert!(proof.verify_data(&[(0, data[0].as_slice())], &tree.root()));
+        assert!(!proof.verify_data(&[(0, b"other")], &tree.root()));
+    }
+
+    #[test]
+    fn subset_proof_rejects_empty_and_duplicate_reveals() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let proof = tree.prove_subset(&[3, 5]);
+        // Nothing revealed can never authenticate.
+        assert!(!proof.verify_data(&[], &tree.root()));
+        // Duplicate indices violate the strictly-increasing contract.
+        let dup: Vec<(usize, &[u8])> = vec![(3, data[3].as_slice()), (3, data[3].as_slice())];
+        assert!(!proof.verify_data(&dup, &tree.root()));
+    }
+
+    #[test]
+    fn duplicate_leaf_content_still_binds_positions() {
+        // Leaves 1 and 6 share the same bytes; proofs must still be tied to
+        // the exact positions they were generated for, not just the content.
+        let mut data = leaves(8);
+        data[1] = b"same".to_vec();
+        data[6] = b"same".to_vec();
+        let tree = MerkleTree::from_leaf_data(&data);
+        let root = tree.root();
+        for i in [1usize, 6] {
+            let proof = tree.prove(i);
+            assert!(proof.verify_data(b"same", &root), "leaf {i}");
+            assert!(!proof.verify_data(b"diff", &root), "leaf {i}");
+        }
+        // A proof for position 1 does not authenticate the identical bytes
+        // at position 6 (the sibling path differs), and vice versa.
+        let p1 = tree.prove(1);
+        let p6 = tree.prove(6);
+        assert_ne!(p1.path, p6.path);
+        // Subset proofs over duplicate content verify at their own indices…
+        let proof = tree.prove_subset(&[1, 6]);
+        let ok: Vec<(usize, &[u8])> = vec![(1, b"same"), (6, b"same")];
+        assert!(proof.verify_data(&ok, &root));
+        // …but not when the same content is claimed at other positions.
+        let moved: Vec<(usize, &[u8])> = vec![(2, b"same"), (5, b"same")];
+        assert!(!proof.verify_data(&moved, &root));
+    }
+
+    #[test]
+    fn subset_proof_fails_against_wrong_root() {
+        let data = leaves(8);
+        let tree = MerkleTree::from_leaf_data(&data);
+        let proof = tree.prove_subset(&[0, 4]);
+        let revealed: Vec<(usize, &[u8])> = vec![(0, data[0].as_slice()), (4, data[4].as_slice())];
+        assert!(proof.verify_data(&revealed, &tree.root()));
+        assert!(!proof.verify_data(&revealed, &Digest::of(b"wrong root")));
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub enum WireError {
     LengthOverflow,
     /// Trailing bytes remained after a complete decode.
     TrailingBytes,
+    /// Nesting deeper than the decoder's recursion budget.
+    DepthExceeded,
 }
 
 impl std::fmt::Display for WireError {
@@ -33,6 +35,7 @@ impl std::fmt::Display for WireError {
             WireError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
             WireError::LengthOverflow => write!(f, "length prefix exceeds stream size"),
             WireError::TrailingBytes => write!(f, "trailing bytes after VO"),
+            WireError::DepthExceeded => write!(f, "VO nesting exceeds the decode depth limit"),
         }
     }
 }
@@ -152,24 +155,37 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.data.len() {
-            return Err(WireError::UnexpectedEnd);
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::UnexpectedEnd)?;
+        let s = self
+            .data
+            .get(self.pos..end)
+            .ok_or(WireError::UnexpectedEnd)?;
+        self.pos = end;
         Ok(s)
     }
 
+    /// Reads exactly `N` bytes into an array; the `try_into` cannot fail
+    /// because `take` returned an `N`-byte slice, but the conversion stays
+    /// fallible so this path is panic-free by construction.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| WireError::UnexpectedEnd)
+    }
+
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(WireError::UnexpectedEnd)
     }
 
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     pub fn f32(&mut self) -> Result<f32, WireError> {
@@ -177,7 +193,7 @@ impl<'a> Reader<'a> {
     }
 
     pub fn digest(&mut self) -> Result<Digest, WireError> {
-        Ok(Digest(self.take(32)?.try_into().expect("32")))
+        Ok(Digest(self.take_array()?))
     }
 
     pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {

@@ -261,11 +261,18 @@ impl CuckooFilter {
         if bytes.len() < 8 {
             return None;
         }
-        let n_buckets = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        let n_buckets: usize = u64::from_le_bytes(bytes[..8].try_into().ok()?)
+            .try_into()
+            .ok()?;
         if n_buckets == 0 || !n_buckets.is_power_of_two() {
             return None;
         }
-        if bytes.len() != 8 + n_buckets * SLOTS_PER_BUCKET {
+        // Checked arithmetic: a hostile header can claim 2^62 buckets, which
+        // would wrap the expected length to 8 and reach with_capacity.
+        let expected = n_buckets
+            .checked_mul(SLOTS_PER_BUCKET)
+            .and_then(|b| b.checked_add(8))?;
+        if bytes.len() != expected {
             return None;
         }
         let mut buckets = Vec::with_capacity(n_buckets);
@@ -416,6 +423,17 @@ mod tests {
         let mut short = 4u64.to_le_bytes().to_vec();
         short.extend_from_slice(&[0u8; 8]);
         assert!(CuckooFilter::from_bytes(&short).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_overflowing_bucket_count() {
+        // n_buckets = 2^62: `n_buckets * SLOTS_PER_BUCKET` wraps to zero on
+        // 64-bit targets, so an unchecked length test would accept the
+        // 8-byte header and try to allocate 2^62 buckets.
+        let huge = [0, 0, 0, 0, 0, 0, 0, 0x40];
+        assert!(CuckooFilter::from_bytes(&huge).is_none());
+        // u64::MAX bucket count must not wrap the usize conversion either.
+        assert!(CuckooFilter::from_bytes(&u64::MAX.to_le_bytes()).is_none());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! "actual next impact" from the SP would be unverifiable and unsound.
 
 use imageproof_cuckoo::{max_count, CuckooFilter};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which upper-bound machinery a scheme uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -59,7 +59,7 @@ pub struct Evaluation {
     /// holds iff this is empty), ascending by image id.
     pub exceeded: Vec<u64>,
     /// Verified lower-bound scores `S^L(Q, I)` of every popped image.
-    pub lower_scores: HashMap<u64, f32>,
+    pub lower_scores: BTreeMap<u64, f32>,
 }
 
 /// Evaluates the termination conditions over the observable state.
@@ -73,7 +73,7 @@ pub fn evaluate(snapshots: &[ListSnapshot<'_>], topk: &[u64], mode: BoundsMode) 
     );
 
     // S^L (Eq. 9): accumulate popped contributions in list order.
-    let mut lower_scores: HashMap<u64, f32> = HashMap::new();
+    let mut lower_scores: BTreeMap<u64, f32> = BTreeMap::new();
     for snap in snapshots {
         for &(image, impact) in snap.popped {
             *lower_scores.entry(image).or_insert(0.0) += snap.query_impact * impact;
@@ -103,14 +103,9 @@ pub fn evaluate(snapshots: &[ListSnapshot<'_>], topk: &[u64], mode: BoundsMode) 
     // γ and π^U.
     let (gamma, pi_upper) = match mode {
         BoundsMode::CuckooFiltered => {
-            let filters: Vec<&CuckooFilter> =
-                snapshots.iter().filter_map(|s| s.filter).collect();
+            let filters: Vec<&CuckooFilter> = snapshots.iter().filter_map(|s| s.filter).collect();
             let gamma = max_count(&filters);
-            let pi: f32 = remaining
-                .iter()
-                .take(gamma as usize)
-                .map(|&(v, _)| v)
-                .sum();
+            let pi: f32 = remaining.iter().take(gamma as usize).map(|&(v, _)| v).sum();
             (gamma, pi)
         }
         BoundsMode::MaxBound => {
@@ -122,21 +117,17 @@ pub fn evaluate(snapshots: &[ListSnapshot<'_>], topk: &[u64], mode: BoundsMode) 
 
     // Condition 2: S^U (Eq. 11 / Eq. 10) for every popped non-top-k image.
     let mut exceeded = Vec::new();
-    let mut images: Vec<u64> = lower_scores.keys().copied().collect();
-    images.sort_unstable();
-    for image in images {
+    for (&image, &lower) in &lower_scores {
         if topk.contains(&image) {
             continue;
         }
-        let mut upper = lower_scores[&image];
+        let mut upper = lower;
         for snap in snapshots {
             let Some(cap) = snap.remaining_cap else {
                 continue;
             };
             let might_contain = match mode {
-                BoundsMode::CuckooFiltered => {
-                    snap.filter.is_some_and(|f| f.contains(image))
-                }
+                BoundsMode::CuckooFiltered => snap.filter.is_some_and(|f| f.contains(image)),
                 BoundsMode::MaxBound => true,
             };
             if might_contain {
@@ -181,10 +172,7 @@ mod tests {
     fn lower_scores_accumulate_across_lists() {
         let a = [(1u64, 0.5f32), (2, 0.3)];
         let b = [(1u64, 0.2f32)];
-        let snaps = vec![
-            filterless(0, 2.0, &a, None),
-            filterless(1, 1.0, &b, None),
-        ];
+        let snaps = vec![filterless(0, 2.0, &a, None), filterless(1, 1.0, &b, None)];
         let eval = evaluate(&snaps, &[1], BoundsMode::MaxBound);
         assert_eq!(eval.lower_scores[&1], 2.0 * 0.5 + 1.0 * 0.2);
         assert_eq!(eval.lower_scores[&2], 2.0 * 0.3);

@@ -19,7 +19,7 @@ use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
 use imageproof_crypto::Digest;
 use imageproof_cuckoo::CuckooFilter;
 use imageproof_parallel::{try_par_map, Concurrency};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One frequency-grouped posting.
 #[derive(Clone, Debug, PartialEq)]
@@ -424,7 +424,7 @@ pub fn grouped_exhaustive_topk(
     query_impacts: &[(u32, f32)],
     k: usize,
 ) -> Vec<(u64, f32)> {
-    let mut acc: HashMap<u64, f32> = HashMap::new();
+    let mut acc: BTreeMap<u64, f32> = BTreeMap::new();
     for &(c, p_q) in query_impacts {
         let list = index.list(c);
         for g in &list.groups {
@@ -647,7 +647,7 @@ fn best_target(
 pub fn verify_grouped_topk(
     vo: &GroupedInvVo,
     query_bovw: &SparseBovw,
-    authenticated_digests: &HashMap<u32, Digest>,
+    authenticated_digests: &BTreeMap<u32, Digest>,
     claimed: &[u64],
     k: usize,
 ) -> Result<crate::verify::VerifiedTopk, InvVerifyError> {
@@ -657,7 +657,7 @@ pub fn verify_grouped_topk(
         return Err(InvVerifyError::ClusterMismatch);
     }
 
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = BTreeSet::new();
     for &image in claimed {
         if !seen.insert(image) {
             return Err(InvVerifyError::DuplicateWinner { image });
@@ -717,8 +717,9 @@ pub fn verify_grouped_topk(
         parsed_filters.push(filter);
     }
 
-    let weights: HashMap<u32, f32> = vo.lists.iter().map(|l| (l.cluster, l.weight)).collect();
-    let query_impacts = impacts_with_weights(query_bovw, |c| weights[&c]);
+    let weights: BTreeMap<u32, f32> = vo.lists.iter().map(|l| (l.cluster, l.weight)).collect();
+    let query_impacts =
+        impacts_with_weights(query_bovw, |c| weights.get(&c).copied().unwrap_or(0.0));
 
     // Expand popped groups and delete their members from the filters.
     let mut expanded: Vec<Vec<(u64, f32)>> = Vec::with_capacity(vo.lists.len());
@@ -856,7 +857,7 @@ mod tests {
     #[test]
     fn honest_grouped_search_verifies() {
         let (_, grouped) = both_indexes(300, 30, 32);
-        let digests: HashMap<u32, Digest> = grouped
+        let digests: BTreeMap<u32, Digest> = grouped
             .lists()
             .iter()
             .map(|l| (l.cluster, l.digest))
@@ -899,6 +900,13 @@ mod tests {
         let out = grouped_search(&grouped, &q, 5);
         let bytes = out.vo.to_wire();
         assert_eq!(GroupedInvVo::from_wire(&bytes).expect("round trip"), out.vo);
+        // Per-list roundtrip, covering GroupedListVo's own wire impls.
+        for list in &out.vo.lists {
+            assert_eq!(
+                GroupedListVo::from_wire(&list.to_wire()).expect("round trip"),
+                *list
+            );
+        }
     }
 
     #[test]
@@ -927,7 +935,7 @@ mod tests {
     #[test]
     fn tampered_group_member_breaks_digest() {
         let (_, grouped) = both_indexes(200, 15, 37);
-        let digests: HashMap<u32, Digest> = grouped
+        let digests: BTreeMap<u32, Digest> = grouped
             .lists()
             .iter()
             .map(|l| (l.cluster, l.digest))

@@ -12,7 +12,7 @@ use crate::merkle::{MerkleInvertedIndex, MerkleList};
 use crate::vo::{FilterVo, InvVo, ListVo, RemainingVo};
 use imageproof_akm::bovw::{impacts_with_weights, SparseBovw};
 use imageproof_cuckoo::CuckooFilter;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Search-cost statistics; "% popped postings" (Figs. 9–11) is
 /// `popped / total_postings`.
@@ -71,7 +71,7 @@ pub fn exhaustive_topk(
     query_impacts: &[(u32, f32)],
     k: usize,
 ) -> Vec<(u64, f32)> {
-    let mut acc: HashMap<u64, f32> = HashMap::new();
+    let mut acc: BTreeMap<u64, f32> = BTreeMap::new();
     for &(c, p_q) in query_impacts {
         for posting in &index.list(c).postings {
             *acc.entry(posting.image).or_insert(0.0) += p_q * posting.impact;

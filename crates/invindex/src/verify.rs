@@ -23,7 +23,7 @@ use crate::vo::{FilterVo, InvVo, RemainingVo};
 use imageproof_akm::bovw::{impacts_with_weights, SparseBovw};
 use imageproof_crypto::Digest;
 use imageproof_cuckoo::CuckooFilter;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Why an inverted-index VO was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +70,10 @@ impl std::fmt::Display for InvVerifyError {
                 write!(f, "unexpected filter form for cluster {cluster}")
             }
             InvVerifyError::Condition1Failed => {
-                write!(f, "termination condition 1 fails: unexplored postings could win")
+                write!(
+                    f,
+                    "termination condition 1 fails: unexplored postings could win"
+                )
             }
             InvVerifyError::Condition2Failed { image } => {
                 write!(f, "termination condition 2 fails for image {image}")
@@ -96,7 +99,7 @@ pub struct VerifiedTopk {
     /// `(image, verified score)` in the claimed order.
     pub topk: Vec<(u64, f32)>,
     /// Verified cluster weights (available for diagnostics).
-    pub weights: HashMap<u32, f32>,
+    pub weights: BTreeMap<u32, f32>,
 }
 
 /// Verifies an inverted-index VO against the claimed top-k.
@@ -111,7 +114,7 @@ pub struct VerifiedTopk {
 pub fn verify_topk(
     vo: &InvVo,
     query_bovw: &SparseBovw,
-    authenticated_digests: &HashMap<u32, Digest>,
+    authenticated_digests: &BTreeMap<u32, Digest>,
     claimed: &[u64],
     k: usize,
     mode: BoundsMode,
@@ -125,7 +128,7 @@ pub fn verify_topk(
 
     // Claimed winners must be distinct and either fill k or be provably all
     // that exists (every list exhausted).
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = BTreeSet::new();
     for &image in claimed {
         if !seen.insert(image) {
             return Err(InvVerifyError::DuplicateWinner { image });
@@ -144,11 +147,12 @@ pub fn verify_topk(
     // 2. Reconstruct and check every list digest; parse filters.
     let mut parsed_filters: Vec<Option<CuckooFilter>> = Vec::with_capacity(vo.lists.len());
     for list in &vo.lists {
-        let expected = authenticated_digests
-            .get(&list.cluster)
-            .ok_or(InvVerifyError::UnknownCluster {
-                cluster: list.cluster,
-            })?;
+        let expected =
+            authenticated_digests
+                .get(&list.cluster)
+                .ok_or(InvVerifyError::UnknownCluster {
+                    cluster: list.cluster,
+                })?;
 
         let (tail_digest, filter_digest, filter) = match &list.remaining {
             RemainingVo::Exhausted { filter_digest } => (Digest::ZERO, *filter_digest, None),
@@ -157,11 +161,10 @@ pub fn verify_topk(
                 filter,
             } => match (filter, mode) {
                 (FilterVo::Bytes(bytes), BoundsMode::CuckooFiltered) => {
-                    let parsed = CuckooFilter::from_bytes(bytes).ok_or(
-                        InvVerifyError::MalformedFilter {
+                    let parsed =
+                        CuckooFilter::from_bytes(bytes).ok_or(InvVerifyError::MalformedFilter {
                             cluster: list.cluster,
-                        },
-                    )?;
+                        })?;
                     (*next_digest, parsed.digest(), Some(parsed))
                 }
                 (FilterVo::DigestOnly(d), BoundsMode::MaxBound) => (*next_digest, *d, None),
@@ -188,8 +191,9 @@ pub fn verify_topk(
     }
 
     // 3. p_Q from the verified weights.
-    let weights: HashMap<u32, f32> = vo.lists.iter().map(|l| (l.cluster, l.weight)).collect();
-    let query_impacts = impacts_with_weights(query_bovw, |c| weights[&c]);
+    let weights: BTreeMap<u32, f32> = vo.lists.iter().map(|l| (l.cluster, l.weight)).collect();
+    let query_impacts =
+        impacts_with_weights(query_bovw, |c| weights.get(&c).copied().unwrap_or(0.0));
 
     // 4. Delete popped images from the filters, snapshot, evaluate.
     for (list, filter) in vo.lists.iter().zip(&mut parsed_filters) {
@@ -273,7 +277,7 @@ mod tests {
         MerkleInvertedIndex::build(n_clusters, &images, &model)
     }
 
-    fn digests_of(idx: &MerkleInvertedIndex) -> HashMap<u32, Digest> {
+    fn digests_of(idx: &MerkleInvertedIndex) -> BTreeMap<u32, Digest> {
         idx.lists().iter().map(|l| (l.cluster, l.digest)).collect()
     }
 
@@ -328,8 +332,15 @@ mod tests {
             panic!("fixture must pop at least one non-winner");
         };
         claimed[0] = substitute;
-        let err = verify_topk(&out.vo, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered)
-            .expect_err("forged winner set must fail");
+        let err = verify_topk(
+            &out.vo,
+            &q,
+            &digests,
+            &claimed,
+            5,
+            BoundsMode::CuckooFiltered,
+        )
+        .expect_err("forged winner set must fail");
         assert!(
             matches!(
                 err,
@@ -347,8 +358,15 @@ mod tests {
         let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
         let mut claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
         claimed[0] = 999_999; // an image that exists nowhere
-        let err = verify_topk(&out.vo, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered)
-            .expect_err("fabricated winner must fail");
+        let err = verify_topk(
+            &out.vo,
+            &q,
+            &digests,
+            &claimed,
+            5,
+            BoundsMode::CuckooFiltered,
+        )
+        .expect_err("fabricated winner must fail");
         assert!(
             matches!(
                 err,
@@ -375,7 +393,14 @@ mod tests {
             .expect("something popped");
         list.popped[0].1 *= 2.0;
         assert!(matches!(
-            verify_topk(&forged, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            verify_topk(
+                &forged,
+                &q,
+                &digests,
+                &claimed,
+                5,
+                BoundsMode::CuckooFiltered
+            ),
             Err(InvVerifyError::DigestMismatch { .. })
         ));
     }
@@ -395,7 +420,14 @@ mod tests {
             .expect("a list with two popped postings");
         list.popped.remove(0);
         assert!(matches!(
-            verify_topk(&forged, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            verify_topk(
+                &forged,
+                &q,
+                &digests,
+                &claimed,
+                5,
+                BoundsMode::CuckooFiltered
+            ),
             Err(InvVerifyError::DigestMismatch { .. })
         ));
     }
@@ -410,7 +442,14 @@ mod tests {
         let mut forged = out.vo.clone();
         forged.lists[0].weight += 1.0;
         assert!(matches!(
-            verify_topk(&forged, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            verify_topk(
+                &forged,
+                &q,
+                &digests,
+                &claimed,
+                5,
+                BoundsMode::CuckooFiltered
+            ),
             Err(InvVerifyError::DigestMismatch { .. })
         ));
     }
@@ -434,7 +473,9 @@ mod tests {
                     // Replace with a fresh (different) filter's canonical
                     // bytes.
                     let fresh = CuckooFilter::with_buckets(
-                        CuckooFilter::from_bytes(bytes).expect("canonical").n_buckets(),
+                        CuckooFilter::from_bytes(bytes)
+                            .expect("canonical")
+                            .n_buckets(),
                     );
                     *bytes = fresh.to_bytes();
                     Some(())
@@ -443,7 +484,14 @@ mod tests {
             });
         assert!(swapped.is_some(), "fixture needs a partial list");
         assert!(matches!(
-            verify_topk(&forged, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            verify_topk(
+                &forged,
+                &q,
+                &digests,
+                &claimed,
+                5,
+                BoundsMode::CuckooFiltered
+            ),
             Err(InvVerifyError::DigestMismatch { .. })
         ));
     }
@@ -458,7 +506,14 @@ mod tests {
         let mut missing = out.vo.clone();
         missing.lists.pop();
         assert!(matches!(
-            verify_topk(&missing, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+            verify_topk(
+                &missing,
+                &q,
+                &digests,
+                &claimed,
+                5,
+                BoundsMode::CuckooFiltered
+            ),
             Err(InvVerifyError::ClusterMismatch)
         ));
     }
@@ -478,7 +533,14 @@ mod tests {
             .any(|l| matches!(l.remaining, RemainingVo::Partial { .. }));
         if any_partial {
             assert!(matches!(
-                verify_topk(&out.vo, &q, &digests, &claimed, 10, BoundsMode::CuckooFiltered),
+                verify_topk(
+                    &out.vo,
+                    &q,
+                    &digests,
+                    &claimed,
+                    10,
+                    BoundsMode::CuckooFiltered
+                ),
                 Err(InvVerifyError::ShortResult)
             ));
         }
@@ -494,7 +556,14 @@ mod tests {
         if claimed.len() >= 2 {
             claimed[1] = claimed[0];
             assert!(matches!(
-                verify_topk(&out.vo, &q, &digests, &claimed, 5, BoundsMode::CuckooFiltered),
+                verify_topk(
+                    &out.vo,
+                    &q,
+                    &digests,
+                    &claimed,
+                    5,
+                    BoundsMode::CuckooFiltered
+                ),
                 Err(InvVerifyError::DuplicateWinner { .. })
             ));
         }

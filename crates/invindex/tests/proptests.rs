@@ -10,7 +10,7 @@ use imageproof_invindex::{
     exhaustive_topk, inv_search, verify_topk, BoundsMode, MerkleInvertedIndex,
 };
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const N_CLUSTERS: usize = 12;
 
@@ -47,7 +47,7 @@ proptest! {
         let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
         let model = ImpactModel::build(N_CLUSTERS, &encodings);
         let index = MerkleInvertedIndex::build(N_CLUSTERS, &images, &model);
-        let digests: HashMap<u32, Digest> =
+        let digests: BTreeMap<u32, Digest> =
             index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
 
         let impacts = impacts_with_weights(&query, |c| index.list(c).weight);
@@ -83,7 +83,7 @@ proptest! {
         // Sets agree except for float-rounding ties; sizes always agree.
         prop_assert_eq!(plain_set.len(), grouped_set.len());
 
-        let digests: HashMap<u32, Digest> =
+        let digests: BTreeMap<u32, Digest> =
             grouped.lists().iter().map(|l| (l.cluster, l.digest)).collect();
         let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
         let verified = verify_grouped_topk(&out.vo, &query, &digests, &claimed, k);
@@ -99,7 +99,7 @@ proptest! {
         let encodings: Vec<SparseBovw> = images.iter().map(|(_, b)| b.clone()).collect();
         let model = ImpactModel::build(N_CLUSTERS, &encodings);
         let index = MerkleInvertedIndex::build(N_CLUSTERS, &images, &model);
-        let digests: HashMap<u32, Digest> =
+        let digests: BTreeMap<u32, Digest> =
             index.lists().iter().map(|l| (l.cluster, l.digest)).collect();
 
         let k = 2;

@@ -278,6 +278,7 @@ pub fn partial_sum_revealed(blocks: &[(u32, Vec<f32>)], q: &[f32]) -> f32 {
                     let diff = q[d] - v;
                     diff * diff
                 })
+                // audit:allow(determinism) fixed block order, shared verbatim by SP and client
                 .sum::<f32>()
         })
         .sum()
@@ -431,6 +432,21 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     const DIM: usize = 64;
+
+    #[test]
+    fn baseline_bovw_vo_roundtrips_on_the_wire() {
+        let vo = BaselineBovwVo {
+            per_query: vec![
+                BovwVo {
+                    trees: vec![VoNode::Pruned(Digest::of(b"t0"))],
+                },
+                BovwVo {
+                    trees: vec![VoNode::Pruned(Digest::of(b"t1"))],
+                },
+            ],
+        };
+        assert_eq!(BaselineBovwVo::from_wire(&vo.to_wire()).expect("rt"), vo);
+    }
 
     fn setup(mode: CandidateMode) -> (Vec<Vec<f32>>, MrkdForest) {
         let mut rng = StdRng::seed_from_u64(51);

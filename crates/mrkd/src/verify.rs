@@ -17,11 +17,11 @@
 //! itself.
 
 use crate::search::partial_sum_revealed;
-use crate::tree::{
-    block_range, block_bytes, combined_root_digest, dimension_tree, internal_digest,
-    leaf_digest, leaf_entry_digest_compressed, leaf_entry_digest_full, n_blocks, CandidateMode,
-};
 use crate::traverse::{traverse, ActiveQuery, TraversalVisitor, TreeSource, ViewNode};
+use crate::tree::{
+    block_bytes, block_range, combined_root_digest, dimension_tree, internal_digest, leaf_digest,
+    leaf_entry_digest_compressed, leaf_entry_digest_full, n_blocks, CandidateMode,
+};
 use crate::vo::{BovwVo, Reveal, VoLeafEntry, VoNode};
 use imageproof_akm::rkd::dist_sq;
 use imageproof_crypto::merkle::hash_leaf;
@@ -54,7 +54,10 @@ impl std::fmt::Display for VerifyError {
         match self {
             VerifyError::Malformed(m) => write!(f, "malformed VO: {m}"),
             VerifyError::PrunedSubtreeReachable => {
-                write!(f, "a pruned subtree is reachable within a verified threshold")
+                write!(
+                    f,
+                    "a pruned subtree is reachable within a verified threshold"
+                )
             }
             VerifyError::PartialTooClose { cluster, query } => write!(
                 f,
@@ -97,7 +100,7 @@ pub fn verify_bovw(
     if queries.is_empty() {
         return Err(VerifyError::Malformed("no query vectors"));
     }
-    let dim = queries[0].len();
+    let dim = queries.first().map(|q| q.len()).unwrap_or(0);
     if dim == 0 || queries.iter().any(|q| q.len() != dim) {
         return Err(VerifyError::Malformed("inconsistent query dimensionality"));
     }
@@ -174,8 +177,12 @@ pub fn verify_bovw_baseline(
             Some(c) if c == v.combined_root => {}
             Some(_) => return Err(VerifyError::Malformed("per-query roots disagree")),
         }
-        assignments.push(v.assignments[0]);
-        thresholds_sq.push(v.thresholds_sq[0]);
+        let (a, t) = match (v.assignments.first(), v.thresholds_sq.first()) {
+            (Some(&a), Some(&t)) => (a, t),
+            _ => return Err(VerifyError::Malformed("empty per-query verification")),
+        };
+        assignments.push(a);
+        thresholds_sq.push(t);
         for (cluster, d) in v.inv_digests {
             if *inv_digests.entry(cluster).or_insert(d) != d {
                 return Err(VerifyError::InconsistentInvDigest { cluster });
@@ -271,7 +278,11 @@ impl Collector {
                 }
                 self.record_reveal(e.cluster, coords)?;
                 let root = dimension_tree(coords).root();
-                Ok(leaf_entry_digest_compressed(e.cluster, &root, &e.inv_digest))
+                Ok(leaf_entry_digest_compressed(
+                    e.cluster,
+                    &root,
+                    &e.inv_digest,
+                ))
             }
             (
                 Reveal::Partial {
@@ -284,7 +295,11 @@ impl Collector {
                 if blocks.is_empty() {
                     return Err(VerifyError::Malformed("empty partial disclosure"));
                 }
-                if !blocks.windows(2).all(|w| w[0].0 < w[1].0) {
+                if !blocks
+                    .iter()
+                    .zip(blocks.iter().skip(1))
+                    .all(|(a, b)| a.0 < b.0)
+                {
                     return Err(VerifyError::Malformed("unsorted partial blocks"));
                 }
                 let total = n_blocks(self.dim);
@@ -371,20 +386,24 @@ impl<'a> VoSource<'a> {
                 });
                 let l = Self::push(left, nodes);
                 let r = Self::push(right, nodes);
-                let FlatNode::Internal { left, right, .. } = &mut nodes[my] else {
-                    unreachable!("just pushed an internal node");
-                };
-                *left = l;
-                *right = r;
+                // `my` always holds the Internal pushed above; a mismatch
+                // would leave the placeholder child indices pointing at the
+                // root, which the traversal rejects as malformed.
+                if let Some(FlatNode::Internal { left, right, .. }) = nodes.get_mut(my) {
+                    *left = l;
+                    *right = r;
+                }
             }
         }
         my
     }
 
-    fn entries(&self, node: usize) -> &'a [VoLeafEntry] {
-        match &self.nodes[node] {
-            FlatNode::Leaf(entries) => entries,
-            _ => unreachable!("leaf accessor on non-leaf"),
+    fn entries(&self, node: usize) -> Result<&'a [VoLeafEntry], VerifyError> {
+        match self.nodes.get(node) {
+            Some(FlatNode::Leaf(entries)) => Ok(entries),
+            _ => Err(VerifyError::Malformed(
+                "traversal visited a non-leaf as a leaf",
+            )),
         }
     }
 }
@@ -394,15 +413,17 @@ impl TreeSource for VoSource<'_> {
         0
     }
     fn view(&self, node: usize) -> ViewNode {
-        match &self.nodes[node] {
-            FlatNode::Pruned => ViewNode::Opaque,
-            FlatNode::Leaf(_) => ViewNode::Leaf,
-            FlatNode::Internal {
+        // Out-of-range indices read as Opaque, which the client traversal
+        // rejects via `PrunedSubtreeReachable` if any query reaches them.
+        match self.nodes.get(node) {
+            None | Some(FlatNode::Pruned) => ViewNode::Opaque,
+            Some(FlatNode::Leaf(_)) => ViewNode::Leaf,
+            Some(FlatNode::Internal {
                 dim,
                 value,
                 left,
                 right,
-            } => ViewNode::Internal {
+            }) => ViewNode::Internal {
                 dim: *dim,
                 value: *value,
                 left: *left,
@@ -431,12 +452,17 @@ impl TraversalVisitor for ClientVisitor<'_> {
     }
 
     fn leaf(&mut self, node: usize, active: &[ActiveQuery]) -> Result<(), VerifyError> {
-        for e in self.source.entries(node) {
+        for e in self.source.entries(node)? {
             if let Reveal::Partial { blocks, .. } = &e.reveal {
                 for aq in active {
                     let q = aq.query as usize;
-                    let partial = partial_sum_revealed(blocks, &self.queries[q]);
-                    if partial < self.thresholds_sq[q] {
+                    let (Some(query), Some(&threshold)) =
+                        (self.queries.get(q), self.thresholds_sq.get(q))
+                    else {
+                        return Err(VerifyError::Malformed("active query index out of range"));
+                    };
+                    let partial = partial_sum_revealed(blocks, query);
+                    if partial < threshold {
                         return Err(VerifyError::PartialTooClose {
                             cluster: e.cluster,
                             query: aq.query,
@@ -586,10 +612,7 @@ mod tests {
                 }
             }
         }
-        vo.trees
-            .iter_mut()
-            .map(|t| walk(t, cluster, f))
-            .sum()
+        vo.trees.iter_mut().map(|t| walk(t, cluster, f)).sum()
     }
 
     #[test]
@@ -619,7 +642,10 @@ mod tests {
         let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
         let honest = verify_bovw(&out.vo, &f.queries, CandidateMode::Full).expect("honest");
         let victim = honest.assignments[0];
-        assert_ne!(victim, honest.assignments[1], "fixture needs distinct winners");
+        assert_ne!(
+            victim, honest.assignments[1],
+            "fixture needs distinct winners"
+        );
 
         // Replace every leaf containing the victim cluster with a pruned
         // stub carrying the *correct* digest (the strongest forgery the SP
@@ -658,7 +684,10 @@ mod tests {
         let out = mrkd_search(&f.mrkd, &f.queries, &f.thresholds);
         let honest = verify_bovw(&out.vo, &f.queries, CandidateMode::Compressed).expect("honest");
         let victim = honest.assignments[0];
-        assert_ne!(victim, honest.assignments[1], "fixture needs distinct winners");
+        assert_ne!(
+            victim, honest.assignments[1],
+            "fixture needs distinct winners"
+        );
 
         // Forge: disclose the victim only partially (all blocks — the most
         // honest-looking partial reveal possible).
@@ -722,7 +751,10 @@ mod tests {
         for t in &mut forged.trees {
             walk(t, &mut tampered);
         }
-        assert!(tampered, "fixture should produce at least one partial reveal");
+        assert!(
+            tampered,
+            "fixture should produce at least one partial reveal"
+        );
         assert!(matches!(
             verify_bovw(&forged, &f.queries, CandidateMode::Compressed),
             Err(VerifyError::BadSubsetProof { .. })

@@ -180,6 +180,22 @@ impl Encode for VoLeafEntry {
     }
 }
 
+impl Decode for VoLeafEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(VoLeafEntry {
+            cluster: r.u32()?,
+            inv_digest: r.digest()?,
+            reveal: Reveal::decode(r)?,
+        })
+    }
+}
+
+/// Deepest `Internal` nesting the decoder accepts. A hostile VO can claim
+/// one internal node per two bytes, so unbounded recursion would let the
+/// SP overflow the client's stack; real MRKD-trees are ~log₂(clusters)
+/// deep, orders of magnitude below this cap.
+pub const MAX_VO_DEPTH: usize = 512;
+
 impl Encode for VoNode {
     fn encode(&self, w: &mut Writer) {
         match self {
@@ -210,33 +226,35 @@ impl Encode for VoNode {
     }
 }
 
-impl Decode for VoNode {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+impl VoNode {
+    fn decode_at(r: &mut Reader<'_>, depth: usize) -> Result<Self, WireError> {
+        if depth > MAX_VO_DEPTH {
+            return Err(WireError::DepthExceeded);
+        }
         match r.u8()? {
             TAG_PRUNED => Ok(VoNode::Pruned(r.digest()?)),
             TAG_INTERNAL => Ok(VoNode::Internal {
                 dim: r.u32()?,
                 value: r.f32()?,
-                left: Box::new(VoNode::decode(r)?),
-                right: Box::new(VoNode::decode(r)?),
+                left: Box::new(VoNode::decode_at(r, depth + 1)?),
+                right: Box::new(VoNode::decode_at(r, depth + 1)?),
             }),
             TAG_LEAF => {
                 let n = r.seq_len()?;
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let cluster = r.u32()?;
-                    let inv_digest = r.digest()?;
-                    let reveal = Reveal::decode(r)?;
-                    entries.push(VoLeafEntry {
-                        cluster,
-                        inv_digest,
-                        reveal,
-                    });
+                    entries.push(VoLeafEntry::decode(r)?);
                 }
                 Ok(VoNode::Leaf { entries })
             }
             t => Err(WireError::InvalidTag(t)),
         }
+    }
+}
+
+impl Decode for VoNode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        VoNode::decode_at(r, 0)
     }
 }
 
@@ -257,5 +275,113 @@ impl Decode for BovwVo {
             trees.push(VoNode::decode(r)?);
         }
         Ok(BovwVo { trees })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_leaf() -> VoNode {
+        VoNode::Leaf {
+            entries: vec![
+                VoLeafEntry {
+                    cluster: 3,
+                    inv_digest: Digest::of(b"inv-3"),
+                    reveal: Reveal::Full {
+                        coords: vec![0.5, -1.25],
+                    },
+                },
+                VoLeafEntry {
+                    cluster: 9,
+                    inv_digest: Digest::of(b"inv-9"),
+                    reveal: Reveal::Partial {
+                        dim_root: Digest::of(b"dims"),
+                        blocks: vec![(0, vec![1.0, 2.0]), (4, vec![-0.0])],
+                        proof: SubsetProof {
+                            n_leaves: 8,
+                            fill: vec![Digest::of(b"fill-a"), Digest::of(b"fill-b")],
+                        },
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn reveal_roundtrips_all_variants() {
+        for reveal in [
+            Reveal::Full {
+                coords: vec![1.0, f32::MIN_POSITIVE, -3.5],
+            },
+            Reveal::FullCompressed { coords: Vec::new() },
+            Reveal::Partial {
+                dim_root: Digest::of(b"root"),
+                blocks: vec![(7, vec![0.25])],
+                proof: SubsetProof {
+                    n_leaves: 4,
+                    fill: vec![Digest::of(b"f")],
+                },
+            },
+        ] {
+            let back = Reveal::from_wire(&reveal.to_wire()).expect("roundtrip");
+            assert_eq!(back, reveal);
+        }
+    }
+
+    #[test]
+    fn vo_leaf_entry_roundtrips() {
+        let entry = VoLeafEntry {
+            cluster: 42,
+            inv_digest: Digest::of(b"list"),
+            reveal: Reveal::FullCompressed {
+                coords: vec![2.0, 4.0],
+            },
+        };
+        assert_eq!(VoLeafEntry::from_wire(&entry.to_wire()).expect("rt"), entry);
+    }
+
+    #[test]
+    fn vo_node_and_bovw_vo_roundtrip() {
+        let node = VoNode::Internal {
+            dim: 1,
+            value: 0.75,
+            left: Box::new(VoNode::Pruned(Digest::of(b"pruned"))),
+            right: Box::new(sample_leaf()),
+        };
+        assert_eq!(VoNode::from_wire(&node.to_wire()).expect("rt"), node);
+        let vo = BovwVo {
+            trees: vec![node, VoNode::Pruned(Digest::of(b"other"))],
+        };
+        assert_eq!(BovwVo::from_wire(&vo.to_wire()).expect("rt"), vo);
+    }
+
+    #[test]
+    fn decoder_accepts_deep_but_honest_nesting() {
+        let mut node = VoNode::Pruned(Digest::of(b"base"));
+        for d in 0..64 {
+            node = VoNode::Internal {
+                dim: d,
+                value: 0.0,
+                left: Box::new(node),
+                right: Box::new(VoNode::Pruned(Digest::of(b"r"))),
+            };
+        }
+        assert_eq!(VoNode::from_wire(&node.to_wire()).expect("rt"), node);
+    }
+
+    #[test]
+    fn decoder_rejects_unbounded_nesting_without_overflowing() {
+        // A 2-bytes-per-level hostile prefix: TAG_INTERNAL claims another
+        // internal node far past any honest tree depth. The decoder must
+        // return DepthExceeded (or UnexpectedEnd) rather than recurse into
+        // a stack overflow.
+        let mut bytes = Vec::new();
+        for _ in 0..(MAX_VO_DEPTH * 4) {
+            bytes.push(TAG_INTERNAL);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.extend_from_slice(&0f32.to_le_bytes());
+        }
+        assert_eq!(VoNode::from_wire(&bytes), Err(WireError::DepthExceeded));
     }
 }

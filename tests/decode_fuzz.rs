@@ -1,0 +1,334 @@
+//! Adversarial decode fuzzing: every VO / proof `Decode` impl and
+//! `Client::verify` must be *total* over arbitrary byte strings — a hostile
+//! SP controls every response byte, so truncated, bit-flipped, and random
+//! inputs must surface as `Err(WireError)` / `Err(ClientError)`, never as a
+//! panic or abort.
+//!
+//! Three attack modes per type:
+//!   1. **Truncation** — every strict prefix of a valid encoding must `Err`
+//!      (a canonical decoder reads the prefix identically and runs out).
+//!   2. **Bit flips** — single-bit corruptions of a valid encoding must
+//!      decode without panicking (they may legitimately decode `Ok` when the
+//!      flip lands in a payload field; verification catches those).
+//!   3. **Random bytes** — deterministic-PRNG garbage must decode without
+//!      panicking.
+//!
+//! Deterministic `#[test]`s run everywhere (including the offline stub
+//! toolchain); the `proptest!` block at the bottom adds randomized depth on
+//! builders with the real dependency graph.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use imageproof_akm::AkmParams;
+use imageproof_core::{
+    BovwVoVariant, Client, InvVoVariant, Owner, QueryResponse, QueryVo, Scheme, ServiceProvider,
+};
+use imageproof_crypto::wire::{Decode, Encode, WireError};
+use imageproof_invindex::grouped::{Group, GroupedInvVo, GroupedListVo};
+use imageproof_invindex::{InvVo, ListVo};
+use imageproof_mrkd::{BaselineBovwVo, BovwVo, Reveal, VoLeafEntry, VoNode};
+use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Deterministic corruption engine (no external RNG needed).
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+    }
+}
+
+/// Decodes under `catch_unwind`, converting any panic into a test failure
+/// that names the offending type.
+fn decode_total<T: Decode>(name: &str, bytes: &[u8]) -> Result<T, WireError> {
+    catch_unwind(AssertUnwindSafe(|| T::from_wire(bytes)))
+        .unwrap_or_else(|_| panic!("{name}::from_wire PANICKED on {} bytes", bytes.len()))
+}
+
+/// Caps exhaustive sweeps on large encodings: at most ~256 positions,
+/// spread evenly, always including the first and last byte.
+fn stride_for(len: usize) -> usize {
+    (len / 256).max(1)
+}
+
+/// Runs all three attack modes against one type, seeded from a valid value.
+fn fuzz_decode<T: Decode + Encode + PartialEq + std::fmt::Debug>(name: &str, sample: &T) {
+    let wire = sample.to_wire();
+    assert_eq!(
+        &decode_total::<T>(name, &wire).unwrap_or_else(|e| panic!("{name} roundtrip: {e}")),
+        sample,
+        "{name}: roundtrip changed the value"
+    );
+
+    // Mode 1: truncations.
+    let stride = stride_for(wire.len());
+    let mut cut = 0;
+    while cut < wire.len() {
+        assert!(
+            decode_total::<T>(name, &wire[..cut]).is_err(),
+            "{name}: truncation to {cut}/{} bytes decoded Ok",
+            wire.len()
+        );
+        cut += stride;
+    }
+
+    // Mode 2: single-bit flips (must not panic; Ok is allowed).
+    let mut pos = 0;
+    while pos < wire.len() {
+        for bit in 0..8 {
+            let mut m = wire.clone();
+            m[pos] ^= 1 << bit;
+            let _ = decode_total::<T>(name, &m);
+        }
+        pos += stride;
+    }
+
+    // Mode 3: deterministic random garbage, plus garbage-tail splices.
+    let mut rng = XorShift(0x9e37_79b9_7f4a_7c15 ^ wire.len() as u64);
+    for round in 0..128u64 {
+        let len = (rng.next() % 192) as usize;
+        let mut buf = vec![0u8; len];
+        rng.fill(&mut buf);
+        let _ = decode_total::<T>(name, &buf);
+        // Valid prefix + garbage tail: exercises the trailing-byte check.
+        if round % 4 == 0 {
+            let keep = (rng.next() as usize) % (wire.len() + 1);
+            let mut spliced = wire[..keep].to_vec();
+            spliced.extend_from_slice(&buf);
+            let _ = decode_total::<T>(name, &spliced);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: real responses from the full pipeline, one per scheme family.
+
+struct Fixture {
+    client: Client,
+    features: Vec<Vec<f32>>,
+    k: usize,
+    response: QueryResponse,
+}
+
+fn build_fixture(scheme: Scheme) -> Fixture {
+    let corpus = Corpus::generate(&CorpusConfig {
+        kind: DescriptorKind::Surf,
+        n_images: 80,
+        n_latent_words: 60,
+        ..CorpusConfig::small(DescriptorKind::Surf)
+    });
+    let akm = AkmParams {
+        n_clusters: 48,
+        n_trees: 3,
+        max_leaf_size: 2,
+        max_checks: 16,
+        iterations: 2,
+        seed: 7,
+    };
+    let owner = Owner::new(&[9u8; 32]);
+    let (db, published) = owner.build_system(&corpus, &akm, scheme);
+    let sp = ServiceProvider::new(db);
+    let client = Client::new(published);
+    let features = corpus.query_from_image(17, 24, 3);
+    let k = 5;
+    let (response, _) = sp.query(&features, k);
+    client
+        .verify(&features, k, &response)
+        .expect("fixture response must verify before we corrupt it");
+    Fixture {
+        client,
+        features,
+        k,
+        response,
+    }
+}
+
+fn fixtures() -> &'static [(Scheme, Fixture)] {
+    static FIXTURES: OnceLock<Vec<(Scheme, Fixture)>> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        [Scheme::Baseline, Scheme::ImageProof, Scheme::OptimizedBoth]
+            .into_iter()
+            .map(|s| (s, build_fixture(s)))
+            .collect()
+    })
+}
+
+/// Depth-first search for the first disclosed leaf in a VO tree.
+fn find_leaf(node: &VoNode) -> Option<&Vec<VoLeafEntry>> {
+    match node {
+        VoNode::Pruned(_) => None,
+        VoNode::Internal { left, right, .. } => find_leaf(left).or_else(|| find_leaf(right)),
+        VoNode::Leaf { entries } => Some(entries),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic adversarial-decode tests, one per wire type.
+
+#[test]
+fn query_vo_decoding_is_total_for_every_scheme() {
+    for (scheme, fx) in fixtures() {
+        fuzz_decode(&format!("QueryVo[{scheme:?}]"), &fx.response.vo);
+    }
+}
+
+#[test]
+fn bovw_vo_decoding_is_total() {
+    for (scheme, fx) in fixtures() {
+        match &fx.response.vo.bovw {
+            BovwVoVariant::Shared(vo) => {
+                fuzz_decode::<BovwVo>(&format!("BovwVo[{scheme:?}]"), vo);
+                if let Some(tree) = vo.trees.first() {
+                    fuzz_decode(&format!("VoNode[{scheme:?}]"), tree);
+                }
+            }
+            BovwVoVariant::PerQuery(vo) => {
+                fuzz_decode::<BaselineBovwVo>(&format!("BaselineBovwVo[{scheme:?}]"), vo);
+            }
+        }
+    }
+}
+
+#[test]
+fn leaf_entry_and_reveal_decoding_is_total() {
+    let mut checked = 0;
+    for (scheme, fx) in fixtures() {
+        let trees: &[VoNode] = match &fx.response.vo.bovw {
+            BovwVoVariant::Shared(vo) => &vo.trees,
+            BovwVoVariant::PerQuery(vo) => match vo.per_query.first() {
+                Some(b) => &b.trees,
+                None => continue,
+            },
+        };
+        let Some(entries) = trees.iter().find_map(find_leaf) else {
+            continue;
+        };
+        for entry in entries.iter().take(2) {
+            fuzz_decode(&format!("VoLeafEntry[{scheme:?}]"), entry);
+            fuzz_decode::<Reveal>(&format!("Reveal[{scheme:?}]"), &entry.reveal);
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no disclosed leaf found in any fixture VO");
+}
+
+#[test]
+fn inverted_index_vo_decoding_is_total() {
+    let (mut plain, mut grouped) = (0, 0);
+    for (scheme, fx) in fixtures() {
+        match &fx.response.vo.inv {
+            InvVoVariant::Plain(vo) => {
+                fuzz_decode::<InvVo>(&format!("InvVo[{scheme:?}]"), vo);
+                if let Some(list) = vo.lists.first() {
+                    fuzz_decode::<ListVo>(&format!("ListVo[{scheme:?}]"), list);
+                }
+                plain += 1;
+            }
+            InvVoVariant::Grouped(vo) => {
+                fuzz_decode::<GroupedInvVo>(&format!("GroupedInvVo[{scheme:?}]"), vo);
+                if let Some(list) = vo.lists.first() {
+                    fuzz_decode::<GroupedListVo>(&format!("GroupedListVo[{scheme:?}]"), list);
+                    if let Some(group) = list.popped.first() {
+                        fuzz_decode::<Group>(&format!("Group[{scheme:?}]"), group);
+                    }
+                }
+                grouped += 1;
+            }
+        }
+    }
+    assert!(plain > 0, "no plain inverted VO exercised");
+    assert!(grouped > 0, "no grouped inverted VO exercised");
+}
+
+/// End-to-end: bit-flip the serialized VO; whenever the corruption still
+/// *decodes*, the full client verification must reject or accept without
+/// panicking — never crash.
+#[test]
+fn client_verify_never_panics_on_corrupted_vo() {
+    for (scheme, fx) in fixtures() {
+        let wire = fx.response.vo.to_wire();
+        let stride = stride_for(wire.len()).max(3);
+        let mut pos = 0;
+        let mut verified_runs = 0u32;
+        while pos < wire.len() {
+            for bit in [0, 3, 7] {
+                let mut m = wire.clone();
+                m[pos] ^= 1 << bit;
+                let Ok(vo) = decode_total::<QueryVo>("QueryVo", &m) else {
+                    continue;
+                };
+                let response = QueryResponse {
+                    results: fx.response.results.clone(),
+                    vo,
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    fx.client.verify(&fx.features, fx.k, &response).err()
+                }));
+                assert!(
+                    outcome.is_ok(),
+                    "Client::verify PANICKED for {scheme:?} with bit {bit} of byte {pos} flipped"
+                );
+                verified_runs += 1;
+            }
+            pos += stride;
+        }
+        assert!(
+            verified_runs > 0,
+            "{scheme:?}: no flipped VO decoded; corruption sweep too narrow"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized depth on builders with the real proptest crate (the offline
+// stub toolchain compiles this block away).
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_any_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = decode_total::<QueryVo>("QueryVo", &bytes);
+        let _ = decode_total::<BovwVo>("BovwVo", &bytes);
+        let _ = decode_total::<BaselineBovwVo>("BaselineBovwVo", &bytes);
+        let _ = decode_total::<VoNode>("VoNode", &bytes);
+        let _ = decode_total::<VoLeafEntry>("VoLeafEntry", &bytes);
+        let _ = decode_total::<Reveal>("Reveal", &bytes);
+        let _ = decode_total::<InvVo>("InvVo", &bytes);
+        let _ = decode_total::<ListVo>("ListVo", &bytes);
+        let _ = decode_total::<GroupedInvVo>("GroupedInvVo", &bytes);
+        let _ = decode_total::<GroupedListVo>("GroupedListVo", &bytes);
+        let _ = decode_total::<Group>("Group", &bytes);
+    }
+
+    #[test]
+    fn corrupted_tails_of_real_vos_never_panic(
+        scheme_idx in 0usize..3,
+        cut in 0usize..4096,
+        tail in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let (_, fx) = &fixtures()[scheme_idx];
+        let wire = fx.response.vo.to_wire();
+        let keep = cut % (wire.len() + 1);
+        let mut bytes = wire[..keep].to_vec();
+        bytes.extend_from_slice(&tail);
+        let _ = decode_total::<QueryVo>("QueryVo", &bytes);
+    }
+}

@@ -11,7 +11,7 @@ use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk, GroupedI
 use imageproof_invindex::{
     exhaustive_topk, inv_search, verify_topk, BoundsMode, MerkleInvertedIndex, Posting,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Images/frequencies shaped after Table II's lists for clusters 5 and 6
 /// (impacts there are pre-normalized; we drive the same structure through
@@ -67,11 +67,8 @@ fn top2_search_returns_images_1_and_3() {
     assert_eq!(sorted, vec![1, 3]);
 
     // And the client agrees.
-    let digests: HashMap<u32, Digest> = idx
-        .lists()
-        .iter()
-        .map(|l| (l.cluster, l.digest))
-        .collect();
+    let digests: BTreeMap<u32, Digest> =
+        idx.lists().iter().map(|l| (l.cluster, l.digest)).collect();
     verify_topk(&out.vo, &q, &digests, &ids, 2, BoundsMode::CuckooFiltered)
         .expect("the worked example verifies");
 }
@@ -113,7 +110,7 @@ fn frequency_grouping_matches_table_iii_structure() {
     let model = imageproof_akm::ImpactModel::build(8, &encodings);
     let grouped = GroupedInvertedIndex::build(8, &images, &model);
     let list = grouped.list(5);
-    let mut by_freq: HashMap<u32, usize> = HashMap::new();
+    let mut by_freq: BTreeMap<u32, usize> = BTreeMap::new();
     for g in &list.groups {
         *by_freq.entry(g.frequency).or_insert(0) += g.members.len();
     }
@@ -149,7 +146,7 @@ fn grouped_top2_matches_plain_top2() {
     let grouped_ids: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
     assert_eq!(plain_ids, grouped_ids);
 
-    let digests: HashMap<u32, Digest> = grouped
+    let digests: BTreeMap<u32, Digest> = grouped
         .lists()
         .iter()
         .map(|l| (l.cluster, l.digest))
