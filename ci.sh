@@ -16,6 +16,11 @@ cargo test -q --test parallel_equivalence
 cargo test -q -p imageproof-core --test parallel_adversary
 cargo test -q -p imageproof-parallel
 
+echo "== sharded serving: shard-vs-monolith differential + adversary matrix =="
+# Re-runs the sharded suites explicitly, mirroring the parallel gate above.
+cargo test -q --test shard_equivalence
+cargo test -q --test shard_adversary
+
 echo "== audit: self-tests =="
 cargo test -q -p imageproof-audit
 
@@ -29,6 +34,12 @@ echo "== bench smoke: machine-readable query benchmarks =="
 # four schemes and emits BENCH_queries.json (consumed by the README table).
 cargo run -q --release -p imageproof-bench --bin figures -- --fig 15 --quick
 test -s BENCH_queries.json
+
+echo "== bench smoke: shard-count sweep =="
+# Sharded build + fan-out query + verify_sharded across shard counts for all
+# four schemes; emits BENCH_shards.json.
+cargo run -q --release -p imageproof-bench --bin figures -- --fig 16 --quick
+test -s BENCH_shards.json
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== fmt =="

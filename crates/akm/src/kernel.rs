@@ -195,7 +195,6 @@ mod tests {
         #![proptest_config(ProptestConfig {
             cases: 64,
             max_shrink_iters: 0,
-            ..ProptestConfig::default()
         })]
 
         /// Random vectors of random width: the chunked kernel and the

@@ -8,10 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn points_strategy(dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0.0f32..1.0, dim..=dim),
-        2..60,
-    )
+    proptest::collection::vec(proptest::collection::vec(0.0f32..1.0, dim..=dim), 2..60)
 }
 
 proptest! {

@@ -17,6 +17,7 @@ const ALLOWED: &[&str] = &[
     "parking_lot",
     "bytes",
     "serde",
+    "serde_derive",
 ];
 
 fn allowed(name: &str) -> bool {

@@ -36,6 +36,7 @@ const PANIC_FILES: &[&str] = &[
     "crates/invindex/src/verify.rs",
     "crates/mrkd/src/verify.rs",
     "crates/core/src/client.rs",
+    "crates/core/src/shard.rs",
 ];
 
 /// Path prefixes exempt from the determinism rule: measurement harnesses

@@ -30,11 +30,9 @@ fn tree_count_ablation(c: &mut Criterion) {
             .iter()
             .map(|f| db.codebook.assign_with_threshold(f).1)
             .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_trees),
-            &n_trees,
-            |b, _| b.iter(|| mrkd_search(&db.mrkd, query, &thresholds).vo.trees.len()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, _| {
+            b.iter(|| mrkd_search(&db.mrkd, query, &thresholds).vo.trees.len())
+        });
     }
     group.finish();
 }
@@ -109,5 +107,10 @@ fn batching_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, tree_count_ablation, max_checks_ablation, batching_ablation);
+criterion_group!(
+    benches,
+    tree_count_ablation,
+    max_checks_ablation,
+    batching_ablation
+);
 criterion_main!(benches);

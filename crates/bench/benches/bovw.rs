@@ -89,7 +89,13 @@ fn bovw_codebook(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("ImageProof", codebook_size),
             &codebook_size,
-            |b, _| b.iter(|| mrkd_search(&db.mrkd, query, &thresholds).stats.nodes_traversed),
+            |b, _| {
+                b.iter(|| {
+                    mrkd_search(&db.mrkd, query, &thresholds)
+                        .stats
+                        .nodes_traversed
+                })
+            },
         );
     }
     group.finish();

@@ -1,5 +1,6 @@
 //! Regenerates every figure of the paper's evaluation (§VII, Figs. 6–14),
-//! plus a thread-count sweep (Fig. 15) for the parallel execution layer.
+//! plus a thread-count sweep (Fig. 15) for the parallel execution layer and
+//! a shard-count sweep (Fig. 16) for sharded SP serving.
 //!
 //! ```sh
 //! cargo run -p imageproof-bench --release --bin figures            # all figures
@@ -495,6 +496,139 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
     }
 }
 
+/// One `(scheme, shards)` cell of the shard sweep, as written to
+/// `BENCH_shards.json`.
+struct ShardRecord {
+    scheme: &'static str,
+    shards: usize,
+    build_seconds: f64,
+    sp_ms_per_query: f64,
+    merge_ms_per_query: f64,
+    vo_bytes: f64,
+    client_verify_ms: f64,
+    bound_queries_per_query: f64,
+}
+
+impl ShardRecord {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"scheme\": \"{}\", \"shards\": {}, \"build_s\": {:.6}, \
+             \"sp_ms_per_query\": {:.6}, \"merge_ms_per_query\": {:.6}, \
+             \"vo_bytes\": {:.1}, \"client_verify_ms\": {:.6}, \
+             \"bound_queries_per_query\": {:.3}}}",
+            self.scheme,
+            self.shards,
+            self.build_seconds,
+            self.sp_ms_per_query,
+            self.merge_ms_per_query,
+            self.vo_bytes,
+            self.client_verify_ms,
+            self.bound_queries_per_query,
+        )
+    }
+}
+
+/// Shard-count sweep for sharded SP serving (not a paper figure): owner-side
+/// sharded build seconds, SP-side fan-out query CPU (including the top-k
+/// merge), VO bytes, and client `verify_sharded` CPU for every scheme at
+/// 1/2/4/8 shards. The sharded top-k is bit-equal to the monolith's for
+/// every cell (see the `shard_equivalence` suite), so only wall-clock and
+/// VO size move: VO bytes grow with the per-excluded-shard bound proofs,
+/// and shards=1 is the monolith ADS behind the sharded wire format. The
+/// machine-readable results land in `BENCH_shards.json` next to the
+/// working directory.
+fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
+    let fixture = cache.get(&scale.base_surf);
+    let shard_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    println!(
+        "\n== Fig. 16: shard-count sweep (sharded build + fan-out query + verify_sharded) ==\n\
+         (expected: near-flat build seconds — the same postings are built,\n\
+          just partitioned — VO bytes growing with the excluded-shard bound\n\
+          proofs, and verify cost tracking the contributing sub-VOs)\n"
+    );
+    let mut t = Table::new([
+        "scheme",
+        "shards",
+        "build_s",
+        "sp_ms",
+        "merge_ms",
+        "vo_KiB",
+        "client_ms",
+        "bound_q",
+    ]);
+    let queries = fixture.queries(scale.n_queries, scale.default_features);
+    let k = scale.default_k;
+    let mut records: Vec<ShardRecord> = Vec::new();
+    for scheme in Scheme::ALL {
+        for &shards in shard_counts {
+            let (sp, client, manifest, build_seconds) =
+                fixture.build_sharded_system_timed(scheme, shards);
+            let mut vo_bytes = 0.0f64;
+            let mut client_seconds = 0.0f64;
+            let mut merge_seconds = 0.0f64;
+            let mut bound_queries = 0usize;
+            let t0 = std::time::Instant::now();
+            let responses: Vec<_> = queries
+                .iter()
+                .map(|features| sp.query(features, k))
+                .collect();
+            let query_seconds = t0.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+            for (features, (response, stats)) in queries.iter().zip(&responses) {
+                vo_bytes += response.vo.wire_size() as f64;
+                merge_seconds += stats.merge_seconds;
+                bound_queries += stats.bound_queries;
+                let t1 = std::time::Instant::now();
+                client
+                    .verify_sharded(features, k, response, &manifest)
+                    .expect("honest sharded response verifies");
+                client_seconds += t1.elapsed().as_secs_f64();
+            }
+            let n = queries.len().max(1) as f64;
+            vo_bytes /= n;
+            client_seconds /= n;
+            merge_seconds /= n;
+            let record = ShardRecord {
+                scheme: scheme.label(),
+                shards,
+                build_seconds,
+                sp_ms_per_query: query_seconds * 1e3,
+                merge_ms_per_query: merge_seconds * 1e3,
+                vo_bytes,
+                client_verify_ms: client_seconds * 1e3,
+                bound_queries_per_query: bound_queries as f64 / n,
+            };
+            t.row([
+                scheme.label().to_string(),
+                shards.to_string(),
+                format!("{build_seconds:.2}"),
+                ms(query_seconds),
+                ms(merge_seconds),
+                kib(vo_bytes),
+                ms(client_seconds),
+                format!("{:.1}", record.bound_queries_per_query),
+            ]);
+            records.push(record);
+        }
+    }
+    println!("{}", t.render());
+
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"n_queries\": {},\n  \"k\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        queries.len(),
+        k,
+        records
+            .iter()
+            .map(ShardRecord::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    match std::fs::write("BENCH_shards.json", &json) {
+        Ok(()) => println!("wrote BENCH_shards.json ({} records)", records.len()),
+        Err(e) => eprintln!("could not write BENCH_shards.json: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figs: Vec<u32> = Vec::new();
@@ -517,7 +651,7 @@ fn main() {
         i += 1;
     }
     if figs.is_empty() {
-        figs = (6..=15).collect();
+        figs = (6..=16).collect();
     }
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let mut cache = FixtureCache::new();
@@ -539,9 +673,11 @@ fn main() {
             13 => fig13(&mut cache, &scale),
             14 => fig14(&mut cache, &scale),
             15 => fig15(&mut cache, &scale, quick),
+            16 => fig16(&mut cache, &scale, quick),
             other => {
                 eprintln!(
-                    "unknown figure {other}; Figs. 6-14 are the paper's, 15 is the thread sweep"
+                    "unknown figure {other}; Figs. 6-14 are the paper's, 15 is the \
+                     thread sweep, 16 is the shard sweep"
                 );
                 std::process::exit(2);
             }

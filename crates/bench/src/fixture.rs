@@ -2,7 +2,9 @@
 //! and shared across measurements.
 
 use imageproof_akm::{AkmParams, Codebook, SparseBovw};
-use imageproof_core::{Client, Concurrency, Owner, Scheme, ServiceProvider, SystemConfig};
+use imageproof_core::{
+    Client, Concurrency, Owner, Scheme, ServiceProvider, ShardManifest, ShardedSp, SystemConfig,
+};
 use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind, ImageId};
 use std::collections::HashMap;
 
@@ -159,6 +161,34 @@ impl Fixture {
         );
         let seconds = t.elapsed().as_secs_f64();
         (ServiceProvider::new(db), Client::new(published), seconds)
+    }
+
+    /// Uncached, timed sharded ADS construction (the shard-count axis of
+    /// the shard sweep figure). Partitions the corpus by `shard_of`, builds
+    /// every per-shard ADS under one shared codebook and impact model, and
+    /// signs the shard manifest. Returns the sharded SP, a client holding
+    /// the published parameters, the manifest, and the wall-clock build
+    /// seconds.
+    pub fn build_sharded_system_timed(
+        &self,
+        scheme: Scheme,
+        shard_count: usize,
+    ) -> (ShardedSp, Client, ShardManifest, f64) {
+        let t = std::time::Instant::now();
+        let system = self.owner.build_sharded_system_prepared_config(
+            &self.corpus,
+            self.codebook.clone(),
+            self.encodings.clone(),
+            SystemConfig::new(scheme),
+            shard_count,
+        );
+        let seconds = t.elapsed().as_secs_f64();
+        (
+            ShardedSp::new(system.shards),
+            Client::new(system.published),
+            system.manifest,
+            seconds,
+        )
     }
 
     /// Deterministic query workloads: `n_queries` feature sets of

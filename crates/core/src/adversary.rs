@@ -17,10 +17,7 @@ use imageproof_mrkd::{Reveal, VoNode};
 
 /// Case 3: replace the first result's raw bytes (keeping its signature).
 pub fn tamper_image_data(response: &mut QueryResponse) {
-    let first = response
-        .results
-        .first_mut()
-        .expect("response has results");
+    let first = response.results.first_mut().expect("response has results");
     first.data[0] ^= 0xFF;
 }
 

@@ -5,11 +5,17 @@
 //! verified assignments; (iii) verify the inverted-index termination
 //! conditions against the authenticated list digests; (iv) verify each
 //! returned image's signature over its raw bytes.
+//!
+//! Steps (i)–(iii) are shared with sharded verification (`shard.rs`),
+//! which runs them once per sub-VO against a manifest-committed root
+//! instead of the owner's root signature.
 
 use crate::owner::{image_signing_message, root_signing_message, PublishedParams};
-use crate::scheme::{BovwVoVariant, InvVoVariant};
+use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo};
+use crate::shard::{RootExpectation, SubVerify};
 use crate::sp::QueryResponse;
 use imageproof_akm::SparseBovw;
+use imageproof_crypto::Signature;
 use imageproof_invindex::grouped::verify_grouped_topk;
 use imageproof_invindex::{verify_topk, BoundsMode, InvVerifyError};
 use imageproof_mrkd::{verify_bovw, verify_bovw_baseline, VerifyError as BovwError};
@@ -21,7 +27,8 @@ use std::time::Instant;
 pub enum ClientError {
     /// The BoVW-step VO failed verification.
     Bovw(BovwError),
-    /// The reconstructed root does not match the owner's signature.
+    /// The reconstructed root does not match the owner's signature (or, for
+    /// a shard, the manifest-committed root).
     RootSignatureInvalid,
     /// The VO variants do not match the published scheme.
     SchemeMismatch,
@@ -89,12 +96,115 @@ impl ClientStats {
 
 /// The verifying client.
 pub struct Client {
-    params: PublishedParams,
+    pub(crate) params: PublishedParams,
 }
 
 impl Client {
     pub fn new(params: PublishedParams) -> Client {
         Client { params }
+    }
+
+    /// Steps (i)–(iii) for one VO: verify the BoVW encoding, check the
+    /// reconstructed MRKD root against `root`, check the result shape, and
+    /// verify the inverted-index termination conditions for `claimed`.
+    ///
+    /// The monolith path calls this once per response with
+    /// [`RootExpectation::OwnerSignature`]; the sharded path calls it once
+    /// per sub-VO with the shard's manifest-committed root.
+    pub(crate) fn verify_query_vo(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        vo: &QueryVo,
+        claimed: &[ImageId],
+        root: RootExpectation<'_>,
+    ) -> Result<SubVerify, ClientError> {
+        let scheme = self.params.scheme;
+
+        // (i) + (ii): BoVW encoding.
+        let t0 = Instant::now();
+        let verified_bovw = match (&vo.bovw, scheme.shares_nodes()) {
+            (BovwVoVariant::Shared(v), true) => verify_bovw(v, features, scheme.candidate_mode())?,
+            (BovwVoVariant::PerQuery(v), false) => verify_bovw_baseline(v, features)?,
+            _ => return Err(ClientError::SchemeMismatch),
+        };
+        match root {
+            RootExpectation::OwnerSignature => {
+                if !self.params.public_key.verify(
+                    &root_signing_message(&verified_bovw.combined_root),
+                    &self.params.root_signature,
+                ) {
+                    return Err(ClientError::RootSignatureInvalid);
+                }
+            }
+            RootExpectation::Committed(expected) => {
+                if verified_bovw.combined_root != *expected {
+                    return Err(ClientError::RootSignatureInvalid);
+                }
+            }
+        }
+        let query_bovw = SparseBovw::from_counts(verified_bovw.assignments.iter().map(|&c| (c, 1)));
+        let bovw_seconds = t0.elapsed().as_secs_f64();
+
+        // (iii): inverted-index search.
+        let t1 = Instant::now();
+        if claimed.len() != vo.signatures.len() {
+            return Err(ClientError::ResultShapeMismatch);
+        }
+        let digests = &verified_bovw.inv_digests;
+        let verified_topk = match (&vo.inv, scheme.grouped_index()) {
+            (InvVoVariant::Plain(v), false) => {
+                let mode = if scheme.uses_filters() {
+                    BoundsMode::CuckooFiltered
+                } else {
+                    BoundsMode::MaxBound
+                };
+                verify_topk(v, &query_bovw, digests, claimed, k, mode)?
+            }
+            (InvVoVariant::Grouped(v), true) => {
+                verify_grouped_topk(v, &query_bovw, digests, claimed, k)?
+            }
+            _ => return Err(ClientError::SchemeMismatch),
+        };
+        let inv_seconds = t1.elapsed().as_secs_f64();
+
+        Ok(SubVerify {
+            topk: verified_topk.topk,
+            assignments: verified_bovw.assignments,
+            bovw_seconds,
+            inv_seconds,
+        })
+    }
+
+    /// Step (iv): verifies the winners' signatures over their raw payloads
+    /// — batch-verified (one shared doubling chain); on failure, falls back
+    /// to individual checks to name the forged image.
+    pub(crate) fn check_image_signatures(
+        &self,
+        items: &[(ImageId, &[u8], Signature)],
+    ) -> Result<(), ClientError> {
+        let messages: Vec<[u8; 32]> = items
+            .iter()
+            .map(|&(id, data, _)| image_signing_message(id, data))
+            .collect();
+        let batch: Vec<(&[u8], imageproof_crypto::PublicKey, Signature)> = messages
+            .iter()
+            .zip(items)
+            .map(|(m, &(_, _, s))| (m.as_slice(), self.params.public_key, s))
+            .collect();
+        if imageproof_crypto::verify_batch(&batch) {
+            return Ok(());
+        }
+        for (&(id, _, s), msg) in items.iter().zip(&messages) {
+            if !self.params.public_key.verify(msg, &s) {
+                return Err(ClientError::ImageSignatureInvalid { id });
+            }
+        }
+        // The batch equation failed but every member verifies — can only
+        // happen with astronomically small probability or a bug.
+        Err(ClientError::ImageSignatureInvalid {
+            id: items.first().map(|&(id, _, _)| id).unwrap_or(0),
+        })
     }
 
     /// Verifies a response to `query(features, k)` end to end (§V-C).
@@ -104,90 +214,34 @@ impl Client {
         k: usize,
         response: &QueryResponse,
     ) -> Result<VerifiedResult, ClientError> {
-        let scheme = self.params.scheme;
-        let mut stats = ClientStats::default();
+        let claimed: Vec<ImageId> = response.results.iter().map(|r| r.id).collect();
+        let sub = self.verify_query_vo(
+            features,
+            k,
+            &response.vo,
+            &claimed,
+            RootExpectation::OwnerSignature,
+        )?;
 
-        // (i) + (ii): BoVW encoding.
-        let t0 = Instant::now();
-        let verified_bovw = match (&response.vo.bovw, scheme.shares_nodes()) {
-            (BovwVoVariant::Shared(vo), true) => {
-                verify_bovw(vo, features, scheme.candidate_mode())?
-            }
-            (BovwVoVariant::PerQuery(vo), false) => verify_bovw_baseline(vo, features)?,
-            _ => return Err(ClientError::SchemeMismatch),
-        };
-        if !self.params.public_key.verify(
-            &root_signing_message(&verified_bovw.combined_root),
-            &self.params.root_signature,
-        ) {
-            return Err(ClientError::RootSignatureInvalid);
-        }
-        let query_bovw = SparseBovw::from_counts(verified_bovw.assignments.iter().map(|&c| (c, 1)));
-        stats.bovw_seconds = t0.elapsed().as_secs_f64();
-
-        // (iii): inverted-index search.
-        let t1 = Instant::now();
-        if response.results.len() != response.vo.signatures.len() {
-            return Err(ClientError::ResultShapeMismatch);
-        }
-        let claimed: Vec<u64> = response.results.iter().map(|r| r.id).collect();
-        let digests = &verified_bovw.inv_digests;
-        let verified_topk = match (&response.vo.inv, scheme.grouped_index()) {
-            (InvVoVariant::Plain(vo), false) => {
-                let mode = if scheme.uses_filters() {
-                    BoundsMode::CuckooFiltered
-                } else {
-                    BoundsMode::MaxBound
-                };
-                verify_topk(vo, &query_bovw, digests, &claimed, k, mode)?
-            }
-            (InvVoVariant::Grouped(vo), true) => {
-                verify_grouped_topk(vo, &query_bovw, digests, &claimed, k)?
-            }
-            _ => return Err(ClientError::SchemeMismatch),
-        };
-        stats.inv_seconds = t1.elapsed().as_secs_f64();
-
-        // (iv): image signatures — batch-verified (one shared doubling
-        // chain); on failure, fall back to individual checks to name the
-        // forged image.
+        // (iv): image signatures.
         let t2 = Instant::now();
-        let messages: Vec<[u8; 32]> = response
+        let items: Vec<(ImageId, &[u8], Signature)> = response
             .results
             .iter()
-            .map(|r| image_signing_message(r.id, &r.data))
-            .collect();
-        let batch: Vec<(
-            &[u8],
-            imageproof_crypto::PublicKey,
-            imageproof_crypto::Signature,
-        )> = messages
-            .iter()
             .zip(&response.vo.signatures)
-            .map(|(m, s)| (m.as_slice(), self.params.public_key, *s))
+            .map(|(r, &s)| (r.id, r.data.as_slice(), s))
             .collect();
-        if !imageproof_crypto::verify_batch(&batch) {
-            for (result, (msg, signature)) in response
-                .results
-                .iter()
-                .zip(messages.iter().zip(&response.vo.signatures))
-            {
-                if !self.params.public_key.verify(msg, signature) {
-                    return Err(ClientError::ImageSignatureInvalid { id: result.id });
-                }
-            }
-            // The batch equation failed but every member verifies — can
-            // only happen with astronomically small probability or a bug.
-            return Err(ClientError::ImageSignatureInvalid {
-                id: response.results.first().map(|r| r.id).unwrap_or(0),
-            });
-        }
-        stats.signature_seconds = t2.elapsed().as_secs_f64();
+        self.check_image_signatures(&items)?;
+        let signature_seconds = t2.elapsed().as_secs_f64();
 
         Ok(VerifiedResult {
-            topk: verified_topk.topk,
-            assignments: verified_bovw.assignments,
-            stats,
+            topk: sub.topk,
+            assignments: sub.assignments,
+            stats: ClientStats {
+                bovw_seconds: sub.bovw_seconds,
+                inv_seconds: sub.inv_seconds,
+                signature_seconds,
+            },
         })
     }
 }

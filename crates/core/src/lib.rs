@@ -36,14 +36,20 @@ pub mod adversary;
 pub mod client;
 pub mod owner;
 pub mod scheme;
+pub mod shard;
 pub mod sp;
 pub mod update;
 
 pub use client::{Client, ClientError, ClientStats, VerifiedResult};
 pub use imageproof_parallel::Concurrency;
-pub use owner::{Database, IndexVariant, Owner, PublishedParams, StoredImage};
+pub use owner::{Database, IndexVariant, Owner, PublishedParams, ShardedSystem, StoredImage};
 pub use scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme, SystemConfig};
-pub use sp::{ImageResult, QueryResponse, ServiceProvider, SpStats};
+pub use shard::{
+    manifest_leaf_digest, manifest_root, manifest_signing_message, shard_of, RootExpectation,
+    ShardManifest, ShardVo, ShardedError, ShardedResponse, ShardedVerifiedResult, ShardedVo,
+    SubVerify,
+};
+pub use sp::{ImageResult, QueryResponse, ServiceProvider, ShardedSp, ShardedSpStats, SpStats};
 pub use update::UpdateError;
 
 #[cfg(test)]
@@ -216,8 +222,7 @@ mod tests {
         let corpus = Corpus::generate(&CorpusConfig::small(DescriptorKind::Surf));
         let owner = Owner::new(&[9u8; 32]);
         let impostor = Owner::new(&[10u8; 32]);
-        let (db, mut published) =
-            owner.build_system(&corpus, &small_akm(64), Scheme::ImageProof);
+        let (db, mut published) = owner.build_system(&corpus, &small_akm(64), Scheme::ImageProof);
         published.public_key = impostor.public_key();
         let sp = ServiceProvider::new(db);
         let client = Client::new(published);

@@ -1,13 +1,14 @@
 //! The image owner: ADS generation and signing (paper §V-A).
 
 use crate::scheme::{Scheme, SystemConfig};
+use crate::shard::{manifest_root, manifest_signing_message, shard_of, ShardManifest};
 use imageproof_akm::{AkmParams, Codebook, ImpactModel, SparseBovw};
 use imageproof_crypto::{Digest, PublicKey, Signature, SigningKey};
 use imageproof_invindex::grouped::GroupedInvertedIndex;
 use imageproof_invindex::MerkleInvertedIndex;
 use imageproof_mrkd::MrkdForest;
-use imageproof_parallel::{par_map, par_map_chunked};
-use imageproof_vision::{Corpus, ImageId};
+use imageproof_parallel::{par_map, par_map_chunked, Concurrency};
+use imageproof_vision::{Corpus, ImageId, SyntheticImage};
 use std::collections::BTreeMap;
 
 /// Everything the owner publishes to clients.
@@ -84,6 +85,16 @@ impl Database {
     pub fn clear_hot_path_caches(&mut self) {
         self.inv.clear_filter_caches();
     }
+}
+
+/// One sharded deployment: the per-shard databases (outsourced to the SP)
+/// plus the signed manifest and published parameters (given to clients).
+#[derive(Clone, Debug)]
+pub struct ShardedSystem {
+    /// `shards[i]` holds exactly the images with `shard_of(id, S) == i`.
+    pub shards: Vec<Database>,
+    pub manifest: ShardManifest,
+    pub published: PublishedParams,
 }
 
 /// The message an image signature covers: `h(I | h(img_I))` (Eq. 15).
@@ -213,21 +224,50 @@ impl Owner {
         } = config;
         let plain_encodings: Vec<SparseBovw> = encodings.iter().map(|(_, b)| b.clone()).collect();
         let model = ImpactModel::build(codebook.len(), &plain_encodings);
+        let n_trees = codebook.forest.trees().len();
+        let images: Vec<&SyntheticImage> = corpus.images.iter().collect();
+        let db = self.build_ads(scheme, codebook, encodings, &model, &images, concurrency);
+        let root_signature = self
+            .signing_key
+            .sign(&root_signing_message(&db.mrkd.combined_root_digest()));
+        let published = PublishedParams {
+            scheme,
+            public_key: self.public_key(),
+            root_signature,
+            n_trees,
+        };
+        (db, published)
+    }
 
+    /// Steps 3–5 of the build for one ADS set — the whole corpus for a
+    /// monolith, one partition for a shard: the inverted index, the MRKD
+    /// forest over its list digests, and the per-image signatures. The
+    /// impact model is passed in because sharded builds must share the
+    /// owner's *global* model, or per-shard scores would diverge from the
+    /// monolith's.
+    fn build_ads(
+        &self,
+        scheme: Scheme,
+        codebook: Codebook,
+        encodings: Vec<(ImageId, SparseBovw)>,
+        model: &ImpactModel,
+        images: &[&SyntheticImage],
+        concurrency: Concurrency,
+    ) -> Database {
         // 3. The inverted index (plain or grouped); per-cluster posting
         // lists, cuckoo filters, and digest chains build in parallel.
         let inv = if scheme.grouped_index() {
             IndexVariant::Grouped(GroupedInvertedIndex::build_with(
                 codebook.len(),
                 &encodings,
-                &model,
+                model,
                 concurrency,
             ))
         } else {
             IndexVariant::Plain(MerkleInvertedIndex::build_with(
                 codebook.len(),
                 &encodings,
-                &model,
+                model,
                 concurrency,
             ))
         };
@@ -241,13 +281,11 @@ impl Owner {
             concurrency,
         );
 
-        // 5. Signatures. Ed25519 signing is deterministic (RFC 8032), so
-        // per-image signatures fan out without affecting the bytes.
-        let root_signature = self
-            .signing_key
-            .sign(&root_signing_message(&mrkd.combined_root_digest()));
-        let images: BTreeMap<ImageId, StoredImage> =
-            par_map_chunked(concurrency, &corpus.images, 16, |_, img| {
+        // 5. Image signatures. Ed25519 signing is deterministic (RFC
+        // 8032), so per-image signatures fan out without affecting the
+        // bytes.
+        let stored: BTreeMap<ImageId, StoredImage> =
+            par_map_chunked(concurrency, images, 16, |_, img| {
                 let signature = self
                     .signing_key
                     .sign(&image_signing_message(img.id, &img.data));
@@ -262,21 +300,125 @@ impl Owner {
             .into_iter()
             .collect();
 
-        let published = PublishedParams {
-            scheme,
-            public_key: self.public_key(),
-            root_signature,
-            n_trees: codebook.forest.trees().len(),
-        };
-        let db = Database {
+        Database {
             scheme,
             codebook,
             mrkd,
             inv,
-            images,
+            images: stored,
             encodings,
+        }
+    }
+
+    /// Sharded setup: partitions the corpus with [`shard_of`], builds a
+    /// full ADS set per shard — sharing one codebook and one *global*
+    /// impact model, so per-shard scores are bit-identical to the monolith
+    /// — and signs one manifest committing every shard root.
+    pub fn build_sharded_system(
+        &self,
+        corpus: &Corpus,
+        akm: &AkmParams,
+        scheme: Scheme,
+        shard_count: usize,
+    ) -> ShardedSystem {
+        self.build_sharded_system_config(corpus, akm, SystemConfig::new(scheme), shard_count)
+    }
+
+    /// [`Owner::build_sharded_system`] under an explicit [`SystemConfig`].
+    pub fn build_sharded_system_config(
+        &self,
+        corpus: &Corpus,
+        akm: &AkmParams,
+        config: SystemConfig,
+        shard_count: usize,
+    ) -> ShardedSystem {
+        let codebook = Codebook::train(corpus.config.kind, corpus.all_features(), akm);
+        let encodings: Vec<(ImageId, SparseBovw)> =
+            par_map(config.concurrency, &corpus.images, |_, img| {
+                (
+                    img.id,
+                    SparseBovw::encode(&codebook, img.features.iter().map(Vec::as_slice)),
+                )
+            });
+        self.build_sharded_system_prepared_config(corpus, codebook, encodings, config, shard_count)
+    }
+
+    /// Sharded setup from a pre-trained codebook and pre-computed
+    /// encodings (amortizes the expensive steps across schemes and shard
+    /// counts, exactly like the monolith `_prepared` path).
+    pub fn build_sharded_system_prepared_config(
+        &self,
+        corpus: &Corpus,
+        codebook: Codebook,
+        encodings: Vec<(ImageId, SparseBovw)>,
+        config: SystemConfig,
+        shard_count: usize,
+    ) -> ShardedSystem {
+        assert!(
+            shard_count > 0,
+            "a sharded deployment needs at least one shard"
+        );
+        let SystemConfig {
+            scheme,
+            concurrency,
+        } = config;
+        let plain_encodings: Vec<SparseBovw> = encodings.iter().map(|(_, b)| b.clone()).collect();
+        // One *global* impact model over the whole corpus: list weights
+        // must not depend on the partition, or scores would not be
+        // comparable across shards (and would diverge from the monolith).
+        let model = ImpactModel::build(codebook.len(), &plain_encodings);
+        let n_trees = codebook.forest.trees().len();
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut roots = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let shard_encodings: Vec<(ImageId, SparseBovw)> = encodings
+                .iter()
+                .filter(|(id, _)| shard_of(*id, shard_count) == shard)
+                .cloned()
+                .collect();
+            let shard_images: Vec<&SyntheticImage> = corpus
+                .images
+                .iter()
+                .filter(|img| shard_of(img.id, shard_count) == shard)
+                .collect();
+            let db = self.build_ads(
+                scheme,
+                codebook.clone(),
+                shard_encodings,
+                &model,
+                &shard_images,
+                concurrency,
+            );
+            roots.push(db.mrkd.combined_root_digest());
+            shards.push(db);
+        }
+        let manifest = self.sign_manifest(roots);
+        let published = PublishedParams {
+            scheme,
+            public_key: self.public_key(),
+            // For a sharded deployment the manifest signature *is* the
+            // root commitment; clients check sub-VO roots against the
+            // manifest, never against `root_signature` directly.
+            root_signature: manifest.signature,
+            n_trees,
         };
-        (db, published)
+        ShardedSystem {
+            shards,
+            manifest,
+            published,
+        }
+    }
+
+    /// Signs a manifest committing the given per-shard root digests.
+    pub fn sign_manifest(&self, shard_roots: Vec<Digest>) -> ShardManifest {
+        let root = manifest_root(&shard_roots).expect("a manifest needs at least one shard root");
+        let signature = self
+            .signing_key
+            .sign(&manifest_signing_message(&root, shard_roots.len() as u32));
+        ShardManifest {
+            shard_roots,
+            signature,
+        }
     }
 }
 

@@ -3,10 +3,10 @@
 
 use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
 use imageproof_crypto::Signature;
-use imageproof_parallel::Concurrency;
 use imageproof_invindex::grouped::GroupedInvVo;
 use imageproof_invindex::InvVo;
 use imageproof_mrkd::{BaselineBovwVo, BovwVo, CandidateMode};
+use imageproof_parallel::Concurrency;
 
 /// The four authentication schemes of §VII.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -165,9 +165,7 @@ impl Decode for QueryVo {
         let mut signatures = Vec::with_capacity(n);
         for _ in 0..n {
             let bytes = r.bytes()?;
-            let arr: [u8; 64] = bytes
-                .try_into()
-                .map_err(|_| WireError::InvalidTag(0xFF))?;
+            let arr: [u8; 64] = bytes.try_into().map_err(|_| WireError::InvalidTag(0xFF))?;
             signatures.push(Signature::from_bytes(arr));
         }
         Ok(QueryVo {

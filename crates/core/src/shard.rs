@@ -1,0 +1,689 @@
+//! Sharded serving: the owner partitions the corpus across independent
+//! per-shard ADS sets, commits every shard root in one signed manifest,
+//! and the client verifies a cross-shard top-k merge — the §VI bound
+//! machinery lifted from "remaining postings" to "remaining shards".
+//!
+//! Trust model: the SP controls *all* shards, so nothing here assumes
+//! honest placement or honest merging. Soundness rests on three facts:
+//!
+//! 1. Every per-shard sub-VO is a complete monolith-style VO verified
+//!    against that shard's root, which the signed [`ShardManifest`]
+//!    commits to (a Merkle tree over `h(shard_id ‖ root)` leaves, one
+//!    signature for the whole deployment).
+//! 2. A *contributing* shard proves its full local top-k, so any image
+//!    the SP hid in that shard scores no higher than the shard's k-th
+//!    result, which itself lost (or tied into) the global merge.
+//! 3. Every *excluded* shard ships a k=1 bound proof of its true best
+//!    candidate; the client checks that candidate loses the global merge
+//!    order `(score desc, id asc)` against the k-th winner, so the rest
+//!    of the shard — provably no better — cannot displace any winner.
+//!
+//! Scores are shard-invariant: list weights come from the owner's global
+//! impact model and an image's postings live only in its own shard, so a
+//! shard computes bit-identical scores to the monolith and the merged
+//! top-k equals the monolith top-k exactly, ties included (proven by the
+//! `shard_equivalence` suite).
+
+use crate::client::{Client, ClientError};
+use crate::owner::image_signing_message;
+use crate::scheme::QueryVo;
+use crate::sp::ImageResult;
+use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
+use imageproof_crypto::{Digest, MerkleTree, PublicKey, Signature};
+use imageproof_vision::ImageId;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The protocol's deterministic partition function: image `id` lives in
+/// shard `id mod shard_count`. Fixed protocol-wide so the client can check
+/// result placement without any extra proof material.
+pub fn shard_of(id: ImageId, shard_count: usize) -> usize {
+    if shard_count == 0 {
+        0
+    } else {
+        (id % shard_count as u64) as usize
+    }
+}
+
+/// Manifest leaf: `h("IPSHLEAF" ‖ shard_id ‖ root)` — binds each root to
+/// its position, so a shard's sub-VO can never be replayed under another
+/// shard id.
+pub fn manifest_leaf_digest(shard_id: u32, root: &Digest) -> Digest {
+    Digest::builder()
+        .bytes(b"IPSHLEAF")
+        .u32(shard_id)
+        .digest(root)
+        .finish()
+}
+
+/// Merkle root over the per-shard leaf digests; `None` for zero shards (an
+/// empty deployment commits to nothing and can never verify).
+pub fn manifest_root(shard_roots: &[Digest]) -> Option<Digest> {
+    if shard_roots.is_empty() {
+        return None;
+    }
+    let leaves: Vec<Digest> = shard_roots
+        .iter()
+        .enumerate()
+        .map(|(i, r)| manifest_leaf_digest(i as u32, r))
+        .collect();
+    Some(MerkleTree::from_leaf_digests(leaves).root())
+}
+
+/// The message the manifest signature covers: a domain tag (distinct from
+/// the monolith's `IPROOF.1` root messages and from image messages), the
+/// manifest Merkle root, and the shard count — so a manifest signed for a
+/// smaller deployment can never be replayed against a larger one.
+pub fn manifest_signing_message(root: &Digest, shard_count: u32) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(44);
+    msg.extend_from_slice(b"IPROOF.2");
+    msg.extend_from_slice(&root.0);
+    msg.extend_from_slice(&shard_count.to_le_bytes());
+    msg
+}
+
+/// The owner's signed commitment to one sharded deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardManifest {
+    /// Combined MRKD root digest of each shard, indexed by shard id.
+    pub shard_roots: Vec<Digest>,
+    /// Signature over [`manifest_signing_message`].
+    pub signature: Signature,
+}
+
+impl ShardManifest {
+    pub fn shard_count(&self) -> usize {
+        self.shard_roots.len()
+    }
+
+    /// The committed root of one shard.
+    pub fn root_of(&self, shard_id: u32) -> Option<&Digest> {
+        self.shard_roots.get(shard_id as usize)
+    }
+
+    /// Recomputes the manifest root and checks the owner's signature.
+    pub fn verify(&self, public_key: &PublicKey) -> bool {
+        match manifest_root(&self.shard_roots) {
+            Some(root) => {
+                let msg = manifest_signing_message(&root, self.shard_roots.len() as u32);
+                public_key.verify(&msg, &self.signature)
+            }
+            None => false,
+        }
+    }
+}
+
+fn decode_signature(r: &mut Reader<'_>) -> Result<Signature, WireError> {
+    let bytes = r.bytes()?;
+    let arr: [u8; 64] = bytes.try_into().map_err(|_| WireError::InvalidTag(0xFF))?;
+    Ok(Signature::from_bytes(arr))
+}
+
+impl Encode for ShardManifest {
+    fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.shard_roots.len());
+        for root in &self.shard_roots {
+            w.digest(root);
+        }
+        w.bytes(&self.signature.0);
+    }
+}
+
+impl Decode for ShardManifest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len()?;
+        let mut shard_roots = Vec::with_capacity(n);
+        for _ in 0..n {
+            shard_roots.push(r.digest()?);
+        }
+        let signature = decode_signature(r)?;
+        Ok(ShardManifest {
+            shard_roots,
+            signature,
+        })
+    }
+}
+
+/// One shard's sub-VO: the claimed local result ids plus the monolith-style
+/// VO proving them against the shard's committed root.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardVo {
+    pub shard_id: u32,
+    /// Local claimed winners — the full local top-k for a contributing
+    /// shard, at most one id for an excluded shard's bound proof.
+    pub claimed: Vec<ImageId>,
+    pub vo: QueryVo,
+}
+
+impl Encode for ShardVo {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.shard_id);
+        w.seq_len(self.claimed.len());
+        for &id in &self.claimed {
+            w.u64(id);
+        }
+        self.vo.encode(w);
+    }
+}
+
+impl Decode for ShardVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let shard_id = r.u32()?;
+        let n = r.seq_len()?;
+        let mut claimed = Vec::with_capacity(n);
+        for _ in 0..n {
+            claimed.push(r.u64()?);
+        }
+        let vo = QueryVo::decode(r)?;
+        Ok(ShardVo {
+            shard_id,
+            claimed,
+            vo,
+        })
+    }
+}
+
+/// The complete VO of one sharded top-k query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedVo {
+    /// Shard count the SP served under; must match the manifest.
+    pub shard_count: u32,
+    /// Shards owning at least one global winner, with full-k sub-VOs.
+    pub contributing: Vec<ShardVo>,
+    /// Every remaining shard, each with a k=1 bound proof.
+    pub excluded: Vec<ShardVo>,
+}
+
+impl Encode for ShardedVo {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.shard_count);
+        w.seq_len(self.contributing.len());
+        for sub in &self.contributing {
+            sub.encode(w);
+        }
+        w.seq_len(self.excluded.len());
+        for sub in &self.excluded {
+            sub.encode(w);
+        }
+    }
+}
+
+impl Decode for ShardedVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let shard_count = r.u32()?;
+        let nc = r.seq_len()?;
+        let mut contributing = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            contributing.push(ShardVo::decode(r)?);
+        }
+        let ne = r.seq_len()?;
+        let mut excluded = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            excluded.push(ShardVo::decode(r)?);
+        }
+        Ok(ShardedVo {
+            shard_count,
+            contributing,
+            excluded,
+        })
+    }
+}
+
+/// The SP's answer to a sharded top-k query.
+#[derive(Clone, Debug)]
+pub struct ShardedResponse {
+    /// Global winners in merge order, with raw payloads.
+    pub results: Vec<ImageResult>,
+    pub vo: ShardedVo,
+}
+
+/// Why the client rejected a sharded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardedError {
+    /// The manifest signature (or its root recomputation) failed.
+    ManifestInvalid,
+    /// The VO's shard count differs from the manifest's (e.g. a replayed
+    /// manifest from a smaller deployment of the same owner).
+    ShardCountMismatch { manifest: u32, vo: u32 },
+    /// A sub-VO names a shard id outside the manifest.
+    UnknownShard { shard: u32 },
+    /// Two sub-VOs claim the same shard.
+    DuplicateShard { shard: u32 },
+    /// No sub-VO covers this shard (shard withholding).
+    ShardMissing { shard: u32 },
+    /// A sub-VO failed monolith verification against its committed root.
+    Shard { shard: u32, error: ClientError },
+    /// An excluded shard's bound proof claims more than one candidate.
+    BoundShapeInvalid { shard: u32 },
+    /// An excluded shard's proven best candidate would beat the claimed
+    /// global top-k (a shard's winners withheld behind a bound proof).
+    BoundExceeded { shard: u32 },
+    /// The same image was claimed by more than one shard.
+    DuplicateCandidate { image: ImageId },
+    /// A winner sits in a shard other than the one [`shard_of`] assigns
+    /// it to.
+    AssignmentMismatch { image: ImageId },
+    /// The returned results differ from the verified cross-shard merge.
+    MergeMismatch,
+}
+
+impl std::fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedError::ManifestInvalid => write!(f, "shard manifest signature invalid"),
+            ShardedError::ShardCountMismatch { manifest, vo } => {
+                write!(f, "manifest has {manifest} shards but the VO claims {vo}")
+            }
+            ShardedError::UnknownShard { shard } => {
+                write!(f, "sub-VO names unknown shard {shard}")
+            }
+            ShardedError::DuplicateShard { shard } => {
+                write!(f, "shard {shard} covered by more than one sub-VO")
+            }
+            ShardedError::ShardMissing { shard } => {
+                write!(f, "no sub-VO covers shard {shard}")
+            }
+            ShardedError::Shard { shard, error } => {
+                write!(f, "shard {shard} failed verification: {error}")
+            }
+            ShardedError::BoundShapeInvalid { shard } => {
+                write!(
+                    f,
+                    "bound proof of shard {shard} claims more than one candidate"
+                )
+            }
+            ShardedError::BoundExceeded { shard } => {
+                write!(f, "shard {shard}'s best candidate beats the claimed top-k")
+            }
+            ShardedError::DuplicateCandidate { image } => {
+                write!(f, "image {image} claimed by more than one shard")
+            }
+            ShardedError::AssignmentMismatch { image } => {
+                write!(f, "image {image} claimed by a shard it is not assigned to")
+            }
+            ShardedError::MergeMismatch => {
+                write!(f, "returned results differ from the verified merge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardedError {}
+
+/// What the monolith verification helper checks the reconstructed MRKD
+/// root against: the owner's root signature (monolith deployments) or a
+/// root committed by an already-verified [`ShardManifest`].
+#[derive(Debug, Clone, Copy)]
+pub enum RootExpectation<'a> {
+    OwnerSignature,
+    Committed(&'a Digest),
+}
+
+/// Outcome of verifying one (sub-)VO: the verified local top-k and BoVW
+/// assignments, with the client's cost split.
+#[derive(Debug, Clone)]
+pub struct SubVerify {
+    /// `(image id, verified score)` in the claimed order.
+    pub topk: Vec<(ImageId, f32)>,
+    /// The verified BoVW assignment of each query feature vector.
+    pub assignments: Vec<u32>,
+    pub bovw_seconds: f64,
+    pub inv_seconds: f64,
+}
+
+/// A fully verified sharded query result.
+#[derive(Debug, Clone)]
+pub struct ShardedVerifiedResult {
+    /// `(image id, verified score)` in global merge order.
+    pub topk: Vec<(ImageId, f32)>,
+    /// The verified BoVW assignment of each query feature vector.
+    pub assignments: Vec<u32>,
+}
+
+/// The global merge order: score descending, ties broken by ascending id —
+/// exactly the order the monolith's exhaustive top-k uses, so the sharded
+/// winner set (ties included) equals the monolith's.
+fn merge_cmp(a: &(u32, ImageId, f32), b: &(u32, ImageId, f32)) -> Ordering {
+    b.2.total_cmp(&a.2).then_with(|| a.1.cmp(&b.1))
+}
+
+/// True when `(score, id)` would displace the k-th winner under the merge
+/// order (equal score with a larger id legitimately loses the merge).
+fn beats(score: f32, id: ImageId, kth_score: f32, kth_id: ImageId) -> bool {
+    match score.total_cmp(&kth_score) {
+        Ordering::Greater => true,
+        Ordering::Equal => id < kth_id,
+        Ordering::Less => false,
+    }
+}
+
+impl Client {
+    /// Verifies a sharded response end to end: the manifest signature,
+    /// shard coverage, every sub-VO against its committed root, the
+    /// excluded-shard bound proofs, the cross-shard merge, and the
+    /// winners' image signatures.
+    pub fn verify_sharded(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        response: &ShardedResponse,
+        manifest: &ShardManifest,
+    ) -> Result<ShardedVerifiedResult, ShardedError> {
+        if !manifest.verify(&self.params.public_key) {
+            return Err(ShardedError::ManifestInvalid);
+        }
+        let shard_count = manifest.shard_roots.len() as u32;
+        let vo = &response.vo;
+        if vo.shard_count != shard_count {
+            return Err(ShardedError::ShardCountMismatch {
+                manifest: shard_count,
+                vo: vo.shard_count,
+            });
+        }
+
+        // Coverage: every shard exactly once across both sub-VO lists.
+        let mut covered: Vec<bool> = (0..shard_count).map(|_| false).collect();
+        for sub in vo.contributing.iter().chain(&vo.excluded) {
+            match covered.get_mut(sub.shard_id as usize) {
+                None => {
+                    return Err(ShardedError::UnknownShard {
+                        shard: sub.shard_id,
+                    })
+                }
+                Some(slot) if *slot => {
+                    return Err(ShardedError::DuplicateShard {
+                        shard: sub.shard_id,
+                    })
+                }
+                Some(slot) => *slot = true,
+            }
+        }
+        if let Some(missing) = covered.iter().position(|c| !c) {
+            return Err(ShardedError::ShardMissing {
+                shard: missing as u32,
+            });
+        }
+
+        // Contributing shards: full-k monolith verification against the
+        // committed roots; the verified local top-ks feed the merge.
+        let mut assignments: Vec<u32> = Vec::new();
+        let mut candidates: Vec<(u32, ImageId, f32)> = Vec::new();
+        for sub in &vo.contributing {
+            let Some(root) = manifest.root_of(sub.shard_id) else {
+                return Err(ShardedError::UnknownShard {
+                    shard: sub.shard_id,
+                });
+            };
+            let verified = self
+                .verify_query_vo(
+                    features,
+                    k,
+                    &sub.vo,
+                    &sub.claimed,
+                    RootExpectation::Committed(root),
+                )
+                .map_err(|error| ShardedError::Shard {
+                    shard: sub.shard_id,
+                    error,
+                })?;
+            for &(id, score) in &verified.topk {
+                candidates.push((sub.shard_id, id, score));
+            }
+            assignments = verified.assignments;
+        }
+
+        // Excluded shards: k=1 bound proofs of each shard's true best
+        // candidate (or of emptiness, via an exhausted empty claim).
+        let mut bounds: Vec<(u32, Option<(ImageId, f32)>)> = Vec::with_capacity(vo.excluded.len());
+        for sub in &vo.excluded {
+            if sub.claimed.len() > 1 {
+                return Err(ShardedError::BoundShapeInvalid {
+                    shard: sub.shard_id,
+                });
+            }
+            let Some(root) = manifest.root_of(sub.shard_id) else {
+                return Err(ShardedError::UnknownShard {
+                    shard: sub.shard_id,
+                });
+            };
+            let verified = self
+                .verify_query_vo(
+                    features,
+                    1,
+                    &sub.vo,
+                    &sub.claimed,
+                    RootExpectation::Committed(root),
+                )
+                .map_err(|error| ShardedError::Shard {
+                    shard: sub.shard_id,
+                    error,
+                })?;
+            bounds.push((sub.shard_id, verified.topk.first().copied()));
+            if assignments.is_empty() {
+                assignments = verified.assignments;
+            }
+        }
+
+        // No image may be claimed by two shards (impossible under an
+        // honest owner's partition; a forged duplicate would double-count).
+        let mut seen_images = BTreeSet::new();
+        for &(_, id, _) in &candidates {
+            if !seen_images.insert(id) {
+                return Err(ShardedError::DuplicateCandidate { image: id });
+            }
+        }
+        for &(_, best) in &bounds {
+            if let Some((id, _)) = best {
+                if !seen_images.insert(id) {
+                    return Err(ShardedError::DuplicateCandidate { image: id });
+                }
+            }
+        }
+
+        // Cross-shard merge: the true global top-k over every proven
+        // local top-k, under (score desc, id asc).
+        candidates.sort_by(merge_cmp);
+        candidates.truncate(k);
+
+        // Bound check: with a full result list, every excluded shard's
+        // best must lose to the k-th winner; with a short one, a free slot
+        // exists and any excluded candidate should have filled it.
+        let fence: Option<(ImageId, f32)> = if candidates.len() == k {
+            candidates.last().map(|&(_, id, score)| (id, score))
+        } else {
+            None
+        };
+        for &(shard, best) in &bounds {
+            let Some((id, score)) = best else { continue };
+            match fence {
+                None => return Err(ShardedError::BoundExceeded { shard }),
+                Some((kth_id, kth_score)) => {
+                    if beats(score, id, kth_score, kth_id) {
+                        return Err(ShardedError::BoundExceeded { shard });
+                    }
+                }
+            }
+        }
+
+        // The returned results must be exactly the merged winner set
+        // (order-insensitive, like the monolith: scores are re-derived).
+        if response.results.len() != candidates.len() {
+            return Err(ShardedError::MergeMismatch);
+        }
+        let mut claimed_ids: Vec<ImageId> = response.results.iter().map(|r| r.id).collect();
+        let mut merged_ids: Vec<ImageId> = candidates.iter().map(|&(_, id, _)| id).collect();
+        claimed_ids.sort_unstable();
+        merged_ids.sort_unstable();
+        if claimed_ids != merged_ids {
+            return Err(ShardedError::MergeMismatch);
+        }
+
+        // Placement: every winner must live in the shard the partition
+        // function assigns it to (its sub-VO proved it exists *there*).
+        for &(shard, id, _) in &candidates {
+            if shard_of(id, shard_count as usize) != shard as usize {
+                return Err(ShardedError::AssignmentMismatch { image: id });
+            }
+        }
+
+        // Winner image signatures (Eq. 15), read from each winner's
+        // sub-VO at its local claimed position and batch-verified.
+        let by_shard: BTreeMap<u32, &ShardVo> =
+            vo.contributing.iter().map(|s| (s.shard_id, s)).collect();
+        let mut items: Vec<(ImageId, &[u8], Signature)> =
+            Vec::with_capacity(response.results.len());
+        for result in &response.results {
+            let shard = shard_of(result.id, shard_count as usize) as u32;
+            let signature = by_shard.get(&shard).and_then(|sub| {
+                let pos = sub.claimed.iter().position(|&c| c == result.id)?;
+                sub.vo.signatures.get(pos)
+            });
+            let Some(signature) = signature else {
+                return Err(ShardedError::AssignmentMismatch { image: result.id });
+            };
+            items.push((result.id, &result.data, *signature));
+        }
+        if let Err(error) = self.check_image_signatures(&items) {
+            let shard = match &error {
+                ClientError::ImageSignatureInvalid { id } => {
+                    shard_of(*id, shard_count as usize) as u32
+                }
+                _ => 0,
+            };
+            return Err(ShardedError::Shard { shard, error });
+        }
+        let _ = image_signing_message; // anchor: signatures cover Eq. 15 messages
+
+        Ok(ShardedVerifiedResult {
+            topk: candidates
+                .iter()
+                .map(|&(_, id, score)| (id, score))
+                .collect(),
+            assignments,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imageproof_crypto::SigningKey;
+
+    fn roots(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| Digest::of(&[i as u8, 0xA5])).collect()
+    }
+
+    #[test]
+    fn shard_of_partitions_deterministically() {
+        assert_eq!(shard_of(0, 4), 0);
+        assert_eq!(shard_of(7, 4), 3);
+        assert_eq!(shard_of(7, 1), 0);
+        assert_eq!(
+            shard_of(7, 0),
+            0,
+            "degenerate count must not divide by zero"
+        );
+    }
+
+    #[test]
+    fn manifest_signs_and_verifies() {
+        let key = SigningKey::from_seed(&[3u8; 32]);
+        let shard_roots = roots(5);
+        let root = manifest_root(&shard_roots).unwrap();
+        let signature = key.sign(&manifest_signing_message(&root, 5));
+        let manifest = ShardManifest {
+            shard_roots,
+            signature,
+        };
+        assert!(manifest.verify(&key.public_key()));
+        assert!(!manifest.verify(&SigningKey::from_seed(&[4u8; 32]).public_key()));
+    }
+
+    #[test]
+    fn manifest_rejects_root_and_count_tampering() {
+        let key = SigningKey::from_seed(&[3u8; 32]);
+        let shard_roots = roots(4);
+        let root = manifest_root(&shard_roots).unwrap();
+        let signature = key.sign(&manifest_signing_message(&root, 4));
+        let good = ShardManifest {
+            shard_roots: shard_roots.clone(),
+            signature,
+        };
+        assert!(good.verify(&key.public_key()));
+
+        let mut wrong_root = good.clone();
+        wrong_root.shard_roots[2].0[0] ^= 1;
+        assert!(!wrong_root.verify(&key.public_key()));
+
+        let mut dropped = good.clone();
+        dropped.shard_roots.pop();
+        assert!(!dropped.verify(&key.public_key()));
+
+        let empty = ShardManifest {
+            shard_roots: Vec::new(),
+            signature: good.signature,
+        };
+        assert!(!empty.verify(&key.public_key()));
+    }
+
+    #[test]
+    fn manifest_leaves_bind_position() {
+        // Swapping two shard roots changes the manifest root even when the
+        // multiset of roots is unchanged.
+        let mut a = roots(4);
+        let ra = manifest_root(&a).unwrap();
+        a.swap(1, 2);
+        let rb = manifest_root(&a).unwrap();
+        assert_ne!(ra, rb);
+        assert_ne!(
+            manifest_leaf_digest(0, &roots(1)[0]),
+            manifest_leaf_digest(1, &roots(1)[0])
+        );
+    }
+
+    #[test]
+    fn manifest_message_is_domain_separated() {
+        let root = Digest::of(b"root");
+        let msg = manifest_signing_message(&root, 3);
+        assert_eq!(msg.len(), 44);
+        assert!(msg.starts_with(b"IPROOF.2"));
+        // Differs from the monolith's root message prefix.
+        assert_ne!(&msg[..8], b"IPROOF.1");
+        assert_ne!(
+            manifest_signing_message(&root, 3),
+            manifest_signing_message(&root, 4)
+        );
+    }
+
+    #[test]
+    fn shard_manifest_round_trips_from_wire() {
+        let key = SigningKey::from_seed(&[9u8; 32]);
+        let shard_roots = roots(6);
+        let root = manifest_root(&shard_roots).unwrap();
+        let signature = key.sign(&manifest_signing_message(&root, 6));
+        let manifest = ShardManifest {
+            shard_roots,
+            signature,
+        };
+        let bytes = manifest.to_wire();
+        let decoded = ShardManifest::from_wire(&bytes).expect("round trip");
+        assert_eq!(decoded, manifest);
+        assert!(decoded.verify(&key.public_key()));
+        // Truncations must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(ShardManifest::from_wire(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn merge_order_breaks_ties_by_ascending_id() {
+        let mut c = [(0u32, 9u64, 0.5f32), (1, 2, 0.5), (2, 4, 0.7)];
+        c.sort_by(merge_cmp);
+        let ids: Vec<u64> = c.iter().map(|&(_, id, _)| id).collect();
+        assert_eq!(ids, vec![4, 2, 9]);
+        assert!(beats(0.6, 10, 0.5, 2));
+        assert!(beats(0.5, 1, 0.5, 2), "equal score, smaller id wins");
+        assert!(!beats(0.5, 3, 0.5, 2), "equal score, larger id loses");
+        assert!(!beats(0.4, 1, 0.5, 2));
+    }
+}

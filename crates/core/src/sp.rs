@@ -3,6 +3,7 @@
 
 use crate::owner::{Database, IndexVariant};
 use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo};
+use crate::shard::{ShardVo, ShardedResponse, ShardedVo};
 use imageproof_akm::SparseBovw;
 use imageproof_invindex::grouped::grouped_search;
 use imageproof_invindex::{inv_search, BoundsMode};
@@ -206,5 +207,143 @@ impl ServiceProvider {
         conc: Concurrency,
     ) -> Vec<(QueryResponse, SpStats)> {
         par_map(conc, queries, |_, features| self.query(features, k))
+    }
+}
+
+/// The service provider hosting a sharded deployment: one monolith-style
+/// engine per shard, answered through an authenticated cross-shard merge
+/// (`shard.rs`).
+pub struct ShardedSp {
+    shards: Vec<ServiceProvider>,
+}
+
+/// SP-side cost breakdown for one sharded query.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedSpStats {
+    /// Stats of the full-k fan-out, indexed by shard id.
+    pub per_shard: Vec<SpStats>,
+    /// Number of k=1 bound queries issued for excluded shards.
+    pub bound_queries: usize,
+    /// Wall-clock seconds spent merging and assembling the sharded VO.
+    pub merge_seconds: f64,
+}
+
+impl ShardedSp {
+    /// Hosts the owner's per-shard databases (`shards[i]` serves shard `i`).
+    pub fn new(shards: Vec<Database>) -> ShardedSp {
+        ShardedSp {
+            shards: shards.into_iter().map(ServiceProvider::new).collect(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard engines (used by adversarial tests and ablations).
+    pub fn shards(&self) -> &[ServiceProvider] {
+        &self.shards
+    }
+
+    /// Answers a sharded top-k query serially.
+    pub fn query(&self, features: &[Vec<f32>], k: usize) -> (ShardedResponse, ShardedSpStats) {
+        self.query_with(features, k, Concurrency::serial())
+    }
+
+    /// [`ShardedSp::query`] with the per-shard full-k queries (and the
+    /// excluded shards' k=1 bound queries) fanned out across workers.
+    /// Fan-out preserves shard order and each shard runs the serial engine,
+    /// so the response is bit-identical for every thread count.
+    pub fn query_with(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        conc: Concurrency,
+    ) -> (ShardedResponse, ShardedSpStats) {
+        // Phase 1: full-k query on every shard.
+        let full: Vec<(QueryResponse, SpStats)> =
+            par_map(conc, &self.shards, |_, sp| sp.query(features, k));
+
+        // Phase 2: merge the local top-ks under (score desc, id asc) — the
+        // same order the per-shard engines use — and keep the k global
+        // winners. Scores are shard-invariant (global impact model), so
+        // this merge reproduces the monolith top-k exactly.
+        let t0 = Instant::now();
+        let mut candidates: Vec<(usize, ImageId, f32)> = Vec::new();
+        for (shard, (resp, _)) in full.iter().enumerate() {
+            for r in &resp.results {
+                candidates.push((shard, r.id, r.score));
+            }
+        }
+        candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
+        candidates.truncate(k);
+        let mut contributes = vec![false; self.shards.len()];
+        for &(shard, _, _) in &candidates {
+            contributes[shard] = true;
+        }
+        // k = 0 asks for nothing: no winners, and no bound proofs needed —
+        // every shard stays "contributing" with an empty (exhausted) claim.
+        if k == 0 {
+            for c in contributes.iter_mut() {
+                *c = true;
+            }
+        }
+        let mut merge_seconds = t0.elapsed().as_secs_f64();
+
+        // Phase 3: k=1 bound proofs for shards without a global winner.
+        let losers: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !contributes[s])
+            .collect();
+        let bound: Vec<(QueryResponse, SpStats)> =
+            par_map(conc, &losers, |_, &s| self.shards[s].query(features, 1));
+
+        // Phase 4: assemble the global results and the sharded VO, both in
+        // ascending shard order within each section.
+        let t1 = Instant::now();
+        let mut results = Vec::with_capacity(candidates.len());
+        for &(shard, id, score) in &candidates {
+            if let Some(r) = full[shard].0.results.iter().find(|r| r.id == id) {
+                results.push(ImageResult {
+                    id,
+                    data: r.data.clone(),
+                    score,
+                });
+            }
+        }
+        let mut per_shard = Vec::with_capacity(full.len());
+        let mut contributing = Vec::new();
+        for (shard, (resp, stats)) in full.iter().enumerate() {
+            per_shard.push(*stats);
+            if contributes[shard] {
+                contributing.push(ShardVo {
+                    shard_id: shard as u32,
+                    claimed: resp.results.iter().map(|r| r.id).collect(),
+                    vo: resp.vo.clone(),
+                });
+            }
+        }
+        let mut excluded = Vec::with_capacity(losers.len());
+        for (&shard, (resp, _)) in losers.iter().zip(&bound) {
+            excluded.push(ShardVo {
+                shard_id: shard as u32,
+                claimed: resp.results.iter().map(|r| r.id).collect(),
+                vo: resp.vo.clone(),
+            });
+        }
+        merge_seconds += t1.elapsed().as_secs_f64();
+
+        let vo = ShardedVo {
+            shard_count: self.shards.len() as u32,
+            contributing,
+            excluded,
+        };
+        (
+            ShardedResponse { results, vo },
+            ShardedSpStats {
+                per_shard,
+                bound_queries: losers.len(),
+                merge_seconds,
+            },
+        )
     }
 }

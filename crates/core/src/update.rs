@@ -21,7 +21,10 @@
 //! re-indexes. This is a documented trade-off, not a soundness issue — the
 //! scheme authenticates whatever ranking function the index encodes.
 
-use crate::owner::{image_signing_message, root_signing_message, Database, IndexVariant, Owner, PublishedParams, StoredImage};
+use crate::owner::{
+    image_signing_message, root_signing_message, Database, IndexVariant, Owner, PublishedParams,
+    StoredImage,
+};
 use imageproof_akm::bovw::{impact_value, SparseBovw};
 use imageproof_crypto::Digest;
 use imageproof_invindex::Posting;

@@ -113,7 +113,10 @@ fn tampered_posting_is_rejected_under_parallel_sp() {
             let (query, mut response) = parallel_response(&sp, &corpus, threads, 4, 107);
             assert!(adversary::tamper_posting(&mut response), "{scheme:?}");
             assert!(
-                matches!(client.verify(&query, 4, &response), Err(ClientError::Inv(_))),
+                matches!(
+                    client.verify(&query, 4, &response),
+                    Err(ClientError::Inv(_))
+                ),
                 "{scheme:?} threads={threads}"
             );
         }

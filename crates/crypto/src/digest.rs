@@ -12,7 +12,9 @@ use crate::sha3::Sha3_256;
 use std::fmt;
 
 /// A SHA3-256 digest.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {
@@ -159,10 +161,7 @@ mod tests {
 
     #[test]
     fn of_matches_plain_sha3() {
-        assert_eq!(
-            Digest::of(b"abc").0,
-            crate::sha3::Sha3_256::digest(b"abc")
-        );
+        assert_eq!(Digest::of(b"abc").0, crate::sha3::Sha3_256::digest(b"abc"));
     }
 
     #[test]

@@ -399,8 +399,7 @@ mod tests {
         let s1 = Scalar::from_bytes_mod_order(&[11u8; 32]);
         let s2 = Scalar::from_bytes_mod_order(&[23u8; 32]);
         let s3 = Scalar::from_bytes_mod_order(&[47u8; 32]);
-        let combined =
-            EdwardsPoint::multiscalar_mul(&[s1, s2, s3], &[b, p2, p3]);
+        let combined = EdwardsPoint::multiscalar_mul(&[s1, s2, s3], &[b, p2, p3]);
         let individual = b
             .mul_scalar(&s1)
             .add(&p2.mul_scalar(&s2))

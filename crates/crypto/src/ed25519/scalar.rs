@@ -109,8 +109,7 @@ impl Scalar {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let acc =
-                    wide[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                let acc = wide[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 wide[i + j] = acc as u64;
                 carry = acc >> 64;
             }

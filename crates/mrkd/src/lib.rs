@@ -23,8 +23,8 @@ pub mod verify;
 pub mod vo;
 
 pub use search::{
-    mrkd_search, mrkd_search_baseline, mrkd_search_baseline_with, mrkd_search_with,
-    BaselineBovwVo, SearchOutput, SearchStats,
+    mrkd_search, mrkd_search_baseline, mrkd_search_baseline_with, mrkd_search_with, BaselineBovwVo,
+    SearchOutput, SearchStats,
 };
 pub use tree::{CandidateMode, MrkdForest, MrkdTree};
 pub use verify::{verify_bovw, verify_bovw_baseline, VerifiedBovw, VerifyError};

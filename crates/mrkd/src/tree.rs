@@ -39,7 +39,11 @@ pub fn leaf_entry_digest_full(cluster: u32, coords: &[f32], inv_digest: &Digest)
 
 /// Compressed-mode variant: binds the dimension-tree root instead of raw
 /// coordinates.
-pub fn leaf_entry_digest_compressed(cluster: u32, dim_root: &Digest, inv_digest: &Digest) -> Digest {
+pub fn leaf_entry_digest_compressed(
+    cluster: u32,
+    dim_root: &Digest,
+    inv_digest: &Digest,
+) -> Digest {
     Digest::builder()
         .u32(cluster)
         .digest(dim_root)
@@ -285,21 +289,15 @@ impl MrkdForest {
         );
         let dim_trees = match mode {
             CandidateMode::Full => None,
-            CandidateMode::Compressed => Some(par_map_chunked(conc, centers, 64, |_, c| {
-                dimension_tree(c)
-            })),
+            CandidateMode::Compressed => {
+                Some(par_map_chunked(conc, centers, 64, |_, c| dimension_tree(c)))
+            }
         };
         let dim_roots: Option<Vec<Digest>> = dim_trees
             .as_ref()
             .map(|ts| ts.iter().map(MerkleTree::root).collect());
         let trees = par_map(conc, forest.trees(), |_, t| {
-            MrkdTree::build(
-                t.clone(),
-                centers,
-                inv_digests,
-                mode,
-                dim_roots.as_deref(),
-            )
+            MrkdTree::build(t.clone(), centers, inv_digests, mode, dim_roots.as_deref())
         });
         MrkdForest {
             mode,
@@ -334,16 +332,19 @@ impl MrkdForest {
     /// The combined digest the owner signs: `h(root_1 | … | root_{n_t})`
     /// (§V-A step iii).
     pub fn combined_root_digest(&self) -> Digest {
-        combined_root_digest(&self.trees.iter().map(MrkdTree::root_digest).collect::<Vec<_>>())
+        combined_root_digest(
+            &self
+                .trees
+                .iter()
+                .map(MrkdTree::root_digest)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Owner-side incremental update: installs new inverted-list digests
     /// for `updates` and refreshes every tree's digest paths. Used when
     /// images are inserted into or removed from the outsourced catalogue.
-    pub fn apply_inv_digest_updates(
-        &mut self,
-        updates: &std::collections::BTreeMap<u32, Digest>,
-    ) {
+    pub fn apply_inv_digest_updates(&mut self, updates: &std::collections::BTreeMap<u32, Digest>) {
         if updates.is_empty() {
             return;
         }
@@ -411,10 +412,7 @@ mod tests {
         let forest = RkdForest::build(&centers, 3, 2, 11);
         centers[13][5] += 0.5;
         let tampered = MrkdForest::build(&forest, &centers, &inv_digests, CandidateMode::Full);
-        assert_ne!(
-            mrkd.combined_root_digest(),
-            tampered.combined_root_digest()
-        );
+        assert_ne!(mrkd.combined_root_digest(), tampered.combined_root_digest());
     }
 
     #[test]
@@ -423,10 +421,7 @@ mod tests {
         let forest = RkdForest::build(&centers, 3, 2, 11);
         inv_digests[20] = Digest::of(b"forged list");
         let tampered = MrkdForest::build(&forest, &centers, &inv_digests, CandidateMode::Full);
-        assert_ne!(
-            mrkd.combined_root_digest(),
-            tampered.combined_root_digest()
-        );
+        assert_ne!(mrkd.combined_root_digest(), tampered.combined_root_digest());
     }
 
     #[test]

@@ -10,10 +10,7 @@ use proptest::prelude::*;
 const DIM: usize = 32;
 
 fn centers_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0.0f32..1.0, DIM..=DIM),
-        2..40,
-    )
+    proptest::collection::vec(proptest::collection::vec(0.0f32..1.0, DIM..=DIM), 2..40)
 }
 
 proptest! {

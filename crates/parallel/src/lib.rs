@@ -138,10 +138,7 @@ where
         .map(|start| start..(start + chunk).min(items.len()))
         .collect();
     let per_chunk = par_map(conc, &ranges, |_, range| {
-        range
-            .clone()
-            .map(|i| f(i, &items[i]))
-            .collect::<Vec<R>>()
+        range.clone().map(|i| f(i, &items[i])).collect::<Vec<R>>()
     });
     let mut out = Vec::with_capacity(items.len());
     for mut chunk_out in per_chunk {
@@ -179,7 +176,11 @@ mod tests {
             assert_eq!(std::thread::current().id(), tid, "serial must not spawn");
             x * 2 + i as u64
         });
-        let expected: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 2 + i as u64)
+            .collect();
         assert_eq!(out, expected);
     }
 
@@ -198,7 +199,10 @@ mod tests {
             let empty: Vec<u32> = Vec::new();
             assert_eq!(par_map(conc, &empty, |_, &x| x), Vec::<u32>::new());
             assert_eq!(par_map(conc, &[7u32], |i, &x| x + i as u32), vec![7]);
-            assert_eq!(par_map_chunked(conc, &empty, 4, |_, &x| x), Vec::<u32>::new());
+            assert_eq!(
+                par_map_chunked(conc, &empty, 4, |_, &x| x),
+                Vec::<u32>::new()
+            );
         }
     }
 

@@ -96,9 +96,7 @@ impl Corpus {
 
         let zipf = Zipf::new(config.n_latent_words, config.zipf_exponent);
         let images = (0..config.n_images)
-            .map(|i| {
-                Self::generate_image(i as ImageId, config, &word_centers, &zipf, &mut rng)
-            })
+            .map(|i| Self::generate_image(i as ImageId, config, &word_centers, &zipf, &mut rng))
             .collect();
 
         Corpus {
@@ -154,15 +152,12 @@ impl Corpus {
     pub fn query_from_image(&self, source: ImageId, n_features: usize, seed: u64) -> Vec<Vec<f32>> {
         let img = &self.images[source as usize];
         assert!(!img.latent_words.is_empty(), "source image has no features");
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         (0..n_features)
             .map(|_| {
                 let word = img.latent_words[rng.gen_range(0..img.latent_words.len())];
-                perturb(
-                    &self.word_centers[word],
-                    self.config.noise_sigma,
-                    &mut rng,
-                )
+                perturb(&self.word_centers[word], self.config.noise_sigma, &mut rng)
             })
             .collect()
     }

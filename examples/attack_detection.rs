@@ -56,7 +56,13 @@ fn main() {
 
     let mut attack = honest.clone();
     adversary::forge_image_signature(&mut attack);
-    check_rejected("case 3: forged image signature", &client, &query, k, &attack);
+    check_rejected(
+        "case 3: forged image signature",
+        &client,
+        &query,
+        k,
+        &attack,
+    );
 
     // Case 2: forged top-k set.
     let mut attack = honest.clone();
@@ -78,12 +84,24 @@ fn main() {
 
     let mut attack = honest.clone();
     assert!(adversary::tamper_posting(&mut attack));
-    check_rejected("case 2: tampered posting impact", &client, &query, k, &attack);
+    check_rejected(
+        "case 2: tampered posting impact",
+        &client,
+        &query,
+        k,
+        &attack,
+    );
 
     // Case 1: forged BoVW encoding.
     let mut attack = honest.clone();
     assert!(adversary::tamper_bovw_centroid(&mut attack));
-    check_rejected("case 1: tampered cluster centroid", &client, &query, k, &attack);
+    check_rejected(
+        "case 1: tampered cluster centroid",
+        &client,
+        &query,
+        k,
+        &attack,
+    );
 
     let mut attack = honest.clone();
     assert!(adversary::tamper_bovw_split(&mut attack));

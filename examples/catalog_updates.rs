@@ -67,7 +67,12 @@ fn main() {
     let mut db = sp.into_database();
     let root_before = db.mrkd.combined_root_digest();
     owner
-        .insert_image(&mut db, 6_000, vec![1; 64], &corpus.query_from_image(7, 30, 903))
+        .insert_image(
+            &mut db,
+            6_000,
+            vec![1; 64],
+            &corpus.query_from_image(7, 30, 903),
+        )
         .expect("insert");
     owner.remove_image(&mut db, 6_000).expect("remove");
     assert_eq!(db.mrkd.combined_root_digest(), root_before);

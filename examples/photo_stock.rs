@@ -47,8 +47,7 @@ fn main() {
         "scheme", "VO bytes", "SP ms", "client ms", "popped %"
     );
     for scheme in Scheme::ALL {
-        let (db, published) =
-            owner.build_system_with_codebook(&corpus, codebook.clone(), scheme);
+        let (db, published) = owner.build_system_with_codebook(&corpus, codebook.clone(), scheme);
         let sp = ServiceProvider::new(db);
         let client = Client::new(published);
 

@@ -43,7 +43,7 @@ fn parse_args() -> Args {
     let mut args = Args::default();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let mut value = |i: &mut usize| -> String {
+    let value = |i: &mut usize| -> String {
         *i += 1;
         argv.get(*i).cloned().unwrap_or_else(|| usage())
     };

@@ -23,6 +23,7 @@ use std::sync::OnceLock;
 use imageproof_akm::AkmParams;
 use imageproof_core::{
     BovwVoVariant, Client, InvVoVariant, Owner, QueryResponse, QueryVo, Scheme, ServiceProvider,
+    ShardManifest, ShardVo, ShardedResponse, ShardedSp, ShardedVo,
 };
 use imageproof_crypto::wire::{Decode, Encode, WireError};
 use imageproof_invindex::grouped::{Group, GroupedInvVo, GroupedListVo};
@@ -170,6 +171,53 @@ fn fixtures() -> &'static [(Scheme, Fixture)] {
     })
 }
 
+// Sharded fixture: a 3-shard deployment answering the same query shape.
+
+struct ShardedFixture {
+    client: Client,
+    manifest: ShardManifest,
+    features: Vec<Vec<f32>>,
+    k: usize,
+    response: ShardedResponse,
+}
+
+fn sharded_fixture() -> &'static ShardedFixture {
+    static FIXTURE: OnceLock<ShardedFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            kind: DescriptorKind::Surf,
+            n_images: 80,
+            n_latent_words: 60,
+            ..CorpusConfig::small(DescriptorKind::Surf)
+        });
+        let akm = AkmParams {
+            n_clusters: 48,
+            n_trees: 3,
+            max_leaf_size: 2,
+            max_checks: 16,
+            iterations: 2,
+            seed: 7,
+        };
+        let owner = Owner::new(&[9u8; 32]);
+        let system = owner.build_sharded_system(&corpus, &akm, Scheme::ImageProof, 3);
+        let sp = ShardedSp::new(system.shards);
+        let client = Client::new(system.published);
+        let features = corpus.query_from_image(17, 24, 3);
+        let k = 5;
+        let (response, _) = sp.query(&features, k);
+        client
+            .verify_sharded(&features, k, &response, &system.manifest)
+            .expect("sharded fixture response must verify before we corrupt it");
+        ShardedFixture {
+            client,
+            manifest: system.manifest,
+            features,
+            k,
+            response,
+        }
+    })
+}
+
 /// Depth-first search for the first disclosed leaf in a VO tree.
 fn find_leaf(node: &VoNode) -> Option<&Vec<VoLeafEntry>> {
     match node {
@@ -257,6 +305,63 @@ fn inverted_index_vo_decoding_is_total() {
     assert!(grouped > 0, "no grouped inverted VO exercised");
 }
 
+#[test]
+fn sharded_wire_types_decoding_is_total() {
+    let fx = sharded_fixture();
+    fuzz_decode::<ShardManifest>("ShardManifest", &fx.manifest);
+    fuzz_decode::<ShardedVo>("ShardedVo", &fx.response.vo);
+    let sub = fx
+        .response
+        .vo
+        .contributing
+        .first()
+        .expect("sharded fixture has a contributing shard");
+    fuzz_decode::<ShardVo>("ShardVo", sub);
+    if let Some(bound) = fx.response.vo.excluded.first() {
+        fuzz_decode::<ShardVo>("ShardVo[bound]", bound);
+    }
+}
+
+/// End-to-end for the sharded path: bit-flip the serialized sharded VO;
+/// whenever the corruption still *decodes*, `verify_sharded` must reject
+/// or accept without panicking — never crash.
+#[test]
+fn verify_sharded_never_panics_on_corrupted_vo() {
+    let fx = sharded_fixture();
+    let wire = fx.response.vo.to_wire();
+    let stride = stride_for(wire.len()).max(3);
+    let mut pos = 0;
+    let mut verified_runs = 0u32;
+    while pos < wire.len() {
+        for bit in [0, 3, 7] {
+            let mut m = wire.clone();
+            m[pos] ^= 1 << bit;
+            let Ok(vo) = decode_total::<ShardedVo>("ShardedVo", &m) else {
+                continue;
+            };
+            let response = ShardedResponse {
+                results: fx.response.results.clone(),
+                vo,
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                fx.client
+                    .verify_sharded(&fx.features, fx.k, &response, &fx.manifest)
+                    .err()
+            }));
+            assert!(
+                outcome.is_ok(),
+                "verify_sharded PANICKED with bit {bit} of byte {pos} flipped"
+            );
+            verified_runs += 1;
+        }
+        pos += stride;
+    }
+    assert!(
+        verified_runs > 0,
+        "no flipped sharded VO decoded; corruption sweep too narrow"
+    );
+}
+
 /// End-to-end: bit-flip the serialized VO; whenever the corruption still
 /// *decodes*, the full client verification must reject or accept without
 /// panicking — never crash.
@@ -316,6 +421,9 @@ proptest! {
         let _ = decode_total::<GroupedInvVo>("GroupedInvVo", &bytes);
         let _ = decode_total::<GroupedListVo>("GroupedListVo", &bytes);
         let _ = decode_total::<Group>("Group", &bytes);
+        let _ = decode_total::<ShardManifest>("ShardManifest", &bytes);
+        let _ = decode_total::<ShardVo>("ShardVo", &bytes);
+        let _ = decode_total::<ShardedVo>("ShardedVo", &bytes);
     }
 
     #[test]

@@ -175,7 +175,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6,
         max_shrink_iters: 0,
-        ..ProptestConfig::default()
     })]
 
     /// Random corpora, schemes, and thread counts: build + query + batch

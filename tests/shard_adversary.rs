@@ -1,0 +1,351 @@
+//! Sharded-serving adversary matrix: every way a malicious SP (who
+//! controls *all* shards) can tamper with a sharded response must be
+//! detected by `Client::verify_sharded`, each with a distinct error.
+//!
+//! Attacks covered: shard withholding, shard-id swapping, manifest
+//! tampering (wrong root, replayed smaller-deployment manifest),
+//! demoting a winning shard behind a bound proof, inflated / tampered /
+//! truncated bound proofs, tampered winner payloads, and merge
+//! manipulation. A reordered-but-genuine response must still verify
+//! (Definition 1 is a set property).
+
+use std::sync::OnceLock;
+
+use imageproof_akm::AkmParams;
+use imageproof_core::{
+    shard_of, Client, ClientError, Owner, Scheme, ShardManifest, ShardVo, ShardedError,
+    ShardedResponse, ShardedSp,
+};
+use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
+
+struct Fx {
+    corpus: Corpus,
+    sp: ShardedSp,
+    client: Client,
+    manifest: ShardManifest,
+    /// Genuine manifest of a 2-shard deployment by the same owner (for the
+    /// replay attack).
+    manifest_s2: ShardManifest,
+    features: Vec<Vec<f32>>,
+    k: usize,
+    response: ShardedResponse,
+}
+
+const S: usize = 4;
+
+fn fx() -> &'static Fx {
+    static FX: OnceLock<Fx> = OnceLock::new();
+    FX.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            kind: DescriptorKind::Surf,
+            n_images: 60,
+            n_latent_words: 60,
+            ..CorpusConfig::small(DescriptorKind::Surf)
+        });
+        let akm = AkmParams {
+            n_clusters: 48,
+            n_trees: 3,
+            max_leaf_size: 2,
+            max_checks: 16,
+            iterations: 2,
+            seed: 7,
+        };
+        let owner = Owner::new(&[21u8; 32]);
+        let system = owner.build_sharded_system(&corpus, &akm, Scheme::ImageProof, S);
+        let manifest_s2 = owner
+            .build_sharded_system(&corpus, &akm, Scheme::ImageProof, 2)
+            .manifest;
+        let sp = ShardedSp::new(system.shards);
+        let client = Client::new(system.published);
+        let manifest = system.manifest;
+        let features = corpus.query_from_image(5, 24, 1);
+        let k = 2;
+        let (response, _) = sp.query(&features, k);
+        // The attack matrix needs both sections populated.
+        assert!(
+            !response.vo.contributing.is_empty() && !response.vo.excluded.is_empty(),
+            "fixture query must leave both contributing and excluded shards"
+        );
+        Fx {
+            corpus,
+            sp,
+            client,
+            manifest,
+            manifest_s2,
+            features,
+            k,
+            response,
+        }
+    })
+}
+
+fn verify(f: &Fx, response: &ShardedResponse) -> Result<(), ShardedError> {
+    f.client
+        .verify_sharded(&f.features, f.k, response, &f.manifest)
+        .map(|_| ())
+}
+
+#[test]
+fn the_honest_sharded_response_verifies() {
+    let f = fx();
+    let verified = f
+        .client
+        .verify_sharded(&f.features, f.k, &f.response, &f.manifest)
+        .expect("honest sharded SP must verify");
+    assert_eq!(verified.topk.len(), f.k);
+    // The query derives from image 5; it must rank in the top-k.
+    assert!(verified.topk.iter().any(|&(id, _)| id == 5));
+}
+
+#[test]
+fn reordered_genuine_results_still_verify() {
+    let f = fx();
+    let mut tampered = f.response.clone();
+    tampered.results.reverse();
+    verify(f, &tampered).expect("reordered genuine winner set must verify");
+}
+
+#[test]
+fn withholding_a_shard_is_detected() {
+    let f = fx();
+    // Drop a contributing sub-VO entirely.
+    let mut tampered = f.response.clone();
+    let dropped = tampered.vo.contributing.remove(0);
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::ShardMissing {
+            shard: dropped.shard_id
+        })
+    );
+    // Same for an excluded shard's bound proof.
+    let mut tampered = f.response.clone();
+    let dropped = tampered.vo.excluded.remove(0);
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::ShardMissing {
+            shard: dropped.shard_id
+        })
+    );
+}
+
+#[test]
+fn demoting_a_winning_shard_behind_a_bound_proof_is_detected() {
+    // The SP hides a shard's winners by serving an *honest* k=1 bound
+    // proof for it, as if the shard had no global winner. The bound itself
+    // verifies — but its candidate beats (or is) the claimed k-th winner,
+    // so the merge bound check must fire.
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let demoted = tampered.vo.contributing.remove(0);
+    let shard = demoted.shard_id;
+    let (bound_resp, _) = f.sp.shards()[shard as usize].query(&f.features, 1);
+    tampered.vo.excluded.push(ShardVo {
+        shard_id: shard,
+        claimed: bound_resp.results.iter().map(|r| r.id).collect(),
+        vo: bound_resp.vo,
+    });
+    // Drop the demoted shard's winners from the visible results so the
+    // response looks self-consistent.
+    tampered
+        .results
+        .retain(|r| shard_of(r.id, S) != shard as usize);
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::BoundExceeded { shard })
+    );
+}
+
+#[test]
+fn swapping_shard_ids_is_detected() {
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let a = tampered.vo.contributing[0].shard_id;
+    let b = tampered.vo.excluded[0].shard_id;
+    tampered.vo.contributing[0].shard_id = b;
+    tampered.vo.excluded[0].shard_id = a;
+    // Coverage still looks complete, but each sub-VO now checks against
+    // the other shard's committed root.
+    match verify(f, &tampered) {
+        Err(ShardedError::Shard {
+            error: ClientError::RootSignatureInvalid,
+            ..
+        }) => {}
+        other => panic!("shard-id swap not detected as a root mismatch: {other:?}"),
+    }
+}
+
+#[test]
+fn duplicated_shard_coverage_is_detected() {
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let dup = tampered.vo.contributing[0].clone();
+    let shard = dup.shard_id;
+    tampered.vo.contributing.push(dup);
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::DuplicateShard { shard })
+    );
+}
+
+#[test]
+fn unknown_shard_ids_are_detected() {
+    let f = fx();
+    let mut tampered = f.response.clone();
+    tampered.vo.excluded[0].shard_id = 99;
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::UnknownShard { shard: 99 })
+    );
+}
+
+#[test]
+fn tampered_manifest_root_is_detected() {
+    let f = fx();
+    let mut manifest = f.manifest.clone();
+    manifest.shard_roots[1].0[0] ^= 1;
+    assert!(matches!(
+        f.client
+            .verify_sharded(&f.features, f.k, &f.response, &manifest),
+        Err(ShardedError::ManifestInvalid)
+    ));
+}
+
+#[test]
+fn replayed_smaller_deployment_manifest_is_detected() {
+    // The S=2 manifest carries a genuine owner signature, so it passes the
+    // signature check — the shard-count binding must reject it.
+    let f = fx();
+    assert!(f.manifest_s2.verify(&f.client_public_key()));
+    assert_eq!(
+        f.client
+            .verify_sharded(&f.features, f.k, &f.response, &f.manifest_s2)
+            .err(),
+        Some(ShardedError::ShardCountMismatch {
+            manifest: 2,
+            vo: S as u32
+        })
+    );
+}
+
+#[test]
+fn bound_proof_claiming_a_weaker_candidate_is_detected() {
+    // Replace an excluded shard's claimed best with a different image of
+    // the same shard: the VO's termination conditions no longer support
+    // the claim.
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let sub = &mut tampered.vo.excluded[0];
+    let shard = sub.shard_id;
+    let winner = sub.claimed[0];
+    let substitute = f
+        .corpus
+        .images
+        .iter()
+        .map(|img| img.id)
+        .find(|&id| shard_of(id, S) == shard as usize && id != winner)
+        .expect("shard has another image");
+    sub.claimed[0] = substitute;
+    match verify(f, &tampered) {
+        Err(ShardedError::Shard {
+            shard: s,
+            error: ClientError::Inv(_),
+        }) => assert_eq!(s, shard),
+        other => panic!("tampered bound claim not detected: {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_bound_proof_is_detected() {
+    // An empty bound claim asserts "this shard has no candidate at all";
+    // with postings remaining, the termination conditions must reject it.
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let sub = &mut tampered.vo.excluded[0];
+    let shard = sub.shard_id;
+    sub.claimed.clear();
+    sub.vo.signatures.clear();
+    match verify(f, &tampered) {
+        Err(ShardedError::Shard {
+            shard: s,
+            error: ClientError::Inv(_),
+        }) => assert_eq!(s, shard),
+        other => panic!("truncated bound proof not detected: {other:?}"),
+    }
+}
+
+#[test]
+fn overlong_bound_proof_is_detected() {
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let sub = &mut tampered.vo.excluded[0];
+    let shard = sub.shard_id;
+    let extra = sub.claimed[0].wrapping_add(1);
+    sub.claimed.push(extra);
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::BoundShapeInvalid { shard })
+    );
+}
+
+#[test]
+fn tampered_winner_payload_is_detected() {
+    let f = fx();
+    let mut tampered = f.response.clone();
+    tampered.results[0].data[0] ^= 1;
+    let id = tampered.results[0].id;
+    match verify(f, &tampered) {
+        Err(ShardedError::Shard {
+            error: ClientError::ImageSignatureInvalid { id: bad },
+            ..
+        }) => assert_eq!(bad, id),
+        other => panic!("tampered payload not detected: {other:?}"),
+    }
+}
+
+#[test]
+fn manipulated_merge_is_detected() {
+    let f = fx();
+    // Dropping a winner row shrinks the result set below the verified merge.
+    let mut tampered = f.response.clone();
+    tampered.results.pop();
+    assert_eq!(verify(f, &tampered), Err(ShardedError::MergeMismatch));
+
+    // Duplicating a winner row keeps the length but corrupts the set.
+    let mut tampered = f.response.clone();
+    let dup = tampered.results[0].clone();
+    tampered.results.pop();
+    tampered.results.push(dup);
+    assert_eq!(verify(f, &tampered), Err(ShardedError::MergeMismatch));
+}
+
+impl Fx {
+    fn client_public_key(&self) -> imageproof_crypto::PublicKey {
+        // Rebuild the key from the owner seed instead of exposing client
+        // internals.
+        Owner::new(&[21u8; 32]).public_key()
+    }
+}
+
+/// Exhaustiveness reminder: the matrix above exercises ManifestInvalid,
+/// ShardCountMismatch, UnknownShard, DuplicateShard, ShardMissing,
+/// Shard{RootSignatureInvalid | Inv | ImageSignatureInvalid},
+/// BoundShapeInvalid, BoundExceeded, and MergeMismatch. Adding a
+/// ShardedError variant makes this match non-exhaustive — extend the
+/// attack matrix when that happens.
+#[test]
+fn the_attack_matrix_tracks_every_error_variant() {
+    let probe = |e: &ShardedError| match e {
+        ShardedError::ManifestInvalid
+        | ShardedError::ShardCountMismatch { .. }
+        | ShardedError::UnknownShard { .. }
+        | ShardedError::DuplicateShard { .. }
+        | ShardedError::ShardMissing { .. }
+        | ShardedError::Shard { .. }
+        | ShardedError::BoundShapeInvalid { .. }
+        | ShardedError::BoundExceeded { .. }
+        | ShardedError::DuplicateCandidate { .. }
+        | ShardedError::AssignmentMismatch { .. }
+        | ShardedError::MergeMismatch => (),
+    };
+    probe(&ShardedError::MergeMismatch);
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the harness API the workspace's benches compile against
+//! (`Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`). Measurement is a
+//! deliberately small wall-clock loop: a short warm-up, then a fixed number
+//! of timed batches, reporting the per-iteration median to stdout. There is
+//! no statistical analysis, plotting, or persistence — benches stay
+//! runnable and comparable order-of-magnitude, which is all the offline
+//! environment supports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing harness handed to bench closures.
+pub struct Bencher {
+    /// Median per-iteration time of the timed batches.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size that lasts ~1ms.
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 10_000) as u32;
+
+        const BATCHES: usize = 7;
+        let mut samples = [Duration::ZERO; BATCHES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            *sample = start.elapsed() / per_batch;
+        }
+        samples.sort();
+        self.elapsed = samples[BATCHES / 2];
+    }
+}
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Accepted anywhere a bench name is expected (`&str` or `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+            let gib = n as f64 / per_iter.as_secs_f64() / (1u64 << 30) as f64;
+            format!("  ({gib:.3} GiB/s)")
+        }
+        Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+            let meps = n as f64 / per_iter.as_secs_f64() / 1e6;
+            format!("  ({meps:.3} Melem/s)")
+        }
+        _ => String::new(),
+    };
+    println!("bench: {label:<48} {per_iter:>12.3?}/iter{rate}");
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, None, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.text, None, |b| f(b, input));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<ID: IntoBenchmarkId, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.throughput, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_api_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| black_box(7)));
+        group.finish();
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for the `crossbeam` facade.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! exact API slice it consumes. `imageproof-parallel` uses only
+//! `crossbeam::thread::scope` and `Scope::spawn`; both map directly onto
+//! `std::thread::scope`, which gives the same structured-concurrency
+//! guarantee (all workers joined before the scope returns).
+
+pub mod thread {
+    /// Mirrors `crossbeam::thread::scope`'s result type. With the std
+    /// backend a worker panic is resumed on the joining thread instead of
+    /// being captured, so callers only ever observe `Ok` — their
+    /// `.expect(..)` on this value stays a no-op.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Scope handle passed to the closure given to [`scope`]; spawned
+    /// workers receive it again so nested spawns keep working.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined before
+    /// this function returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_join_and_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    total.fetch_add(part, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let hit = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| hit.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .expect("scope");
+        assert!(hit.into_inner());
+    }
+}

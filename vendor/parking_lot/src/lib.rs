@@ -1,0 +1,56 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Only the `Mutex` surface the workspace consumes is exposed, backed by
+//! `std::sync::Mutex` with poisoning unwrapped the way parking_lot behaves:
+//! a panic while holding the lock does not poison it for later users.
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Like parking_lot, locking never fails: a poisoned std mutex is
+    /// recovered transparently.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(Vec::new());
+        m.lock().push(1u32);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

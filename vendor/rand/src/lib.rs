@@ -1,0 +1,241 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment has no network access, so this crate implements the
+//! slice of the rand API the workspace actually uses: `rngs::StdRng` seeded
+//! via `SeedableRng::seed_from_u64`, and the `Rng` extension methods
+//! `gen::<T>()` / `gen_range(range)`. The generator is xoshiro256++ with a
+//! SplitMix64 seed expansion — deterministic for a given seed, which is all
+//! the corpus generators and tests rely on (they never pin exact streams).
+
+/// Core source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction; only `seed_from_u64` is used by this workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods, blanket-implemented for every `RngCore` (including
+/// unsized `dyn`/generic `R: Rng + ?Sized` receivers).
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator standing in for rand's `StdRng`. The streams
+    /// differ from upstream rand, which is fine: nothing in the workspace
+    /// pins exact values, only determinism per seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion; its outputs are never all-zero, which
+            // xoshiro requires.
+            let mut z = state;
+            let mut next = || {
+                z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                x ^ (x >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The default distribution behind `Rng::gen`: uniform over the type's
+    /// range for integers, uniform in `[0, 1)` for floats.
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            // 24 mantissa bits of uniformity in [0, 1).
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 mantissa bits of uniformity in [0, 1).
+            ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    pub mod uniform {
+        use super::super::RngCore;
+        use super::{Distribution, Standard};
+
+        /// Ranges that `Rng::gen_range` accepts.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let v = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + v as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "cannot sample empty range");
+                        let span = (end as i128 - start as i128) as u128 + 1;
+                        let v = (rng.next_u64() as u128) % span;
+                        (start as i128 + v as i128) as $t
+                    }
+                }
+            )*};
+        }
+        int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! float_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let unit: $t = Distribution::<$t>::sample(&Standard, rng);
+                        self.start + (self.end - self.start) * unit
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "cannot sample empty range");
+                        let unit: $t = Distribution::<$t>::sample(&Standard, rng);
+                        start + (end - start) * unit
+                    }
+                }
+            )*};
+        }
+        float_range!(f32, f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(5usize..=7);
+            assert!((5..=7).contains(&w));
+            seen_lo |= w == 5;
+            seen_hi |= w == 7;
+            let f = rng.gen_range(-0.05f32..0.05);
+            assert!((-0.05..0.05).contains(&f));
+            let e = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&e));
+        }
+        assert!(seen_lo && seen_hi, "inclusive bounds are reachable");
+    }
+
+    #[test]
+    fn works_through_unsized_receivers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = draw(&mut rng);
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types to
+//! keep the external-facing API shaped like the real crates, but nothing in
+//! the tree instantiates a serializer (there is no serde_json here). This
+//! stub therefore only needs the trait *shapes*: default method bodies
+//! report "unsupported" through the format's own error type, and the derive
+//! macro emits empty impls that inherit them.
+
+pub mod ser {
+    /// Error constructor every serializer error type must provide.
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    /// Error constructor every deserializer error type must provide.
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let _ = serializer;
+        Err(<S::Error as ser::Error>::custom(
+            "serde offline stub: serialization is not supported",
+        ))
+    }
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let _ = deserializer;
+        Err(<D::Error as de::Error>::custom(
+            "serde offline stub: deserialization is not supported",
+        ))
+    }
+}
+
+// Blanket-ish impls for the few concrete types manual impls in the tree
+// forward to (ed25519 Signature serializes as a byte slice / Vec<u8>).
+impl Serialize for [u8] {}
+impl<T> Serialize for Vec<T> {}
+impl<'de, T> Deserialize<'de> for Vec<T> {}
+impl Serialize for u8 {}
+impl<'de> Deserialize<'de> for u8 {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
