@@ -21,7 +21,14 @@ echo "== sharded serving: shard-vs-monolith differential + adversary matrix =="
 cargo test -q --test shard_equivalence
 cargo test -q --test shard_adversary
 
-echo "== audit: self-tests =="
+echo "== observability: obs-on/off VO byte-equivalence =="
+# The zero-perturbation gate: recording on vs off must serve byte-identical
+# VOs and identical top-k for every scheme × thread count, monolith and
+# sharded.
+cargo test -q --test obs_equivalence
+cargo test -q -p imageproof-obs
+
+echo "== audit: self-tests (includes the Instant/SystemTime confinement rule) =="
 cargo test -q -p imageproof-audit
 
 echo "== audit: zero findings on the tree =="

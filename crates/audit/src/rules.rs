@@ -43,6 +43,14 @@ const PANIC_FILES: &[&str] = &[
 /// and demo binaries that never feed a digest.
 const DETERMINISM_SKIP: &[&str] = &["crates/bench/", "src/bin/", "examples/"];
 
+/// The only places allowed to name `Instant`/`SystemTime` in non-test
+/// code: the observability crate (whose `Stopwatch` is the workspace's
+/// single clock) and vendored third-party sources. Everything else —
+/// bench harnesses and demo binaries included — must route timing through
+/// `imageproof_obs`, so the zero-perturbation guarantee has one audit
+/// surface.
+const TIME_ALLOW_PREFIXES: &[&str] = &["crates/obs/", "vendor/"];
+
 /// The one file allowed to reduce floats: its summation order is fixed and
 /// shared verbatim by owner, SP, and client.
 const FLOAT_KERNEL: &str = "crates/akm/src/kernel.rs";
@@ -168,19 +176,44 @@ fn check_panic(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
     }
 }
 
-/// Rule `determinism`: no HashMap/HashSet, wall-clock time, or float
-/// reductions in files that mention `Digest` or `Encode` in code.
+/// Rule `determinism`: no wall-clock types anywhere outside `crates/obs`,
+/// and no HashMap/HashSet or float reductions in files that mention
+/// `Digest` or `Encode` in code.
 fn check_determinism(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
+    let bytes = s.text.as_bytes();
+    let tests = lexer::test_regions(&s.text);
+
+    // The time half is workspace-wide (no digest trigger, no bench/demo
+    // skip): `Instant`/`SystemTime` are legal only inside the obs crate,
+    // so every timing source funnels through one auditable clock.
+    if !TIME_ALLOW_PREFIXES.iter().any(|p| f.path.starts_with(p)) {
+        for word in ["Instant", "SystemTime"] {
+            let mut i = 0;
+            while let Some(pos) = lexer::find_word(bytes, word.as_bytes(), i) {
+                i = pos + 1;
+                if in_any(&tests, pos) {
+                    continue;
+                }
+                out.push(Finding {
+                    path: f.path.clone(),
+                    line: s.line_of(pos),
+                    rule: "determinism",
+                    message: format!(
+                        "{word} outside crates/obs; route timing through imageproof_obs (Stopwatch or spans)"
+                    ),
+                });
+            }
+        }
+    }
+
     if DETERMINISM_SKIP.iter().any(|p| f.path.starts_with(p)) {
         return;
     }
-    let bytes = s.text.as_bytes();
     let triggered = lexer::find_word(bytes, b"Digest", 0).is_some()
         || lexer::find_word(bytes, b"Encode", 0).is_some();
     if !triggered {
         return;
     }
-    let tests = lexer::test_regions(&s.text);
 
     for word in ["HashMap", "HashSet"] {
         let mut i = 0;
@@ -198,19 +231,6 @@ fn check_determinism(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
                 ),
             });
         }
-    }
-    let mut i = 0;
-    while let Some(pos) = lexer::find_from(bytes, b"std::time", i) {
-        i = pos + 1;
-        if in_any(&tests, pos) {
-            continue;
-        }
-        out.push(Finding {
-            path: f.path.clone(),
-            line: s.line_of(pos),
-            rule: "determinism",
-            message: "wall-clock time is nondeterministic near digest/wire code".to_string(),
-        });
     }
     if f.path != FLOAT_KERNEL {
         for pat in [".sum::<f32>()", ".sum::<f64>()"] {
@@ -550,10 +570,48 @@ mod tests {
 
     #[test]
     fn determinism_rule_skips_untriggered_and_bench_files() {
-        let src = "use std::collections::HashMap;\nfn f() { let t = std::time::Instant::now(); }";
+        // No Digest/Encode trigger: the collection half stays quiet.
+        let src = "use std::collections::HashMap;\nfn f(h: HashMap<u32, u32>) {}";
         assert!(one("crates/mrkd/src/stats.rs", src).is_empty());
         let bench = "fn b() -> Digest { let h: HashMap<u32, u32>; Digest::zero() }";
         assert!(one("crates/bench/src/lib.rs", bench).is_empty());
+    }
+
+    #[test]
+    fn time_rule_fires_everywhere_outside_obs() {
+        // Self-test fixture for the time half: a raw Instant must be
+        // flagged even in files the collection half skips (bench
+        // harnesses, demo binaries, untriggered library code).
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        for path in [
+            "crates/bench/src/measure.rs",
+            "src/bin/imageproof-demo.rs",
+            "examples/quickstart.rs",
+            "crates/mrkd/src/stats.rs",
+        ] {
+            let f = one(path, src);
+            assert!(
+                f.iter()
+                    .any(|x| x.rule == "determinism" && x.message.contains("Instant")),
+                "{path}: {f:?}"
+            );
+        }
+        let sys = "fn f() { let t = std::time::SystemTime::now(); }";
+        let f = one("crates/core/src/sp.rs", sys);
+        assert!(f.iter().any(|x| x.message.contains("SystemTime")), "{f:?}");
+    }
+
+    #[test]
+    fn time_rule_allows_obs_vendor_and_test_code() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert!(one("crates/obs/src/clock.rs", src).is_empty());
+        assert!(one("vendor/crossbeam/src/lib.rs", src).is_empty());
+        let test_only =
+            "#[cfg(test)]\nmod t { use std::time::Instant;\nfn f() { let t = Instant::now(); } }";
+        assert!(one("crates/core/src/sp.rs", test_only).is_empty());
+        // `Duration` is a plain value type, not a clock — never flagged.
+        let dur = "fn f(d: std::time::Duration) -> u64 { d.as_micros() as u64 }";
+        assert!(one("crates/core/src/sp.rs", dur).is_empty());
     }
 
     // --- rule `wire` ---

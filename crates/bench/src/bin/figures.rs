@@ -91,9 +91,9 @@ impl FixtureCache {
             "[build] {:?} corpus: {} images, codebook {} …",
             config.kind, config.n_images, config.codebook_size
         );
-        let t = std::time::Instant::now();
+        let t = imageproof_obs::Stopwatch::start();
         let fixture = Arc::new(Fixture::build(config.clone()));
-        eprintln!("[build] done in {:.1}s", t.elapsed().as_secs_f64());
+        eprintln!("[build] done in {:.1}s", t.elapsed_seconds());
         self.built.insert(key, fixture.clone());
         fixture
     }
@@ -346,6 +346,51 @@ fn fig14(cache: &mut FixtureCache, scale: &Scale) {
     println!("{}", t.render());
 }
 
+/// Accumulates per-query phase timings (from [`QueryProfile`]s) into
+/// log-linear histograms, one per top-level phase, and renders them as a
+/// JSON object of quantile summaries for the `BENCH_*.json` snapshots.
+///
+/// [`QueryProfile`]: imageproof_obs::QueryProfile
+#[derive(Default)]
+struct PhaseQuantiles {
+    hists: std::collections::BTreeMap<&'static str, imageproof_obs::Histogram>,
+}
+
+impl PhaseQuantiles {
+    fn record(&mut self, profile: &imageproof_obs::QueryProfile) {
+        for (phase, seconds) in profile.phases() {
+            self.hists
+                .entry(phase)
+                .or_default()
+                .record(imageproof_obs::micros(seconds));
+        }
+    }
+
+    /// `{"bovw": {"count": …, "mean_us": …, "p50_us": …, "p90_us": …,
+    /// "p99_us": …}, …}` — quantiles are log-linear bucket upper bounds
+    /// (≤ 25 % high), in microseconds.
+    fn json(&self) -> String {
+        let phases: Vec<String> = self
+            .hists
+            .iter()
+            .map(|(phase, h)| {
+                let s = h.snapshot();
+                format!(
+                    "\"{}\": {{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \
+                     \"p90_us\": {}, \"p99_us\": {}}}",
+                    phase,
+                    s.count,
+                    s.mean(),
+                    s.quantile(0.5),
+                    s.quantile(0.9),
+                    s.quantile(0.99),
+                )
+            })
+            .collect();
+        format!("{{{}}}", phases.join(", "))
+    }
+}
+
 /// One `(scheme, threads)` cell of the thread sweep, as written to
 /// `BENCH_queries.json`.
 struct SweepRecord {
@@ -357,6 +402,7 @@ struct SweepRecord {
     client_verify_ms: f64,
     hashes_computed: usize,
     hashes_cached: usize,
+    phases: PhaseQuantiles,
 }
 
 impl SweepRecord {
@@ -374,7 +420,8 @@ impl SweepRecord {
             "    {{\"scheme\": \"{}\", \"threads\": {}, \"build_s\": {:.6}, \
              \"sp_ms_per_query\": {:.6}, \"vo_bytes\": {:.1}, \
              \"client_verify_ms\": {:.6}, \"hashes_computed\": {}, \
-             \"hashes_cached\": {}, \"cache_hit_ratio\": {:.6}}}",
+             \"hashes_cached\": {}, \"cache_hit_ratio\": {:.6}, \
+             \"phases\": {}}}",
             self.scheme,
             self.threads,
             self.build_seconds,
@@ -384,6 +431,7 @@ impl SweepRecord {
             self.hashes_computed,
             self.hashes_cached,
             self.cache_hit_ratio(),
+            self.phases.json(),
         )
     }
 }
@@ -430,21 +478,23 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
             let mut client_seconds = 0.0f64;
             let mut hashes_computed = 0usize;
             let mut hashes_cached = 0usize;
-            let t0 = std::time::Instant::now();
+            let mut phases = PhaseQuantiles::default();
+            let t0 = imageproof_obs::Stopwatch::start();
             let responses: Vec<_> = queries
                 .iter()
-                .map(|features| sp.query_with(features, k, conc))
+                .map(|features| sp.query_profiled(features, k, conc))
                 .collect();
-            let query_seconds = t0.elapsed().as_secs_f64() / queries.len() as f64;
-            for (features, (response, stats)) in queries.iter().zip(&responses) {
+            let query_seconds = t0.elapsed_seconds() / queries.len() as f64;
+            for (features, (response, stats, profile)) in queries.iter().zip(&responses) {
+                phases.record(profile);
                 vo_bytes += response.vo.wire_size() as f64;
                 hashes_computed += stats.hashes_computed;
                 hashes_cached += stats.hashes_cached;
-                let t1 = std::time::Instant::now();
+                let t1 = imageproof_obs::Stopwatch::start();
                 client
                     .verify(features, k, response)
                     .expect("honest response verifies");
-                client_seconds += t1.elapsed().as_secs_f64();
+                client_seconds += t1.elapsed_seconds();
             }
             let n = queries.len().max(1) as f64;
             vo_bytes /= n;
@@ -462,6 +512,7 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 client_verify_ms: client_seconds * 1e3,
                 hashes_computed,
                 hashes_cached,
+                phases,
             };
             t.row([
                 scheme.label().to_string(),
@@ -507,6 +558,10 @@ struct ShardRecord {
     vo_bytes: f64,
     client_verify_ms: f64,
     bound_queries_per_query: f64,
+    slowest_shard_ms: f64,
+    merge_share: f64,
+    cache_hit_ratio: f64,
+    phases: PhaseQuantiles,
 }
 
 impl ShardRecord {
@@ -515,7 +570,9 @@ impl ShardRecord {
             "    {{\"scheme\": \"{}\", \"shards\": {}, \"build_s\": {:.6}, \
              \"sp_ms_per_query\": {:.6}, \"merge_ms_per_query\": {:.6}, \
              \"vo_bytes\": {:.1}, \"client_verify_ms\": {:.6}, \
-             \"bound_queries_per_query\": {:.3}}}",
+             \"bound_queries_per_query\": {:.3}, \"slowest_shard_ms\": {:.6}, \
+             \"merge_share\": {:.6}, \"cache_hit_ratio\": {:.6}, \
+             \"phases\": {}}}",
             self.scheme,
             self.shards,
             self.build_seconds,
@@ -524,6 +581,10 @@ impl ShardRecord {
             self.vo_bytes,
             self.client_verify_ms,
             self.bound_queries_per_query,
+            self.slowest_shard_ms,
+            self.merge_share,
+            self.cache_hit_ratio,
+            self.phases.json(),
         )
     }
 }
@@ -552,6 +613,8 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
         "build_s",
         "sp_ms",
         "merge_ms",
+        "merge_%",
+        "slow_shard_ms",
         "vo_KiB",
         "client_ms",
         "bound_q",
@@ -567,26 +630,41 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
             let mut client_seconds = 0.0f64;
             let mut merge_seconds = 0.0f64;
             let mut bound_queries = 0usize;
-            let t0 = std::time::Instant::now();
+            let mut slowest_shard_seconds = 0.0f64;
+            let mut merge_share = 0.0f64;
+            let mut hashes_computed = 0usize;
+            let mut hashes_cached = 0usize;
+            let mut phases = PhaseQuantiles::default();
+            let t0 = imageproof_obs::Stopwatch::start();
             let responses: Vec<_> = queries
                 .iter()
-                .map(|features| sp.query(features, k))
+                .map(|features| {
+                    sp.query_profiled(features, k, imageproof_core::Concurrency::serial())
+                })
                 .collect();
-            let query_seconds = t0.elapsed().as_secs_f64() / queries.len().max(1) as f64;
-            for (features, (response, stats)) in queries.iter().zip(&responses) {
+            let query_seconds = t0.elapsed_seconds() / queries.len().max(1) as f64;
+            for (features, (response, stats, profile)) in queries.iter().zip(&responses) {
+                phases.record(profile);
                 vo_bytes += response.vo.wire_size() as f64;
                 merge_seconds += stats.merge_seconds;
                 bound_queries += stats.bound_queries;
-                let t1 = std::time::Instant::now();
+                slowest_shard_seconds += stats.slowest_shard_seconds();
+                merge_share += stats.merge_share();
+                hashes_computed += stats.total_hashes_computed();
+                hashes_cached += stats.total_hashes_cached();
+                let t1 = imageproof_obs::Stopwatch::start();
                 client
                     .verify_sharded(features, k, response, &manifest)
                     .expect("honest sharded response verifies");
-                client_seconds += t1.elapsed().as_secs_f64();
+                client_seconds += t1.elapsed_seconds();
             }
             let n = queries.len().max(1) as f64;
             vo_bytes /= n;
             client_seconds /= n;
             merge_seconds /= n;
+            slowest_shard_seconds /= n;
+            merge_share /= n;
+            let total_hashes = hashes_computed + hashes_cached;
             let record = ShardRecord {
                 scheme: scheme.label(),
                 shards,
@@ -596,6 +674,14 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 vo_bytes,
                 client_verify_ms: client_seconds * 1e3,
                 bound_queries_per_query: bound_queries as f64 / n,
+                slowest_shard_ms: slowest_shard_seconds * 1e3,
+                merge_share,
+                cache_hit_ratio: if total_hashes == 0 {
+                    0.0
+                } else {
+                    hashes_cached as f64 / total_hashes as f64
+                },
+                phases,
             };
             t.row([
                 scheme.label().to_string(),
@@ -603,6 +689,8 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 format!("{build_seconds:.2}"),
                 ms(query_seconds),
                 ms(merge_seconds),
+                pct(record.merge_share),
+                ms(slowest_shard_seconds),
                 kib(vo_bytes),
                 ms(client_seconds),
                 format!("{:.1}", record.bound_queries_per_query),

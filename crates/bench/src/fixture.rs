@@ -152,14 +152,14 @@ impl Fixture {
         scheme: Scheme,
         conc: Concurrency,
     ) -> (ServiceProvider, Client, f64) {
-        let t = std::time::Instant::now();
+        let t = imageproof_obs::Stopwatch::start();
         let (db, published) = self.owner.build_system_prepared_config(
             &self.corpus,
             self.codebook.clone(),
             self.encodings.clone(),
             SystemConfig::new(scheme).with_threads(conc.threads),
         );
-        let seconds = t.elapsed().as_secs_f64();
+        let seconds = t.elapsed_seconds();
         (ServiceProvider::new(db), Client::new(published), seconds)
     }
 
@@ -174,7 +174,7 @@ impl Fixture {
         scheme: Scheme,
         shard_count: usize,
     ) -> (ShardedSp, Client, ShardManifest, f64) {
-        let t = std::time::Instant::now();
+        let t = imageproof_obs::Stopwatch::start();
         let system = self.owner.build_sharded_system_prepared_config(
             &self.corpus,
             self.codebook.clone(),
@@ -182,7 +182,7 @@ impl Fixture {
             SystemConfig::new(scheme),
             shard_count,
         );
-        let seconds = t.elapsed().as_secs_f64();
+        let seconds = t.elapsed_seconds();
         (
             ShardedSp::new(system.shards),
             Client::new(system.published),

@@ -8,8 +8,8 @@ use imageproof_crypto::Digest;
 use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk};
 use imageproof_invindex::{inv_search, verify_topk, BoundsMode};
 use imageproof_mrkd::{mrkd_search, mrkd_search_baseline, verify_bovw, verify_bovw_baseline};
+use imageproof_obs::Stopwatch;
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// BoVW-step metrics (Figs. 6–8).
 #[derive(Clone, Copy, Debug, Default)]
@@ -51,30 +51,30 @@ pub fn measure_bovw_step(
     let db = sp.database();
     let mut out = BovwMeasurement::default();
     for features in queries {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let thresholds: Vec<f32> = features
             .iter()
             .map(|f| db.codebook.assign_with_threshold(f).1)
             .collect();
         if scheme.shares_nodes() {
             let search = mrkd_search(&db.mrkd, features, &thresholds);
-            out.sp_seconds += t0.elapsed().as_secs_f64();
+            out.sp_seconds += t0.elapsed_seconds();
             out.vo_bytes += search.vo.wire_size() as f64;
             out.shared_ratio += search.stats.shared_ratio();
 
-            let t1 = Instant::now();
+            let t1 = Stopwatch::start();
             verify_bovw(&search.vo, features, scheme.candidate_mode())
                 .expect("honest BoVW VO verifies");
-            out.client_seconds += t1.elapsed().as_secs_f64();
+            out.client_seconds += t1.elapsed_seconds();
         } else {
             let (vo, _, stats) = mrkd_search_baseline(&db.mrkd, features, &thresholds);
-            out.sp_seconds += t0.elapsed().as_secs_f64();
+            out.sp_seconds += t0.elapsed_seconds();
             out.vo_bytes += vo.wire_size() as f64;
             out.shared_ratio += stats.shared_ratio();
 
-            let t1 = Instant::now();
+            let t1 = Stopwatch::start();
             verify_bovw_baseline(&vo, features).expect("honest baseline BoVW VO verifies");
-            out.client_seconds += t1.elapsed().as_secs_f64();
+            out.client_seconds += t1.elapsed_seconds();
         }
     }
     let n = queries.len().max(1) as f64;
@@ -113,16 +113,16 @@ pub fn measure_inv_step(
                 } else {
                     BoundsMode::MaxBound
                 };
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let search = inv_search(index, &bovw, k, mode);
-                out.sp_seconds += t0.elapsed().as_secs_f64();
+                out.sp_seconds += t0.elapsed_seconds();
                 out.popped_ratio += search.stats.popped_ratio();
                 out.vo_bytes += search.vo.wire_size() as f64;
                 let claimed: Vec<u64> = search.topk.iter().map(|&(i, _)| i).collect();
-                let t1 = Instant::now();
+                let t1 = Stopwatch::start();
                 verify_topk(&search.vo, &bovw, &digests, &claimed, k, mode)
                     .expect("honest inverted VO verifies");
-                out.client_seconds += t1.elapsed().as_secs_f64();
+                out.client_seconds += t1.elapsed_seconds();
             }
             IndexVariant::Grouped(index) => {
                 let digests: BTreeMap<u32, Digest> = index
@@ -130,16 +130,16 @@ pub fn measure_inv_step(
                     .iter()
                     .map(|l| (l.cluster, l.digest))
                     .collect();
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let search = grouped_search(index, &bovw, k);
-                out.sp_seconds += t0.elapsed().as_secs_f64();
+                out.sp_seconds += t0.elapsed_seconds();
                 out.popped_ratio += search.stats.popped_ratio();
                 out.vo_bytes += search.vo.wire_size() as f64;
                 let claimed: Vec<u64> = search.topk.iter().map(|&(i, _)| i).collect();
-                let t1 = Instant::now();
+                let t1 = Stopwatch::start();
                 verify_grouped_topk(&search.vo, &bovw, &digests, &claimed, k)
                     .expect("honest grouped VO verifies");
-                out.client_seconds += t1.elapsed().as_secs_f64();
+                out.client_seconds += t1.elapsed_seconds();
             }
         }
     }
@@ -163,15 +163,15 @@ pub fn measure_overall(
     let (sp, client) = &*system;
     let mut out = OverallMeasurement::default();
     for features in queries {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let (response, _) = sp.query(features, k);
-        out.sp_seconds += t0.elapsed().as_secs_f64();
+        out.sp_seconds += t0.elapsed_seconds();
         out.vo_bytes += response.vo.wire_size() as f64;
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         client
             .verify(features, k, &response)
             .expect("honest response verifies");
-        out.client_seconds += t1.elapsed().as_secs_f64();
+        out.client_seconds += t1.elapsed_seconds();
     }
     let n = queries.len().max(1) as f64;
     OverallMeasurement {

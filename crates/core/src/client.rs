@@ -19,8 +19,8 @@ use imageproof_crypto::Signature;
 use imageproof_invindex::grouped::verify_grouped_topk;
 use imageproof_invindex::{verify_topk, BoundsMode, InvVerifyError};
 use imageproof_mrkd::{verify_bovw, verify_bovw_baseline, VerifyError as BovwError};
+use imageproof_obs::{micros, Profiler, QueryProfile};
 use imageproof_vision::ImageId;
-use std::time::Instant;
 
 /// Why the client rejected a response.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +81,10 @@ pub struct VerifiedResult {
 }
 
 /// Client-side verification cost breakdown.
+///
+/// Timings are views over the verification's observability spans: with
+/// recording disabled ([`imageproof_obs::set_enabled`]`(false)`) they read
+/// 0 while the accept/reject outcome stays identical.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClientStats {
     pub bovw_seconds: f64,
@@ -111,6 +115,9 @@ impl Client {
     /// The monolith path calls this once per response with
     /// [`RootExpectation::OwnerSignature`]; the sharded path calls it once
     /// per sub-VO with the shard's manifest-committed root.
+    ///
+    /// Timing comes from `prof` spans (`bovw`, `inv`); on an error return
+    /// the open span is discarded along with the caller's profiler.
     pub(crate) fn verify_query_vo(
         &self,
         features: &[Vec<f32>],
@@ -118,11 +125,13 @@ impl Client {
         vo: &QueryVo,
         claimed: &[ImageId],
         root: RootExpectation<'_>,
+        prof: &mut Profiler,
     ) -> Result<SubVerify, ClientError> {
         let scheme = self.params.scheme;
 
         // (i) + (ii): BoVW encoding.
-        let t0 = Instant::now();
+        prof.enter("bovw");
+        prof.add("features", features.len() as u64);
         let verified_bovw = match (&vo.bovw, scheme.shares_nodes()) {
             (BovwVoVariant::Shared(v), true) => verify_bovw(v, features, scheme.candidate_mode())?,
             (BovwVoVariant::PerQuery(v), false) => verify_bovw_baseline(v, features)?,
@@ -144,10 +153,10 @@ impl Client {
             }
         }
         let query_bovw = SparseBovw::from_counts(verified_bovw.assignments.iter().map(|&c| (c, 1)));
-        let bovw_seconds = t0.elapsed().as_secs_f64();
+        let bovw_seconds = prof.exit();
 
         // (iii): inverted-index search.
-        let t1 = Instant::now();
+        prof.enter("inv");
         if claimed.len() != vo.signatures.len() {
             return Err(ClientError::ResultShapeMismatch);
         }
@@ -166,7 +175,8 @@ impl Client {
             }
             _ => return Err(ClientError::SchemeMismatch),
         };
-        let inv_seconds = t1.elapsed().as_secs_f64();
+        prof.add("claimed", claimed.len() as u64);
+        let inv_seconds = prof.exit();
 
         Ok(SubVerify {
             topk: verified_topk.topk,
@@ -214,6 +224,21 @@ impl Client {
         k: usize,
         response: &QueryResponse,
     ) -> Result<VerifiedResult, ClientError> {
+        self.verify_profiled(features, k, response)
+            .map(|(verified, _)| verified)
+    }
+
+    /// [`Client::verify`] that additionally returns the verification's
+    /// structured span profile (phases `bovw`, `inv`, `signatures`). The
+    /// profile is pure observation: accept/reject is identical whether or
+    /// not recording is enabled.
+    pub fn verify_profiled(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        response: &QueryResponse,
+    ) -> Result<(VerifiedResult, QueryProfile), ClientError> {
+        let mut prof = Profiler::new("client.verify");
         let claimed: Vec<ImageId> = response.results.iter().map(|r| r.id).collect();
         let sub = self.verify_query_vo(
             features,
@@ -221,27 +246,54 @@ impl Client {
             &response.vo,
             &claimed,
             RootExpectation::OwnerSignature,
+            &mut prof,
         )?;
 
         // (iv): image signatures.
-        let t2 = Instant::now();
+        prof.enter("signatures");
         let items: Vec<(ImageId, &[u8], Signature)> = response
             .results
             .iter()
             .zip(&response.vo.signatures)
             .map(|(r, &s)| (r.id, r.data.as_slice(), s))
             .collect();
+        prof.add("signatures", items.len() as u64);
         self.check_image_signatures(&items)?;
-        let signature_seconds = t2.elapsed().as_secs_f64();
+        let signature_seconds = prof.exit();
 
-        Ok(VerifiedResult {
-            topk: sub.topk,
-            assignments: sub.assignments,
-            stats: ClientStats {
-                bovw_seconds: sub.bovw_seconds,
-                inv_seconds: sub.inv_seconds,
-                signature_seconds,
+        if prof.is_recording() {
+            self.record_verify(sub.bovw_seconds, sub.inv_seconds, signature_seconds);
+        }
+        Ok((
+            VerifiedResult {
+                topk: sub.topk,
+                assignments: sub.assignments,
+                stats: ClientStats {
+                    bovw_seconds: sub.bovw_seconds,
+                    inv_seconds: sub.inv_seconds,
+                    signature_seconds,
+                },
             },
-        })
+            prof.finish(),
+        ))
+    }
+
+    /// Records one accepted verification into the global registry.
+    fn record_verify(&self, bovw_seconds: f64, inv_seconds: f64, signature_seconds: f64) {
+        let reg = imageproof_obs::global();
+        let slug = self.params.scheme.slug();
+        reg.counter("imageproof_client_verifies_total", &[("scheme", slug)])
+            .inc();
+        for (phase, seconds) in [
+            ("bovw", bovw_seconds),
+            ("inv", inv_seconds),
+            ("signatures", signature_seconds),
+        ] {
+            reg.histogram(
+                "imageproof_client_phase_micros",
+                &[("scheme", slug), ("phase", phase)],
+            )
+            .record(micros(seconds));
+        }
     }
 }

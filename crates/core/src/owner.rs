@@ -7,6 +7,7 @@ use imageproof_crypto::{Digest, PublicKey, Signature, SigningKey};
 use imageproof_invindex::grouped::GroupedInvertedIndex;
 use imageproof_invindex::MerkleInvertedIndex;
 use imageproof_mrkd::MrkdForest;
+use imageproof_obs::{Profiler, QueryProfile};
 use imageproof_parallel::{par_map, par_map_chunked, Concurrency};
 use imageproof_vision::{Corpus, ImageId, SyntheticImage};
 use std::collections::BTreeMap;
@@ -161,9 +162,29 @@ impl Owner {
         akm: &AkmParams,
         config: SystemConfig,
     ) -> (Database, PublishedParams) {
+        let (db, published, _) = self.build_system_config_profiled(corpus, akm, config);
+        (db, published)
+    }
+
+    /// [`Owner::build_system_config`] that additionally returns the
+    /// build's structured span profile (phases `codebook`, `encode`,
+    /// `model`, `index`, `mrkd`, `sign`, `sign_root`). The profile is pure
+    /// observation: the database, root digest, and signatures are
+    /// identical whether or not recording is enabled.
+    pub fn build_system_config_profiled(
+        &self,
+        corpus: &Corpus,
+        akm: &AkmParams,
+        config: SystemConfig,
+    ) -> (Database, PublishedParams, QueryProfile) {
+        let mut prof = Profiler::new("owner.build");
         // 1. Codebook over all corpus descriptors.
+        prof.enter("codebook");
         let codebook = Codebook::train(corpus.config.kind, corpus.all_features(), akm);
-        self.build_system_with_codebook_config(corpus, codebook, config)
+        prof.exit();
+        let (db, published) =
+            self.build_system_with_codebook_config_prof(corpus, codebook, config, &mut prof);
+        (db, published, prof.finish())
     }
 
     /// Setup with a pre-trained codebook (lets experiments reuse one
@@ -186,8 +207,21 @@ impl Owner {
         codebook: Codebook,
         config: SystemConfig,
     ) -> (Database, PublishedParams) {
+        let mut prof = Profiler::new("owner.build");
+        self.build_system_with_codebook_config_prof(corpus, codebook, config, &mut prof)
+    }
+
+    fn build_system_with_codebook_config_prof(
+        &self,
+        corpus: &Corpus,
+        codebook: Codebook,
+        config: SystemConfig,
+        prof: &mut Profiler,
+    ) -> (Database, PublishedParams) {
         // 2. BoVW-encode every image with the protocol's assignment rule.
         // Each image encodes independently; merged in image index order.
+        prof.enter("encode");
+        prof.add("images", corpus.images.len() as u64);
         let encodings: Vec<(ImageId, SparseBovw)> =
             par_map(config.concurrency, &corpus.images, |_, img| {
                 (
@@ -195,7 +229,8 @@ impl Owner {
                     SparseBovw::encode(&codebook, img.features.iter().map(Vec::as_slice)),
                 )
             });
-        self.build_system_prepared_config(corpus, codebook, encodings, config)
+        prof.exit();
+        self.build_system_prepared_config_prof(corpus, codebook, encodings, config, prof)
     }
 
     /// Setup with pre-computed encodings (lets experiments amortize the
@@ -218,18 +253,50 @@ impl Owner {
         encodings: Vec<(ImageId, SparseBovw)>,
         config: SystemConfig,
     ) -> (Database, PublishedParams) {
+        let mut prof = Profiler::new("owner.build");
+        self.build_system_prepared_config_prof(corpus, codebook, encodings, config, &mut prof)
+    }
+
+    fn build_system_prepared_config_prof(
+        &self,
+        corpus: &Corpus,
+        codebook: Codebook,
+        encodings: Vec<(ImageId, SparseBovw)>,
+        config: SystemConfig,
+        prof: &mut Profiler,
+    ) -> (Database, PublishedParams) {
         let SystemConfig {
             scheme,
             concurrency,
         } = config;
+        prof.enter("model");
         let plain_encodings: Vec<SparseBovw> = encodings.iter().map(|(_, b)| b.clone()).collect();
         let model = ImpactModel::build(codebook.len(), &plain_encodings);
+        prof.exit();
         let n_trees = codebook.forest.trees().len();
         let images: Vec<&SyntheticImage> = corpus.images.iter().collect();
-        let db = self.build_ads(scheme, codebook, encodings, &model, &images, concurrency);
+        let db = self.build_ads(
+            scheme,
+            codebook,
+            encodings,
+            &model,
+            &images,
+            concurrency,
+            prof,
+        );
+        prof.enter("sign_root");
         let root_signature = self
             .signing_key
             .sign(&root_signing_message(&db.mrkd.combined_root_digest()));
+        prof.exit();
+        if prof.is_recording() {
+            imageproof_obs::global()
+                .counter(
+                    "imageproof_owner_builds_total",
+                    &[("scheme", scheme.slug())],
+                )
+                .inc();
+        }
         let published = PublishedParams {
             scheme,
             public_key: self.public_key(),
@@ -245,6 +312,7 @@ impl Owner {
     /// impact model is passed in because sharded builds must share the
     /// owner's *global* model, or per-shard scores would diverge from the
     /// monolith's.
+    #[allow(clippy::too_many_arguments)]
     fn build_ads(
         &self,
         scheme: Scheme,
@@ -253,9 +321,12 @@ impl Owner {
         model: &ImpactModel,
         images: &[&SyntheticImage],
         concurrency: Concurrency,
+        prof: &mut Profiler,
     ) -> Database {
         // 3. The inverted index (plain or grouped); per-cluster posting
         // lists, cuckoo filters, and digest chains build in parallel.
+        prof.enter("index");
+        prof.add("clusters", codebook.len() as u64);
         let inv = if scheme.grouped_index() {
             IndexVariant::Grouped(GroupedInvertedIndex::build_with(
                 codebook.len(),
@@ -271,8 +342,10 @@ impl Owner {
                 concurrency,
             ))
         };
+        prof.exit();
 
         // 4. The MRKD forest over the codebook's randomized k-d trees.
+        prof.enter("mrkd");
         let mrkd = MrkdForest::build_with(
             &codebook.forest,
             &codebook.centers,
@@ -280,10 +353,13 @@ impl Owner {
             scheme.candidate_mode(),
             concurrency,
         );
+        prof.exit();
 
         // 5. Image signatures. Ed25519 signing is deterministic (RFC
         // 8032), so per-image signatures fan out without affecting the
         // bytes.
+        prof.enter("sign");
+        prof.add("images", images.len() as u64);
         let stored: BTreeMap<ImageId, StoredImage> =
             par_map_chunked(concurrency, images, 16, |_, img| {
                 let signature = self
@@ -299,6 +375,7 @@ impl Owner {
             })
             .into_iter()
             .collect();
+        prof.exit();
 
         Database {
             scheme,
@@ -368,6 +445,7 @@ impl Owner {
         // comparable across shards (and would diverge from the monolith).
         let model = ImpactModel::build(codebook.len(), &plain_encodings);
         let n_trees = codebook.forest.trees().len();
+        let mut prof = Profiler::new("owner.build_sharded");
         let mut shards = Vec::with_capacity(shard_count);
         let mut roots = Vec::with_capacity(shard_count);
         for shard in 0..shard_count {
@@ -381,6 +459,8 @@ impl Owner {
                 .iter()
                 .filter(|img| shard_of(img.id, shard_count) == shard)
                 .collect();
+            prof.enter("shard.build");
+            prof.add("shard", shard as u64);
             let db = self.build_ads(
                 scheme,
                 codebook.clone(),
@@ -388,10 +468,21 @@ impl Owner {
                 &model,
                 &shard_images,
                 concurrency,
+                &mut prof,
             );
+            prof.exit();
             roots.push(db.mrkd.combined_root_digest());
             shards.push(db);
         }
+        if prof.is_recording() {
+            imageproof_obs::global()
+                .counter(
+                    "imageproof_owner_sharded_builds_total",
+                    &[("scheme", scheme.slug())],
+                )
+                .inc();
+        }
+        drop(prof.finish());
         let manifest = self.sign_manifest(roots);
         let published = PublishedParams {
             scheme,

@@ -66,6 +66,17 @@ impl Scheme {
             Scheme::OptimizedBoth => "Optimized (Both)",
         }
     }
+
+    /// Machine-friendly label used as the `scheme` value of observability
+    /// metrics (lowercase, no spaces — stable across releases).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::ImageProof => "imageproof",
+            Scheme::OptimizedBovw => "optimized-bovw",
+            Scheme::OptimizedBoth => "optimized-both",
+        }
+    }
 }
 
 /// Everything that shapes one outsourced system: the authentication scheme

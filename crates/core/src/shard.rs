@@ -30,6 +30,7 @@ use crate::scheme::QueryVo;
 use crate::sp::ImageResult;
 use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
 use imageproof_crypto::{Digest, MerkleTree, PublicKey, Signature};
+use imageproof_obs::{Profiler, QueryProfile};
 use imageproof_vision::ImageId;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
@@ -369,6 +370,25 @@ impl Client {
         response: &ShardedResponse,
         manifest: &ShardManifest,
     ) -> Result<ShardedVerifiedResult, ShardedError> {
+        self.verify_sharded_profiled(features, k, response, manifest)
+            .map(|(verified, _)| verified)
+    }
+
+    /// [`Client::verify_sharded`] that additionally returns the structured
+    /// span profile: phases `manifest`, `contributing`, `bounds`, `merge`,
+    /// `signatures`, with each sub-VO's `shard.verify` span (tagged by a
+    /// `shard` counter) nested under the phase that checked it. The
+    /// profile is pure observation: accept/reject is identical whether or
+    /// not recording is enabled.
+    pub fn verify_sharded_profiled(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        response: &ShardedResponse,
+        manifest: &ShardManifest,
+    ) -> Result<(ShardedVerifiedResult, QueryProfile), ShardedError> {
+        let mut prof = Profiler::new("client.verify_sharded");
+        prof.enter("manifest");
         if !manifest.verify(&self.params.public_key) {
             return Err(ShardedError::ManifestInvalid);
         }
@@ -403,9 +423,11 @@ impl Client {
                 shard: missing as u32,
             });
         }
+        prof.exit();
 
         // Contributing shards: full-k monolith verification against the
         // committed roots; the verified local top-ks feed the merge.
+        prof.enter("contributing");
         let mut assignments: Vec<u32> = Vec::new();
         let mut candidates: Vec<(u32, ImageId, f32)> = Vec::new();
         for sub in &vo.contributing {
@@ -414,6 +436,8 @@ impl Client {
                     shard: sub.shard_id,
                 });
             };
+            prof.enter("shard.verify");
+            prof.add("shard", sub.shard_id as u64);
             let verified = self
                 .verify_query_vo(
                     features,
@@ -421,19 +445,23 @@ impl Client {
                     &sub.vo,
                     &sub.claimed,
                     RootExpectation::Committed(root),
+                    &mut prof,
                 )
                 .map_err(|error| ShardedError::Shard {
                     shard: sub.shard_id,
                     error,
                 })?;
+            prof.exit();
             for &(id, score) in &verified.topk {
                 candidates.push((sub.shard_id, id, score));
             }
             assignments = verified.assignments;
         }
+        prof.exit();
 
         // Excluded shards: k=1 bound proofs of each shard's true best
         // candidate (or of emptiness, via an exhausted empty claim).
+        prof.enter("bounds");
         let mut bounds: Vec<(u32, Option<(ImageId, f32)>)> = Vec::with_capacity(vo.excluded.len());
         for sub in &vo.excluded {
             if sub.claimed.len() > 1 {
@@ -446,6 +474,8 @@ impl Client {
                     shard: sub.shard_id,
                 });
             };
+            prof.enter("shard.verify");
+            prof.add("shard", sub.shard_id as u64);
             let verified = self
                 .verify_query_vo(
                     features,
@@ -453,19 +483,23 @@ impl Client {
                     &sub.vo,
                     &sub.claimed,
                     RootExpectation::Committed(root),
+                    &mut prof,
                 )
                 .map_err(|error| ShardedError::Shard {
                     shard: sub.shard_id,
                     error,
                 })?;
+            prof.exit();
             bounds.push((sub.shard_id, verified.topk.first().copied()));
             if assignments.is_empty() {
                 assignments = verified.assignments;
             }
         }
+        prof.exit();
 
         // No image may be claimed by two shards (impossible under an
         // honest owner's partition; a forged duplicate would double-count).
+        prof.enter("merge");
         let mut seen_images = BTreeSet::new();
         for &(_, id, _) in &candidates {
             if !seen_images.insert(id) {
@@ -525,9 +559,12 @@ impl Client {
                 return Err(ShardedError::AssignmentMismatch { image: id });
             }
         }
+        prof.add("winners", candidates.len() as u64);
+        prof.exit();
 
         // Winner image signatures (Eq. 15), read from each winner's
         // sub-VO at its local claimed position and batch-verified.
+        prof.enter("signatures");
         let by_shard: BTreeMap<u32, &ShardVo> =
             vo.contributing.iter().map(|s| (s.shard_id, s)).collect();
         let mut items: Vec<(ImageId, &[u8], Signature)> =
@@ -553,14 +590,27 @@ impl Client {
             return Err(ShardedError::Shard { shard, error });
         }
         let _ = image_signing_message; // anchor: signatures cover Eq. 15 messages
+        prof.exit();
 
-        Ok(ShardedVerifiedResult {
-            topk: candidates
-                .iter()
-                .map(|&(_, id, score)| (id, score))
-                .collect(),
-            assignments,
-        })
+        if prof.is_recording() {
+            let reg = imageproof_obs::global();
+            let slug = self.params.scheme.slug();
+            reg.counter(
+                "imageproof_client_sharded_verifies_total",
+                &[("scheme", slug)],
+            )
+            .inc();
+        }
+        Ok((
+            ShardedVerifiedResult {
+                topk: candidates
+                    .iter()
+                    .map(|&(_, id, score)| (id, score))
+                    .collect(),
+                assignments,
+            },
+            prof.finish(),
+        ))
     }
 }
 

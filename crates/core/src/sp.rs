@@ -2,15 +2,15 @@
 //! Alg. 5).
 
 use crate::owner::{Database, IndexVariant};
-use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo};
+use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme};
 use crate::shard::{ShardVo, ShardedResponse, ShardedVo};
 use imageproof_akm::SparseBovw;
 use imageproof_invindex::grouped::grouped_search;
 use imageproof_invindex::{inv_search, BoundsMode};
 use imageproof_mrkd::{mrkd_search_baseline_with, mrkd_search_with};
+use imageproof_obs::{micros, Profiler, QueryProfile};
 use imageproof_parallel::{par_map, par_map_chunked, Concurrency};
 use imageproof_vision::ImageId;
-use std::time::Instant;
 
 /// One returned image with its raw payload.
 #[derive(Clone, Debug)]
@@ -29,6 +29,11 @@ pub struct QueryResponse {
 }
 
 /// SP-side cost breakdown for one query.
+///
+/// Timings are views over the query's observability spans
+/// (`imageproof-obs`): with recording disabled via
+/// [`imageproof_obs::set_enabled`]`(false)` the `*_seconds` fields read 0
+/// while every counter field — and every VO byte — stays identical.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SpStats {
     /// Wall-clock seconds spent on BoVW encoding + MRKD VO generation.
@@ -67,6 +72,33 @@ impl SpStats {
             self.hashes_cached as f64 / total as f64
         }
     }
+}
+
+/// Records one finished SP query into the global metrics registry.
+fn record_sp_query(scheme: Scheme, stats: &SpStats) {
+    let reg = imageproof_obs::global();
+    let slug = scheme.slug();
+    reg.counter("imageproof_sp_queries_total", &[("scheme", slug)])
+        .inc();
+    for (phase, seconds) in [("bovw", stats.bovw_seconds), ("inv", stats.inv_seconds)] {
+        reg.histogram(
+            "imageproof_sp_phase_micros",
+            &[("scheme", slug), ("phase", phase)],
+        )
+        .record(micros(seconds));
+    }
+    for (kind, n) in [
+        ("computed", stats.hashes_computed),
+        ("cached", stats.hashes_cached),
+    ] {
+        reg.counter(
+            "imageproof_sp_hashes_total",
+            &[("scheme", slug), ("kind", kind)],
+        )
+        .add(n as u64);
+    }
+    reg.counter("imageproof_sp_postings_popped_total", &[("scheme", slug)])
+        .add(stats.popped as u64);
 }
 
 /// The service provider hosting one outsourced database.
@@ -110,11 +142,42 @@ impl ServiceProvider {
         k: usize,
         conc: Concurrency,
     ) -> (QueryResponse, SpStats) {
+        let (response, stats, _) = self.query_profiled(features, k, conc);
+        (response, stats)
+    }
+
+    /// [`ServiceProvider::query_with`] that additionally returns the
+    /// query's structured span profile (phases `bovw`, `inv`, `assemble`
+    /// with their counters). The profile is pure observation: the response
+    /// and VO bytes are byte-identical whether or not recording is enabled
+    /// (proven by the `obs_equivalence` suite).
+    pub fn query_profiled(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        conc: Concurrency,
+    ) -> (QueryResponse, SpStats, QueryProfile) {
+        let mut prof = Profiler::new("sp.query");
+        let (response, stats) = self.query_impl(features, k, conc, &mut prof);
+        if prof.is_recording() {
+            record_sp_query(self.db.scheme, &stats);
+        }
+        (response, stats, prof.finish())
+    }
+
+    fn query_impl(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        conc: Concurrency,
+        prof: &mut Profiler,
+    ) -> (QueryResponse, SpStats) {
         let mut stats = SpStats::default();
         let scheme = self.db.scheme;
 
         // --- BoVW step (Alg. 5 lines 1–4) ---
-        let t0 = Instant::now();
+        prof.enter("bovw");
+        prof.add("features", features.len() as u64);
         let assigned: Vec<(u32, f32)> = par_map_chunked(conc, features, 8, |_, f| {
             self.db.codebook.assign_with_threshold(f)
         });
@@ -132,12 +195,13 @@ impl ServiceProvider {
             (BovwVoVariant::PerQuery(vo), s)
         };
         let query_bovw = SparseBovw::from_counts(assignments.iter().map(|&c| (c, 1)));
-        stats.bovw_seconds = t0.elapsed().as_secs_f64();
         stats.shared_ratio = mrkd_stats.shared_ratio();
         stats.hashes_cached = mrkd_stats.digests_cached;
+        prof.add("hashes_cached", mrkd_stats.digests_cached as u64);
+        stats.bovw_seconds = prof.exit();
 
         // --- Inverted-index step (Alg. 5 line 5) ---
-        let t1 = Instant::now();
+        prof.enter("inv");
         let (topk, inv_vo) = match (&self.db.inv, scheme.uses_filters()) {
             (IndexVariant::Plain(index), true) => {
                 let out = inv_search(index, &query_bovw, k, BoundsMode::CuckooFiltered);
@@ -164,9 +228,14 @@ impl ServiceProvider {
                 (out.topk, InvVoVariant::Grouped(out.vo))
             }
         };
-        stats.inv_seconds = t1.elapsed().as_secs_f64();
+        prof.add("popped", stats.popped as u64);
+        prof.add("postings", stats.total_postings as u64);
+        prof.add("hashes_computed", stats.hashes_computed as u64);
+        stats.inv_seconds = prof.exit();
 
         // --- Results + signatures (Alg. 5 lines 6–7) ---
+        prof.enter("assemble");
+        prof.add("results", topk.len() as u64);
         let mut results = Vec::with_capacity(topk.len());
         let mut signatures = Vec::with_capacity(topk.len());
         for &(id, score) in &topk {
@@ -178,6 +247,7 @@ impl ServiceProvider {
             });
             signatures.push(stored.signature);
         }
+        prof.exit();
 
         (
             QueryResponse {
@@ -217,7 +287,8 @@ pub struct ShardedSp {
     shards: Vec<ServiceProvider>,
 }
 
-/// SP-side cost breakdown for one sharded query.
+/// SP-side cost breakdown for one sharded query. Timings are span views,
+/// like [`SpStats`] (0 when observability recording is disabled).
 #[derive(Clone, Debug, Default)]
 pub struct ShardedSpStats {
     /// Stats of the full-k fan-out, indexed by shard id.
@@ -226,6 +297,61 @@ pub struct ShardedSpStats {
     pub bound_queries: usize,
     /// Wall-clock seconds spent merging and assembling the sharded VO.
     pub merge_seconds: f64,
+    /// Wall-clock seconds of the whole sharded query: fan-out, merge,
+    /// bound proofs, and VO assembly.
+    pub wall_seconds: f64,
+}
+
+impl ShardedSpStats {
+    /// Query-time Keccak runs summed over the full-k fan-out.
+    pub fn total_hashes_computed(&self) -> usize {
+        self.per_shard.iter().map(|s| s.hashes_computed).sum()
+    }
+
+    /// Build-time digest memo hits summed over the full-k fan-out.
+    pub fn total_hashes_cached(&self) -> usize {
+        self.per_shard.iter().map(|s| s.hashes_cached).sum()
+    }
+
+    /// Postings popped summed over the full-k fan-out.
+    pub fn total_popped(&self) -> usize {
+        self.per_shard.iter().map(|s| s.popped).sum()
+    }
+
+    /// Total postings in relevant lists summed over the full-k fan-out.
+    pub fn total_postings(&self) -> usize {
+        self.per_shard.iter().map(|s| s.total_postings).sum()
+    }
+
+    /// Deployment-wide digest cache hit ratio (guarded against empty VOs,
+    /// like [`SpStats::cache_hit_ratio`]).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.total_hashes_computed() + self.total_hashes_cached();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_hashes_cached() as f64 / total as f64
+        }
+    }
+
+    /// Seconds of the slowest shard's full-k query (BoVW + inverted step)
+    /// — the fan-out's critical path when every shard gets its own worker.
+    pub fn slowest_shard_seconds(&self) -> f64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.bovw_seconds + s.inv_seconds)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of the query's wall time spent in merge + VO assembly
+    /// (0 when no wall time was recorded).
+    pub fn merge_share(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.merge_seconds / self.wall_seconds
+        }
+    }
 }
 
 impl ShardedSp {
@@ -260,15 +386,40 @@ impl ShardedSp {
         k: usize,
         conc: Concurrency,
     ) -> (ShardedResponse, ShardedSpStats) {
+        let (response, stats, _) = self.query_profiled(features, k, conc);
+        (response, stats)
+    }
+
+    /// [`ShardedSp::query_with`] that additionally returns the structured
+    /// span profile: phases `fanout`, `merge`, `bounds`, `assemble`, with
+    /// each shard's own `sp.query` sub-profile grafted under the phase
+    /// that issued it (tagged with a `shard` counter).
+    pub fn query_profiled(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        conc: Concurrency,
+    ) -> (ShardedResponse, ShardedSpStats, QueryProfile) {
+        let mut prof = Profiler::new("sharded.query");
+
         // Phase 1: full-k query on every shard.
-        let full: Vec<(QueryResponse, SpStats)> =
-            par_map(conc, &self.shards, |_, sp| sp.query(features, k));
+        prof.enter("fanout");
+        let fanned: Vec<(QueryResponse, SpStats, QueryProfile)> =
+            par_map(conc, &self.shards, |_, sp| {
+                sp.query_profiled(features, k, Concurrency::serial())
+            });
+        let mut full: Vec<(QueryResponse, SpStats)> = Vec::with_capacity(fanned.len());
+        for (shard, (resp, stats, sub)) in fanned.into_iter().enumerate() {
+            prof.attach(sub, "shard", shard as u64);
+            full.push((resp, stats));
+        }
+        let fanout_seconds = prof.exit();
 
         // Phase 2: merge the local top-ks under (score desc, id asc) — the
         // same order the per-shard engines use — and keep the k global
         // winners. Scores are shard-invariant (global impact model), so
         // this merge reproduces the monolith top-k exactly.
-        let t0 = Instant::now();
+        prof.enter("merge");
         let mut candidates: Vec<(usize, ImageId, f32)> = Vec::new();
         for (shard, (resp, _)) in full.iter().enumerate() {
             for r in &resp.results {
@@ -288,18 +439,29 @@ impl ShardedSp {
                 *c = true;
             }
         }
-        let mut merge_seconds = t0.elapsed().as_secs_f64();
+        prof.add("candidates", candidates.len() as u64);
+        let mut merge_seconds = prof.exit();
 
         // Phase 3: k=1 bound proofs for shards without a global winner.
+        prof.enter("bounds");
         let losers: Vec<usize> = (0..self.shards.len())
             .filter(|&s| !contributes[s])
             .collect();
-        let bound: Vec<(QueryResponse, SpStats)> =
-            par_map(conc, &losers, |_, &s| self.shards[s].query(features, 1));
+        prof.add("bound_queries", losers.len() as u64);
+        let bound_fanned: Vec<(QueryResponse, SpStats, QueryProfile)> =
+            par_map(conc, &losers, |_, &s| {
+                self.shards[s].query_profiled(features, 1, Concurrency::serial())
+            });
+        let mut bound: Vec<QueryResponse> = Vec::with_capacity(bound_fanned.len());
+        for (&shard, (resp, _, sub)) in losers.iter().zip(bound_fanned) {
+            prof.attach(sub, "shard", shard as u64);
+            bound.push(resp);
+        }
+        let bounds_seconds = prof.exit();
 
         // Phase 4: assemble the global results and the sharded VO, both in
         // ascending shard order within each section.
-        let t1 = Instant::now();
+        prof.enter("assemble");
         let mut results = Vec::with_capacity(candidates.len());
         for &(shard, id, score) in &candidates {
             if let Some(r) = full[shard].0.results.iter().find(|r| r.id == id) {
@@ -323,27 +485,61 @@ impl ShardedSp {
             }
         }
         let mut excluded = Vec::with_capacity(losers.len());
-        for (&shard, (resp, _)) in losers.iter().zip(&bound) {
+        for (&shard, resp) in losers.iter().zip(&bound) {
             excluded.push(ShardVo {
                 shard_id: shard as u32,
                 claimed: resp.results.iter().map(|r| r.id).collect(),
                 vo: resp.vo.clone(),
             });
         }
-        merge_seconds += t1.elapsed().as_secs_f64();
+        merge_seconds += prof.exit();
+
+        let stats = ShardedSpStats {
+            per_shard,
+            bound_queries: losers.len(),
+            merge_seconds,
+            wall_seconds: fanout_seconds + merge_seconds + bounds_seconds,
+        };
+        if prof.is_recording() {
+            self.record_sharded_query(&stats, fanout_seconds, bounds_seconds);
+        }
 
         let vo = ShardedVo {
             shard_count: self.shards.len() as u32,
             contributing,
             excluded,
         };
-        (
-            ShardedResponse { results, vo },
-            ShardedSpStats {
-                per_shard,
-                bound_queries: losers.len(),
-                merge_seconds,
-            },
+        (ShardedResponse { results, vo }, stats, prof.finish())
+    }
+
+    /// Records one finished sharded query into the global registry.
+    fn record_sharded_query(
+        &self,
+        stats: &ShardedSpStats,
+        fanout_seconds: f64,
+        bounds_seconds: f64,
+    ) {
+        let Some(slug) = self.shards.first().map(|sp| sp.db.scheme.slug()) else {
+            return;
+        };
+        let reg = imageproof_obs::global();
+        reg.counter("imageproof_sharded_queries_total", &[("scheme", slug)])
+            .inc();
+        reg.counter(
+            "imageproof_sharded_bound_queries_total",
+            &[("scheme", slug)],
         )
+        .add(stats.bound_queries as u64);
+        for (phase, seconds) in [
+            ("fanout", fanout_seconds),
+            ("merge", stats.merge_seconds),
+            ("bounds", bounds_seconds),
+        ] {
+            reg.histogram(
+                "imageproof_sharded_phase_micros",
+                &[("scheme", slug), ("phase", phase)],
+            )
+            .record(micros(seconds));
+        }
     }
 }

@@ -615,6 +615,7 @@ pub fn grouped_search(
         })
         .collect();
 
+    crate::search::record_inv_search("grouped", &stats);
     GroupedSearchResult {
         topk,
         vo: GroupedInvVo { lists },

@@ -52,6 +52,33 @@ impl InvSearchStats {
     }
 }
 
+/// Records one finished inverted-index search into the global
+/// observability registry (no-op when recording is disabled; never affects
+/// the VO). `bounds` labels the termination-bound flavor: `cuckoo`,
+/// `max-bound`, or `grouped`.
+pub(crate) fn record_inv_search(bounds: &'static str, stats: &InvSearchStats) {
+    if !imageproof_obs::enabled() {
+        return;
+    }
+    let reg = imageproof_obs::global();
+    let labels = [("bounds", bounds)];
+    reg.counter("imageproof_inv_searches_total", &labels).inc();
+    reg.counter("imageproof_inv_postings_popped_total", &labels)
+        .add(stats.popped as u64);
+    reg.counter("imageproof_inv_rounds_total", &labels)
+        .add(stats.rounds as u64);
+    for (kind, n) in [
+        ("computed", stats.hashes_computed),
+        ("cached", stats.hashes_cached),
+    ] {
+        reg.counter(
+            "imageproof_inv_hashes_total",
+            &[("bounds", bounds), ("kind", kind)],
+        )
+        .add(n as u64);
+    }
+}
+
 /// Result of an authenticated top-k search.
 #[derive(Clone, Debug)]
 pub struct InvSearchResult {
@@ -307,6 +334,13 @@ pub fn inv_search_with_tuning(
         })
         .collect();
 
+    record_inv_search(
+        match mode {
+            BoundsMode::CuckooFiltered => "cuckoo",
+            BoundsMode::MaxBound => "max-bound",
+        },
+        &stats,
+    );
     InvSearchResult {
         topk,
         vo: InvVo { lists },

@@ -56,6 +56,30 @@ pub struct SearchOutput {
     pub stats: SearchStats,
 }
 
+/// Records one finished forest search into the global observability
+/// registry (no-op when recording is disabled; never affects the VO).
+fn record_search(mode: &'static str, stats: &SearchStats) {
+    if !imageproof_obs::enabled() {
+        return;
+    }
+    let reg = imageproof_obs::global();
+    reg.counter("imageproof_mrkd_searches_total", &[("mode", mode)])
+        .inc();
+    for (kind, n) in [
+        ("traversed", stats.nodes_traversed),
+        ("shared", stats.nodes_shared),
+        ("leaves", stats.leaves_visited),
+    ] {
+        reg.counter(
+            "imageproof_mrkd_nodes_total",
+            &[("mode", mode), ("kind", kind)],
+        )
+        .add(n as u64);
+    }
+    reg.counter("imageproof_mrkd_digests_cached_total", &[("mode", mode)])
+        .add(stats.digests_cached as u64);
+}
+
 /// [`TreeSource`] over a real MRKD-tree.
 struct MrkdSource<'a>(&'a MrkdTree);
 
@@ -333,6 +357,20 @@ pub fn mrkd_search_with(
     thresholds_sq: &[f32],
     conc: Concurrency,
 ) -> SearchOutput {
+    let out = mrkd_search_with_unrecorded(forest, queries, thresholds_sq, conc);
+    record_search("shared", &out.stats);
+    out
+}
+
+/// [`mrkd_search_with`] without the registry record — the baseline path
+/// reuses the traversal per query and must not count those inner calls as
+/// shared-mode searches.
+fn mrkd_search_with_unrecorded(
+    forest: &MrkdForest,
+    queries: &[Vec<f32>],
+    thresholds_sq: &[f32],
+    conc: Concurrency,
+) -> SearchOutput {
     assert_eq!(queries.len(), thresholds_sq.len());
     let per_tree = par_map(conc, forest.trees(), |_, tree| {
         search_tree(forest, tree, queries, thresholds_sq)
@@ -410,7 +448,12 @@ pub fn mrkd_search_baseline_with(
     );
     assert_eq!(queries.len(), thresholds_sq.len());
     let outs = par_map(conc, queries, |i, q| {
-        mrkd_search(forest, std::slice::from_ref(q), &[thresholds_sq[i]])
+        mrkd_search_with_unrecorded(
+            forest,
+            std::slice::from_ref(q),
+            &[thresholds_sq[i]],
+            Concurrency::serial(),
+        )
     });
     let mut per_query = Vec::with_capacity(queries.len());
     let mut candidates = Vec::with_capacity(queries.len());
@@ -420,6 +463,7 @@ pub fn mrkd_search_baseline_with(
         per_query.push(out.vo);
         candidates.push(out.candidates.into_iter().next().expect("one query"));
     }
+    record_search("baseline", &stats);
     (BaselineBovwVo { per_query }, candidates, stats)
 }
 

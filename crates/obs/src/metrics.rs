@@ -1,0 +1,712 @@
+//! Lock-free metric primitives and the labeled registry.
+//!
+//! Recording is always a handful of relaxed atomic operations on a
+//! pre-registered metric handle — safe to call from every worker of the
+//! `imageproof-parallel` thread pool with no lock contention. The only
+//! locking happens at *registration* time (get-or-create of a labeled
+//! family member) behind a `parking_lot::Mutex`, and callers are expected
+//! to hold on to the returned `Arc` handle on hot paths.
+//!
+//! Exposition is deterministic: metrics live in `BTreeMap`s keyed by
+//! `(name, sorted labels)`, so the Prometheus-text and JSON renderings are
+//! byte-stable regardless of registration order or thread interleaving.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+///
+/// Increments wrap on `u64` overflow (the atomic's native behavior); the
+/// exposition layer never saturates or clamps, so a wrapped counter is
+/// visible as a small value rather than a silently pinned `u64::MAX`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, wrapping on overflow.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power-of-two octave (2 bits → 4 sub-buckets, ≤ 25 %
+/// relative bucket width).
+const SUB_BITS: u32 = 2;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total log-linear buckets covering the full `u64` range: the linear
+/// region `0..SUBS` plus `SUBS` buckets for each octave `2..=63`.
+pub const HISTOGRAM_BUCKETS: usize = (SUBS as usize) * 63;
+
+/// Bucket index of `v` in the log-linear layout: values below `SUBS` get
+/// their own bucket; larger values split each power-of-two octave into
+/// `SUBS` linear sub-buckets.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = (v >> (msb - SUB_BITS)) & (SUBS - 1);
+    ((msb - 1) as u64 * SUBS + sub) as usize
+}
+
+/// Smallest value that lands in bucket `index` (inverse of
+/// [`bucket_index`]).
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUBS {
+        return index;
+    }
+    let octave = index / SUBS + 1;
+    let sub = index % SUBS;
+    (SUBS + sub) << (octave - SUB_BITS as u64)
+}
+
+/// Largest value that lands in bucket `index` (inclusive).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(index + 1) - 1
+    }
+}
+
+/// A lock-free log-linear histogram over `u64` samples (durations in
+/// micro- or nanoseconds, byte sizes, counts). Recording touches three
+/// relaxed atomics; quantile reads walk the bucket array.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples (used by snapshot restoration and
+    /// batched recording). The running sum wraps on overflow, like
+    /// [`Counter::add`].
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(b) = self.buckets.get(bucket_index(v)) {
+            b.fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` clamped to `[0, 1]`); 0 when the histogram is empty. The
+    /// estimate errs high by at most one bucket width (≤ 25 %).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy. Under concurrent recording the per-bucket
+    /// counts are each atomically read but the set is not a consistent
+    /// cut; once recording quiesces, the snapshot is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_upper_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram state: `(inclusive upper bound, count)` for every
+/// non-empty bucket, in ascending bound order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map(|&(upper, _)| upper).unwrap_or(0)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The identity of one registered metric: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{k="v",…}` in Prometheus notation (bare `name` when
+    /// unlabeled).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+
+    fn render_with(&self, extra: (&str, String)) -> String {
+        let mut id = self.clone();
+        id.labels.push((extra.0.to_string(), extra.1));
+        id.labels.sort();
+        id.render()
+    }
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Frozen registry state, used for exposition tests and transfer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<MetricId, u64>,
+    pub gauges: BTreeMap<MetricId, i64>,
+    pub histograms: BTreeMap<MetricId, HistogramSnapshot>,
+}
+
+/// The labeled metric registry.
+///
+/// `counter`/`gauge`/`histogram` get-or-register a family member under a
+/// short `parking_lot` lock and hand back an `Arc` whose recording methods
+/// are lock-free. Exposition walks the `BTreeMap`s, so output order is
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<MetricId, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<MetricId, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<MetricId, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = MetricId::new(name, labels);
+        self.counters
+            .lock()
+            .entry(id)
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = MetricId::new(name, labels);
+        self.gauges
+            .lock()
+            .entry(id)
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let id = MetricId::new(name, labels);
+        self.histograms
+            .lock()
+            .entry(id)
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Drops every registered metric (test isolation; existing handles keep
+    /// working but are no longer exposed).
+    pub fn clear(&self) {
+        self.counters.lock().clear();
+        self.gauges.lock().clear();
+        self.histograms.lock().clear();
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(id, c)| (id.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(id, g)| (id.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(id, h)| (id.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a registry from a snapshot: counters and gauges restore
+    /// exactly; histograms restore bucket-exactly (each bucket's count at
+    /// its upper bound, which [`bucket_index`] maps back to the same
+    /// bucket) with the recorded sum preserved. Round-tripping
+    /// `snapshot → restore → prometheus_text/json` is byte-identical for
+    /// counters and gauges and bucket-identical for histograms.
+    pub fn restore(snapshot: &RegistrySnapshot) -> Registry {
+        let reg = Registry::new();
+        for (id, &v) in &snapshot.counters {
+            reg.counter_by_id(id).add(v);
+        }
+        for (id, &v) in &snapshot.gauges {
+            reg.gauge_by_id(id).set(v);
+        }
+        for (id, h) in &snapshot.histograms {
+            let handle = reg.histogram_by_id(id);
+            for &(upper, n) in &h.buckets {
+                handle.record_n(upper, n);
+            }
+            // Overwrite the sum with the recorded one (bucket upper bounds
+            // overestimate the true sum).
+            let over = handle.sum();
+            handle
+                .sum
+                .fetch_sub(over.wrapping_sub(h.sum), Ordering::Relaxed);
+        }
+        reg
+    }
+
+    fn counter_by_id(&self, id: &MetricId) -> Arc<Counter> {
+        self.counters
+            .lock()
+            .entry(id.clone())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    fn gauge_by_id(&self, id: &MetricId) -> Arc<Gauge> {
+        self.gauges
+            .lock()
+            .entry(id.clone())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    fn histogram_by_id(&self, id: &MetricId) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .entry(id.clone())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Prometheus text exposition (`# TYPE` headers, cumulative `_bucket`
+    /// series with `le` bounds, `_sum`/`_count`). Deterministic byte-for-
+    /// byte given the same metric values.
+    pub fn prometheus_text(&self) -> String {
+        snapshot_prometheus_text(&self.snapshot())
+    }
+
+    /// JSON exposition: one object with sorted `counters`, `gauges`, and
+    /// `histograms` (each histogram carries count, sum, p50/p90/p99 and
+    /// its non-empty buckets). Deterministic byte-for-byte.
+    pub fn json(&self) -> String {
+        snapshot_json(&self.snapshot())
+    }
+}
+
+/// [`Registry::prometheus_text`] over an explicit snapshot.
+pub fn snapshot_prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_header = String::new();
+    let mut type_header = |out: &mut String, name: &str, kind: &str| {
+        let header = format!("# TYPE {name} {kind}\n");
+        if header != last_type_header {
+            out.push_str(&header);
+            last_type_header = header;
+        }
+    };
+    for (id, v) in &snap.counters {
+        type_header(&mut out, &id.name, "counter");
+        out.push_str(&format!("{} {v}\n", id.render()));
+    }
+    for (id, v) in &snap.gauges {
+        type_header(&mut out, &id.name, "gauge");
+        out.push_str(&format!("{} {v}\n", id.render()));
+    }
+    for (id, h) in &snap.histograms {
+        type_header(&mut out, &id.name, "histogram");
+        let mut cumulative = 0u64;
+        for &(upper, n) in &h.buckets {
+            cumulative = cumulative.saturating_add(n);
+            let series = MetricId {
+                name: format!("{}_bucket", id.name),
+                labels: id.labels.clone(),
+            };
+            out.push_str(&format!(
+                "{} {cumulative}\n",
+                series.render_with(("le", upper.to_string()))
+            ));
+        }
+        let series = MetricId {
+            name: format!("{}_bucket", id.name),
+            labels: id.labels.clone(),
+        };
+        out.push_str(&format!(
+            "{} {}\n",
+            series.render_with(("le", "+Inf".to_string())),
+            h.count
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            MetricId {
+                name: format!("{}_sum", id.name),
+                labels: id.labels.clone(),
+            }
+            .render(),
+            h.sum
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            MetricId {
+                name: format!("{}_count", id.name),
+                labels: id.labels.clone(),
+            }
+            .render(),
+            h.count
+        ));
+    }
+    out
+}
+
+/// [`Registry::json`] over an explicit snapshot.
+pub fn snapshot_json(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    push_scalar_map(
+        &mut out,
+        snap.counters.iter().map(|(id, v)| (id, *v as i128)),
+    );
+    out.push_str("},\n  \"gauges\": {");
+    push_scalar_map(&mut out, snap.gauges.iter().map(|(id, v)| (id, *v as i128)));
+    out.push_str("},\n  \"histograms\": {");
+    let mut first = true;
+    for (id, h) in &snap.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|&(upper, n)| format!("[{upper},{n}]"))
+            .collect();
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+            escape(&id.render()),
+            h.count,
+            h.sum,
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            buckets.join(",")
+        ));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn push_scalar_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a MetricId, i128)>) {
+    let mut first = true;
+    for (id, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {v}", escape(&id.render())));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(10);
+        g.sub(25);
+        g.add(5);
+        assert_eq!(g.get(), -10);
+    }
+
+    #[test]
+    fn counter_overflow_wraps() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        c.add(2);
+        assert_eq!(c.get(), 1, "counter adds wrap on overflow");
+    }
+
+    #[test]
+    fn bucket_index_covers_edges() {
+        // The linear region.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 3);
+        // First log-linear bucket starts exactly at SUBS.
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(7), 7);
+        assert_eq!(bucket_index(8), 8);
+        // The extremes stay in range.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Index and bounds are mutually consistent on every bucket border.
+        for index in 0..HISTOGRAM_BUCKETS {
+            let lower = bucket_lower_bound(index);
+            let upper = bucket_upper_bound(index);
+            assert_eq!(bucket_index(lower), index, "lower bound of {index}");
+            assert_eq!(bucket_index(upper), index, "upper bound of {index}");
+            if upper < u64::MAX {
+                assert_eq!(bucket_index(upper + 1), index + 1, "border of {index}");
+            }
+            if lower > 0 {
+                assert_eq!(bucket_index(lower - 1), index - 1, "border of {index}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_edges_without_panicking() {
+        let h = Histogram::new();
+        for v in [0, 1, 3, 4, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics_up_to_bucket_width() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Bucket estimates err high by at most 25 %.
+        assert!((500..=640).contains(&p50), "p50 = {p50}");
+        assert!((990..=1280).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        // An empty histogram reports 0 everywhere.
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_families_are_distinct_per_label_set() {
+        let reg = Registry::new();
+        reg.counter("queries", &[("scheme", "a")]).add(1);
+        reg.counter("queries", &[("scheme", "b")]).add(2);
+        // Label order does not matter for identity.
+        reg.counter("queries", &[("x", "1"), ("scheme", "a")])
+            .add(5);
+        reg.counter("queries", &[("scheme", "a"), ("x", "1")])
+            .add(5);
+        assert_eq!(reg.snapshot().counters.len(), 3);
+        assert_eq!(reg.counter("queries", &[("scheme", "a")]).get(), 1);
+        assert_eq!(reg.counter("queries", &[("scheme", "b")]).get(), 2);
+        assert_eq!(
+            reg.counter("queries", &[("x", "1"), ("scheme", "a")]).get(),
+            10
+        );
+    }
+
+    #[test]
+    fn exposition_is_deterministic_across_registration_order() {
+        let build = |reversed: bool| {
+            let reg = Registry::new();
+            let mut names = vec![("alpha", 1u64), ("beta", 2)];
+            if reversed {
+                names.reverse();
+            }
+            for (name, v) in names {
+                reg.counter(name, &[("scheme", "s")]).add(v);
+            }
+            reg.histogram("lat", &[]).record(100);
+            reg.gauge("depth", &[]).set(-3);
+            (reg.prometheus_text(), reg.json())
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = Registry::new();
+        reg.counter("q_total", &[("scheme", "ip")]).add(3);
+        reg.histogram("lat_micros", &[]).record(5);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE q_total counter\n"));
+        assert!(text.contains("q_total{scheme=\"ip\"} 3\n"));
+        assert!(text.contains("# TYPE lat_micros histogram\n"));
+        assert!(text.contains("lat_micros_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_micros_sum 5\n"));
+        assert!(text.contains("lat_micros_count 1\n"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_restore() {
+        let reg = Registry::new();
+        reg.counter("c", &[("k", "v")]).add(7);
+        reg.gauge("g", &[]).set(-12);
+        let h = reg.histogram("h", &[("phase", "bovw")]);
+        for v in [0u64, 3, 900, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let restored = Registry::restore(&snap);
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.prometheus_text(), reg.prometheus_text());
+        assert_eq!(restored.json(), reg.json());
+    }
+
+    #[test]
+    fn json_escapes_label_values() {
+        let reg = Registry::new();
+        reg.counter("c", &[("k", "a\"b\\c")]).inc();
+        let json = reg.json();
+        // The JSON key is the Prometheus rendering (`c{k="a\"b\\c"}`)
+        // escaped once more for JSON.
+        assert!(json.contains(r#""c{k=\"a\\\"b\\\\c\"}": 1"#), "{json}");
+    }
+}

@@ -24,6 +24,20 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Records one parallel section into the global observability registry.
+/// No-op when recording is disabled; never affects item results or order.
+fn record_section(kind: &'static str, items: usize) {
+    if !imageproof_obs::enabled() {
+        return;
+    }
+    let reg = imageproof_obs::global();
+    let labels = [("kind", kind)];
+    reg.counter("imageproof_parallel_sections_total", &labels)
+        .inc();
+    reg.counter("imageproof_parallel_items_total", &labels)
+        .add(items as u64);
+}
+
 /// The thread-count knob threaded through the scheme API
 /// (`SystemConfig` in `imageproof-core`).
 ///
@@ -86,8 +100,10 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     if conc.is_serial() || items.len() <= 1 {
+        record_section("serial", items.len());
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    record_section("threaded", items.len());
     let workers = conc.threads.min(items.len());
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));

@@ -9,8 +9,8 @@
 
 use imageproof_akm::AkmParams;
 use imageproof_core::{Client, Owner, Scheme, ServiceProvider};
+use imageproof_obs::Stopwatch;
 use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
-use std::time::Instant;
 
 fn main() {
     let corpus = Corpus::generate(&CorpusConfig {
@@ -23,24 +23,24 @@ fn main() {
         n_clusters: 256,
         ..AkmParams::default()
     };
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let (mut db, original_params) = owner.build_system(&corpus, &akm, Scheme::ImageProof);
     println!(
         "initial build: {} images in {:.1}s",
         corpus.images.len(),
-        t.elapsed().as_secs_f64()
+        t.elapsed_seconds()
     );
 
     // A new photograph of scene 42 arrives.
     let new_id = 5_000;
     let new_features = corpus.query_from_image(42, 45, 901);
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let fresh_params = owner
         .insert_image(&mut db, new_id, vec![0xAB; 256], &new_features)
         .expect("insert");
     println!(
         "insert image {new_id}: incremental re-hash + re-sign in {:.1} ms",
-        t.elapsed().as_secs_f64() * 1e3
+        t.elapsed_seconds() * 1e3
     );
 
     let query = corpus.query_from_image(42, 45, 902);

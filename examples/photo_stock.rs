@@ -12,8 +12,8 @@
 //! cargo run --release --example photo_stock
 //! ```
 
-use imageproof_akm::{AkmParams, Codebook};
-use imageproof_core::{Client, Owner, Scheme, ServiceProvider};
+use imageproof_akm::{AkmParams, Codebook, SparseBovw};
+use imageproof_core::{Client, Owner, Scheme, ServiceProvider, ShardedSp, SystemConfig};
 use imageproof_crypto::wire::Encode;
 use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
 
@@ -81,4 +81,49 @@ fn main() {
         );
     }
     println!("\nall three customers' results verified under every scheme.");
+
+    // The agency outgrows one server: the same catalogue split across four
+    // shards, served with an authenticated cross-shard top-k merge. The
+    // aggregate stats show where the fan-out spends its time.
+    let encodings: Vec<_> = corpus
+        .images
+        .iter()
+        .map(|img| {
+            (
+                img.id,
+                SparseBovw::encode(&codebook, img.features.iter().map(Vec::as_slice)),
+            )
+        })
+        .collect();
+    let system = owner.build_sharded_system_prepared_config(
+        &corpus,
+        codebook,
+        encodings,
+        SystemConfig::new(Scheme::ImageProof),
+        4,
+    );
+    let sp = ShardedSp::new(system.shards);
+    let client = Client::new(system.published);
+    println!("\nsharded serving (ImageProof scheme, 4 shards):");
+    for (i, &(source, n_features)) in customers.iter().enumerate() {
+        let query = corpus.query_from_image(source, n_features, 1000 + i as u64);
+        let (response, stats) = sp.query(&query, k);
+        let verified = client
+            .verify_sharded(&query, k, &response, &system.manifest)
+            .expect("honest sharded SP verifies");
+        assert!(
+            verified.topk.iter().any(|&(id, _)| id == source),
+            "sharded: customer {i}'s scene must be found"
+        );
+        println!(
+            "  customer {i}: popped {} postings across shards | hash cache {:.0}% | \
+             slowest shard {:.1} ms | merge {:.0}% of wall | {} bound queries",
+            stats.total_popped(),
+            stats.cache_hit_ratio() * 100.0,
+            stats.slowest_shard_seconds() * 1e3,
+            stats.merge_share() * 100.0,
+            stats.bound_queries,
+        );
+    }
+    println!("sharded top-k verified against the signed shard manifest for every customer.");
 }

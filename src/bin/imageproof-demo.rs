@@ -12,8 +12,8 @@
 use imageproof_akm::AkmParams;
 use imageproof_core::{Client, Owner, Scheme, ServiceProvider};
 use imageproof_crypto::wire::Encode;
+use imageproof_obs::Stopwatch;
 use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
-use std::time::Instant;
 
 struct Args {
     images: usize,
@@ -23,6 +23,7 @@ struct Args {
     queries: usize,
     features: usize,
     kind: DescriptorKind,
+    profile: bool,
 }
 
 impl Default for Args {
@@ -35,6 +36,7 @@ impl Default for Args {
             queries: 3,
             features: 100,
             kind: DescriptorKind::Surf,
+            profile: false,
         }
     }
 }
@@ -70,6 +72,7 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--profile" => args.profile = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -82,7 +85,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: imageproof-demo [--images N] [--codebook N] [-k N] [--queries N]\n\
          \x20                      [--features N] [--scheme baseline|imageproof|opt-bovw|opt-both]\n\
-         \x20                      [--descriptor sift|surf]"
+         \x20                      [--descriptor sift|surf] [--profile]\n\
+         \n\
+         --profile dumps the per-query span tree (SP + client) and the\n\
+         metrics-registry snapshot after the run"
     );
     std::process::exit(2);
 }
@@ -97,7 +103,7 @@ fn main() {
         args.scheme.label()
     );
 
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let corpus = Corpus::generate(&CorpusConfig {
         kind: args.kind,
         n_images: args.images,
@@ -107,10 +113,10 @@ fn main() {
     println!(
         "  corpus: {} descriptors in {:.1}s",
         corpus.total_features(),
-        t.elapsed().as_secs_f64()
+        t.elapsed_seconds()
     );
 
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let owner = Owner::new(&[0xD3; 32]);
     let akm = AkmParams {
         n_clusters: args.codebook,
@@ -119,7 +125,7 @@ fn main() {
     let (db, published) = owner.build_system(&corpus, &akm, args.scheme);
     println!(
         "  owner setup (codebook + ADSs + signatures): {:.1}s",
-        t.elapsed().as_secs_f64()
+        t.elapsed_seconds()
     );
     let sp = ServiceProvider::new(db);
     let client = Client::new(published);
@@ -131,15 +137,16 @@ fn main() {
         let source = ((q * 71 + 13) % args.images) as u64;
         let query = corpus.query_from_image(source, args.features, 5000 + q as u64);
 
-        let t = Instant::now();
-        let (response, stats) = sp.query(&query, args.k);
-        let sp_time = t.elapsed().as_secs_f64();
+        let t = Stopwatch::start();
+        let (response, stats, sp_profile) =
+            sp.query_profiled(&query, args.k, imageproof_core::Concurrency::serial());
+        let sp_time = t.elapsed_seconds();
 
-        let t = Instant::now();
-        let verified = client
-            .verify(&query, args.k, &response)
+        let t = Stopwatch::start();
+        let (verified, client_profile) = client
+            .verify_profiled(&query, args.k, &response)
             .expect("honest SP must verify");
-        let client_time = t.elapsed().as_secs_f64();
+        let client_time = t.elapsed_seconds();
 
         let hit = verified.topk.iter().any(|&(id, _)| id == source);
         println!(
@@ -151,6 +158,10 @@ fn main() {
             client_time * 1e3,
             response.vo.wire_size() / 1024,
         );
+        if args.profile {
+            print!("{}", sp_profile.render());
+            print!("{}", client_profile.render());
+        }
         sp_total += sp_time;
         client_total += client_time;
         vo_total += response.vo.wire_size();
@@ -162,4 +173,8 @@ fn main() {
         client_total / n * 1e3,
         vo_total / args.queries / 1024
     );
+    if args.profile {
+        println!("\n-- metrics registry (Prometheus text exposition) --");
+        print!("{}", imageproof_obs::global().prometheus_text());
+    }
 }

@@ -6,6 +6,7 @@ pub use imageproof_crypto as crypto;
 pub use imageproof_cuckoo as cuckoo;
 pub use imageproof_invindex as invindex;
 pub use imageproof_mrkd as mrkd;
+pub use imageproof_obs as obs;
 pub use imageproof_parallel as parallel;
 pub use imageproof_vision as vision;
 

@@ -1,0 +1,211 @@
+//! Zero-perturbation proof for the observability layer: with recording
+//! enabled vs disabled, every scheme and thread count must produce
+//! byte-identical wire-serialized VOs and identical top-k results, for
+//! both the monolithic SP and the sharded fan-out path. Observability may
+//! only change what is *measured*, never what is *served*.
+//!
+//! The whole matrix lives in one `#[test]` because the enable flag is a
+//! process-wide global — toggling it from concurrently running tests
+//! would race the flag itself (the VO bytes are unaffected either way,
+//! but the span/seconds assertions would become flaky).
+
+use imageproof_suite::akm::{AkmParams, Codebook, SparseBovw};
+use imageproof_suite::core::{
+    Client, Concurrency, Owner, Scheme, ServiceProvider, ShardedSp, SpStats, SystemConfig,
+};
+use imageproof_suite::crypto::wire::Encode;
+use imageproof_suite::obs;
+use imageproof_suite::vision::{Corpus, CorpusConfig, DescriptorKind};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS: usize = 3;
+const K: usize = 5;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        n_images: 48,
+        n_latent_words: 64,
+        seed: 0x0B5,
+        ..CorpusConfig::small(DescriptorKind::Surf)
+    })
+}
+
+fn akm() -> AkmParams {
+    AkmParams {
+        n_clusters: 48,
+        n_trees: 3,
+        max_leaf_size: 2,
+        max_checks: 12,
+        iterations: 1,
+        seed: 23,
+    }
+}
+
+/// Restores the recording flag even if an assertion panics, so one failure
+/// cannot cascade into unrelated tests of this binary observing a
+/// half-disabled registry.
+struct FlagGuard;
+
+impl Drop for FlagGuard {
+    fn drop(&mut self) {
+        obs::set_enabled(true);
+    }
+}
+
+#[test]
+fn vo_bytes_and_topk_identical_with_obs_on_and_off() {
+    let _guard = FlagGuard;
+    let corpus = corpus();
+    let owner = Owner::new(&[0x51u8; 32]);
+    let params = akm();
+    let codebook = Codebook::train(corpus.config.kind, corpus.all_features(), &params);
+    let encodings: Vec<_> = corpus
+        .images
+        .iter()
+        .map(|img| {
+            (
+                img.id,
+                SparseBovw::encode(&codebook, img.features.iter().map(Vec::as_slice)),
+            )
+        })
+        .collect();
+    let features = corpus.query_from_image(11, 20, 0x0DD5);
+
+    for scheme in Scheme::ALL {
+        // Builds happen with recording ON; the query path is what the
+        // on/off matrix exercises (build determinism is covered by the
+        // parallel_equivalence suite).
+        let (db, published) = owner.build_system_with_codebook(&corpus, codebook.clone(), scheme);
+        let sp = ServiceProvider::new(db);
+        let client = Client::new(published);
+
+        let sharded_system = owner.build_sharded_system_prepared_config(
+            &corpus,
+            codebook.clone(),
+            encodings.clone(),
+            SystemConfig::new(scheme),
+            SHARDS,
+        );
+        let sharded_sp = ShardedSp::new(sharded_system.shards);
+        let sharded_client = Client::new(sharded_system.published);
+        let manifest = sharded_system.manifest;
+
+        for threads in THREAD_COUNTS {
+            let conc = Concurrency::new(threads);
+
+            // Monolithic SP.
+            obs::set_enabled(true);
+            let (resp_on, stats_on, prof_on) = sp.query_profiled(&features, K, conc);
+            obs::set_enabled(false);
+            let (resp_off, stats_off, prof_off) = sp.query_profiled(&features, K, conc);
+            obs::set_enabled(true);
+
+            assert_eq!(
+                resp_on.vo.to_wire(),
+                resp_off.vo.to_wire(),
+                "{scheme:?}/{threads}t: monolith VO bytes must not depend on obs"
+            );
+            let ids = |r: &imageproof_suite::core::QueryResponse| -> Vec<u64> {
+                r.results.iter().map(|x| x.id).collect()
+            };
+            assert_eq!(
+                ids(&resp_on),
+                ids(&resp_off),
+                "{scheme:?}/{threads}t: top-k"
+            );
+            assert_counters_equal(&stats_on, &stats_off, scheme, threads);
+            // Seconds are span views: populated when recording, zero when
+            // disabled; either way the served bytes above are identical.
+            assert!(stats_on.bovw_seconds >= 0.0 && stats_on.inv_seconds >= 0.0);
+            assert_eq!(
+                stats_off.bovw_seconds, 0.0,
+                "{scheme:?}: disabled spans read 0"
+            );
+            assert_eq!(
+                stats_off.inv_seconds, 0.0,
+                "{scheme:?}: disabled spans read 0"
+            );
+            assert!(!prof_on.is_empty(), "{scheme:?}: enabled profile has spans");
+            assert!(prof_off.is_empty(), "{scheme:?}: disabled profile is empty");
+
+            // Both responses verify to the same top-k.
+            let v_on = client.verify(&features, K, &resp_on).expect("on verifies");
+            let v_off = client
+                .verify(&features, K, &resp_off)
+                .expect("off verifies");
+            assert_eq!(v_on.topk, v_off.topk);
+
+            // Sharded fan-out.
+            obs::set_enabled(true);
+            let (sresp_on, sstats_on, sprof_on) = sharded_sp.query_profiled(&features, K, conc);
+            obs::set_enabled(false);
+            let (sresp_off, sstats_off, sprof_off) = sharded_sp.query_profiled(&features, K, conc);
+            obs::set_enabled(true);
+
+            assert_eq!(
+                sresp_on.vo.to_wire(),
+                sresp_off.vo.to_wire(),
+                "{scheme:?}/{threads}t: sharded VO bytes must not depend on obs"
+            );
+            let sids: Vec<u64> = sresp_on.results.iter().map(|x| x.id).collect();
+            let sids_off: Vec<u64> = sresp_off.results.iter().map(|x| x.id).collect();
+            assert_eq!(sids, sids_off, "{scheme:?}/{threads}t: sharded top-k");
+            assert_eq!(sstats_on.bound_queries, sstats_off.bound_queries);
+            assert_eq!(sstats_on.total_popped(), sstats_off.total_popped());
+            assert_eq!(
+                sstats_on.total_hashes_computed(),
+                sstats_off.total_hashes_computed()
+            );
+            assert_eq!(sstats_off.merge_seconds, 0.0);
+            assert_eq!(sstats_off.wall_seconds, 0.0);
+            assert!(!sprof_on.is_empty() && sprof_off.is_empty());
+
+            let sv_on = sharded_client
+                .verify_sharded(&features, K, &sresp_on, &manifest)
+                .expect("sharded on verifies");
+            let sv_off = sharded_client
+                .verify_sharded(&features, K, &sresp_off, &manifest)
+                .expect("sharded off verifies");
+            assert_eq!(sv_on.topk, sv_off.topk);
+
+            // The sharded top-k equals the monolith's for the same corpus
+            // (obs must not perturb the cross-shard merge either).
+            assert_eq!(
+                sids,
+                ids(&resp_on),
+                "{scheme:?}/{threads}t: sharded == monolith"
+            );
+        }
+    }
+}
+
+fn assert_counters_equal(on: &SpStats, off: &SpStats, scheme: Scheme, threads: usize) {
+    let ctx = format!("{scheme:?}/{threads}t");
+    assert_eq!(on.popped, off.popped, "{ctx}: popped");
+    assert_eq!(on.total_postings, off.total_postings, "{ctx}: postings");
+    assert_eq!(on.hashes_computed, off.hashes_computed, "{ctx}: hashes");
+    assert_eq!(on.hashes_cached, off.hashes_cached, "{ctx}: cached");
+    assert_eq!(on.shared_ratio, off.shared_ratio, "{ctx}: shared ratio");
+}
+
+// --- satellite: zero-denominator guards on the stats ratios ---
+
+#[test]
+fn sp_stats_ratios_guard_zero_denominators() {
+    let stats = SpStats::default();
+    assert_eq!(stats.popped_ratio(), 0.0);
+    assert_eq!(stats.cache_hit_ratio(), 0.0);
+    assert_eq!(stats.shared_ratio, 0.0);
+}
+
+#[test]
+fn sharded_stats_accessors_guard_empty_and_zero() {
+    let stats = imageproof_suite::core::ShardedSpStats::default();
+    assert_eq!(stats.total_hashes_computed(), 0);
+    assert_eq!(stats.total_hashes_cached(), 0);
+    assert_eq!(stats.total_popped(), 0);
+    assert_eq!(stats.total_postings(), 0);
+    assert_eq!(stats.cache_hit_ratio(), 0.0);
+    assert_eq!(stats.slowest_shard_seconds(), 0.0);
+    assert_eq!(stats.merge_share(), 0.0, "0/0 wall seconds must not be NaN");
+}

@@ -42,6 +42,23 @@ impl<T: Default> Default for Mutex<T> {
     }
 }
 
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    /// Mirrors parking_lot: debug-prints the protected value when the lock
+    /// is free, `<locked>` when it is held.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_lock() {
+            Ok(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            Err(std::sync::TryLockError::Poisoned(p)) => f
+                .debug_struct("Mutex")
+                .field("data", &&*p.into_inner())
+                .finish(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                f.debug_struct("Mutex").field("data", &"<locked>").finish()
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::Mutex;
