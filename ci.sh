@@ -48,6 +48,32 @@ echo "== bench smoke: shard-count sweep =="
 cargo run -q --release -p imageproof-bench --bin figures -- --fig 16 --quick
 test -s BENCH_shards.json
 
+echo "== regression gate: sharded VO size must stay near-flat in S =="
+# Merge-trimmed sub-VOs + shared-section dedup keep the sharded proof from
+# blowing up with the shard count: vo_bytes(S=4) / vo_bytes(S=1) must stay
+# ≤ 1.3 for every scheme, or the trimming/dedup path has regressed.
+python3 - <<'PYEOF'
+import json, sys
+
+data = json.load(open("BENCH_shards.json"))
+by_scheme = {}
+for rec in data["results"]:
+    by_scheme.setdefault(rec["scheme"], {})[rec["shards"]] = rec["vo_bytes"]
+failed = False
+for scheme, sizes in sorted(by_scheme.items()):
+    if 1 not in sizes or 4 not in sizes:
+        print(f"  {scheme}: missing S=1 or S=4 record", file=sys.stderr)
+        failed = True
+        continue
+    ratio = sizes[4] / sizes[1]
+    status = "ok" if ratio <= 1.3 else "FAIL"
+    print(f"  {scheme}: vo_bytes(S=4)/vo_bytes(S=1) = {ratio:.3f} [{status}]")
+    if ratio > 1.3:
+        failed = True
+if failed:
+    sys.exit("sharded VO size regression: ratio exceeds 1.3")
+PYEOF
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== fmt =="
     cargo fmt --check

@@ -35,6 +35,7 @@ const PANIC_FILES: &[&str] = &[
     "crates/crypto/src/wire.rs",
     "crates/invindex/src/verify.rs",
     "crates/mrkd/src/verify.rs",
+    "crates/mrkd/src/vo.rs",
     "crates/core/src/client.rs",
     "crates/core/src/shard.rs",
 ];
@@ -656,6 +657,28 @@ mod tests {
                    mod tests { fn rt() { let f = Foo::from_wire(&Foo.to_wire()); } }";
         let f = one("crates/mrkd/src/vo.rs", src);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wire_rule_flags_a_shard_wire_type_without_a_roundtrip_test() {
+        // Fixture mirroring a freshly added sharded wire type: Encode/Decode
+        // are paired, but no test exercises the decoder. The rule must fire so
+        // new shard VO types cannot land without decode-totality coverage.
+        let src = "impl Encode for ShardFence { fn to_wire(&self) -> Vec<u8> { Vec::new() } }\n\
+                   impl Decode for ShardFence { fn from_wire(d: &[u8]) -> Option<ShardFence> { None } }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn rt() { let _ = ShardManifest::from_wire(&[]); } }";
+        let f = one("crates/core/src/shard.rs", src);
+        let msgs: Vec<&str> = f
+            .iter()
+            .filter(|x| x.rule == "wire")
+            .map(|x| x.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 1, "{f:?}");
+        assert!(
+            msgs[0].contains("no roundtrip test") && msgs[0].contains("ShardFence"),
+            "{f:?}"
+        );
     }
 
     // --- rule `unsafe` ---

@@ -557,7 +557,9 @@ struct ShardRecord {
     merge_ms_per_query: f64,
     vo_bytes: f64,
     client_verify_ms: f64,
-    bound_queries_per_query: f64,
+    trim_queries_per_query: f64,
+    trimmed_entries_per_query: f64,
+    dedup_bytes_saved_per_query: f64,
     slowest_shard_ms: f64,
     merge_share: f64,
     cache_hit_ratio: f64,
@@ -570,7 +572,8 @@ impl ShardRecord {
             "    {{\"scheme\": \"{}\", \"shards\": {}, \"build_s\": {:.6}, \
              \"sp_ms_per_query\": {:.6}, \"merge_ms_per_query\": {:.6}, \
              \"vo_bytes\": {:.1}, \"client_verify_ms\": {:.6}, \
-             \"bound_queries_per_query\": {:.3}, \"slowest_shard_ms\": {:.6}, \
+             \"trim_queries_per_query\": {:.3}, \"trimmed_entries_per_query\": {:.3}, \
+             \"dedup_bytes_saved_per_query\": {:.1}, \"slowest_shard_ms\": {:.6}, \
              \"merge_share\": {:.6}, \"cache_hit_ratio\": {:.6}, \
              \"phases\": {}}}",
             self.scheme,
@@ -580,7 +583,9 @@ impl ShardRecord {
             self.merge_ms_per_query,
             self.vo_bytes,
             self.client_verify_ms,
-            self.bound_queries_per_query,
+            self.trim_queries_per_query,
+            self.trimmed_entries_per_query,
+            self.dedup_bytes_saved_per_query,
             self.slowest_shard_ms,
             self.merge_share,
             self.cache_hit_ratio,
@@ -591,21 +596,26 @@ impl ShardRecord {
 
 /// Shard-count sweep for sharded SP serving (not a paper figure): owner-side
 /// sharded build seconds, SP-side fan-out query CPU (including the top-k
-/// merge), VO bytes, and client `verify_sharded` CPU for every scheme at
-/// 1/2/4/8 shards. The sharded top-k is bit-equal to the monolith's for
-/// every cell (see the `shard_equivalence` suite), so only wall-clock and
-/// VO size move: VO bytes grow with the per-excluded-shard bound proofs,
-/// and shards=1 is the monolith ADS behind the sharded wire format. The
-/// machine-readable results land in `BENCH_shards.json` next to the
-/// working directory.
+/// merge and the trim re-queries), VO bytes, and client `verify_sharded`
+/// CPU for every scheme at 1/2/4/8 shards. The sharded top-k is bit-equal
+/// to the monolith's for every cell (see the `shard_equivalence` suite),
+/// and the merge-trimmed sub-VOs plus shared-section dedup keep VO bytes
+/// near-flat in the shard count for fixed k; shards=1 is the monolith ADS
+/// behind the sharded wire format. Every cell also runs a tie-straddle
+/// probe: a query whose top-2 cuts through the fixture's three-way tie
+/// trio, so multi-shard merges must fence across a contested tie boundary.
+/// The machine-readable results land in `BENCH_shards.json` next to the
+/// working directory, with per-response `trimmed_entries` /
+/// `dedup_bytes_saved` read back from the obs registry counters.
 fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
     let fixture = cache.get(&scale.base_surf);
     let shard_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     println!(
         "\n== Fig. 16: shard-count sweep (sharded build + fan-out query + verify_sharded) ==\n\
          (expected: near-flat build seconds — the same postings are built,\n\
-          just partitioned — VO bytes growing with the excluded-shard bound\n\
-          proofs, and verify cost tracking the contributing sub-VOs)\n"
+          just partitioned — and near-flat VO bytes: trimmed sub-VOs prove\n\
+          only merge contributions plus one fence candidate each, and the\n\
+          shared section dedups the common BoVW geometry)\n"
     );
     let mut t = Table::new([
         "scheme",
@@ -617,24 +627,44 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
         "slow_shard_ms",
         "vo_KiB",
         "client_ms",
-        "bound_q",
+        "trim_q",
+        "trimmed",
+        "dedup_KiB",
     ]);
     let queries = fixture.queries(scale.n_queries, scale.default_features);
+    let tie_features = fixture.tie_query(scale.default_features);
+    let trio = fixture.tie_trio();
     let k = scale.default_k;
+    let reg = imageproof_obs::global();
     let mut records: Vec<ShardRecord> = Vec::new();
     for scheme in Scheme::ALL {
+        let slug = scheme.slug();
         for &shards in shard_counts {
             let (sp, client, manifest, build_seconds) =
                 fixture.build_sharded_system_timed(scheme, shards);
             let mut vo_bytes = 0.0f64;
             let mut client_seconds = 0.0f64;
             let mut merge_seconds = 0.0f64;
-            let mut bound_queries = 0usize;
+            let mut trim_queries = 0usize;
             let mut slowest_shard_seconds = 0.0f64;
             let mut merge_share = 0.0f64;
             let mut hashes_computed = 0usize;
             let mut hashes_cached = 0usize;
             let mut phases = PhaseQuantiles::default();
+            // Per-response trim/dedup gains, read back from the obs
+            // registry (the SP records them per sharded query).
+            let trimmed_before = reg
+                .counter(
+                    "imageproof_sharded_trimmed_entries_total",
+                    &[("scheme", slug)],
+                )
+                .get();
+            let dedup_before = reg
+                .counter(
+                    "imageproof_sharded_dedup_bytes_saved_total",
+                    &[("scheme", slug)],
+                )
+                .get();
             let t0 = imageproof_obs::Stopwatch::start();
             let responses: Vec<_> = queries
                 .iter()
@@ -647,7 +677,7 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 phases.record(profile);
                 vo_bytes += response.vo.wire_size() as f64;
                 merge_seconds += stats.merge_seconds;
-                bound_queries += stats.bound_queries;
+                trim_queries += stats.trim_queries;
                 slowest_shard_seconds += stats.slowest_shard_seconds();
                 merge_share += stats.merge_share();
                 hashes_computed += stats.total_hashes_computed();
@@ -659,6 +689,41 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 client_seconds += t1.elapsed_seconds();
             }
             let n = queries.len().max(1) as f64;
+            let trimmed_entries = reg
+                .counter(
+                    "imageproof_sharded_trimmed_entries_total",
+                    &[("scheme", slug)],
+                )
+                .get()
+                - trimmed_before;
+            let dedup_bytes_saved = reg
+                .counter(
+                    "imageproof_sharded_dedup_bytes_saved_total",
+                    &[("scheme", slug)],
+                )
+                .get()
+                - dedup_before;
+
+            // Tie-straddle probe: top-2 cuts through the fixture's tie
+            // trio, so for multi-shard cells the merge resolves (and
+            // fences) a genuine cross-shard tie. Asserted, not hoped.
+            let (tie_resp, _, _) =
+                sp.query_profiled(&tie_features, 2, imageproof_core::Concurrency::serial());
+            let inside = tie_resp
+                .results
+                .iter()
+                .filter(|r| trio.contains(&r.id))
+                .count();
+            assert!(
+                inside > 0 && inside < trio.len(),
+                "{} S={shards}: top-2 must straddle the tie trio (got {inside} of {})",
+                scheme.label(),
+                trio.len(),
+            );
+            client
+                .verify_sharded(&tie_features, 2, &tie_resp, &manifest)
+                .expect("tie-straddle response verifies");
+
             vo_bytes /= n;
             client_seconds /= n;
             merge_seconds /= n;
@@ -673,7 +738,9 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 merge_ms_per_query: merge_seconds * 1e3,
                 vo_bytes,
                 client_verify_ms: client_seconds * 1e3,
-                bound_queries_per_query: bound_queries as f64 / n,
+                trim_queries_per_query: trim_queries as f64 / n,
+                trimmed_entries_per_query: trimmed_entries as f64 / n,
+                dedup_bytes_saved_per_query: dedup_bytes_saved as f64 / n,
                 slowest_shard_ms: slowest_shard_seconds * 1e3,
                 merge_share,
                 cache_hit_ratio: if total_hashes == 0 {
@@ -693,7 +760,9 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 ms(slowest_shard_seconds),
                 kib(vo_bytes),
                 ms(client_seconds),
-                format!("{:.1}", record.bound_queries_per_query),
+                format!("{:.1}", record.trim_queries_per_query),
+                format!("{:.1}", record.trimmed_entries_per_query),
+                kib(record.dedup_bytes_saved_per_query),
             ]);
             records.push(record);
         }

@@ -101,7 +101,22 @@ impl Fixture {
         config: FixtureConfig,
         adjust: impl FnOnce(&mut AkmParams),
     ) -> Fixture {
-        let corpus = Corpus::generate(&config.corpus_config());
+        let mut corpus = Corpus::generate(&config.corpus_config());
+        // Tie trio: three consecutive-id images share one feature set and
+        // latent words, so they score identically for any query and land
+        // in different shards for every shard count ≥ 2. A query sourced
+        // from the trio with k = 2 cuts through the tie, forcing the
+        // sharded merge (and its fence proofs) to resolve a genuine
+        // cross-shard tie — see [`Fixture::tie_query`].
+        if config.n_images >= 8 {
+            let [a, b, c] = Self::tie_trio_for(config.n_images);
+            let features = corpus.images[a as usize].features.clone();
+            let words = corpus.images[a as usize].latent_words.clone();
+            for dup in [b, c] {
+                corpus.images[dup as usize].features = features.clone();
+                corpus.images[dup as usize].latent_words = words.clone();
+            }
+        }
         let mut akm = config.akm_params();
         adjust(&mut akm);
         let codebook = Codebook::train(config.kind, corpus.all_features(), &akm);
@@ -189,6 +204,26 @@ impl Fixture {
             system.manifest,
             seconds,
         )
+    }
+
+    /// The fixture's tie-trio image ids: three consecutive ids (centered
+    /// in the id range) sharing one encoding, so they tie exactly and
+    /// split across shards for every shard count ≥ 2.
+    pub fn tie_trio(&self) -> [ImageId; 3] {
+        Self::tie_trio_for(self.config.n_images)
+    }
+
+    fn tie_trio_for(n_images: usize) -> [ImageId; 3] {
+        let base = (n_images / 2) as ImageId;
+        [base, base + 1, base + 2]
+    }
+
+    /// A query sourced from the tie trio. At k = 2 its top-k cuts through
+    /// the trio's three-way tie, so a sharded deployment must merge (and
+    /// fence) across a contested tie boundary.
+    pub fn tie_query(&self, n_features: usize) -> Vec<Vec<f32>> {
+        self.corpus
+            .query_from_image(self.tie_trio()[0], n_features, 0x71e)
     }
 
     /// Deterministic query workloads: `n_queries` feature sets of

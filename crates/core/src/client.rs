@@ -127,12 +127,40 @@ impl Client {
         root: RootExpectation<'_>,
         prof: &mut Profiler,
     ) -> Result<SubVerify, ClientError> {
+        self.verify_query_vo_parts(
+            features,
+            k,
+            &vo.bovw,
+            &vo.inv,
+            vo.signatures.len(),
+            claimed,
+            root,
+            prof,
+        )
+    }
+
+    /// [`Client::verify_query_vo`] over a VO's parts, for callers whose
+    /// wire format carries them separately (trimmed sharded sub-VOs
+    /// resolve their BoVW VO out of a response-level shared section, so no
+    /// contiguous [`QueryVo`] exists to borrow).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn verify_query_vo_parts(
+        &self,
+        features: &[Vec<f32>],
+        k: usize,
+        bovw: &BovwVoVariant,
+        inv: &InvVoVariant,
+        n_signatures: usize,
+        claimed: &[ImageId],
+        root: RootExpectation<'_>,
+        prof: &mut Profiler,
+    ) -> Result<SubVerify, ClientError> {
         let scheme = self.params.scheme;
 
         // (i) + (ii): BoVW encoding.
         prof.enter("bovw");
         prof.add("features", features.len() as u64);
-        let verified_bovw = match (&vo.bovw, scheme.shares_nodes()) {
+        let verified_bovw = match (bovw, scheme.shares_nodes()) {
             (BovwVoVariant::Shared(v), true) => verify_bovw(v, features, scheme.candidate_mode())?,
             (BovwVoVariant::PerQuery(v), false) => verify_bovw_baseline(v, features)?,
             _ => return Err(ClientError::SchemeMismatch),
@@ -157,11 +185,11 @@ impl Client {
 
         // (iii): inverted-index search.
         prof.enter("inv");
-        if claimed.len() != vo.signatures.len() {
+        if claimed.len() != n_signatures {
             return Err(ClientError::ResultShapeMismatch);
         }
         let digests = &verified_bovw.inv_digests;
-        let verified_topk = match (&vo.inv, scheme.grouped_index()) {
+        let verified_topk = match (inv, scheme.grouped_index()) {
             (InvVoVariant::Plain(v), false) => {
                 let mode = if scheme.uses_filters() {
                     BoundsMode::CuckooFiltered

@@ -45,8 +45,9 @@ pub use imageproof_parallel::Concurrency;
 pub use owner::{Database, IndexVariant, Owner, PublishedParams, ShardedSystem, StoredImage};
 pub use scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme, SystemConfig};
 pub use shard::{
-    manifest_leaf_digest, manifest_root, manifest_signing_message, shard_of, RootExpectation,
-    ShardManifest, ShardVo, ShardedError, ShardedResponse, ShardedVerifiedResult, ShardedVo,
+    bovw_variant_digests, bovw_variant_with_digests, dedup_shared_section, manifest_leaf_digest,
+    manifest_root, manifest_signing_message, shard_of, RootExpectation, ShardBovw, ShardManifest,
+    ShardVo, ShardedError, ShardedResponse, ShardedVerifiedResult, ShardedVo, SharedSection,
     SubVerify,
 };
 pub use sp::{ImageResult, QueryResponse, ServiceProvider, ShardedSp, ShardedSpStats, SpStats};

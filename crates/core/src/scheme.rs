@@ -131,9 +131,9 @@ pub struct QueryVo {
     pub signatures: Vec<Signature>,
 }
 
-impl Encode for QueryVo {
+impl Encode for BovwVoVariant {
     fn encode(&self, w: &mut Writer) {
-        match &self.bovw {
+        match self {
             BovwVoVariant::Shared(vo) => {
                 w.u8(0);
                 vo.encode(w);
@@ -143,7 +143,22 @@ impl Encode for QueryVo {
                 vo.encode(w);
             }
         }
-        match &self.inv {
+    }
+}
+
+impl Decode for BovwVoVariant {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(BovwVoVariant::Shared(BovwVo::decode(r)?)),
+            1 => Ok(BovwVoVariant::PerQuery(BaselineBovwVo::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for InvVoVariant {
+    fn encode(&self, w: &mut Writer) {
+        match self {
             InvVoVariant::Plain(vo) => {
                 w.u8(0);
                 vo.encode(w);
@@ -153,6 +168,23 @@ impl Encode for QueryVo {
                 vo.encode(w);
             }
         }
+    }
+}
+
+impl Decode for InvVoVariant {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(InvVoVariant::Plain(InvVo::decode(r)?)),
+            1 => Ok(InvVoVariant::Grouped(GroupedInvVo::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for QueryVo {
+    fn encode(&self, w: &mut Writer) {
+        self.bovw.encode(w);
+        self.inv.encode(w);
         w.seq_len(self.signatures.len());
         for s in &self.signatures {
             w.bytes(&s.0);
@@ -162,16 +194,8 @@ impl Encode for QueryVo {
 
 impl Decode for QueryVo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let bovw = match r.u8()? {
-            0 => BovwVoVariant::Shared(BovwVo::decode(r)?),
-            1 => BovwVoVariant::PerQuery(BaselineBovwVo::decode(r)?),
-            t => return Err(WireError::InvalidTag(t)),
-        };
-        let inv = match r.u8()? {
-            0 => InvVoVariant::Plain(InvVo::decode(r)?),
-            1 => InvVoVariant::Grouped(GroupedInvVo::decode(r)?),
-            t => return Err(WireError::InvalidTag(t)),
-        };
+        let bovw = BovwVoVariant::decode(r)?;
+        let inv = InvVoVariant::decode(r)?;
         let n = r.seq_len()?;
         let mut signatures = Vec::with_capacity(n);
         for _ in 0..n {

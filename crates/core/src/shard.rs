@@ -10,13 +10,25 @@
 //!    against that shard's root, which the signed [`ShardManifest`]
 //!    commits to (a Merkle tree over `h(shard_id ‖ root)` leaves, one
 //!    signature for the whole deployment).
-//! 2. A *contributing* shard proves its full local top-k, so any image
-//!    the SP hid in that shard scores no higher than the shard's k-th
-//!    result, which itself lost (or tied into) the global merge.
-//! 3. Every *excluded* shard ships a k=1 bound proof of its true best
-//!    candidate; the client checks that candidate loses the global merge
-//!    order `(score desc, id asc)` against the k-th winner, so the rest
-//!    of the shard — provably no better — cannot displace any winner.
+//! 2. A shard contributing `j` of the `k` global winners proves exactly
+//!    its local top-`min(j+1, k)`: the `j` contributions plus one *fence
+//!    candidate* — its `(j+1)`-th best — whose verified score bounds every
+//!    entry the trim hid. The client re-derives the merge and checks each
+//!    fence loses the merge order `(score desc, id asc)` to the k-th
+//!    winner, so nothing behind any fence can displace a winner. A shard
+//!    with `j = 0` degenerates to the old excluded-shard k=1 bound; a
+//!    shard with `j = k` is untrimmed.
+//! 3. Claim sizes are policed structurally: Σ`j` over shards may not
+//!    exceed `k` (inflation), a shard claiming fewer than `min(j+1, k)`
+//!    entries must prove local exhaustion, and a fence may not coexist
+//!    with a free result slot.
+//!
+//! Sub-VOs additionally deduplicate BoVW/MRKD proof material: all shards
+//! traverse the same codebook geometry for one query, so their BoVW VOs
+//! differ only in a digest sequence. The response hoists one VO into a
+//! [`SharedSection`] template and ships the rest as digest patches —
+//! untrusted compression, since every re-instantiated VO must still
+//! reproduce its shard's manifest-committed root.
 //!
 //! Scores are shard-invariant: list weights come from the owner's global
 //! impact model and an image's postings live only in its own shard, so a
@@ -26,10 +38,11 @@
 
 use crate::client::{Client, ClientError};
 use crate::owner::image_signing_message;
-use crate::scheme::QueryVo;
+use crate::scheme::{BovwVoVariant, InvVoVariant};
 use crate::sp::ImageResult;
 use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
 use imageproof_crypto::{Digest, MerkleTree, PublicKey, Signature};
+use imageproof_mrkd::{BaselineBovwVo, DigestCursor};
 use imageproof_obs::{Profiler, QueryProfile};
 use imageproof_vision::ImageId;
 use std::cmp::Ordering;
@@ -145,65 +158,369 @@ impl Decode for ShardManifest {
     }
 }
 
-/// One shard's sub-VO: the claimed local result ids plus the monolith-style
-/// VO proving them against the shard's committed root.
+/// Collects a BoVW VO variant's shard-varying digests — pruned-subtree
+/// stubs and leaf-embedded inverted-list digests, in DFS order (per-query
+/// VOs concatenate their queries' trees). Everything else in the VO
+/// depends only on the query features and the deployment-wide codebook, so
+/// two shards' VOs for one query differ in exactly this digest sequence.
+pub fn bovw_variant_digests(vo: &BovwVoVariant) -> Vec<Digest> {
+    let mut out = Vec::new();
+    match vo {
+        BovwVoVariant::Shared(v) => v.collect_digests(&mut out),
+        BovwVoVariant::PerQuery(v) => {
+            for q in &v.per_query {
+                q.collect_digests(&mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Re-instantiates `template` with another shard's digest sequence;
+/// `None` when the payload does not fill the template's digest slots
+/// exactly (a shape mismatch — the patch proves nothing either way until
+/// the result reproduces a committed root).
+pub fn bovw_variant_with_digests(
+    template: &BovwVoVariant,
+    digests: &[Digest],
+) -> Option<BovwVoVariant> {
+    let mut cur = DigestCursor::new(digests);
+    let out = match template {
+        BovwVoVariant::Shared(v) => BovwVoVariant::Shared(v.with_digests(&mut cur)?),
+        BovwVoVariant::PerQuery(v) => {
+            let mut per_query = Vec::with_capacity(v.per_query.len());
+            for q in &v.per_query {
+                per_query.push(q.with_digests(&mut cur)?);
+            }
+            BovwVoVariant::PerQuery(BaselineBovwVo { per_query })
+        }
+    };
+    if cur.exhausted() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Proof material shared by every sub-VO of one response: BoVW/MRKD VO
+/// templates (all shards traverse the same codebook geometry for one
+/// query, so their VOs differ only in digests). The section is pure
+/// transport-level compression — nothing in it is trusted until a
+/// re-instantiated VO reproduces a manifest-committed root.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SharedSection {
+    pub templates: Vec<BovwVoVariant>,
+}
+
+impl Encode for SharedSection {
+    fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.templates.len());
+        for t in &self.templates {
+            t.encode(w);
+        }
+    }
+}
+
+impl Decode for SharedSection {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len()?;
+        let mut templates = Vec::with_capacity(n);
+        for _ in 0..n {
+            templates.push(BovwVoVariant::decode(r)?);
+        }
+        Ok(SharedSection { templates })
+    }
+}
+
+const TAG_BOVW_INLINE: u8 = 0;
+const TAG_BOVW_PATCHED: u8 = 1;
+
+/// How one shard's BoVW proof material ships.
+///
+/// A patch stores its digest payload *slot-deduplicated*: the same
+/// inverted-list digest re-appears in every MRKD tree (and, for per-query
+/// VOs, in every query's tree set), so the payload ships each distinct
+/// digest once in `unique` plus a compact `slots` map assigning one unique
+/// index per template digest slot. An empty patch (`unique` and `slots`
+/// both empty) means "the template's embedded digests *are* this shard's"
+/// — the shard whose VO seeded the template re-ships nothing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardBovw {
+    /// A complete BoVW VO carried inline (deduplication found no match, or
+    /// the deployment is too small for a shared section to pay off).
+    Inline(BovwVoVariant),
+    /// A reference to [`SharedSection::templates`]`[template]` with this
+    /// shard's own digest sequence patched into the template's slots.
+    Patched {
+        template: u32,
+        /// Distinct digests, in first-occurrence order.
+        unique: Vec<Digest>,
+        /// One index into `unique` per template digest slot (DFS order).
+        slots: Vec<u32>,
+    },
+}
+
+impl Encode for ShardBovw {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ShardBovw::Inline(vo) => {
+                w.u8(TAG_BOVW_INLINE);
+                vo.encode(w);
+            }
+            ShardBovw::Patched {
+                template,
+                unique,
+                slots,
+            } => {
+                w.u8(TAG_BOVW_PATCHED);
+                w.u32(*template);
+                w.seq_len(unique.len());
+                for d in unique {
+                    w.digest(d);
+                }
+                w.seq_len(slots.len());
+                for &s in slots {
+                    w.u32(s);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for ShardBovw {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            TAG_BOVW_INLINE => Ok(ShardBovw::Inline(BovwVoVariant::decode(r)?)),
+            TAG_BOVW_PATCHED => {
+                let template = r.u32()?;
+                let n = r.seq_len()?;
+                let mut unique = Vec::with_capacity(n);
+                for _ in 0..n {
+                    unique.push(r.digest()?);
+                }
+                let ns = r.seq_len()?;
+                let mut slots = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    slots.push(r.u32()?);
+                }
+                Ok(ShardBovw::Patched {
+                    template,
+                    unique,
+                    slots,
+                })
+            }
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// One shard's merge-trimmed sub-VO.
+///
+/// A shard that contributed `j = contributed` entries to the global top-k
+/// proves exactly its local top-`k'` for `k' = min(j + 1, k)`: the `j`
+/// contributions plus — when the shard has more than `j` entries — one
+/// *fence candidate*, its `(j+1)`-th best, whose verified score bounds
+/// everything the trim hid. `claimed` order is untrusted (Definition 1 is
+/// a set property); the client derives contributions vs. fence by sorting
+/// the verified entries under the global merge order.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardVo {
     pub shard_id: u32,
-    /// Local claimed winners — the full local top-k for a contributing
-    /// shard, at most one id for an excluded shard's bound proof.
+    /// Entries this shard claims the global merge consumed (`j`).
+    pub contributed: u32,
+    /// Local claimed top-`k'` ids: the contributions plus at most one
+    /// fence candidate; shorter only when the shard is provably exhausted.
     pub claimed: Vec<ImageId>,
-    pub vo: QueryVo,
+    pub bovw: ShardBovw,
+    pub inv: InvVoVariant,
+    /// Owner image signatures, one per claimed id.
+    pub signatures: Vec<Signature>,
 }
 
 impl Encode for ShardVo {
     fn encode(&self, w: &mut Writer) {
         w.u32(self.shard_id);
+        w.u32(self.contributed);
         w.seq_len(self.claimed.len());
         for &id in &self.claimed {
             w.u64(id);
         }
-        self.vo.encode(w);
+        self.bovw.encode(w);
+        self.inv.encode(w);
+        w.seq_len(self.signatures.len());
+        for s in &self.signatures {
+            w.bytes(&s.0);
+        }
     }
 }
 
 impl Decode for ShardVo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let shard_id = r.u32()?;
+        let contributed = r.u32()?;
         let n = r.seq_len()?;
         let mut claimed = Vec::with_capacity(n);
         for _ in 0..n {
             claimed.push(r.u64()?);
         }
-        let vo = QueryVo::decode(r)?;
+        let bovw = ShardBovw::decode(r)?;
+        let inv = InvVoVariant::decode(r)?;
+        let ns = r.seq_len()?;
+        let mut signatures = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            signatures.push(decode_signature(r)?);
+        }
         Ok(ShardVo {
             shard_id,
+            contributed,
             claimed,
-            vo,
+            bovw,
+            inv,
+            signatures,
         })
     }
 }
 
-/// The complete VO of one sharded top-k query.
+impl ShardVo {
+    /// Resolves this shard's BoVW VO against the response's shared
+    /// section: inline VOs verbatim, patched references by re-instantiating
+    /// the named template with this shard's digest payload. Resolution is
+    /// untrusted — the caller only accepts the result after it reproduces
+    /// the shard's manifest-committed root.
+    pub fn resolve_bovw<'a>(
+        &'a self,
+        shared: &SharedSection,
+    ) -> Result<std::borrow::Cow<'a, BovwVoVariant>, ShardedError> {
+        match &self.bovw {
+            ShardBovw::Inline(vo) => Ok(std::borrow::Cow::Borrowed(vo)),
+            ShardBovw::Patched {
+                template,
+                unique,
+                slots,
+            } => {
+                let Some(t) = shared.templates.get(*template as usize) else {
+                    return Err(ShardedError::SharedIndexInvalid {
+                        shard: self.shard_id,
+                        index: *template,
+                    });
+                };
+                // Empty patch: the template's embedded digests are this
+                // shard's own (the template-seeding shard ships nothing).
+                if unique.is_empty() && slots.is_empty() {
+                    return Ok(std::borrow::Cow::Owned(t.clone()));
+                }
+                let mut digests = Vec::with_capacity(slots.len());
+                for &s in slots {
+                    match unique.get(s as usize) {
+                        Some(d) => digests.push(*d),
+                        None => {
+                            return Err(ShardedError::SharedPatchMismatch {
+                                shard: self.shard_id,
+                            })
+                        }
+                    }
+                }
+                match bovw_variant_with_digests(t, &digests) {
+                    Some(vo) => Ok(std::borrow::Cow::Owned(vo)),
+                    None => Err(ShardedError::SharedPatchMismatch {
+                        shard: self.shard_id,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Deduplicates identical BoVW/MRKD geometry across sub-VOs: the first
+/// inline BoVW VO becomes a response-level template, and every shard whose
+/// VO equals the template with its own digests swapped in ships only the
+/// digest patch. Shards with divergent geometry stay inline, and when
+/// fewer than two shards patch, the section is dropped entirely (a
+/// template plus a single patch saves nothing). Returns the section and
+/// the net wire bytes saved.
+pub fn dedup_shared_section(shards: &mut [ShardVo]) -> (SharedSection, usize) {
+    let template = shards.iter().find_map(|s| match &s.bovw {
+        ShardBovw::Inline(v) => Some(v.clone()),
+        ShardBovw::Patched { .. } => None,
+    });
+    let Some(template) = template else {
+        return (SharedSection::default(), 0);
+    };
+    let mut patches: Vec<(usize, Vec<Digest>)> = Vec::new();
+    for (i, sub) in shards.iter().enumerate() {
+        let ShardBovw::Inline(v) = &sub.bovw else {
+            continue;
+        };
+        let digests = bovw_variant_digests(v);
+        if bovw_variant_with_digests(&template, &digests).as_ref() == Some(v) {
+            patches.push((i, digests));
+        }
+    }
+    if patches.len() < 2 {
+        return (SharedSection::default(), 0);
+    }
+    let mut saved = 0usize;
+    for (i, digests) in patches {
+        let Some(sub) = shards.get_mut(i) else {
+            continue;
+        };
+        let patched = if matches!(&sub.bovw, ShardBovw::Inline(v) if *v == template) {
+            // This shard seeded the template; its digests already ride in
+            // the shared section, so the patch ships nothing at all.
+            ShardBovw::Patched {
+                template: 0,
+                unique: Vec::new(),
+                slots: Vec::new(),
+            }
+        } else {
+            // Slot-dedup the payload: one copy of each distinct digest
+            // plus a unique-index per template slot. Inverted-list digests
+            // recur across trees (and per-query VOs), so this is much
+            // smaller than the raw digest sequence.
+            let mut index: BTreeMap<Digest, u32> = BTreeMap::new();
+            let mut unique: Vec<Digest> = Vec::new();
+            let mut slots: Vec<u32> = Vec::with_capacity(digests.len());
+            for d in digests {
+                let id = *index.entry(d).or_insert_with(|| {
+                    unique.push(d);
+                    (unique.len() - 1) as u32
+                });
+                slots.push(id);
+            }
+            ShardBovw::Patched {
+                template: 0,
+                unique,
+                slots,
+            }
+        };
+        saved += sub.bovw.wire_size().saturating_sub(patched.wire_size());
+        sub.bovw = patched;
+    }
+    let section = SharedSection {
+        templates: vec![template],
+    };
+    let saved = saved.saturating_sub(section.wire_size());
+    (section, saved)
+}
+
+/// The complete VO of one sharded top-k query: a once-per-response shared
+/// section plus one merge-trimmed sub-VO per shard.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardedVo {
     /// Shard count the SP served under; must match the manifest.
     pub shard_count: u32,
-    /// Shards owning at least one global winner, with full-k sub-VOs.
-    pub contributing: Vec<ShardVo>,
-    /// Every remaining shard, each with a k=1 bound proof.
-    pub excluded: Vec<ShardVo>,
+    /// Deduplicated BoVW/MRKD proof material referenced by index.
+    pub shared: SharedSection,
+    /// Every shard's trimmed sub-VO, one entry per shard.
+    pub shards: Vec<ShardVo>,
 }
 
 impl Encode for ShardedVo {
     fn encode(&self, w: &mut Writer) {
         w.u32(self.shard_count);
-        w.seq_len(self.contributing.len());
-        for sub in &self.contributing {
-            sub.encode(w);
-        }
-        w.seq_len(self.excluded.len());
-        for sub in &self.excluded {
+        self.shared.encode(w);
+        w.seq_len(self.shards.len());
+        for sub in &self.shards {
             sub.encode(w);
         }
     }
@@ -212,20 +529,16 @@ impl Encode for ShardedVo {
 impl Decode for ShardedVo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let shard_count = r.u32()?;
-        let nc = r.seq_len()?;
-        let mut contributing = Vec::with_capacity(nc);
-        for _ in 0..nc {
-            contributing.push(ShardVo::decode(r)?);
-        }
-        let ne = r.seq_len()?;
-        let mut excluded = Vec::with_capacity(ne);
-        for _ in 0..ne {
-            excluded.push(ShardVo::decode(r)?);
+        let shared = SharedSection::decode(r)?;
+        let n = r.seq_len()?;
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(ShardVo::decode(r)?);
         }
         Ok(ShardedVo {
             shard_count,
-            contributing,
-            excluded,
+            shared,
+            shards,
         })
     }
 }
@@ -254,11 +567,25 @@ pub enum ShardedError {
     ShardMissing { shard: u32 },
     /// A sub-VO failed monolith verification against its committed root.
     Shard { shard: u32, error: ClientError },
-    /// An excluded shard's bound proof claims more than one candidate.
-    BoundShapeInvalid { shard: u32 },
-    /// An excluded shard's proven best candidate would beat the claimed
-    /// global top-k (a shard's winners withheld behind a bound proof).
-    BoundExceeded { shard: u32 },
+    /// A sub-VO's trim shape is impossible: it claims more contributions
+    /// than result slots exist, or more entries than its contribution
+    /// count plus one fence admits.
+    TrimShapeInvalid { shard: u32 },
+    /// The shards together claim more contributions than the merge could
+    /// have consumed — `image` is the first provably dropped candidate.
+    ContributionInflated { image: ImageId },
+    /// A shard's verified fence candidate would beat the claimed global
+    /// k-th winner (a surviving entry withheld behind the trim).
+    FenceExceeded { shard: u32 },
+    /// A shard ships a fence candidate while the claimed result list has a
+    /// free slot the candidate should have filled.
+    FenceWithFreeSlot { shard: u32 },
+    /// A patched sub-VO references a shared-section template index that
+    /// does not exist.
+    SharedIndexInvalid { shard: u32, index: u32 },
+    /// A patched sub-VO's digest payload does not fill its template's
+    /// slots exactly.
+    SharedPatchMismatch { shard: u32 },
     /// The same image was claimed by more than one shard.
     DuplicateCandidate { image: ImageId },
     /// A winner sits in a shard other than the one [`shard_of`] assigns
@@ -287,14 +614,38 @@ impl std::fmt::Display for ShardedError {
             ShardedError::Shard { shard, error } => {
                 write!(f, "shard {shard} failed verification: {error}")
             }
-            ShardedError::BoundShapeInvalid { shard } => {
+            ShardedError::TrimShapeInvalid { shard } => {
                 write!(
                     f,
-                    "bound proof of shard {shard} claims more than one candidate"
+                    "trimmed sub-VO of shard {shard} has an impossible claim shape"
                 )
             }
-            ShardedError::BoundExceeded { shard } => {
-                write!(f, "shard {shard}'s best candidate beats the claimed top-k")
+            ShardedError::ContributionInflated { image } => {
+                write!(
+                    f,
+                    "shards claim more contributions than result slots (image {image} dropped)"
+                )
+            }
+            ShardedError::FenceExceeded { shard } => {
+                write!(f, "shard {shard}'s fence candidate beats the claimed top-k")
+            }
+            ShardedError::FenceWithFreeSlot { shard } => {
+                write!(
+                    f,
+                    "shard {shard} fences a candidate although a result slot is free"
+                )
+            }
+            ShardedError::SharedIndexInvalid { shard, index } => {
+                write!(
+                    f,
+                    "shard {shard} references missing shared template {index}"
+                )
+            }
+            ShardedError::SharedPatchMismatch { shard } => {
+                write!(
+                    f,
+                    "shard {shard}'s digest patch does not fit its shared template"
+                )
             }
             ShardedError::DuplicateCandidate { image } => {
                 write!(f, "image {image} claimed by more than one shard")
@@ -360,9 +711,10 @@ fn beats(score: f32, id: ImageId, kth_score: f32, kth_id: ImageId) -> bool {
 
 impl Client {
     /// Verifies a sharded response end to end: the manifest signature,
-    /// shard coverage, every sub-VO against its committed root, the
-    /// excluded-shard bound proofs, the cross-shard merge, and the
-    /// winners' image signatures.
+    /// shard coverage, every merge-trimmed sub-VO against its committed
+    /// root (resolving shared-section references), the contribution-count
+    /// and fence-proof checks, the cross-shard merge, and the winners'
+    /// image signatures.
     pub fn verify_sharded(
         &self,
         features: &[Vec<f32>],
@@ -375,11 +727,11 @@ impl Client {
     }
 
     /// [`Client::verify_sharded`] that additionally returns the structured
-    /// span profile: phases `manifest`, `contributing`, `bounds`, `merge`,
-    /// `signatures`, with each sub-VO's `shard.verify` span (tagged by a
-    /// `shard` counter) nested under the phase that checked it. The
-    /// profile is pure observation: accept/reject is identical whether or
-    /// not recording is enabled.
+    /// span profile: phases `manifest`, `shards`, `merge`, `signatures`,
+    /// with each sub-VO's `shard.verify` span (tagged by a `shard`
+    /// counter) nested under the phase that checked it. The profile is
+    /// pure observation: accept/reject is identical whether or not
+    /// recording is enabled.
     pub fn verify_sharded_profiled(
         &self,
         features: &[Vec<f32>],
@@ -401,9 +753,9 @@ impl Client {
             });
         }
 
-        // Coverage: every shard exactly once across both sub-VO lists.
+        // Coverage: every shard exactly once.
         let mut covered: Vec<bool> = (0..shard_count).map(|_| false).collect();
-        for sub in vo.contributing.iter().chain(&vo.excluded) {
+        for sub in &vo.shards {
             match covered.get_mut(sub.shard_id as usize) {
                 None => {
                     return Err(ShardedError::UnknownShard {
@@ -425,24 +777,42 @@ impl Client {
         }
         prof.exit();
 
-        // Contributing shards: full-k monolith verification against the
-        // committed roots; the verified local top-ks feed the merge.
-        prof.enter("contributing");
+        // Trimmed sub-VOs: each shard claiming j contributions is verified
+        // as the true local top-k' for k' = min(j + 1, k) against its
+        // committed root. Sorted under the merge order, the first j
+        // verified entries are the shard's contributions and an optional
+        // (j+1)-th is its fence candidate — the verified upper bound on
+        // everything the trim hid. A claim shorter than k' only verifies
+        // when the sub-VO proves local exhaustion, so fences cannot be
+        // silently omitted.
+        prof.enter("shards");
         let mut assignments: Vec<u32> = Vec::new();
         let mut candidates: Vec<(u32, ImageId, f32)> = Vec::new();
-        for sub in &vo.contributing {
+        let mut fences: Vec<(u32, ImageId, f32)> = Vec::new();
+        let mut seen_images = BTreeSet::new();
+        for sub in &vo.shards {
+            let j = sub.contributed as usize;
+            let k_trim = (j + 1).min(k);
+            if j > k || sub.claimed.len() > k_trim {
+                return Err(ShardedError::TrimShapeInvalid {
+                    shard: sub.shard_id,
+                });
+            }
             let Some(root) = manifest.root_of(sub.shard_id) else {
                 return Err(ShardedError::UnknownShard {
                     shard: sub.shard_id,
                 });
             };
+            let bovw = sub.resolve_bovw(&vo.shared)?;
             prof.enter("shard.verify");
             prof.add("shard", sub.shard_id as u64);
             let verified = self
-                .verify_query_vo(
+                .verify_query_vo_parts(
                     features,
-                    k,
-                    &sub.vo,
+                    k_trim,
+                    bovw.as_ref(),
+                    &sub.inv,
+                    sub.signatures.len(),
                     &sub.claimed,
                     RootExpectation::Committed(root),
                     &mut prof,
@@ -452,88 +822,59 @@ impl Client {
                     error,
                 })?;
             prof.exit();
-            for &(id, score) in &verified.topk {
-                candidates.push((sub.shard_id, id, score));
+            // The claimed order is untrusted; the shard's true local
+            // ranking is the verified set under the global merge order.
+            let mut local: Vec<(u32, ImageId, f32)> = verified
+                .topk
+                .iter()
+                .map(|&(id, score)| (sub.shard_id, id, score))
+                .collect();
+            local.sort_by(merge_cmp);
+            for &(_, id, _) in &local {
+                if !seen_images.insert(id) {
+                    return Err(ShardedError::DuplicateCandidate { image: id });
+                }
             }
-            assignments = verified.assignments;
-        }
-        prof.exit();
-
-        // Excluded shards: k=1 bound proofs of each shard's true best
-        // candidate (or of emptiness, via an exhausted empty claim).
-        prof.enter("bounds");
-        let mut bounds: Vec<(u32, Option<(ImageId, f32)>)> = Vec::with_capacity(vo.excluded.len());
-        for sub in &vo.excluded {
-            if sub.claimed.len() > 1 {
-                return Err(ShardedError::BoundShapeInvalid {
-                    shard: sub.shard_id,
-                });
+            if local.len() > j {
+                // claimed.len() ≤ j + 1, so at most one verified entry
+                // sits past the contributions: the fence candidate.
+                if let Some(&fence) = local.last() {
+                    fences.push(fence);
+                }
+                local.truncate(j);
             }
-            let Some(root) = manifest.root_of(sub.shard_id) else {
-                return Err(ShardedError::UnknownShard {
-                    shard: sub.shard_id,
-                });
-            };
-            prof.enter("shard.verify");
-            prof.add("shard", sub.shard_id as u64);
-            let verified = self
-                .verify_query_vo(
-                    features,
-                    1,
-                    &sub.vo,
-                    &sub.claimed,
-                    RootExpectation::Committed(root),
-                    &mut prof,
-                )
-                .map_err(|error| ShardedError::Shard {
-                    shard: sub.shard_id,
-                    error,
-                })?;
-            prof.exit();
-            bounds.push((sub.shard_id, verified.topk.first().copied()));
+            candidates.extend(local);
             if assignments.is_empty() {
                 assignments = verified.assignments;
             }
         }
         prof.exit();
 
-        // No image may be claimed by two shards (impossible under an
-        // honest owner's partition; a forged duplicate would double-count).
+        // Cross-shard merge: the global top-k over every shard's proven
+        // contributions, under (score desc, id asc).
         prof.enter("merge");
-        let mut seen_images = BTreeSet::new();
-        for &(_, id, _) in &candidates {
-            if !seen_images.insert(id) {
-                return Err(ShardedError::DuplicateCandidate { image: id });
-            }
-        }
-        for &(_, best) in &bounds {
-            if let Some((id, _)) = best {
-                if !seen_images.insert(id) {
-                    return Err(ShardedError::DuplicateCandidate { image: id });
-                }
-            }
-        }
-
-        // Cross-shard merge: the true global top-k over every proven
-        // local top-k, under (score desc, id asc).
         candidates.sort_by(merge_cmp);
-        candidates.truncate(k);
+        // More proven contributions than result slots: some shard inflated
+        // its contributed count, because the real merge would have dropped
+        // the (k+1)-th ranked candidate.
+        if let Some(&(_, image, _)) = candidates.get(k) {
+            return Err(ShardedError::ContributionInflated { image });
+        }
 
-        // Bound check: with a full result list, every excluded shard's
-        // best must lose to the k-th winner; with a short one, a free slot
-        // exists and any excluded candidate should have filled it.
-        let fence: Option<(ImageId, f32)> = if candidates.len() == k {
+        // Fence checks: with all k slots filled, no fence candidate may
+        // beat the k-th winner; with a free slot, a verified fence
+        // candidate is itself a result the SP withheld.
+        let kth: Option<(ImageId, f32)> = if candidates.len() == k {
             candidates.last().map(|&(_, id, score)| (id, score))
         } else {
             None
         };
-        for &(shard, best) in &bounds {
-            let Some((id, score)) = best else { continue };
-            match fence {
-                None => return Err(ShardedError::BoundExceeded { shard }),
+        for &(shard, id, score) in &fences {
+            match kth {
+                None => return Err(ShardedError::FenceWithFreeSlot { shard }),
                 Some((kth_id, kth_score)) => {
                     if beats(score, id, kth_score, kth_id) {
-                        return Err(ShardedError::BoundExceeded { shard });
+                        return Err(ShardedError::FenceExceeded { shard });
                     }
                 }
             }
@@ -565,15 +906,14 @@ impl Client {
         // Winner image signatures (Eq. 15), read from each winner's
         // sub-VO at its local claimed position and batch-verified.
         prof.enter("signatures");
-        let by_shard: BTreeMap<u32, &ShardVo> =
-            vo.contributing.iter().map(|s| (s.shard_id, s)).collect();
+        let by_shard: BTreeMap<u32, &ShardVo> = vo.shards.iter().map(|s| (s.shard_id, s)).collect();
         let mut items: Vec<(ImageId, &[u8], Signature)> =
             Vec::with_capacity(response.results.len());
         for result in &response.results {
             let shard = shard_of(result.id, shard_count as usize) as u32;
             let signature = by_shard.get(&shard).and_then(|sub| {
                 let pos = sub.claimed.iter().position(|&c| c == result.id)?;
-                sub.vo.signatures.get(pos)
+                sub.signatures.get(pos)
             });
             let Some(signature) = signature else {
                 return Err(ShardedError::AssignmentMismatch { image: result.id });
@@ -723,6 +1063,238 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(ShardManifest::from_wire(&bytes[..cut]).is_err());
         }
+    }
+
+    fn sample_bovw_variant() -> BovwVoVariant {
+        use imageproof_mrkd::{BovwVo, Reveal, VoLeafEntry, VoNode};
+        BovwVoVariant::Shared(BovwVo {
+            trees: vec![VoNode::Internal {
+                dim: 0,
+                value: 0.5,
+                left: Box::new(VoNode::Pruned(Digest::of(b"pruned"))),
+                right: Box::new(VoNode::Leaf {
+                    entries: vec![VoLeafEntry {
+                        cluster: 7,
+                        inv_digest: Digest::of(b"inv"),
+                        reveal: Reveal::Full {
+                            coords: vec![1.0, -2.0],
+                        },
+                    }],
+                }),
+            }],
+        })
+    }
+
+    fn sample_shard_vo(shard_id: u32, bovw: ShardBovw) -> ShardVo {
+        ShardVo {
+            shard_id,
+            contributed: 2,
+            claimed: vec![11, 19, 4],
+            bovw,
+            inv: InvVoVariant::Plain(imageproof_invindex::InvVo { lists: Vec::new() }),
+            signatures: vec![Signature::from_bytes([7u8; 64])],
+        }
+    }
+
+    fn assert_truncations_error<T: Decode>(bytes: &[u8]) {
+        for cut in 0..bytes.len() {
+            assert!(T::from_wire(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn shard_bovw_round_trips_from_wire() {
+        for bovw in [
+            ShardBovw::Inline(sample_bovw_variant()),
+            ShardBovw::Patched {
+                template: 3,
+                unique: vec![Digest::of(b"a"), Digest::of(b"b")],
+                slots: vec![0, 1, 0],
+            },
+            ShardBovw::Patched {
+                template: 0,
+                unique: Vec::new(),
+                slots: Vec::new(),
+            },
+        ] {
+            let bytes = bovw.to_wire();
+            assert_eq!(ShardBovw::from_wire(&bytes).expect("round trip"), bovw);
+            assert_truncations_error::<ShardBovw>(&bytes);
+        }
+        assert!(ShardBovw::from_wire(&[9u8]).is_err(), "unknown tag");
+    }
+
+    #[test]
+    fn shared_section_round_trips_from_wire() {
+        let section = SharedSection {
+            templates: vec![sample_bovw_variant()],
+        };
+        let bytes = section.to_wire();
+        assert_eq!(
+            SharedSection::from_wire(&bytes).expect("round trip"),
+            section
+        );
+        assert_truncations_error::<SharedSection>(&bytes);
+        let empty = SharedSection::default();
+        assert_eq!(
+            SharedSection::from_wire(&empty.to_wire()).expect("round trip"),
+            empty
+        );
+    }
+
+    #[test]
+    fn shard_vo_round_trips_from_wire() {
+        let sub = sample_shard_vo(
+            2,
+            ShardBovw::Patched {
+                template: 0,
+                unique: vec![Digest::of(b"d")],
+                slots: vec![0, 0],
+            },
+        );
+        let bytes = sub.to_wire();
+        assert_eq!(ShardVo::from_wire(&bytes).expect("round trip"), sub);
+        assert_truncations_error::<ShardVo>(&bytes);
+    }
+
+    #[test]
+    fn sharded_vo_round_trips_from_wire() {
+        let vo = ShardedVo {
+            shard_count: 2,
+            shared: SharedSection {
+                templates: vec![sample_bovw_variant()],
+            },
+            shards: vec![
+                sample_shard_vo(0, ShardBovw::Inline(sample_bovw_variant())),
+                sample_shard_vo(
+                    1,
+                    ShardBovw::Patched {
+                        template: 0,
+                        unique: vec![Digest::of(b"x"), Digest::of(b"y")],
+                        slots: vec![1, 0],
+                    },
+                ),
+            ],
+        };
+        let bytes = vo.to_wire();
+        assert_eq!(ShardedVo::from_wire(&bytes).expect("round trip"), vo);
+        assert_truncations_error::<ShardedVo>(&bytes);
+    }
+
+    #[test]
+    fn resolve_bovw_patches_templates_and_rejects_bad_references() {
+        let template = sample_bovw_variant();
+        let shared = SharedSection {
+            templates: vec![template.clone()],
+        };
+        // A fresh digest payload resolves to the template with exactly
+        // those digests swapped in (the sample template has two slots).
+        let digests = vec![Digest::of(b"p2"), Digest::of(b"i2")];
+        let sub = sample_shard_vo(
+            1,
+            ShardBovw::Patched {
+                template: 0,
+                unique: digests.clone(),
+                slots: vec![0, 1],
+            },
+        );
+        let resolved = sub.resolve_bovw(&shared).expect("resolves");
+        assert_eq!(bovw_variant_digests(resolved.as_ref()), digests);
+        assert_eq!(
+            bovw_variant_with_digests(&template, &digests).as_ref(),
+            Some(resolved.as_ref())
+        );
+        // Inline sub-VOs never consult the section.
+        let inline = sample_shard_vo(0, ShardBovw::Inline(template.clone()));
+        assert_eq!(
+            inline
+                .resolve_bovw(&SharedSection::default())
+                .expect("inline")
+                .as_ref(),
+            &template
+        );
+        // An empty patch resolves to the template verbatim (the seeding
+        // shard's digests already ride in the shared section).
+        let seeded = sample_shard_vo(
+            2,
+            ShardBovw::Patched {
+                template: 0,
+                unique: Vec::new(),
+                slots: Vec::new(),
+            },
+        );
+        assert_eq!(
+            seeded.resolve_bovw(&shared).expect("empty patch").as_ref(),
+            &template
+        );
+        // Out-of-range template index.
+        let dangling = sample_shard_vo(
+            1,
+            ShardBovw::Patched {
+                template: 9,
+                unique: digests.clone(),
+                slots: vec![0, 1],
+            },
+        );
+        assert_eq!(
+            dangling.resolve_bovw(&shared).unwrap_err(),
+            ShardedError::SharedIndexInvalid { shard: 1, index: 9 }
+        );
+        // Slot maps too short or too long for the template, and slots
+        // referencing unique indexes that do not exist.
+        for bad in [vec![0u32], vec![0, 1, 0], vec![0, 7]] {
+            let sub = sample_shard_vo(
+                1,
+                ShardBovw::Patched {
+                    template: 0,
+                    unique: digests.clone(),
+                    slots: bad,
+                },
+            );
+            assert_eq!(
+                sub.resolve_bovw(&shared).unwrap_err(),
+                ShardedError::SharedPatchMismatch { shard: 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_seeds_a_template_and_slot_dedups_the_other_patches() {
+        let template = sample_bovw_variant();
+        let other_digests = vec![Digest::of(b"other-pruned"), Digest::of(b"other-inv")];
+        let other = bovw_variant_with_digests(&template, &other_digests).expect("same shape");
+        let mut shards = vec![
+            sample_shard_vo(0, ShardBovw::Inline(template.clone())),
+            sample_shard_vo(1, ShardBovw::Inline(other.clone())),
+        ];
+        let (shared, _saved) = dedup_shared_section(&mut shards);
+        assert_eq!(shared.templates, vec![template.clone()]);
+        // The seeding shard ships an empty patch; the other a slot map.
+        assert_eq!(
+            shards[0].bovw,
+            ShardBovw::Patched {
+                template: 0,
+                unique: Vec::new(),
+                slots: Vec::new(),
+            }
+        );
+        assert_eq!(
+            shards[1].bovw,
+            ShardBovw::Patched {
+                template: 0,
+                unique: other_digests,
+                slots: vec![0, 1],
+            }
+        );
+        // Both resolve back to their original inline VOs.
+        assert_eq!(shards[0].resolve_bovw(&shared).unwrap().as_ref(), &template);
+        assert_eq!(shards[1].resolve_bovw(&shared).unwrap().as_ref(), &other);
+        // A lone shard stays inline: a template plus one patch saves nothing.
+        let mut solo = vec![sample_shard_vo(0, ShardBovw::Inline(template.clone()))];
+        let (section, saved) = dedup_shared_section(&mut solo);
+        assert!(section.templates.is_empty());
+        assert_eq!(saved, 0);
+        assert_eq!(solo[0].bovw, ShardBovw::Inline(template));
     }
 
     #[test]

@@ -3,14 +3,18 @@
 
 use crate::owner::{Database, IndexVariant};
 use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme};
-use crate::shard::{ShardVo, ShardedResponse, ShardedVo};
+use crate::shard::{dedup_shared_section, ShardBovw, ShardVo, ShardedResponse, ShardedVo};
 use imageproof_akm::SparseBovw;
 use imageproof_invindex::grouped::grouped_search;
-use imageproof_invindex::{inv_search, BoundsMode};
+use imageproof_invindex::{inv_search, BoundsMode, InvSearchStats};
 use imageproof_mrkd::{mrkd_search_baseline_with, mrkd_search_with};
 use imageproof_obs::{micros, Profiler, QueryProfile};
 use imageproof_parallel::{par_map, par_map_chunked, Concurrency};
 use imageproof_vision::ImageId;
+use std::collections::BTreeMap;
+
+/// One trim re-query result: (shard index, local top-k', inverted-index VO).
+type TrimResult = (usize, Vec<(ImageId, f32)>, InvVoVariant);
 
 /// One returned image with its raw payload.
 #[derive(Clone, Debug)]
@@ -202,32 +206,11 @@ impl ServiceProvider {
 
         // --- Inverted-index step (Alg. 5 line 5) ---
         prof.enter("inv");
-        let (topk, inv_vo) = match (&self.db.inv, scheme.uses_filters()) {
-            (IndexVariant::Plain(index), true) => {
-                let out = inv_search(index, &query_bovw, k, BoundsMode::CuckooFiltered);
-                stats.popped = out.stats.popped;
-                stats.total_postings = out.stats.total_postings;
-                stats.hashes_computed += out.stats.hashes_computed;
-                stats.hashes_cached += out.stats.hashes_cached;
-                (out.topk, InvVoVariant::Plain(out.vo))
-            }
-            (IndexVariant::Plain(index), false) => {
-                let out = inv_search(index, &query_bovw, k, BoundsMode::MaxBound);
-                stats.popped = out.stats.popped;
-                stats.total_postings = out.stats.total_postings;
-                stats.hashes_computed += out.stats.hashes_computed;
-                stats.hashes_cached += out.stats.hashes_cached;
-                (out.topk, InvVoVariant::Plain(out.vo))
-            }
-            (IndexVariant::Grouped(index), _) => {
-                let out = grouped_search(index, &query_bovw, k);
-                stats.popped = out.stats.popped;
-                stats.total_postings = out.stats.total_postings;
-                stats.hashes_computed += out.stats.hashes_computed;
-                stats.hashes_cached += out.stats.hashes_cached;
-                (out.topk, InvVoVariant::Grouped(out.vo))
-            }
-        };
+        let (topk, inv_vo, inv_stats) = self.inv_step(&query_bovw, k);
+        stats.popped = inv_stats.popped;
+        stats.total_postings = inv_stats.total_postings;
+        stats.hashes_computed += inv_stats.hashes_computed;
+        stats.hashes_cached += inv_stats.hashes_cached;
         prof.add("popped", stats.popped as u64);
         prof.add("postings", stats.total_postings as u64);
         prof.add("hashes_computed", stats.hashes_computed as u64);
@@ -262,6 +245,31 @@ impl ServiceProvider {
         )
     }
 
+    /// The inverted-index step alone, at an explicit `k`, over an already
+    /// BoVW-encoded query. The BoVW step is k-independent, so the sharded
+    /// trim pass re-runs only this step to produce a shard's top-`k'`
+    /// claim while reusing the full-k fan-out's BoVW VO verbatim.
+    fn inv_step(
+        &self,
+        query_bovw: &SparseBovw,
+        k: usize,
+    ) -> (Vec<(ImageId, f32)>, InvVoVariant, InvSearchStats) {
+        match (&self.db.inv, self.db.scheme.uses_filters()) {
+            (IndexVariant::Plain(index), true) => {
+                let out = inv_search(index, query_bovw, k, BoundsMode::CuckooFiltered);
+                (out.topk, InvVoVariant::Plain(out.vo), out.stats)
+            }
+            (IndexVariant::Plain(index), false) => {
+                let out = inv_search(index, query_bovw, k, BoundsMode::MaxBound);
+                (out.topk, InvVoVariant::Plain(out.vo), out.stats)
+            }
+            (IndexVariant::Grouped(index), _) => {
+                let out = grouped_search(index, query_bovw, k);
+                (out.topk, InvVoVariant::Grouped(out.vo), out.stats)
+            }
+        }
+    }
+
     /// Serves independent client queries concurrently over the shared
     /// immutable [`Database`] — the millions-of-users serving shape: one
     /// database, many simultaneous top-k queries.
@@ -293,12 +301,19 @@ pub struct ShardedSp {
 pub struct ShardedSpStats {
     /// Stats of the full-k fan-out, indexed by shard id.
     pub per_shard: Vec<SpStats>,
-    /// Number of k=1 bound queries issued for excluded shards.
-    pub bound_queries: usize,
+    /// Number of trimmed (top-k') inverted-index re-queries issued for
+    /// shards contributing fewer than k − 1 global winners.
+    pub trim_queries: usize,
+    /// Entries the merge trim dropped from sub-VO claims, summed over
+    /// shards (full-k fan-out length minus trimmed claim length).
+    pub trimmed_entries: usize,
+    /// Response bytes the shared-section dedup removed (inline BoVW VO
+    /// sizes minus patch sizes, net of the template itself).
+    pub dedup_bytes_saved: usize,
     /// Wall-clock seconds spent merging and assembling the sharded VO.
     pub merge_seconds: f64,
     /// Wall-clock seconds of the whole sharded query: fan-out, merge,
-    /// bound proofs, and VO assembly.
+    /// trim re-queries, and VO assembly.
     pub wall_seconds: f64,
 }
 
@@ -377,9 +392,9 @@ impl ShardedSp {
     }
 
     /// [`ShardedSp::query`] with the per-shard full-k queries (and the
-    /// excluded shards' k=1 bound queries) fanned out across workers.
-    /// Fan-out preserves shard order and each shard runs the serial engine,
-    /// so the response is bit-identical for every thread count.
+    /// trimmed top-k' re-queries) fanned out across workers. Fan-out
+    /// preserves shard order and each shard runs the serial engine, so the
+    /// response is bit-identical for every thread count.
     pub fn query_with(
         &self,
         features: &[Vec<f32>],
@@ -391,7 +406,7 @@ impl ShardedSp {
     }
 
     /// [`ShardedSp::query_with`] that additionally returns the structured
-    /// span profile: phases `fanout`, `merge`, `bounds`, `assemble`, with
+    /// span profile: phases `fanout`, `merge`, `trim`, `assemble`, with
     /// each shard's own `sp.query` sub-profile grafted under the phase
     /// that issued it (tagged with a `shard` counter).
     pub fn query_profiled(
@@ -418,7 +433,8 @@ impl ShardedSp {
         // Phase 2: merge the local top-ks under (score desc, id asc) — the
         // same order the per-shard engines use — and keep the k global
         // winners. Scores are shard-invariant (global impact model), so
-        // this merge reproduces the monolith top-k exactly.
+        // this merge reproduces the monolith top-k exactly. Each shard's
+        // winner count becomes its sub-VO's `contributed` claim.
         prof.enter("merge");
         let mut candidates: Vec<(usize, ImageId, f32)> = Vec::new();
         for (shard, (resp, _)) in full.iter().enumerate() {
@@ -428,39 +444,47 @@ impl ShardedSp {
         }
         candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
         candidates.truncate(k);
-        let mut contributes = vec![false; self.shards.len()];
+        let mut contributed = vec![0usize; self.shards.len()];
         for &(shard, _, _) in &candidates {
-            contributes[shard] = true;
-        }
-        // k = 0 asks for nothing: no winners, and no bound proofs needed —
-        // every shard stays "contributing" with an empty (exhausted) claim.
-        if k == 0 {
-            for c in contributes.iter_mut() {
-                *c = true;
-            }
+            contributed[shard] += 1;
         }
         prof.add("candidates", candidates.len() as u64);
         let mut merge_seconds = prof.exit();
 
-        // Phase 3: k=1 bound proofs for shards without a global winner.
-        prof.enter("bounds");
-        let losers: Vec<usize> = (0..self.shards.len())
-            .filter(|&s| !contributes[s])
+        // Phase 3: trim. A shard contributing j entries must prove its
+        // local top-k' for k' = min(j + 1, k); shards with j ≥ k − 1 reuse
+        // the fan-out response verbatim, the rest get an inverted-index
+        // re-query at k' (BoVW encoding is k-independent, so the fan-out's
+        // BoVW VO is reused and only the inverted step re-runs).
+        prof.enter("trim");
+        let trim_targets: Vec<(usize, usize)> = (0..self.shards.len())
+            .filter_map(|s| {
+                let k_trim = (contributed[s] + 1).min(k);
+                (k_trim < k).then_some((s, k_trim))
+            })
             .collect();
-        prof.add("bound_queries", losers.len() as u64);
-        let bound_fanned: Vec<(QueryResponse, SpStats, QueryProfile)> =
-            par_map(conc, &losers, |_, &s| {
-                self.shards[s].query_profiled(features, 1, Concurrency::serial())
-            });
-        let mut bound: Vec<QueryResponse> = Vec::with_capacity(bound_fanned.len());
-        for (&shard, (resp, _, sub)) in losers.iter().zip(bound_fanned) {
-            prof.attach(sub, "shard", shard as u64);
-            bound.push(resp);
+        prof.add("trim_queries", trim_targets.len() as u64);
+        let mut trimmed: Vec<TrimResult> = Vec::new();
+        if let Some(sp0) = self.shards.first() {
+            if !trim_targets.is_empty() {
+                // The BoVW encoding is shard-invariant (shared codebook):
+                // compute it once and re-query each target shard's index.
+                let query_bovw = SparseBovw::from_counts(
+                    features
+                        .iter()
+                        .map(|f| (sp0.db.codebook.assign_with_threshold(f).0, 1)),
+                );
+                trimmed = par_map(conc, &trim_targets, |_, &(s, k_trim)| {
+                    let (topk, inv, _) = self.shards[s].inv_step(&query_bovw, k_trim);
+                    (s, topk, inv)
+                });
+            }
         }
-        let bounds_seconds = prof.exit();
+        let trim_seconds = prof.exit();
 
-        // Phase 4: assemble the global results and the sharded VO, both in
-        // ascending shard order within each section.
+        // Phase 4: assemble the global results and the sharded VO, sub-VOs
+        // in ascending shard order, then deduplicate the shards' common
+        // BoVW geometry into the response's shared section.
         prof.enter("assemble");
         let mut results = Vec::with_capacity(candidates.len());
         for &(shard, id, score) in &candidates {
@@ -472,68 +496,89 @@ impl ShardedSp {
                 });
             }
         }
+        let trimmed_by_shard: BTreeMap<usize, (Vec<(ImageId, f32)>, InvVoVariant)> = trimmed
+            .into_iter()
+            .map(|(s, topk, inv)| (s, (topk, inv)))
+            .collect();
         let mut per_shard = Vec::with_capacity(full.len());
-        let mut contributing = Vec::new();
+        let mut shard_vos = Vec::with_capacity(full.len());
+        let mut trimmed_entries = 0usize;
         for (shard, (resp, stats)) in full.iter().enumerate() {
             per_shard.push(*stats);
-            if contributes[shard] {
-                contributing.push(ShardVo {
-                    shard_id: shard as u32,
-                    claimed: resp.results.iter().map(|r| r.id).collect(),
-                    vo: resp.vo.clone(),
-                });
-            }
-        }
-        let mut excluded = Vec::with_capacity(losers.len());
-        for (&shard, resp) in losers.iter().zip(&bound) {
-            excluded.push(ShardVo {
+            let (claimed, inv, signatures): (Vec<ImageId>, InvVoVariant, Vec<_>) =
+                match trimmed_by_shard.get(&shard) {
+                    Some((topk, inv)) => {
+                        let claimed: Vec<ImageId> = topk.iter().map(|&(id, _)| id).collect();
+                        trimmed_entries += resp.results.len().saturating_sub(claimed.len());
+                        let signatures = claimed
+                            .iter()
+                            .map(|id| self.shards[shard].db.images[id].signature)
+                            .collect();
+                        (claimed, inv.clone(), signatures)
+                    }
+                    None => (
+                        resp.results.iter().map(|r| r.id).collect(),
+                        resp.vo.inv.clone(),
+                        resp.vo.signatures.clone(),
+                    ),
+                };
+            shard_vos.push(ShardVo {
                 shard_id: shard as u32,
-                claimed: resp.results.iter().map(|r| r.id).collect(),
-                vo: resp.vo.clone(),
+                contributed: contributed[shard] as u32,
+                claimed,
+                bovw: ShardBovw::Inline(resp.vo.bovw.clone()),
+                inv,
+                signatures,
             });
         }
+        let (shared, dedup_bytes_saved) = dedup_shared_section(&mut shard_vos);
+        prof.add("dedup_bytes_saved", dedup_bytes_saved as u64);
         merge_seconds += prof.exit();
 
         let stats = ShardedSpStats {
             per_shard,
-            bound_queries: losers.len(),
+            trim_queries: trim_targets.len(),
+            trimmed_entries,
+            dedup_bytes_saved,
             merge_seconds,
-            wall_seconds: fanout_seconds + merge_seconds + bounds_seconds,
+            wall_seconds: fanout_seconds + merge_seconds + trim_seconds,
         };
         if prof.is_recording() {
-            self.record_sharded_query(&stats, fanout_seconds, bounds_seconds);
+            self.record_sharded_query(&stats, fanout_seconds, trim_seconds);
         }
 
         let vo = ShardedVo {
             shard_count: self.shards.len() as u32,
-            contributing,
-            excluded,
+            shared,
+            shards: shard_vos,
         };
         (ShardedResponse { results, vo }, stats, prof.finish())
     }
 
     /// Records one finished sharded query into the global registry.
-    fn record_sharded_query(
-        &self,
-        stats: &ShardedSpStats,
-        fanout_seconds: f64,
-        bounds_seconds: f64,
-    ) {
+    fn record_sharded_query(&self, stats: &ShardedSpStats, fanout_seconds: f64, trim_seconds: f64) {
         let Some(slug) = self.shards.first().map(|sp| sp.db.scheme.slug()) else {
             return;
         };
         let reg = imageproof_obs::global();
         reg.counter("imageproof_sharded_queries_total", &[("scheme", slug)])
             .inc();
+        reg.counter("imageproof_sharded_trim_queries_total", &[("scheme", slug)])
+            .add(stats.trim_queries as u64);
         reg.counter(
-            "imageproof_sharded_bound_queries_total",
+            "imageproof_sharded_trimmed_entries_total",
             &[("scheme", slug)],
         )
-        .add(stats.bound_queries as u64);
+        .add(stats.trimmed_entries as u64);
+        reg.counter(
+            "imageproof_sharded_dedup_bytes_saved_total",
+            &[("scheme", slug)],
+        )
+        .add(stats.dedup_bytes_saved as u64);
         for (phase, seconds) in [
             ("fanout", fanout_seconds),
             ("merge", stats.merge_seconds),
-            ("bounds", bounds_seconds),
+            ("trim", trim_seconds),
         ] {
             reg.histogram(
                 "imageproof_sharded_phase_micros",

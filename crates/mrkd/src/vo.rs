@@ -76,6 +76,110 @@ impl VoNode {
     }
 }
 
+/// Read cursor over a flat digest list, used to re-instantiate a VO
+/// template with another shard's digests ([`VoNode::with_digests`]). All
+/// access is bounds-checked: running past the end yields `None`, never a
+/// panic — the digests come from an untrusted sharded response.
+pub struct DigestCursor<'a> {
+    digests: &'a [Digest],
+    pos: usize,
+}
+
+impl<'a> DigestCursor<'a> {
+    pub fn new(digests: &'a [Digest]) -> DigestCursor<'a> {
+        DigestCursor { digests, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a Digest> {
+        let d = self.digests.get(self.pos)?;
+        self.pos += 1;
+        Some(d)
+    }
+
+    /// True when every digest has been consumed — a patch must use its
+    /// payload exactly.
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.digests.len()
+    }
+}
+
+impl VoNode {
+    /// Appends this tree's shard-varying digests — pruned-subtree stubs and
+    /// leaf-embedded inverted-list digests — to `out`, in DFS order
+    /// (node, then left subtree, then right). Everything else in a VO
+    /// (splits, cluster ids, centroid reveals, subset proofs) depends only
+    /// on the query and the shared codebook, so two shards' VOs for one
+    /// query differ exactly in this digest sequence.
+    pub fn collect_digests(&self, out: &mut Vec<Digest>) {
+        match self {
+            VoNode::Pruned(d) => out.push(*d),
+            VoNode::Internal { left, right, .. } => {
+                left.collect_digests(out);
+                right.collect_digests(out);
+            }
+            VoNode::Leaf { entries } => {
+                for e in entries {
+                    out.push(e.inv_digest);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds this tree with its shard-varying digests replaced from
+    /// `cur`, in the same DFS order [`VoNode::collect_digests`] emits.
+    /// Returns `None` when the cursor runs dry (shape/payload mismatch).
+    pub fn with_digests(&self, cur: &mut DigestCursor<'_>) -> Option<VoNode> {
+        match self {
+            VoNode::Pruned(_) => Some(VoNode::Pruned(*cur.next()?)),
+            VoNode::Internal {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let left = left.with_digests(cur)?;
+                let right = right.with_digests(cur)?;
+                Some(VoNode::Internal {
+                    dim: *dim,
+                    value: *value,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            VoNode::Leaf { entries } => {
+                let mut out = Vec::with_capacity(entries.len());
+                for e in entries {
+                    out.push(VoLeafEntry {
+                        cluster: e.cluster,
+                        inv_digest: *cur.next()?,
+                        reveal: e.reveal.clone(),
+                    });
+                }
+                Some(VoNode::Leaf { entries: out })
+            }
+        }
+    }
+}
+
+impl BovwVo {
+    /// See [`VoNode::collect_digests`]; trees contribute in order.
+    pub fn collect_digests(&self, out: &mut Vec<Digest>) {
+        for t in &self.trees {
+            t.collect_digests(out);
+        }
+    }
+
+    /// See [`VoNode::with_digests`]; the caller checks cursor exhaustion
+    /// across whatever set of VOs shares one digest payload.
+    pub fn with_digests(&self, cur: &mut DigestCursor<'_>) -> Option<BovwVo> {
+        let mut trees = Vec::with_capacity(self.trees.len());
+        for t in &self.trees {
+            trees.push(t.with_digests(cur)?);
+        }
+        Some(BovwVo { trees })
+    }
+}
+
 const TAG_PRUNED: u8 = 0;
 const TAG_INTERNAL: u8 = 1;
 const TAG_LEAF: u8 = 2;
@@ -368,6 +472,69 @@ mod tests {
             };
         }
         assert_eq!(VoNode::from_wire(&node.to_wire()).expect("rt"), node);
+    }
+
+    #[test]
+    fn digest_patching_roundtrips_and_replaces_every_slot() {
+        let vo = BovwVo {
+            trees: vec![
+                VoNode::Internal {
+                    dim: 1,
+                    value: 0.75,
+                    left: Box::new(VoNode::Pruned(Digest::of(b"pruned"))),
+                    right: Box::new(sample_leaf()),
+                },
+                VoNode::Pruned(Digest::of(b"other")),
+            ],
+        };
+        let mut own = Vec::new();
+        vo.collect_digests(&mut own);
+        // One pruned stub + two leaf inv digests + one pruned tree.
+        assert_eq!(own.len(), 4);
+
+        // Patching with its own digests reproduces the VO exactly.
+        let mut cur = DigestCursor::new(&own);
+        let same = vo.with_digests(&mut cur).expect("self patch");
+        assert!(cur.exhausted());
+        assert_eq!(same, vo);
+
+        // Patching with fresh digests replaces exactly the collected slots.
+        let fresh: Vec<Digest> = (0..own.len() as u8)
+            .map(|i| Digest::of(&[i, 0xD1]))
+            .collect();
+        let mut cur = DigestCursor::new(&fresh);
+        let patched = vo.with_digests(&mut cur).expect("patch");
+        assert!(cur.exhausted());
+        let mut collected = Vec::new();
+        patched.collect_digests(&mut collected);
+        assert_eq!(collected, fresh);
+        // Geometry untouched: zeroing digests on both sides yields equality.
+        let zero: Vec<Digest> = fresh.iter().map(|_| Digest::of(b"z")).collect();
+        let a = vo.with_digests(&mut DigestCursor::new(&zero)).unwrap();
+        let b = patched.with_digests(&mut DigestCursor::new(&zero)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_patching_rejects_short_payloads() {
+        let vo = BovwVo {
+            trees: vec![VoNode::Internal {
+                dim: 0,
+                value: 0.0,
+                left: Box::new(VoNode::Pruned(Digest::of(b"l"))),
+                right: Box::new(VoNode::Pruned(Digest::of(b"r"))),
+            }],
+        };
+        let one = [Digest::of(b"only")];
+        let mut cur = DigestCursor::new(&one);
+        assert!(vo.with_digests(&mut cur).is_none(), "short payload");
+        let three = [Digest::of(b"a"), Digest::of(b"b"), Digest::of(b"c")];
+        let mut cur = DigestCursor::new(&three);
+        assert!(vo.with_digests(&mut cur).is_some());
+        assert!(
+            !cur.exhausted(),
+            "long payload leaves the cursor unfinished"
+        );
     }
 
     #[test]

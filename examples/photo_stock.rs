@@ -117,12 +117,14 @@ fn main() {
         );
         println!(
             "  customer {i}: popped {} postings across shards | hash cache {:.0}% | \
-             slowest shard {:.1} ms | merge {:.0}% of wall | {} bound queries",
+             slowest shard {:.1} ms | merge {:.0}% of wall | {} trim queries | {} entries trimmed | {} B deduped",
             stats.total_popped(),
             stats.cache_hit_ratio() * 100.0,
             stats.slowest_shard_seconds() * 1e3,
             stats.merge_share() * 100.0,
-            stats.bound_queries,
+            stats.trim_queries,
+            stats.trimmed_entries,
+            stats.dedup_bytes_saved,
         );
     }
     println!("sharded top-k verified against the signed shard manifest for every customer.");

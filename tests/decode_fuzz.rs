@@ -23,7 +23,7 @@ use std::sync::OnceLock;
 use imageproof_akm::AkmParams;
 use imageproof_core::{
     BovwVoVariant, Client, InvVoVariant, Owner, QueryResponse, QueryVo, Scheme, ServiceProvider,
-    ShardManifest, ShardVo, ShardedResponse, ShardedSp, ShardedVo,
+    ShardBovw, ShardManifest, ShardVo, ShardedResponse, ShardedSp, ShardedVo, SharedSection,
 };
 use imageproof_crypto::wire::{Decode, Encode, WireError};
 use imageproof_invindex::grouped::{Group, GroupedInvVo, GroupedListVo};
@@ -310,16 +310,36 @@ fn sharded_wire_types_decoding_is_total() {
     let fx = sharded_fixture();
     fuzz_decode::<ShardManifest>("ShardManifest", &fx.manifest);
     fuzz_decode::<ShardedVo>("ShardedVo", &fx.response.vo);
-    let sub = fx
+    fuzz_decode::<SharedSection>("SharedSection", &fx.response.vo.shared);
+    let contributing = fx
         .response
         .vo
-        .contributing
-        .first()
+        .shards
+        .iter()
+        .find(|s| s.contributed > 0)
         .expect("sharded fixture has a contributing shard");
-    fuzz_decode::<ShardVo>("ShardVo", sub);
-    if let Some(bound) = fx.response.vo.excluded.first() {
-        fuzz_decode::<ShardVo>("ShardVo[bound]", bound);
+    fuzz_decode::<ShardVo>("ShardVo", contributing);
+    if let Some(trimmed) = fx.response.vo.shards.iter().find(|s| s.contributed == 0) {
+        fuzz_decode::<ShardVo>("ShardVo[trimmed]", trimmed);
     }
+    // Both ShardBovw wire arms: the fixture's shards carry at least one
+    // patched sub-VO (shared codebook ⇒ dedup applies), and resolving it
+    // back yields an inline value to fuzz the other arm.
+    let patched = fx
+        .response
+        .vo
+        .shards
+        .iter()
+        .find(|s| matches!(s.bovw, ShardBovw::Patched { .. }))
+        .expect("sharded fixture deduplicates at least one sub-VO");
+    fuzz_decode::<ShardBovw>("ShardBovw[patched]", &patched.bovw);
+    let inline = ShardBovw::Inline(
+        patched
+            .resolve_bovw(&fx.response.vo.shared)
+            .expect("fixture patch resolves")
+            .into_owned(),
+    );
+    fuzz_decode::<ShardBovw>("ShardBovw[inline]", &inline);
 }
 
 /// End-to-end for the sharded path: bit-flip the serialized sharded VO;
@@ -423,6 +443,8 @@ proptest! {
         let _ = decode_total::<Group>("Group", &bytes);
         let _ = decode_total::<ShardManifest>("ShardManifest", &bytes);
         let _ = decode_total::<ShardVo>("ShardVo", &bytes);
+        let _ = decode_total::<ShardBovw>("ShardBovw", &bytes);
+        let _ = decode_total::<SharedSection>("SharedSection", &bytes);
         let _ = decode_total::<ShardedVo>("ShardedVo", &bytes);
     }
 
@@ -438,5 +460,78 @@ proptest! {
         let mut bytes = wire[..keep].to_vec();
         bytes.extend_from_slice(&tail);
         let _ = decode_total::<QueryVo>("QueryVo", &bytes);
+    }
+}
+
+// A separate low-case-count block: each case builds two full systems.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Trimmed sharded verification is *exact*: for random tie-heavy
+    /// corpora (a trio of images shares one encoding, so ties straddle
+    /// shard boundaries), every scheme, S ∈ {1, 2, 4, 8}, and k, the
+    /// verified sharded top-k equals the monolith's bit-for-bit — ids,
+    /// scores, and tie resolution included — even though the sub-VOs are
+    /// merge-trimmed and deduplicated.
+    #[test]
+    fn tie_heavy_trimmed_sharded_topk_equals_monolith(
+        seed in 0u64..500,
+        scheme_idx in 0usize..4,
+        s_idx in 0usize..4,
+        k in 1usize..7,
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let shard_count = [1usize, 2, 4, 8][s_idx];
+        let mut corpus = Corpus::generate(&CorpusConfig {
+            kind: DescriptorKind::Surf,
+            n_images: 40,
+            n_latent_words: 40,
+            features_per_image: 24,
+            seed,
+            ..CorpusConfig::small(DescriptorKind::Surf)
+        });
+        // Tie-heavy: three images share one feature set and latent words,
+        // so they score identically for every query and land in distinct
+        // shards for every S ≥ 2 (9, 18, 23 differ mod 2, 4, and 8).
+        let trio = [9usize, 18, 23];
+        let f0 = corpus.images[trio[0]].features.clone();
+        let w0 = corpus.images[trio[0]].latent_words.clone();
+        for &dup in &trio[1..] {
+            corpus.images[dup].features = f0.clone();
+            corpus.images[dup].latent_words = w0.clone();
+        }
+        let akm = AkmParams {
+            n_clusters: 24,
+            n_trees: 2,
+            max_leaf_size: 2,
+            max_checks: 8,
+            iterations: 1,
+            seed: seed + 1,
+        };
+        let owner = Owner::new(&[13u8; 32]);
+        let (db, published) = owner.build_system(&corpus, &akm, scheme);
+        let mono_sp = ServiceProvider::new(db);
+        let mono_client = Client::new(published);
+        let system = owner.build_sharded_system(&corpus, &akm, scheme, shard_count);
+        let sp = ShardedSp::new(system.shards);
+        let client = Client::new(system.published);
+        // Query from the trio so its three-way tie contends for the cut.
+        let features = corpus.query_from_image(trio[0] as u64, 16, seed);
+        let (mono_resp, _) = mono_sp.query(&features, k);
+        let mono = mono_client
+            .verify(&features, k, &mono_resp)
+            .expect("monolith verifies");
+        let (resp, _) = sp.query(&features, k);
+        let verified = client
+            .verify_sharded(&features, k, &resp, &system.manifest)
+            .expect("trimmed sharded response verifies");
+        prop_assert_eq!(
+            verified.topk,
+            mono.topk,
+            "scheme {:?} S={} k={}: trimmed sharded top-k diverged",
+            scheme,
+            shard_count,
+            k
+        );
     }
 }

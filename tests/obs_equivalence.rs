@@ -150,7 +150,9 @@ fn vo_bytes_and_topk_identical_with_obs_on_and_off() {
             let sids: Vec<u64> = sresp_on.results.iter().map(|x| x.id).collect();
             let sids_off: Vec<u64> = sresp_off.results.iter().map(|x| x.id).collect();
             assert_eq!(sids, sids_off, "{scheme:?}/{threads}t: sharded top-k");
-            assert_eq!(sstats_on.bound_queries, sstats_off.bound_queries);
+            assert_eq!(sstats_on.trim_queries, sstats_off.trim_queries);
+            assert_eq!(sstats_on.trimmed_entries, sstats_off.trimmed_entries);
+            assert_eq!(sstats_on.dedup_bytes_saved, sstats_off.dedup_bytes_saved);
             assert_eq!(sstats_on.total_popped(), sstats_off.total_popped());
             assert_eq!(
                 sstats_on.total_hashes_computed(),

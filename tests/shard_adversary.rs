@@ -4,17 +4,20 @@
 //!
 //! Attacks covered: shard withholding, shard-id swapping, manifest
 //! tampering (wrong root, replayed smaller-deployment manifest),
-//! demoting a winning shard behind a bound proof, inflated / tampered /
-//! truncated bound proofs, tampered winner payloads, and merge
-//! manipulation. A reordered-but-genuine response must still verify
-//! (Definition 1 is a set property).
+//! trimming abuse (over-trimmed sub-VOs hiding surviving entries,
+//! demote-and-backfill behind a fence, stale fence proofs, inflated
+//! contribution counts, impossible claim shapes), shared-section abuse
+//! (out-of-range template references, truncated or corrupted digest
+//! patches), tampered winner payloads, and merge manipulation. A
+//! reordered-but-genuine response must still verify (Definition 1 is a
+//! set property).
 
 use std::sync::OnceLock;
 
 use imageproof_akm::AkmParams;
 use imageproof_core::{
-    shard_of, Client, ClientError, Owner, Scheme, ShardManifest, ShardVo, ShardedError,
-    ShardedResponse, ShardedSp,
+    shard_of, Client, ClientError, Owner, Scheme, ShardBovw, ShardManifest, ShardVo, ShardedError,
+    ShardedResponse, ShardedSp, ShardedVo,
 };
 use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
 
@@ -29,6 +32,8 @@ struct Fx {
     features: Vec<Vec<f32>>,
     k: usize,
     response: ShardedResponse,
+    /// A genuine response to a *different* query (for stale-proof replays).
+    stale: ShardedResponse,
 }
 
 const S: usize = 4;
@@ -61,11 +66,26 @@ fn fx() -> &'static Fx {
         let features = corpus.query_from_image(5, 24, 1);
         let k = 2;
         let (response, _) = sp.query(&features, k);
-        // The attack matrix needs both sections populated.
+        // The attack matrix needs contributing shards, fence-only trimmed
+        // shards, and shared-section patches all present in the fixture.
         assert!(
-            !response.vo.contributing.is_empty() && !response.vo.excluded.is_empty(),
-            "fixture query must leave both contributing and excluded shards"
+            response.vo.shards.iter().any(|s| s.contributed > 0),
+            "fixture query must have a contributing shard"
         );
+        assert!(
+            response.vo.shards.iter().any(|s| s.contributed == 0),
+            "fixture query must have a fence-only trimmed shard"
+        );
+        assert!(
+            response
+                .vo
+                .shards
+                .iter()
+                .any(|s| matches!(s.bovw, ShardBovw::Patched { .. })),
+            "fixture response must deduplicate BoVW material into the shared section"
+        );
+        let stale_features = corpus.query_from_image(33, 24, 2);
+        let (stale, _) = sp.query(&stale_features, k);
         Fx {
             corpus,
             sp,
@@ -75,6 +95,7 @@ fn fx() -> &'static Fx {
             features,
             k,
             response,
+            stale,
         }
     })
 }
@@ -83,6 +104,55 @@ fn verify(f: &Fx, response: &ShardedResponse) -> Result<(), ShardedError> {
     f.client
         .verify_sharded(&f.features, f.k, response, &f.manifest)
         .map(|_| ())
+}
+
+/// Index of the first sub-VO claiming at least one contribution.
+fn contributing_index(vo: &ShardedVo) -> usize {
+    vo.shards
+        .iter()
+        .position(|s| s.contributed > 0)
+        .expect("fixture has a contributing shard")
+}
+
+/// Index of the first fence-only (zero-contribution) sub-VO.
+fn trimmed_index(vo: &ShardedVo) -> usize {
+    vo.shards
+        .iter()
+        .position(|s| s.contributed == 0)
+        .expect("fixture has a trimmed shard")
+}
+
+/// Index of the first sub-VO that patches against the shared section.
+fn patched_index(vo: &ShardedVo) -> usize {
+    vo.shards
+        .iter()
+        .position(|s| matches!(s.bovw, ShardBovw::Patched { .. }))
+        .expect("fixture has a patched shard")
+}
+
+/// Index of the first patched sub-VO carrying a non-empty digest payload
+/// (the template-seeding shard ships an empty patch, which has no bytes
+/// to corrupt).
+fn payload_patched_index(vo: &ShardedVo) -> usize {
+    vo.shards
+        .iter()
+        .position(|s| matches!(&s.bovw, ShardBovw::Patched { unique, .. } if !unique.is_empty()))
+        .expect("fixture has a patched shard with a digest payload")
+}
+
+/// An honest trimmed sub-VO for one shard, built from a direct per-shard
+/// query at `k_local` and labelled with an arbitrary `contributed` count —
+/// the raw material for trimming attacks.
+fn honest_shard_vo(f: &Fx, shard: u32, k_local: usize, contributed: u32) -> ShardVo {
+    let (resp, _) = f.sp.shards()[shard as usize].query(&f.features, k_local);
+    ShardVo {
+        shard_id: shard,
+        contributed,
+        claimed: resp.results.iter().map(|r| r.id).collect(),
+        bovw: ShardBovw::Inline(resp.vo.bovw),
+        inv: resp.vo.inv,
+        signatures: resp.vo.signatures,
+    }
 }
 
 #[test]
@@ -110,16 +180,19 @@ fn withholding_a_shard_is_detected() {
     let f = fx();
     // Drop a contributing sub-VO entirely.
     let mut tampered = f.response.clone();
-    let dropped = tampered.vo.contributing.remove(0);
+    let dropped = tampered
+        .vo
+        .shards
+        .remove(contributing_index(&f.response.vo));
     assert_eq!(
         verify(f, &tampered),
         Err(ShardedError::ShardMissing {
             shard: dropped.shard_id
         })
     );
-    // Same for an excluded shard's bound proof.
+    // Same for a fence-only trimmed shard's sub-VO.
     let mut tampered = f.response.clone();
-    let dropped = tampered.vo.excluded.remove(0);
+    let dropped = tampered.vo.shards.remove(trimmed_index(&f.response.vo));
     assert_eq!(
         verify(f, &tampered),
         Err(ShardedError::ShardMissing {
@@ -129,29 +202,106 @@ fn withholding_a_shard_is_detected() {
 }
 
 #[test]
-fn demoting_a_winning_shard_behind_a_bound_proof_is_detected() {
-    // The SP hides a shard's winners by serving an *honest* k=1 bound
-    // proof for it, as if the shard had no global winner. The bound itself
-    // verifies — but its candidate beats (or is) the claimed k-th winner,
-    // so the merge bound check must fire.
+fn over_trimming_a_winning_shard_is_detected() {
+    // The SP hides a contributing shard's winners by serving an *honest*
+    // fence-only sub-VO for it (a genuine local top-1 labelled j = 0).
+    // Every piece verifies — but now fewer than k contributions exist, so
+    // a verified fence candidate stands next to a free result slot.
     let f = fx();
     let mut tampered = f.response.clone();
-    let demoted = tampered.vo.contributing.remove(0);
-    let shard = demoted.shard_id;
-    let (bound_resp, _) = f.sp.shards()[shard as usize].query(&f.features, 1);
-    tampered.vo.excluded.push(ShardVo {
-        shard_id: shard,
-        claimed: bound_resp.results.iter().map(|r| r.id).collect(),
-        vo: bound_resp.vo,
-    });
-    // Drop the demoted shard's winners from the visible results so the
-    // response looks self-consistent.
-    tampered
-        .results
-        .retain(|r| shard_of(r.id, S) != shard as usize);
-    assert_eq!(
-        verify(f, &tampered),
-        Err(ShardedError::BoundExceeded { shard })
+    let idx = contributing_index(&f.response.vo);
+    let shard = tampered.vo.shards[idx].shard_id;
+    tampered.vo.shards[idx] = honest_shard_vo(f, shard, 1, 0);
+    assert!(
+        matches!(
+            verify(f, &tampered),
+            Err(ShardedError::FenceWithFreeSlot { .. })
+        ),
+        "over-trimmed winning shard must leave a provably free slot"
+    );
+}
+
+#[test]
+fn demoting_a_winner_and_backfilling_from_another_shard_is_detected() {
+    // Full demote-and-backfill: shard X's winners vanish behind an honest
+    // fence-only sub-VO while another shard Y inflates its contribution
+    // count to keep all k slots filled. Every sub-VO verifies and the
+    // contribution counts still sum to k — but the claimed k-th winner is
+    // now weaker than some verified fence candidate, so the fence check
+    // must fire.
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let xi = contributing_index(&f.response.vo);
+    let x = tampered.vo.shards[xi].shard_id;
+    let jx = tampered.vo.shards[xi].contributed;
+    let yi = (0..tampered.vo.shards.len())
+        .find(|&i| i != xi)
+        .expect("more than one shard");
+    let y = tampered.vo.shards[yi].shard_id;
+    let jy = tampered.vo.shards[yi].contributed + jx;
+    let k_local = ((jy as usize) + 1).min(f.k);
+    tampered.vo.shards[xi] = honest_shard_vo(f, x, 1, 0);
+    tampered.vo.shards[yi] = honest_shard_vo(f, y, k_local, jy);
+    assert!(
+        matches!(
+            verify(f, &tampered),
+            Err(ShardedError::FenceExceeded { .. })
+        ),
+        "backfilled k-th winner must lose to a verified fence candidate"
+    );
+}
+
+#[test]
+fn replaying_a_stale_fence_proof_is_detected() {
+    // The SP reuses a genuine sub-VO from an earlier, different query as
+    // this query's fence proof. The VO authenticates against the shard's
+    // committed root, but its revealed search path does not match the
+    // current query's traversal, so sub-VO verification rejects it.
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let idx = trimmed_index(&f.response.vo);
+    let shard = tampered.vo.shards[idx].shard_id;
+    let stale_sub = f
+        .stale
+        .vo
+        .shards
+        .iter()
+        .find(|s| s.shard_id == shard)
+        .expect("stale response covers every shard");
+    // Resolve against the *stale* shared section so the splice carries a
+    // self-contained (inline) proof — the staleness itself must be caught.
+    let stale_bovw = stale_sub
+        .resolve_bovw(&f.stale.vo.shared)
+        .expect("stale sub-VO resolves in its own response")
+        .into_owned();
+    // Keep the stale sub-VO's own (internally consistent) trim shape —
+    // the *staleness*, not the shape, must be what gets rejected.
+    let mut spliced = stale_sub.clone();
+    spliced.bovw = ShardBovw::Inline(stale_bovw);
+    tampered.vo.shards[idx] = spliced;
+    match verify(f, &tampered) {
+        Err(ShardedError::Shard { shard: s, .. }) => assert_eq!(s, shard),
+        other => panic!("stale fence proof not detected: {other:?}"),
+    }
+}
+
+#[test]
+fn inflating_the_contributed_count_is_detected() {
+    // A fence-only shard re-labels itself as contributing the full k by
+    // shipping an honest local top-k sub-VO. Everything verifies locally,
+    // but the contribution counts now sum past k: the merge provably
+    // dropped a claimed contribution.
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let idx = trimmed_index(&f.response.vo);
+    let shard = tampered.vo.shards[idx].shard_id;
+    tampered.vo.shards[idx] = honest_shard_vo(f, shard, f.k, f.k as u32);
+    assert!(
+        matches!(
+            verify(f, &tampered),
+            Err(ShardedError::ContributionInflated { .. })
+        ),
+        "inflated contribution counts must be rejected"
     );
 }
 
@@ -159,10 +309,10 @@ fn demoting_a_winning_shard_behind_a_bound_proof_is_detected() {
 fn swapping_shard_ids_is_detected() {
     let f = fx();
     let mut tampered = f.response.clone();
-    let a = tampered.vo.contributing[0].shard_id;
-    let b = tampered.vo.excluded[0].shard_id;
-    tampered.vo.contributing[0].shard_id = b;
-    tampered.vo.excluded[0].shard_id = a;
+    let a = tampered.vo.shards[0].shard_id;
+    let b = tampered.vo.shards[1].shard_id;
+    tampered.vo.shards[0].shard_id = b;
+    tampered.vo.shards[1].shard_id = a;
     // Coverage still looks complete, but each sub-VO now checks against
     // the other shard's committed root.
     match verify(f, &tampered) {
@@ -178,9 +328,9 @@ fn swapping_shard_ids_is_detected() {
 fn duplicated_shard_coverage_is_detected() {
     let f = fx();
     let mut tampered = f.response.clone();
-    let dup = tampered.vo.contributing[0].clone();
+    let dup = tampered.vo.shards[0].clone();
     let shard = dup.shard_id;
-    tampered.vo.contributing.push(dup);
+    tampered.vo.shards.push(dup);
     assert_eq!(
         verify(f, &tampered),
         Err(ShardedError::DuplicateShard { shard })
@@ -191,7 +341,7 @@ fn duplicated_shard_coverage_is_detected() {
 fn unknown_shard_ids_are_detected() {
     let f = fx();
     let mut tampered = f.response.clone();
-    tampered.vo.excluded[0].shard_id = 99;
+    tampered.vo.shards[trimmed_index(&f.response.vo)].shard_id = 99;
     assert_eq!(
         verify(f, &tampered),
         Err(ShardedError::UnknownShard { shard: 99 })
@@ -228,13 +378,13 @@ fn replayed_smaller_deployment_manifest_is_detected() {
 }
 
 #[test]
-fn bound_proof_claiming_a_weaker_candidate_is_detected() {
-    // Replace an excluded shard's claimed best with a different image of
+fn trimmed_claim_substituting_a_weaker_candidate_is_detected() {
+    // Replace a fence-only shard's claimed best with a different image of
     // the same shard: the VO's termination conditions no longer support
     // the claim.
     let f = fx();
     let mut tampered = f.response.clone();
-    let sub = &mut tampered.vo.excluded[0];
+    let sub = &mut tampered.vo.shards[trimmed_index(&f.response.vo)];
     let shard = sub.shard_id;
     let winner = sub.claimed[0];
     let substitute = f
@@ -250,41 +400,111 @@ fn bound_proof_claiming_a_weaker_candidate_is_detected() {
             shard: s,
             error: ClientError::Inv(_),
         }) => assert_eq!(s, shard),
-        other => panic!("tampered bound claim not detected: {other:?}"),
+        other => panic!("tampered trimmed claim not detected: {other:?}"),
     }
 }
 
 #[test]
-fn truncated_bound_proof_is_detected() {
-    // An empty bound claim asserts "this shard has no candidate at all";
-    // with postings remaining, the termination conditions must reject it.
+fn truncated_trimmed_claim_is_detected() {
+    // An empty claim asserts "this shard has no candidate at all"; with
+    // postings remaining, the termination conditions must reject it.
     let f = fx();
     let mut tampered = f.response.clone();
-    let sub = &mut tampered.vo.excluded[0];
+    let sub = &mut tampered.vo.shards[trimmed_index(&f.response.vo)];
     let shard = sub.shard_id;
     sub.claimed.clear();
-    sub.vo.signatures.clear();
+    sub.signatures.clear();
     match verify(f, &tampered) {
         Err(ShardedError::Shard {
             shard: s,
             error: ClientError::Inv(_),
         }) => assert_eq!(s, shard),
-        other => panic!("truncated bound proof not detected: {other:?}"),
+        other => panic!("truncated trimmed claim not detected: {other:?}"),
     }
 }
 
 #[test]
-fn overlong_bound_proof_is_detected() {
+fn overlong_trimmed_claim_is_detected() {
+    // A fence-only shard (j = 0) may claim at most one entry; a second
+    // claimed id makes the trim shape impossible regardless of content.
     let f = fx();
     let mut tampered = f.response.clone();
-    let sub = &mut tampered.vo.excluded[0];
+    let sub = &mut tampered.vo.shards[trimmed_index(&f.response.vo)];
     let shard = sub.shard_id;
     let extra = sub.claimed[0].wrapping_add(1);
     sub.claimed.push(extra);
     assert_eq!(
         verify(f, &tampered),
-        Err(ShardedError::BoundShapeInvalid { shard })
+        Err(ShardedError::TrimShapeInvalid { shard })
     );
+}
+
+#[test]
+fn contribution_count_beyond_k_is_detected() {
+    // `j > k` is impossible on its face: the merge only has k slots.
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let sub = &mut tampered.vo.shards[0];
+    let shard = sub.shard_id;
+    sub.contributed = (f.k + 5) as u32;
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::TrimShapeInvalid { shard })
+    );
+}
+
+#[test]
+fn shared_template_index_out_of_range_is_detected() {
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let idx = patched_index(&f.response.vo);
+    let shard = tampered.vo.shards[idx].shard_id;
+    match &mut tampered.vo.shards[idx].bovw {
+        ShardBovw::Patched { template, .. } => *template = 9,
+        ShardBovw::Inline(_) => unreachable!("patched_index returned an inline sub-VO"),
+    }
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::SharedIndexInvalid { shard, index: 9 })
+    );
+}
+
+#[test]
+fn truncated_shared_patch_payload_is_detected() {
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let idx = payload_patched_index(&f.response.vo);
+    let shard = tampered.vo.shards[idx].shard_id;
+    match &mut tampered.vo.shards[idx].bovw {
+        ShardBovw::Patched { unique, .. } => {
+            unique.pop().expect("patch carries digests");
+        }
+        ShardBovw::Inline(_) => unreachable!("payload_patched_index returned an inline sub-VO"),
+    }
+    assert_eq!(
+        verify(f, &tampered),
+        Err(ShardedError::SharedPatchMismatch { shard })
+    );
+}
+
+#[test]
+fn corrupted_shared_patch_digest_is_detected() {
+    // A bit-flipped patch digest still *fits* the template, but the
+    // resolved sub-VO no longer authenticates against the shard's
+    // committed root (the exact inner error depends on whether the flipped
+    // slot was a pruned-subtree digest or a leaf's inverted-list digest).
+    let f = fx();
+    let mut tampered = f.response.clone();
+    let idx = payload_patched_index(&f.response.vo);
+    let shard = tampered.vo.shards[idx].shard_id;
+    match &mut tampered.vo.shards[idx].bovw {
+        ShardBovw::Patched { unique, .. } => unique[0].0[0] ^= 1,
+        ShardBovw::Inline(_) => unreachable!("payload_patched_index returned an inline sub-VO"),
+    }
+    match verify(f, &tampered) {
+        Err(ShardedError::Shard { shard: s, .. }) => assert_eq!(s, shard),
+        other => panic!("corrupted patch digest not detected: {other:?}"),
+    }
 }
 
 #[test]
@@ -328,10 +548,12 @@ impl Fx {
 
 /// Exhaustiveness reminder: the matrix above exercises ManifestInvalid,
 /// ShardCountMismatch, UnknownShard, DuplicateShard, ShardMissing,
-/// Shard{RootSignatureInvalid | Inv | ImageSignatureInvalid},
-/// BoundShapeInvalid, BoundExceeded, and MergeMismatch. Adding a
-/// ShardedError variant makes this match non-exhaustive — extend the
-/// attack matrix when that happens.
+/// Shard{RootSignatureInvalid | Inv | ImageSignatureInvalid | stale VO},
+/// TrimShapeInvalid (overlong claim and j > k), ContributionInflated,
+/// FenceExceeded, FenceWithFreeSlot, SharedIndexInvalid,
+/// SharedPatchMismatch, and MergeMismatch. Adding a ShardedError variant
+/// makes this match non-exhaustive — extend the attack matrix when that
+/// happens.
 #[test]
 fn the_attack_matrix_tracks_every_error_variant() {
     let probe = |e: &ShardedError| match e {
@@ -341,8 +563,12 @@ fn the_attack_matrix_tracks_every_error_variant() {
         | ShardedError::DuplicateShard { .. }
         | ShardedError::ShardMissing { .. }
         | ShardedError::Shard { .. }
-        | ShardedError::BoundShapeInvalid { .. }
-        | ShardedError::BoundExceeded { .. }
+        | ShardedError::TrimShapeInvalid { .. }
+        | ShardedError::ContributionInflated { .. }
+        | ShardedError::FenceExceeded { .. }
+        | ShardedError::FenceWithFreeSlot { .. }
+        | ShardedError::SharedIndexInvalid { .. }
+        | ShardedError::SharedPatchMismatch { .. }
         | ShardedError::DuplicateCandidate { .. }
         | ShardedError::AssignmentMismatch { .. }
         | ShardedError::MergeMismatch => (),

@@ -125,14 +125,37 @@ fn assert_query_matches(
         verified.assignments, mono.assignments,
         "{label}: BoVW assignments diverged"
     );
-    // Coverage bookkeeping: contributing + excluded = all shards, and the
-    // SP issued exactly one bound query per excluded shard.
+    // Coverage bookkeeping: one trimmed sub-VO per shard, contributions
+    // sum to exactly the verified winners, claims never exceed the trim
+    // bound k' = min(j + 1, k), and the SP issued one trim re-query per
+    // shard trimmed below the full fan-out k.
+    assert_eq!(resp.vo.shards.len(), sp.shard_count(), "{label}");
+    let contributed: usize = resp
+        .vo
+        .shards
+        .iter()
+        .map(|svo| svo.contributed as usize)
+        .sum();
     assert_eq!(
-        resp.vo.contributing.len() + resp.vo.excluded.len(),
-        sp.shard_count(),
-        "{label}"
+        contributed,
+        verified.topk.len(),
+        "{label}: contributions do not sum to the winner count"
     );
-    assert_eq!(stats.bound_queries, resp.vo.excluded.len(), "{label}");
+    for svo in &resp.vo.shards {
+        let k_trim = (svo.contributed as usize + 1).min(k);
+        assert!(
+            svo.claimed.len() <= k_trim,
+            "{label}: shard {} claim overflows its trim bound",
+            svo.shard_id
+        );
+    }
+    let trimmed_shards = resp
+        .vo
+        .shards
+        .iter()
+        .filter(|svo| (svo.contributed as usize) + 1 < k)
+        .count();
+    assert_eq!(stats.trim_queries, trimmed_shards, "{label}");
     // Returned payloads are the genuine winner images in merge order.
     let ids: Vec<ImageId> = resp.results.iter().map(|r| r.id).collect();
     let want: Vec<ImageId> = verified.topk.iter().map(|&(id, _)| id).collect();
@@ -237,14 +260,32 @@ fn single_shard_sub_vo_is_byte_identical_to_the_monolith_vo() {
         let features = p.corpus.query_from_image(11, 20, 5);
         let (mono_resp, _) = mono_sp.query(&features, 4);
         let (resp, _) = sp.query(&features, 4);
-        assert_eq!(resp.vo.contributing.len(), 1, "{scheme:?}");
-        assert!(resp.vo.excluded.is_empty(), "{scheme:?}");
-        let sub = &resp.vo.contributing[0];
+        assert_eq!(resp.vo.shards.len(), 1, "{scheme:?}");
+        let sub = &resp.vo.shards[0];
         assert_eq!(sub.shard_id, 0, "{scheme:?}");
         assert_eq!(
-            sub.vo.to_wire(),
-            mono_resp.vo.to_wire(),
-            "{scheme:?}: S=1 sub-VO differs from the monolith VO"
+            sub.contributed as usize,
+            mono_resp.results.len(),
+            "{scheme:?}: the lone shard must contribute every winner"
+        );
+        // A single shard can never patch against a shared template, so the
+        // sub-VO components must be bit-equal to the monolith proof.
+        let bovw = sub
+            .resolve_bovw(&resp.vo.shared)
+            .expect("S=1 BoVW VO resolves");
+        assert_eq!(
+            bovw.to_wire(),
+            mono_resp.vo.bovw.to_wire(),
+            "{scheme:?}: S=1 BoVW sub-VO differs from the monolith VO"
+        );
+        assert_eq!(
+            sub.inv.to_wire(),
+            mono_resp.vo.inv.to_wire(),
+            "{scheme:?}: S=1 inverted-index sub-VO differs from the monolith VO"
+        );
+        assert_eq!(
+            sub.signatures, mono_resp.vo.signatures,
+            "{scheme:?}: S=1 signature set differs from the monolith VO"
         );
         let mono_ids: Vec<ImageId> = mono_resp.results.iter().map(|r| r.id).collect();
         assert_eq!(sub.claimed, mono_ids, "{scheme:?}");
