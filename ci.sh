@@ -74,6 +74,53 @@ if failed:
     sys.exit("sharded VO size regression: ratio exceeds 1.3")
 PYEOF
 
+echo "== regression gate: blocked search must skip blocks and shrink the VO =="
+# Block-max skip proofs replace per-posting disclosure of the tail with one
+# fence digest, so per-scheme vo_bytes on the fig15 smoke must stay at or
+# below the pre-block baseline (measured on the same quick fixture before
+# blocking landed), and the sweep must actually record skipped blocks —
+# otherwise the skip test has stopped firing and the optimisation is dead
+# code.
+python3 - <<'PYEOF'
+import json, sys
+
+# Pre-block vo_bytes on the fig15 --quick fixture (threads=1), rounded up —
+# measured at the commit before blocked posting lists landed, with the same
+# 3-query sweep.
+BASELINE = {
+    "Baseline": 12408448,
+    "ImageProof": 921318,
+    "Optimized (BoVW)": 834064,
+    "Optimized (Both)": 833518,
+}
+
+data = json.load(open("BENCH_queries.json"))
+failed = False
+skipped_total = 0
+for rec in data["results"]:
+    if rec["threads"] != 1:
+        continue
+    scheme = rec["scheme"]
+    skipped_total += rec.get("blocks_skipped", 0)
+    ceiling = BASELINE.get(scheme)
+    if ceiling is None:
+        print(f"  {scheme}: no pre-block baseline recorded", file=sys.stderr)
+        failed = True
+        continue
+    vo = rec["vo_bytes"]
+    status = "ok" if vo <= ceiling else "FAIL"
+    print(f"  {scheme}: vo_bytes = {vo} (pre-block baseline {ceiling}) [{status}]")
+    if vo > ceiling:
+        failed = True
+if skipped_total == 0:
+    print("  blocks_skipped = 0 across every scheme: skip test never fired", file=sys.stderr)
+    failed = True
+else:
+    print(f"  blocks_skipped (threads=1, all schemes) = {skipped_total} [ok]")
+if failed:
+    sys.exit("blocked-search regression: VO grew past the pre-block baseline or no blocks were skipped")
+PYEOF
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== fmt =="
     cargo fmt --check

@@ -34,6 +34,8 @@ pub struct SourceFile {
 const PANIC_FILES: &[&str] = &[
     "crates/crypto/src/wire.rs",
     "crates/invindex/src/verify.rs",
+    "crates/invindex/src/vo.rs",
+    "crates/invindex/src/bounds.rs",
     "crates/mrkd/src/verify.rs",
     "crates/mrkd/src/vo.rs",
     "crates/core/src/client.rs",

@@ -15,7 +15,7 @@
 use imageproof_bench::fixture::{Fixture, FixtureConfig};
 use imageproof_bench::measure::{measure_bovw_step, measure_inv_step, measure_overall};
 use imageproof_bench::table::{kib, ms, pct, Table};
-use imageproof_core::Scheme;
+use imageproof_core::{Scheme, SpaceUsage};
 use imageproof_crypto::wire::Encode;
 use imageproof_vision::DescriptorKind;
 use std::collections::HashMap;
@@ -59,7 +59,7 @@ impl Scale {
             k_sweep: vec![1, 10],
             default_features: 60,
             default_k: 5,
-            n_queries: 2,
+            n_queries: 3,
             base_sift: FixtureConfig::quick(DescriptorKind::Sift),
             base_surf: FixtureConfig::quick(DescriptorKind::Surf),
         }
@@ -391,6 +391,19 @@ impl PhaseQuantiles {
     }
 }
 
+/// Per-structure ADS footprint as a JSON object (`BENCH_*.json`).
+fn space_json(u: &SpaceUsage) -> String {
+    format!(
+        "{{\"posting_bytes\": {}, \"filter_bytes\": {}, \"digest_bytes\": {}, \
+         \"block_summary_bytes\": {}, \"total_bytes\": {}}}",
+        u.posting_bytes,
+        u.filter_bytes,
+        u.digest_bytes,
+        u.block_summary_bytes,
+        u.total(),
+    )
+}
+
 /// One `(scheme, threads)` cell of the thread sweep, as written to
 /// `BENCH_queries.json`.
 struct SweepRecord {
@@ -402,6 +415,9 @@ struct SweepRecord {
     client_verify_ms: f64,
     hashes_computed: usize,
     hashes_cached: usize,
+    blocks_skipped: usize,
+    blocks_scanned: usize,
+    space: SpaceUsage,
     phases: PhaseQuantiles,
 }
 
@@ -418,19 +434,23 @@ impl SweepRecord {
     fn json(&self) -> String {
         format!(
             "    {{\"scheme\": \"{}\", \"threads\": {}, \"build_s\": {:.6}, \
-             \"sp_ms_per_query\": {:.6}, \"vo_bytes\": {:.1}, \
+             \"sp_ms_per_query\": {:.6}, \"vo_bytes\": {}, \
              \"client_verify_ms\": {:.6}, \"hashes_computed\": {}, \
              \"hashes_cached\": {}, \"cache_hit_ratio\": {:.6}, \
-             \"phases\": {}}}",
+             \"blocks_skipped\": {}, \"blocks_scanned\": {}, \
+             \"space\": {}, \"phases\": {}}}",
             self.scheme,
             self.threads,
             self.build_seconds,
             self.sp_ms_per_query,
-            self.vo_bytes,
+            self.vo_bytes.round() as u64,
             self.client_verify_ms,
             self.hashes_computed,
             self.hashes_cached,
             self.cache_hit_ratio(),
+            self.blocks_skipped,
+            self.blocks_scanned,
+            space_json(&self.space),
             self.phases.json(),
         )
     }
@@ -478,6 +498,9 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
             let mut client_seconds = 0.0f64;
             let mut hashes_computed = 0usize;
             let mut hashes_cached = 0usize;
+            let mut blocks_skipped = 0usize;
+            let mut blocks_scanned = 0usize;
+            let space = sp.database().space_usage();
             let mut phases = PhaseQuantiles::default();
             let t0 = imageproof_obs::Stopwatch::start();
             let responses: Vec<_> = queries
@@ -490,6 +513,8 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 vo_bytes += response.vo.wire_size() as f64;
                 hashes_computed += stats.hashes_computed;
                 hashes_cached += stats.hashes_cached;
+                blocks_skipped += stats.blocks_skipped;
+                blocks_scanned += stats.blocks_scanned;
                 let t1 = imageproof_obs::Stopwatch::start();
                 client
                     .verify(features, k, response)
@@ -512,6 +537,9 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 client_verify_ms: client_seconds * 1e3,
                 hashes_computed,
                 hashes_cached,
+                blocks_skipped,
+                blocks_scanned,
+                space,
                 phases,
             };
             t.row([
@@ -563,6 +591,7 @@ struct ShardRecord {
     slowest_shard_ms: f64,
     merge_share: f64,
     cache_hit_ratio: f64,
+    space: SpaceUsage,
     phases: PhaseQuantiles,
 }
 
@@ -571,17 +600,17 @@ impl ShardRecord {
         format!(
             "    {{\"scheme\": \"{}\", \"shards\": {}, \"build_s\": {:.6}, \
              \"sp_ms_per_query\": {:.6}, \"merge_ms_per_query\": {:.6}, \
-             \"vo_bytes\": {:.1}, \"client_verify_ms\": {:.6}, \
+             \"vo_bytes\": {}, \"client_verify_ms\": {:.6}, \
              \"trim_queries_per_query\": {:.3}, \"trimmed_entries_per_query\": {:.3}, \
              \"dedup_bytes_saved_per_query\": {:.1}, \"slowest_shard_ms\": {:.6}, \
              \"merge_share\": {:.6}, \"cache_hit_ratio\": {:.6}, \
-             \"phases\": {}}}",
+             \"space\": {}, \"phases\": {}}}",
             self.scheme,
             self.shards,
             self.build_seconds,
             self.sp_ms_per_query,
             self.merge_ms_per_query,
-            self.vo_bytes,
+            self.vo_bytes.round() as u64,
             self.client_verify_ms,
             self.trim_queries_per_query,
             self.trimmed_entries_per_query,
@@ -589,6 +618,7 @@ impl ShardRecord {
             self.slowest_shard_ms,
             self.merge_share,
             self.cache_hit_ratio,
+            space_json(&self.space),
             self.phases.json(),
         )
     }
@@ -642,6 +672,11 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
         for &shards in shard_counts {
             let (sp, client, manifest, build_seconds) =
                 fixture.build_sharded_system_timed(scheme, shards);
+            // Aggregate footprint across the shard databases: the same
+            // postings partitioned, so this should stay ~flat in S.
+            let space = sp.shards().iter().fold(SpaceUsage::default(), |acc, s| {
+                acc.merged(&s.database().space_usage())
+            });
             let mut vo_bytes = 0.0f64;
             let mut client_seconds = 0.0f64;
             let mut merge_seconds = 0.0f64;
@@ -748,6 +783,7 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 } else {
                     hashes_cached as f64 / total_hashes as f64
                 },
+                space,
                 phases,
             };
             t.row([

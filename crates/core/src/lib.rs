@@ -41,6 +41,7 @@ pub mod sp;
 pub mod update;
 
 pub use client::{Client, ClientError, ClientStats, VerifiedResult};
+pub use imageproof_invindex::SpaceUsage;
 pub use imageproof_parallel::Concurrency;
 pub use owner::{Database, IndexVariant, Owner, PublishedParams, ShardedSystem, StoredImage};
 pub use scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme, SystemConfig};

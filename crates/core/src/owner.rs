@@ -5,7 +5,7 @@ use crate::shard::{manifest_root, manifest_signing_message, shard_of, ShardManif
 use imageproof_akm::{AkmParams, Codebook, ImpactModel, SparseBovw};
 use imageproof_crypto::{Digest, PublicKey, Signature, SigningKey};
 use imageproof_invindex::grouped::GroupedInvertedIndex;
-use imageproof_invindex::MerkleInvertedIndex;
+use imageproof_invindex::{MerkleInvertedIndex, SpaceUsage};
 use imageproof_mrkd::MrkdForest;
 use imageproof_obs::{Profiler, QueryProfile};
 use imageproof_parallel::{par_map, par_map_chunked, Concurrency};
@@ -62,6 +62,14 @@ impl IndexVariant {
             IndexVariant::Grouped(i) => i.clear_filter_caches(),
         }
     }
+
+    /// Per-structure byte accounting for the inverted index.
+    pub fn space_usage(&self) -> SpaceUsage {
+        match self {
+            IndexVariant::Plain(i) => i.space_usage(),
+            IndexVariant::Grouped(i) => i.space_usage(),
+        }
+    }
 }
 
 /// Everything outsourced to the SP.
@@ -85,6 +93,15 @@ impl Database {
     /// it.
     pub fn clear_hot_path_caches(&mut self) {
         self.inv.clear_filter_caches();
+    }
+
+    /// Per-structure byte accounting for the whole outsourced ADS: the
+    /// inverted index's own breakdown plus the MRKD forest's authenticated
+    /// digest levels (32 bytes each).
+    pub fn space_usage(&self) -> SpaceUsage {
+        let mut usage = self.inv.space_usage();
+        usage.digest_bytes += self.mrkd.n_digests() * 32;
+        usage
     }
 }
 

@@ -52,9 +52,14 @@ pub struct SpStats {
     /// VO digests that required running Keccak at query time.
     pub hashes_computed: usize,
     /// VO digests copied from build-time memos (MRKD pruned stubs and
-    /// leaf-embedded list digests, posting-chain digests, filter
+    /// leaf-embedded list digests, block-summary digests, filter
     /// commitments).
     pub hashes_cached: usize,
+    /// Posting blocks the block-max search left unscanned (each proven by
+    /// one fence digest in the VO).
+    pub blocks_skipped: usize,
+    /// Posting blocks the search actually popped.
+    pub blocks_scanned: usize,
 }
 
 impl SpStats {
@@ -103,6 +108,16 @@ fn record_sp_query(scheme: Scheme, stats: &SpStats) {
     }
     reg.counter("imageproof_sp_postings_popped_total", &[("scheme", slug)])
         .add(stats.popped as u64);
+    for (kind, n) in [
+        ("skipped", stats.blocks_skipped),
+        ("scanned", stats.blocks_scanned),
+    ] {
+        reg.counter(
+            "imageproof_sp_blocks_total",
+            &[("scheme", slug), ("kind", kind)],
+        )
+        .add(n as u64);
+    }
 }
 
 /// The service provider hosting one outsourced database.
@@ -211,9 +226,13 @@ impl ServiceProvider {
         stats.total_postings = inv_stats.total_postings;
         stats.hashes_computed += inv_stats.hashes_computed;
         stats.hashes_cached += inv_stats.hashes_cached;
+        stats.blocks_skipped = inv_stats.blocks_skipped;
+        stats.blocks_scanned = inv_stats.blocks_scanned;
         prof.add("popped", stats.popped as u64);
         prof.add("postings", stats.total_postings as u64);
         prof.add("hashes_computed", stats.hashes_computed as u64);
+        prof.add("blocks_skipped", stats.blocks_skipped as u64);
+        prof.add("blocks_scanned", stats.blocks_scanned as u64);
         stats.inv_seconds = prof.exit();
 
         // --- Results + signatures (Alg. 5 lines 6–7) ---

@@ -116,6 +116,11 @@ impl MerkleTree {
         self.levels[0].len()
     }
 
+    /// Total digests stored across every level (footprint accounting).
+    pub fn n_digests(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
     /// True when the tree has exactly one leaf.
     pub fn is_empty(&self) -> bool {
         false // construction rejects empty leaf sets

@@ -108,9 +108,23 @@ impl Writer {
         self.buf.extend_from_slice(data);
     }
 
+    /// Varint-length-prefixed byte string: one length byte instead of four
+    /// for payloads under 128 bytes. VO framing where size is the headline
+    /// metric uses this form.
+    pub fn vbytes(&mut self, data: &[u8]) {
+        self.varint(data.len() as u64);
+        self.buf.extend_from_slice(data);
+    }
+
     /// Length prefix for a sequence the caller will then encode item-wise.
     pub fn seq_len(&mut self, len: usize) {
         self.u32(len as u32);
+    }
+
+    /// Varint form of [`Writer::seq_len`] — one byte for sequences shorter
+    /// than 128 items.
+    pub fn vseq_len(&mut self, len: usize) {
+        self.varint(len as u64);
     }
 
     /// LEB128 variable-length unsigned integer — the compact-integer
@@ -201,10 +215,28 @@ impl<'a> Reader<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
+    /// Counterpart of [`Writer::vbytes`].
+    pub fn vbytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.vseq_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
     /// Reads a sequence length, bounding it by the remaining stream so a
     /// hostile prefix cannot trigger huge allocations.
     pub fn seq_len(&mut self) -> Result<usize, WireError> {
         let len = self.u32()? as usize;
+        self.bound_len(len)
+    }
+
+    /// Counterpart of [`Writer::vseq_len`], with the same hostile-length
+    /// bounding as [`Reader::seq_len`].
+    pub fn vseq_len(&mut self) -> Result<usize, WireError> {
+        let len = self.varint()?;
+        let len = usize::try_from(len).map_err(|_| WireError::LengthOverflow)?;
+        self.bound_len(len)
+    }
+
+    fn bound_len(&self, len: usize) -> Result<usize, WireError> {
         let remaining = self.data.len() - self.pos;
         // Every sequence element occupies at least one byte, so any honest
         // length fits in the remaining stream.

@@ -8,11 +8,13 @@
 //! computation lives here, once, and is careful to fix every float summation
 //! order so the two sides agree bit-for-bit.
 //!
-//! The remaining-impact cap `p̂_c` deliberately uses only client-observable
-//! data: the impact of the *last popped* posting (descending order bounds
-//! everything after it), or the cluster weight `w_c` when nothing was popped
-//! (impacts never exceed the weight because `f ≤ ||B_I||`). A claimed
-//! "actual next impact" from the SP would be unverifiable and unsound.
+//! The remaining-impact cap `p̂_c` deliberately uses only client-verifiable
+//! data: with block-max posting lists it is the fence block's `max_impact`,
+//! which the skip proof binds into the list commitment — tighter than both
+//! the last popped impact (the fence max is at most it, and usually
+//! strictly below) and the cluster weight, yet exactly as sound, because a
+//! forged bound changes the reconstructed `h_Γ`. A claimed "actual next
+//! impact" outside the commitment would be unverifiable and unsound.
 
 use imageproof_cuckoo::{max_count, CuckooFilter};
 use std::collections::BTreeMap;
@@ -68,7 +70,10 @@ pub struct Evaluation {
 /// both sides share. `topk` is the claimed result set.
 pub fn evaluate(snapshots: &[ListSnapshot<'_>], topk: &[u64], mode: BoundsMode) -> Evaluation {
     debug_assert!(
-        snapshots.windows(2).all(|w| w[0].cluster < w[1].cluster),
+        snapshots
+            .iter()
+            .zip(snapshots.iter().skip(1))
+            .all(|(a, b)| a.cluster < b.cluster),
         "snapshots must be ascending by cluster"
     );
 

@@ -9,8 +9,16 @@
 //! compress them (§VI-B last paragraph). Grouping shrinks the VO and the
 //! number of digest reconstructions the client performs, without changing
 //! the termination conditions.
+//!
+//! Like the ungrouped index, grouped lists are partitioned into block-max
+//! blocks of [`BLOCK_SIZE`] *groups*: each block is committed as
+//! `H(group-chain ‖ max_{next} ‖ h_{next})` — its own contents plus the
+//! successor block's impact bound and digest — so a partially-scanned list
+//! is proven by the fence block's `(max_impact, digest)` pair, already
+//! committed by the last disclosed block (or the list head).
 
 use crate::bounds::{evaluate, BoundsMode, ListSnapshot};
+use crate::merkle::{block_digest, build_block_summaries, BlockSummary, BLOCK_SIZE};
 use crate::search::{InvSearchResult, InvSearchStats};
 use crate::verify::InvVerifyError;
 use crate::vo::{FilterVo, RemainingVo};
@@ -59,7 +67,9 @@ pub struct GroupedList {
     pub weight: f32,
     /// Groups in descending impact order.
     pub groups: Vec<Group>,
-    chain: Vec<Digest>,
+    /// Per-block summaries: `blocks[b]` covers groups
+    /// `b·BLOCK_SIZE .. (b+1)·BLOCK_SIZE` (last block may be short).
+    blocks: Vec<BlockSummary>,
     pub filter: CuckooFilter,
     /// `h_{Γ^f_c}` (Def. 7).
     pub digest: Digest,
@@ -100,19 +110,28 @@ impl GroupedList {
             }
         }
 
-        let mut chain = vec![Digest::ZERO; groups.len()];
-        let mut next = Digest::ZERO;
-        for j in (0..groups.len()).rev() {
-            next = group_digest(&groups[j], &next);
-            chain[j] = next;
-        }
+        let blocks = build_block_summaries(
+            &groups,
+            |chunk| {
+                let mut h = Digest::ZERO;
+                for g in chunk.iter().rev() {
+                    h = group_digest(g, &h);
+                }
+                h
+            },
+            |chunk| chunk[0].impact(weight),
+        );
+        let (first_max, first_block) = blocks
+            .first()
+            .map(|b| (b.max_impact, b.digest))
+            .unwrap_or((0.0, Digest::ZERO));
         let filter_commit = filter.digest();
-        let digest = crate::merkle::list_digest(weight, &filter_commit, &next);
+        let digest = crate::merkle::list_digest(weight, &filter_commit, first_max, &first_block);
         Ok(GroupedList {
             cluster,
             weight,
             groups,
-            chain,
+            blocks,
             filter,
             digest,
             filter_commit: Some(filter_commit),
@@ -133,9 +152,25 @@ impl GroupedList {
         self.filter_commit = None;
     }
 
-    /// Chain digest of group `j` (ZERO past the end).
-    pub fn chain_digest(&self, j: usize) -> Digest {
-        self.chain.get(j).copied().unwrap_or(Digest::ZERO)
+    /// The per-block summaries, in block order.
+    pub fn blocks(&self) -> &[BlockSummary] {
+        &self.blocks
+    }
+
+    /// Number of group blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of groups covered by the first `b` blocks.
+    pub fn group_offset(&self, b: usize) -> usize {
+        (b * BLOCK_SIZE).min(self.groups.len())
+    }
+
+    /// Digest of block `b` (covering blocks `b..`), or [`Digest::ZERO`]
+    /// past the end.
+    pub fn block_chain_digest(&self, b: usize) -> Digest {
+        self.blocks.get(b).map(|s| s.digest).unwrap_or(Digest::ZERO)
     }
 
     /// Total images across all groups.
@@ -282,10 +317,6 @@ impl GroupedInvVo {
     }
 }
 
-const TAG_EXHAUSTED: u8 = 0;
-const TAG_PARTIAL_BYTES: u8 = 1;
-const TAG_PARTIAL_DIGEST: u8 = 2;
-
 impl Encode for Group {
     fn encode(&self, w: &mut Writer) {
         // Compact representation (§VI-B): varint frequency, varint member
@@ -325,60 +356,26 @@ impl Decode for Group {
 
 impl Encode for GroupedListVo {
     fn encode(&self, w: &mut Writer) {
-        w.u32(self.cluster);
+        w.varint(self.cluster as u64);
         w.f32(self.weight);
-        w.seq_len(self.popped.len());
+        w.vseq_len(self.popped.len());
         for g in &self.popped {
             g.encode(w);
         }
-        match &self.remaining {
-            RemainingVo::Exhausted { filter_digest } => {
-                w.u8(TAG_EXHAUSTED);
-                w.digest(filter_digest);
-            }
-            RemainingVo::Partial {
-                next_digest,
-                filter: FilterVo::Bytes(bytes),
-            } => {
-                w.u8(TAG_PARTIAL_BYTES);
-                w.digest(next_digest);
-                w.bytes(bytes);
-            }
-            RemainingVo::Partial {
-                next_digest,
-                filter: FilterVo::DigestOnly(d),
-            } => {
-                w.u8(TAG_PARTIAL_DIGEST);
-                w.digest(next_digest);
-                w.digest(d);
-            }
-        }
+        self.remaining.encode(w);
     }
 }
 
 impl Decode for GroupedListVo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let cluster = r.u32()?;
+        let cluster = u32::try_from(r.varint()?).map_err(|_| WireError::LengthOverflow)?;
         let weight = r.f32()?;
-        let n = r.seq_len()?;
+        let n = r.vseq_len()?;
         let mut popped = Vec::with_capacity(n);
         for _ in 0..n {
             popped.push(Group::decode(r)?);
         }
-        let remaining = match r.u8()? {
-            TAG_EXHAUSTED => RemainingVo::Exhausted {
-                filter_digest: r.digest()?,
-            },
-            TAG_PARTIAL_BYTES => RemainingVo::Partial {
-                next_digest: r.digest()?,
-                filter: FilterVo::Bytes(r.bytes()?),
-            },
-            TAG_PARTIAL_DIGEST => RemainingVo::Partial {
-                next_digest: r.digest()?,
-                filter: FilterVo::DigestOnly(r.digest()?),
-            },
-            t => return Err(WireError::InvalidTag(t)),
-        };
+        let remaining = RemainingVo::decode(r)?;
         Ok(GroupedListVo {
             cluster,
             weight,
@@ -390,7 +387,7 @@ impl Decode for GroupedListVo {
 
 impl Encode for GroupedInvVo {
     fn encode(&self, w: &mut Writer) {
-        w.seq_len(self.lists.len());
+        w.vseq_len(self.lists.len());
         for l in &self.lists {
             l.encode(w);
         }
@@ -399,7 +396,7 @@ impl Encode for GroupedInvVo {
 
 impl Decode for GroupedInvVo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.seq_len()?;
+        let n = r.vseq_len()?;
         let mut lists = Vec::with_capacity(n);
         for _ in 0..n {
             lists.push(GroupedListVo::decode(r)?);
@@ -448,46 +445,52 @@ struct GroupedState<'a> {
     /// `offsets[g]` = number of expanded pairs covered by the first `g`
     /// groups.
     offsets: Vec<usize>,
-    popped_groups: usize,
+    /// Whole group-blocks popped (mirrors the ungrouped block-granular
+    /// state).
+    popped_blocks: usize,
     working_filter: Option<CuckooFilter>,
 }
 
 impl GroupedState<'_> {
+    fn popped_groups(&self) -> usize {
+        self.list.group_offset(self.popped_blocks)
+    }
+
     fn exhausted(&self) -> bool {
-        self.popped_groups == self.list.groups.len()
+        self.popped_groups() == self.list.groups.len()
     }
 
+    /// The fence block's authenticated `max_impact`.
     fn remaining_cap(&self) -> Option<f32> {
-        if self.exhausted() {
-            None
-        } else if self.popped_groups > 0 {
-            Some(self.list.groups[self.popped_groups - 1].impact(self.list.weight))
-        } else {
-            Some(self.list.weight)
-        }
+        self.list
+            .blocks()
+            .get(self.popped_blocks)
+            .map(|b| b.max_impact)
     }
 
-    fn pop_groups(&mut self, n: usize) -> usize {
-        let take = n.min(self.list.groups.len() - self.popped_groups);
-        for g in &self.list.groups[self.popped_groups..self.popped_groups + take] {
+    /// Pops up to `n` whole blocks; returns how many groups were popped.
+    fn pop_blocks(&mut self, n: usize) -> usize {
+        let start = self.popped_groups();
+        self.popped_blocks = (self.popped_blocks + n).min(self.list.n_blocks());
+        let end = self.popped_groups();
+        for g in &self.list.groups[start..end] {
             if let Some(f) = &mut self.working_filter {
                 for &(image, _) in &g.members {
                     f.delete(image);
                 }
             }
         }
-        self.popped_groups += take;
-        take
+        end - start
     }
 
     fn pop_until_image(&mut self, image: u64, limit: usize) -> usize {
         let mut popped = 0;
         while popped < limit && !self.exhausted() {
-            let here = self.list.groups[self.popped_groups]
-                .members
+            let start = self.popped_groups();
+            popped += self.pop_blocks(1);
+            let here = self.list.groups[start..self.popped_groups()]
                 .iter()
-                .any(|&(i, _)| i == image);
-            popped += self.pop_groups(1);
+                .any(|g| g.members.iter().any(|&(i, _)| i == image));
             if here {
                 break;
             }
@@ -499,7 +502,7 @@ impl GroupedState<'_> {
         ListSnapshot {
             cluster: self.list.cluster,
             query_impact: self.query_impact,
-            popped: &self.expanded[..self.offsets[self.popped_groups]],
+            popped: &self.expanded[..self.offsets[self.popped_groups()]],
             remaining_cap: self.remaining_cap(),
             filter: if self.exhausted() {
                 None
@@ -539,7 +542,7 @@ pub fn grouped_search(
                 query_impact: p_q,
                 expanded,
                 offsets,
-                popped_groups: 0,
+                popped_blocks: 0,
                 working_filter: Some(list.filter.clone()),
             }
         })
@@ -550,7 +553,8 @@ pub fn grouped_search(
         ..Default::default()
     };
 
-    // Pop every group containing a top-k image, with its predecessors.
+    // Pop every group containing a top-k image, with its predecessors —
+    // rounded up to whole blocks.
     for state in &mut states {
         let last = state
             .list
@@ -558,7 +562,7 @@ pub fn grouped_search(
             .iter()
             .rposition(|g| g.members.iter().any(|(i, _)| topk_ids.contains(i)));
         if let Some(j) = last {
-            state.pop_groups(j + 1);
+            state.pop_blocks(j / BLOCK_SIZE + 1);
         }
     }
 
@@ -572,7 +576,7 @@ pub fn grouped_search(
         if !eval.condition1 {
             let target = best_target(&states, |_| true)
                 .expect("condition 1 holds once every list is exhausted");
-            states[target].pop_groups(batch);
+            states[target].pop_blocks(batch.div_ceil(BLOCK_SIZE));
             batch = (batch * 2).min(128);
             continue;
         }
@@ -587,7 +591,12 @@ pub fn grouped_search(
         }
         break;
     }
-    stats.popped = states.iter().map(|s| s.offsets[s.popped_groups]).sum();
+    stats.popped = states.iter().map(|s| s.offsets[s.popped_groups()]).sum();
+    // `pop_blocks` clamps, so popped_blocks ≤ n_blocks holds here.
+    for s in &states {
+        stats.blocks_scanned += s.popped_blocks;
+        stats.blocks_skipped += s.list.n_blocks() - s.popped_blocks;
+    }
 
     // As in `inv_search`, static digests come from build-time memos and the
     // counters record the hit rate.
@@ -596,7 +605,7 @@ pub fn grouped_search(
         .map(|s| GroupedListVo {
             cluster: s.list.cluster,
             weight: s.list.weight,
-            popped: s.list.groups[..s.popped_groups].to_vec(),
+            popped: s.list.groups[..s.popped_groups()].to_vec(),
             remaining: if s.exhausted() {
                 let (filter_digest, cached) = s.list.filter_digest_cached();
                 if cached {
@@ -606,9 +615,11 @@ pub fn grouped_search(
                 }
                 RemainingVo::Exhausted { filter_digest }
             } else {
-                stats.hashes_cached += 1; // memoized chain digest
-                RemainingVo::Partial {
-                    next_digest: s.list.chain_digest(s.popped_groups),
+                stats.hashes_cached += 1; // memoized fence summary
+                let fence = s.list.blocks()[s.popped_blocks];
+                RemainingVo::Skipped {
+                    max_impact: fence.max_impact,
+                    fence_digest: fence.digest,
                     filter: FilterVo::Bytes(s.list.filter.to_bytes()),
                 }
             },
@@ -682,34 +693,50 @@ pub fn verify_grouped_topk(
                 .ok_or(InvVerifyError::UnknownCluster {
                     cluster: list.cluster,
                 })?;
-        let (tail, filter_digest, filter) = match &list.remaining {
-            RemainingVo::Exhausted { filter_digest } => (Digest::ZERO, *filter_digest, None),
-            RemainingVo::Partial {
-                next_digest,
+        let (seal, filter_digest, filter) = match &list.remaining {
+            RemainingVo::Exhausted { filter_digest } => ((0.0, Digest::ZERO), *filter_digest, None),
+            RemainingVo::Skipped {
+                max_impact,
+                fence_digest,
                 filter: FilterVo::Bytes(bytes),
             } => {
+                if !list.popped.len().is_multiple_of(BLOCK_SIZE) {
+                    return Err(InvVerifyError::BlockShapeInvalid {
+                        cluster: list.cluster,
+                    });
+                }
                 let parsed =
                     CuckooFilter::from_bytes(bytes).ok_or(InvVerifyError::MalformedFilter {
                         cluster: list.cluster,
                     })?;
-                (*next_digest, parsed.digest(), Some(parsed))
+                ((*max_impact, *fence_digest), parsed.digest(), Some(parsed))
             }
-            RemainingVo::Partial { .. } => {
+            RemainingVo::Skipped { .. } => {
                 return Err(InvVerifyError::WrongFilterForm {
                     cluster: list.cluster,
                 })
             }
         };
-        let mut head = tail;
-        for g in list.popped.iter().rev() {
-            if g.members.is_empty() {
-                return Err(InvVerifyError::MalformedFilter {
-                    cluster: list.cluster,
-                });
+        // Re-block the popped groups and fold block digests up to the list
+        // commitment; each block digest binds its successor's (max, digest)
+        // pair, so popped block bounds derive from the disclosed groups.
+        let (mut max, mut bd) = seal;
+        for chunk in list.popped.chunks(BLOCK_SIZE).rev() {
+            let mut head = Digest::ZERO;
+            for g in chunk.iter().rev() {
+                if g.members.is_empty() {
+                    return Err(InvVerifyError::MalformedFilter {
+                        cluster: list.cluster,
+                    });
+                }
+                head = group_digest(g, &head);
             }
-            head = group_digest(g, &head);
+            bd = block_digest(&head, max, &bd);
+            // Safe: the loop above rejected empty chunks' members, and
+            // `chunks` never yields an empty chunk.
+            max = chunk.first().map(|g| g.impact(list.weight)).unwrap_or(0.0);
         }
-        let rebuilt = crate::merkle::list_digest(list.weight, &filter_digest, &head);
+        let rebuilt = crate::merkle::list_digest(list.weight, &filter_digest, max, &bd);
         if rebuilt != *expected {
             return Err(InvVerifyError::DigestMismatch {
                 cluster: list.cluster,
@@ -749,11 +776,8 @@ pub fn verify_grouped_topk(
             popped: pairs,
             remaining_cap: match &list.remaining {
                 RemainingVo::Exhausted { .. } => None,
-                RemainingVo::Partial { .. } => list
-                    .popped
-                    .last()
-                    .map(|g| g.impact(list.weight))
-                    .or(Some(list.weight)),
+                // The fence bound, authenticated by the digest check above.
+                RemainingVo::Skipped { max_impact, .. } => Some(*max_impact),
             },
             filter: filter.as_ref(),
         })

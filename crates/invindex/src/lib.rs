@@ -5,7 +5,8 @@
 //! authenticated top-k search and verification algorithms:
 //!
 //! * [`merkle`] — the impact-ordered Merkle inverted index (Defs. 4–5):
-//!   hash-chained postings, weights, and per-list cuckoo filters.
+//!   hash-chained postings in block-max blocks, weights, and per-list
+//!   cuckoo filters.
 //! * [`bounds`] — the termination-condition bounds (Eqs. 9–12, Alg. 2),
 //!   computed identically by SP and client.
 //! * [`search`] — `PostingSearch`/`InvSearch` (Algs. 3–4) and the §VII
@@ -14,19 +15,25 @@
 //! * [`grouped`] — the frequency-grouped Merkle inverted index with d-gap
 //!   compression (§VI-B optimization, Defs. 6–7).
 //! * [`vo`] — VO types and their canonical wire encoding.
+//! * [`space`] — per-structure byte accounting for index footprint
+//!   benchmarks.
 
 pub mod bounds;
 pub mod grouped;
 pub mod merkle;
 pub mod search;
+pub mod space;
 pub mod verify;
 pub mod vo;
 
 pub use bounds::BoundsMode;
-pub use merkle::{MerkleInvertedIndex, MerkleList, Posting};
+pub use merkle::{
+    block_digest, BlockSummary, MerkleInvertedIndex, MerkleList, Posting, BLOCK_SIZE,
+};
 pub use search::{
     exhaustive_topk, inv_search, inv_search_with_tuning, InvSearchResult, InvSearchStats,
     SearchTuning,
 };
+pub use space::SpaceUsage;
 pub use verify::{verify_topk, InvVerifyError, VerifiedTopk};
 pub use vo::{FilterVo, InvVo, ListVo, RemainingVo};

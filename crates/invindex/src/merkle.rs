@@ -1,12 +1,26 @@
 //! The impact-ordered Merkle inverted index with cuckoo filters
-//! (paper §IV-B1, Defs. 4–5).
+//! (paper §IV-B1, Defs. 4–5), organized into block-max posting blocks.
 //!
 //! Every cluster `c` has a Merkle inverted list `Γ_c` holding its postings
-//! `⟨image, impact⟩` in descending impact order. Posting digests form a
-//! hash chain from the tail forward (Def. 4), so revealing a *prefix* plus
-//! the digest of the first unrevealed posting authenticates exactly that
-//! prefix. The list digest (Def. 5) additionally binds the cluster weight
-//! and the digest of a cuckoo filter seeded with the list's image ids.
+//! `⟨image, impact⟩` in descending impact order, partitioned into
+//! fixed-size blocks of [`BLOCK_SIZE`] postings (the last block may be
+//! short). Inside a block, posting digests form a hash chain from the tail
+//! forward (Def. 4) terminating at [`Digest::ZERO`] at the block boundary.
+//! Each block is committed as
+//! `h_b = H(chain_head_b ‖ max_impact_{b+1} ‖ h_{b+1})` — it commits its
+//! own contents plus the *successor's* impact bound and digest (`0.0` /
+//! [`Digest::ZERO`] past the end) — and the list digest (Def. 5) binds the
+//! cluster weight, the digest of a cuckoo filter seeded with the list's
+//! image ids, and the first block's `(max_impact, digest)` pair. Committing
+//! each bound one level *up* is what keeps the skip proof at a single
+//! digest: a popped block's own bound is just its first disclosed impact,
+//! so only the fence block's `(max_impact, digest)` pair ever ships, and it
+//! arrives already bound into the last popped block's digest (or the list
+//! head when nothing was popped).
+//!
+//! Revealing a whole-block prefix plus that fence pair authenticates
+//! exactly the prefix and proves every skipped posting's impact is
+//! ≤ `max_impact` — the skip proof the SP's block-max search relies on.
 //!
 //! All filters share one bucket geometry, sized from the longest list — the
 //! property `MaxCount` (Alg. 2) relies on.
@@ -15,6 +29,65 @@ use imageproof_akm::bovw::{impact_value, ImpactModel, SparseBovw};
 use imageproof_crypto::Digest;
 use imageproof_cuckoo::CuckooFilter;
 use imageproof_parallel::{try_par_map, Concurrency};
+
+/// Number of postings (or groups, for the grouped index) per block. Small
+/// enough that quick-scale lists still span multiple blocks, large enough
+/// that a skipped block saves meaningful VO bytes over shipping its
+/// postings.
+pub const BLOCK_SIZE: usize = 8;
+
+/// Build-time summary of one posting block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockSummary {
+    /// The block's first (hence largest) impact — the bound the SP's
+    /// skip test and both sides' termination caps use.
+    pub max_impact: f32,
+    /// Head of the within-block posting hash chain (terminates at
+    /// [`Digest::ZERO`] at the block boundary).
+    pub chain_head: Digest,
+    /// `h_b = H(chain_head ‖ max_impact_{b+1} ‖ h_{b+1})`: commits the
+    /// block's contents and the successor's bound/digest pair — and so,
+    /// transitively, every later block.
+    pub digest: Digest,
+}
+
+/// Digest of one block given its successor's `(max_impact, digest)` pair
+/// (`0.0` / ZERO for the last block). Binding the *successor's* bound here
+/// makes the fence bound in a skip proof unforgeable — it is committed by
+/// the last popped block's digest, which the client recomputes from
+/// disclosed postings — while keeping the proof itself to one digest.
+pub fn block_digest(chain_head: &Digest, next_max: f32, next: &Digest) -> Digest {
+    Digest::builder()
+        .digest(chain_head)
+        .f32(next_max)
+        .digest(next)
+        .finish()
+}
+
+/// Folds per-block chains and block digests over `chunks` (an iterator of
+/// equal-size chunks except possibly the last), given each chunk's
+/// within-chunk digest fold. Shared by the plain and grouped builders.
+pub(crate) fn build_block_summaries<T>(
+    items: &[T],
+    fold_chain: impl Fn(&[T]) -> Digest,
+    max_of: impl Fn(&[T]) -> f32,
+) -> Vec<BlockSummary> {
+    let mut blocks: Vec<BlockSummary> = items
+        .chunks(BLOCK_SIZE)
+        .map(|chunk| BlockSummary {
+            max_impact: max_of(chunk),
+            chain_head: fold_chain(chunk),
+            digest: Digest::ZERO,
+        })
+        .collect();
+    let (mut next_max, mut next) = (0.0f32, Digest::ZERO);
+    for b in blocks.iter_mut().rev() {
+        b.digest = block_digest(&b.chain_head, next_max, &next);
+        next_max = b.max_impact;
+        next = b.digest;
+    }
+    blocks
+}
 
 /// One `⟨image, impact⟩` posting.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -32,13 +105,23 @@ pub fn posting_digest(posting: &Posting, next: &Digest) -> Digest {
         .finish()
 }
 
-/// Digest of a whole list (Def. 5): `h(w | h(Θ) | h_{pos_1})`. The chain of
-/// an empty list terminates at [`Digest::ZERO`].
-pub fn list_digest(weight: f32, filter_digest: &Digest, first_posting: &Digest) -> Digest {
+/// Digest of a whole list (Def. 5, blocked):
+/// `h(w | h(Θ) | max_{blk_1} | h_{blk_1})`, where the trailing pair is the
+/// first block's bound and digest — `0.0` / [`Digest::ZERO`] for an empty
+/// list. Binding `max_{blk_1}` here closes the chain of successor-bound
+/// commitments at the head, so an all-skipped list's fence bound is still
+/// authenticated.
+pub fn list_digest(
+    weight: f32,
+    filter_digest: &Digest,
+    first_max: f32,
+    first_block: &Digest,
+) -> Digest {
     Digest::builder()
         .f32(weight)
         .digest(filter_digest)
-        .digest(first_posting)
+        .f32(first_max)
+        .digest(first_block)
         .finish()
 }
 
@@ -50,9 +133,9 @@ pub struct MerkleList {
     pub weight: f32,
     /// Postings in descending impact order (ties: ascending image id).
     pub postings: Vec<Posting>,
-    /// `chain[j]` = digest of posting `j` (covering postings `j..`);
-    /// `chain.len() == postings.len()`.
-    chain: Vec<Digest>,
+    /// Per-block summaries: `blocks[b]` covers postings
+    /// `b·BLOCK_SIZE .. (b+1)·BLOCK_SIZE` (last block may be short).
+    blocks: Vec<BlockSummary>,
     /// Filter seeded with every image id in `postings`.
     pub filter: CuckooFilter,
     /// `h_{Γ_c}` (Def. 5).
@@ -91,19 +174,28 @@ impl MerkleList {
         for p in &postings {
             filter.insert(p.image)?;
         }
-        let mut chain = vec![Digest::ZERO; postings.len()];
-        let mut next = Digest::ZERO;
-        for j in (0..postings.len()).rev() {
-            next = posting_digest(&postings[j], &next);
-            chain[j] = next;
-        }
+        let blocks = build_block_summaries(
+            &postings,
+            |chunk| {
+                let mut h = Digest::ZERO;
+                for p in chunk.iter().rev() {
+                    h = posting_digest(p, &h);
+                }
+                h
+            },
+            |chunk| chunk[0].impact,
+        );
+        let (first_max, first_block) = blocks
+            .first()
+            .map(|b| (b.max_impact, b.digest))
+            .unwrap_or((0.0, Digest::ZERO));
         let filter_commit = filter.digest();
-        let digest = list_digest(weight, &filter_commit, &next);
+        let digest = list_digest(weight, &filter_commit, first_max, &first_block);
         Ok(MerkleList {
             cluster,
             weight,
             postings,
-            chain,
+            blocks,
             filter,
             digest,
             filter_commit: Some(filter_commit),
@@ -127,10 +219,25 @@ impl MerkleList {
         self.filter_commit = None;
     }
 
-    /// Digest of posting `j` (the chain value covering `j..`), or
-    /// [`Digest::ZERO`] past the end.
-    pub fn chain_digest(&self, j: usize) -> Digest {
-        self.chain.get(j).copied().unwrap_or(Digest::ZERO)
+    /// The per-block summaries, in block order.
+    pub fn blocks(&self) -> &[BlockSummary] {
+        &self.blocks
+    }
+
+    /// Number of posting blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of postings covered by the first `b` blocks.
+    pub fn block_offset(&self, b: usize) -> usize {
+        (b * BLOCK_SIZE).min(self.postings.len())
+    }
+
+    /// Digest of block `b` (covering blocks `b..`), or [`Digest::ZERO`]
+    /// past the end.
+    pub fn block_chain_digest(&self, b: usize) -> Digest {
+        self.blocks.get(b).map(|s| s.digest).unwrap_or(Digest::ZERO)
     }
 
     /// Number of postings.
@@ -316,26 +423,82 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(
             empty.digest,
-            list_digest(0.0, &empty.filter.digest(), &Digest::ZERO)
+            list_digest(0.0, &empty.filter.digest(), 0.0, &Digest::ZERO)
         );
     }
 
+    /// A standalone list long enough to span several blocks (the toy corpus
+    /// lists all fit in one block at BLOCK_SIZE = 8).
+    fn long_list(n: usize) -> MerkleList {
+        let postings: Vec<Posting> = (0..n)
+            .map(|i| Posting {
+                image: i as u64,
+                impact: 1.0 + ((n - i) as f32) * 0.25,
+            })
+            .collect();
+        MerkleList::build(0, 3.0, postings, 64)
+    }
+
     #[test]
-    fn chain_reconstructs_from_any_prefix() {
-        let idx = toy_index();
-        let list = idx.list(6);
-        assert!(list.len() >= 3, "fixture should have a multi-posting list");
-        for split in 0..=list.len() {
-            // Reveal postings[..split]; reconstruct h_pos_1 from the prefix
-            // and the digest of the first unrevealed posting.
-            let mut h = list.chain_digest(split);
-            for p in list.postings[..split].iter().rev() {
-                h = posting_digest(p, &h);
+    fn list_reconstructs_from_any_block_prefix() {
+        let list = long_list(21);
+        assert!(list.n_blocks() >= 3, "fixture should span several blocks");
+        for split in 0..=list.n_blocks() {
+            // Reveal whole blocks [..split]; reconstruct the first block's
+            // (max, digest) pair from the revealed postings plus the fence
+            // block's pair (the single-digest skip proof).
+            let (mut max, mut bd) = list
+                .blocks()
+                .get(split)
+                .map(|b| (b.max_impact, b.digest))
+                .unwrap_or((0.0, Digest::ZERO));
+            let revealed = &list.postings[..list.block_offset(split)];
+            for chunk in revealed.chunks(BLOCK_SIZE).rev() {
+                let mut h = Digest::ZERO;
+                for p in chunk.iter().rev() {
+                    h = posting_digest(p, &h);
+                }
+                bd = block_digest(&h, max, &bd);
+                max = chunk[0].impact;
             }
-            let expected_first = list.chain_digest(0);
-            assert_eq!(h, expected_first, "split {split}");
-            let rebuilt = list_digest(list.weight, &list.filter.digest(), &h);
+            assert_eq!(bd, list.block_chain_digest(0), "split {split}");
+            let rebuilt = list_digest(list.weight, &list.filter.digest(), max, &bd);
             assert_eq!(rebuilt, list.digest);
+        }
+    }
+
+    #[test]
+    fn block_summaries_bind_the_block_max() {
+        let list = long_list(20);
+        for (b, summary) in list.blocks().iter().enumerate() {
+            let lo = list.block_offset(b);
+            let hi = list.block_offset(b + 1);
+            let true_max = list.postings[lo].impact;
+            assert_eq!(summary.max_impact, true_max);
+            assert!(list.postings[lo..hi]
+                .iter()
+                .all(|p| p.impact <= summary.max_impact));
+            // Inflating the claimed bound changes the commitment one level
+            // up: the list head binds block 0's bound, each block binds its
+            // successor's.
+            let forged_max = summary.max_impact + 0.5;
+            if b == 0 {
+                assert_ne!(
+                    list_digest(
+                        list.weight,
+                        &list.filter.digest(),
+                        forged_max,
+                        &summary.digest
+                    ),
+                    list.digest
+                );
+            } else {
+                let prev = &list.blocks()[b - 1];
+                assert_ne!(
+                    block_digest(&prev.chain_head, forged_max, &summary.digest),
+                    prev.digest
+                );
+            }
         }
     }
 
@@ -352,16 +515,20 @@ mod tests {
 
     #[test]
     fn tampering_a_posting_breaks_the_chain() {
-        let idx = toy_index();
-        let list = idx.list(6);
+        let list = long_list(12);
         let mut forged = list.postings.clone();
-        forged[1].impact += 0.1;
-        let mut h = Digest::ZERO;
-        for p in forged.iter().rev() {
-            h = posting_digest(p, &h);
+        forged[9].impact += 0.1;
+        let (mut max, mut bd) = (0.0f32, Digest::ZERO);
+        for chunk in forged.chunks(BLOCK_SIZE).rev() {
+            let mut h = Digest::ZERO;
+            for p in chunk.iter().rev() {
+                h = posting_digest(p, &h);
+            }
+            bd = block_digest(&h, max, &bd);
+            max = chunk[0].impact;
         }
         assert_ne!(
-            list_digest(list.weight, &list.filter.digest(), &h),
+            list_digest(list.weight, &list.filter.digest(), max, &bd),
             list.digest
         );
     }

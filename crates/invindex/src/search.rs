@@ -2,13 +2,19 @@
 //! `InvSearch` (Alg. 4), plus the §VII Baseline (\[15\]-style maximal bounds).
 //!
 //! The SP first computes the true top-k by full accumulation over the
-//! query-relevant lists, then pops posting prefixes until the termination
-//! conditions (§IV-B2) — evaluated by the *shared* [`crate::bounds`]
-//! module — hold on the client-observable state. The final popped state
-//! becomes the VO.
+//! query-relevant lists, then pops whole posting *blocks* until the
+//! termination conditions (§IV-B2) — evaluated by the *shared*
+//! [`crate::bounds`] module — hold on the client-observable state. Popping
+//! is block-granular so every partially-scanned list ends at a block
+//! boundary, where the fence block's authenticated `max_impact` is both
+//! the termination cap and the skip proof: the remaining-cap the client
+//! reproduces is the fence bound, strictly tighter than the old
+//! last-popped-impact cap, so the loop terminates earlier (fewer popped
+//! postings, smaller VO) without any change to the returned top-k. The
+//! final popped state becomes the VO.
 
 use crate::bounds::{evaluate, BoundsMode, ListSnapshot};
-use crate::merkle::{MerkleInvertedIndex, MerkleList};
+use crate::merkle::{MerkleInvertedIndex, MerkleList, BLOCK_SIZE};
 use crate::vo::{FilterVo, InvVo, ListVo, RemainingVo};
 use imageproof_akm::bovw::{impacts_with_weights, SparseBovw};
 use imageproof_cuckoo::CuckooFilter;
@@ -26,9 +32,14 @@ pub struct InvSearchStats {
     pub rounds: usize,
     /// Digests the VO assembly had to run Keccak for (cache misses).
     pub hashes_computed: usize,
-    /// Digests the VO assembly copied from build-time memos (chain digests
+    /// Digests the VO assembly copied from build-time memos (block digests
     /// and filter commitments).
     pub hashes_cached: usize,
+    /// Posting blocks left unscanned across the query-relevant lists —
+    /// each carried by exactly one fence digest in the VO.
+    pub blocks_skipped: usize,
+    /// Posting blocks actually popped (disclosed in the VO).
+    pub blocks_scanned: usize,
 }
 
 impl InvSearchStats {
@@ -67,6 +78,16 @@ pub(crate) fn record_inv_search(bounds: &'static str, stats: &InvSearchStats) {
         .add(stats.popped as u64);
     reg.counter("imageproof_inv_rounds_total", &labels)
         .add(stats.rounds as u64);
+    for (kind, n) in [
+        ("skipped", stats.blocks_skipped),
+        ("scanned", stats.blocks_scanned),
+    ] {
+        reg.counter(
+            "imageproof_inv_blocks_total",
+            &[("bounds", bounds), ("kind", kind)],
+        )
+        .add(n as u64);
+    }
     for (kind, n) in [
         ("computed", stats.hashes_computed),
         ("cached", stats.hashes_cached),
@@ -110,54 +131,62 @@ pub fn exhaustive_topk(
     scored
 }
 
-/// Per-list mutable search state.
+/// Per-list mutable search state. Popping is block-granular: `popped_blocks`
+/// counts whole blocks disclosed, so a partially-scanned list always ends on
+/// a block boundary and its skip proof is a single fence digest.
 struct ListState<'a> {
     list: &'a MerkleList,
     query_impact: f32,
     /// `(image, impact)` pairs of the whole list (posting order).
     pairs: Vec<(u64, f32)>,
-    popped_len: usize,
+    popped_blocks: usize,
     /// Working filter with popped images deleted (filtered mode only).
     working_filter: Option<CuckooFilter>,
 }
 
 impl ListState<'_> {
+    fn popped_len(&self) -> usize {
+        (self.popped_blocks * BLOCK_SIZE).min(self.pairs.len())
+    }
+
     fn exhausted(&self) -> bool {
-        self.popped_len == self.pairs.len()
+        self.popped_len() == self.pairs.len()
     }
 
+    /// The fence block's authenticated `max_impact` — exactly what the
+    /// client recomputes from the skip proof, and tighter than both the
+    /// cluster weight and the last popped impact.
     fn remaining_cap(&self) -> Option<f32> {
-        if self.exhausted() {
-            None
-        } else if self.popped_len > 0 {
-            Some(self.pairs[self.popped_len - 1].1)
-        } else {
-            // Nothing popped: impacts never exceed the cluster weight
-            // (f ≤ ||B_I||), the only bound the client can check.
-            Some(self.list.weight)
-        }
+        self.list
+            .blocks()
+            .get(self.popped_blocks)
+            .map(|b| b.max_impact)
     }
 
-    /// Pops up to `n` postings; returns how many were popped.
-    fn pop(&mut self, n: usize) -> usize {
-        let take = n.min(self.pairs.len() - self.popped_len);
-        for i in 0..take {
-            let (image, _) = self.pairs[self.popped_len + i];
+    /// Pops up to `n` whole blocks; returns how many postings were popped.
+    fn pop_blocks(&mut self, n: usize) -> usize {
+        let start = self.popped_len();
+        self.popped_blocks = (self.popped_blocks + n).min(self.list.n_blocks());
+        let end = self.popped_len();
+        for &(image, _) in &self.pairs[start..end] {
             if let Some(f) = &mut self.working_filter {
                 f.delete(image);
             }
         }
-        self.popped_len += take;
-        take
+        end - start
     }
 
-    /// Pops until `image` has been popped (or the list is exhausted, on a
-    /// filter false positive); returns how many were popped.
+    /// Pops blocks until one containing `image` has been popped (or the
+    /// list is exhausted, on a filter false positive); returns how many
+    /// postings were popped. `limit` bounds the postings popped this call.
     fn pop_until_image(&mut self, image: u64, limit: usize) -> usize {
         let mut popped = 0;
         while popped < limit && !self.exhausted() {
-            let here = self.pairs[self.popped_len].0 == image;
-            popped += self.pop(1);
+            let start = self.popped_len();
+            popped += self.pop_blocks(1);
+            let here = self.pairs[start..self.popped_len()]
+                .iter()
+                .any(|&(i, _)| i == image);
             if here {
                 break;
             }
@@ -169,7 +198,7 @@ impl ListState<'_> {
         ListSnapshot {
             cluster: self.list.cluster,
             query_impact: self.query_impact,
-            popped: &self.pairs[..self.popped_len],
+            popped: &self.pairs[..self.popped_len()],
             remaining_cap: self.remaining_cap(),
             filter: if self.exhausted() {
                 None
@@ -237,7 +266,7 @@ pub fn inv_search_with_tuning(
                 list,
                 query_impact: p_q,
                 pairs: list.postings.iter().map(|p| (p.image, p.impact)).collect(),
-                popped_len: 0,
+                popped_blocks: 0,
                 working_filter: match mode {
                     BoundsMode::CuckooFiltered => Some(list.filter.clone()),
                     BoundsMode::MaxBound => None,
@@ -252,14 +281,14 @@ pub fn inv_search_with_tuning(
     };
 
     // Alg. 3 line 1: pop every posting containing a top-k image, together
-    // with its preceding postings.
+    // with its preceding postings — rounded up to whole blocks.
     for state in &mut states {
         let last = state
             .pairs
             .iter()
             .rposition(|(image, _)| topk_ids.contains(image));
         if let Some(j) = last {
-            stats.popped += state.pop(j + 1);
+            stats.popped += state.pop_blocks(j / BLOCK_SIZE + 1);
         }
     }
 
@@ -277,7 +306,7 @@ pub fn inv_search_with_tuning(
         if !eval.condition1 {
             let target = best_poppable(&states, |_| true);
             let target = target.expect("condition 1 holds once every list is exhausted");
-            stats.popped += states[target].pop(batch);
+            stats.popped += states[target].pop_blocks(batch.div_ceil(BLOCK_SIZE));
             batch = (batch * tuning.growth.max(1)).min(tuning.max_batch.max(1));
             continue;
         }
@@ -316,15 +345,19 @@ pub fn inv_search_with_tuning(
         .map(|s| ListVo {
             cluster: s.list.cluster,
             weight: s.list.weight,
-            popped: s.pairs[..s.popped_len].to_vec(),
+            popped: s.pairs[..s.popped_len()].to_vec(),
             remaining: if s.exhausted() {
                 RemainingVo::Exhausted {
                     filter_digest: filter_digest(s, &mut stats),
                 }
             } else {
-                stats.hashes_cached += 1; // memoized chain digest
-                RemainingVo::Partial {
-                    next_digest: s.list.chain_digest(s.popped_len),
+                // Fence block pair: bound and digest are memoized in the
+                // block summary — no Keccak at query time.
+                stats.hashes_cached += 1;
+                let fence = s.list.blocks()[s.popped_blocks];
+                RemainingVo::Skipped {
+                    max_impact: fence.max_impact,
+                    fence_digest: fence.digest,
                     filter: match mode {
                         BoundsMode::CuckooFiltered => FilterVo::Bytes(s.list.filter.to_bytes()),
                         BoundsMode::MaxBound => FilterVo::DigestOnly(filter_digest(s, &mut stats)),
@@ -333,6 +366,11 @@ pub fn inv_search_with_tuning(
             },
         })
         .collect();
+    // `pop_blocks` clamps, so popped_blocks ≤ n_blocks holds here.
+    for s in &states {
+        stats.blocks_scanned += s.popped_blocks;
+        stats.blocks_skipped += s.list.n_blocks() - s.popped_blocks;
+    }
 
     record_inv_search(
         match mode {

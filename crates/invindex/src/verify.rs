@@ -7,18 +7,24 @@
 //! inverted-index VO. It:
 //!
 //! 1. checks the VO covers exactly the query-relevant clusters;
-//! 2. reconstructs every `h_{Γ_c}` from the popped prefix, the re-sealing
-//!    digest, the weight, and the filter (bytes or digest) and compares with
-//!    the authenticated digest — this authenticates weights, popped
-//!    postings, their order, and the filters in one shot;
+//! 2. reconstructs every `h_{Γ_c}` from the popped prefix (re-blocked into
+//!    [`BLOCK_SIZE`] chunks), the fence block's `(max_impact, digest)`
+//!    pair, the weight, and the filter (bytes or digest) and compares with the
+//!    authenticated digest — this authenticates weights, popped postings,
+//!    their order, the per-block `max_impact` bounds, and the filters in
+//!    one shot;
 //! 3. recomputes `p_Q` from `B_Q` and the verified weights;
 //! 4. deletes popped images from the filters and re-evaluates the
-//!    termination conditions with the shared [`crate::bounds`] logic.
+//!    termination conditions with the shared [`crate::bounds`] logic,
+//!    using the *authenticated* fence `max_impact` as each unexhausted
+//!    list's remaining cap — exactly the cap the SP's block-max skip test
+//!    used, so a block whose bound could still beat the k-th score can
+//!    never be silently skipped.
 //!
 //! Success proves the claimed set is a genuine top-k (Def. 1).
 
 use crate::bounds::{evaluate, BoundsMode, ListSnapshot};
-use crate::merkle::{list_digest, posting_digest, Posting};
+use crate::merkle::{block_digest, list_digest, posting_digest, Posting, BLOCK_SIZE};
 use crate::vo::{FilterVo, InvVo, RemainingVo};
 use imageproof_akm::bovw::{impacts_with_weights, SparseBovw};
 use imageproof_crypto::Digest;
@@ -38,6 +44,9 @@ pub enum InvVerifyError {
     MalformedFilter { cluster: u32 },
     /// The filter form does not match the scheme (bytes vs digest-only).
     WrongFilterForm { cluster: u32 },
+    /// A skip proof rides on a popped prefix that is not a whole number of
+    /// blocks — the VO cannot have come from a block-granular search.
+    BlockShapeInvalid { cluster: u32 },
     /// Termination condition 1 fails: an unpopped image could still beat the
     /// claimed winners.
     Condition1Failed,
@@ -68,6 +77,12 @@ impl std::fmt::Display for InvVerifyError {
             }
             InvVerifyError::WrongFilterForm { cluster } => {
                 write!(f, "unexpected filter form for cluster {cluster}")
+            }
+            InvVerifyError::BlockShapeInvalid { cluster } => {
+                write!(
+                    f,
+                    "skip proof on a non-block-aligned popped prefix for cluster {cluster}"
+                )
             }
             InvVerifyError::Condition1Failed => {
                 write!(
@@ -154,34 +169,59 @@ pub fn verify_topk(
                     cluster: list.cluster,
                 })?;
 
-        let (tail_digest, filter_digest, filter) = match &list.remaining {
-            RemainingVo::Exhausted { filter_digest } => (Digest::ZERO, *filter_digest, None),
-            RemainingVo::Partial {
-                next_digest,
+        let (seal, filter_digest, filter) = match &list.remaining {
+            RemainingVo::Exhausted { filter_digest } => ((0.0, Digest::ZERO), *filter_digest, None),
+            RemainingVo::Skipped {
+                max_impact,
+                fence_digest,
                 filter,
-            } => match (filter, mode) {
-                (FilterVo::Bytes(bytes), BoundsMode::CuckooFiltered) => {
-                    let parsed =
-                        CuckooFilter::from_bytes(bytes).ok_or(InvVerifyError::MalformedFilter {
-                            cluster: list.cluster,
-                        })?;
-                    (*next_digest, parsed.digest(), Some(parsed))
-                }
-                (FilterVo::DigestOnly(d), BoundsMode::MaxBound) => (*next_digest, *d, None),
-                _ => {
-                    return Err(InvVerifyError::WrongFilterForm {
+            } => {
+                // A skip proof only re-seals the list when the popped
+                // prefix ends on a block boundary.
+                if !list.popped.len().is_multiple_of(BLOCK_SIZE) {
+                    return Err(InvVerifyError::BlockShapeInvalid {
                         cluster: list.cluster,
-                    })
+                    });
                 }
-            },
+                let (fd, parsed) = match (filter, mode) {
+                    (FilterVo::Bytes(bytes), BoundsMode::CuckooFiltered) => {
+                        let parsed = CuckooFilter::from_bytes(bytes).ok_or(
+                            InvVerifyError::MalformedFilter {
+                                cluster: list.cluster,
+                            },
+                        )?;
+                        (parsed.digest(), Some(parsed))
+                    }
+                    (FilterVo::DigestOnly(d), BoundsMode::MaxBound) => (*d, None),
+                    _ => {
+                        return Err(InvVerifyError::WrongFilterForm {
+                            cluster: list.cluster,
+                        })
+                    }
+                };
+                // The fence `(max_impact, digest)` pair seeds the fold;
+                // matching `h_Γ` below simultaneously proves the skip
+                // bound and every unscanned block, because each popped
+                // block's digest commits its successor's pair.
+                ((*max_impact, *fence_digest), fd, parsed)
+            }
         };
 
-        // Rebuild the chain head from the popped prefix.
-        let mut head = tail_digest;
-        for &(image, impact) in list.popped.iter().rev() {
-            head = posting_digest(&Posting { image, impact }, &head);
+        // Rebuild the first block's (max, digest) pair from the popped
+        // prefix: re-block into BLOCK_SIZE chunks, fold each chunk's
+        // posting chain, and bind the *successor's* bound/digest pair into
+        // each block digest — popped block bounds are just each chunk's
+        // first disclosed impact.
+        let (mut max, mut bd) = seal;
+        for chunk in list.popped.chunks(BLOCK_SIZE).rev() {
+            let mut head = Digest::ZERO;
+            for &(image, impact) in chunk.iter().rev() {
+                head = posting_digest(&Posting { image, impact }, &head);
+            }
+            bd = block_digest(&head, max, &bd);
+            max = chunk.first().map(|&(_, impact)| impact).unwrap_or(0.0);
         }
-        let rebuilt = list_digest(list.weight, &filter_digest, &head);
+        let rebuilt = list_digest(list.weight, &filter_digest, max, &bd);
         if rebuilt != *expected {
             return Err(InvVerifyError::DigestMismatch {
                 cluster: list.cluster,
@@ -216,13 +256,9 @@ pub fn verify_topk(
                 popped: &list.popped,
                 remaining_cap: match &list.remaining {
                     RemainingVo::Exhausted { .. } => None,
-                    RemainingVo::Partial { .. } => {
-                        if let Some(&(_, impact)) = list.popped.last() {
-                            Some(impact)
-                        } else {
-                            Some(list.weight)
-                        }
-                    }
+                    // The fence bound, authenticated by the digest check
+                    // above — the same cap the SP terminated under.
+                    RemainingVo::Skipped { max_impact, .. } => Some(*max_impact),
                 },
                 filter: filter.as_ref(),
             }
@@ -419,6 +455,8 @@ mod tests {
             .find(|l| l.popped.len() >= 2)
             .expect("a list with two popped postings");
         list.popped.remove(0);
+        // A skipped list fails the block-shape check first; an exhausted
+        // one fails the digest fold.
         assert!(matches!(
             verify_topk(
                 &forged,
@@ -429,6 +467,7 @@ mod tests {
                 BoundsMode::CuckooFiltered
             ),
             Err(InvVerifyError::DigestMismatch { .. })
+                | Err(InvVerifyError::BlockShapeInvalid { .. })
         ));
     }
 
@@ -466,7 +505,7 @@ mod tests {
             .lists
             .iter_mut()
             .find_map(|l| match &mut l.remaining {
-                RemainingVo::Partial {
+                RemainingVo::Skipped {
                     filter: FilterVo::Bytes(bytes),
                     ..
                 } => {
@@ -530,7 +569,7 @@ mod tests {
             .vo
             .lists
             .iter()
-            .any(|l| matches!(l.remaining, RemainingVo::Partial { .. }));
+            .any(|l| matches!(l.remaining, RemainingVo::Skipped { .. }));
         if any_partial {
             assert!(matches!(
                 verify_topk(
@@ -567,6 +606,73 @@ mod tests {
                 Err(InvVerifyError::DuplicateWinner { .. })
             ));
         }
+    }
+
+    #[test]
+    fn skip_proof_on_unaligned_prefix_is_rejected() {
+        let idx = corpus(300, 30, 31);
+        let digests = digests_of(&idx);
+        let q = query(59, 30);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        let mut forged = out.vo.clone();
+        // Splice one popped posting off a skipped list: the prefix no
+        // longer ends on a block boundary.
+        let spliced = forged
+            .lists
+            .iter_mut()
+            .find(|l| matches!(l.remaining, RemainingVo::Skipped { .. }) && !l.popped.is_empty());
+        let Some(list) = spliced else {
+            panic!("fixture needs a skipped list with popped postings");
+        };
+        let cluster = list.cluster;
+        list.popped.pop();
+        assert_eq!(
+            verify_topk(
+                &forged,
+                &q,
+                &digests,
+                &claimed,
+                5,
+                BoundsMode::CuckooFiltered
+            )
+            .expect_err("unaligned prefix must fail"),
+            InvVerifyError::BlockShapeInvalid { cluster }
+        );
+    }
+
+    #[test]
+    fn inflated_fence_bound_breaks_digest() {
+        let idx = corpus(300, 30, 32);
+        let digests = digests_of(&idx);
+        let q = query(60, 30);
+        let out = inv_search(&idx, &q, 5, BoundsMode::CuckooFiltered);
+        let claimed: Vec<u64> = out.topk.iter().map(|&(i, _)| i).collect();
+        let mut forged = out.vo.clone();
+        let tampered = forged
+            .lists
+            .iter_mut()
+            .find_map(|l| match &mut l.remaining {
+                RemainingVo::Skipped { max_impact, .. } => {
+                    // Deflate the bound so condition 1 would pass vacuously —
+                    // the commitment must catch it first.
+                    *max_impact *= 0.5;
+                    Some(())
+                }
+                _ => None,
+            });
+        assert!(tampered.is_some(), "fixture needs a skipped list");
+        assert!(matches!(
+            verify_topk(
+                &forged,
+                &q,
+                &digests,
+                &claimed,
+                5,
+                BoundsMode::CuckooFiltered
+            ),
+            Err(InvVerifyError::DigestMismatch { .. })
+        ));
     }
 
     #[test]

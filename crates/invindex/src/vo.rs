@@ -1,5 +1,13 @@
 //! Verification-object types for authenticated inverted-index search
 //! (`InvSearch`, paper Alg. 4) and their canonical wire encoding.
+//!
+//! With block-max posting lists, a partially-scanned list is proven by a
+//! *skip proof*: the fence block's `(max_impact, digest)` pair. One digest
+//! covers every unscanned block, and the bound is committed one level up
+//! (by the last popped block's digest, or the list head when nothing was
+//! popped), so the client both re-seals `h_Γ` and checks no skipped
+//! posting could have entered the top-k — for four extra bytes over the
+//! old per-posting seal.
 
 use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
 use imageproof_crypto::Digest;
@@ -10,12 +18,21 @@ pub enum RemainingVo {
     /// Every posting was popped (or the list was empty): only the filter
     /// digest is needed to rebuild `h_Γ` (Alg. 4 line 8).
     Exhausted { filter_digest: Digest },
-    /// A suffix remains: the digest of its first posting re-seals the chain
-    /// (Alg. 4 line 10), and — in the cuckoo-filtered scheme — the filter
-    /// itself travels so the client can reproduce the bounds
-    /// (Alg. 4 line 11). The Baseline scheme sends the digest instead.
-    Partial {
-        next_digest: Digest,
+    /// Whole blocks remain unscanned. The fence block (the first unscanned
+    /// one) travels as its `(max_impact, digest)` pair: the client folds
+    /// the pair under the popped prefix to re-seal `h_Γ` — each popped
+    /// block's digest commits its successor's pair, so a forged bound or
+    /// digest breaks the fold — and uses `max_impact` as the authenticated
+    /// cap on every skipped posting. In the cuckoo-filtered schemes the
+    /// filter itself travels so the client can reproduce the bounds
+    /// (Alg. 4 line 11); the Baseline scheme sends its digest instead.
+    Skipped {
+        /// The fence block's bound: no skipped posting exceeds it, and it
+        /// is committed by the preceding block digest (or the list head)
+        /// so it cannot be forged.
+        max_impact: f32,
+        /// The fence block's digest — covers every unscanned block.
+        fence_digest: Digest,
         filter: FilterVo,
     },
 }
@@ -36,7 +53,8 @@ pub struct ListVo {
     pub cluster: u32,
     /// `w_c`, needed by the client to compute `p_Q` (Alg. 4 line 3).
     pub weight: f32,
-    /// The popped prefix, in list order.
+    /// The popped prefix, in list order — always a whole number of blocks
+    /// when followed by a skip proof.
     pub popped: Vec<(u64, f32)>,
     pub remaining: RemainingVo,
 }
@@ -56,68 +74,86 @@ impl InvVo {
 }
 
 const TAG_EXHAUSTED: u8 = 0;
-const TAG_PARTIAL_BYTES: u8 = 1;
-const TAG_PARTIAL_DIGEST: u8 = 2;
+const TAG_SKIPPED_BYTES: u8 = 1;
+const TAG_SKIPPED_DIGEST: u8 = 2;
 
-impl Encode for ListVo {
+impl Encode for RemainingVo {
     fn encode(&self, w: &mut Writer) {
-        w.u32(self.cluster);
-        w.f32(self.weight);
-        w.seq_len(self.popped.len());
-        for &(image, impact) in &self.popped {
-            w.varint(image);
-            w.f32(impact);
-        }
-        match &self.remaining {
+        match self {
             RemainingVo::Exhausted { filter_digest } => {
                 w.u8(TAG_EXHAUSTED);
                 w.digest(filter_digest);
             }
-            RemainingVo::Partial {
-                next_digest,
+            RemainingVo::Skipped {
+                max_impact,
+                fence_digest,
                 filter: FilterVo::Bytes(bytes),
             } => {
-                w.u8(TAG_PARTIAL_BYTES);
-                w.digest(next_digest);
-                w.bytes(bytes);
+                w.u8(TAG_SKIPPED_BYTES);
+                w.f32(*max_impact);
+                w.digest(fence_digest);
+                w.vbytes(bytes);
             }
-            RemainingVo::Partial {
-                next_digest,
+            RemainingVo::Skipped {
+                max_impact,
+                fence_digest,
                 filter: FilterVo::DigestOnly(d),
             } => {
-                w.u8(TAG_PARTIAL_DIGEST);
-                w.digest(next_digest);
+                w.u8(TAG_SKIPPED_DIGEST);
+                w.f32(*max_impact);
+                w.digest(fence_digest);
                 w.digest(d);
             }
         }
     }
 }
 
+impl Decode for RemainingVo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            TAG_EXHAUSTED => RemainingVo::Exhausted {
+                filter_digest: r.digest()?,
+            },
+            TAG_SKIPPED_BYTES => RemainingVo::Skipped {
+                max_impact: r.f32()?,
+                fence_digest: r.digest()?,
+                filter: FilterVo::Bytes(r.vbytes()?),
+            },
+            TAG_SKIPPED_DIGEST => RemainingVo::Skipped {
+                max_impact: r.f32()?,
+                fence_digest: r.digest()?,
+                filter: FilterVo::DigestOnly(r.digest()?),
+            },
+            t => return Err(WireError::InvalidTag(t)),
+        })
+    }
+}
+
+impl Encode for ListVo {
+    fn encode(&self, w: &mut Writer) {
+        w.varint(self.cluster as u64);
+        w.f32(self.weight);
+        w.vseq_len(self.popped.len());
+        for &(image, impact) in &self.popped {
+            w.varint(image);
+            w.f32(impact);
+        }
+        self.remaining.encode(w);
+    }
+}
+
 impl Decode for ListVo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let cluster = r.u32()?;
+        let cluster = u32::try_from(r.varint()?).map_err(|_| WireError::LengthOverflow)?;
         let weight = r.f32()?;
-        let n = r.seq_len()?;
+        let n = r.vseq_len()?;
         let mut popped = Vec::with_capacity(n);
         for _ in 0..n {
             let image = r.varint()?;
             let impact = r.f32()?;
             popped.push((image, impact));
         }
-        let remaining = match r.u8()? {
-            TAG_EXHAUSTED => RemainingVo::Exhausted {
-                filter_digest: r.digest()?,
-            },
-            TAG_PARTIAL_BYTES => RemainingVo::Partial {
-                next_digest: r.digest()?,
-                filter: FilterVo::Bytes(r.bytes()?),
-            },
-            TAG_PARTIAL_DIGEST => RemainingVo::Partial {
-                next_digest: r.digest()?,
-                filter: FilterVo::DigestOnly(r.digest()?),
-            },
-            t => return Err(WireError::InvalidTag(t)),
-        };
+        let remaining = RemainingVo::decode(r)?;
         Ok(ListVo {
             cluster,
             weight,
@@ -129,7 +165,7 @@ impl Decode for ListVo {
 
 impl Encode for InvVo {
     fn encode(&self, w: &mut Writer) {
-        w.seq_len(self.lists.len());
+        w.vseq_len(self.lists.len());
         for l in &self.lists {
             l.encode(w);
         }
@@ -138,7 +174,7 @@ impl Encode for InvVo {
 
 impl Decode for InvVo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.seq_len()?;
+        let n = r.vseq_len()?;
         let mut lists = Vec::with_capacity(n);
         for _ in 0..n {
             lists.push(ListVo::decode(r)?);
@@ -152,6 +188,29 @@ mod tests {
     use super::*;
 
     #[test]
+    fn remaining_vo_round_trips() {
+        let arms = [
+            RemainingVo::Exhausted {
+                filter_digest: Digest::of(b"filter"),
+            },
+            RemainingVo::Skipped {
+                max_impact: 0.25,
+                fence_digest: Digest::of(b"fence"),
+                filter: FilterVo::Bytes(vec![7, 8, 9]),
+            },
+            RemainingVo::Skipped {
+                max_impact: 0.5,
+                fence_digest: Digest::of(b"fence2"),
+                filter: FilterVo::DigestOnly(Digest::of(b"fd")),
+            },
+        ];
+        for arm in arms {
+            let bytes = arm.to_wire();
+            assert_eq!(RemainingVo::from_wire(&bytes).expect("round trip"), arm);
+        }
+    }
+
+    #[test]
     fn inv_vo_round_trips() {
         let vo = InvVo {
             lists: vec![
@@ -159,8 +218,9 @@ mod tests {
                     cluster: 5,
                     weight: 2.5,
                     popped: vec![(1, 0.34), (3, 0.26)],
-                    remaining: RemainingVo::Partial {
-                        next_digest: Digest::of(b"next"),
+                    remaining: RemainingVo::Skipped {
+                        max_impact: 0.2,
+                        fence_digest: Digest::of(b"fence"),
                         filter: FilterVo::Bytes(vec![1, 2, 3, 4]),
                     },
                 },
@@ -176,8 +236,9 @@ mod tests {
                     cluster: 9,
                     weight: 0.5,
                     popped: vec![(42, 0.1)],
-                    remaining: RemainingVo::Partial {
-                        next_digest: Digest::of(b"next2"),
+                    remaining: RemainingVo::Skipped {
+                        max_impact: 0.05,
+                        fence_digest: Digest::of(b"fence2"),
                         filter: FilterVo::DigestOnly(Digest::of(b"fd")),
                     },
                 },
@@ -201,9 +262,10 @@ mod tests {
             }],
         };
         let mut bytes = vo.to_wire();
-        // The remaining-tag byte sits after the seq_len + cluster + weight +
-        // empty postings; flip it to an invalid value.
-        let tag_pos = 4 + 4 + 4 + 4;
+        // The remaining-tag byte sits after the varint list count (1), the
+        // varint cluster (1), the f32 weight (4), and the varint popped
+        // count (1); flip it to an invalid value.
+        let tag_pos = 1 + 1 + 4 + 1;
         bytes[tag_pos] = 9;
         assert!(InvVo::from_wire(&bytes).is_err());
     }

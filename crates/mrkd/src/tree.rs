@@ -169,6 +169,11 @@ impl MrkdTree {
         &self.rkd
     }
 
+    /// Number of per-node digests this tree stores (footprint accounting).
+    pub fn n_digests(&self) -> usize {
+        self.digests.len()
+    }
+
     /// Recomputes the digests after some clusters' inverted-list digests
     /// changed (owner-side incremental update). One O(n) scan; hashes are
     /// recomputed only for affected leaves and their ancestors, so an
@@ -327,6 +332,20 @@ impl MrkdForest {
     /// Dimension Merkle tree of one cluster (compressed mode).
     pub fn dim_tree(&self, cluster: u32) -> Option<&MerkleTree> {
         self.dim_trees.as_ref().map(|t| &t[cluster as usize])
+    }
+
+    /// Total digests the forest stores across every authenticated level:
+    /// per-node tree digests, the cluster list digests, and (compressed
+    /// mode) every dimension Merkle tree node. Footprint accounting only.
+    pub fn n_digests(&self) -> usize {
+        let tree_digests: usize = self.trees.iter().map(MrkdTree::n_digests).sum();
+        let dim_digests: usize = self
+            .dim_trees
+            .iter()
+            .flatten()
+            .map(MerkleTree::n_digests)
+            .sum();
+        tree_digests + self.inv_digests.len() + dim_digests
     }
 
     /// The combined digest the owner signs: `h(root_1 | … | root_{n_t})`

@@ -193,14 +193,14 @@ impl Encode for Reveal {
         match self {
             Reveal::Full { coords } => {
                 w.u8(TAG_FULL);
-                w.seq_len(coords.len());
+                w.vseq_len(coords.len());
                 for &c in coords {
                     w.f32(c);
                 }
             }
             Reveal::FullCompressed { coords } => {
                 w.u8(TAG_FULL_COMPRESSED);
-                w.seq_len(coords.len());
+                w.vseq_len(coords.len());
                 for &c in coords {
                     w.f32(c);
                 }
@@ -212,16 +212,16 @@ impl Encode for Reveal {
             } => {
                 w.u8(TAG_PARTIAL);
                 w.digest(dim_root);
-                w.seq_len(blocks.len());
+                w.vseq_len(blocks.len());
                 for (b, coords) in blocks {
-                    w.u32(*b);
-                    w.seq_len(coords.len());
+                    w.varint(*b as u64);
+                    w.vseq_len(coords.len());
                     for &v in coords {
                         w.f32(v);
                     }
                 }
-                w.u32(proof.n_leaves);
-                w.seq_len(proof.fill.len());
+                w.varint(proof.n_leaves as u64);
+                w.vseq_len(proof.fill.len());
                 for d in &proof.fill {
                     w.digest(d);
                 }
@@ -235,7 +235,7 @@ impl Decode for Reveal {
         let tag = r.u8()?;
         match tag {
             TAG_FULL | TAG_FULL_COMPRESSED => {
-                let n = r.seq_len()?;
+                let n = r.vseq_len()?;
                 let mut coords = Vec::with_capacity(n);
                 for _ in 0..n {
                     coords.push(r.f32()?);
@@ -248,19 +248,19 @@ impl Decode for Reveal {
             }
             TAG_PARTIAL => {
                 let dim_root = r.digest()?;
-                let n = r.seq_len()?;
+                let n = r.vseq_len()?;
                 let mut blocks = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let b = r.u32()?;
-                    let len = r.seq_len()?;
+                    let b = u32::try_from(r.varint()?).map_err(|_| WireError::LengthOverflow)?;
+                    let len = r.vseq_len()?;
                     let mut coords = Vec::with_capacity(len);
                     for _ in 0..len {
                         coords.push(r.f32()?);
                     }
                     blocks.push((b, coords));
                 }
-                let n_leaves = r.u32()?;
-                let fills = r.seq_len()?;
+                let n_leaves = u32::try_from(r.varint()?).map_err(|_| WireError::LengthOverflow)?;
+                let fills = r.vseq_len()?;
                 let mut fill = Vec::with_capacity(fills);
                 for _ in 0..fills {
                     fill.push(r.digest()?);
@@ -278,7 +278,7 @@ impl Decode for Reveal {
 
 impl Encode for VoLeafEntry {
     fn encode(&self, w: &mut Writer) {
-        w.u32(self.cluster);
+        w.varint(self.cluster as u64);
         w.digest(&self.inv_digest);
         self.reveal.encode(w);
     }
@@ -287,7 +287,7 @@ impl Encode for VoLeafEntry {
 impl Decode for VoLeafEntry {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(VoLeafEntry {
-            cluster: r.u32()?,
+            cluster: u32::try_from(r.varint()?).map_err(|_| WireError::LengthOverflow)?,
             inv_digest: r.digest()?,
             reveal: Reveal::decode(r)?,
         })
@@ -314,14 +314,14 @@ impl Encode for VoNode {
                 right,
             } => {
                 w.u8(TAG_INTERNAL);
-                w.u32(*dim);
+                w.varint(*dim as u64);
                 w.f32(*value);
                 left.encode(w);
                 right.encode(w);
             }
             VoNode::Leaf { entries } => {
                 w.u8(TAG_LEAF);
-                w.seq_len(entries.len());
+                w.vseq_len(entries.len());
                 for e in entries {
                     e.encode(w);
                 }
@@ -338,13 +338,13 @@ impl VoNode {
         match r.u8()? {
             TAG_PRUNED => Ok(VoNode::Pruned(r.digest()?)),
             TAG_INTERNAL => Ok(VoNode::Internal {
-                dim: r.u32()?,
+                dim: u32::try_from(r.varint()?).map_err(|_| WireError::LengthOverflow)?,
                 value: r.f32()?,
                 left: Box::new(VoNode::decode_at(r, depth + 1)?),
                 right: Box::new(VoNode::decode_at(r, depth + 1)?),
             }),
             TAG_LEAF => {
-                let n = r.seq_len()?;
+                let n = r.vseq_len()?;
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
                     entries.push(VoLeafEntry::decode(r)?);
@@ -364,7 +364,7 @@ impl Decode for VoNode {
 
 impl Encode for BovwVo {
     fn encode(&self, w: &mut Writer) {
-        w.seq_len(self.trees.len());
+        w.vseq_len(self.trees.len());
         for t in &self.trees {
             t.encode(w);
         }
@@ -373,7 +373,7 @@ impl Encode for BovwVo {
 
 impl Decode for BovwVo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.seq_len()?;
+        let n = r.vseq_len()?;
         let mut trees = Vec::with_capacity(n);
         for _ in 0..n {
             trees.push(VoNode::decode(r)?);
@@ -546,7 +546,7 @@ mod tests {
         let mut bytes = Vec::new();
         for _ in 0..(MAX_VO_DEPTH * 4) {
             bytes.push(TAG_INTERNAL);
-            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.push(1); // varint dim
             bytes.extend_from_slice(&0f32.to_le_bytes());
         }
         assert_eq!(VoNode::from_wire(&bytes), Err(WireError::DepthExceeded));

@@ -27,7 +27,7 @@ use imageproof_core::{
 };
 use imageproof_crypto::wire::{Decode, Encode, WireError};
 use imageproof_invindex::grouped::{Group, GroupedInvVo, GroupedListVo};
-use imageproof_invindex::{InvVo, ListVo};
+use imageproof_invindex::{FilterVo, InvVo, ListVo, RemainingVo};
 use imageproof_mrkd::{BaselineBovwVo, BovwVo, Reveal, VoLeafEntry, VoNode};
 use imageproof_vision::{Corpus, CorpusConfig, DescriptorKind};
 use proptest::prelude::*;
@@ -305,6 +305,68 @@ fn inverted_index_vo_decoding_is_total() {
     assert!(grouped > 0, "no grouped inverted VO exercised");
 }
 
+/// The blocked-list wire arms: every `RemainingVo` variant — exhausted,
+/// skip proof with filter bytes, skip proof with filter digest — plus a
+/// `ListVo` carrying a skip proof, fuzzed from hand-built samples so all
+/// three tags are exercised even if a particular fixture happens to
+/// exhaust its lists. Shared by `ListVo` and `GroupedListVo` (one
+/// `Encode`/`Decode` pair), so this also covers the grouped wire.
+#[test]
+fn blocked_remaining_vo_decoding_is_total() {
+    use imageproof_crypto::Digest;
+    let arms = [
+        (
+            "RemainingVo[exhausted]",
+            RemainingVo::Exhausted {
+                filter_digest: Digest::of(b"filter"),
+            },
+        ),
+        (
+            "RemainingVo[skipped/bytes]",
+            RemainingVo::Skipped {
+                max_impact: 0.75,
+                fence_digest: Digest::of(b"fence"),
+                filter: FilterVo::Bytes(vec![1, 2, 3, 4, 5, 6, 7, 8]),
+            },
+        ),
+        (
+            "RemainingVo[skipped/digest]",
+            RemainingVo::Skipped {
+                max_impact: 0.125,
+                fence_digest: Digest::of(b"fence2"),
+                filter: FilterVo::DigestOnly(Digest::of(b"fd")),
+            },
+        ),
+    ];
+    for (name, arm) in &arms {
+        fuzz_decode(name, arm);
+    }
+    let list = ListVo {
+        cluster: 3,
+        weight: 1.5,
+        popped: (0..16).map(|i| (i as u64, 2.0 - i as f32 * 0.1)).collect(),
+        remaining: arms[1].1.clone(),
+    };
+    fuzz_decode("ListVo[skipped]", &list);
+
+    // At least one real fixture must leave a list partially scanned, so the
+    // skip-proof arm is also reached through the full pipeline.
+    let skipped_in_fixtures = fixtures().iter().any(|(_, fx)| match &fx.response.vo.inv {
+        InvVoVariant::Plain(vo) => vo
+            .lists
+            .iter()
+            .any(|l| matches!(l.remaining, RemainingVo::Skipped { .. })),
+        InvVoVariant::Grouped(vo) => vo
+            .lists
+            .iter()
+            .any(|l| matches!(l.remaining, RemainingVo::Skipped { .. })),
+    });
+    assert!(
+        skipped_in_fixtures,
+        "no fixture exercises a skip proof end-to-end"
+    );
+}
+
 #[test]
 fn sharded_wire_types_decoding_is_total() {
     let fx = sharded_fixture();
@@ -438,6 +500,7 @@ proptest! {
         let _ = decode_total::<Reveal>("Reveal", &bytes);
         let _ = decode_total::<InvVo>("InvVo", &bytes);
         let _ = decode_total::<ListVo>("ListVo", &bytes);
+        let _ = decode_total::<RemainingVo>("RemainingVo", &bytes);
         let _ = decode_total::<GroupedInvVo>("GroupedInvVo", &bytes);
         let _ = decode_total::<GroupedListVo>("GroupedListVo", &bytes);
         let _ = decode_total::<Group>("Group", &bytes);

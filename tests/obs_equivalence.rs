@@ -187,6 +187,14 @@ fn assert_counters_equal(on: &SpStats, off: &SpStats, scheme: Scheme, threads: u
     assert_eq!(on.total_postings, off.total_postings, "{ctx}: postings");
     assert_eq!(on.hashes_computed, off.hashes_computed, "{ctx}: hashes");
     assert_eq!(on.hashes_cached, off.hashes_cached, "{ctx}: cached");
+    assert_eq!(
+        on.blocks_skipped, off.blocks_skipped,
+        "{ctx}: blocks skipped"
+    );
+    assert_eq!(
+        on.blocks_scanned, off.blocks_scanned,
+        "{ctx}: blocks scanned"
+    );
     assert_eq!(on.shared_ratio, off.shared_ratio, "{ctx}: shared ratio");
 }
 

@@ -9,7 +9,7 @@ use imageproof_akm::bovw::{impacts_with_weights, SparseBovw};
 use imageproof_crypto::Digest;
 use imageproof_invindex::grouped::{grouped_search, verify_grouped_topk, GroupedInvertedIndex};
 use imageproof_invindex::{
-    exhaustive_topk, inv_search, verify_topk, BoundsMode, MerkleInvertedIndex, Posting,
+    exhaustive_topk, inv_search, verify_topk, BoundsMode, MerkleInvertedIndex, Posting, BLOCK_SIZE,
 };
 use std::collections::BTreeMap;
 
@@ -87,17 +87,21 @@ fn filtered_search_pops_no_more_than_the_baseline() {
 fn posting_digests_chain_as_in_definition_4() {
     let idx = build_plain();
     let list = idx.list(5);
-    // h_{pos_j} = h(I | p | h_{pos_{j+1}}), terminating in the zero digest.
-    let mut expected = Digest::ZERO;
-    for j in (0..list.len()).rev() {
-        expected = imageproof_invindex::merkle::posting_digest(
-            &Posting {
-                image: list.postings[j].image,
-                impact: list.postings[j].impact,
-            },
-            &expected,
-        );
-        assert_eq!(list.chain_digest(j), expected, "position {j}");
+    // h_{pos_j} = h(I | p | h_{pos_{j+1}}), terminating in the zero digest —
+    // blocked lists chain per block, so each block summary's head must equal
+    // the Def. 4 fold over exactly its postings.
+    for (b, chunk) in list.postings.chunks(BLOCK_SIZE).enumerate() {
+        let mut expected = Digest::ZERO;
+        for p in chunk.iter().rev() {
+            expected = imageproof_invindex::merkle::posting_digest(
+                &Posting {
+                    image: p.image,
+                    impact: p.impact,
+                },
+                &expected,
+            );
+        }
+        assert_eq!(list.blocks()[b].chain_head, expected, "block {b}");
     }
 }
 
