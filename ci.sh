@@ -3,8 +3,8 @@
 # fmt/clippy run only when the components are installed.
 set -eu
 
-echo "== build (release) =="
-cargo build --release
+echo "== build (release, warnings are errors) =="
+RUSTFLAGS="-D warnings" cargo build --release
 
 echo "== test (workspace) =="
 cargo test -q
@@ -32,9 +32,30 @@ echo "== audit: self-tests (includes the Instant/SystemTime confinement rule) ==
 cargo test -q -p imageproof-audit
 
 echo "== audit: zero findings on the tree =="
-# The auditor prints one `file:line rule message` per violation and exits
-# non-zero on any finding; the gate requires a clean tree.
-cargo run -q --release -p imageproof-audit
+# The auditor emits a JSON artifact (findings, per-rule counts, files
+# scanned) and exits non-zero on any finding; the gate requires a clean
+# tree. The per-rule summary below always prints the interprocedural
+# rules explicitly — zeros included — so a pass that silently stopped
+# firing is visible in the log.
+cargo run -q --release -p imageproof-audit -- --json . > audit_findings.json || {
+    echo "audit findings:" >&2
+    python3 -c 'import json
+for f in json.load(open("audit_findings.json"))["findings"]:
+    print("  %s:%d %s %s" % (f["path"], f["line"], f["rule"], f["message"]))' >&2
+    exit 1
+}
+python3 - <<'PYEOF'
+import json
+
+data = json.load(open("audit_findings.json"))
+counts = data.get("counts", {})
+print(f"  files scanned: {data['files_scanned']}")
+for rule in ["panic", "alloc", "lockorder", "relaxed"]:
+    print(f"  {rule}: {counts.get(rule, 0)} finding(s)")
+for rule, n in sorted(counts.items()):
+    if rule not in {"panic", "alloc", "lockorder", "relaxed"}:
+        print(f"  {rule}: {n} finding(s)")
+PYEOF
 
 echo "== bench smoke: machine-readable query benchmarks =="
 # Small sweep that exercises the timed build + query + verify loop for all

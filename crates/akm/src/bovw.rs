@@ -109,6 +109,7 @@ impl ImpactModel {
     }
 
     /// `w_{c}` for one cluster.
+    // audit:allow(panic) owner/SP-side model: cluster ids come from the model's own vocabulary range
     pub fn weight(&self, cluster: u32) -> f32 {
         self.weights[cluster as usize]
     }
@@ -135,6 +136,7 @@ impl ImpactModel {
 /// The impact formula of Eq. 1 as a single expression, so the owner, the SP,
 /// and the client all compute bit-identical `f32` impacts.
 #[inline]
+// audit:allow(panic) f32 division never panics; a zero norm yields inf/NaN, not a crash
 pub fn impact_value(weight: f32, frequency: u32, norm: f32) -> f32 {
     weight * frequency as f32 / norm
 }

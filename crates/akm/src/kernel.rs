@@ -48,6 +48,7 @@ pub fn dist_sq_scalar(a: &[f32], b: &[f32]) -> f32 {
 /// [`dist_sq_scalar`] (see the module docs for why the accumulation order
 /// is preserved).
 #[inline]
+// audit:allow(panic) main = len - len % LANES never exceeds len, so every slice is in bounds
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let main = a.len() - a.len() % LANES;
@@ -77,6 +78,7 @@ pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
 /// threshold, because checkpoints only fire at chunk boundaries and NaN
 /// never trips them.
 #[inline]
+// audit:allow(panic) main = len - len % LANES never exceeds len, so every slice is in bounds
 pub fn dist_sq_within(a: &[f32], b: &[f32], limit: f32) -> Option<f32> {
     debug_assert_eq!(a.len(), b.len());
     let main = a.len() - a.len() % LANES;
@@ -100,6 +102,7 @@ pub fn dist_sq_within(a: &[f32], b: &[f32], limit: f32) -> Option<f32> {
 /// One chunk step: vectorizable subtract/square into a lane array, then a
 /// sequential left-to-right accumulation matching the scalar fold.
 #[inline(always)]
+// audit:allow(panic) callers pass chunks_exact(LANES) slices, so lane indices below LANES are in bounds
 fn add_chunk(mut acc: f32, ca: &[f32], cb: &[f32]) -> f32 {
     let mut sq = [0.0f32; LANES];
     for i in 0..LANES {

@@ -85,7 +85,8 @@ fn parse_allow(comment: &str, line: usize, allows: &mut Vec<Allow>) {
     allows.push(Allow {
         line,
         rules,
-        has_reason: !reason.is_empty(),
+        // Punctuation-only "reasons" (`---`, `..`) don't justify anything.
+        has_reason: reason.chars().any(|c| c.is_ascii_alphanumeric()),
     });
 }
 
@@ -302,7 +303,7 @@ pub(crate) fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<u
 }
 
 /// Offset one past the `}` matching the `{` at `open`.
-fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+pub(crate) fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     for (k, &b) in bytes.iter().enumerate().skip(open) {
         match b {
@@ -330,10 +331,42 @@ pub struct ImplBlock {
     pub type_name: String,
 }
 
+/// An `impl`, trait-`impl`, or `trait` declaration block, with both sides
+/// of the item resolved — the general form [`crate::model`] builds the
+/// item/call model from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemBlock {
+    /// Byte range of the whole item.
+    pub start: usize,
+    pub end: usize,
+    /// The implementing type's base name (`Foo` in `impl Trait for Foo`,
+    /// `impl Foo`, …); for a `trait Foo { … }` declaration, the trait's own
+    /// name (its items are addressed as `Foo::item`).
+    pub type_name: String,
+    /// `Some(Trait)` for `impl Trait for Type` and for `trait Trait { … }`
+    /// declarations; `None` for inherent impls.
+    pub trait_name: Option<String>,
+}
+
 /// Finds every `impl [<…>] TRAIT for TYPE { … }` block for `trait_name`.
 pub fn impl_blocks(scrubbed: &str, trait_name: &str) -> Vec<ImplBlock> {
+    all_item_blocks(scrubbed)
+        .into_iter()
+        .filter(|b| b.trait_name.as_deref() == Some(trait_name) && b.type_name != trait_name)
+        .map(|b| ImplBlock {
+            start: b.start,
+            end: b.end,
+            type_name: b.type_name,
+        })
+        .collect()
+}
+
+/// Finds every `impl` block (inherent or trait) and every `trait`
+/// declaration in scrubbed text.
+pub fn all_item_blocks(scrubbed: &str) -> Vec<ItemBlock> {
     let bytes = scrubbed.as_bytes();
     let mut blocks = Vec::new();
+
     let mut i = 0usize;
     while let Some(pos) = find_word(bytes, b"impl", i) {
         i = pos + 4;
@@ -343,37 +376,77 @@ pub fn impl_blocks(scrubbed: &str, trait_name: &str) -> Vec<ImplBlock> {
             j = skip_angles(bytes, j);
         }
         j = skip_ws(bytes, j);
-        // Path to the trait; compare its final segment.
-        let (trait_seg, after_trait) = read_path_base(bytes, j);
-        if trait_seg != trait_name {
+        // First path: the trait (when `for` follows) or the inherent type.
+        let (first, after_first) = read_path_base(bytes, j);
+        if first.is_empty() {
             continue;
         }
-        let mut j = skip_ws(bytes, after_trait);
+        let mut j = skip_ws(bytes, after_first);
         if bytes.get(j) == Some(&b'<') {
             j = skip_angles(bytes, j);
             j = skip_ws(bytes, j);
         }
-        let (for_kw, after_for) = read_word(bytes, j);
-        if for_kw != "for" {
-            continue;
-        }
-        let j = skip_ws(bytes, after_for);
-        let (type_name, _) = read_path_base(bytes, j);
-        if type_name.is_empty() {
-            continue;
-        }
-        // The impl body: first `{` after the type.
-        let Some(open) = bytes[j..].iter().position(|&b| b == b'{').map(|p| j + p) else {
+        let (kw, after_kw) = read_word(bytes, j);
+        let (type_name, trait_name, after) = if kw == "for" {
+            let k = skip_ws(bytes, after_kw);
+            let (ty, after_ty) = read_path_base(bytes, k);
+            if ty.is_empty() {
+                continue;
+            }
+            (ty, Some(first), after_ty)
+        } else {
+            (first, None, after_first)
+        };
+        // The item body: first `{` after the type (where-clauses carry no
+        // braces of their own).
+        let Some(open) = bytes[after..]
+            .iter()
+            .position(|&b| b == b'{')
+            .map(|p| after + p)
+        else {
             continue;
         };
         let end = matching_brace(bytes, open).unwrap_or(bytes.len());
-        blocks.push(ImplBlock {
+        blocks.push(ItemBlock {
             start: pos,
             end,
             type_name,
+            trait_name,
         });
         i = end;
     }
+
+    let mut i = 0usize;
+    while let Some(pos) = find_word(bytes, b"trait", i) {
+        i = pos + 5;
+        let j = skip_ws(bytes, i);
+        let (name, after) = read_word(bytes, j);
+        if name.is_empty() {
+            continue;
+        }
+        // Supertrait bounds and generics carry no braces, so the first `{`
+        // opens the trait body.
+        let Some(open) = bytes[after..]
+            .iter()
+            .position(|&b| b == b'{' || b == b';')
+            .map(|p| after + p)
+        else {
+            continue;
+        };
+        if bytes[open] == b';' {
+            continue; // trait alias / marker declaration without a body
+        }
+        let end = matching_brace(bytes, open).unwrap_or(bytes.len());
+        blocks.push(ItemBlock {
+            start: pos,
+            end,
+            type_name: name.clone(),
+            trait_name: Some(name),
+        });
+        i = end;
+    }
+
+    blocks.sort_by_key(|b| b.start);
     blocks
 }
 
@@ -391,7 +464,7 @@ pub fn find_word(bytes: &[u8], word: &[u8], from: usize) -> Option<usize> {
     None
 }
 
-fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+pub(crate) fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
     while i < bytes.len() && bytes[i].is_ascii_whitespace() {
         i += 1;
     }
@@ -400,7 +473,7 @@ fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
 
 /// Skips a balanced `<…>` group starting at `i` (which must be `<`);
 /// tolerates `->` inside by not counting a `>` preceded by `-`.
-fn skip_angles(bytes: &[u8], mut i: usize) -> usize {
+pub(crate) fn skip_angles(bytes: &[u8], mut i: usize) -> usize {
     let mut depth = 0i32;
     while i < bytes.len() {
         match bytes[i] {
@@ -420,7 +493,7 @@ fn skip_angles(bytes: &[u8], mut i: usize) -> usize {
 }
 
 /// Reads one identifier; returns it and the offset past it.
-fn read_word(bytes: &[u8], i: usize) -> (String, usize) {
+pub(crate) fn read_word(bytes: &[u8], i: usize) -> (String, usize) {
     let mut j = i;
     while j < bytes.len() && is_ident(bytes[j]) {
         j += 1;
@@ -434,7 +507,7 @@ fn read_word(bytes: &[u8], i: usize) -> (String, usize) {
 /// Reads a (possibly `::`-qualified, possibly `&`-prefixed) path and
 /// returns its final segment's base identifier plus the offset past the
 /// whole path (excluding generic arguments).
-fn read_path_base(bytes: &[u8], i: usize) -> (String, usize) {
+pub(crate) fn read_path_base(bytes: &[u8], i: usize) -> (String, usize) {
     let mut j = skip_ws(bytes, i);
     while j < bytes.len() && (bytes[j] == b'&' || bytes[j] == b'\'') {
         if bytes[j] == b'\'' {

@@ -4,12 +4,22 @@
 //! The paper's security argument needs the client verifier to be *total*
 //! (any SP-supplied bytes must decode to `Err`, never a panic) and every
 //! digest computation to be bit-deterministic across threads and runs.
-//! PR 1/PR 2 check both properties dynamically; this crate enforces them
+//! The suite checks both properties dynamically; this crate enforces them
 //! statically on every build, with a hand-rolled token-level scanner
-//! (no syn, no external deps) and five rule families:
+//! (no syn, no external deps). On top of the scanner, [`model`] parses the
+//! workspace into a lightweight item/call model (fn items with their
+//! `impl`/`trait` context, call edges by name-based path resolution), and
+//! the rule families run over it:
 //!
-//! * `panic` — no `unwrap`/`expect`/panicking macros/unchecked indexing in
-//!   decode and verify paths.
+//! * `panic` — interprocedural panic-reachability: seeded from every
+//!   `impl Decode`, `Client::verify*`, and `wire::Reader` entry point and
+//!   propagated over the call graph; no `unwrap`/`expect`/panicking
+//!   macros/unchecked indexing/non-constant division anywhere reachable.
+//! * `alloc` — hostile-allocation dataflow: a wire-read length must pass a
+//!   bound check before it sizes an allocation, slice, or loop.
+//! * `lockorder`/`relaxed` — concurrency lints for `crates/obs` and
+//!   `crates/parallel`: nested lock acquisitions must follow the declared
+//!   manifest, and every `Ordering::Relaxed` needs a justification.
 //! * `determinism` — no HashMap/HashSet, wall-clock time, or float
 //!   reductions (outside `akm::kernel`) near digest/wire code.
 //! * `wire` — no `usize` lengths encoded raw; every `impl Encode` has a
@@ -18,11 +28,16 @@
 //! * `unsafe` — no `unsafe` outside an allowlist (currently empty).
 //!
 //! Escape hatch: `// audit:allow(<rule>) <reason>` on or directly above
-//! the offending line; annotations without a reason are themselves
-//! findings.
+//! the offending line — or on/above a `fn` signature to cover its whole
+//! body. Annotations without a reason, and annotations that suppress
+//! nothing, are themselves findings.
 
+pub mod concurrency;
+pub mod dataflow;
 pub mod lexer;
 pub mod manifest;
+pub mod model;
+pub mod reach;
 pub mod rules;
 
 use rules::{Finding, SourceFile};
@@ -52,6 +67,18 @@ pub fn count_files(root: &Path) -> io::Result<usize> {
     let mut manifests = Vec::new();
     collect(root, root, &mut sources, &mut manifests)?;
     Ok(sources.len() + manifests.len())
+}
+
+/// The workspace's source files and manifests, sorted by path — the same
+/// inputs `run_audit` analyzes, for tools (and tests) that want to build a
+/// [`model::Model`] over the real tree.
+pub fn collect_workspace(root: &Path) -> io::Result<(Vec<SourceFile>, Vec<(String, String)>)> {
+    let mut sources = Vec::new();
+    let mut manifests = Vec::new();
+    collect(root, root, &mut sources, &mut manifests)?;
+    sources.sort_by(|a, b| a.path.cmp(&b.path));
+    manifests.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok((sources, manifests))
 }
 
 fn collect(

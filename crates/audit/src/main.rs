@@ -1,21 +1,37 @@
-//! CI entry point: `imageproof-audit [workspace-root]`.
+//! CI entry point: `imageproof-audit [--json] [workspace-root]`.
 //!
-//! Prints one machine-readable `file:line rule message` per finding on
-//! stdout and exits 1 on any finding (2 on I/O failure), so `ci.sh` can
-//! gate on it directly.
+//! Default output is one machine-readable `file:line rule message` per
+//! finding on stdout, exit 1 on any finding (2 on I/O failure), so `ci.sh`
+//! can gate on it directly. With `--json`, stdout is instead a single JSON
+//! object (`findings`, `files_scanned`, per-rule `counts`) suitable as a
+//! CI artifact; the exit code is unchanged.
 
+use imageproof_audit::rules::Finding;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut json = false;
+    let mut root = ".".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            root = arg;
+        }
+    }
     let root = PathBuf::from(root);
     match imageproof_audit::run_audit(&root) {
         Ok(findings) => {
-            for f in &findings {
-                println!("{}:{} {} {}", f.path, f.line, f.rule, f.message);
-            }
             let scanned = imageproof_audit::count_files(&root).unwrap_or(0);
+            if json {
+                println!("{}", render_json(&findings, scanned));
+            } else {
+                for f in &findings {
+                    println!("{}:{} {} {}", f.path, f.line, f.rule, f.message);
+                }
+            }
             if findings.is_empty() {
                 eprintln!("audit: clean ({scanned} files scanned)");
                 ExitCode::SUCCESS
@@ -32,4 +48,52 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Hand-rolled JSON (the audit crate is dependency-free by design).
+fn render_json(findings: &[Finding], scanned: usize) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&f.path),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message)
+        ));
+    }
+    out.push_str(&format!("],\"files_scanned\":{scanned},\"counts\":{{"));
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{n}", json_str(rule)));
+    }
+    out.push_str("}}");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

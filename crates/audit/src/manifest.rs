@@ -35,10 +35,20 @@ fn is_dep_section(section: &str) -> bool {
     )
 }
 
-/// For `[dependencies.NAME]`-style headers, the declared crate name.
+/// `[patch.*]` and `[replace]` tables also name external crates — a patch
+/// pulling in a crate outside the offline set breaks the build the same
+/// way a dependency does.
+fn is_patch_section(section: &str) -> bool {
+    section == "replace" || section == "patch" || section.starts_with("patch.")
+}
+
+/// For `[dependencies.NAME]`- and `[patch.src.NAME]`-style headers, the
+/// declared crate name. In `[patch.SOURCE]` the trailing segment is the
+/// patched *source* (e.g. `crates-io`), not a crate — only a three-part
+/// `patch` header names one.
 fn dep_of_section_header(section: &str) -> Option<&str> {
     let (parent, name) = section.rsplit_once('.')?;
-    is_dep_section(parent).then_some(name)
+    (is_dep_section(parent) || parent.starts_with("patch.")).then_some(name)
 }
 
 /// Scans one manifest; returns a `deps` finding per disallowed crate.
@@ -61,16 +71,21 @@ pub fn analyze_manifest(path: &str, text: &str) -> Vec<Finding> {
             continue;
         }
         if let Some(section) = line.strip_prefix('[') {
-            let section = section.trim_end_matches(']').trim();
-            in_dep_section = is_dep_section(section);
+            let section = section.trim_start_matches('[').trim_end_matches(']').trim();
             if let Some(name) = dep_of_section_header(section) {
+                // Expanded form: the header names the crate; body lines
+                // are its attributes (version, path, …), not crates.
                 flag(name, idx + 1, &mut out);
+                in_dep_section = false;
+            } else {
+                in_dep_section = is_dep_section(section) || is_patch_section(section);
             }
             continue;
         }
         if in_dep_section {
+            // `:` covers `[replace]`'s `"crate:version" = …` keys.
             let name = line
-                .split(['=', '.', ' ', '\t'])
+                .split(['=', '.', ' ', '\t', ':'])
                 .next()
                 .unwrap_or("")
                 .trim_matches('"');
@@ -117,6 +132,49 @@ mod tests {
                     parking_lot = \"0.12\"\n";
         let f = analyze_manifest("Cargo.toml", toml);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn deps_rule_scans_build_dependencies() {
+        let toml = "[package]\nname = \"x\"\n\n[build-dependencies]\ncc = \"1.0\"\n";
+        let f = analyze_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cc"));
+    }
+
+    #[test]
+    fn deps_rule_scans_vendored_stub_dev_dependencies() {
+        // Vendored stubs are still workspace manifests: a stub quietly
+        // growing a dev-dependency outside the offline set must flag.
+        let toml = "[package]\nname = \"proptest\"\n\n[dev-dependencies]\nquickcheck = \"1\"\n";
+        let f = analyze_manifest("vendor/proptest/Cargo.toml", toml);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("quickcheck"));
+    }
+
+    #[test]
+    fn deps_rule_scans_target_specific_tables() {
+        let toml = "[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n\n\
+                    [target.'cfg(windows)'.dependencies.winapi]\nversion = \"0.3\"\n";
+        let f = analyze_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("libc"));
+        assert!(f[1].message.contains("winapi"));
+    }
+
+    #[test]
+    fn deps_rule_scans_patch_and_replace_tables() {
+        let toml = "[patch.crates-io]\n\
+                    serde = { path = \"vendor/serde\" }\n\
+                    libc = { path = \"vendor/libc\" }\n\n\
+                    [patch.crates-io.getrandom]\npath = \"vendor/getrandom\"\n\n\
+                    [replace]\n\"memoffset:0.6.4\" = { path = \"vendor/memoffset\" }\n";
+        let f = analyze_manifest("Cargo.toml", toml);
+        let names: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(names[0].contains("libc"), "{names:?}");
+        assert!(names[1].contains("getrandom"), "{names:?}");
+        assert!(names[2].contains("memoffset"), "{names:?}");
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Rule `panic`, interprocedural: panic-reachability over the call graph.
+//!
+//! The paper's security argument needs the client's verify procedure to be
+//! *total* on adversarial input: a malicious SP controls every byte the VO
+//! decoders and verifiers see, so nothing reachable from them may panic.
+//! Instead of a hand-maintained file list, this pass seeds a frontier from
+//! the three adversary-facing entry families —
+//!
+//! * every `impl Decode` item (and `Decode`'s own default methods),
+//! * every `Client` method whose name starts with `verify`,
+//! * every `wire::Reader` method,
+//!
+//! — propagates over the [`crate::model`] call graph, and flags any
+//! reachable `panic!`/`unwrap`/`expect`/unchecked-indexing/non-constant
+//! division site. Call resolution over-approximates, so the frontier can
+//! only be larger than the truth — the safe direction for this rule.
+
+use crate::lexer::{self, Scrubbed};
+use crate::model::Model;
+use crate::rules::{Finding, SourceFile, NON_INDEX_KEYWORDS};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Indices of the adversary-facing entry-point functions.
+pub fn seeds(model: &Model) -> Vec<usize> {
+    model
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.in_test)
+        .filter(|(_, d)| {
+            d.trait_name.as_deref() == Some("Decode")
+                || (d.self_type.as_deref() == Some("Client") && d.name.starts_with("verify"))
+                || d.self_type.as_deref() == Some("Reader")
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Operator/comparison traits whose impls are invoked through syntax
+/// (`a - b`, `a == b`, `.sort()`) rather than visible call sites. If a
+/// type participates in the frontier, its operator bodies run there too.
+const OP_TRAITS: &[&str] = &[
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Rem",
+    "Neg",
+    "Not",
+    "AddAssign",
+    "SubAssign",
+    "MulAssign",
+    "DivAssign",
+    "RemAssign",
+    "BitAnd",
+    "BitOr",
+    "BitXor",
+    "Shl",
+    "Shr",
+    "Index",
+    "IndexMut",
+    "PartialEq",
+    "Eq",
+    "PartialOrd",
+    "Ord",
+    "Hash",
+];
+
+/// The panic-audit frontier: every function reachable from a seed, mapped
+/// to the seed that first reached it.
+///
+/// Closed over operator impls: a `-` or `==` on a frontier type executes
+/// its `Sub`/`PartialEq` body without any `name(..)` call site, so those
+/// bodies join the frontier (as their own origins) until fixpoint.
+pub fn frontier(model: &Model) -> BTreeMap<usize, usize> {
+    let mut seed_set = seeds(model);
+    loop {
+        let reach = model.reachable_from(&seed_set);
+        let types: BTreeSet<&str> = reach
+            .keys()
+            .filter_map(|&f| model.fns[f].self_type.as_deref())
+            .collect();
+        let extra: Vec<usize> = model
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| {
+                !reach.contains_key(i)
+                    && !d.in_test
+                    && d.trait_name.as_deref().is_some_and(|t| OP_TRAITS.contains(&t))
+                    && d.self_type.as_deref().is_some_and(|t| types.contains(t))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if extra.is_empty() {
+            return reach;
+        }
+        seed_set.extend(extra);
+    }
+}
+
+/// Workspace-relative paths of every file containing a frontier function.
+/// The workspace integration test asserts this is a superset of the old
+/// hand-maintained `PANIC_FILES` list.
+pub fn frontier_files(model: &Model) -> BTreeSet<String> {
+    frontier(model)
+        .keys()
+        .map(|&f| model.file_paths[model.fns[f].file].clone())
+        .collect()
+}
+
+/// Runs the pass over every frontier function body.
+pub fn check(files: &[SourceFile], scrubbed: &[Scrubbed], model: &Model, out: &mut Vec<Finding>) {
+    for (&fi, &seed) in &frontier(model) {
+        let d = &model.fns[fi];
+        let Some((b0, b1)) = d.body else { continue };
+        let s = &scrubbed[d.file];
+        let f = &files[d.file];
+        let origin = model.fns[seed].qual_name();
+        for (pos, what) in panic_sites(&s.text, b0, b1) {
+            out.push(Finding {
+                path: f.path.clone(),
+                line: s.line_of(pos),
+                rule: "panic",
+                message: format!("{what} (panic-reachable from `{origin}`)"),
+            });
+        }
+    }
+}
+
+/// Scans `text[from..to]` for panic-capable sites; returns byte offsets
+/// with a description each.
+pub fn panic_sites(text: &str, from: usize, to: usize) -> Vec<(usize, String)> {
+    let bytes = text.as_bytes();
+    let to = to.min(bytes.len());
+    let mut sites: Vec<(usize, String)> = Vec::new();
+
+    for word in ["unwrap", "expect"] {
+        let mut i = from;
+        while let Some(pos) = lexer::find_word(bytes, word.as_bytes(), i) {
+            if pos >= to {
+                break;
+            }
+            i = pos + 1;
+            if pos == 0 || bytes[pos - 1] != b'.' || bytes.get(pos + word.len()) != Some(&b'(') {
+                continue;
+            }
+            sites.push((
+                pos,
+                format!(".{word}() may panic in a decode/verify path; return an error"),
+            ));
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        let mut i = from;
+        while let Some(pos) = lexer::find_word(bytes, mac.as_bytes(), i) {
+            if pos >= to {
+                break;
+            }
+            i = pos + 1;
+            if bytes.get(pos + mac.len()) != Some(&b'!') {
+                continue;
+            }
+            sites.push((pos, format!("{mac}! is forbidden in a decode/verify path")));
+        }
+    }
+    for pos in from..to {
+        if bytes[pos] == b'[' && indexes_before(text, pos) {
+            sites.push((
+                pos,
+                "unchecked indexing may panic in a decode/verify path; use .get()".to_string(),
+            ));
+        }
+        if (bytes[pos] == b'/' || bytes[pos] == b'%') && division_may_panic(text, pos) {
+            sites.push((
+                pos,
+                "division by a non-constant value may panic on zero; check the divisor or use checked_div".to_string(),
+            ));
+        }
+    }
+
+    sites.sort_by_key(|&(p, _)| p);
+    sites
+}
+
+/// Whether the `[` at `pos` is an index expression (its base is a value,
+/// not a type or keyword).
+fn indexes_before(text: &str, pos: usize) -> bool {
+    let bytes = text.as_bytes();
+    let Some(prev) = bytes[..pos].iter().rposition(|&c| !c.is_ascii_whitespace()) else {
+        return false;
+    };
+    let p = bytes[prev];
+    if lexer::is_ident(p) {
+        let mut start = prev;
+        while start > 0 && lexer::is_ident(bytes[start - 1]) {
+            start -= 1;
+        }
+        let token = &text[start..=prev];
+        // A lifetime before `[` (as in `&'a [T]`) is a type, not an index
+        // base; keywords like `mut`/`return` precede slice types/arrays.
+        let lifetime = start > 0 && bytes[start - 1] == b'\'';
+        !lifetime && !NON_INDEX_KEYWORDS.contains(&token)
+    } else {
+        p == b')' || p == b']'
+    }
+}
+
+/// Whether the `/` or `%` at `pos` is an integer division whose divisor
+/// could be zero: a binary operator (not a compound-assign source, not
+/// part of `/=`-style tokens handled the same) whose right operand is
+/// neither a nonzero literal, a float literal, nor an ALL_CAPS constant.
+fn division_may_panic(text: &str, pos: usize) -> bool {
+    let bytes = text.as_bytes();
+    // Must be binary: something value-like on the left.
+    let Some(prev) = bytes[..pos].iter().rposition(|&c| !c.is_ascii_whitespace()) else {
+        return false;
+    };
+    let p = bytes[prev];
+    if !(lexer::is_ident(p) || p == b')' || p == b']') {
+        return false; // `&/`, `(/`, … — not a division
+    }
+    // `/=` and `%=` divide too; `//`, `/*` never reach here (scrubbed).
+    let mut j = pos + 1;
+    if bytes.get(j) == Some(&b'=') {
+        j += 1;
+    }
+    let j = lexer::skip_ws(bytes, j);
+    let (divisor, after) = lexer::read_word(bytes, j);
+    if divisor.is_empty() {
+        // `/ (a + b)` etc. — conservatively flag; parens hide the value.
+        return true;
+    }
+    let b0 = divisor.as_bytes()[0];
+    if b0.is_ascii_digit() {
+        // Literal divisor: panics only if it is integer zero.
+        let is_float = divisor.contains('.')
+            || divisor.ends_with("f32")
+            || divisor.ends_with("f64")
+            || bytes.get(after) == Some(&b'.');
+        let zero = divisor
+            .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+            .chars()
+            .all(|c| c == '0' || c == '_');
+        return zero && !is_float;
+    }
+    // ALL_CAPS names are workspace constants, reviewed to be nonzero.
+    let named_const = divisor
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+    if named_const {
+        return false;
+    }
+    // `x / y.len()`-style divisors and plain variables may be zero. Skip
+    // float-typed names by suffix convention only; everything else flags.
+    !(divisor.ends_with("f32") || divisor.ends_with("f64"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_sites_finds_each_family() {
+        let src = "{ let a = x.unwrap(); let b = y.expect(\"\"); panic!(); v[0]; a / n; }";
+        let s = crate::lexer::scrub(src);
+        let msgs: Vec<String> = panic_sites(&s.text, 0, s.text.len())
+            .into_iter()
+            .map(|(_, m)| m)
+            .collect();
+        assert!(msgs.iter().any(|m| m.contains(".unwrap()")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains(".expect()")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("panic!")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("indexing")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("division")), "{msgs:?}");
+    }
+
+    #[test]
+    fn division_by_nonzero_literal_or_const_is_fine() {
+        for ok in [
+            "{ a / 2 }",
+            "{ a % 8 }",
+            "{ a / LANES }",
+            "{ a / 1_000 }",
+            "{ x / 2.0 }",
+            "{ v.len() / 32 }",
+        ] {
+            let s = crate::lexer::scrub(ok);
+            let hits: Vec<_> = panic_sites(&s.text, 0, s.text.len())
+                .into_iter()
+                .filter(|(_, m)| m.contains("division"))
+                .collect();
+            assert!(hits.is_empty(), "{ok}: {hits:?}");
+        }
+        for bad in ["{ a / 0 }", "{ a % n }", "{ a /= k }"] {
+            let s = crate::lexer::scrub(bad);
+            let hits: Vec<_> = panic_sites(&s.text, 0, s.text.len())
+                .into_iter()
+                .filter(|(_, m)| m.contains("division"))
+                .collect();
+            assert_eq!(hits.len(), 1, "{bad}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn operator_impls_of_frontier_types_join_the_frontier() {
+        let src = "impl Decode for Foo { fn decode(r: &mut Reader) -> Foo { Foo::helper() } }\n\
+                   impl Foo { fn helper() -> Foo { Foo } }\n\
+                   impl Sub for Foo { fn sub(self, rhs: Foo) -> Foo { Foo } }\n\
+                   impl Sub for Unrelated { fn sub(self, rhs: Unrelated) -> Unrelated { Unrelated } }";
+        let files = vec![SourceFile {
+            path: "crates/x/src/lib.rs".to_string(),
+            text: src.to_string(),
+        }];
+        let scrubbed: Vec<Scrubbed> = files.iter().map(|f| lexer::scrub(&f.text)).collect();
+        let m = Model::build(&files, &scrubbed);
+        let fr = frontier(&m);
+        let sub_foo = m
+            .fns
+            .iter()
+            .position(|d| d.name == "sub" && d.self_type.as_deref() == Some("Foo"))
+            .unwrap();
+        let sub_other = m
+            .fns
+            .iter()
+            .position(|d| d.name == "sub" && d.self_type.as_deref() == Some("Unrelated"))
+            .unwrap();
+        assert!(fr.contains_key(&sub_foo), "Foo's Sub impl runs via `-`");
+        assert!(!fr.contains_key(&sub_other), "Unrelated never enters");
+    }
+
+    #[test]
+    fn slice_types_and_keyword_brackets_do_not_index() {
+        let src = "{ let x: &mut [u8] = buf; let y: [u8; 2] = [1, 2]; return [a, b]; }";
+        let s = crate::lexer::scrub(src);
+        let hits: Vec<_> = panic_sites(&s.text, 0, s.text.len())
+            .into_iter()
+            .filter(|(_, m)| m.contains("indexing"))
+            .collect();
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

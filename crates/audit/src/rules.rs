@@ -9,9 +9,19 @@
 //! bit-deterministic across threads and runs.
 
 use crate::lexer::{self, Scrubbed};
+use crate::model::Model;
 
 /// Rule names a `// audit:allow(<rule>) <reason>` annotation may name.
-pub const SUPPRESSIBLE: &[&str] = &["panic", "determinism", "wire", "deps", "unsafe"];
+pub const SUPPRESSIBLE: &[&str] = &[
+    "panic",
+    "determinism",
+    "wire",
+    "deps",
+    "unsafe",
+    "alloc",
+    "lockorder",
+    "relaxed",
+];
 
 /// One audit finding, printed as `path:line rule message`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -28,19 +38,6 @@ pub struct SourceFile {
     pub path: String,
     pub text: String,
 }
-
-/// Files whose entire non-test code must be panic-free: the VO decode and
-/// client verify paths. A malicious SP controls every byte these see.
-const PANIC_FILES: &[&str] = &[
-    "crates/crypto/src/wire.rs",
-    "crates/invindex/src/verify.rs",
-    "crates/invindex/src/vo.rs",
-    "crates/invindex/src/bounds.rs",
-    "crates/mrkd/src/verify.rs",
-    "crates/mrkd/src/vo.rs",
-    "crates/core/src/client.rs",
-    "crates/core/src/shard.rs",
-];
 
 /// Path prefixes exempt from the determinism rule: measurement harnesses
 /// and demo binaries that never feed a digest.
@@ -63,120 +60,43 @@ const UNSAFE_ALLOW: &[&str] = &[];
 
 /// Keywords that may directly precede `[` without it being an index
 /// expression (`&mut [u8]`, `return [a, b]`, …).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "mut", "dyn", "impl", "return", "else", "in", "match", "if", "as", "move", "ref", "const",
     "break", "static", "where",
 ];
 
-/// Runs every source-level rule over the workspace and applies
-/// `audit:allow` suppression.
+/// Runs every source-level rule over the workspace — the per-file lexical
+/// rules plus the three interprocedural passes over the item/call model —
+/// and applies `audit:allow` suppression with stale-annotation detection.
 pub fn analyze_sources(files: &[SourceFile]) -> Vec<Finding> {
     let scrubbed: Vec<Scrubbed> = files.iter().map(|f| lexer::scrub(&f.text)).collect();
+    let model = Model::build(files, &scrubbed);
     let mut findings = Vec::new();
     for (f, s) in files.iter().zip(&scrubbed) {
         check_allows(f, s, &mut findings);
         check_unsafe(f, s, &mut findings);
         if !is_test_path(&f.path) {
-            check_panic(f, s, &mut findings);
             check_determinism(f, s, &mut findings);
             check_wire_lines(f, s, &mut findings);
         }
     }
     check_wire_pairing(files, &scrubbed, &mut findings);
-    suppress(files, &scrubbed, findings)
+    crate::reach::check(files, &scrubbed, &model, &mut findings);
+    crate::dataflow::check(files, &scrubbed, &model, &mut findings);
+    crate::concurrency::check(files, &scrubbed, &model, &mut findings);
+    findings.sort();
+    findings.dedup();
+    apply_allows(files, &scrubbed, &model, findings)
 }
 
 /// Integration-test and bench files are test code in their entirety (they
 /// carry no `#[cfg(test)]` attribute).
-fn is_test_path(path: &str) -> bool {
+pub fn is_test_path(path: &str) -> bool {
     path.split('/').any(|c| c == "tests" || c == "benches")
 }
 
 fn in_any(regions: &[(usize, usize)], pos: usize) -> bool {
     regions.iter().any(|&(a, b)| pos >= a && pos < b)
-}
-
-/// Rule `panic`: no `.unwrap()`, `.expect()`, panicking macros, or
-/// unchecked indexing in decode/verify regions.
-fn check_panic(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
-    let bytes = s.text.as_bytes();
-    let tests = lexer::test_regions(&s.text);
-    let mut regions: Vec<(usize, usize)> = Vec::new();
-    if PANIC_FILES.contains(&f.path.as_str()) {
-        regions.push((0, bytes.len()));
-    }
-    for b in lexer::impl_blocks(&s.text, "Decode") {
-        regions.push((b.start, b.end));
-    }
-    if regions.is_empty() {
-        return;
-    }
-    let live = |pos: usize| in_any(&regions, pos) && !in_any(&tests, pos);
-
-    for word in ["unwrap", "expect"] {
-        let mut i = 0;
-        while let Some(pos) = lexer::find_word(bytes, word.as_bytes(), i) {
-            i = pos + 1;
-            if !live(pos) || pos == 0 || bytes[pos - 1] != b'.' {
-                continue;
-            }
-            if bytes.get(pos + word.len()) != Some(&b'(') {
-                continue;
-            }
-            out.push(Finding {
-                path: f.path.clone(),
-                line: s.line_of(pos),
-                rule: "panic",
-                message: format!(".{word}() may panic in a decode/verify path; return an error"),
-            });
-        }
-    }
-    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
-        let mut i = 0;
-        while let Some(pos) = lexer::find_word(bytes, mac.as_bytes(), i) {
-            i = pos + 1;
-            if !live(pos) || bytes.get(pos + mac.len()) != Some(&b'!') {
-                continue;
-            }
-            out.push(Finding {
-                path: f.path.clone(),
-                line: s.line_of(pos),
-                rule: "panic",
-                message: format!("{mac}! is forbidden in a decode/verify path"),
-            });
-        }
-    }
-    for (pos, &b) in bytes.iter().enumerate() {
-        if b != b'[' || !live(pos) {
-            continue;
-        }
-        let Some(prev) = bytes[..pos].iter().rposition(|&c| !c.is_ascii_whitespace()) else {
-            continue;
-        };
-        let p = bytes[prev];
-        let indexes = if lexer::is_ident(p) {
-            let mut start = prev;
-            while start > 0 && lexer::is_ident(bytes[start - 1]) {
-                start -= 1;
-            }
-            let token = &s.text[start..=prev];
-            // A lifetime before `[` (as in `&'a [T]`) is a type, not an
-            // index base.
-            let lifetime = start > 0 && bytes[start - 1] == b'\'';
-            !lifetime && !NON_INDEX_KEYWORDS.contains(&token)
-        } else {
-            p == b')' || p == b']'
-        };
-        if indexes {
-            out.push(Finding {
-                path: f.path.clone(),
-                line: s.line_of(pos),
-                rule: "panic",
-                message: "unchecked indexing may panic in a decode/verify path; use .get()"
-                    .to_string(),
-            });
-        }
-    }
 }
 
 /// Rule `determinism`: no wall-clock types anywhere outside `crates/obs`,
@@ -441,24 +361,83 @@ fn check_allows(f: &SourceFile, s: &Scrubbed, out: &mut Vec<Finding>) {
     }
 }
 
-/// Drops findings excused by an `audit:allow` on the same line or the line
-/// above. Findings about the annotations themselves are never suppressed.
-fn suppress(
+/// Drops findings excused by an `audit:allow`, then reports any allow
+/// that excused nothing (allow-rot). Findings about the annotations
+/// themselves are never suppressed.
+///
+/// An allow's scope is its own line plus the next — unless a function
+/// signature sits on one of those lines, in which case the scope widens to
+/// the whole function body (a *fn-level allow*, for code like fixed-size
+/// crypto kernels whose every line indexes arrays).
+fn apply_allows(
     files: &[SourceFile],
     scrubbed: &[Scrubbed],
+    model: &Model,
     mut findings: Vec<Finding>,
 ) -> Vec<Finding> {
+    struct Scope {
+        path: String,
+        lines: (usize, usize), // inclusive
+        rules: Vec<String>,
+        well_formed: bool,
+        used: bool,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    for (fidx, (f, s)) in files.iter().zip(scrubbed).enumerate() {
+        for a in &s.allows {
+            let mut lines = (a.line, a.line + 1);
+            for d in &model.fns {
+                if d.file != fidx || (d.line != a.line && d.line != a.line + 1) {
+                    continue;
+                }
+                if let Some((_, bend)) = d.body {
+                    lines.1 = lines.1.max(s.line_of(bend.saturating_sub(1)));
+                }
+            }
+            let well_formed = !a.rules.is_empty()
+                && a.has_reason
+                && a.rules.iter().all(|r| SUPPRESSIBLE.contains(&r.as_str()));
+            scopes.push(Scope {
+                path: f.path.clone(),
+                lines,
+                rules: a.rules.clone(),
+                well_formed,
+                used: false,
+            });
+        }
+    }
+
     findings.retain(|fi| {
         if fi.rule == "allow" {
             return true;
         }
-        let Some(idx) = files.iter().position(|f| f.path == fi.path) else {
-            return true;
-        };
-        !scrubbed[idx].allows.iter().any(|a| {
-            a.rules.iter().any(|r| r == fi.rule) && (a.line == fi.line || a.line + 1 == fi.line)
-        })
+        for sc in scopes.iter_mut() {
+            if sc.path == fi.path
+                && sc.lines.0 <= fi.line
+                && fi.line <= sc.lines.1
+                && sc.rules.iter().any(|r| r == fi.rule)
+            {
+                sc.used = true;
+                return false;
+            }
+        }
+        true
     });
+
+    for sc in &scopes {
+        if sc.well_formed && !sc.used {
+            findings.push(Finding {
+                path: sc.path.clone(),
+                line: sc.lines.0,
+                rule: "allow",
+                message: format!(
+                    "audit:allow({}) suppresses no findings; remove the stale annotation",
+                    sc.rules.join(", ")
+                ),
+            });
+        }
+    }
+    findings.sort();
     findings
 }
 
@@ -480,20 +459,26 @@ mod tests {
     // --- rule `panic`: known-bad fixtures must be flagged ---
 
     #[test]
-    fn panic_rule_flags_unwrap_in_verify_path() {
+    fn panic_rule_flags_unwrap_in_client_verify_methods() {
         let f = one(
-            "crates/mrkd/src/verify.rs",
-            "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+            "crates/core/src/client.rs",
+            "impl Client { fn verify(&self, x: Option<u32>) -> u32 { x.unwrap() } }",
         );
         assert!(rules_of(&f).contains(&"panic"), "{f:?}");
+        assert!(
+            f.iter().any(|x| x.message.contains("Client::verify")),
+            "{f:?}"
+        );
     }
 
     #[test]
-    fn panic_rule_flags_expect_macros_and_indexing() {
-        let src = "fn f(v: Vec<u8>) -> u8 {\n\
+    fn panic_rule_flags_expect_macros_and_indexing_in_reader_methods() {
+        let src = "impl Reader {\n\
+                   fn f(&self, v: Vec<u8>) -> u8 {\n\
                    let a = v.first().expect(\"boom\");\n\
                    if v.is_empty() { unreachable!() }\n\
                    v[0]\n\
+                   }\n\
                    }";
         let f = one("crates/crypto/src/wire.rs", src);
         let lines: Vec<usize> = f
@@ -501,7 +486,7 @@ mod tests {
             .filter(|x| x.rule == "panic")
             .map(|x| x.line)
             .collect();
-        assert_eq!(lines, vec![2, 3, 4], "{f:?}");
+        assert_eq!(lines, vec![3, 4, 5], "{f:?}");
     }
 
     #[test]
@@ -511,26 +496,55 @@ mod tests {
         assert!(rules_of(&f).contains(&"panic"), "{f:?}");
     }
 
+    #[test]
+    fn panic_rule_walks_the_call_graph_to_helpers() {
+        // The interprocedural core: the panic site is one call away from
+        // the Decode entry point, in a fn no hand-maintained list names.
+        let src = "impl Decode for Foo { fn from_wire(d: &[u8]) -> u8 { helper(d) } }\n\
+                   fn helper(d: &[u8]) -> u8 { d[0] }";
+        let f = one("crates/invindex/src/newmod.rs", src);
+        assert!(
+            f.iter().any(|x| x.rule == "panic"
+                && x.line == 2
+                && x.message.contains("Foo::from_wire")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn panic_rule_flags_nonconstant_division_in_reach() {
+        let src = "impl Client { fn verify_avg(&self, sum: u64, n: u64) -> u64 { sum / n } }";
+        let f = one("crates/core/src/client.rs", src);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "panic" && x.message.contains("division")),
+            "{f:?}"
+        );
+    }
+
     // --- rule `panic`: known-good fixtures must pass ---
 
     #[test]
     fn panic_rule_passes_checked_code_and_test_modules() {
-        let src = "fn f<'a>(buf: &mut [u8], v: &'a [u8]) -> Option<u8> {\n\
+        let src = "impl Reader {\n\
+                   fn f<'a>(&self, buf: &mut [u8], v: &'a [u8]) -> Option<u8> {\n\
                    let x: [u8; 2] = [1, 2];\n\
                    let _ = (buf, x);\n\
                    v.get(0).copied()\n\
                    }\n\
+                   }\n\
                    #[cfg(test)]\n\
                    mod tests { fn t(v: Vec<u8>) -> u8 { v[0] } }";
-        let f = one("crates/mrkd/src/verify.rs", src);
+        let f = one("crates/crypto/src/wire.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
-    fn panic_rule_ignores_files_outside_the_verify_paths() {
+    fn panic_rule_ignores_unreachable_helpers() {
+        // Owner-side code no Decode/verify/Reader entry point reaches.
         let f = one(
             "crates/mrkd/src/build.rs",
-            "fn f(v: Vec<u8>) -> u8 { v[0] }",
+            "fn build_index(v: Vec<u8>) -> u8 { v[0] }",
         );
         assert!(f.is_empty(), "{f:?}");
     }
@@ -707,28 +721,60 @@ mod tests {
 
     #[test]
     fn allow_suppresses_on_same_line_and_line_above() {
-        let above = "fn f(x: Option<u32>) -> u32 {\n\
+        let above = "impl Client { fn verify(&self, x: Option<u32>) -> u32 {\n\
                      // audit:allow(panic) fixture: checked by caller\n\
                      x.unwrap()\n\
-                     }";
-        assert!(one("crates/mrkd/src/verify.rs", above).is_empty());
-        let trailing =
-            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // audit:allow(panic) fixture: checked";
-        assert!(one("crates/mrkd/src/verify.rs", trailing).is_empty());
+                     } }";
+        assert!(one("crates/core/src/client.rs", above).is_empty());
+        let trailing = "impl Client { fn verify(&self, x: Option<u32>) -> u32 { x.unwrap() } } // audit:allow(panic) fixture: checked";
+        assert!(one("crates/core/src/client.rs", trailing).is_empty());
     }
 
     #[test]
     fn allow_does_not_suppress_other_rules_or_far_lines() {
-        let wrong_rule = "fn f(x: Option<u32>) -> u32 {\n\
+        let wrong_rule = "impl Client { fn verify(&self, x: Option<u32>) -> u32 {\n\
                           // audit:allow(determinism) wrong rule named\n\
                           x.unwrap()\n\
-                          }";
-        let f = one("crates/mrkd/src/verify.rs", wrong_rule);
+                          } }";
+        let f = one("crates/core/src/client.rs", wrong_rule);
         assert!(rules_of(&f).contains(&"panic"), "{f:?}");
-        let far =
-            "// audit:allow(panic) too far away\n\n\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
-        let f = one("crates/mrkd/src/verify.rs", far);
+        // ...and the mis-aimed annotation is itself reported as stale.
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "allow" && x.message.contains("suppresses no findings")),
+            "{f:?}"
+        );
+        let far = "// audit:allow(panic) too far away\n\n\nimpl Client { fn verify(&self, x: Option<u32>) -> u32 { x.unwrap() } }";
+        let f = one("crates/core/src/client.rs", far);
         assert!(rules_of(&f).contains(&"panic"), "{f:?}");
+    }
+
+    #[test]
+    fn fn_level_allow_covers_the_whole_body() {
+        // An allow on (or just above) a fn signature widens to the body —
+        // the escape hatch for fixed-size kernels whose every line indexes.
+        let src = "impl Reader {\n\
+                   // audit:allow(panic) fixture kernel: indices proven in range by the type\n\
+                   fn kernel(&self, v: &[u8; 4]) -> u8 {\n\
+                   let a = v[0];\n\
+                   let b = v[3];\n\
+                   a ^ b\n\
+                   }\n\
+                   }";
+        let f = one("crates/crypto/src/wire.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stale_allow_is_flagged() {
+        let src = "// audit:allow(panic) nothing here can panic anymore\n\
+                   fn calm() -> u32 { 1 }";
+        let f = one("crates/core/src/client.rs", src);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "allow" && x.message.contains("suppresses no findings")),
+            "{f:?}"
+        );
     }
 
     #[test]
@@ -751,6 +797,61 @@ mod tests {
                 .any(|x| x.rule == "allow" && x.message.contains("unknown rule")),
             "{f:?}"
         );
+    }
+
+    #[test]
+    fn punctuation_only_reason_is_rejected() {
+        let f = one(
+            "crates/mrkd/src/verify.rs",
+            "// audit:allow(panic) ---\nfn f() {}",
+        );
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "allow" && x.message.contains("justification")),
+            "{f:?}"
+        );
+    }
+
+    // --- rules `alloc` / `lockorder` / `relaxed` through the full pipeline ---
+
+    #[test]
+    fn alloc_rule_fires_and_is_suppressible() {
+        let bad = "impl Decode for Foo { fn from_wire(r: &mut Reader) -> Foo {\n\
+                   let n = r.varint();\n\
+                   let v = Vec::with_capacity(n as usize);\n\
+                   Foo\n\
+                   } }";
+        let f = one("crates/invindex/src/vo.rs", bad);
+        assert!(rules_of(&f).contains(&"alloc"), "{f:?}");
+        let allowed = "impl Decode for Foo { fn from_wire(r: &mut Reader) -> Foo {\n\
+                   let n = r.varint();\n\
+                   // audit:allow(alloc) fixture: capacity capped by caller contract\n\
+                   let v = Vec::with_capacity(n as usize);\n\
+                   Foo\n\
+                   } }";
+        let f = one("crates/invindex/src/vo.rs", allowed);
+        assert!(!rules_of(&f).contains(&"alloc"), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_rule_fires_and_allow_with_reason_suppresses() {
+        let bad = "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let f = one("crates/obs/src/metrics.rs", bad);
+        assert!(rules_of(&f).contains(&"relaxed"), "{f:?}");
+        let good = "fn bump(c: &AtomicU64) {\n\
+                    c.fetch_add(1, Ordering::Relaxed); // audit:allow(relaxed) monotonic counter; readers tolerate lag\n\
+                    }";
+        let f = one("crates/obs/src/metrics.rs", good);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lockorder_rule_fires_through_the_pipeline() {
+        let src = "impl Registry { fn bad(&self) -> (usize, usize) {\n\
+                   (self.gauges.lock().len(), self.counters.lock().len())\n\
+                   } }";
+        let f = one("crates/obs/src/metrics.rs", src);
+        assert!(rules_of(&f).contains(&"lockorder"), "{f:?}");
     }
 
     #[test]

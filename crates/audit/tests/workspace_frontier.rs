@@ -1,0 +1,64 @@
+//! Integration checks over the real workspace tree.
+//!
+//! * The auto-discovered panic frontier must cover every file the old
+//!   hand-maintained `PANIC_FILES` list named — deleting the list must
+//!   never silently shrink coverage.
+//! * The tree itself must be clean: `run_audit` over the checked-in
+//!   sources returns zero findings (the same property ci.sh gates on).
+
+use imageproof_audit::lexer::scrub;
+use imageproof_audit::model::Model;
+use imageproof_audit::{collect_workspace, reach, run_audit};
+use std::path::Path;
+
+/// The files the deleted `PANIC_FILES` allowlist used to name. The
+/// call-graph frontier must rediscover every one of them on its own.
+const OLD_PANIC_FILES: &[&str] = &[
+    "crates/crypto/src/wire.rs",
+    "crates/invindex/src/verify.rs",
+    "crates/invindex/src/vo.rs",
+    "crates/invindex/src/bounds.rs",
+    "crates/mrkd/src/verify.rs",
+    "crates/mrkd/src/vo.rs",
+    "crates/core/src/client.rs",
+    "crates/core/src/shard.rs",
+];
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn frontier_covers_the_old_hand_maintained_list() {
+    let (sources, _) = collect_workspace(workspace_root()).expect("walk workspace");
+    let scrubbed: Vec<_> = sources.iter().map(|f| scrub(&f.text)).collect();
+    let model = Model::build(&sources, &scrubbed);
+    let files = reach::frontier_files(&model);
+    for old in OLD_PANIC_FILES {
+        assert!(
+            files.contains(*old),
+            "auto-discovered frontier lost {old}; it covers: {files:#?}"
+        );
+    }
+    // The frontier should be a *strict* superset: the whole point of the
+    // call-graph pass is reaching code the hand list never named (kernels,
+    // cuckoo filters, the mrkd traversal, ...).
+    assert!(
+        files.len() > OLD_PANIC_FILES.len(),
+        "frontier no larger than the old list: {files:#?}"
+    );
+}
+
+#[test]
+fn checked_in_tree_is_clean() {
+    let findings = run_audit(workspace_root()).expect("audit workspace");
+    assert!(
+        findings.is_empty(),
+        "the checked-in tree must audit clean:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("{}:{} {} {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

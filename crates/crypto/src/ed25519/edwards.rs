@@ -17,6 +17,7 @@ struct Constants {
     base: EdwardsPoint,
 }
 
+// audit:allow(panic) index 31 is within [u8; 32]; the hard-coded base point always decompresses (covered by tests)
 fn constants() -> &'static Constants {
     static CACHE: OnceLock<Constants> = OnceLock::new();
     CACHE.get_or_init(|| {
@@ -63,6 +64,7 @@ impl EdwardsPoint {
         Self::decompress_with_d(bytes, constants().d)
     }
 
+    // audit:allow(panic) sign-bit accesses use the constant index 31 into [u8; 32]
     fn decompress_with_d(bytes: &[u8; 32], d: FieldElement) -> Option<Self> {
         let sign = bytes[31] >> 7 == 1;
         let y = FieldElement::from_bytes(bytes);

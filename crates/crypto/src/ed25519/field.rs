@@ -29,6 +29,7 @@ impl FieldElement {
     pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
 
     /// Constructs an element from a small integer.
+    // audit:allow(panic) limb indices are the constants 0 and 1 into [u64; 5]
     pub fn from_u64(v: u64) -> Self {
         let mut fe = FieldElement([0; 5]);
         fe.0[0] = v & MASK_51;
@@ -38,6 +39,7 @@ impl FieldElement {
 
     /// Decodes 32 little-endian bytes, ignoring the top (sign) bit as
     /// RFC 8032 prescribes for point decompression inputs.
+    // audit:allow(panic) byte ranges are compile-time constants within [u8; 32] and an 8-byte buffer
     pub fn from_bytes(bytes: &[u8; 32]) -> Self {
         let load = |range: std::ops::Range<usize>| -> u64 {
             let mut buf = [0u8; 8];
@@ -54,6 +56,7 @@ impl FieldElement {
     }
 
     /// Encodes the fully-reduced canonical 32-byte little-endian form.
+    // audit:allow(panic) constant limb indices into the fixed [u64; 5] representation
     pub fn to_bytes(self) -> [u8; 32] {
         let mut h = self.weak_reduce().0;
         // Compute q = 1 iff h >= p, by simulating the addition of 19 and the
@@ -88,6 +91,7 @@ impl FieldElement {
     }
 
     /// Carries each limb into the next, leaving limbs below 2^52.
+    // audit:allow(panic) limb indices run over 0..4 into [u64; 5], in range by construction
     fn weak_reduce(self) -> Self {
         let mut l = self.0;
         let mut carry = l[4] >> 51;
@@ -125,6 +129,7 @@ impl FieldElement {
     }
 
     /// Multiplicative inverse via Fermat: `self^(p-2)`.
+    // audit:allow(panic) exponent bytes 0 and 31 are constant indices into [u8; 32]
     pub fn invert(self) -> Self {
         // p - 2 = 2^255 - 21.
         let mut exp = [0xffu8; 32];
@@ -134,6 +139,7 @@ impl FieldElement {
     }
 
     /// `self^((p-5)/8)`, the exponent used by the Ed25519 square-root step.
+    // audit:allow(panic) exponent bytes 0 and 31 are constant indices into [u8; 32]
     pub fn pow_p58(self) -> Self {
         // (p - 5) / 8 = 2^252 - 3.
         let mut exp = [0xffu8; 32];
@@ -149,11 +155,13 @@ impl FieldElement {
 
     /// The "sign" of a field element per RFC 8032: the low bit of the
     /// canonical encoding.
+    // audit:allow(panic) indexes byte 0 of the fixed 32-byte encoding
     pub fn is_negative(self) -> bool {
         self.to_bytes()[0] & 1 == 1
     }
 
     /// sqrt(-1) = 2^((p-1)/4), computed once on first use.
+    // audit:allow(panic) exponent bytes 0 and 31 are constant indices into [u8; 32]
     pub fn sqrt_m1() -> Self {
         use std::sync::OnceLock;
         static CACHE: OnceLock<[u64; 5]> = OnceLock::new();
@@ -188,6 +196,7 @@ impl Add for FieldElement {
 
 impl Sub for FieldElement {
     type Output = FieldElement;
+    // audit:allow(panic) limb indices run over 0..5 into [u64; 5]
     fn sub(self, rhs: FieldElement) -> FieldElement {
         let mut l = self.0;
         for i in 0..5 {
@@ -206,6 +215,7 @@ impl Neg for FieldElement {
 
 impl Mul for FieldElement {
     type Output = FieldElement;
+    // audit:allow(panic) schoolbook limb products use constant indices into [u64; 5]
     fn mul(self, rhs: FieldElement) -> FieldElement {
         let a = self.weak_reduce().0;
         let b = rhs.weak_reduce().0;

@@ -118,6 +118,7 @@ impl SigningKey {
 impl PublicKey {
     /// Verifies `signature` over `message` (RFC 8032 §5.1.7, cofactorless
     /// equation `[S]B = R + [k]A`, with strict canonical-`S` checking).
+    // audit:allow(panic) halves of the fixed [u8; 64] signature always convert to [u8; 32]
     pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
         let r_bytes: [u8; 32] = signature.0[..32].try_into().expect("split");
         let s_bytes: [u8; 32] = signature.0[32..].try_into().expect("split");
@@ -154,6 +155,7 @@ impl PublicKey {
 /// cannot choose signatures after seeing the coefficients). A `true` result
 /// is sound with probability `1 - 2^-128`; on `false` callers fall back to
 /// individual verification to identify the culprit.
+// audit:allow(panic) signature halves and the 16-byte coefficient prefix are constant splits of fixed-size arrays
 pub fn verify_batch(items: &[(&[u8], PublicKey, Signature)]) -> bool {
     if items.is_empty() {
         return true;

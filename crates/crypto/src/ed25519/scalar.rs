@@ -17,6 +17,7 @@ pub const L: [u64; 4] = [
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Scalar(pub(crate) [u64; 4]);
 
+// audit:allow(panic) limb indices run over 0..4 into [u64; 4]
 fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
     for i in (0..4).rev() {
         if a[i] != b[i] {
@@ -26,6 +27,7 @@ fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
     true
 }
 
+// audit:allow(panic) limb indices run over 0..4 into [u64; 4]
 fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
     let mut borrow = 0u64;
     for i in 0..4 {
@@ -44,6 +46,7 @@ impl Scalar {
     /// Reduces a 512-bit little-endian integer modulo `l`.
     ///
     /// This is how RFC 8032 turns SHA-512 outputs into scalars.
+    // audit:allow(panic) chunks_exact(8) yields exactly 8-byte chunks, so the conversion is infallible
     pub fn from_bytes_wide(bytes: &[u8; 64]) -> Self {
         let mut limbs = [0u64; 8];
         for (limb, chunk) in limbs.iter_mut().zip(bytes.chunks_exact(8)) {
@@ -53,6 +56,7 @@ impl Scalar {
     }
 
     /// Interprets 32 little-endian bytes, reducing modulo `l`.
+    // audit:allow(panic) the ..32 range always fits the 64-byte widening buffer
     pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Self {
         let mut wide = [0u8; 64];
         wide[..32].copy_from_slice(bytes);
@@ -63,6 +67,7 @@ impl Scalar {
     ///
     /// Verification uses this to reject signature malleability (RFC 8032
     /// requires `0 <= S < l`).
+    // audit:allow(panic) chunks_exact(8) yields exactly 8-byte chunks, so the conversion is infallible
     pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Self> {
         let mut limbs = [0u64; 4];
         for (limb, chunk) in limbs.iter_mut().zip(bytes.chunks_exact(8)) {
@@ -104,6 +109,7 @@ impl Scalar {
 
     /// `(self * rhs) mod l`.
     #[allow(clippy::should_implement_trait)]
+    // audit:allow(panic) product indices i + j stay below 8 for i, j in 0..4
     pub fn mul(self, rhs: Scalar) -> Scalar {
         let mut wide = [0u64; 8];
         for i in 0..4 {
@@ -120,6 +126,7 @@ impl Scalar {
 
     /// Reduces eight little-endian limbs (512 bits) modulo `l` by binary long
     /// division: fold one bit at a time from the most significant end.
+    // audit:allow(panic) limb index runs over 0..8 into [u64; 8]
     fn reduce_wide(limbs: [u64; 8]) -> Scalar {
         let mut r = [0u64; 4];
         for i in (0..8).rev() {
@@ -145,9 +152,11 @@ impl Scalar {
         self.0 == [0u64; 4]
     }
 
-    /// Returns the `i`-th bit (little-endian) of the scalar.
+    /// Returns the `i`-th bit (little-endian) of the scalar; bits at or
+    /// beyond 256 read as zero.
     pub fn bit(&self, i: usize) -> bool {
-        (self.0[i / 64] >> (i % 64)) & 1 == 1
+        let limb = self.0.get(i / 64).copied().unwrap_or(0);
+        (limb >> (i % 64)) & 1 == 1
     }
 }
 

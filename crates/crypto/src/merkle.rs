@@ -87,6 +87,7 @@ impl MerkleTree {
     /// previous level, so nodes within a level hash independently and are
     /// merged back in index order — levels (and the root) are bit-identical
     /// to the serial build.
+    // audit:allow(panic) levels is seeded with the leaf level and only grows; chunks(2) yields 1- or 2-element slices
     pub fn from_leaf_digests_with(leaves: Vec<Digest>, conc: Concurrency) -> Self {
         assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
         let mut levels = vec![leaves];
@@ -107,11 +108,13 @@ impl MerkleTree {
     }
 
     /// The root digest.
+    // audit:allow(panic) construction guarantees a non-empty top level of exactly one digest
     pub fn root(&self) -> Digest {
         self.levels.last().expect("non-empty")[0]
     }
 
     /// Number of leaves.
+    // audit:allow(panic) construction always stores the leaf level at index 0
     pub fn len(&self) -> usize {
         self.levels[0].len()
     }
@@ -196,6 +199,7 @@ impl MerkleTree {
     ///
     /// # Panics
     /// Panics when `indices` is empty, unsorted, or out of range.
+    // audit:allow(panic) owner-side prover: inputs are asserted on entry; loop indices are guarded by covered.len() and level.len()
     pub fn prove_subset(&self, indices: &[usize]) -> SubsetProof {
         assert!(!indices.is_empty(), "subset proof needs at least one leaf");
         assert!(
@@ -235,6 +239,7 @@ impl SubsetProof {
     /// Recomputes the root from `(leaf_index, leaf_digest)` pairs (strictly
     /// increasing by index) and compares with `root`. Returns `false` on any
     /// structural mismatch.
+    // audit:allow(panic) every index on this adversarial path is guarded: windows(2) pairs, i < covered.len(), and covered.len() == 1 before covered[0]
     pub fn verify_digests(&self, revealed: &[(usize, Digest)], root: &Digest) -> bool {
         if revealed.is_empty()
             || !revealed.windows(2).all(|w| w[0].0 < w[1].0)

@@ -45,6 +45,7 @@ const RHO_OFFSETS: [u32; 25] = [
 /// The Keccak-f\[1600\] permutation applied in place to a 25-lane state.
 ///
 /// Exposed for property tests; library users should go through [`Sha3_256`].
+// audit:allow(panic) lane indices are x + 5y with x, y in 0..5, always inside [u64; 25]
 pub fn keccak_f1600(state: &mut [u64; 25]) {
     for &rc in &ROUND_CONSTANTS {
         // Theta.
@@ -124,6 +125,7 @@ impl Sha3_256 {
     }
 
     /// Absorbs `data` into the sponge.
+    // audit:allow(panic) slice bounds are capped by take = (RATE - buffered).min(input.len())
     pub fn update(&mut self, data: &[u8]) {
         let mut input = data;
         // Top up a partial block first.
@@ -151,6 +153,7 @@ impl Sha3_256 {
         }
     }
 
+    // audit:allow(panic) chunks_exact(8) yields exactly 8-byte chunks, so the conversion is infallible
     fn absorb_block(&mut self, block: &[u8; RATE]) {
         for (lane, chunk) in self.state.iter_mut().zip(block.chunks_exact(8)) {
             *lane ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
@@ -167,6 +170,7 @@ impl Sha3_256 {
     /// freshly-[`reset`](Sha3_256::reset) state instead of consuming it, so
     /// one scratch hasher can serve a whole stream of digests without
     /// re-zeroing a new state per message.
+    // audit:allow(panic) buffered < RATE between absorbs, so padding indices stay inside the block
     pub fn finalize_reset(&mut self) -> [u8; 32] {
         let mut block = [0u8; RATE];
         block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);

@@ -129,6 +129,7 @@ impl Sha512 {
     }
 
     /// Absorbs `data`.
+    // audit:allow(panic) slice bounds are capped by take = (128 - buffered).min(input.len())
     pub fn update(&mut self, data: &[u8]) {
         self.length += data.len() as u128;
         let mut input = data;
@@ -156,6 +157,7 @@ impl Sha512 {
         }
     }
 
+    // audit:allow(panic) schedule/state indices are constants or t in 0..80 into [u64; 80]; chunks_exact(8) chunks convert infallibly
     fn compress(&mut self, block: &[u8; 128]) {
         let mut w = [0u64; 80];
         for (i, chunk) in block.chunks_exact(8).enumerate() {
@@ -203,6 +205,7 @@ impl Sha512 {
     }
 
     /// Pads and produces the 64-byte digest.
+    // audit:allow(panic) zeros <= 127 by the padding arithmetic, within the 128-byte ZERO block
     pub fn finalize(mut self) -> [u8; 64] {
         let bit_len = self.length * 8;
         // Append 0x80, zeros, then the 128-bit big-endian bit length.

@@ -73,6 +73,7 @@ pub fn primary_bucket(item: u64, n_buckets: usize) -> usize {
 }
 
 /// The alternate bucket for a fingerprint currently at `bucket`.
+// audit:allow(panic) fp as usize is below 256, the fixed offset table's length
 pub fn alternate_bucket(bucket: usize, fp: u8, n_buckets: usize) -> usize {
     bucket ^ ((offset_table()[fp as usize] as usize) & (n_buckets - 1))
 }
@@ -158,6 +159,7 @@ impl CuckooFilter {
     }
 
     /// Read-only view of one bucket's slots (used by `MaxCount`).
+    // audit:allow(panic) callers iterate 0..n_buckets of this very filter (MaxCount asserts common geometry)
     pub fn bucket(&self, index: usize) -> &[u8; SLOTS_PER_BUCKET] {
         &self.buckets[index]
     }
@@ -228,6 +230,7 @@ impl CuckooFilter {
     /// found. Only call for items known to be present (standard cuckoo-filter
     /// contract), which ImageProof guarantees: the client deletes exactly the
     /// image ids of verified popped postings (Alg. 3 `UpdateBounds`).
+    // audit:allow(panic) i1/i2 are masked to the power-of-two bucket count, so both indices are in bounds
     pub fn delete(&mut self, item: u64) -> bool {
         let fp = fingerprint_of(item);
         let i1 = primary_bucket(item, self.n_buckets());
@@ -257,6 +260,7 @@ impl CuckooFilter {
 
     /// Parses a canonical serialization; `None` on malformed input (wrong
     /// length or non-power-of-two bucket count).
+    // audit:allow(panic) both slice bounds follow the explicit `bytes.len() < 8` rejection above them
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
         if bytes.len() < 8 {
             return None;
@@ -314,6 +318,7 @@ impl CuckooFilter {
 ///
 /// # Panics
 /// Panics when filters disagree on bucket count — that would break Lemma 1.
+// audit:allow(panic) fingerprint bytes index the fixed [u32; 256] table; bucket ids run 0..n_buckets after the geometry assert
 pub fn max_count(filters: &[&CuckooFilter]) -> u32 {
     let Some(first) = filters.first() else {
         return 0;

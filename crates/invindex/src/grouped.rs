@@ -43,6 +43,7 @@ pub struct Group {
 impl Group {
     /// The group impact: the head member's impact (the largest in the
     /// group).
+    // audit:allow(panic) Decode always reads one head member, and the verify loop rejects empty groups before scoring
     pub fn impact(&self, weight: f32) -> f32 {
         impact_value(weight, self.frequency, self.members[0].1)
     }

@@ -87,6 +87,7 @@ impl TreeSource for MrkdSource<'_> {
     fn root(&self) -> usize {
         self.0.rkd().root() as usize
     }
+    // audit:allow(panic) SP-side source: node ids come from the SP's own arena
     fn view(&self, node: usize) -> ViewNode {
         match &self.0.rkd().nodes()[node] {
             Node::Internal {
@@ -123,10 +124,12 @@ impl TraversalVisitor for SpVisitor<'_> {
         Ok(VoNode::Pruned(self.tree.node_digest(node as u32)))
     }
 
+    // audit:allow(panic) the SP walks its own real tree, which never yields opaque nodes
     fn opaque(&mut self, _node: usize, _active: &[ActiveQuery]) -> Result<VoNode, Infallible> {
         unreachable!("the SP walks the real tree, which has no opaque nodes")
     }
 
+    // audit:allow(panic) SP-side visitor over the SP's own tree: leaf callbacks only fire on real leaves
     fn leaf(&mut self, node: usize, active: &[ActiveQuery]) -> Result<VoNode, Infallible> {
         self.stats.nodes_traversed += 1;
         self.stats.leaves_visited += 1;
@@ -166,6 +169,7 @@ impl TraversalVisitor for SpVisitor<'_> {
 }
 
 impl SpVisitor<'_> {
+    // audit:allow(panic) SP-side: cluster ids and query indices come from the SP's own forest and walker
     fn leaf_entry(&mut self, cluster: u32, active: &[ActiveQuery]) -> VoLeafEntry {
         let center = &self.forest.centers()[cluster as usize];
         let mut is_candidate = false;
@@ -207,6 +211,7 @@ impl SpVisitor<'_> {
     /// Chooses a dimension-block subset proving `dist(q, c) ≥ t_q` for every
     /// active query (§VI-A): greedily picks the blocks with the largest
     /// contributions, then validates with the client's exact summation.
+    // audit:allow(panic) SP-side: indices come from the SP's own forest; compressed mode always builds dimension trees
     fn partial_reveal(&self, cluster: u32, active: &[ActiveQuery]) -> Reveal {
         let center = &self.forest.centers()[cluster as usize];
         let dim_tree = self
@@ -276,6 +281,7 @@ impl SpVisitor<'_> {
 /// One dimension block's share of the squared distance. Delegates to the
 /// chunked kernel, which is bit-identical to the sequential fold the client
 /// performs over the block.
+// audit:allow(panic) block_range clamps its end to the vector length, so the slices stay in bounds
 fn block_contribution(q: &[f32], center: &[f32], block: u32) -> f32 {
     let range = crate::tree::block_range(block as usize, center.len());
     imageproof_akm::kernel::dist_sq(&q[range.clone()], &center[range])
@@ -286,12 +292,14 @@ fn block_contribution(q: &[f32], center: &[f32], block: u32) -> f32 {
 /// block) — the exact computation the client performs, so the SP validates
 /// against the same float rounding. `contrib[b]` must hold
 /// [`block_contribution`] of block `b`.
+// audit:allow(panic) selected blocks are drawn from 0..total_blocks, the length of contrib
 fn partial_sum_selected(blocks: &BTreeSet<u32>, contrib: &[f32]) -> f32 {
     blocks.iter().map(|&b| contrib[b as usize]).sum()
 }
 
 /// Client-side counterpart over the VO's revealed `(block, coords)` pairs.
 /// Callers must have validated block indices and lengths beforehand.
+// audit:allow(panic) block_range yields indices below q.len() even for hostile block ids (iterated, never sliced)
 pub fn partial_sum_revealed(blocks: &[(u32, Vec<f32>)], q: &[f32]) -> f32 {
     blocks
         .iter()

@@ -90,6 +90,7 @@ struct Frame {
 }
 
 impl FramePool {
+    // audit:allow(panic) the pool is resized to depth + 1 immediately before the access
     fn take(&mut self, depth: usize) -> Frame {
         if self.frames.len() <= depth {
             self.frames.resize_with(depth + 1, Frame::default);
@@ -97,6 +98,7 @@ impl FramePool {
         std::mem::take(&mut self.frames[depth])
     }
 
+    // audit:allow(panic) put always follows take at the same depth, which sized the pool
     fn put(&mut self, depth: usize, mut frame: Frame) {
         frame.left_active.clear();
         frame.right_active.clear();
@@ -111,6 +113,7 @@ impl FramePool {
 ///
 /// `thresholds_sq[q]` is the squared radius within which query `q` must see
 /// every cluster. Queries whose thresholds are negative never activate.
+// audit:allow(panic) q ranges over 0..queries.len() and thresholds_sq has the same length (asserted on entry)
 pub fn traverse<S: TreeSource, V: TraversalVisitor>(
     source: &S,
     queries: &[Vec<f32>],
@@ -143,6 +146,7 @@ pub fn traverse<S: TreeSource, V: TraversalVisitor>(
 }
 
 #[allow(clippy::too_many_arguments)]
+// audit:allow(panic) query indices come from 0..queries.len(); split dims are the SP tree's own, or VO dims already validated by digest reconstruction
 fn recurse<S: TreeSource, V: TraversalVisitor>(
     source: &S,
     node: usize,
@@ -240,6 +244,7 @@ fn recurse<S: TreeSource, V: TraversalVisitor>(
 
 /// Temporarily installs crossing-diff values, restoring them afterwards.
 /// `saved` is caller-provided scratch (cleared here before use).
+// audit:allow(panic) crossers carry q and dim that recurse already used to index the same buffers
 fn with_diffs<R>(
     diffs: &mut [f32],
     dim_count: usize,

@@ -102,6 +102,7 @@ pub fn block_bytes(block_coords: &[f32]) -> Vec<u8> {
 
 /// Builds the Merkle tree over one centroid's dimension blocks, used in
 /// [`CandidateMode::Compressed`].
+// audit:allow(panic) blocks below n_blocks(len) slice within coords; block_range clamps the end
 pub fn dimension_tree(coords: &[f32]) -> MerkleTree {
     let leaves: Vec<Vec<u8>> = (0..n_blocks(coords.len()))
         .map(|b| block_bytes(&coords[block_range(b, coords.len())]))
@@ -235,6 +236,7 @@ impl MrkdTree {
     }
 
     /// Digest of node `idx`.
+    // audit:allow(panic) SP-side accessor: node ids come from the SP's own arena
     pub fn node_digest(&self, idx: u32) -> Digest {
         self.digests[idx as usize]
     }
@@ -325,11 +327,13 @@ impl MrkdForest {
         &self.centers
     }
 
+    // audit:allow(panic) SP-side accessor: cluster ids come from the SP's own forest
     pub fn inv_digest(&self, cluster: u32) -> Digest {
         self.inv_digests[cluster as usize]
     }
 
     /// Dimension Merkle tree of one cluster (compressed mode).
+    // audit:allow(panic) SP-side accessor: cluster ids come from the SP's own forest
     pub fn dim_tree(&self, cluster: u32) -> Option<&MerkleTree> {
         self.dim_trees.as_ref().map(|t| &t[cluster as usize])
     }

@@ -44,6 +44,7 @@ static GLOBAL: OnceLock<Registry> = OnceLock::new();
 /// sites check this once per operation; profilers cache it at
 /// construction.
 pub fn enabled() -> bool {
+    // audit:allow(relaxed) lone on/off flag: no other memory is published through it, and stale reads only delay the toggle
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -51,6 +52,7 @@ pub fn enabled() -> bool {
 /// registry recording near-no-ops; it never changes any authenticated
 /// byte (see the crate docs' zero-perturbation rule).
 pub fn set_enabled(on: bool) {
+    // audit:allow(relaxed) lone on/off flag: no other memory is published through it, and stale reads only delay the toggle
     ENABLED.store(on, Ordering::Relaxed);
 }
 

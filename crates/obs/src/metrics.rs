@@ -36,10 +36,12 @@ impl Counter {
     }
 
     /// Adds `n`, wrapping on overflow.
+    // audit:allow(relaxed) monotonic statistics counter: readers tolerate lag; no other memory is published through it
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
+    // audit:allow(relaxed) statistics read: a momentarily stale total is acceptable for exposition
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -56,18 +58,22 @@ impl Gauge {
         Gauge::default()
     }
 
+    // audit:allow(relaxed) gauge cell: each update is a single atomic RMW/store; no other memory is published through it
     pub fn set(&self, v: i64) {
         self.value.store(v, Ordering::Relaxed);
     }
 
+    // audit:allow(relaxed) gauge cell: each update is a single atomic RMW; no other memory is published through it
     pub fn add(&self, n: i64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
+    // audit:allow(relaxed) gauge cell: each update is a single atomic RMW; no other memory is published through it
     pub fn sub(&self, n: i64) {
         self.value.fetch_sub(n, Ordering::Relaxed);
     }
 
+    // audit:allow(relaxed) statistics read: a momentarily stale value is acceptable for exposition
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -148,6 +154,7 @@ impl Histogram {
     /// Records `n` identical samples (used by snapshot restoration and
     /// batched recording). The running sum wraps on overflow, like
     /// [`Counter::add`].
+    // audit:allow(relaxed) independent statistics cells: readers accept an inconsistent cut (see snapshot)
     pub fn record_n(&self, v: u64, n: u64) {
         if n == 0 {
             return;
@@ -159,10 +166,12 @@ impl Histogram {
         self.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
     }
 
+    // audit:allow(relaxed) statistics read: a momentarily stale count is acceptable for exposition
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
+    // audit:allow(relaxed) statistics read: a momentarily stale sum is acceptable for exposition
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
@@ -177,6 +186,7 @@ impl Histogram {
     /// A point-in-time copy. Under concurrent recording the per-bucket
     /// counts are each atomically read but the set is not a consistent
     /// cut; once recording quiesces, the snapshot is exact.
+    // audit:allow(relaxed) documented inconsistent cut: each bucket read is atomic, the set need not be
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<(u64, u64)> = self
             .buckets
@@ -388,9 +398,9 @@ impl Registry {
             // Overwrite the sum with the recorded one (bucket upper bounds
             // overestimate the true sum).
             let over = handle.sum();
-            handle
-                .sum
-                .fetch_sub(over.wrapping_sub(h.sum), Ordering::Relaxed);
+            let correction = over.wrapping_sub(h.sum);
+            // audit:allow(relaxed) restoration runs on the freshly built registry before it is shared
+            handle.sum.fetch_sub(correction, Ordering::Relaxed);
         }
         reg
     }

@@ -93,6 +93,7 @@ impl Default for Concurrency {
 ///
 /// # Panics
 /// Propagates a panic from `f` (the scope join reports it).
+// audit:allow(panic) items[i] is guarded by the i >= len break; the scope join only re-raises a worker's own panic
 pub fn par_map<T, R, F>(conc: Concurrency, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -112,6 +113,7 @@ where
             s.spawn(|_| {
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
+                    // audit:allow(relaxed) work-stealing counter: fetch_add is atomic per claim; no other memory is published through it
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
@@ -135,6 +137,7 @@ where
 /// cost more than the work itself.
 ///
 /// Output order is item order, exactly as [`par_map`].
+// audit:allow(panic) chunk ranges are clamped to items.len(), so every index is in bounds
 pub fn par_map_chunked<T, R, F>(conc: Concurrency, items: &[T], min_chunk: usize, f: F) -> Vec<R>
 where
     T: Sync,
