@@ -21,6 +21,16 @@ echo "== sharded serving: shard-vs-monolith differential + adversary matrix =="
 cargo test -q --test shard_equivalence
 cargo test -q --test shard_adversary
 
+echo "== socket RPC: loopback equivalence + fault injection =="
+# Shards behind the length-prefixed RPC boundary: the coordinator must be
+# bit-equal to in-process ShardedSp (all schemes x shard counts), and every
+# injected transport fault must surface as a typed error or a verified
+# failover. All servers bind port 0 (the OS picks a free loopback port and
+# the bound addr is passed along), so the suites are parallel-safe and run
+# offline.
+cargo test -q --test rpc_equivalence
+cargo test -q --test rpc_faults
+
 echo "== observability: obs-on/off VO byte-equivalence =="
 # The zero-perturbation gate: recording on vs off must serve byte-identical
 # VOs and identical top-k for every scheme × thread count, monolith and

@@ -130,11 +130,17 @@ fn check_pair(path: &str, s: &Scrubbed, a: &LockSite, b: &LockSite, out: &mut Ve
         ),
         (None, _) => push(
             a.pos,
-            format!("nested lock `{}` is not in the declared lock-order manifest", a.name),
+            format!(
+                "nested lock `{}` is not in the declared lock-order manifest",
+                a.name
+            ),
         ),
         (_, None) => push(
             b.pos,
-            format!("nested lock `{}` is not in the declared lock-order manifest", b.name),
+            format!(
+                "nested lock `{}` is not in the declared lock-order manifest",
+                b.name
+            ),
         ),
         _ => {}
     }
@@ -342,7 +348,8 @@ mod tests {
                    } }";
         let f = run("crates/obs/src/metrics.rs", src);
         assert!(
-            f.iter().any(|x| x.rule == "lockorder" && x.message.contains("declared lock order")),
+            f.iter()
+                .any(|x| x.rule == "lockorder" && x.message.contains("declared lock order")),
             "{f:?}"
         );
     }
@@ -363,7 +370,8 @@ mod tests {
                    } }";
         let f = run("crates/obs/src/metrics.rs", src);
         assert!(
-            f.iter().any(|x| x.rule == "lockorder" && x.message.contains("not reentrant")),
+            f.iter()
+                .any(|x| x.rule == "lockorder" && x.message.contains("not reentrant")),
             "{f:?}"
         );
     }
@@ -375,7 +383,8 @@ mod tests {
                    } }";
         let f = run("crates/obs/src/metrics.rs", src);
         assert!(
-            f.iter().any(|x| x.rule == "lockorder" && x.message.contains("manifest")),
+            f.iter()
+                .any(|x| x.rule == "lockorder" && x.message.contains("manifest")),
             "{f:?}"
         );
     }
@@ -389,7 +398,8 @@ mod tests {
                    } }";
         let f = run("crates/obs/src/metrics.rs", src);
         assert!(
-            f.iter().any(|x| x.rule == "lockorder" && x.message.contains("declared lock order")),
+            f.iter()
+                .any(|x| x.rule == "lockorder" && x.message.contains("declared lock order")),
             "{f:?}"
         );
     }
@@ -414,7 +424,8 @@ mod tests {
                    fn inner_count(&self) -> usize { self.counters.lock().len() } }";
         let f = run("crates/obs/src/metrics.rs", src);
         assert!(
-            f.iter().any(|x| x.rule == "lockorder" && x.message.contains("self-deadlock")),
+            f.iter()
+                .any(|x| x.rule == "lockorder" && x.message.contains("self-deadlock")),
             "{f:?}"
         );
     }

@@ -147,7 +147,21 @@ fn assignment(seg: &str) -> Option<(String, &str)> {
     let bytes = seg.as_bytes();
     let eq = seg.find('=').filter(|&e| {
         bytes.get(e + 1) != Some(&b'=')
-            && (e == 0 || !matches!(bytes[e - 1], b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'))
+            && (e == 0
+                || !matches!(
+                    bytes[e - 1],
+                    b'=' | b'!'
+                        | b'<'
+                        | b'>'
+                        | b'+'
+                        | b'-'
+                        | b'*'
+                        | b'/'
+                        | b'%'
+                        | b'&'
+                        | b'|'
+                        | b'^'
+                ))
     })?;
     let lhs = seg[..eq].trim();
     let lhs = lhs.strip_prefix("let ").unwrap_or(lhs).trim();
@@ -201,7 +215,10 @@ fn has_raw_read(s: &str) -> bool {
             i = pos + 1;
             let after = lexer::skip_ws(bytes, pos + m.len());
             // Word boundary (`.u8` must not match `.u8_at`) then `()`.
-            if bytes.get(pos + m.len()).is_some_and(|&b| lexer::is_ident(b)) {
+            if bytes
+                .get(pos + m.len())
+                .is_some_and(|&b| lexer::is_ident(b))
+            {
                 continue;
             }
             if bytes.get(after) == Some(&b'(') {
@@ -221,8 +238,7 @@ fn has_expansion_op(s: &str) -> bool {
     for i in 0..bytes.len() {
         match bytes[i] {
             b'*' => {
-                let Some(prev) = bytes[..i].iter().rposition(|&c| !c.is_ascii_whitespace())
-                else {
+                let Some(prev) = bytes[..i].iter().rposition(|&c| !c.is_ascii_whitespace()) else {
                     continue;
                 };
                 // deref (`*x`, `&*x`) has an operator on the left;
@@ -284,9 +300,10 @@ fn compared(seg: &str, name: &str) -> bool {
 
 /// Whether `seg` feeds `name` through an explicit bounding call.
 fn sanitized_by_call(seg: &str, name: &str) -> bool {
-    word_in(seg, name) && ["bound_len(", ".min(", "checked_mul(", "checked_add("]
-        .iter()
-        .any(|m| seg.contains(m))
+    word_in(seg, name)
+        && ["bound_len(", ".min(", "checked_mul(", "checked_add("]
+            .iter()
+            .any(|m| seg.contains(m))
 }
 
 /// Flags allocation/slice/loop sinks in one statement fed by a Raw value.
@@ -309,7 +326,11 @@ fn check_sinks(
             i = pos + 1;
             let open = pos + pat.len() - 1;
             let arg = paren_arg(seg, open);
-            let sink = if pat.starts_with('.') { "reserve" } else { "with_capacity" };
+            let sink = if pat.starts_with('.') {
+                "reserve"
+            } else {
+                "with_capacity"
+            };
             push(pos, arg, sink);
         }
     }
@@ -317,7 +338,9 @@ fn check_sinks(
     let mut i = 0;
     while let Some(pos) = lexer::find_from(bytes, b"vec!", i) {
         i = pos + 1;
-        let Some(open) = seg[pos..].find('[').map(|p| pos + p) else { continue };
+        let Some(open) = seg[pos..].find('[').map(|p| pos + p) else {
+            continue;
+        };
         let inner = bracket_arg(seg, open);
         if let Some(semi) = inner.rfind(';') {
             push(pos, &inner[semi + 1..], "vec![..; n]");
@@ -360,7 +383,7 @@ fn hostile_value(arg: &str, vars: &BTreeMap<String, Taint>) -> Option<String> {
         }
     }
     if has_expansion_op(arg) {
-        for (name, _) in vars {
+        for name in vars.keys() {
             if word_in(arg, name) {
                 return Some(format!("{name} (scaled)"));
             }
@@ -461,7 +484,9 @@ mod tests {
 
     #[test]
     fn comparison_later_in_same_statement_does_not_bless_the_sink() {
-        let f = sinks("{ let n = r.varint(); let ok = fill(Vec::with_capacity(n as usize)) && n < cap }");
+        let f = sinks(
+            "{ let n = r.varint(); let ok = fill(Vec::with_capacity(n as usize)) && n < cap }",
+        );
         assert_eq!(f.len(), 1, "{f:?}");
     }
 

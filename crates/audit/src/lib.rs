@@ -69,10 +69,13 @@ pub fn count_files(root: &Path) -> io::Result<usize> {
     Ok(sources.len() + manifests.len())
 }
 
+/// A manifest as `(path, contents)`.
+pub type Manifest = (String, String);
+
 /// The workspace's source files and manifests, sorted by path — the same
 /// inputs `run_audit` analyzes, for tools (and tests) that want to build a
 /// [`model::Model`] over the real tree.
-pub fn collect_workspace(root: &Path) -> io::Result<(Vec<SourceFile>, Vec<(String, String)>)> {
+pub fn collect_workspace(root: &Path) -> io::Result<(Vec<SourceFile>, Vec<Manifest>)> {
     let mut sources = Vec::new();
     let mut manifests = Vec::new();
     collect(root, root, &mut sources, &mut manifests)?;

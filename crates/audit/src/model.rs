@@ -260,7 +260,11 @@ impl Model {
                             })
                         }
                     }
-                    CallForm::Method { name, on_self, recv } => {
+                    CallForm::Method {
+                        name,
+                        on_self,
+                        recv,
+                    } => {
                         let own = d
                             .self_type
                             .as_deref()
@@ -624,7 +628,7 @@ mod tests {
         assert!(reach.contains_key(&idx(&m, "b")));
         assert!(reach.contains_key(&idx(&m, "c")));
         assert!(!reach.contains_key(&idx(&m, "unrelated")));
-        for (&f, _) in &reach {
+        for &f in reach.keys() {
             assert!(!m.fns[f].in_test, "test fns are never reachable");
         }
     }

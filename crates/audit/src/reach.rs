@@ -87,7 +87,9 @@ pub fn frontier(model: &Model) -> BTreeMap<usize, usize> {
             .filter(|(i, d)| {
                 !reach.contains_key(i)
                     && !d.in_test
-                    && d.trait_name.as_deref().is_some_and(|t| OP_TRAITS.contains(&t))
+                    && d.trait_name
+                        .as_deref()
+                        .is_some_and(|t| OP_TRAITS.contains(&t))
                     && d.self_type.as_deref().is_some_and(|t| types.contains(t))
             })
             .map(|(i, _)| i)
@@ -164,14 +166,14 @@ pub fn panic_sites(text: &str, from: usize, to: usize) -> Vec<(usize, String)> {
             sites.push((pos, format!("{mac}! is forbidden in a decode/verify path")));
         }
     }
-    for pos in from..to {
-        if bytes[pos] == b'[' && indexes_before(text, pos) {
+    for (pos, &byte) in bytes.iter().enumerate().take(to).skip(from) {
+        if byte == b'[' && indexes_before(text, pos) {
             sites.push((
                 pos,
                 "unchecked indexing may panic in a decode/verify path; use .get()".to_string(),
             ));
         }
-        if (bytes[pos] == b'/' || bytes[pos] == b'%') && division_may_panic(text, pos) {
+        if (byte == b'/' || byte == b'%') && division_may_panic(text, pos) {
             sites.push((
                 pos,
                 "division by a non-constant value may panic on zero; check the divisor or use checked_div".to_string(),

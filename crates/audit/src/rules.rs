@@ -504,9 +504,8 @@ mod tests {
                    fn helper(d: &[u8]) -> u8 { d[0] }";
         let f = one("crates/invindex/src/newmod.rs", src);
         assert!(
-            f.iter().any(|x| x.rule == "panic"
-                && x.line == 2
-                && x.message.contains("Foo::from_wire")),
+            f.iter()
+                .any(|x| x.rule == "panic" && x.line == 2 && x.message.contains("Foo::from_wire")),
             "{f:?}"
         );
     }

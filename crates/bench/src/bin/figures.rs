@@ -575,6 +575,36 @@ fn fig15(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
     }
 }
 
+/// Transport-level numbers for one shard-sweep cell's sockets mode: the
+/// same engines served over loopback TCP through the fan-out coordinator
+/// (asserted byte-identical to the in-process run before anything is
+/// recorded).
+struct RpcCell {
+    rpc_ms_per_query: f64,
+    shard_p50_ms: Vec<f64>,
+    shard_p95_ms: Vec<f64>,
+    failovers: u64,
+}
+
+impl RpcCell {
+    fn json(&self) -> String {
+        let list = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "{{\"rpc_ms_per_query\": {:.6}, \"shard_p50_ms\": [{}], \
+             \"shard_p95_ms\": [{}], \"failovers\": {}}}",
+            self.rpc_ms_per_query,
+            list(&self.shard_p50_ms),
+            list(&self.shard_p95_ms),
+            self.failovers,
+        )
+    }
+}
+
 /// One `(scheme, shards)` cell of the shard sweep, as written to
 /// `BENCH_shards.json`.
 struct ShardRecord {
@@ -593,6 +623,7 @@ struct ShardRecord {
     cache_hit_ratio: f64,
     space: SpaceUsage,
     phases: PhaseQuantiles,
+    rpc: RpcCell,
 }
 
 impl ShardRecord {
@@ -604,7 +635,7 @@ impl ShardRecord {
              \"trim_queries_per_query\": {:.3}, \"trimmed_entries_per_query\": {:.3}, \
              \"dedup_bytes_saved_per_query\": {:.1}, \"slowest_shard_ms\": {:.6}, \
              \"merge_share\": {:.6}, \"cache_hit_ratio\": {:.6}, \
-             \"space\": {}, \"phases\": {}}}",
+             \"space\": {}, \"phases\": {}, \"rpc\": {}}}",
             self.scheme,
             self.shards,
             self.build_seconds,
@@ -620,6 +651,7 @@ impl ShardRecord {
             self.cache_hit_ratio,
             space_json(&self.space),
             self.phases.json(),
+            self.rpc.json(),
         )
     }
 }
@@ -637,6 +669,13 @@ impl ShardRecord {
 /// The machine-readable results land in `BENCH_shards.json` next to the
 /// working directory, with per-response `trimmed_entries` /
 /// `dedup_bytes_saved` read back from the obs registry counters.
+///
+/// Every cell also runs a sockets mode: the same engines are served over
+/// loopback TCP behind the length-prefixed RPC boundary, the fan-out
+/// coordinator replays the identical queries, the VO bytes are asserted
+/// equal to the in-process run, and per-shard RPC round-trip latency
+/// quantiles plus failover counts land in each record's nested `rpc`
+/// object.
 fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
     let fixture = cache.get(&scale.base_surf);
     let shard_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
@@ -652,6 +691,7 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
         "shards",
         "build_s",
         "sp_ms",
+        "rpc_ms",
         "merge_ms",
         "merge_%",
         "slow_shard_ms",
@@ -759,6 +799,62 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 .verify_sharded(&tie_features, 2, &tie_resp, &manifest)
                 .expect("tie-straddle response verifies");
 
+            // Sockets mode: dissolve the same engines into one loopback
+            // shard server each, fan out through the RPC coordinator, and
+            // require byte-identical VOs before recording any transport
+            // number — the wire must never change what is served.
+            let engines = sp.into_shards();
+            let shard_count = engines.len() as u32;
+            let mut servers = Vec::new();
+            let mut endpoints = Vec::new();
+            for (shard, engine) in engines.into_iter().enumerate() {
+                let server =
+                    imageproof_core::rpc::ShardServer::new(engine, shard as u32, shard_count)
+                        .launch()
+                        .expect("launch loopback shard server");
+                endpoints.push(imageproof_core::rpc::ShardEndpoint::single(server.addr()));
+                servers.push(server);
+            }
+            // Generous deadlines: a Baseline VO is tens of MiB, and a
+            // loaded single-core CI machine can take far longer than the
+            // default 5 s per round-trip. A bench cell must measure, not
+            // time out.
+            let rpc_config = imageproof_core::rpc::CoordinatorConfig {
+                request_timeout_seconds: 600.0,
+                connect_timeout_seconds: 30.0,
+                hello_timeout_seconds: 60.0,
+            };
+            let mut coord =
+                imageproof_core::rpc::RpcCoordinator::connect(endpoints, &manifest, rpc_config)
+                    .expect("coordinator connects to loopback shard servers");
+            let t2 = imageproof_obs::Stopwatch::start();
+            for (features, (response, _, _)) in queries.iter().zip(&responses) {
+                let (rpc_resp, _) = coord.query(features, k).expect("loopback rpc query");
+                assert_eq!(
+                    rpc_resp.vo.to_wire(),
+                    response.vo.to_wire(),
+                    "{} S={shards}: socket VO bytes must equal in-process bytes",
+                    scheme.label(),
+                );
+            }
+            let rpc_seconds = t2.elapsed_seconds() / n;
+            let cstats = coord.stats();
+            let quantile_ms = |q: f64| -> Vec<f64> {
+                (0..shards)
+                    .map(|s| cstats.latency_quantile(s, q).unwrap_or(0.0) * 1e3)
+                    .collect()
+            };
+            let rpc = RpcCell {
+                rpc_ms_per_query: rpc_seconds * 1e3,
+                shard_p50_ms: quantile_ms(0.5),
+                shard_p95_ms: quantile_ms(0.95),
+                failovers: cstats.failovers,
+            };
+            drop(coord);
+            for server in servers {
+                server.shutdown();
+            }
+
             vo_bytes /= n;
             client_seconds /= n;
             merge_seconds /= n;
@@ -785,12 +881,14 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 },
                 space,
                 phases,
+                rpc,
             };
             t.row([
                 scheme.label().to_string(),
                 shards.to_string(),
                 format!("{build_seconds:.2}"),
                 ms(query_seconds),
+                ms(rpc_seconds),
                 ms(merge_seconds),
                 pct(record.merge_share),
                 ms(slowest_shard_seconds),

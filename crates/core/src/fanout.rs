@@ -1,0 +1,137 @@
+//! Cross-shard merge, trim planning, and VO assembly, shared by the
+//! in-process [`crate::ShardedSp`] and the socket coordinator
+//! (`crate::rpc`).
+//!
+//! Both deployments answer a sharded top-k query the same way: fan the
+//! full-k query out to every shard, merge the local winners, re-query
+//! shards whose claims can be trimmed, and assemble the sharded VO with
+//! its shared section. The fan-out *transport* differs (function call vs
+//! length-prefixed RPC frame), but everything downstream of the per-shard
+//! responses is deterministic and lives here — so the coordinator's output
+//! is bit-equal to `ShardedSp`'s by construction, not by parallel
+//! maintenance of two merge implementations (asserted end-to-end by the
+//! `rpc_equivalence` suite).
+
+use crate::scheme::InvVoVariant;
+use crate::shard::{dedup_shared_section, ShardBovw, ShardVo, ShardedVo};
+use crate::sp::{ImageResult, QueryResponse};
+use imageproof_crypto::Signature;
+use imageproof_vision::ImageId;
+use std::collections::BTreeMap;
+
+/// The merge verdict over the full-k fan-out: the k global winners (as
+/// `(shard, id, score)`, strongest first) and each shard's winner count.
+pub(crate) struct MergeOutcome {
+    pub candidates: Vec<(usize, ImageId, f32)>,
+    pub contributed: Vec<usize>,
+}
+
+/// Merges the per-shard local top-ks under `(score desc, id asc)` — the
+/// same order the per-shard engines use — and keeps the k global winners.
+/// Scores are shard-invariant (global impact model), so this merge
+/// reproduces the monolith top-k exactly.
+pub(crate) fn merge_candidates(full: &[QueryResponse], k: usize) -> MergeOutcome {
+    let mut candidates: Vec<(usize, ImageId, f32)> = Vec::new();
+    for (shard, resp) in full.iter().enumerate() {
+        for r in &resp.results {
+            candidates.push((shard, r.id, r.score));
+        }
+    }
+    candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
+    candidates.truncate(k);
+    let mut contributed = vec![0usize; full.len()];
+    for &(shard, _, _) in &candidates {
+        contributed[shard] += 1;
+    }
+    MergeOutcome {
+        candidates,
+        contributed,
+    }
+}
+
+/// The shards whose sub-VO can be merge-trimmed, as `(shard, k')` with
+/// k' = min(j + 1, k): a shard contributing j entries must prove its local
+/// top-k'; shards with j ≥ k − 1 reuse the fan-out response verbatim.
+pub(crate) fn trim_targets(contributed: &[usize], k: usize) -> Vec<(usize, usize)> {
+    (0..contributed.len())
+        .filter_map(|s| {
+            let k_trim = (contributed[s] + 1).min(k);
+            (k_trim < k).then_some((s, k_trim))
+        })
+        .collect()
+}
+
+/// One trim re-query result: the shard's local top-k', the inverted-index
+/// VO proving it, and the claimed images' owner signatures (in claim
+/// order). The signatures ride with the trim so the assembler needs no
+/// database access — over RPC the shard server extracts them from its own
+/// store, exactly as the in-process engine does.
+pub(crate) type TrimOutcome = (Vec<(ImageId, f32)>, InvVoVariant, Vec<Signature>);
+
+/// The assembled sharded answer plus the assembly's own byte accounting.
+pub(crate) struct Assembled {
+    pub results: Vec<ImageResult>,
+    pub vo: ShardedVo,
+    /// Entries the merge trim dropped from sub-VO claims, summed over
+    /// shards (full-k fan-out length minus trimmed claim length).
+    pub trimmed_entries: usize,
+    /// Response bytes the shared-section dedup removed.
+    pub dedup_bytes_saved: usize,
+}
+
+/// Assembles the global results and the sharded VO: sub-VOs in ascending
+/// shard order (trimmed claims where a trim outcome exists, the full-k
+/// fan-out response verbatim otherwise), then deduplicates the shards'
+/// common BoVW geometry into the response's shared section.
+pub(crate) fn assemble_response(
+    full: &[QueryResponse],
+    merge: &MergeOutcome,
+    trimmed: &BTreeMap<usize, TrimOutcome>,
+) -> Assembled {
+    let mut results = Vec::with_capacity(merge.candidates.len());
+    for &(shard, id, score) in &merge.candidates {
+        if let Some(r) = full[shard].results.iter().find(|r| r.id == id) {
+            results.push(ImageResult {
+                id,
+                data: r.data.clone(),
+                score,
+            });
+        }
+    }
+    let mut shard_vos = Vec::with_capacity(full.len());
+    let mut trimmed_entries = 0usize;
+    for (shard, resp) in full.iter().enumerate() {
+        let (claimed, inv, signatures): (Vec<ImageId>, InvVoVariant, Vec<Signature>) =
+            match trimmed.get(&shard) {
+                Some((topk, inv, signatures)) => {
+                    let claimed: Vec<ImageId> = topk.iter().map(|&(id, _)| id).collect();
+                    trimmed_entries += resp.results.len().saturating_sub(claimed.len());
+                    (claimed, inv.clone(), signatures.clone())
+                }
+                None => (
+                    resp.results.iter().map(|r| r.id).collect(),
+                    resp.vo.inv.clone(),
+                    resp.vo.signatures.clone(),
+                ),
+            };
+        shard_vos.push(ShardVo {
+            shard_id: shard as u32,
+            contributed: merge.contributed[shard] as u32,
+            claimed,
+            bovw: ShardBovw::Inline(resp.vo.bovw.clone()),
+            inv,
+            signatures,
+        });
+    }
+    let (shared, dedup_bytes_saved) = dedup_shared_section(&mut shard_vos);
+    Assembled {
+        results,
+        vo: ShardedVo {
+            shard_count: full.len() as u32,
+            shared,
+            shards: shard_vos,
+        },
+        trimmed_entries,
+        dedup_bytes_saved,
+    }
+}

@@ -34,7 +34,9 @@
 
 pub mod adversary;
 pub mod client;
+pub(crate) mod fanout;
 pub mod owner;
+pub mod rpc;
 pub mod scheme;
 pub mod shard;
 pub mod sp;

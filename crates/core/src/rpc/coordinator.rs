@@ -1,0 +1,841 @@
+//! [`RpcCoordinator`]: the socket deployment's fan-out engine.
+//!
+//! One nonblocking connection per shard, driven by a single-threaded event
+//! loop: a fan-out round writes every shard's request, then multiplexes
+//! reads across all connections until every response (or a typed failure)
+//! is in. Concurrent client queries batch onto one `QueryBatch` /
+//! `TrimBatch` round-trip per shard instead of a socket conversation per
+//! query.
+//!
+//! Fault handling: every transport fault — stalled shard (per-shard
+//! timeout on a [`Stopwatch`] deadline), mid-frame reset, short write,
+//! hostile frame length, duplicated/replayed response id — maps to a typed
+//! [`RpcError`]; if the shard's endpoint chain has untried replicas the
+//! coordinator reconnects to the next one (hello re-verified against the
+//! owner-signed manifest pin), replays the request, and counts a failover.
+//! Only when the chain is exhausted does the triggering error surface.
+//!
+//! Everything downstream of the per-shard responses is the shared
+//! [`fanout`] code, so the assembled [`ShardedResponse`] is bit-equal to
+//! the in-process [`crate::ShardedSp`] — asserted end-to-end by
+//! `tests/rpc_equivalence.rs`.
+
+use super::frame::{frame, FrameBuffer, Request, Response};
+use super::RpcError;
+use crate::fanout;
+use crate::shard::{ShardManifest, ShardedResponse};
+use crate::sp::{QueryResponse, ShardedSpStats, SpStats};
+use imageproof_crypto::wire::{Decode, Encode};
+use imageproof_crypto::Digest;
+use imageproof_obs::{micros, Profiler, QueryProfile, RegistrySnapshot, Stopwatch};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Where one shard lives: a primary address plus failover replicas, tried
+/// in order. Every endpoint must present the same manifest-pinned
+/// identity; a replica serving a different ADS root is rejected at hello
+/// time exactly like a primary would be.
+#[derive(Clone, Debug)]
+pub struct ShardEndpoint {
+    pub primary: SocketAddr,
+    pub replicas: Vec<SocketAddr>,
+}
+
+impl ShardEndpoint {
+    pub fn single(primary: SocketAddr) -> ShardEndpoint {
+        ShardEndpoint {
+            primary,
+            replicas: Vec::new(),
+        }
+    }
+
+    pub fn with_replicas(primary: SocketAddr, replicas: Vec<SocketAddr>) -> ShardEndpoint {
+        ShardEndpoint { primary, replicas }
+    }
+
+    fn chain(&self) -> Vec<SocketAddr> {
+        let mut chain = Vec::with_capacity(1 + self.replicas.len());
+        chain.push(self.primary);
+        chain.extend(self.replicas.iter().copied());
+        chain
+    }
+}
+
+/// Timeouts, all in seconds (converted through `Duration`; the
+/// coordinator's only clock is the observability [`Stopwatch`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CoordinatorConfig {
+    /// Per-shard deadline for one request round-trip; a shard that blows
+    /// it is treated as stalled and failed over.
+    pub request_timeout_seconds: f64,
+    /// TCP connect deadline per endpoint attempt.
+    pub connect_timeout_seconds: f64,
+    /// Deadline for the hello exchange after a connect.
+    pub hello_timeout_seconds: f64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            request_timeout_seconds: 5.0,
+            connect_timeout_seconds: 1.0,
+            hello_timeout_seconds: 2.0,
+        }
+    }
+}
+
+/// Transport-level accounting, kept outside the query results so the
+/// served bytes stay free of anything nondeterministic.
+#[derive(Clone, Debug, Default)]
+pub struct CoordinatorStats {
+    /// Replica failovers performed since connect.
+    pub failovers: u64,
+    /// Completed round-trip latencies per shard, in seconds, in issue
+    /// order (quantiles are computed by sorting a copy — see
+    /// [`CoordinatorStats::latency_quantile`]).
+    pub rpc_seconds: Vec<Vec<f64>>,
+}
+
+impl CoordinatorStats {
+    /// The `q`-quantile (0 ≤ q ≤ 1, nearest-rank) of one shard's recorded
+    /// round-trip latencies, or `None` when nothing completed yet.
+    pub fn latency_quantile(&self, shard: usize, q: f64) -> Option<f64> {
+        let samples = self.rpc_seconds.get(shard)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(sorted.len() - 1);
+        Some(sorted[rank])
+    }
+}
+
+/// One live shard connection.
+struct ShardConn {
+    stream: TcpStream,
+    fb: FrameBuffer,
+    /// Index into the endpoint chain this connection is bound to; failover
+    /// resumes at the next entry.
+    endpoint_index: usize,
+}
+
+/// One in-flight request within a fan-out round.
+struct Pending {
+    shard: usize,
+    id: u64,
+    outbox: Vec<u8>,
+    sent: usize,
+    want_telemetry: bool,
+    telemetry: Option<(QueryProfile, RegistrySnapshot)>,
+    response: Option<Response>,
+    sw: Stopwatch,
+}
+
+enum Expect {
+    Query,
+    QueryBatch,
+    Trim,
+    TrimBatch,
+}
+
+impl Expect {
+    fn matches(&self, resp: &Response) -> bool {
+        matches!(
+            (self, resp),
+            (Expect::Query, Response::Query { .. })
+                | (Expect::QueryBatch, Response::QueryBatch { .. })
+                | (Expect::Trim, Response::Trim { .. })
+                | (Expect::TrimBatch, Response::TrimBatch { .. })
+        )
+    }
+}
+
+/// The fan-out coordinator for a socket-deployed [`ShardManifest`].
+pub struct RpcCoordinator {
+    endpoints: Vec<ShardEndpoint>,
+    /// Owner-signed per-shard ADS roots, pinned at connect time; every
+    /// (re)connected endpoint's hello is checked against its entry.
+    pinned_roots: Vec<Digest>,
+    conns: Vec<ShardConn>,
+    config: CoordinatorConfig,
+    next_id: u64,
+    stats: CoordinatorStats,
+    /// Latest telemetry registry snapshot received from each shard.
+    shard_registries: Vec<Option<RegistrySnapshot>>,
+}
+
+impl RpcCoordinator {
+    /// Connects to every shard and pins each hello against the manifest:
+    /// the shard id, the deployment size, and the shard's committed ADS
+    /// root must all match the owner-signed entry, or the endpoint is
+    /// rejected ([`RpcError::HelloMismatch`]) and its replicas are tried.
+    pub fn connect(
+        endpoints: Vec<ShardEndpoint>,
+        manifest: &ShardManifest,
+        config: CoordinatorConfig,
+    ) -> Result<RpcCoordinator, RpcError> {
+        if endpoints.len() != manifest.shard_roots.len() {
+            return Err(RpcError::EndpointCountMismatch {
+                expected: manifest.shard_roots.len() as u32,
+                got: endpoints.len() as u32,
+            });
+        }
+        let pinned_roots = manifest.shard_roots.clone();
+        let shard_count = endpoints.len();
+        let mut coordinator = RpcCoordinator {
+            endpoints,
+            pinned_roots,
+            conns: Vec::with_capacity(shard_count),
+            config,
+            next_id: 1,
+            stats: CoordinatorStats {
+                failovers: 0,
+                rpc_seconds: vec![Vec::new(); shard_count],
+            },
+            shard_registries: vec![None; shard_count],
+        };
+        for shard in 0..shard_count {
+            let conn = coordinator.connect_shard(shard, 0)?;
+            coordinator.conns.push(conn);
+        }
+        Ok(coordinator)
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Transport accounting so far (failovers, per-shard latencies).
+    pub fn stats(&self) -> &CoordinatorStats {
+        &self.stats
+    }
+
+    /// The latest telemetry registry snapshot each shard shipped, by
+    /// shard id (`None` until a telemetry frame arrives).
+    pub fn shard_registries(&self) -> &[Option<RegistrySnapshot>] {
+        &self.shard_registries
+    }
+
+    /// Merges every shard's latest registry snapshot into one
+    /// deployment-wide snapshot: counters and gauges sum, histograms merge
+    /// bucket-wise.
+    pub fn aggregate_registry(&self) -> RegistrySnapshot {
+        let mut counters: BTreeMap<_, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<_, i64> = BTreeMap::new();
+        let mut histograms: BTreeMap<_, imageproof_obs::HistogramSnapshot> = BTreeMap::new();
+        for snap in self.shard_registries.iter().flatten() {
+            for (id, v) in &snap.counters {
+                *counters.entry(id.clone()).or_insert(0) += *v;
+            }
+            for (id, v) in &snap.gauges {
+                *gauges.entry(id.clone()).or_insert(0) += *v;
+            }
+            for (id, h) in &snap.histograms {
+                let merged = histograms.entry(id.clone()).or_default();
+                merged.count += h.count;
+                merged.sum += h.sum;
+                let mut buckets: BTreeMap<u64, u64> = merged.buckets.iter().copied().collect();
+                for &(bound, n) in &h.buckets {
+                    *buckets.entry(bound).or_insert(0) += n;
+                }
+                merged.buckets = buckets.into_iter().collect();
+            }
+        }
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Establishes (or re-establishes) shard `shard`'s connection, trying
+    /// the endpoint chain from `start_index` on. Each candidate must pass
+    /// the manifest-pinned hello before it is accepted.
+    fn connect_shard(&self, shard: usize, start_index: usize) -> Result<ShardConn, RpcError> {
+        let chain = self.endpoints[shard].chain();
+        let mut last_err = RpcError::HelloMismatch {
+            shard: shard as u32,
+        };
+        for (offset, addr) in chain.iter().enumerate().skip(start_index) {
+            match self.try_endpoint(shard, *addr) {
+                Ok(stream) => {
+                    return Ok(ShardConn {
+                        stream,
+                        fb: FrameBuffer::new(),
+                        endpoint_index: offset,
+                    })
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Connect + blocking hello exchange + manifest pin check against one
+    /// candidate address; returns the stream switched to nonblocking mode.
+    fn try_endpoint(&self, shard: usize, addr: SocketAddr) -> Result<TcpStream, RpcError> {
+        let as_io = |e: std::io::Error| RpcError::Io {
+            shard: shard as u32,
+            kind: e.kind(),
+        };
+        let stream = TcpStream::connect_timeout(
+            &addr,
+            Duration::from_secs_f64(self.config.connect_timeout_seconds.max(0.001)),
+        )
+        .map_err(as_io)?;
+        let _ = stream.set_nodelay(true);
+        let mut stream = stream;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .map_err(as_io)?;
+        stream
+            .write_all(&frame(&Request::Hello.to_wire()))
+            .map_err(as_io)?;
+        let mut fb = FrameBuffer::new();
+        let mut buf = [0u8; 4096];
+        let sw = Stopwatch::start();
+        let body = loop {
+            if let Some(body) = fb.next_frame()? {
+                break body;
+            }
+            if sw.elapsed_seconds() > self.config.hello_timeout_seconds {
+                return Err(RpcError::ShardTimeout {
+                    shard: shard as u32,
+                });
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(RpcError::ConnectionClosed {
+                        shard: shard as u32,
+                    })
+                }
+                Ok(n) => fb.extend(&buf[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(as_io(e)),
+            }
+        };
+        let hello = Response::from_wire(&body).map_err(|error| RpcError::Wire {
+            shard: shard as u32,
+            error,
+        })?;
+        match hello {
+            Response::Hello {
+                shard_id,
+                shard_count,
+                root,
+            } if shard_id as usize == shard
+                && shard_count as usize == self.pinned_roots.len()
+                && root == self.pinned_roots[shard] =>
+            {
+                stream.set_nonblocking(true).map_err(as_io)?;
+                Ok(stream)
+            }
+            _ => Err(RpcError::HelloMismatch {
+                shard: shard as u32,
+            }),
+        }
+    }
+
+    /// Allocates the next request id (monotonic across the connection's
+    /// whole life, so a replayed or duplicated response can never collide
+    /// with a later request).
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Runs one fan-out round: request `i` goes to shard `shards[i]`, all
+    /// round-trips multiplexed on one event loop. Returns responses in
+    /// input order.
+    fn fanout_round(
+        &mut self,
+        shards: &[usize],
+        requests: Vec<Request>,
+        expect: Expect,
+        want_telemetry: bool,
+    ) -> Result<Vec<Pending>, RpcError> {
+        debug_assert_eq!(shards.len(), requests.len());
+        let mut pendings: Vec<Pending> = Vec::with_capacity(requests.len());
+        for (&shard, request) in shards.iter().zip(&requests) {
+            pendings.push(Pending {
+                shard,
+                id: request_id(request),
+                outbox: frame(&request.to_wire()),
+                sent: 0,
+                want_telemetry,
+                telemetry: None,
+                response: None,
+                sw: Stopwatch::start(),
+            });
+        }
+        let mut buf = vec![0u8; 256 * 1024];
+        loop {
+            let mut all_done = true;
+            let mut progressed = false;
+            for pending in &mut pendings {
+                if pending.response.is_some() {
+                    continue;
+                }
+                all_done = false;
+                match self.drive_pending(pending, &expect, &mut buf) {
+                    Ok(did) => progressed |= did,
+                    Err(err) => {
+                        // Typed fault: fail over along the endpoint chain
+                        // (hello re-verified), replay the request; only an
+                        // exhausted chain surfaces the error.
+                        let next = self.conns[pending.shard].endpoint_index + 1;
+                        match self.connect_shard(pending.shard, next) {
+                            Ok(conn) => {
+                                self.conns[pending.shard] = conn;
+                                self.stats.failovers += 1;
+                                if imageproof_obs::enabled() {
+                                    imageproof_obs::global()
+                                        .counter("imageproof_rpc_failovers_total", &[])
+                                        .inc();
+                                }
+                                pending.sent = 0;
+                                pending.telemetry = None;
+                                pending.sw = Stopwatch::start();
+                                progressed = true;
+                            }
+                            Err(_) => return Err(err),
+                        }
+                    }
+                }
+            }
+            if all_done {
+                return Ok(pendings);
+            }
+            if !progressed {
+                // Nothing moved on any connection: yield briefly instead
+                // of spinning the core.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Pumps one pending request: drains its outbox, reads whatever the
+    /// shard sent, dispatches complete frames. `Ok(true)` when any bytes
+    /// or frames moved.
+    fn drive_pending(
+        &mut self,
+        pending: &mut Pending,
+        expect: &Expect,
+        buf: &mut [u8],
+    ) -> Result<bool, RpcError> {
+        let shard = pending.shard as u32;
+        let mut progressed = false;
+        {
+            let conn = &mut self.conns[pending.shard];
+            while pending.sent < pending.outbox.len() {
+                match conn.stream.write(&pending.outbox[pending.sent..]) {
+                    Ok(0) => return Err(RpcError::ConnectionClosed { shard }),
+                    Ok(n) => {
+                        pending.sent += n;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        return Err(RpcError::Io {
+                            shard,
+                            kind: e.kind(),
+                        })
+                    }
+                }
+            }
+            loop {
+                match conn.stream.read(buf) {
+                    Ok(0) => return Err(RpcError::ConnectionClosed { shard }),
+                    Ok(n) => {
+                        conn.fb.extend(&buf[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        return Err(RpcError::Io {
+                            shard,
+                            kind: e.kind(),
+                        })
+                    }
+                }
+            }
+        }
+        while pending.response.is_none() {
+            let Some(body) = self.conns[pending.shard].fb.next_frame()? else {
+                break;
+            };
+            progressed = true;
+            let response =
+                Response::from_wire(&body).map_err(|error| RpcError::Wire { shard, error })?;
+            match response {
+                Response::Telemetry {
+                    id,
+                    profile,
+                    registry,
+                } => {
+                    if !pending.want_telemetry || id != pending.id {
+                        return Err(RpcError::UnsolicitedTelemetry { shard });
+                    }
+                    self.shard_registries[pending.shard] = Some(registry.to_snapshot());
+                    pending.telemetry = Some((profile.to_profile(), registry.to_snapshot()));
+                }
+                Response::Error { id, message } => {
+                    if id != pending.id {
+                        return Err(RpcError::ResponseIdMismatch {
+                            shard,
+                            expected: pending.id,
+                            got: id,
+                        });
+                    }
+                    return Err(RpcError::Remote { shard, message });
+                }
+                other => {
+                    if other.id() != pending.id {
+                        return Err(RpcError::ResponseIdMismatch {
+                            shard,
+                            expected: pending.id,
+                            got: other.id(),
+                        });
+                    }
+                    if !expect.matches(&other) {
+                        return Err(RpcError::UnexpectedResponse { shard });
+                    }
+                    let seconds = pending.sw.elapsed_seconds();
+                    self.stats.rpc_seconds[pending.shard].push(seconds);
+                    if imageproof_obs::enabled() {
+                        imageproof_obs::global()
+                            .histogram(
+                                "imageproof_rpc_request_micros",
+                                &[("shard", &pending.shard.to_string())],
+                            )
+                            .record(micros(seconds));
+                    }
+                    pending.response = Some(other);
+                }
+            }
+        }
+        if pending.response.is_none()
+            && pending.sw.elapsed_seconds() > self.config.request_timeout_seconds
+        {
+            return Err(RpcError::ShardTimeout { shard });
+        }
+        Ok(progressed)
+    }
+
+    /// Answers one sharded top-k query over the wire (the socket
+    /// counterpart of [`crate::ShardedSp::query`]).
+    pub fn query(
+        &mut self,
+        features: &[Vec<f32>],
+        k: usize,
+    ) -> Result<(ShardedResponse, ShardedSpStats), RpcError> {
+        let (response, stats, _) = self.query_profiled(features, k)?;
+        Ok((response, stats))
+    }
+
+    /// [`RpcCoordinator::query`] with the coordinator's own span profile:
+    /// the in-process phase structure (`fanout`, `merge`, `trim`,
+    /// `assemble`), with each shard's remote profile grafted under the
+    /// phase that issued it when telemetry is on.
+    pub fn query_profiled(
+        &mut self,
+        features: &[Vec<f32>],
+        k: usize,
+    ) -> Result<(ShardedResponse, ShardedSpStats, QueryProfile), RpcError> {
+        let shard_count = self.shard_count();
+        let want_telemetry = imageproof_obs::enabled();
+        let mut prof = Profiler::new("rpc.query");
+
+        prof.enter("fanout");
+        let shards: Vec<usize> = (0..shard_count).collect();
+        let requests: Vec<Request> = shards
+            .iter()
+            .map(|_| Request::Query {
+                id: 0, // overwritten below with a fresh id
+                k: k as u32,
+                want_telemetry,
+                features: features.to_vec(),
+            })
+            .collect();
+        let requests = self.assign_ids(requests);
+        let done = self.fanout_round(&shards, requests, Expect::Query, want_telemetry)?;
+        let mut full: Vec<QueryResponse> = Vec::with_capacity(shard_count);
+        let mut per_shard: Vec<SpStats> = Vec::with_capacity(shard_count);
+        for pending in done {
+            let shard = pending.shard;
+            if let Some((profile, _)) = pending.telemetry {
+                prof.attach(profile, "shard", shard as u64);
+            }
+            match pending.response {
+                Some(Response::Query { payload, .. }) => {
+                    let (resp, stats) = payload.into_response();
+                    full.push(resp);
+                    per_shard.push(stats);
+                }
+                _ => {
+                    return Err(RpcError::UnexpectedResponse {
+                        shard: shard as u32,
+                    })
+                }
+            }
+        }
+        let fanout_seconds = prof.exit();
+
+        prof.enter("merge");
+        let merge = fanout::merge_candidates(&full, k);
+        prof.add("candidates", merge.candidates.len() as u64);
+        let mut merge_seconds = prof.exit();
+
+        prof.enter("trim");
+        let trim_targets = fanout::trim_targets(&merge.contributed, k);
+        prof.add("trim_queries", trim_targets.len() as u64);
+        let mut trimmed: BTreeMap<usize, fanout::TrimOutcome> = BTreeMap::new();
+        if !trim_targets.is_empty() {
+            let shards: Vec<usize> = trim_targets.iter().map(|&(s, _)| s).collect();
+            let requests: Vec<Request> = trim_targets
+                .iter()
+                .map(|&(_, k_trim)| Request::Trim {
+                    id: 0,
+                    k_trim: k_trim as u32,
+                    features: features.to_vec(),
+                })
+                .collect();
+            let requests = self.assign_ids(requests);
+            let done = self.fanout_round(&shards, requests, Expect::Trim, false)?;
+            for pending in done {
+                match pending.response {
+                    Some(Response::Trim { payload, .. }) => {
+                        trimmed.insert(
+                            pending.shard,
+                            (payload.topk, payload.inv, payload.signatures),
+                        );
+                    }
+                    _ => {
+                        return Err(RpcError::UnexpectedResponse {
+                            shard: pending.shard as u32,
+                        })
+                    }
+                }
+            }
+        }
+        let trim_seconds = prof.exit();
+
+        prof.enter("assemble");
+        let assembled = fanout::assemble_response(&full, &merge, &trimmed);
+        prof.add("dedup_bytes_saved", assembled.dedup_bytes_saved as u64);
+        merge_seconds += prof.exit();
+
+        let stats = ShardedSpStats {
+            per_shard,
+            trim_queries: trim_targets.len(),
+            trimmed_entries: assembled.trimmed_entries,
+            dedup_bytes_saved: assembled.dedup_bytes_saved,
+            merge_seconds,
+            wall_seconds: fanout_seconds + merge_seconds + trim_seconds,
+        };
+        Ok((
+            ShardedResponse {
+                results: assembled.results,
+                vo: assembled.vo,
+            },
+            stats,
+            prof.finish(),
+        ))
+    }
+
+    /// Answers several concurrent client queries with one `QueryBatch`
+    /// round-trip per shard (plus one `TrimBatch` round-trip for the trim
+    /// phase) instead of a socket conversation per query. Responses come
+    /// back in input order, each bit-equal to what [`RpcCoordinator::query`]
+    /// would have produced.
+    pub fn query_batch(
+        &mut self,
+        queries: &[Vec<Vec<f32>>],
+        k: usize,
+    ) -> Result<Vec<(ShardedResponse, ShardedSpStats)>, RpcError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shard_count = self.shard_count();
+        let want_telemetry = imageproof_obs::enabled();
+
+        // Phase 1: every query's full-k fan-out, batched per shard.
+        let shards: Vec<usize> = (0..shard_count).collect();
+        let requests: Vec<Request> = shards
+            .iter()
+            .map(|_| Request::QueryBatch {
+                id: 0,
+                k: k as u32,
+                want_telemetry,
+                queries: queries.to_vec(),
+            })
+            .collect();
+        let requests = self.assign_ids(requests);
+        let done = self.fanout_round(&shards, requests, Expect::QueryBatch, want_telemetry)?;
+        // fulls[q][s], stats[q][s]: responses regrouped per query.
+        let mut fulls: Vec<Vec<QueryResponse>> = (0..queries.len())
+            .map(|_| Vec::with_capacity(shard_count))
+            .collect();
+        let mut per_query_stats: Vec<Vec<SpStats>> = (0..queries.len())
+            .map(|_| Vec::with_capacity(shard_count))
+            .collect();
+        for pending in done {
+            let shard = pending.shard as u32;
+            match pending.response {
+                Some(Response::QueryBatch { payloads, .. }) => {
+                    if payloads.len() != queries.len() {
+                        return Err(RpcError::UnexpectedResponse { shard });
+                    }
+                    for (q, payload) in payloads.into_iter().enumerate() {
+                        let (resp, stats) = payload.into_response();
+                        fulls[q].push(resp);
+                        per_query_stats[q].push(stats);
+                    }
+                }
+                _ => return Err(RpcError::UnexpectedResponse { shard }),
+            }
+        }
+
+        // Phase 2: merge each query locally, then batch all trim
+        // re-queries onto one TrimBatch round-trip per shard that needs
+        // any. trim_plan[s] lists (query, k_trim) in ascending query
+        // order.
+        let merges: Vec<fanout::MergeOutcome> = fulls
+            .iter()
+            .map(|full| fanout::merge_candidates(full, k))
+            .collect();
+        let mut trim_plan: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shard_count];
+        let mut trim_counts: Vec<usize> = vec![0; queries.len()];
+        for (q, merge) in merges.iter().enumerate() {
+            for (s, k_trim) in fanout::trim_targets(&merge.contributed, k) {
+                trim_plan[s].push((q, k_trim));
+                trim_counts[q] += 1;
+            }
+        }
+        let mut trimmed: Vec<BTreeMap<usize, fanout::TrimOutcome>> =
+            vec![BTreeMap::new(); queries.len()];
+        let shards: Vec<usize> = (0..shard_count)
+            .filter(|&s| !trim_plan[s].is_empty())
+            .collect();
+        if !shards.is_empty() {
+            let requests: Vec<Request> = shards
+                .iter()
+                .map(|&s| Request::TrimBatch {
+                    id: 0,
+                    items: trim_plan[s]
+                        .iter()
+                        .map(|&(q, k_trim)| (k_trim as u32, queries[q].clone()))
+                        .collect(),
+                })
+                .collect();
+            let requests = self.assign_ids(requests);
+            let done = self.fanout_round(&shards, requests, Expect::TrimBatch, false)?;
+            for pending in done {
+                let shard = pending.shard;
+                match pending.response {
+                    Some(Response::TrimBatch { payloads, .. }) => {
+                        if payloads.len() != trim_plan[shard].len() {
+                            return Err(RpcError::UnexpectedResponse {
+                                shard: shard as u32,
+                            });
+                        }
+                        for (&(q, _), payload) in trim_plan[shard].iter().zip(payloads) {
+                            trimmed[q]
+                                .insert(shard, (payload.topk, payload.inv, payload.signatures));
+                        }
+                    }
+                    _ => {
+                        return Err(RpcError::UnexpectedResponse {
+                            shard: shard as u32,
+                        })
+                    }
+                }
+            }
+        }
+
+        // Phase 3: assemble every query through the shared fan-out code.
+        let mut out = Vec::with_capacity(queries.len());
+        for (q, merge) in merges.iter().enumerate() {
+            let assembled = fanout::assemble_response(&fulls[q], merge, &trimmed[q]);
+            let stats = ShardedSpStats {
+                per_shard: std::mem::take(&mut per_query_stats[q]),
+                trim_queries: trim_counts[q],
+                trimmed_entries: assembled.trimmed_entries,
+                dedup_bytes_saved: assembled.dedup_bytes_saved,
+                merge_seconds: 0.0,
+                wall_seconds: 0.0,
+            };
+            out.push((
+                ShardedResponse {
+                    results: assembled.results,
+                    vo: assembled.vo,
+                },
+                stats,
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Stamps each request with a fresh monotonic id.
+    fn assign_ids(&mut self, requests: Vec<Request>) -> Vec<Request> {
+        requests
+            .into_iter()
+            .map(|request| {
+                let fresh = self.fresh_id();
+                match request {
+                    Request::Hello => Request::Hello,
+                    Request::Query {
+                        k,
+                        want_telemetry,
+                        features,
+                        ..
+                    } => Request::Query {
+                        id: fresh,
+                        k,
+                        want_telemetry,
+                        features,
+                    },
+                    Request::QueryBatch {
+                        k,
+                        want_telemetry,
+                        queries,
+                        ..
+                    } => Request::QueryBatch {
+                        id: fresh,
+                        k,
+                        want_telemetry,
+                        queries,
+                    },
+                    Request::Trim {
+                        k_trim, features, ..
+                    } => Request::Trim {
+                        id: fresh,
+                        k_trim,
+                        features,
+                    },
+                    Request::TrimBatch { items, .. } => Request::TrimBatch { id: fresh, items },
+                }
+            })
+            .collect()
+    }
+}
+
+/// The id a request was stamped with (0 for hello, which has none).
+fn request_id(request: &Request) -> u64 {
+    match request {
+        Request::Hello => 0,
+        Request::Query { id, .. }
+        | Request::QueryBatch { id, .. }
+        | Request::Trim { id, .. }
+        | Request::TrimBatch { id, .. } => *id,
+    }
+}

@@ -1,0 +1,1325 @@
+//! The length-prefixed frame format and the RPC request/response messages.
+//!
+//! A frame is `[u32 LE body length][body]`; the body is one [`Request`] or
+//! [`Response`] in the workspace's canonical `Encode` wire format, so every
+//! byte arriving from the network is parsed by the same audited
+//! `Reader`/`bound_len` path as VO decoding. The frame length itself is
+//! bounded by [`MAX_FRAME_LEN`] *before* any allocation, and
+//! [`FrameBuffer`] only ever allocates in proportion to bytes actually
+//! received — a hostile length prefix can announce 4 GiB but buys nothing.
+//!
+//! Observability splits across two frames by design: the query/trim
+//! *payload* frames carry only deterministic data (results, VOs, counter
+//! statistics), while span profiles and registry snapshots ride in a
+//! separate [`Response::Telemetry`] frame sent only when the request asked
+//! for it. Payload frame bytes are therefore identical whether recording
+//! is on or off — the socket extension of the repo's zero-perturbation
+//! guarantee (`tests/rpc_equivalence.rs`).
+
+use super::RpcError;
+use crate::scheme::{InvVoVariant, QueryVo};
+use crate::sp::{ImageResult, QueryResponse, SpStats};
+use imageproof_crypto::wire::{Decode, Encode, Reader, WireError, Writer};
+use imageproof_crypto::{Digest, Signature};
+use imageproof_obs::{HistogramSnapshot, MetricId, QueryProfile, RegistrySnapshot, SpanRecord};
+use std::collections::BTreeMap;
+
+/// Hard cap on a frame body: 256 MiB, comfortably above the largest
+/// baseline-scheme VO the benches produce and far below anything that
+/// could be mistaken for a sane allocation request.
+pub const MAX_FRAME_LEN: usize = 1 << 28;
+
+/// Span nesting deeper than this decodes to [`WireError::DepthExceeded`].
+const MAX_SPAN_DEPTH: usize = 32;
+
+/// Interned remote span names are capped; past the cap, spans decode under
+/// this fallback label rather than growing the table without bound.
+const MAX_INTERNED_NAMES: usize = 4096;
+
+/// Wraps a message body in a length-prefixed frame.
+pub fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 4);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Incremental frame parser: feed it whatever the socket yields (partial
+/// writes included) and pull complete frame bodies out. Allocation tracks
+/// received bytes, never the announced length.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet drained as a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` if more bytes are
+    /// needed, or [`RpcError::FrameTooLarge`] for a hostile length prefix
+    /// (checked against [`MAX_FRAME_LEN`] before anything is allocated).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, RpcError> {
+        let Some(header) = self.buf.get(..4) else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(RpcError::FrameTooLarge { len: len as u64 });
+        }
+        let Some(body) = self.buf.get(4..4 + len) else {
+            return Ok(None);
+        };
+        let body = body.to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(body))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared field helpers.
+
+fn encode_string(w: &mut Writer, s: &str) {
+    w.bytes(s.as_bytes());
+}
+
+/// Strings on the wire are advisory telemetry labels; invalid UTF-8 from a
+/// hostile peer decodes lossily rather than erroring, keeping the decoder
+/// total without inventing a new `WireError` variant.
+fn decode_string(r: &mut Reader<'_>) -> Result<String, WireError> {
+    Ok(String::from_utf8_lossy(&r.bytes()?).into_owned())
+}
+
+fn encode_f64(w: &mut Writer, v: f64) {
+    w.u64(v.to_bits());
+}
+
+fn decode_f64(r: &mut Reader<'_>) -> Result<f64, WireError> {
+    Ok(f64::from_bits(r.u64()?))
+}
+
+fn encode_bool(w: &mut Writer, v: bool) {
+    w.u8(u8::from(v));
+}
+
+fn decode_bool(r: &mut Reader<'_>) -> Result<bool, WireError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(WireError::InvalidTag(t)),
+    }
+}
+
+fn encode_features(w: &mut Writer, features: &[Vec<f32>]) {
+    w.seq_len(features.len());
+    for f in features {
+        w.seq_len(f.len());
+        for &v in f {
+            w.f32(v);
+        }
+    }
+}
+
+fn decode_features(r: &mut Reader<'_>) -> Result<Vec<Vec<f32>>, WireError> {
+    let n = r.seq_len()?;
+    let mut features = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.seq_len()?;
+        let mut f = Vec::with_capacity(m);
+        for _ in 0..m {
+            f.push(r.f32()?);
+        }
+        features.push(f);
+    }
+    Ok(features)
+}
+
+fn decode_signature(r: &mut Reader<'_>) -> Result<Signature, WireError> {
+    let bytes = r.bytes()?;
+    let arr: [u8; 64] = bytes.try_into().map_err(|_| WireError::UnexpectedEnd)?;
+    Ok(Signature::from_bytes(arr))
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+/// A coordinator → shard request. `id` is echoed by the matching response;
+/// the coordinator keeps one request outstanding per connection, so any
+/// response with another id is a duplicate, reorder, or replay.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Opening handshake: asks the shard to identify itself so the
+    /// coordinator can pin it against the owner-signed manifest.
+    Hello,
+    /// One full-k query (the fan-out phase).
+    Query {
+        id: u64,
+        k: u32,
+        /// Ask for a [`Response::Telemetry`] frame ahead of the payload.
+        want_telemetry: bool,
+        features: Vec<Vec<f32>>,
+    },
+    /// Several concurrent client queries batched onto one round-trip.
+    QueryBatch {
+        id: u64,
+        k: u32,
+        want_telemetry: bool,
+        queries: Vec<Vec<Vec<f32>>>,
+    },
+    /// One trim re-query at `k_trim` (the merge-trim phase).
+    Trim {
+        id: u64,
+        k_trim: u32,
+        features: Vec<Vec<f32>>,
+    },
+    /// The trim re-queries of a query batch, one entry per trimmed query.
+    TrimBatch {
+        id: u64,
+        items: Vec<(u32, Vec<Vec<f32>>)>,
+    },
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::Hello => w.u8(1),
+            Request::Query {
+                id,
+                k,
+                want_telemetry,
+                features,
+            } => {
+                w.u8(2);
+                w.u64(*id);
+                w.u32(*k);
+                encode_bool(w, *want_telemetry);
+                encode_features(w, features);
+            }
+            Request::QueryBatch {
+                id,
+                k,
+                want_telemetry,
+                queries,
+            } => {
+                w.u8(3);
+                w.u64(*id);
+                w.u32(*k);
+                encode_bool(w, *want_telemetry);
+                w.seq_len(queries.len());
+                for q in queries {
+                    encode_features(w, q);
+                }
+            }
+            Request::Trim {
+                id,
+                k_trim,
+                features,
+            } => {
+                w.u8(4);
+                w.u64(*id);
+                w.u32(*k_trim);
+                encode_features(w, features);
+            }
+            Request::TrimBatch { id, items } => {
+                w.u8(5);
+                w.u64(*id);
+                w.seq_len(items.len());
+                for (k_trim, features) in items {
+                    w.u32(*k_trim);
+                    encode_features(w, features);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            1 => Ok(Request::Hello),
+            2 => Ok(Request::Query {
+                id: r.u64()?,
+                k: r.u32()?,
+                want_telemetry: decode_bool(r)?,
+                features: decode_features(r)?,
+            }),
+            3 => {
+                let id = r.u64()?;
+                let k = r.u32()?;
+                let want_telemetry = decode_bool(r)?;
+                let n = r.seq_len()?;
+                let mut queries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    queries.push(decode_features(r)?);
+                }
+                Ok(Request::QueryBatch {
+                    id,
+                    k,
+                    want_telemetry,
+                    queries,
+                })
+            }
+            4 => Ok(Request::Trim {
+                id: r.u64()?,
+                k_trim: r.u32()?,
+                features: decode_features(r)?,
+            }),
+            5 => {
+                let id = r.u64()?;
+                let n = r.seq_len()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k_trim = r.u32()?;
+                    items.push((k_trim, decode_features(r)?));
+                }
+                Ok(Request::TrimBatch { id, items })
+            }
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response payloads.
+
+/// Deterministic per-query statistics: the counter half of
+/// [`SpStats`], with the span-derived `*_seconds` fields deliberately
+/// absent so payload frames stay byte-identical whether observability
+/// recording is on or off.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WireStats {
+    pub shared_ratio: f64,
+    pub popped: u64,
+    pub total_postings: u64,
+    pub hashes_computed: u64,
+    pub hashes_cached: u64,
+    pub blocks_skipped: u64,
+    pub blocks_scanned: u64,
+}
+
+impl WireStats {
+    pub fn from_stats(stats: &SpStats) -> WireStats {
+        WireStats {
+            shared_ratio: stats.shared_ratio,
+            popped: stats.popped as u64,
+            total_postings: stats.total_postings as u64,
+            hashes_computed: stats.hashes_computed as u64,
+            hashes_cached: stats.hashes_cached as u64,
+            blocks_skipped: stats.blocks_skipped as u64,
+            blocks_scanned: stats.blocks_scanned as u64,
+        }
+    }
+
+    /// Reconstructs [`SpStats`] with the non-deterministic seconds fields
+    /// zeroed (they never cross the payload wire).
+    pub fn to_stats(self) -> SpStats {
+        SpStats {
+            bovw_seconds: 0.0,
+            inv_seconds: 0.0,
+            shared_ratio: self.shared_ratio,
+            popped: self.popped as usize,
+            total_postings: self.total_postings as usize,
+            hashes_computed: self.hashes_computed as usize,
+            hashes_cached: self.hashes_cached as usize,
+            blocks_skipped: self.blocks_skipped as usize,
+            blocks_scanned: self.blocks_scanned as usize,
+        }
+    }
+}
+
+impl Encode for WireStats {
+    fn encode(&self, w: &mut Writer) {
+        encode_f64(w, self.shared_ratio);
+        w.varint(self.popped);
+        w.varint(self.total_postings);
+        w.varint(self.hashes_computed);
+        w.varint(self.hashes_cached);
+        w.varint(self.blocks_skipped);
+        w.varint(self.blocks_scanned);
+    }
+}
+
+impl Decode for WireStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(WireStats {
+            shared_ratio: decode_f64(r)?,
+            popped: r.varint()?,
+            total_postings: r.varint()?,
+            hashes_computed: r.varint()?,
+            hashes_cached: r.varint()?,
+            blocks_skipped: r.varint()?,
+            blocks_scanned: r.varint()?,
+        })
+    }
+}
+
+/// One shard's full answer to a fan-out query: the local top-k with image
+/// payloads, the per-shard [`QueryVo`], and the deterministic counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryPayload {
+    pub results: Vec<ImageResult>,
+    pub vo: QueryVo,
+    pub stats: WireStats,
+}
+
+impl QueryPayload {
+    pub fn from_response(resp: &QueryResponse, stats: &SpStats) -> QueryPayload {
+        QueryPayload {
+            results: resp.results.clone(),
+            vo: resp.vo.clone(),
+            stats: WireStats::from_stats(stats),
+        }
+    }
+
+    pub fn into_response(self) -> (QueryResponse, SpStats) {
+        (
+            QueryResponse {
+                results: self.results,
+                vo: self.vo,
+            },
+            self.stats.to_stats(),
+        )
+    }
+}
+
+impl Encode for QueryPayload {
+    fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.results.len());
+        for r in &self.results {
+            w.u64(r.id);
+            w.f32(r.score);
+            w.bytes(&r.data);
+        }
+        self.vo.encode(w);
+        self.stats.encode(w);
+    }
+}
+
+impl Decode for QueryPayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len()?;
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let score = r.f32()?;
+            let data = r.bytes()?;
+            results.push(ImageResult { id, data, score });
+        }
+        Ok(QueryPayload {
+            results,
+            vo: QueryVo::decode(r)?,
+            stats: WireStats::decode(r)?,
+        })
+    }
+}
+
+/// One shard's answer to a trim re-query: its local top-k', the
+/// inverted-index proof, and the claimed images' owner signatures (in
+/// claim order) — everything `fanout::assemble_response` needs without a
+/// database in the coordinator's address space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrimPayload {
+    pub topk: Vec<(u64, f32)>,
+    pub inv: InvVoVariant,
+    pub signatures: Vec<Signature>,
+}
+
+impl Encode for TrimPayload {
+    fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.topk.len());
+        for &(id, score) in &self.topk {
+            w.u64(id);
+            w.f32(score);
+        }
+        self.inv.encode(w);
+        w.seq_len(self.signatures.len());
+        for s in &self.signatures {
+            w.bytes(&s.0);
+        }
+    }
+}
+
+impl Decode for TrimPayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len()?;
+        let mut topk = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let score = r.f32()?;
+            topk.push((id, score));
+        }
+        let inv = InvVoVariant::decode(r)?;
+        let ns = r.seq_len()?;
+        let mut signatures = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            signatures.push(decode_signature(r)?);
+        }
+        Ok(TrimPayload {
+            topk,
+            inv,
+            signatures,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: span profiles and registry snapshots across the wire.
+
+/// A [`SpanRecord`] with owned names, as it travels the wire. Remote names
+/// are interned back to `&'static str` on conversion so
+/// `Profiler::attach` grafts remote profiles exactly like local ones.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireSpan {
+    pub name: String,
+    pub seconds: f64,
+    pub counters: Vec<(String, u64)>,
+    pub children: Vec<WireSpan>,
+}
+
+impl WireSpan {
+    fn from_record(rec: &SpanRecord) -> WireSpan {
+        WireSpan {
+            name: rec.name.to_owned(),
+            seconds: rec.seconds,
+            counters: rec
+                .counters
+                .iter()
+                .map(|&(n, v)| (n.to_owned(), v))
+                .collect(),
+            children: rec.children.iter().map(WireSpan::from_record).collect(),
+        }
+    }
+
+    fn to_record(&self) -> SpanRecord {
+        SpanRecord {
+            name: intern_span_name(&self.name),
+            seconds: self.seconds,
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (intern_span_name(n), *v))
+                .collect(),
+            children: self.children.iter().map(WireSpan::to_record).collect(),
+        }
+    }
+
+    fn encode_at(&self, w: &mut Writer) {
+        encode_string(w, &self.name);
+        encode_f64(w, self.seconds);
+        w.seq_len(self.counters.len());
+        for (n, v) in &self.counters {
+            encode_string(w, n);
+            w.varint(*v);
+        }
+        w.seq_len(self.children.len());
+        for c in &self.children {
+            c.encode_at(w);
+        }
+    }
+
+    fn decode_at(r: &mut Reader<'_>, depth: usize) -> Result<WireSpan, WireError> {
+        if depth > MAX_SPAN_DEPTH {
+            return Err(WireError::DepthExceeded);
+        }
+        let name = decode_string(r)?;
+        let seconds = decode_f64(r)?;
+        let nc = r.seq_len()?;
+        let mut counters = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let n = decode_string(r)?;
+            let v = r.varint()?;
+            counters.push((n, v));
+        }
+        let nk = r.seq_len()?;
+        let mut children = Vec::with_capacity(nk);
+        for _ in 0..nk {
+            children.push(WireSpan::decode_at(r, depth + 1)?);
+        }
+        Ok(WireSpan {
+            name,
+            seconds,
+            counters,
+            children,
+        })
+    }
+}
+
+impl Encode for WireSpan {
+    fn encode(&self, w: &mut Writer) {
+        self.encode_at(w);
+    }
+}
+
+impl Decode for WireSpan {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        WireSpan::decode_at(r, 0)
+    }
+}
+
+/// Span names live in program text on the recording side
+/// (`&'static str`); names arriving from a shard are dynamic. This table
+/// leaks each distinct remote name once — capped, with a fallback label
+/// past the cap — so remote spans can re-enter the `SpanRecord` shape and
+/// `Profiler::attach` needs no wire-specific variant. Not called from any
+/// decoder: decoding keeps owned strings, only profile *grafting* interns.
+fn intern_span_name(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static TABLE: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut table = match TABLE.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&interned) = table.get(name) {
+        return interned;
+    }
+    if table.len() >= MAX_INTERNED_NAMES {
+        return "rpc.span.overflow";
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+/// A [`QueryProfile`] as it travels the wire.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireProfile {
+    pub root: Option<WireSpan>,
+}
+
+impl WireProfile {
+    pub fn from_profile(profile: &QueryProfile) -> WireProfile {
+        WireProfile {
+            root: profile.root.as_ref().map(WireSpan::from_record),
+        }
+    }
+
+    /// Rebuilds a local [`QueryProfile`] (interning remote span names) so
+    /// the coordinator can `Profiler::attach` it under its own spans.
+    pub fn to_profile(&self) -> QueryProfile {
+        QueryProfile {
+            root: self.root.as_ref().map(WireSpan::to_record),
+        }
+    }
+}
+
+impl Encode for WireProfile {
+    fn encode(&self, w: &mut Writer) {
+        match &self.root {
+            None => w.u8(0),
+            Some(span) => {
+                w.u8(1);
+                span.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for WireProfile {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WireProfile { root: None }),
+            1 => Ok(WireProfile {
+                root: Some(WireSpan::decode(r)?),
+            }),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// A metric identity on the wire (mirrors `imageproof_obs::MetricId`,
+/// which cannot implement the wire traits itself without inverting the
+/// crate dependency).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireMetricId {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl WireMetricId {
+    fn from_id(id: &MetricId) -> WireMetricId {
+        WireMetricId {
+            name: id.name.clone(),
+            labels: id.labels.clone(),
+        }
+    }
+
+    fn to_id(&self) -> MetricId {
+        MetricId {
+            name: self.name.clone(),
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+impl Encode for WireMetricId {
+    fn encode(&self, w: &mut Writer) {
+        encode_string(w, &self.name);
+        w.seq_len(self.labels.len());
+        for (k, v) in &self.labels {
+            encode_string(w, k);
+            encode_string(w, v);
+        }
+    }
+}
+
+impl Decode for WireMetricId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = decode_string(r)?;
+        let n = r.seq_len()?;
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = decode_string(r)?;
+            let v = decode_string(r)?;
+            labels.push((k, v));
+        }
+        Ok(WireMetricId { name, labels })
+    }
+}
+
+/// A histogram snapshot on the wire (mirrors
+/// `imageproof_obs::HistogramSnapshot`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireHistogram {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl Encode for WireHistogram {
+    fn encode(&self, w: &mut Writer) {
+        w.varint(self.count);
+        w.varint(self.sum);
+        w.seq_len(self.buckets.len());
+        for &(bound, n) in &self.buckets {
+            w.varint(bound);
+            w.varint(n);
+        }
+    }
+}
+
+impl Decode for WireHistogram {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let count = r.varint()?;
+        let sum = r.varint()?;
+        let n = r.seq_len()?;
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bound = r.varint()?;
+            let cnt = r.varint()?;
+            buckets.push((bound, cnt));
+        }
+        Ok(WireHistogram {
+            count,
+            sum,
+            buckets,
+        })
+    }
+}
+
+/// A full registry snapshot on the wire: the shard's cumulative counters,
+/// gauges, and histograms, so coordinator-side obs aggregation keeps
+/// working when the shards leave the process.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireRegistry {
+    pub counters: Vec<(WireMetricId, u64)>,
+    pub gauges: Vec<(WireMetricId, i64)>,
+    pub histograms: Vec<(WireMetricId, WireHistogram)>,
+}
+
+impl WireRegistry {
+    pub fn from_snapshot(snap: &RegistrySnapshot) -> WireRegistry {
+        WireRegistry {
+            counters: snap
+                .counters
+                .iter()
+                .map(|(id, v)| (WireMetricId::from_id(id), *v))
+                .collect(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|(id, v)| (WireMetricId::from_id(id), *v))
+                .collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(id, h)| {
+                    (
+                        WireMetricId::from_id(id),
+                        WireHistogram {
+                            count: h.count,
+                            sum: h.sum,
+                            buckets: h.buckets.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    pub fn to_snapshot(&self) -> RegistrySnapshot {
+        let mut counters = BTreeMap::new();
+        for (id, v) in &self.counters {
+            counters.insert(id.to_id(), *v);
+        }
+        let mut gauges = BTreeMap::new();
+        for (id, v) in &self.gauges {
+            gauges.insert(id.to_id(), *v);
+        }
+        let mut histograms = BTreeMap::new();
+        for (id, h) in &self.histograms {
+            histograms.insert(
+                id.to_id(),
+                HistogramSnapshot {
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h.buckets.clone(),
+                },
+            );
+        }
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl Encode for WireRegistry {
+    fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.counters.len());
+        for (id, v) in &self.counters {
+            id.encode(w);
+            w.varint(*v);
+        }
+        w.seq_len(self.gauges.len());
+        for (id, v) in &self.gauges {
+            id.encode(w);
+            w.u64(*v as u64);
+        }
+        w.seq_len(self.histograms.len());
+        for (id, h) in &self.histograms {
+            id.encode(w);
+            h.encode(w);
+        }
+    }
+}
+
+impl Decode for WireRegistry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let nc = r.seq_len()?;
+        let mut counters = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let id = WireMetricId::decode(r)?;
+            let v = r.varint()?;
+            counters.push((id, v));
+        }
+        let ng = r.seq_len()?;
+        let mut gauges = Vec::with_capacity(ng);
+        for _ in 0..ng {
+            let id = WireMetricId::decode(r)?;
+            let v = r.u64()? as i64;
+            gauges.push((id, v));
+        }
+        let nh = r.seq_len()?;
+        let mut histograms = Vec::with_capacity(nh);
+        for _ in 0..nh {
+            let id = WireMetricId::decode(r)?;
+            let h = WireHistogram::decode(r)?;
+            histograms.push((id, h));
+        }
+        Ok(WireRegistry {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+/// A shard → coordinator response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The shard's identity, pinned against the manifest at connect time:
+    /// its shard id, the deployment's shard count, and its committed ADS
+    /// root (which must equal the owner-signed manifest entry).
+    Hello {
+        shard_id: u32,
+        shard_count: u32,
+        root: Digest,
+    },
+    Query {
+        id: u64,
+        payload: QueryPayload,
+    },
+    QueryBatch {
+        id: u64,
+        payloads: Vec<QueryPayload>,
+    },
+    Trim {
+        id: u64,
+        payload: TrimPayload,
+    },
+    TrimBatch {
+        id: u64,
+        payloads: Vec<TrimPayload>,
+    },
+    /// Observability sidecar, sent *before* the matching payload frame and
+    /// only when the request set `want_telemetry`. Spoofing or corrupting
+    /// this frame can never change a served VO byte.
+    Telemetry {
+        id: u64,
+        profile: WireProfile,
+        registry: WireRegistry,
+    },
+    /// The server could not serve the request.
+    Error {
+        id: u64,
+        message: String,
+    },
+}
+
+impl Response {
+    /// The request id this response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Hello { .. } => 0,
+            Response::Query { id, .. }
+            | Response::QueryBatch { id, .. }
+            | Response::Trim { id, .. }
+            | Response::TrimBatch { id, .. }
+            | Response::Telemetry { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+impl Encode for Response {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::Hello {
+                shard_id,
+                shard_count,
+                root,
+            } => {
+                w.u8(1);
+                w.u32(*shard_id);
+                w.u32(*shard_count);
+                w.digest(root);
+            }
+            Response::Query { id, payload } => {
+                w.u8(2);
+                w.u64(*id);
+                payload.encode(w);
+            }
+            Response::QueryBatch { id, payloads } => {
+                w.u8(3);
+                w.u64(*id);
+                w.seq_len(payloads.len());
+                for p in payloads {
+                    p.encode(w);
+                }
+            }
+            Response::Trim { id, payload } => {
+                w.u8(4);
+                w.u64(*id);
+                payload.encode(w);
+            }
+            Response::TrimBatch { id, payloads } => {
+                w.u8(5);
+                w.u64(*id);
+                w.seq_len(payloads.len());
+                for p in payloads {
+                    p.encode(w);
+                }
+            }
+            Response::Telemetry {
+                id,
+                profile,
+                registry,
+            } => {
+                w.u8(6);
+                w.u64(*id);
+                profile.encode(w);
+                registry.encode(w);
+            }
+            Response::Error { id, message } => {
+                w.u8(7);
+                w.u64(*id);
+                encode_string(w, message);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            1 => Ok(Response::Hello {
+                shard_id: r.u32()?,
+                shard_count: r.u32()?,
+                root: r.digest()?,
+            }),
+            2 => Ok(Response::Query {
+                id: r.u64()?,
+                payload: QueryPayload::decode(r)?,
+            }),
+            3 => {
+                let id = r.u64()?;
+                let n = r.seq_len()?;
+                let mut payloads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    payloads.push(QueryPayload::decode(r)?);
+                }
+                Ok(Response::QueryBatch { id, payloads })
+            }
+            4 => Ok(Response::Trim {
+                id: r.u64()?,
+                payload: TrimPayload::decode(r)?,
+            }),
+            5 => {
+                let id = r.u64()?;
+                let n = r.seq_len()?;
+                let mut payloads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    payloads.push(TrimPayload::decode(r)?);
+                }
+                Ok(Response::TrimBatch { id, payloads })
+            }
+            6 => Ok(Response::Telemetry {
+                id: r.u64()?,
+                profile: WireProfile::decode(r)?,
+                registry: WireRegistry::decode(r)?,
+            }),
+            7 => Ok(Response::Error {
+                id: r.u64()?,
+                message: decode_string(r)?,
+            }),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imageproof_crypto::Digest;
+
+    fn sample_features() -> Vec<Vec<f32>> {
+        vec![vec![0.25, -1.5, 3.0], vec![7.75, 0.0]]
+    }
+
+    fn sample_span() -> WireSpan {
+        WireSpan {
+            name: "sp.query".into(),
+            seconds: 0.125,
+            counters: vec![("popped".into(), 41)],
+            children: vec![WireSpan {
+                name: "bovw".into(),
+                seconds: 0.0625,
+                counters: Vec::new(),
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    fn sample_registry() -> WireRegistry {
+        WireRegistry {
+            counters: vec![(
+                WireMetricId {
+                    name: "imageproof_sp_queries_total".into(),
+                    labels: vec![("scheme".into(), "imageproof".into())],
+                },
+                7,
+            )],
+            gauges: vec![(
+                WireMetricId {
+                    name: "g".into(),
+                    labels: Vec::new(),
+                },
+                -3,
+            )],
+            histograms: vec![(
+                WireMetricId {
+                    name: "h".into(),
+                    labels: Vec::new(),
+                },
+                WireHistogram {
+                    count: 2,
+                    sum: 10,
+                    buckets: vec![(4, 1), (8, 1)],
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_on_the_wire() {
+        let samples = [
+            Request::Hello,
+            Request::Query {
+                id: 9,
+                k: 5,
+                want_telemetry: true,
+                features: sample_features(),
+            },
+            Request::QueryBatch {
+                id: 10,
+                k: 3,
+                want_telemetry: false,
+                queries: vec![sample_features(), Vec::new()],
+            },
+            Request::Trim {
+                id: 11,
+                k_trim: 2,
+                features: sample_features(),
+            },
+            Request::TrimBatch {
+                id: 12,
+                items: vec![(1, sample_features()), (4, Vec::new())],
+            },
+        ];
+        for sample in &samples {
+            let decoded = Request::from_wire(&sample.to_wire()).expect("request round trip");
+            assert_eq!(&decoded, sample);
+        }
+        // Truncations of every sample must error, never panic.
+        for sample in &samples {
+            let wire = sample.to_wire();
+            for cut in 0..wire.len() {
+                assert!(Request::from_wire(&wire[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_on_the_wire() {
+        let hello = Response::Hello {
+            shard_id: 3,
+            shard_count: 8,
+            root: Digest::of(b"root"),
+        };
+        let telemetry = Response::Telemetry {
+            id: 21,
+            profile: WireProfile {
+                root: Some(sample_span()),
+            },
+            registry: sample_registry(),
+        };
+        let error = Response::Error {
+            id: 22,
+            message: "bad request".into(),
+        };
+        for sample in [&hello, &telemetry, &error] {
+            let wire = sample.to_wire();
+            let decoded = Response::from_wire(&wire).expect("response round trip");
+            assert_eq!(decoded.to_wire(), wire, "canonical re-encode");
+            for cut in 0..wire.len() {
+                assert!(Response::from_wire(&wire[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_stats_round_trips_and_strips_seconds() {
+        let stats = SpStats {
+            bovw_seconds: 1.0,
+            inv_seconds: 2.0,
+            shared_ratio: 0.5,
+            popped: 10,
+            total_postings: 20,
+            hashes_computed: 3,
+            hashes_cached: 4,
+            blocks_skipped: 5,
+            blocks_scanned: 6,
+        };
+        let wire = WireStats::from_stats(&stats);
+        let decoded = WireStats::from_wire(&wire.to_wire()).expect("stats round trip");
+        assert_eq!(decoded, wire);
+        let back = decoded.to_stats();
+        assert_eq!(back.popped, 10);
+        assert_eq!(back.bovw_seconds, 0.0, "seconds never cross the wire");
+        assert_eq!(back.inv_seconds, 0.0);
+    }
+
+    #[test]
+    fn trim_payload_round_trips_on_the_wire() {
+        use imageproof_invindex::InvVo;
+        let payload = TrimPayload {
+            topk: vec![(5, 1.5), (9, 0.25)],
+            inv: InvVoVariant::Plain(InvVo { lists: Vec::new() }),
+            signatures: vec![Signature::from_bytes([7u8; 64])],
+        };
+        let decoded = TrimPayload::from_wire(&payload.to_wire()).expect("trim round trip");
+        assert_eq!(decoded.topk, payload.topk);
+        assert_eq!(decoded.signatures, payload.signatures);
+    }
+
+    #[test]
+    fn query_payload_round_trips_on_the_wire() {
+        use imageproof_invindex::InvVo;
+        use imageproof_mrkd::BovwVo;
+        let payload = QueryPayload {
+            results: vec![ImageResult {
+                id: 4,
+                data: vec![1, 2, 3],
+                score: 2.5,
+            }],
+            vo: QueryVo {
+                bovw: crate::scheme::BovwVoVariant::Shared(BovwVo { trees: Vec::new() }),
+                inv: InvVoVariant::Plain(InvVo { lists: Vec::new() }),
+                signatures: vec![Signature::from_bytes([9u8; 64])],
+            },
+            stats: WireStats::default(),
+        };
+        let decoded = QueryPayload::from_wire(&payload.to_wire()).expect("payload round trip");
+        assert_eq!(decoded.to_wire(), payload.to_wire());
+        let (resp, stats) = decoded.into_response();
+        assert_eq!(resp.results.len(), 1);
+        assert_eq!(stats.popped, 0);
+    }
+
+    #[test]
+    fn wire_span_and_profile_round_trip_and_intern() {
+        let span = sample_span();
+        let decoded = WireSpan::from_wire(&span.to_wire()).expect("span round trip");
+        assert_eq!(decoded, span);
+
+        let profile = WireProfile {
+            root: Some(span.clone()),
+        };
+        let decoded = WireProfile::from_wire(&profile.to_wire()).expect("profile round trip");
+        assert_eq!(decoded, profile);
+        let local = decoded.to_profile();
+        let root = local.root.expect("profile has a root");
+        assert_eq!(root.name, "sp.query");
+        assert_eq!(root.children[0].name, "bovw");
+        // Interning is stable: the same remote name maps to one pointer.
+        assert!(std::ptr::eq(
+            intern_span_name("sp.query"),
+            intern_span_name("sp.query")
+        ));
+
+        let empty = WireProfile::from_wire(&WireProfile::default().to_wire());
+        assert_eq!(
+            empty.expect("empty profile round trip"),
+            WireProfile::default()
+        );
+    }
+
+    #[test]
+    fn deep_span_nesting_is_rejected() {
+        let mut span = WireSpan {
+            name: "leaf".into(),
+            ..WireSpan::default()
+        };
+        for _ in 0..(MAX_SPAN_DEPTH + 2) {
+            span = WireSpan {
+                name: "n".into(),
+                seconds: 0.0,
+                counters: Vec::new(),
+                children: vec![span],
+            };
+        }
+        assert_eq!(
+            WireSpan::from_wire(&span.to_wire()),
+            Err(WireError::DepthExceeded)
+        );
+    }
+
+    #[test]
+    fn wire_registry_round_trips_through_snapshots() {
+        let wire = sample_registry();
+        let decoded = WireRegistry::from_wire(&wire.to_wire()).expect("registry round trip");
+        assert_eq!(decoded, wire);
+        let snap = decoded.to_snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.gauges.values().next(), Some(&-3));
+        let back = WireRegistry::from_snapshot(&snap);
+        assert_eq!(back, wire);
+
+        let metric_id = WireMetricId {
+            name: "m".into(),
+            labels: vec![("a".into(), "b".into())],
+        };
+        assert_eq!(
+            WireMetricId::from_wire(&metric_id.to_wire()).expect("metric id round trip"),
+            metric_id
+        );
+        let histogram = WireHistogram {
+            count: 1,
+            sum: 2,
+            buckets: vec![(3, 1)],
+        };
+        assert_eq!(
+            WireHistogram::from_wire(&histogram.to_wire()).expect("histogram round trip"),
+            histogram
+        );
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_partial_writes() {
+        let body = Request::Query {
+            id: 1,
+            k: 2,
+            want_telemetry: false,
+            features: sample_features(),
+        }
+        .to_wire();
+        let framed = frame(&body);
+        let mut fb = FrameBuffer::new();
+        // Trickle one byte at a time: no frame until the last byte lands.
+        for (i, &b) in framed.iter().enumerate() {
+            fb.extend(&[b]);
+            if i + 1 < framed.len() {
+                assert!(fb
+                    .next_frame()
+                    .expect("no error on partial frame")
+                    .is_none());
+            }
+        }
+        let got = fb.next_frame().expect("complete frame parses");
+        assert_eq!(got, Some(body.clone()));
+        assert_eq!(fb.pending(), 0);
+
+        // Two frames in one burst drain in order.
+        fb.extend(&frame(&body));
+        fb.extend(&frame(b"second"));
+        assert_eq!(fb.next_frame().expect("first frame"), Some(body));
+        assert_eq!(
+            fb.next_frame().expect("second frame"),
+            Some(b"second".to_vec())
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            fb.next_frame(),
+            Err(RpcError::FrameTooLarge {
+                len: u64::from(u32::MAX)
+            })
+        );
+        let mut fb = FrameBuffer::new();
+        fb.extend(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        assert!(matches!(
+            fb.next_frame(),
+            Err(RpcError::FrameTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,302 @@
+//! [`ShardServer`]: one shard's query engine behind a TCP socket.
+//!
+//! The server wraps a [`ServiceProvider`] (exactly the engine the
+//! in-process [`crate::ShardedSp`] fan-out would call) and answers the
+//! frame protocol of [`super::frame`]. Query handling runs the *serial*
+//! engine path — the same path the in-process fan-out runs per shard — so
+//! every payload byte a healthy server produces is bit-equal to the
+//! in-process deployment by construction.
+//!
+//! Threading: one nonblocking accept loop polling a stop flag, one thread
+//! per connection with a short read timeout (so shutdown is prompt even
+//! with idle clients). Malformed input never panics the server: a frame
+//! that fails to decode earns the client a [`Response::Error`] frame and a
+//! closed connection.
+
+use super::frame::{frame, FrameBuffer, Request, Response, TrimPayload, WireProfile, WireRegistry};
+use super::{QueryPayload, RpcError};
+use crate::sp::ServiceProvider;
+use imageproof_crypto::wire::{Decode, Encode};
+use imageproof_obs::Profiler;
+use imageproof_parallel::Concurrency;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// stop flag.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// One shard's engine plus its wire identity.
+pub struct ShardServer {
+    sp: Arc<ServiceProvider>,
+    shard_id: u32,
+    shard_count: u32,
+}
+
+/// Handle to a spawned [`ShardServer`]: its bound address and a shutdown
+/// switch that joins every server thread.
+pub struct RunningServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The loopback address the server accepted on (port picked by the OS).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every server thread to stop and joins them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ShardServer {
+    pub fn new(sp: ServiceProvider, shard_id: u32, shard_count: u32) -> ShardServer {
+        ShardServer {
+            sp: Arc::new(sp),
+            shard_id,
+            shard_count,
+        }
+    }
+
+    /// Binds `127.0.0.1:0` (deterministic *allocation*: the OS picks a free
+    /// port, so parallel test binaries never collide) and serves until
+    /// [`RunningServer::shutdown`].
+    pub fn launch(self) -> std::io::Result<RunningServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::spawn(move || self.accept_loop(listener, accept_stop));
+        Ok(RunningServer {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    fn accept_loop(self, listener: TcpListener, stop: Arc<AtomicBool>) {
+        let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let sp = Arc::clone(&self.sp);
+                    let conn_stop = Arc::clone(&stop);
+                    let (shard_id, shard_count) = (self.shard_id, self.shard_count);
+                    conn_handles.push(std::thread::spawn(move || {
+                        serve_connection(stream, sp, shard_id, shard_count, conn_stop);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        for handle in conn_handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads frames off one connection and answers them until the peer hangs
+/// up, sends garbage, or the server stops.
+fn serve_connection(
+    mut stream: TcpStream,
+    sp: Arc<ServiceProvider>,
+    shard_id: u32,
+    shard_count: u32,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut fb = FrameBuffer::new();
+    let mut buf = [0u8; 64 * 1024];
+    'conn: while !stop.load(Ordering::SeqCst) {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => fb.extend(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        loop {
+            let body = match fb.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                Err(RpcError::FrameTooLarge { len }) => {
+                    // Hostile length prefix: refuse before allocating.
+                    let msg = format!("frame length {len} exceeds the cap");
+                    let _ = send(
+                        &mut stream,
+                        &Response::Error {
+                            id: 0,
+                            message: msg,
+                        },
+                    );
+                    break 'conn;
+                }
+                Err(_) => break 'conn,
+            };
+            let request = match Request::from_wire(&body) {
+                Ok(req) => req,
+                Err(e) => {
+                    let msg = format!("malformed request frame: {e}");
+                    let _ = send(
+                        &mut stream,
+                        &Response::Error {
+                            id: 0,
+                            message: msg,
+                        },
+                    );
+                    break 'conn;
+                }
+            };
+            if !handle_request(&mut stream, &sp, shard_id, shard_count, request) {
+                break 'conn;
+            }
+        }
+    }
+}
+
+/// Serves one decoded request; returns false when the connection should
+/// close (write failure).
+fn handle_request(
+    stream: &mut TcpStream,
+    sp: &ServiceProvider,
+    shard_id: u32,
+    shard_count: u32,
+    request: Request,
+) -> bool {
+    match request {
+        Request::Hello => send(
+            stream,
+            &Response::Hello {
+                shard_id,
+                shard_count,
+                root: sp.database().mrkd.combined_root_digest(),
+            },
+        )
+        .is_ok(),
+        Request::Query {
+            id,
+            k,
+            want_telemetry,
+            features,
+        } => {
+            let (resp, stats, profile) =
+                sp.query_profiled(&features, k as usize, Concurrency::serial());
+            if want_telemetry && !send_telemetry(stream, id, &profile) {
+                return false;
+            }
+            send(
+                stream,
+                &Response::Query {
+                    id,
+                    payload: QueryPayload::from_response(&resp, &stats),
+                },
+            )
+            .is_ok()
+        }
+        Request::QueryBatch {
+            id,
+            k,
+            want_telemetry,
+            queries,
+        } => {
+            // One span per batch, each query's own profile grafted under
+            // it — the coordinator attaches the whole thing under its
+            // fan-out span, mirroring the in-process shape.
+            let mut prof = Profiler::new("shard.batch");
+            prof.enter("queries");
+            let mut payloads = Vec::with_capacity(queries.len());
+            for (i, features) in queries.iter().enumerate() {
+                let (resp, stats, sub) =
+                    sp.query_profiled(features, k as usize, Concurrency::serial());
+                prof.attach(sub, "query", i as u64);
+                payloads.push(QueryPayload::from_response(&resp, &stats));
+            }
+            prof.exit();
+            if want_telemetry && !send_telemetry(stream, id, &prof.finish()) {
+                return false;
+            }
+            send(stream, &Response::QueryBatch { id, payloads }).is_ok()
+        }
+        Request::Trim {
+            id,
+            k_trim,
+            features,
+        } => {
+            let (topk, inv, signatures) = sp.trim_query(&features, k_trim as usize);
+            send(
+                stream,
+                &Response::Trim {
+                    id,
+                    payload: trim_payload(topk, inv, signatures),
+                },
+            )
+            .is_ok()
+        }
+        Request::TrimBatch { id, items } => {
+            let mut payloads = Vec::with_capacity(items.len());
+            for (k_trim, features) in &items {
+                let (topk, inv, signatures) = sp.trim_query(features, *k_trim as usize);
+                payloads.push(trim_payload(topk, inv, signatures));
+            }
+            send(stream, &Response::TrimBatch { id, payloads }).is_ok()
+        }
+    }
+}
+
+fn trim_payload(
+    topk: Vec<(u64, f32)>,
+    inv: crate::scheme::InvVoVariant,
+    signatures: Vec<imageproof_crypto::Signature>,
+) -> TrimPayload {
+    TrimPayload {
+        topk,
+        inv,
+        signatures,
+    }
+}
+
+/// Ships the observability sidecar frame: the query's span profile plus a
+/// snapshot of this shard process's cumulative metrics registry.
+fn send_telemetry(stream: &mut TcpStream, id: u64, profile: &imageproof_obs::QueryProfile) -> bool {
+    let registry = WireRegistry::from_snapshot(&imageproof_obs::global().snapshot());
+    send(
+        stream,
+        &Response::Telemetry {
+            id,
+            profile: WireProfile::from_profile(profile),
+            registry,
+        },
+    )
+    .is_ok()
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    stream.write_all(&frame(&resp.to_wire()))
+}

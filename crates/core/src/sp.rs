@@ -1,10 +1,12 @@
 //! The service provider: authenticated query processing (paper §V-B,
 //! Alg. 5).
 
+use crate::fanout;
 use crate::owner::{Database, IndexVariant};
 use crate::scheme::{BovwVoVariant, InvVoVariant, QueryVo, Scheme};
-use crate::shard::{dedup_shared_section, ShardBovw, ShardVo, ShardedResponse, ShardedVo};
+use crate::shard::ShardedResponse;
 use imageproof_akm::SparseBovw;
+use imageproof_crypto::Signature;
 use imageproof_invindex::grouped::grouped_search;
 use imageproof_invindex::{inv_search, BoundsMode, InvSearchStats};
 use imageproof_mrkd::{mrkd_search_baseline_with, mrkd_search_with};
@@ -13,11 +15,8 @@ use imageproof_parallel::{par_map, par_map_chunked, Concurrency};
 use imageproof_vision::ImageId;
 use std::collections::BTreeMap;
 
-/// One trim re-query result: (shard index, local top-k', inverted-index VO).
-type TrimResult = (usize, Vec<(ImageId, f32)>, InvVoVariant);
-
 /// One returned image with its raw payload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ImageResult {
     pub id: ImageId,
     pub data: Vec<u8>,
@@ -289,6 +288,42 @@ impl ServiceProvider {
         }
     }
 
+    /// The sharded trim re-query: BoVW-encodes `features` (k-independent,
+    /// so the encoding matches the full-k fan-out's bit-for-bit) and runs
+    /// the inverted step at `k_trim`, returning the local top-k', its
+    /// proof, and the claimed images' owner signatures in claim order.
+    /// This is the request a shard server answers during the coordinator's
+    /// trim phase (`crate::rpc`).
+    pub fn trim_query(
+        &self,
+        features: &[Vec<f32>],
+        k_trim: usize,
+    ) -> (Vec<(ImageId, f32)>, InvVoVariant, Vec<Signature>) {
+        let query_bovw = SparseBovw::from_counts(
+            features
+                .iter()
+                .map(|f| (self.db.codebook.assign_with_threshold(f).0, 1)),
+        );
+        self.trim_query_with_bovw(&query_bovw, k_trim)
+    }
+
+    /// [`ServiceProvider::trim_query`] over an already-encoded query BoVW
+    /// (the in-process fan-out encodes once and re-queries every trim
+    /// target with it; the codebook is shared, so the bytes are identical
+    /// either way).
+    pub fn trim_query_with_bovw(
+        &self,
+        query_bovw: &SparseBovw,
+        k_trim: usize,
+    ) -> (Vec<(ImageId, f32)>, InvVoVariant, Vec<Signature>) {
+        let (topk, inv, _) = self.inv_step(query_bovw, k_trim);
+        let signatures = topk
+            .iter()
+            .map(|&(id, _)| self.db.images[&id].signature)
+            .collect();
+        (topk, inv, signatures)
+    }
+
     /// Serves independent client queries concurrently over the shared
     /// immutable [`Database`] — the millions-of-users serving shape: one
     /// database, many simultaneous top-k queries.
@@ -405,6 +440,13 @@ impl ShardedSp {
         &self.shards
     }
 
+    /// Dissolves the in-process fan-out into its per-shard engines — the
+    /// handoff point to socket serving: each engine moves into its own
+    /// [`crate::rpc::ShardServer`] process/thread.
+    pub fn into_shards(self) -> Vec<ServiceProvider> {
+        self.shards
+    }
+
     /// Answers a sharded top-k query serially.
     pub fn query(&self, features: &[Vec<f32>], k: usize) -> (ShardedResponse, ShardedSpStats) {
         self.query_with(features, k, Concurrency::serial())
@@ -442,32 +484,22 @@ impl ShardedSp {
             par_map(conc, &self.shards, |_, sp| {
                 sp.query_profiled(features, k, Concurrency::serial())
             });
-        let mut full: Vec<(QueryResponse, SpStats)> = Vec::with_capacity(fanned.len());
+        let mut full: Vec<QueryResponse> = Vec::with_capacity(fanned.len());
+        let mut per_shard: Vec<SpStats> = Vec::with_capacity(fanned.len());
         for (shard, (resp, stats, sub)) in fanned.into_iter().enumerate() {
             prof.attach(sub, "shard", shard as u64);
-            full.push((resp, stats));
+            full.push(resp);
+            per_shard.push(stats);
         }
         let fanout_seconds = prof.exit();
 
-        // Phase 2: merge the local top-ks under (score desc, id asc) — the
-        // same order the per-shard engines use — and keep the k global
-        // winners. Scores are shard-invariant (global impact model), so
-        // this merge reproduces the monolith top-k exactly. Each shard's
-        // winner count becomes its sub-VO's `contributed` claim.
+        // Phase 2: merge the local top-ks and keep the k global winners
+        // (`fanout::merge_candidates`, shared with the socket
+        // coordinator). Each shard's winner count becomes its sub-VO's
+        // `contributed` claim.
         prof.enter("merge");
-        let mut candidates: Vec<(usize, ImageId, f32)> = Vec::new();
-        for (shard, (resp, _)) in full.iter().enumerate() {
-            for r in &resp.results {
-                candidates.push((shard, r.id, r.score));
-            }
-        }
-        candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
-        candidates.truncate(k);
-        let mut contributed = vec![0usize; self.shards.len()];
-        for &(shard, _, _) in &candidates {
-            contributed[shard] += 1;
-        }
-        prof.add("candidates", candidates.len() as u64);
+        let merge = fanout::merge_candidates(&full, k);
+        prof.add("candidates", merge.candidates.len() as u64);
         let mut merge_seconds = prof.exit();
 
         // Phase 3: trim. A shard contributing j entries must prove its
@@ -476,14 +508,9 @@ impl ShardedSp {
         // re-query at k' (BoVW encoding is k-independent, so the fan-out's
         // BoVW VO is reused and only the inverted step re-runs).
         prof.enter("trim");
-        let trim_targets: Vec<(usize, usize)> = (0..self.shards.len())
-            .filter_map(|s| {
-                let k_trim = (contributed[s] + 1).min(k);
-                (k_trim < k).then_some((s, k_trim))
-            })
-            .collect();
+        let trim_targets = fanout::trim_targets(&merge.contributed, k);
         prof.add("trim_queries", trim_targets.len() as u64);
-        let mut trimmed: Vec<TrimResult> = Vec::new();
+        let mut trimmed: BTreeMap<usize, fanout::TrimOutcome> = BTreeMap::new();
         if let Some(sp0) = self.shards.first() {
             if !trim_targets.is_empty() {
                 // The BoVW encoding is shard-invariant (shared codebook):
@@ -494,71 +521,28 @@ impl ShardedSp {
                         .map(|f| (sp0.db.codebook.assign_with_threshold(f).0, 1)),
                 );
                 trimmed = par_map(conc, &trim_targets, |_, &(s, k_trim)| {
-                    let (topk, inv, _) = self.shards[s].inv_step(&query_bovw, k_trim);
-                    (s, topk, inv)
-                });
+                    (s, self.shards[s].trim_query_with_bovw(&query_bovw, k_trim))
+                })
+                .into_iter()
+                .collect();
             }
         }
         let trim_seconds = prof.exit();
 
-        // Phase 4: assemble the global results and the sharded VO, sub-VOs
-        // in ascending shard order, then deduplicate the shards' common
-        // BoVW geometry into the response's shared section.
+        // Phase 4: assemble the global results and the sharded VO
+        // (`fanout::assemble_response`, shared with the socket
+        // coordinator): sub-VOs in ascending shard order, then the common
+        // BoVW geometry deduplicated into the response's shared section.
         prof.enter("assemble");
-        let mut results = Vec::with_capacity(candidates.len());
-        for &(shard, id, score) in &candidates {
-            if let Some(r) = full[shard].0.results.iter().find(|r| r.id == id) {
-                results.push(ImageResult {
-                    id,
-                    data: r.data.clone(),
-                    score,
-                });
-            }
-        }
-        let trimmed_by_shard: BTreeMap<usize, (Vec<(ImageId, f32)>, InvVoVariant)> = trimmed
-            .into_iter()
-            .map(|(s, topk, inv)| (s, (topk, inv)))
-            .collect();
-        let mut per_shard = Vec::with_capacity(full.len());
-        let mut shard_vos = Vec::with_capacity(full.len());
-        let mut trimmed_entries = 0usize;
-        for (shard, (resp, stats)) in full.iter().enumerate() {
-            per_shard.push(*stats);
-            let (claimed, inv, signatures): (Vec<ImageId>, InvVoVariant, Vec<_>) =
-                match trimmed_by_shard.get(&shard) {
-                    Some((topk, inv)) => {
-                        let claimed: Vec<ImageId> = topk.iter().map(|&(id, _)| id).collect();
-                        trimmed_entries += resp.results.len().saturating_sub(claimed.len());
-                        let signatures = claimed
-                            .iter()
-                            .map(|id| self.shards[shard].db.images[id].signature)
-                            .collect();
-                        (claimed, inv.clone(), signatures)
-                    }
-                    None => (
-                        resp.results.iter().map(|r| r.id).collect(),
-                        resp.vo.inv.clone(),
-                        resp.vo.signatures.clone(),
-                    ),
-                };
-            shard_vos.push(ShardVo {
-                shard_id: shard as u32,
-                contributed: contributed[shard] as u32,
-                claimed,
-                bovw: ShardBovw::Inline(resp.vo.bovw.clone()),
-                inv,
-                signatures,
-            });
-        }
-        let (shared, dedup_bytes_saved) = dedup_shared_section(&mut shard_vos);
-        prof.add("dedup_bytes_saved", dedup_bytes_saved as u64);
+        let assembled = fanout::assemble_response(&full, &merge, &trimmed);
+        prof.add("dedup_bytes_saved", assembled.dedup_bytes_saved as u64);
         merge_seconds += prof.exit();
 
         let stats = ShardedSpStats {
             per_shard,
             trim_queries: trim_targets.len(),
-            trimmed_entries,
-            dedup_bytes_saved,
+            trimmed_entries: assembled.trimmed_entries,
+            dedup_bytes_saved: assembled.dedup_bytes_saved,
             merge_seconds,
             wall_seconds: fanout_seconds + merge_seconds + trim_seconds,
         };
@@ -566,12 +550,14 @@ impl ShardedSp {
             self.record_sharded_query(&stats, fanout_seconds, trim_seconds);
         }
 
-        let vo = ShardedVo {
-            shard_count: self.shards.len() as u32,
-            shared,
-            shards: shard_vos,
-        };
-        (ShardedResponse { results, vo }, stats, prof.finish())
+        (
+            ShardedResponse {
+                results: assembled.results,
+                vo: assembled.vo,
+            },
+            stats,
+            prof.finish(),
+        )
     }
 
     /// Records one finished sharded query into the global registry.

@@ -21,6 +21,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use imageproof_akm::AkmParams;
+use imageproof_core::rpc::{
+    QueryPayload, Request, Response, TrimPayload, WireHistogram, WireMetricId, WireProfile,
+    WireRegistry, WireSpan, WireStats,
+};
 use imageproof_core::{
     BovwVoVariant, Client, InvVoVariant, Owner, QueryResponse, QueryVo, Scheme, ServiceProvider,
     ShardBovw, ShardManifest, ShardVo, ShardedResponse, ShardedSp, ShardedVo, SharedSection,
@@ -404,6 +408,187 @@ fn sharded_wire_types_decoding_is_total() {
     fuzz_decode::<ShardBovw>("ShardBovw[inline]", &inline);
 }
 
+// ---------------------------------------------------------------------------
+// RPC frame types: the socket protocol reuses the audited wire layer, and a
+// hostile peer controls every frame byte, so every frame decoder must be
+// total too.
+
+/// A representative sample of every RPC wire type, seeded from a real
+/// response (so payload arms carry realistic VOs) plus synthetic frames
+/// for the arms a healthy fixture never produces.
+type RpcSamples = (Vec<(&'static str, Request)>, Vec<(&'static str, Response)>);
+
+fn rpc_samples() -> RpcSamples {
+    use imageproof_crypto::Digest;
+    let (_, fx) = &fixtures()[1]; // the ImageProof fixture
+    let features = vec![vec![0.25f32; 8], vec![-1.5f32; 8]];
+    let stats = WireStats {
+        shared_ratio: 0.5,
+        popped: 12,
+        total_postings: 80,
+        hashes_computed: 9,
+        hashes_cached: 3,
+        blocks_skipped: 2,
+        blocks_scanned: 5,
+    };
+    let payload = QueryPayload {
+        results: fx.response.results.clone(),
+        vo: fx.response.vo.clone(),
+        stats,
+    };
+    let trim = TrimPayload {
+        topk: vec![(5, 0.9), (17, 0.25)],
+        inv: fx.response.vo.inv.clone(),
+        signatures: fx.response.vo.signatures.clone(),
+    };
+    let profile = WireProfile {
+        root: Some(WireSpan {
+            name: "rpc.query".into(),
+            seconds: 0.125,
+            counters: vec![("candidates".into(), 7)],
+            children: vec![WireSpan {
+                name: "fanout".into(),
+                seconds: 0.0625,
+                counters: Vec::new(),
+                children: Vec::new(),
+            }],
+        }),
+    };
+    let registry = WireRegistry {
+        counters: vec![(
+            WireMetricId {
+                name: "imageproof_rpc_failovers_total".into(),
+                labels: Vec::new(),
+            },
+            3,
+        )],
+        gauges: vec![(
+            WireMetricId {
+                name: "g".into(),
+                labels: vec![("shard".into(), "0".into())],
+            },
+            -4,
+        )],
+        histograms: vec![(
+            WireMetricId {
+                name: "imageproof_rpc_request_micros".into(),
+                labels: vec![("shard".into(), "1".into())],
+            },
+            WireHistogram {
+                count: 2,
+                sum: 300,
+                buckets: vec![(100, 1), (1000, 1)],
+            },
+        )],
+    };
+    let requests = vec![
+        ("Request[hello]", Request::Hello),
+        (
+            "Request[query]",
+            Request::Query {
+                id: 7,
+                k: 5,
+                want_telemetry: true,
+                features: features.clone(),
+            },
+        ),
+        (
+            "Request[query_batch]",
+            Request::QueryBatch {
+                id: 8,
+                k: 3,
+                want_telemetry: false,
+                queries: vec![features.clone(), Vec::new()],
+            },
+        ),
+        (
+            "Request[trim]",
+            Request::Trim {
+                id: 9,
+                k_trim: 1,
+                features: features.clone(),
+            },
+        ),
+        (
+            "Request[trim_batch]",
+            Request::TrimBatch {
+                id: 10,
+                items: vec![(2, features)],
+            },
+        ),
+    ];
+    let responses = vec![
+        (
+            "Response[hello]",
+            Response::Hello {
+                shard_id: 1,
+                shard_count: 4,
+                root: Digest::of(b"root"),
+            },
+        ),
+        (
+            "Response[query]",
+            Response::Query {
+                id: 7,
+                payload: payload.clone(),
+            },
+        ),
+        (
+            "Response[query_batch]",
+            Response::QueryBatch {
+                id: 8,
+                payloads: vec![payload],
+            },
+        ),
+        (
+            "Response[trim]",
+            Response::Trim {
+                id: 9,
+                payload: trim.clone(),
+            },
+        ),
+        (
+            "Response[trim_batch]",
+            Response::TrimBatch {
+                id: 10,
+                payloads: vec![trim],
+            },
+        ),
+        (
+            "Response[telemetry]",
+            Response::Telemetry {
+                id: 7,
+                profile,
+                registry,
+            },
+        ),
+        (
+            "Response[error]",
+            Response::Error {
+                id: 0,
+                message: "malformed request frame".into(),
+            },
+        ),
+    ];
+    (requests, responses)
+}
+
+#[test]
+fn rpc_request_decoding_is_total() {
+    let (requests, _) = rpc_samples();
+    for (name, sample) in &requests {
+        fuzz_decode(name, sample);
+    }
+}
+
+#[test]
+fn rpc_response_decoding_is_total() {
+    let (_, responses) = rpc_samples();
+    for (name, sample) in &responses {
+        fuzz_decode(name, sample);
+    }
+}
+
 /// End-to-end for the sharded path: bit-flip the serialized sharded VO;
 /// whenever the corruption still *decodes*, `verify_sharded` must reject
 /// or accept without panicking — never crash.
@@ -509,6 +694,14 @@ proptest! {
         let _ = decode_total::<ShardBovw>("ShardBovw", &bytes);
         let _ = decode_total::<SharedSection>("SharedSection", &bytes);
         let _ = decode_total::<ShardedVo>("ShardedVo", &bytes);
+        let _ = decode_total::<Request>("Request", &bytes);
+        let _ = decode_total::<Response>("Response", &bytes);
+        let _ = decode_total::<QueryPayload>("QueryPayload", &bytes);
+        let _ = decode_total::<TrimPayload>("TrimPayload", &bytes);
+        let _ = decode_total::<WireStats>("WireStats", &bytes);
+        let _ = decode_total::<WireSpan>("WireSpan", &bytes);
+        let _ = decode_total::<WireProfile>("WireProfile", &bytes);
+        let _ = decode_total::<WireRegistry>("WireRegistry", &bytes);
     }
 
     #[test]

@@ -8,7 +8,16 @@
 //! process-wide global — toggling it from concurrently running tests
 //! would race the flag itself (the VO bytes are unaffected either way,
 //! but the span/seconds assertions would become flaky).
+//!
+//! The socket section extends the proof to the RPC deployment: a
+//! recording proxy captures every payload frame a shard serves, and the
+//! captured *payload bytes* must be identical with recording on and off —
+//! telemetry rides a separate sidecar frame that appears only when
+//! recording is enabled, never inside the served payload.
 
+mod rpc_util;
+
+use imageproof_core::rpc::{CoordinatorConfig, Response, RpcCoordinator, ShardEndpoint};
 use imageproof_suite::akm::{AkmParams, Codebook, SparseBovw};
 use imageproof_suite::core::{
     Client, Concurrency, Owner, Scheme, ServiceProvider, ShardedSp, SpStats, SystemConfig,
@@ -16,6 +25,8 @@ use imageproof_suite::core::{
 use imageproof_suite::crypto::wire::Encode;
 use imageproof_suite::obs;
 use imageproof_suite::vision::{Corpus, CorpusConfig, DescriptorKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SHARDS: usize = 3;
@@ -177,6 +188,99 @@ fn vo_bytes_and_topk_identical_with_obs_on_and_off() {
                 ids(&resp_on),
                 "{scheme:?}/{threads}t: sharded == monolith"
             );
+        }
+
+        // --- Socket path: zero wire-byte perturbation over RPC ---
+        // Serve an identical build over the socket boundary with a
+        // recording proxy in front of shard 0. The proxy captures the
+        // *payload* bytes of every Query/Trim frame the shard emits and
+        // counts telemetry sidecar frames separately. Toggling recording
+        // must leave the payload bytes captured off the wire identical,
+        // keep the assembled VO equal to the in-process deployment's
+        // bytes, and only add/remove the telemetry sidecar frame.
+        let served = owner.build_sharded_system_prepared_config(
+            &corpus,
+            codebook.clone(),
+            encodings.clone(),
+            SystemConfig::new(scheme),
+            SHARDS,
+        );
+        let (servers, endpoints) = rpc_util::launch_shards(ShardedSp::new(served.shards));
+        let payloads: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let telemetry_frames = Arc::new(AtomicUsize::new(0));
+        let (rec, tel) = (Arc::clone(&payloads), Arc::clone(&telemetry_frames));
+        let proxy = rpc_util::Proxy::start(
+            endpoints[0].primary,
+            rpc_util::Fault::MapResponses(Arc::new(move |resp| {
+                match &resp {
+                    Response::Telemetry { .. } => {
+                        tel.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Response::Query { payload, .. } => {
+                        rec.lock().unwrap().push(payload.to_wire());
+                    }
+                    Response::Trim { payload, .. } => {
+                        rec.lock().unwrap().push(payload.to_wire());
+                    }
+                    _ => {}
+                }
+                Some(resp)
+            })),
+        );
+        let mut wired = endpoints.clone();
+        wired[0] = ShardEndpoint::single(proxy.addr());
+        let mut coord = RpcCoordinator::connect(wired, &manifest, CoordinatorConfig::default())
+            .expect("coordinator connects through recording proxy");
+
+        obs::set_enabled(true);
+        let (rpc_on, _) = coord.query(&features, K).expect("socket query, obs on");
+        let frames_on = std::mem::take(&mut *payloads.lock().unwrap());
+        let sidecars_on = telemetry_frames.load(Ordering::SeqCst);
+        assert!(
+            sidecars_on >= 1,
+            "{scheme:?}: enabled query carries a telemetry sidecar frame"
+        );
+        assert!(
+            coord.shard_registries()[0].is_some(),
+            "{scheme:?}: coordinator holds shard 0 telemetry when enabled"
+        );
+
+        obs::set_enabled(false);
+        let (rpc_off, _) = coord.query(&features, K).expect("socket query, obs off");
+        obs::set_enabled(true);
+        let frames_off = std::mem::take(&mut *payloads.lock().unwrap());
+        assert_eq!(
+            telemetry_frames.load(Ordering::SeqCst),
+            sidecars_on,
+            "{scheme:?}: disabled query must not send a telemetry frame"
+        );
+
+        assert!(
+            !frames_on.is_empty(),
+            "{scheme:?}: proxy captured payload frames"
+        );
+        assert_eq!(
+            frames_on, frames_off,
+            "{scheme:?}: payload bytes on the wire must not depend on obs"
+        );
+        let in_process = sharded_sp.query(&features, K).0.vo.to_wire();
+        assert_eq!(
+            rpc_on.vo.to_wire(),
+            in_process,
+            "{scheme:?}: socket VO (obs on) == in-process VO"
+        );
+        assert_eq!(
+            rpc_off.vo.to_wire(),
+            in_process,
+            "{scheme:?}: socket VO (obs off) == in-process VO"
+        );
+        sharded_client
+            .verify_sharded(&features, K, &rpc_on, &manifest)
+            .expect("socket response verifies");
+        drop(coord);
+        drop(proxy);
+        for server in servers {
+            server.shutdown();
         }
     }
 }

@@ -1,0 +1,247 @@
+//! Fault-injection suite for the socket RPC layer.
+//!
+//! A byte-mangling proxy (see `rpc_util::Proxy`) sits between the
+//! coordinator and a shard server and injects transport faults: partial
+//! writes, mid-frame connection resets, stalled shards, duplicated and
+//! rewritten response frames, and hostile length prefixes. The contract
+//! under test is the module's robustness claim: every fault surfaces as
+//! exactly one typed `RpcError` **or** as a successful failover to a
+//! manifest-pinned replica — never a panic, and never a response that
+//! differs from the in-process deployment's bytes.
+
+mod rpc_util;
+
+use imageproof_core::rpc::{CoordinatorConfig, Response, RpcCoordinator, RpcError, ShardEndpoint};
+use imageproof_core::Scheme;
+use imageproof_crypto::wire::Encode;
+use rpc_util::{fixture, quick_config, Fault, Proxy};
+use std::sync::Arc;
+
+/// Connects a coordinator whose single shard is reached through `proxy`.
+fn connect_via_proxy(
+    fx: &rpc_util::Fixture,
+    proxy: &Proxy,
+    config: CoordinatorConfig,
+) -> Result<RpcCoordinator, RpcError> {
+    assert_eq!(fx.endpoints.len(), 1, "proxy harness is single-shard");
+    RpcCoordinator::connect(
+        vec![ShardEndpoint::single(proxy.addr())],
+        &fx.manifest,
+        config,
+    )
+}
+
+#[test]
+fn partial_writes_reassemble_into_identical_bytes() {
+    // Worst-case fragmentation: every response byte arrives in its own
+    // read. The frame buffer must reassemble the stream into the same
+    // bytes the in-process engine produces.
+    let fx = fixture(Scheme::ImageProof, 1);
+    let proxy = Proxy::start(fx.endpoints[0].primary, Fault::Trickle);
+    let mut config = quick_config();
+    config.request_timeout_seconds = 30.0; // trickling is slow by design
+    let mut coord = connect_via_proxy(&fx, &proxy, config).expect("connect through trickle proxy");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let (resp, _) = coord.query(&features, 3).expect("trickled query");
+    let (local, _) = fx.sp.query(&features, 3);
+    assert_eq!(
+        resp.vo.to_wire(),
+        local.vo.to_wire(),
+        "trickled bytes diverged from in-process bytes"
+    );
+    fx.client
+        .verify_sharded(&features, 3, &resp, &fx.manifest)
+        .expect("client verifies trickled response");
+    assert_eq!(coord.stats().failovers, 0);
+}
+
+#[test]
+fn mid_frame_reset_is_a_typed_close_not_a_panic() {
+    // Cut the connection 10 bytes into the first response frame. With no
+    // replica to fail over to, the close must surface as the typed
+    // connection fault that triggered it.
+    let fx = fixture(Scheme::ImageProof, 1);
+    let proxy = Proxy::start(fx.endpoints[0].primary, Fault::ResetAfterResponseBytes(10));
+    let mut coord = connect_via_proxy(&fx, &proxy, quick_config()).expect("connect");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let err = coord.query(&features, 3).expect_err("mid-frame reset");
+    assert!(
+        matches!(
+            err,
+            RpcError::ConnectionClosed { shard: 0 } | RpcError::Io { shard: 0, .. }
+        ),
+        "expected a typed connection fault, got: {err}"
+    );
+}
+
+#[test]
+fn stalled_shard_times_out_when_no_replica_exists() {
+    // The proxy forwards the request but swallows every response byte:
+    // the shard looks alive but never answers. The per-shard deadline
+    // must convert that into ShardTimeout.
+    let fx = fixture(Scheme::ImageProof, 1);
+    let proxy = Proxy::start(fx.endpoints[0].primary, Fault::StallResponses);
+    let mut coord = connect_via_proxy(&fx, &proxy, quick_config()).expect("connect");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let err = coord.query(&features, 3).expect_err("stalled shard");
+    assert_eq!(err, RpcError::ShardTimeout { shard: 0 }, "got: {err}");
+}
+
+#[test]
+fn swallowed_request_times_out_too() {
+    // Same deadline when the stall is on the request path (the server
+    // never even sees the query).
+    let fx = fixture(Scheme::ImageProof, 1);
+    let proxy = Proxy::start(fx.endpoints[0].primary, Fault::StallRequests);
+    let mut coord = connect_via_proxy(&fx, &proxy, quick_config()).expect("connect");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let err = coord.query(&features, 3).expect_err("swallowed request");
+    assert_eq!(err, RpcError::ShardTimeout { shard: 0 }, "got: {err}");
+}
+
+#[test]
+fn stalled_primary_fails_over_to_replica_with_identical_bytes() {
+    // Endpoint chain: stalled proxy first, healthy server as replica. The
+    // timeout must trigger exactly one failover — hello re-verified
+    // against the manifest pin — and the replayed query must produce the
+    // same bytes as the in-process deployment.
+    let fx = fixture(Scheme::ImageProof, 1);
+    let healthy = fx.endpoints[0].primary;
+    let proxy = Proxy::start(healthy, Fault::StallResponses);
+    let endpoints = vec![ShardEndpoint::with_replicas(proxy.addr(), vec![healthy])];
+    let mut coord =
+        RpcCoordinator::connect(endpoints, &fx.manifest, quick_config()).expect("connect");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let (resp, _) = coord.query(&features, 3).expect("failover query");
+    let (local, _) = fx.sp.query(&features, 3);
+    assert_eq!(
+        resp.vo.to_wire(),
+        local.vo.to_wire(),
+        "failover response diverged from in-process bytes"
+    );
+    fx.client
+        .verify_sharded(&features, 3, &resp, &fx.manifest)
+        .expect("client verifies failover response");
+    assert_eq!(coord.stats().failovers, 1, "expected exactly one failover");
+    // The replica connection keeps serving subsequent queries.
+    let follow = fx.corpus().query_from_image(9, 18, 2);
+    let (resp2, _) = coord.query(&follow, 3).expect("post-failover query");
+    let (local2, _) = fx.sp.query(&follow, 3);
+    assert_eq!(resp2.vo.to_wire(), local2.vo.to_wire());
+    assert_eq!(coord.stats().failovers, 1, "no further failover expected");
+}
+
+#[test]
+fn duplicated_response_frame_is_an_id_mismatch_on_the_next_request() {
+    // The proxy forwards the first response frame twice. The first query
+    // consumes one copy and succeeds; the stale duplicate then collides
+    // with the next request's fresh id.
+    let fx = fixture(Scheme::ImageProof, 1);
+    let proxy = Proxy::start(fx.endpoints[0].primary, Fault::DuplicateFirstResponseFrame);
+    let mut coord = connect_via_proxy(&fx, &proxy, quick_config()).expect("connect");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let (resp, _) = coord.query(&features, 3).expect("first query succeeds");
+    let (local, _) = fx.sp.query(&features, 3);
+    assert_eq!(resp.vo.to_wire(), local.vo.to_wire());
+    let err = coord
+        .query(&features, 3)
+        .expect_err("stale duplicate must not satisfy a fresh request");
+    assert!(
+        matches!(err, RpcError::ResponseIdMismatch { shard: 0, .. }),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn rewritten_response_ids_are_rejected_as_replays() {
+    // A wire-level adversary re-stamps every response with a different
+    // request id (a replay/substitution attempt at the id layer).
+    let fx = fixture(Scheme::ImageProof, 1);
+    let proxy = Proxy::start(
+        fx.endpoints[0].primary,
+        Fault::MapResponses(Arc::new(|resp| {
+            Some(match resp {
+                Response::Query { id, payload } => Response::Query {
+                    id: id + 1000,
+                    payload,
+                },
+                other => other,
+            })
+        })),
+    );
+    let mut coord = connect_via_proxy(&fx, &proxy, quick_config()).expect("connect");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let err = coord.query(&features, 3).expect_err("re-stamped response");
+    assert!(
+        matches!(
+            err,
+            RpcError::ResponseIdMismatch {
+                shard: 0,
+                expected,
+                got,
+            } if got == expected + 1000
+        ),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn hostile_length_prefix_is_refused_before_allocation() {
+    // The proxy answers the query with a frame header announcing
+    // u32::MAX bytes. The coordinator must refuse it as FrameTooLarge
+    // without ever allocating the announced length.
+    let fx = fixture(Scheme::ImageProof, 1);
+    let proxy = Proxy::start(fx.endpoints[0].primary, Fault::HostileLengthHeader);
+    let mut coord = connect_via_proxy(&fx, &proxy, quick_config()).expect("connect");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let err = coord.query(&features, 3).expect_err("hostile length");
+    assert_eq!(
+        err,
+        RpcError::FrameTooLarge {
+            len: u32::MAX as u64
+        },
+        "got: {err}"
+    );
+}
+
+#[test]
+fn transparent_proxy_is_invisible() {
+    // Control: the proxy with no fault armed changes nothing.
+    let fx = fixture(Scheme::OptimizedBoth, 1);
+    let proxy = Proxy::start(fx.endpoints[0].primary, Fault::Transparent);
+    let mut coord = connect_via_proxy(&fx, &proxy, quick_config()).expect("connect");
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let (resp, _) = coord.query(&features, 3).expect("proxied query");
+    let (local, _) = fx.sp.query(&features, 3);
+    assert_eq!(resp.vo.to_wire(), local.vo.to_wire());
+    assert_eq!(coord.stats().failovers, 0);
+}
+
+#[test]
+fn swapped_endpoints_fail_the_manifest_pin() {
+    // Pointing shard 0's endpoint at shard 1's server: the hello carries
+    // the wrong shard id and the wrong pinned root, so connect must
+    // reject the deployment outright.
+    let fx = fixture(Scheme::ImageProof, 2);
+    let swapped = vec![fx.endpoints[1].clone(), fx.endpoints[0].clone()];
+    let err = RpcCoordinator::connect(swapped, &fx.manifest, quick_config())
+        .err()
+        .expect("swapped endpoints must not connect");
+    assert!(matches!(err, RpcError::HelloMismatch { .. }), "got: {err}");
+}
+
+#[test]
+fn endpoint_count_must_cover_the_manifest() {
+    let fx = fixture(Scheme::ImageProof, 2);
+    let err = RpcCoordinator::connect(vec![fx.endpoints[0].clone()], &fx.manifest, quick_config())
+        .err()
+        .expect("short endpoint list must not connect");
+    assert_eq!(
+        err,
+        RpcError::EndpointCountMismatch {
+            expected: 2,
+            got: 1
+        },
+        "got: {err}"
+    );
+}

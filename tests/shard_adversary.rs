@@ -11,6 +11,15 @@
 //! patches), tampered winner payloads, and merge manipulation. A
 //! reordered-but-genuine response must still verify (Definition 1 is a
 //! set property).
+//!
+//! The wire-level section at the bottom replays the same adversary through
+//! the socket RPC path: a man-in-the-middle on a shard link substitutes
+//! sub-VOs in flight, spoofs telemetry, and replays captured responses.
+//! The RPC layer either surfaces a typed error or delivers bytes that the
+//! client's manifest-pinned verification rejects — never a
+//! wrong-but-verified result.
+
+mod rpc_util;
 
 use std::sync::OnceLock;
 
@@ -543,6 +552,161 @@ impl Fx {
         // Rebuild the key from the owner seed instead of exposing client
         // internals.
         Owner::new(&[21u8; 32]).public_key()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level adversaries: the same attacker, now sitting on a shard's
+// socket link instead of inside the SP process.
+
+mod wire_attacks {
+    use super::Scheme;
+    use crate::rpc_util::{self, Fault, Proxy};
+    use imageproof_core::rpc::{frame, Response, RpcCoordinator, RpcError, ShardEndpoint};
+    use imageproof_core::ShardedError;
+    use imageproof_crypto::wire::Encode;
+    use std::sync::{Arc, Mutex};
+
+    /// Connects a coordinator whose shard-0 link runs through `proxy`,
+    /// with every other shard reached directly.
+    fn connect_with_proxied_shard0(fx: &rpc_util::Fixture, proxy: &Proxy) -> RpcCoordinator {
+        let mut endpoints = fx.endpoints.clone();
+        endpoints[0] = ShardEndpoint::single(proxy.addr());
+        RpcCoordinator::connect(endpoints, &fx.manifest, rpc_util::quick_config())
+            .expect("connect through adversarial proxy")
+    }
+
+    /// A man-in-the-middle swaps a shard's sub-VO for the shard's genuine
+    /// VO *for a different query*, leaving the candidate list (and hence
+    /// the merge) untouched. The target is the shard whose full fan-out
+    /// response survives assembly verbatim — the one contributing the
+    /// k-th winner, which the merge never trims (a trimmed shard's inv
+    /// proof would be replaced by the honest trim re-query, voiding the
+    /// attack). The RPC layer cannot tell — the frame is well-formed and
+    /// correctly addressed — so the substitution must die in
+    /// `verify_sharded`: the stale inv VO cannot support this query's
+    /// claims against the owner-signed shard root.
+    #[test]
+    fn in_flight_sub_vo_substitution_is_rejected_by_the_client() {
+        let fx = rpc_util::fixture(Scheme::ImageProof, 4);
+        let features = fx.corpus().query_from_image(5, 24, 1);
+        let stale_features = fx.corpus().query_from_image(33, 24, 2);
+        let k = 2;
+        let (local, _) = fx.sp.query(&features, k);
+        let target = super::shard_of(local.results.last().expect("k winners").id, 4);
+        let stale_vo = fx.sp.shards()[target].query(&stale_features, k).0.vo;
+        let honest_vo = &fx.sp.shards()[target].query(&features, k).0.vo;
+        assert_ne!(
+            stale_vo.inv.to_wire(),
+            honest_vo.inv.to_wire(),
+            "attack setup: the stale inv proof must actually differ"
+        );
+        let proxy = Proxy::start(
+            fx.endpoints[target].primary,
+            Fault::MapResponses(Arc::new(move |resp| {
+                Some(match resp {
+                    Response::Query { id, mut payload } => {
+                        payload.vo = stale_vo.clone();
+                        Response::Query { id, payload }
+                    }
+                    other => other,
+                })
+            })),
+        );
+        let mut endpoints = fx.endpoints.clone();
+        endpoints[target] = ShardEndpoint::single(proxy.addr());
+        let mut coord = RpcCoordinator::connect(endpoints, &fx.manifest, rpc_util::quick_config())
+            .expect("connect through adversarial proxy");
+        // Transport-wise the exchange is flawless...
+        let (resp, _) = coord
+            .query(&features, k)
+            .expect("substituted frames are well-formed RPC");
+        assert_ne!(
+            resp.vo.to_wire(),
+            local.vo.to_wire(),
+            "attack setup: the substitution must reach the assembled VO"
+        );
+        // ...but the client holds the owner-signed manifest, and the
+        // spliced VO cannot support this query's claims.
+        match fx.client.verify_sharded(&features, k, &resp, &fx.manifest) {
+            Err(ShardedError::Shard { shard, .. }) => assert_eq!(shard as usize, target),
+            other => panic!("in-flight sub-VO substitution survived: {other:?}"),
+        }
+    }
+
+    /// The adversary injects a telemetry frame for a request id the
+    /// coordinator never issued. Telemetry is unauthenticated diagnostics,
+    /// so the coordinator's only defence — and the required one — is the
+    /// id/solicitation check.
+    #[test]
+    fn spoofed_telemetry_is_rejected_as_unsolicited() {
+        let fx = rpc_util::fixture(Scheme::ImageProof, 1);
+        let spoof = Response::Telemetry {
+            id: 999,
+            profile: imageproof_core::rpc::WireProfile { root: None },
+            registry: imageproof_core::rpc::WireRegistry {
+                counters: Vec::new(),
+                gauges: Vec::new(),
+                histograms: Vec::new(),
+            },
+        };
+        let proxy = Proxy::start(
+            fx.endpoints[0].primary,
+            Fault::InjectBeforeResponses(frame(&spoof.to_wire())),
+        );
+        let mut coord = connect_with_proxied_shard0(&fx, &proxy);
+        let features = fx.corpus().query_from_image(5, 20, 1);
+        let err = coord.query(&features, 3).expect_err("spoofed telemetry");
+        assert_eq!(
+            err,
+            RpcError::UnsolicitedTelemetry { shard: 0 },
+            "got: {err}"
+        );
+    }
+
+    /// A captured response replayed verbatim for a later request: the
+    /// monotonic request ids make every replay a typed mismatch.
+    #[test]
+    fn replayed_captured_response_is_rejected_by_id() {
+        let fx = rpc_util::fixture(Scheme::ImageProof, 1);
+        let captured: Arc<Mutex<Option<Response>>> = Arc::new(Mutex::new(None));
+        let proxy = Proxy::start(
+            fx.endpoints[0].primary,
+            Fault::MapResponses(Arc::new(move |resp| {
+                Some(match resp {
+                    Response::Query { id, payload } => {
+                        let mut slot = captured.lock().expect("capture slot");
+                        match slot.take() {
+                            // First query response: record and forward.
+                            None => {
+                                let genuine = Response::Query { id, payload };
+                                *slot = Some(genuine.clone());
+                                genuine
+                            }
+                            // Every later one: replay the capture.
+                            Some(replay) => {
+                                *slot = Some(replay.clone());
+                                replay
+                            }
+                        }
+                    }
+                    other => other,
+                })
+            })),
+        );
+        let mut coord = connect_with_proxied_shard0(&fx, &proxy);
+        let features = fx.corpus().query_from_image(5, 20, 1);
+        let (first, _) = coord.query(&features, 3).expect("first query is genuine");
+        fx.client
+            .verify_sharded(&features, 3, &first, &fx.manifest)
+            .expect("genuine first response verifies");
+        let err = coord
+            .query(&features, 3)
+            .expect_err("replayed capture must not satisfy a fresh request");
+        assert!(
+            matches!(err, RpcError::ResponseIdMismatch { shard: 0, .. }),
+            "got: {err}"
+        );
     }
 }
 
