@@ -73,11 +73,68 @@ echo "== bench smoke: machine-readable query benchmarks =="
 cargo run -q --release -p imageproof-bench --bin figures -- --fig 15 --quick
 test -s BENCH_queries.json
 
+echo "== observability smoke: demo fleet + live scrape endpoints =="
+# The demo autobinds a scrape endpoint per shard plus one for the
+# coordinator, runs its queries, heartbeats the fleet, then scrapes itself
+# the way an external monitor would (/healthz healthy, /metrics parseable
+# with the per-shard serving counters). The binary prints OBS SMOKE OK
+# only when the whole fleet answered healthy.
+cargo run -q --release --bin imageproof-shardd -- demo --shards 2 \
+    --images 60 --codebook 64 --queries 2 > obs_smoke.log 2>&1 || {
+    cat obs_smoke.log >&2
+    exit 1
+}
+grep -q "OBS SMOKE OK" obs_smoke.log || {
+    echo "demo fleet never printed OBS SMOKE OK:" >&2
+    cat obs_smoke.log >&2
+    exit 1
+}
+grep "OBS SMOKE OK" obs_smoke.log
+rm -f obs_smoke.log
+
 echo "== bench smoke: shard-count sweep =="
 # Sharded build + fan-out query + verify_sharded across shard counts for all
 # four schemes; emits BENCH_shards.json.
 cargo run -q --release -p imageproof-bench --bin figures -- --fig 16 --quick
 test -s BENCH_shards.json
+
+echo "== regression gate: BENCH_shards.json carries windowed SLO + event fields =="
+# Every sockets-mode record must embed the coordinator's rolling-window
+# latency summary (p50/p90/p99 in micros plus the SLO burn rate) and the
+# per-kind fleet event counts — if they vanish, the fig16 scrape path has
+# stopped exercising the observability plane.
+python3 - <<'PYEOF'
+import json, sys
+
+data = json.load(open("BENCH_shards.json"))
+SLO_KEYS = {"windowed_p50_us", "windowed_p90_us", "windowed_p99_us",
+            "burn_rate", "breached_total", "observed_total"}
+EVENT_KEYS = {"failover", "timeout", "slow_query", "hello_reverify",
+              "health_transition", "wire_error"}
+failed = False
+for rec in data["results"]:
+    cell = f"{rec['scheme']} S={rec['shards']}"
+    rpc = rec.get("rpc", {})
+    slo = rpc.get("slo")
+    events = rpc.get("events")
+    if not isinstance(slo, dict) or not SLO_KEYS <= set(slo):
+        print(f"  {cell}: rpc.slo missing or incomplete: {slo}", file=sys.stderr)
+        failed = True
+        continue
+    if not isinstance(events, dict) or not EVENT_KEYS <= set(events):
+        print(f"  {cell}: rpc.events missing or incomplete: {events}", file=sys.stderr)
+        failed = True
+        continue
+    if slo["observed_total"] < 1:
+        print(f"  {cell}: SLO tracker observed nothing", file=sys.stderr)
+        failed = True
+        continue
+    print(f"  {cell}: windowed p50/p90/p99 = {slo['windowed_p50_us']}/"
+          f"{slo['windowed_p90_us']}/{slo['windowed_p99_us']} us, "
+          f"observed {slo['observed_total']} [ok]")
+if failed:
+    sys.exit("fig16 records are missing windowed SLO or event-count fields")
+PYEOF
 
 echo "== regression gate: sharded VO size must stay near-flat in S =="
 # Merge-trimmed sub-VOs + shared-section dedup keep the sharded proof from

@@ -375,15 +375,19 @@ impl PhaseQuantiles {
             .iter()
             .map(|(phase, h)| {
                 let s = h.snapshot();
+                let q = |p: f64| match s.quantile(p) {
+                    Some(v) => v.to_string(),
+                    None => "null".to_string(),
+                };
                 format!(
                     "\"{}\": {{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \
                      \"p90_us\": {}, \"p99_us\": {}}}",
                     phase,
                     s.count,
                     s.mean(),
-                    s.quantile(0.5),
-                    s.quantile(0.9),
-                    s.quantile(0.99),
+                    q(0.5),
+                    q(0.9),
+                    q(0.99),
                 )
             })
             .collect();
@@ -584,6 +588,11 @@ struct RpcCell {
     shard_p50_ms: Vec<f64>,
     shard_p95_ms: Vec<f64>,
     failovers: u64,
+    /// Windowed SLO summary (`{"windowed_p50_us": …, …}`) read from the
+    /// coordinator's rolling latency window mid-run — already JSON.
+    slo_json: String,
+    /// Per-kind fleet event counts (`{"failover": …, …}`) — already JSON.
+    events_json: String,
 }
 
 impl RpcCell {
@@ -596,11 +605,14 @@ impl RpcCell {
         };
         format!(
             "{{\"rpc_ms_per_query\": {:.6}, \"shard_p50_ms\": [{}], \
-             \"shard_p95_ms\": [{}], \"failovers\": {}}}",
+             \"shard_p95_ms\": [{}], \"failovers\": {}, \"slo\": {}, \
+             \"events\": {}}}",
             self.rpc_ms_per_query,
             list(&self.shard_p50_ms),
             list(&self.shard_p95_ms),
             self.failovers,
+            self.slo_json,
+            self.events_json,
         )
     }
 }
@@ -806,14 +818,16 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
             let engines = sp.into_shards();
             let shard_count = engines.len() as u32;
             let mut servers = Vec::new();
+            let mut scrapes = Vec::new();
             let mut endpoints = Vec::new();
             for (shard, engine) in engines.into_iter().enumerate() {
-                let server =
+                let (server, scrape) =
                     imageproof_core::rpc::ShardServer::new(engine, shard as u32, shard_count)
-                        .launch()
-                        .expect("launch loopback shard server");
+                        .launch_observed("127.0.0.1:0")
+                        .expect("launch loopback shard server with scrape endpoint");
                 endpoints.push(imageproof_core::rpc::ShardEndpoint::single(server.addr()));
                 servers.push(server);
+                scrapes.push(scrape);
             }
             // Generous deadlines: a Baseline VO is tens of MiB, and a
             // loaded single-core CI machine can take far longer than the
@@ -823,21 +837,72 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 request_timeout_seconds: 600.0,
                 connect_timeout_seconds: 30.0,
                 hello_timeout_seconds: 60.0,
+                ..imageproof_core::rpc::CoordinatorConfig::default()
             };
             let mut coord =
                 imageproof_core::rpc::RpcCoordinator::connect(endpoints, &manifest, rpc_config)
                     .expect("coordinator connects to loopback shard servers");
-            let t2 = imageproof_obs::Stopwatch::start();
-            for (features, (response, _, _)) in queries.iter().zip(&responses) {
+            let coord_scrape = coord
+                .launch_scrape("127.0.0.1:0")
+                .expect("launch coordinator scrape endpoint");
+            let mut rpc_total_seconds = 0.0;
+            for (i, (features, (response, _, _))) in queries.iter().zip(&responses).enumerate() {
+                let t2 = imageproof_obs::Stopwatch::start();
                 let (rpc_resp, _) = coord.query(features, k).expect("loopback rpc query");
+                rpc_total_seconds += t2.elapsed_seconds();
                 assert_eq!(
                     rpc_resp.vo.to_wire(),
                     response.vo.to_wire(),
                     "{} S={shards}: socket VO bytes must equal in-process bytes",
                     scheme.label(),
                 );
+                if i == queries.len() / 2 {
+                    // Mid-run scrape (untimed): the observability plane
+                    // must answer while queries are in flight, with every
+                    // shard reporting healthy under its pinned root.
+                    let addr = coord_scrape.addr().to_string();
+                    let (status, body) = imageproof_obs::http_get(&addr, "/healthz", 10.0)
+                        .expect("scrape coordinator /healthz mid-run");
+                    assert_eq!(status, 200, "coordinator /healthz must answer mid-run");
+                    assert!(
+                        body.contains("\"status\": \"healthy\""),
+                        "{} S={shards}: fleet must be healthy mid-run, got: {body}",
+                        scheme.label(),
+                    );
+                    for scrape in &scrapes {
+                        let addr = scrape.addr().to_string();
+                        let (status, metrics) = imageproof_obs::http_get(&addr, "/metrics", 10.0)
+                            .expect("scrape shard /metrics mid-run");
+                        assert_eq!(status, 200, "shard /metrics must answer mid-run");
+                        assert!(
+                            metrics.contains("imageproof_shard_queries_served_total"),
+                            "shard /metrics must expose its serving counters",
+                        );
+                    }
+                }
             }
-            let rpc_seconds = t2.elapsed_seconds() / n;
+            let rpc_seconds = rpc_total_seconds / n;
+            let windowed = coord.fleet().windowed_latency();
+            let wq = |p: f64| match windowed.quantile(p) {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
+            let slo = coord.fleet().slo();
+            let slo_json = format!(
+                "{{\"windowed_p50_us\": {}, \"windowed_p90_us\": {}, \
+                 \"windowed_p99_us\": {}, \"burn_rate\": {}, \
+                 \"breached_total\": {}, \"observed_total\": {}}}",
+                wq(0.5),
+                wq(0.9),
+                wq(0.99),
+                match slo.burn_rate() {
+                    Some(b) => format!("{b:.6}"),
+                    None => "null".to_string(),
+                },
+                slo.breached_total(),
+                slo.observed_total(),
+            );
+            let events_json = coord.fleet().events().counts_json();
             let cstats = coord.stats();
             let quantile_ms = |q: f64| -> Vec<f64> {
                 (0..shards)
@@ -849,8 +914,14 @@ fn fig16(cache: &mut FixtureCache, scale: &Scale, quick: bool) {
                 shard_p50_ms: quantile_ms(0.5),
                 shard_p95_ms: quantile_ms(0.95),
                 failovers: cstats.failovers,
+                slo_json,
+                events_json,
             };
+            drop(coord_scrape);
             drop(coord);
+            for scrape in scrapes {
+                scrape.shutdown();
+            }
             for server in servers {
                 server.shutdown();
             }

@@ -20,18 +20,25 @@
 //! the in-process [`crate::ShardedSp`] — asserted end-to-end by
 //! `tests/rpc_equivalence.rs`.
 
-use super::frame::{frame, FrameBuffer, Request, Response};
+use super::frame::{frame, FrameBuffer, Request, Response, WireHealth};
 use super::RpcError;
 use crate::fanout;
 use crate::shard::{ShardManifest, ShardedResponse};
 use crate::sp::{QueryResponse, ShardedSpStats, SpStats};
 use imageproof_crypto::wire::{Decode, Encode};
 use imageproof_crypto::Digest;
-use imageproof_obs::{micros, Profiler, QueryProfile, RegistrySnapshot, Stopwatch};
+use imageproof_obs::{
+    micros, EventKind, EventLog, MetricId, Profiler, QueryProfile, RegistrySnapshot,
+    ScrapeProvider, SloTracker, Stopwatch, WindowedHistogram,
+};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Events retained by the coordinator's ring.
+const COORDINATOR_EVENT_CAPACITY: usize = 1024;
 
 /// Where one shard lives: a primary address plus failover replicas, tried
 /// in order. Every endpoint must present the same manifest-pinned
@@ -63,8 +70,9 @@ impl ShardEndpoint {
     }
 }
 
-/// Timeouts, all in seconds (converted through `Duration`; the
-/// coordinator's only clock is the observability [`Stopwatch`]).
+/// Timeouts and health thresholds, all in seconds (converted through
+/// `Duration`; the coordinator's only clock is the observability
+/// [`Stopwatch`]).
 #[derive(Clone, Copy, Debug)]
 pub struct CoordinatorConfig {
     /// Per-shard deadline for one request round-trip; a shard that blows
@@ -74,6 +82,22 @@ pub struct CoordinatorConfig {
     pub connect_timeout_seconds: f64,
     /// Deadline for the hello exchange after a connect.
     pub hello_timeout_seconds: f64,
+    /// Deadline for one heartbeat round-trip. Deliberately much shorter
+    /// than `request_timeout_seconds`: a stalled shard misses heartbeats
+    /// and is failed over *before* any query would hit its deadline.
+    pub heartbeat_timeout_seconds: f64,
+    /// Consecutive heartbeat misses before a shard is marked degraded.
+    pub degraded_after_misses: u32,
+    /// Consecutive heartbeat misses before the coordinator proactively
+    /// fails over to the next replica (dead if the chain is exhausted).
+    pub failover_after_misses: u32,
+    /// Queries slower than this are recorded in the event log and burn
+    /// the SLO budget.
+    pub slow_query_threshold_seconds: f64,
+    /// Width of the rolling SLO / latency window.
+    pub slo_window_seconds: f64,
+    /// Allowed fraction of slow queries (the SLO error budget).
+    pub slo_budget: f64,
 }
 
 impl Default for CoordinatorConfig {
@@ -82,7 +106,288 @@ impl Default for CoordinatorConfig {
             request_timeout_seconds: 5.0,
             connect_timeout_seconds: 1.0,
             hello_timeout_seconds: 2.0,
+            heartbeat_timeout_seconds: 0.5,
+            degraded_after_misses: 1,
+            failover_after_misses: 2,
+            slow_query_threshold_seconds: 1.0,
+            slo_window_seconds: 60.0,
+            slo_budget: 0.01,
         }
+    }
+}
+
+/// The coordinator's verdict on one shard, driven by heartbeats.
+///
+/// `Healthy → Degraded → Dead` on consecutive misses, back to `Healthy`
+/// on a verified heartbeat or a successful manifest-pinned failover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealthState {
+    /// Heartbeats arrive in time and carry the pinned root.
+    Healthy,
+    /// At least `degraded_after_misses` consecutive misses.
+    Degraded,
+    /// The failover threshold was crossed and the endpoint chain is
+    /// exhausted — queries to this shard will fail until it recovers.
+    Dead,
+}
+
+impl ShardHealthState {
+    /// Stable exposition name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardHealthState::Healthy => "healthy",
+            ShardHealthState::Degraded => "degraded",
+            ShardHealthState::Dead => "dead",
+        }
+    }
+}
+
+/// One shard's aggregated health, as the coordinator sees it.
+#[derive(Clone, Debug)]
+pub struct ShardHealthView {
+    pub state: ShardHealthState,
+    /// Consecutive heartbeat misses (reset by a verified heartbeat).
+    pub missed_heartbeats: u32,
+    /// Verified heartbeats received in total.
+    pub heartbeats_ok: u64,
+    /// The last verified report, if any arrived yet.
+    pub last_report: Option<WireHealth>,
+}
+
+impl Default for ShardHealthView {
+    fn default() -> ShardHealthView {
+        ShardHealthView {
+            state: ShardHealthState::Healthy,
+            missed_heartbeats: 0,
+            heartbeats_ok: 0,
+            last_report: None,
+        }
+    }
+}
+
+/// The coordinator's shareable observability plane: per-shard health,
+/// rolling latency windows, the SLO tracker, and the event ring. Lives in
+/// an `Arc` so the scrape server's threads read it while the
+/// single-threaded coordinator loop writes it.
+pub struct FleetHealth {
+    health: Mutex<Vec<ShardHealthView>>,
+    windows: Vec<WindowedHistogram>,
+    slo: SloTracker,
+    events: EventLog,
+    pinned_roots: Vec<Digest>,
+}
+
+/// A poisoned health lock only means a scrape thread panicked mid-read;
+/// the data is plain-old-data, so recover the guard instead of poisoning
+/// the whole serving plane.
+fn lock_health(fleet: &FleetHealth) -> MutexGuard<'_, Vec<ShardHealthView>> {
+    fleet.health.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FleetHealth {
+    fn new(
+        shard_count: usize,
+        pinned_roots: Vec<Digest>,
+        config: &CoordinatorConfig,
+    ) -> FleetHealth {
+        FleetHealth {
+            health: Mutex::new(vec![ShardHealthView::default(); shard_count]),
+            windows: (0..shard_count)
+                .map(|_| WindowedHistogram::new(config.slo_window_seconds))
+                .collect(),
+            slo: SloTracker::new(
+                micros(config.slow_query_threshold_seconds),
+                config.slo_budget,
+                config.slo_window_seconds,
+            ),
+            events: EventLog::new(COORDINATOR_EVENT_CAPACITY),
+            pinned_roots,
+        }
+    }
+
+    /// Per-shard health snapshots, by shard id.
+    pub fn views(&self) -> Vec<ShardHealthView> {
+        lock_health(self).clone()
+    }
+
+    /// Per-shard states only, by shard id.
+    pub fn states(&self) -> Vec<ShardHealthState> {
+        lock_health(self).iter().map(|v| v.state).collect()
+    }
+
+    /// The fleet's bounded structured event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The SLO tracker over coordinator round-trip latencies.
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
+    /// One shard's rolling latency window (micros), if the shard exists.
+    pub fn window(&self, shard: usize) -> Option<&WindowedHistogram> {
+        self.windows.get(shard)
+    }
+
+    /// The rolling latency view merged across every shard — the windowed
+    /// p50/p90/p99 source for fig16 and the scrape endpoint.
+    pub fn windowed_latency(&self) -> imageproof_obs::HistogramSnapshot {
+        let mut merged = imageproof_obs::HistogramSnapshot::default();
+        for w in &self.windows {
+            merged = merged.merge(&w.snapshot());
+        }
+        merged
+    }
+
+    /// Moves one shard's state machine, logging the transition. Returns
+    /// the new state.
+    fn transition(&self, shard: usize, to: ShardHealthState, why: &str) -> ShardHealthState {
+        let mut health = lock_health(self);
+        let Some(view) = health.get_mut(shard) else {
+            return to;
+        };
+        if view.state != to {
+            let from = view.state;
+            view.state = to;
+            drop(health);
+            self.events.record(
+                EventKind::HealthTransition,
+                Some(shard as u32),
+                format!("{} -> {}: {why}", from.name(), to.name()),
+            );
+        }
+        to
+    }
+
+    /// The overall fleet verdict: the worst shard state.
+    pub fn overall(&self) -> ShardHealthState {
+        let mut overall = ShardHealthState::Healthy;
+        for v in lock_health(self).iter() {
+            overall = match (overall, v.state) {
+                (_, ShardHealthState::Dead) | (ShardHealthState::Dead, _) => ShardHealthState::Dead,
+                (_, ShardHealthState::Degraded) | (ShardHealthState::Degraded, _) => {
+                    ShardHealthState::Degraded
+                }
+                _ => ShardHealthState::Healthy,
+            };
+        }
+        overall
+    }
+
+    /// The `/healthz` body: overall status plus one entry per shard with
+    /// its pinned root, state, and last verified report.
+    pub fn healthz_json(&self) -> String {
+        let views = self.views();
+        let shards: Vec<String> = views
+            .iter()
+            .enumerate()
+            .map(|(s, v)| {
+                let report = match &v.last_report {
+                    Some(h) => format!(
+                        "{{\"uptime_seconds\": {:.3}, \"queue_depth\": {}, \"queries_served\": {}, \"last_error\": \"{}\"}}",
+                        h.uptime_seconds, h.queue_depth, h.queries_served, h.last_error.name()
+                    ),
+                    None => "null".to_string(),
+                };
+                let root = self
+                    .pinned_roots
+                    .get(s)
+                    .map(|r| r.to_hex())
+                    .unwrap_or_default();
+                format!(
+                    "{{\"shard\": {s}, \"state\": \"{}\", \"missed_heartbeats\": {}, \"heartbeats_ok\": {}, \"pinned_root\": \"{root}\", \"report\": {report}}}",
+                    v.state.name(),
+                    v.missed_heartbeats,
+                    v.heartbeats_ok,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"role\": \"coordinator\", \"status\": \"{}\", \"shards\": [{}]}}",
+            self.overall().name(),
+            shards.join(", ")
+        )
+    }
+}
+
+/// The scrape-endpoint view of a [`FleetHealth`]: process metrics plus
+/// injected windowed-SLO and health-state series.
+struct FleetScrapeProvider {
+    fleet: Arc<FleetHealth>,
+}
+
+impl ScrapeProvider for FleetScrapeProvider {
+    fn healthz_json(&self) -> String {
+        self.fleet.healthz_json()
+    }
+
+    fn registry_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = imageproof_obs::global().snapshot();
+        let gauge = |name: &str, labels: Vec<(String, String)>, v: i64| {
+            (
+                MetricId {
+                    name: name.to_string(),
+                    labels,
+                },
+                v,
+            )
+        };
+        for (s, w) in self.fleet.windows.iter().enumerate() {
+            let labels = vec![("shard".to_string(), s.to_string())];
+            let windowed = w.snapshot();
+            for (q, qname) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+                if let Some(v) = windowed.quantile(q) {
+                    let mut labels = labels.clone();
+                    labels.push(("quantile".to_string(), qname.to_string()));
+                    labels.sort();
+                    let (id, v) = gauge(
+                        "imageproof_rpc_windowed_latency_micros",
+                        labels,
+                        v.min(i64::MAX as u64) as i64,
+                    );
+                    snap.gauges.insert(id, v);
+                }
+            }
+        }
+        for (s, v) in self.fleet.views().iter().enumerate() {
+            let labels = vec![("shard".to_string(), s.to_string())];
+            let state = match v.state {
+                ShardHealthState::Healthy => 0,
+                ShardHealthState::Degraded => 1,
+                ShardHealthState::Dead => 2,
+            };
+            let (id, v) = gauge("imageproof_shard_health_state", labels, state);
+            snap.gauges.insert(id, v);
+        }
+        if let Some(rate) = self.fleet.slo.burn_rate() {
+            // Milli-units: gauges are integers and burn rates near 1.0
+            // matter at the third decimal.
+            let milli = (rate * 1000.0).clamp(0.0, i64::MAX as f64) as i64;
+            let (id, v) = gauge("imageproof_slo_burn_rate_milli", Vec::new(), milli);
+            snap.gauges.insert(id, v);
+        }
+        snap.counters.insert(
+            MetricId {
+                name: "imageproof_slo_breached_total".to_string(),
+                labels: Vec::new(),
+            },
+            self.fleet.slo.breached_total(),
+        );
+        for kind in imageproof_obs::EVENT_KINDS {
+            snap.counters.insert(
+                MetricId {
+                    name: "imageproof_fleet_events_total".to_string(),
+                    labels: vec![("kind".to_string(), kind.name().to_string())],
+                },
+                self.fleet.events.count(kind),
+            );
+        }
+        snap
+    }
+
+    fn events_jsonl(&self) -> String {
+        self.fleet.events.jsonl()
     }
 }
 
@@ -134,6 +439,9 @@ struct Pending {
     telemetry: Option<(QueryProfile, RegistrySnapshot)>,
     response: Option<Response>,
     sw: Stopwatch,
+    /// Round-trip deadline for this request (the request timeout for
+    /// query rounds, the much shorter heartbeat timeout for heartbeats).
+    timeout_seconds: f64,
 }
 
 enum Expect {
@@ -141,6 +449,7 @@ enum Expect {
     QueryBatch,
     Trim,
     TrimBatch,
+    Health,
 }
 
 impl Expect {
@@ -151,6 +460,7 @@ impl Expect {
                 | (Expect::QueryBatch, Response::QueryBatch { .. })
                 | (Expect::Trim, Response::Trim { .. })
                 | (Expect::TrimBatch, Response::TrimBatch { .. })
+                | (Expect::Health, Response::Health { .. })
         )
     }
 }
@@ -167,6 +477,8 @@ pub struct RpcCoordinator {
     stats: CoordinatorStats,
     /// Latest telemetry registry snapshot received from each shard.
     shard_registries: Vec<Option<RegistrySnapshot>>,
+    /// Shared health/SLO/event plane (scrape threads read it live).
+    fleet: Arc<FleetHealth>,
 }
 
 impl RpcCoordinator {
@@ -187,6 +499,7 @@ impl RpcCoordinator {
         }
         let pinned_roots = manifest.shard_roots.clone();
         let shard_count = endpoints.len();
+        let fleet = Arc::new(FleetHealth::new(shard_count, pinned_roots.clone(), &config));
         let mut coordinator = RpcCoordinator {
             endpoints,
             pinned_roots,
@@ -198,6 +511,7 @@ impl RpcCoordinator {
                 rpc_seconds: vec![Vec::new(); shard_count],
             },
             shard_registries: vec![None; shard_count],
+            fleet,
         };
         for shard in 0..shard_count {
             let conn = coordinator.connect_shard(shard, 0)?;
@@ -213,6 +527,28 @@ impl RpcCoordinator {
     /// Transport accounting so far (failovers, per-shard latencies).
     pub fn stats(&self) -> &CoordinatorStats {
         &self.stats
+    }
+
+    /// The shared health/SLO/event plane.
+    pub fn fleet(&self) -> &Arc<FleetHealth> {
+        &self.fleet
+    }
+
+    /// Per-shard health views, by shard id.
+    pub fn health(&self) -> Vec<ShardHealthView> {
+        self.fleet.views()
+    }
+
+    /// Spawns this coordinator's scrape endpoint on `bind_addr` (e.g.
+    /// `127.0.0.1:0`): `/metrics` and `/metrics.json` expose the process
+    /// registry plus windowed per-shard latency quantiles, health-state
+    /// and SLO burn-rate series; `/healthz` the per-shard health table;
+    /// `/events` the fleet event log.
+    pub fn launch_scrape(&self, bind_addr: &str) -> std::io::Result<imageproof_obs::RunningScrape> {
+        let provider = Arc::new(FleetScrapeProvider {
+            fleet: Arc::clone(&self.fleet),
+        });
+        imageproof_obs::launch_scrape(provider, bind_addr)
     }
 
     /// The latest telemetry registry snapshot each shard shipped, by
@@ -334,11 +670,23 @@ impl RpcCoordinator {
                 && root == self.pinned_roots[shard] =>
             {
                 stream.set_nonblocking(true).map_err(as_io)?;
+                self.fleet.events.record(
+                    EventKind::HelloReverify,
+                    Some(shard as u32),
+                    format!("{addr}: hello matches the manifest pin"),
+                );
                 Ok(stream)
             }
-            _ => Err(RpcError::HelloMismatch {
-                shard: shard as u32,
-            }),
+            _ => {
+                self.fleet.events.record(
+                    EventKind::HelloReverify,
+                    Some(shard as u32),
+                    format!("{addr}: hello does not match the manifest pin"),
+                );
+                Err(RpcError::HelloMismatch {
+                    shard: shard as u32,
+                })
+            }
         }
     }
 
@@ -373,6 +721,7 @@ impl RpcCoordinator {
                 telemetry: None,
                 response: None,
                 sw: Stopwatch::start(),
+                timeout_seconds: self.config.request_timeout_seconds,
             });
         }
         let mut buf = vec![0u8; 256 * 1024];
@@ -390,11 +739,29 @@ impl RpcCoordinator {
                         // Typed fault: fail over along the endpoint chain
                         // (hello re-verified), replay the request; only an
                         // exhausted chain surfaces the error.
+                        if matches!(err, RpcError::ShardTimeout { .. }) {
+                            self.fleet.events.record(
+                                EventKind::Timeout,
+                                Some(pending.shard as u32),
+                                format!("query round-trip missed its deadline: {err}"),
+                            );
+                        }
                         let next = self.conns[pending.shard].endpoint_index + 1;
                         match self.connect_shard(pending.shard, next) {
                             Ok(conn) => {
+                                let endpoint = conn.endpoint_index;
                                 self.conns[pending.shard] = conn;
                                 self.stats.failovers += 1;
+                                self.fleet.events.record(
+                                    EventKind::Failover,
+                                    Some(pending.shard as u32),
+                                    format!("promoted endpoint {endpoint} after: {err}"),
+                                );
+                                self.fleet.transition(
+                                    pending.shard,
+                                    ShardHealthState::Healthy,
+                                    "failover to a verified replica",
+                                );
                                 if imageproof_obs::enabled() {
                                     imageproof_obs::global()
                                         .counter("imageproof_rpc_failovers_total", &[])
@@ -519,16 +886,182 @@ impl RpcCoordinator {
                             )
                             .record(micros(seconds));
                     }
+                    // Heartbeats are health traffic, not serving traffic:
+                    // only query/trim round-trips feed the rolling window
+                    // and burn the SLO budget.
+                    if !matches!(other, Response::Health { .. }) {
+                        let us = micros(seconds);
+                        if let Some(window) = self.fleet.windows.get(pending.shard) {
+                            window.record(us);
+                        }
+                        if self.fleet.slo.record(us) {
+                            self.fleet.events.record(
+                                EventKind::SlowQuery,
+                                Some(pending.shard as u32),
+                                format!(
+                                    "round-trip {us} us exceeded the {} us threshold",
+                                    self.fleet.slo.threshold()
+                                ),
+                            );
+                        }
+                    }
                     pending.response = Some(other);
                 }
             }
         }
-        if pending.response.is_none()
-            && pending.sw.elapsed_seconds() > self.config.request_timeout_seconds
-        {
+        if pending.response.is_none() && pending.sw.elapsed_seconds() > pending.timeout_seconds {
             return Err(RpcError::ShardTimeout { shard });
         }
         Ok(progressed)
+    }
+
+    /// Runs one heartbeat round over every shard and advances the
+    /// degraded/healthy/dead state machine. Call it between queries (or
+    /// from a service loop): the heartbeat deadline is far shorter than
+    /// the request timeout, so a stalled shard is detected and failed
+    /// over *before* any query would block on it.
+    ///
+    /// Per shard: a verified [`WireHealth`] (matching shard id and the
+    /// owner-signed manifest root — a replica on the wrong root can never
+    /// report healthy) resets the miss counter and the state to healthy.
+    /// A miss (timeout, transport fault, or root mismatch) increments the
+    /// counter: `degraded_after_misses` marks the shard degraded,
+    /// `failover_after_misses` proactively promotes the next manifest-
+    /// pinned replica (healthy again on success, dead when the chain is
+    /// exhausted). Returns the post-round state per shard.
+    pub fn heartbeat(&mut self) -> Vec<ShardHealthState> {
+        let shard_count = self.shard_count();
+        for shard in 0..shard_count {
+            match self.heartbeat_shard(shard) {
+                Ok(report) => {
+                    let mut health = lock_health(&self.fleet);
+                    if let Some(view) = health.get_mut(shard) {
+                        view.missed_heartbeats = 0;
+                        view.heartbeats_ok += 1;
+                        view.last_report = Some(report);
+                    }
+                    drop(health);
+                    self.fleet
+                        .transition(shard, ShardHealthState::Healthy, "verified heartbeat");
+                }
+                Err(err) => {
+                    let misses = {
+                        let mut health = lock_health(&self.fleet);
+                        match health.get_mut(shard) {
+                            Some(view) => {
+                                view.missed_heartbeats += 1;
+                                view.missed_heartbeats
+                            }
+                            None => 0,
+                        }
+                    };
+                    self.fleet.events.record(
+                        EventKind::Timeout,
+                        Some(shard as u32),
+                        format!("heartbeat miss {misses}: {err}"),
+                    );
+                    if misses >= self.config.failover_after_misses {
+                        let next = self.conns[shard].endpoint_index + 1;
+                        match self.connect_shard(shard, next) {
+                            Ok(conn) => {
+                                let endpoint = conn.endpoint_index;
+                                self.conns[shard] = conn;
+                                self.stats.failovers += 1;
+                                self.fleet.events.record(
+                                    EventKind::Failover,
+                                    Some(shard as u32),
+                                    format!(
+                                        "promoted endpoint {endpoint} after {misses} heartbeat misses"
+                                    ),
+                                );
+                                if imageproof_obs::enabled() {
+                                    imageproof_obs::global()
+                                        .counter("imageproof_rpc_failovers_total", &[])
+                                        .inc();
+                                }
+                                let mut health = lock_health(&self.fleet);
+                                if let Some(view) = health.get_mut(shard) {
+                                    view.missed_heartbeats = 0;
+                                }
+                                drop(health);
+                                self.fleet.transition(
+                                    shard,
+                                    ShardHealthState::Healthy,
+                                    "failed over to a verified replica on heartbeat loss",
+                                );
+                            }
+                            Err(_) => {
+                                self.fleet.transition(
+                                    shard,
+                                    ShardHealthState::Dead,
+                                    "heartbeat misses exhausted the endpoint chain",
+                                );
+                            }
+                        }
+                    } else if misses >= self.config.degraded_after_misses {
+                        self.fleet.transition(
+                            shard,
+                            ShardHealthState::Degraded,
+                            "missed heartbeat",
+                        );
+                    }
+                }
+            }
+        }
+        self.fleet.states()
+    }
+
+    /// One shard's heartbeat round-trip under the heartbeat deadline,
+    /// with the report verified against the manifest pin.
+    fn heartbeat_shard(&mut self, shard: usize) -> Result<WireHealth, RpcError> {
+        let id = self.fresh_id();
+        let request = Request::Health { id };
+        let mut pending = Pending {
+            shard,
+            id,
+            outbox: frame(&request.to_wire()),
+            sent: 0,
+            want_telemetry: false,
+            telemetry: None,
+            response: None,
+            sw: Stopwatch::start(),
+            timeout_seconds: self.config.heartbeat_timeout_seconds,
+        };
+        let mut buf = vec![0u8; 16 * 1024];
+        loop {
+            let progressed = self.drive_pending(&mut pending, &Expect::Health, &mut buf)?;
+            match pending.response.take() {
+                Some(Response::Health { health, .. }) => {
+                    // The heartbeat's trust anchor: "healthy" only counts
+                    // when attributed to the committed state the owner
+                    // signed.
+                    if health.shard_id as usize != shard
+                        || health.shard_count as usize != self.pinned_roots.len()
+                        || health.root != self.pinned_roots[shard]
+                    {
+                        self.fleet.events.record(
+                            EventKind::HelloReverify,
+                            Some(shard as u32),
+                            "heartbeat report does not match the manifest pin",
+                        );
+                        return Err(RpcError::HelloMismatch {
+                            shard: shard as u32,
+                        });
+                    }
+                    return Ok(health);
+                }
+                Some(_) => {
+                    return Err(RpcError::UnexpectedResponse {
+                        shard: shard as u32,
+                    })
+                }
+                None => {
+                    if !progressed {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            }
+        }
     }
 
     /// Answers one sharded top-k query over the wire (the socket
@@ -823,6 +1356,7 @@ impl RpcCoordinator {
                         features,
                     },
                     Request::TrimBatch { items, .. } => Request::TrimBatch { id: fresh, items },
+                    Request::Health { .. } => Request::Health { id: fresh },
                 }
             })
             .collect()
@@ -836,6 +1370,7 @@ fn request_id(request: &Request) -> u64 {
         Request::Query { id, .. }
         | Request::QueryBatch { id, .. }
         | Request::Trim { id, .. }
-        | Request::TrimBatch { id, .. } => *id,
+        | Request::TrimBatch { id, .. }
+        | Request::Health { id } => *id,
     }
 }

@@ -188,6 +188,11 @@ pub enum Request {
         id: u64,
         items: Vec<(u32, Vec<Vec<f32>>)>,
     },
+    /// Heartbeat: asks the shard for a [`WireHealth`] report. The
+    /// coordinator re-verifies the reported root against the owner-signed
+    /// manifest pin, so a shard cannot report healthy under the wrong
+    /// committed state.
+    Health { id: u64 },
 }
 
 impl Encode for Request {
@@ -240,6 +245,10 @@ impl Encode for Request {
                     encode_features(w, features);
                 }
             }
+            Request::Health { id } => {
+                w.u8(6);
+                w.u64(*id);
+            }
         }
     }
 }
@@ -285,8 +294,107 @@ impl Decode for Request {
                 }
                 Ok(Request::TrimBatch { id, items })
             }
+            6 => Ok(Request::Health { id: r.u64()? }),
             t => Err(WireError::InvalidTag(t)),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health reports.
+
+/// The classified last error a shard server observed — a closed set so
+/// health aggregation never has to parse free text. Strict on the wire:
+/// an unknown class byte is a decode error, not a silently invented
+/// category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// No error observed this epoch.
+    #[default]
+    None,
+    /// A frame failed to decode.
+    Wire,
+    /// A length prefix exceeded the frame cap.
+    Oversize,
+    /// A transport-level read/write failure.
+    Io,
+}
+
+impl ErrorClass {
+    /// Stable exposition name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorClass::None => "none",
+            ErrorClass::Wire => "wire",
+            ErrorClass::Oversize => "oversize",
+            ErrorClass::Io => "io",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorClass::None => 0,
+            ErrorClass::Wire => 1,
+            ErrorClass::Oversize => 2,
+            ErrorClass::Io => 3,
+        }
+    }
+
+    /// Total mapping back from the wire byte.
+    pub fn from_u8(v: u8) -> Result<ErrorClass, WireError> {
+        match v {
+            0 => Ok(ErrorClass::None),
+            1 => Ok(ErrorClass::Wire),
+            2 => Ok(ErrorClass::Oversize),
+            3 => Ok(ErrorClass::Io),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// A shard's heartbeat report. The `root` field is load-bearing: the
+/// coordinator checks it against the manifest pin on every heartbeat, so
+/// "healthy" is only ever attributed to the committed shard state the
+/// owner signed — a replica serving a different catalog cannot pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireHealth {
+    pub shard_id: u32,
+    pub shard_count: u32,
+    /// The shard's committed ADS root, re-verified by the receiver.
+    pub root: Digest,
+    /// Seconds since this server process started serving.
+    pub uptime_seconds: f64,
+    /// Requests currently being served on this shard's connections.
+    pub queue_depth: u64,
+    /// Cumulative queries answered since launch.
+    pub queries_served: u64,
+    /// The most recent error the server observed, classified.
+    pub last_error: ErrorClass,
+}
+
+impl Encode for WireHealth {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.shard_id);
+        w.u32(self.shard_count);
+        w.digest(&self.root);
+        encode_f64(w, self.uptime_seconds);
+        w.u64(self.queue_depth);
+        w.u64(self.queries_served);
+        w.u8(self.last_error.to_u8());
+    }
+}
+
+impl Decode for WireHealth {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(WireHealth {
+            shard_id: r.u32()?,
+            shard_count: r.u32()?,
+            root: r.digest()?,
+            uptime_seconds: decode_f64(r)?,
+            queue_depth: r.u64()?,
+            queries_served: r.u64()?,
+            last_error: ErrorClass::from_u8(r.u8()?)?,
+        })
     }
 }
 
@@ -890,6 +998,12 @@ pub enum Response {
         id: u64,
         message: String,
     },
+    /// Heartbeat answer: the shard's health report, root included so the
+    /// coordinator can re-verify it against the manifest pin.
+    Health {
+        id: u64,
+        health: WireHealth,
+    },
 }
 
 impl Response {
@@ -902,7 +1016,8 @@ impl Response {
             | Response::Trim { id, .. }
             | Response::TrimBatch { id, .. }
             | Response::Telemetry { id, .. }
-            | Response::Error { id, .. } => *id,
+            | Response::Error { id, .. }
+            | Response::Health { id, .. } => *id,
         }
     }
 }
@@ -961,6 +1076,11 @@ impl Encode for Response {
                 w.u64(*id);
                 encode_string(w, message);
             }
+            Response::Health { id, health } => {
+                w.u8(8);
+                w.u64(*id);
+                health.encode(w);
+            }
         }
     }
 }
@@ -1007,6 +1127,10 @@ impl Decode for Response {
             7 => Ok(Response::Error {
                 id: r.u64()?,
                 message: decode_string(r)?,
+            }),
+            8 => Ok(Response::Health {
+                id: r.u64()?,
+                health: WireHealth::decode(r)?,
             }),
             t => Err(WireError::InvalidTag(t)),
         }
@@ -1091,6 +1215,7 @@ mod tests {
                 id: 12,
                 items: vec![(1, sample_features()), (4, Vec::new())],
             },
+            Request::Health { id: 13 },
         ];
         for sample in &samples {
             let decoded = Request::from_wire(&sample.to_wire()).expect("request round trip");
@@ -1123,7 +1248,11 @@ mod tests {
             id: 22,
             message: "bad request".into(),
         };
-        for sample in [&hello, &telemetry, &error] {
+        let health = Response::Health {
+            id: 23,
+            health: sample_health(),
+        };
+        for sample in [&hello, &telemetry, &error, &health] {
             let wire = sample.to_wire();
             let decoded = Response::from_wire(&wire).expect("response round trip");
             assert_eq!(decoded.to_wire(), wire, "canonical re-encode");
@@ -1131,6 +1260,45 @@ mod tests {
                 assert!(Response::from_wire(&wire[..cut]).is_err());
             }
         }
+    }
+
+    fn sample_health() -> WireHealth {
+        WireHealth {
+            shard_id: 2,
+            shard_count: 4,
+            root: Digest::of(b"health-root"),
+            uptime_seconds: 12.5,
+            queue_depth: 3,
+            queries_served: 99,
+            last_error: ErrorClass::Wire,
+        }
+    }
+
+    #[test]
+    fn wire_health_round_trips_and_rejects_unknown_error_class() {
+        let health = sample_health();
+        let wire = health.to_wire();
+        let decoded = WireHealth::from_wire(&wire).expect("health round trip");
+        assert_eq!(decoded, health);
+        for cut in 0..wire.len() {
+            assert!(WireHealth::from_wire(&wire[..cut]).is_err());
+        }
+        // The error class is a closed set: an unknown byte is a wire
+        // error, never a silently invented category.
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] = 17;
+        assert!(WireHealth::from_wire(&bad).is_err());
+        for (raw, class) in [
+            (0u8, ErrorClass::None),
+            (1, ErrorClass::Wire),
+            (2, ErrorClass::Oversize),
+            (3, ErrorClass::Io),
+        ] {
+            assert_eq!(ErrorClass::from_u8(raw).unwrap(), class);
+            assert!(!class.name().is_empty());
+        }
+        assert!(ErrorClass::from_u8(4).is_err());
     }
 
     #[test]

@@ -34,10 +34,13 @@ pub mod coordinator;
 pub mod frame;
 pub mod server;
 
-pub use coordinator::{CoordinatorConfig, CoordinatorStats, RpcCoordinator, ShardEndpoint};
+pub use coordinator::{
+    CoordinatorConfig, CoordinatorStats, FleetHealth, RpcCoordinator, ShardEndpoint,
+    ShardHealthState, ShardHealthView,
+};
 pub use frame::{
-    frame, FrameBuffer, QueryPayload, Request, Response, TrimPayload, WireHistogram, WireMetricId,
-    WireProfile, WireRegistry, WireSpan, WireStats, MAX_FRAME_LEN,
+    frame, ErrorClass, FrameBuffer, QueryPayload, Request, Response, TrimPayload, WireHealth,
+    WireHistogram, WireMetricId, WireProfile, WireRegistry, WireSpan, WireStats, MAX_FRAME_LEN,
 };
 pub use server::{RunningServer, ShardServer};
 

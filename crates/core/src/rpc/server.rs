@@ -12,16 +12,28 @@
 //! with idle clients). Malformed input never panics the server: a frame
 //! that fails to decode earns the client a [`Response::Error`] frame and a
 //! closed connection.
+//!
+//! Observability: the server keeps a small health ledger ([`ServerObs`]:
+//! uptime, in-flight queue depth, queries served, classified last error,
+//! bounded event ring) that feeds both the [`Request::Health`] heartbeat
+//! answer and the optional HTTP-lite scrape endpoint
+//! ([`ShardServer::launch_observed`]) serving `/metrics`,
+//! `/metrics.json`, `/healthz`, and `/events`. Everything on that path is
+//! a read of atomic counters or registry snapshots — it can never change
+//! a payload byte (`tests/obs_equivalence.rs`).
 
-use super::frame::{frame, FrameBuffer, Request, Response, TrimPayload, WireProfile, WireRegistry};
+use super::frame::{
+    frame, ErrorClass, FrameBuffer, Request, Response, TrimPayload, WireHealth, WireProfile,
+    WireRegistry,
+};
 use super::{QueryPayload, RpcError};
 use crate::sp::ServiceProvider;
 use imageproof_crypto::wire::{Decode, Encode};
-use imageproof_obs::Profiler;
+use imageproof_obs::{EventKind, EventLog, Profiler, RunningScrape, ScrapeProvider, Stopwatch};
 use imageproof_parallel::Concurrency;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -29,6 +41,79 @@ use std::time::Duration;
 /// How long a connection thread blocks in `read` before re-checking the
 /// stop flag.
 const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Events retained by one shard server's ring.
+const SERVER_EVENT_CAPACITY: usize = 256;
+
+/// The server's health ledger, shared by every connection thread, the
+/// heartbeat answer, and the scrape endpoint.
+pub struct ServerObs {
+    started: Stopwatch,
+    queue_depth: AtomicU64,
+    queries_served: AtomicU64,
+    last_error: AtomicU8,
+    events: EventLog,
+}
+
+impl ServerObs {
+    fn new() -> ServerObs {
+        ServerObs {
+            started: Stopwatch::start(),
+            queue_depth: AtomicU64::new(0),
+            queries_served: AtomicU64::new(0),
+            last_error: AtomicU8::new(0),
+            events: EventLog::new(SERVER_EVENT_CAPACITY),
+        }
+    }
+
+    fn note_error(&self, class: ErrorClass, shard_id: u32, detail: &str) {
+        self.last_error
+            .store(error_class_byte(class), Ordering::SeqCst);
+        self.events
+            .record(EventKind::WireError, Some(shard_id), detail);
+    }
+
+    fn last_error(&self) -> ErrorClass {
+        ErrorClass::from_u8(self.last_error.load(Ordering::SeqCst)).unwrap_or(ErrorClass::None)
+    }
+
+    /// The report the heartbeat answer and `/healthz` both serve.
+    fn health(
+        &self,
+        shard_id: u32,
+        shard_count: u32,
+        root: imageproof_crypto::Digest,
+    ) -> WireHealth {
+        WireHealth {
+            shard_id,
+            shard_count,
+            root,
+            uptime_seconds: self.started.elapsed_seconds(),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            queries_served: self.queries_served.load(Ordering::SeqCst),
+            last_error: self.last_error(),
+        }
+    }
+}
+
+fn error_class_byte(class: ErrorClass) -> u8 {
+    match class {
+        ErrorClass::None => 0,
+        ErrorClass::Wire => 1,
+        ErrorClass::Oversize => 2,
+        ErrorClass::Io => 3,
+    }
+}
+
+/// Decrements the queue-depth gauge when a request finishes, however it
+/// exits.
+struct QueueGuard<'a>(&'a ServerObs);
+
+impl Drop for QueueGuard<'_> {
+    fn drop(&mut self) {
+        self.0.queue_depth.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// One shard's engine plus its wire identity.
 pub struct ShardServer {
@@ -43,12 +128,18 @@ pub struct RunningServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    obs: Arc<ServerObs>,
 }
 
 impl RunningServer {
     /// The loopback address the server accepted on (port picked by the OS).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's bounded event ring (wire errors and the like).
+    pub fn events(&self) -> &EventLog {
+        &self.obs.events
     }
 
     /// Signals every server thread to stop and joins them.
@@ -69,6 +160,63 @@ impl Drop for RunningServer {
     }
 }
 
+/// The shard's scrape endpoint state: health identity plus handles to the
+/// process-global registry and the server's event ring.
+struct ShardScrapeProvider {
+    shard_id: u32,
+    shard_count: u32,
+    root: imageproof_crypto::Digest,
+    obs: Arc<ServerObs>,
+}
+
+impl ScrapeProvider for ShardScrapeProvider {
+    fn healthz_json(&self) -> String {
+        let h = self.obs.health(self.shard_id, self.shard_count, self.root);
+        format!(
+            "{{\"role\": \"shard\", \"id\": {}, \"shard_count\": {}, \"status\": \"healthy\", \"root\": \"{}\", \"uptime_seconds\": {:.3}, \"queue_depth\": {}, \"queries_served\": {}, \"last_error\": \"{}\"}}",
+            h.shard_id,
+            h.shard_count,
+            h.root.to_hex(),
+            h.uptime_seconds,
+            h.queue_depth,
+            h.queries_served,
+            h.last_error.name(),
+        )
+    }
+
+    fn registry_snapshot(&self) -> imageproof_obs::RegistrySnapshot {
+        let mut snap = imageproof_obs::global().snapshot();
+        let shard = self.shard_id.to_string();
+        let labels = vec![("shard".to_string(), shard)];
+        snap.gauges.insert(
+            imageproof_obs::MetricId {
+                name: "imageproof_shard_queue_depth".to_string(),
+                labels: labels.clone(),
+            },
+            self.obs.queue_depth.load(Ordering::SeqCst) as i64,
+        );
+        snap.gauges.insert(
+            imageproof_obs::MetricId {
+                name: "imageproof_shard_uptime_seconds".to_string(),
+                labels: labels.clone(),
+            },
+            self.obs.started.elapsed_seconds() as i64,
+        );
+        snap.counters.insert(
+            imageproof_obs::MetricId {
+                name: "imageproof_shard_queries_served_total".to_string(),
+                labels,
+            },
+            self.obs.queries_served.load(Ordering::SeqCst),
+        );
+        snap
+    }
+
+    fn events_jsonl(&self) -> String {
+        self.obs.events.jsonl()
+    }
+}
+
 impl ShardServer {
     pub fn new(sp: ServiceProvider, shard_id: u32, shard_count: u32) -> ShardServer {
         ShardServer {
@@ -86,25 +234,51 @@ impl ShardServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let obs = Arc::new(ServerObs::new());
         let accept_stop = Arc::clone(&stop);
-        let accept_handle = std::thread::spawn(move || self.accept_loop(listener, accept_stop));
+        let accept_obs = Arc::clone(&obs);
+        let accept_handle =
+            std::thread::spawn(move || self.accept_loop(listener, accept_stop, accept_obs));
         Ok(RunningServer {
             addr,
             stop,
             accept_handle: Some(accept_handle),
+            obs,
         })
     }
 
-    fn accept_loop(self, listener: TcpListener, stop: Arc<AtomicBool>) {
+    /// [`ShardServer::launch`] plus a scrape endpoint on `scrape_addr`
+    /// (e.g. `127.0.0.1:0`) serving this shard's `/metrics`,
+    /// `/metrics.json`, `/healthz`, and `/events`.
+    pub fn launch_observed(
+        self,
+        scrape_addr: &str,
+    ) -> std::io::Result<(RunningServer, RunningScrape)> {
+        let shard_id = self.shard_id;
+        let shard_count = self.shard_count;
+        let root = self.sp.database().mrkd.combined_root_digest();
+        let server = self.launch()?;
+        let provider = Arc::new(ShardScrapeProvider {
+            shard_id,
+            shard_count,
+            root,
+            obs: Arc::clone(&server.obs),
+        });
+        let scrape = imageproof_obs::launch_scrape(provider, scrape_addr)?;
+        Ok((server, scrape))
+    }
+
+    fn accept_loop(self, listener: TcpListener, stop: Arc<AtomicBool>, obs: Arc<ServerObs>) {
         let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let sp = Arc::clone(&self.sp);
                     let conn_stop = Arc::clone(&stop);
+                    let conn_obs = Arc::clone(&obs);
                     let (shard_id, shard_count) = (self.shard_id, self.shard_count);
                     conn_handles.push(std::thread::spawn(move || {
-                        serve_connection(stream, sp, shard_id, shard_count, conn_stop);
+                        serve_connection(stream, sp, shard_id, shard_count, conn_stop, conn_obs);
                     }));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -127,6 +301,7 @@ fn serve_connection(
     shard_id: u32,
     shard_count: u32,
     stop: Arc<AtomicBool>,
+    obs: Arc<ServerObs>,
 ) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
@@ -140,7 +315,10 @@ fn serve_connection(
             Ok(n) => fb.extend(&buf[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => break,
+            Err(_) => {
+                obs.note_error(ErrorClass::Io, shard_id, "connection read failed");
+                break;
+            }
         }
         loop {
             let body = match fb.next_frame() {
@@ -149,6 +327,7 @@ fn serve_connection(
                 Err(RpcError::FrameTooLarge { len }) => {
                     // Hostile length prefix: refuse before allocating.
                     let msg = format!("frame length {len} exceeds the cap");
+                    obs.note_error(ErrorClass::Oversize, shard_id, &msg);
                     let _ = send(
                         &mut stream,
                         &Response::Error {
@@ -164,6 +343,7 @@ fn serve_connection(
                 Ok(req) => req,
                 Err(e) => {
                     let msg = format!("malformed request frame: {e}");
+                    obs.note_error(ErrorClass::Wire, shard_id, &msg);
                     let _ = send(
                         &mut stream,
                         &Response::Error {
@@ -174,7 +354,7 @@ fn serve_connection(
                     break 'conn;
                 }
             };
-            if !handle_request(&mut stream, &sp, shard_id, shard_count, request) {
+            if !handle_request(&mut stream, &sp, shard_id, shard_count, request, &obs) {
                 break 'conn;
             }
         }
@@ -189,7 +369,10 @@ fn handle_request(
     shard_id: u32,
     shard_count: u32,
     request: Request,
+    obs: &ServerObs,
 ) -> bool {
+    obs.queue_depth.fetch_add(1, Ordering::SeqCst);
+    let _guard = QueueGuard(obs);
     match request {
         Request::Hello => send(
             stream,
@@ -200,6 +383,17 @@ fn handle_request(
             },
         )
         .is_ok(),
+        Request::Health { id } => {
+            let root = sp.database().mrkd.combined_root_digest();
+            send(
+                stream,
+                &Response::Health {
+                    id,
+                    health: obs.health(shard_id, shard_count, root),
+                },
+            )
+            .is_ok()
+        }
         Request::Query {
             id,
             k,
@@ -208,6 +402,7 @@ fn handle_request(
         } => {
             let (resp, stats, profile) =
                 sp.query_profiled(&features, k as usize, Concurrency::serial());
+            obs.queries_served.fetch_add(1, Ordering::SeqCst);
             if want_telemetry && !send_telemetry(stream, id, &profile) {
                 return false;
             }
@@ -239,6 +434,8 @@ fn handle_request(
                 payloads.push(QueryPayload::from_response(&resp, &stats));
             }
             prof.exit();
+            obs.queries_served
+                .fetch_add(queries.len() as u64, Ordering::SeqCst);
             if want_telemetry && !send_telemetry(stream, id, &prof.finish()) {
                 return false;
             }

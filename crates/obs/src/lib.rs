@@ -23,15 +23,19 @@
 //!   registration order or thread interleaving.
 
 pub mod clock;
+pub mod events;
 pub mod metrics;
+pub mod scrape;
 pub mod span;
 
 pub use clock::Stopwatch;
+pub use events::{Event, EventKind, EventLog, EVENT_KINDS};
 pub use metrics::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, snapshot_json, snapshot_prometheus_text,
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, Registry, RegistrySnapshot,
-    HISTOGRAM_BUCKETS,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, Registry, RegistrySnapshot, SloTracker,
+    WindowedHistogram, HISTOGRAM_BUCKETS,
 };
+pub use scrape::{http_get, launch_scrape, RunningScrape, ScrapeProvider};
 pub use span::{Profiler, QueryProfile, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, Ordering};

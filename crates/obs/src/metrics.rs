@@ -177,10 +177,25 @@ impl Histogram {
     }
 
     /// The upper bound of the bucket containing the `q`-quantile sample
-    /// (`q` clamped to `[0, 1]`); 0 when the histogram is empty. The
-    /// estimate errs high by at most one bucket width (≤ 25 %).
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// (`q` clamped to `[0, 1]`); `None` when the histogram is empty — an
+    /// empty window has no quantiles, and reporting 0 would read as a
+    /// perfect latency. The estimate errs high by at most one bucket
+    /// width (≤ 25 %).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         self.snapshot().quantile(q)
+    }
+
+    /// Zeroes every cell. Used by the sliding window when a bucket ages
+    /// out; under concurrent recording a sample may land in a cell that
+    /// was already cleared (or survive the sweep), which is the same
+    /// statistics-grade tolerance as [`Histogram::snapshot`].
+    // audit:allow(relaxed) independent statistics cells: readers accept an inconsistent cut (see snapshot)
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
     }
 
     /// A point-in-time copy. Under concurrent recording the per-bucket
@@ -215,10 +230,11 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// See [`Histogram::quantile`].
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// See [`Histogram::quantile`]: `None` on an empty snapshot, never 0
+    /// masquerading as a perfect quantile.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
@@ -226,10 +242,26 @@ impl HistogramSnapshot {
         for &(upper, n) in &self.buckets {
             seen = seen.saturating_add(n);
             if seen >= rank {
-                return upper;
+                return Some(upper);
             }
         }
-        self.buckets.last().map(|&(upper, _)| upper).unwrap_or(0)
+        self.buckets.last().map(|&(upper, _)| upper)
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum, merged in
+    /// ascending bound order). Used to merge the two halves of a sliding
+    /// window into one full-window view.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(upper, n) in self.buckets.iter().chain(other.buckets.iter()) {
+            let cell = buckets.entry(upper).or_insert(0);
+            *cell = cell.saturating_add(n);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+            buckets: buckets.into_iter().collect(),
+        }
     }
 
     /// Mean sample value (0 when empty).
@@ -284,8 +316,14 @@ impl MetricId {
     }
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed (in that order, so the escape
+/// character itself is escaped first). A raw `\n` would otherwise split
+/// one sample line in two and corrupt the whole scrape.
 fn escape(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Frozen registry state, used for exposition tests and transfer.
@@ -529,14 +567,18 @@ pub fn snapshot_json(snap: &RegistrySnapshot) -> String {
             .iter()
             .map(|&(upper, n)| format!("[{upper},{n}]"))
             .collect();
+        let q = |q: f64| match h.quantile(q) {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
             "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}",
             escape(&id.render()),
             h.count,
             h.sum,
-            h.quantile(0.50),
-            h.quantile(0.90),
-            h.quantile(0.99),
+            q(0.50),
+            q(0.90),
+            q(0.99),
             buckets.join(",")
         ));
     }
@@ -558,6 +600,225 @@ fn push_scalar_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a Metr
     }
     if !first {
         out.push_str("\n  ");
+    }
+}
+
+/// A sliding window over the log-linear [`Histogram`], built from two
+/// half-window buckets that rotate as time advances.
+///
+/// Samples land in the half covering the current half-window epoch; a
+/// windowed read merges both halves, so it always covers between one and
+/// two half-windows of history (`window_seconds / 2` worst case,
+/// `window_seconds` best case) — the classic two-bucket approximation of
+/// a true sliding window, with none of the per-sample timestamping cost.
+/// Rotation zeroes the half that aged out; like every other read path
+/// here, concurrent recording is statistics-grade (a sample racing a
+/// rotation may land in a freshly cleared half or be swept with it).
+///
+/// Every method has an `_at(now_seconds, …)` twin taking explicit time so
+/// tests and replays stay deterministic; the plain forms read the
+/// tracker's own [`Stopwatch`].
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    half_seconds: f64,
+    clock: crate::Stopwatch,
+    halves: [Histogram; 2],
+    epoch: AtomicU64,
+}
+
+impl WindowedHistogram {
+    /// A window retaining between `window_seconds / 2` and
+    /// `window_seconds` of samples (clamped below at 2 ms total).
+    pub fn new(window_seconds: f64) -> WindowedHistogram {
+        let window = if window_seconds.is_finite() {
+            window_seconds.max(2e-3)
+        } else {
+            2e-3
+        };
+        WindowedHistogram {
+            half_seconds: window / 2.0,
+            clock: crate::Stopwatch::start(),
+            halves: [Histogram::new(), Histogram::new()],
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    fn epoch_of(&self, now_seconds: f64) -> u64 {
+        // audit:allow(panic) half_seconds is clamped to >= 1e-3 by new(), so the divisor is never zero
+        let e = (now_seconds / self.half_seconds).floor();
+        if e.is_finite() && e > 0.0 {
+            if e >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                e as u64
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Advances the window to `now_seconds`, clearing any half that aged
+    /// out. Exactly one racing caller wins the swap; losers observe the
+    /// cleared half.
+    // audit:allow(relaxed) epoch cell guards only which statistics half is current; a stale read records into the half that is about to age out, which the merge-read tolerates
+    fn rotate_to(&self, now_seconds: f64) -> usize {
+        let target = self.epoch_of(now_seconds);
+        let mut current = self.epoch.load(Ordering::Relaxed);
+        while target > current {
+            match self.epoch.compare_exchange_weak(
+                current,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    // The winner clears state the new epoch must not see:
+                    // both halves after a gap, else just the reused half.
+                    if target - current >= 2 {
+                        for half in &self.halves {
+                            half.reset();
+                        }
+                    } else {
+                        // audit:allow(panic) an index modulo 2 is always in bounds for the two-element halves array
+                        self.halves[(target % 2) as usize].reset();
+                    }
+                    current = target;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+        (current.max(target) % 2) as usize
+    }
+
+    /// Records one sample at the tracker's own clock.
+    pub fn record(&self, v: u64) {
+        self.record_at(self.clock.elapsed_seconds(), v);
+    }
+
+    /// Records one sample at an explicit instant (deterministic tests).
+    pub fn record_at(&self, now_seconds: f64, v: u64) {
+        let half = self.rotate_to(now_seconds);
+        // audit:allow(panic) rotate_to returns an epoch modulo 2, always in bounds for the two-element halves array
+        self.halves[half].record(v);
+    }
+
+    /// The merged view of both window halves — everything recorded in the
+    /// last one-to-two half-windows.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.snapshot_at(self.clock.elapsed_seconds())
+    }
+
+    /// [`WindowedHistogram::snapshot`] at an explicit instant.
+    pub fn snapshot_at(&self, now_seconds: f64) -> HistogramSnapshot {
+        self.rotate_to(now_seconds);
+        self.halves[0].snapshot().merge(&self.halves[1].snapshot())
+    }
+
+    /// Windowed quantile: `None` when nothing was recorded inside the
+    /// window (see [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// [`WindowedHistogram::quantile`] at an explicit instant.
+    pub fn quantile_at(&self, now_seconds: f64, q: f64) -> Option<u64> {
+        self.snapshot_at(now_seconds).quantile(q)
+    }
+}
+
+/// An SLO burn-rate tracker over a [`WindowedHistogram`].
+///
+/// The objective is "at most `budget` of samples may exceed
+/// `threshold`" (e.g. budget 0.01 with a p99 latency target). The burn
+/// rate is the windowed violating fraction divided by the budget: 1.0
+/// means the error budget is being consumed exactly as fast as it
+/// accrues, above 1.0 the SLO is burning down. Violations are counted at
+/// bucket resolution (a bucket straddling the threshold counts as
+/// violating, erring toward alarm). [`SloTracker::breached_total`] is the
+/// cumulative burn counter for exposition.
+#[derive(Debug)]
+pub struct SloTracker {
+    threshold: u64,
+    budget: f64,
+    window: WindowedHistogram,
+    breached: Counter,
+    observed: Counter,
+}
+
+impl SloTracker {
+    /// `threshold` in the recorded unit (micros here), `budget` the
+    /// allowed violating fraction (clamped to at least 1e-9 so the rate
+    /// stays finite), windowed over `window_seconds`.
+    pub fn new(threshold: u64, budget: f64, window_seconds: f64) -> SloTracker {
+        let budget = if budget.is_finite() {
+            budget.clamp(1e-9, 1.0)
+        } else {
+            1e-9
+        };
+        SloTracker {
+            threshold,
+            budget,
+            window: WindowedHistogram::new(window_seconds),
+            breached: Counter::new(),
+            observed: Counter::new(),
+        }
+    }
+
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Records one sample, counting it against the budget when over
+    /// threshold. Returns whether the sample breached.
+    pub fn record(&self, v: u64) -> bool {
+        self.record_at(self.window.clock.elapsed_seconds(), v)
+    }
+
+    /// [`SloTracker::record`] at an explicit instant.
+    pub fn record_at(&self, now_seconds: f64, v: u64) -> bool {
+        self.window.record_at(now_seconds, v);
+        self.observed.inc();
+        let breached = v > self.threshold;
+        if breached {
+            self.breached.inc();
+        }
+        breached
+    }
+
+    /// Cumulative over-threshold samples since construction.
+    pub fn breached_total(&self) -> u64 {
+        self.breached.get()
+    }
+
+    /// Cumulative samples since construction.
+    pub fn observed_total(&self) -> u64 {
+        self.observed.get()
+    }
+
+    /// Windowed burn rate; `None` when the window is empty (an empty
+    /// window is "no data", not "no burn").
+    pub fn burn_rate(&self) -> Option<f64> {
+        self.burn_rate_at(self.window.clock.elapsed_seconds())
+    }
+
+    /// [`SloTracker::burn_rate`] at an explicit instant.
+    pub fn burn_rate_at(&self, now_seconds: f64) -> Option<f64> {
+        let snap = self.window.snapshot_at(now_seconds);
+        if snap.count == 0 {
+            return None;
+        }
+        let violating: u64 = snap
+            .buckets
+            .iter()
+            .filter(|&&(upper, _)| upper > self.threshold)
+            .map(|&(_, n)| n)
+            .fold(0u64, |acc, n| acc.saturating_add(n));
+        Some((violating as f64 / snap.count as f64) / self.budget)
+    }
+
+    /// The windowed latency view backing the tracker.
+    pub fn window(&self) -> &WindowedHistogram {
+        &self.window
     }
 }
 
@@ -622,8 +883,8 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.count(), 10);
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
     }
 
     #[test]
@@ -632,14 +893,110 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        let p50 = h.quantile(0.50);
-        let p99 = h.quantile(0.99);
+        let p50 = h.quantile(0.50).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
         // Bucket estimates err high by at most 25 %.
         assert!((500..=640).contains(&p50), "p50 = {p50}");
         assert!((990..=1280).contains(&p99), "p99 = {p99}");
         assert!(p50 <= p99);
-        // An empty histogram reports 0 everywhere.
-        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_on_empty_is_none_not_zero() {
+        // An empty histogram has no quantiles — reporting 0 would read as
+        // a perfect p99 in fig16 output.
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+        // A single sample answers every quantile with its own bucket.
+        h.record(700);
+        let only = h.quantile(0.0);
+        assert!(only.unwrap() >= 700);
+        for q in [0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), only);
+        }
+        // The JSON exposition renders the empty case as null.
+        let reg = Registry::new();
+        reg.histogram("empty_h", &[]);
+        let json = reg.json();
+        assert!(
+            json.contains(r#""p50": null, "p90": null, "p99": null"#),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_sums_buckets() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 100, 100_000] {
+            a.record(v);
+            b.record(v);
+            b.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count, 9);
+        assert_eq!(merged.sum, 3 * (1 + 100 + 100_000));
+        for (i, &(_, n)) in merged.buckets.iter().enumerate() {
+            assert_eq!(n, 3, "bucket {i}");
+        }
+        // Merging with an empty snapshot is the identity.
+        assert_eq!(
+            a.snapshot().merge(&HistogramSnapshot::default()),
+            a.snapshot()
+        );
+    }
+
+    #[test]
+    fn windowed_histogram_slides_and_forgets() {
+        let w = WindowedHistogram::new(10.0); // halves of 5 s
+        w.record_at(0.1, 1_000);
+        w.record_at(0.2, 1_000);
+        // Same epoch: both visible.
+        assert_eq!(w.snapshot_at(0.3).count, 2);
+        // One half-window later both halves are still in view.
+        w.record_at(6.0, 9_000);
+        assert_eq!(w.snapshot_at(6.1).count, 3);
+        // Two half-windows after the first samples, only the newer half
+        // survives.
+        let snap = w.snapshot_at(11.0);
+        assert_eq!(snap.count, 1);
+        assert!(snap.quantile(0.5).unwrap() >= 9_000);
+        // A long gap clears everything: the window reports no quantiles
+        // rather than stale ones.
+        assert_eq!(w.quantile_at(60.0, 0.99), None);
+        assert_eq!(w.snapshot_at(60.0).count, 0);
+    }
+
+    #[test]
+    fn windowed_histogram_empty_and_single_sample() {
+        let w = WindowedHistogram::new(4.0);
+        assert_eq!(w.quantile_at(0.0, 0.5), None, "empty window");
+        w.record_at(0.5, 42);
+        let p99 = w.quantile_at(0.6, 0.99).unwrap();
+        assert!((42..=52).contains(&p99), "single sample p99 = {p99}");
+    }
+
+    #[test]
+    fn slo_burn_rate_tracks_windowed_violations() {
+        // Objective: at most 10 % of samples over 1000 µs.
+        let slo = SloTracker::new(1_000, 0.10, 10.0);
+        assert_eq!(slo.burn_rate_at(0.0), None, "no data is not zero burn");
+        for _ in 0..9 {
+            assert!(!slo.record_at(0.1, 10));
+        }
+        assert!(slo.record_at(0.1, 50_000));
+        // 1/10 violating at a 10 % budget → burn rate 1.0.
+        let rate = slo.burn_rate_at(0.2).unwrap();
+        assert!((rate - 1.0).abs() < 1e-9, "rate = {rate}");
+        assert_eq!(slo.breached_total(), 1);
+        assert_eq!(slo.observed_total(), 10);
+        // The violations age out of the window; the cumulative counter
+        // does not.
+        assert_eq!(slo.burn_rate_at(100.0), None);
+        assert_eq!(slo.breached_total(), 1);
     }
 
     #[test]
@@ -708,6 +1065,24 @@ mod tests {
         assert_eq!(restored.snapshot(), snap);
         assert_eq!(restored.prometheus_text(), reg.prometheus_text());
         assert_eq!(restored.json(), reg.json());
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let reg = Registry::new();
+        // Quote, backslash, and newline — each would corrupt the text
+        // exposition unescaped (a raw newline splits the sample line).
+        reg.counter("c", &[("k", "a\"b\\c\nd")]).inc();
+        let text = reg.prometheus_text();
+        assert!(
+            text.contains("c{k=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            "escaped rendering missing: {text:?}"
+        );
+        // Exactly one header and one sample line: nothing was split.
+        assert_eq!(text.lines().count(), 2, "{text:?}");
+        // Byte stability holds for hostile labels too.
+        let again = Registry::restore(&reg.snapshot()).prometheus_text();
+        assert_eq!(text, again);
     }
 
     #[test]

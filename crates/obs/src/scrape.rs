@@ -1,0 +1,377 @@
+//! A dependency-free HTTP-lite scrape server.
+//!
+//! Serving-plane observability needs a pull endpoint an operator (or
+//! `imageproof-obstop`) can hit while the fleet is live, without dragging
+//! an HTTP framework into the workspace. This module speaks just enough
+//! HTTP/1.0 for a scraper: it answers `GET` on four fixed routes and
+//! closes the connection after each response.
+//!
+//! | route           | body                                        |
+//! |-----------------|---------------------------------------------|
+//! | `/metrics`      | byte-stable Prometheus text exposition      |
+//! | `/metrics.json` | byte-stable JSON exposition                 |
+//! | `/healthz`      | provider-defined health JSON                |
+//! | `/events`       | JSON-lines event log                        |
+//!
+//! Socket discipline mirrors `rpc/server.rs`: a nonblocking accept loop
+//! polling a stop flag, one short-lived thread per connection with a
+//! bounded read (requests over [`MAX_REQUEST_BYTES`] are rejected before
+//! buffering more), and a prompt shutdown that joins every thread. The
+//! server only ever *reads* snapshots from its [`ScrapeProvider`] — it
+//! can never block a query, and the zero-perturbation suite proves
+//! payload bytes are identical with scraping on or off.
+
+use crate::metrics::{snapshot_json, snapshot_prometheus_text, RegistrySnapshot};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// stop flag (same cadence as the RPC server).
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Upper bound on a scrape request's header bytes; anything larger is not
+/// a scraper and earns `431` + close before the buffer grows further.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long a connection may idle mid-request before the server gives up
+/// on it.
+const REQUEST_DEADLINE_SECONDS: f64 = 5.0;
+
+/// What a scrape endpoint exposes. Implementations return point-in-time
+/// copies — the server holds no locks of the caller's while rendering.
+pub trait ScrapeProvider: Send + Sync {
+    /// Body served at `/healthz` (a JSON object; shape is the provider's).
+    fn healthz_json(&self) -> String;
+    /// Snapshot rendered at `/metrics` (Prometheus text) and
+    /// `/metrics.json` (JSON).
+    fn registry_snapshot(&self) -> RegistrySnapshot;
+    /// JSON-lines body served at `/events`.
+    fn events_jsonl(&self) -> String;
+}
+
+/// Handle to a spawned scrape server: bound address plus a shutdown
+/// switch that joins every thread.
+pub struct RunningScrape {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl RunningScrape {
+    /// The address the server accepted on (port picked by the OS when the
+    /// bind address asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every server thread to stop and joins them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RunningScrape {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `bind_addr` (e.g. `127.0.0.1:0` for an OS-picked port) and
+/// serves the provider's routes until [`RunningScrape::shutdown`].
+pub fn launch_scrape(
+    provider: Arc<dyn ScrapeProvider>,
+    bind_addr: &str,
+) -> std::io::Result<RunningScrape> {
+    let listener = TcpListener::bind(bind_addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_handle = std::thread::spawn(move || accept_loop(listener, provider, accept_stop));
+    Ok(RunningScrape {
+        addr,
+        stop,
+        accept_handle: Some(accept_handle),
+    })
+}
+
+fn accept_loop(listener: TcpListener, provider: Arc<dyn ScrapeProvider>, stop: Arc<AtomicBool>) {
+    let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let provider = Arc::clone(&provider);
+                let conn_stop = Arc::clone(&stop);
+                conn_handles.push(std::thread::spawn(move || {
+                    serve_connection(stream, provider, conn_stop);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for handle in conn_handles {
+        let _ = handle.join();
+    }
+}
+
+/// Reads one request, answers it, closes. HTTP/1.0 semantics keep the
+/// server trivially stateless.
+fn serve_connection(
+    mut stream: TcpStream,
+    provider: Arc<dyn ScrapeProvider>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let deadline = crate::Stopwatch::start();
+    let mut request = Vec::new();
+    let mut buf = [0u8; 1024];
+    let header_end = loop {
+        if stop.load(Ordering::SeqCst) || deadline.elapsed_seconds() > REQUEST_DEADLINE_SECONDS {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                request.extend_from_slice(&buf[..n]);
+                if let Some(end) = find_header_end(&request) {
+                    break end;
+                }
+                if request.len() > MAX_REQUEST_BYTES {
+                    let _ = respond(&mut stream, 431, "text/plain", "request header too large\n");
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    };
+    let head = String::from_utf8_lossy(&request[..header_end]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        let _ = respond(&mut stream, 405, "text/plain", "method not allowed\n");
+        return;
+    }
+    // Ignore any query string: routes are fixed.
+    let path = target.split('?').next().unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4",
+            snapshot_prometheus_text(&provider.registry_snapshot()),
+        ),
+        "/metrics.json" => (
+            200,
+            "application/json",
+            snapshot_json(&provider.registry_snapshot()),
+        ),
+        "/healthz" => (200, "application/json", provider.healthz_json()),
+        "/events" => (200, "application/jsonl", provider.events_jsonl()),
+        _ => (404, "text/plain", "not found\n".to_string()),
+    };
+    let _ = respond(&mut stream, status, content_type, &body);
+}
+
+/// Position one past the `\r\n\r\n` (or bare `\n\n`) terminating the
+/// request head, if it has arrived.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal blocking HTTP GET against a scrape endpoint: returns
+/// `(status, body)`. Shared by `imageproof-obstop`, the bench harness,
+/// and the CI smoke test so nobody grows their own client.
+pub fn http_get(addr: &str, path: &str, timeout_seconds: f64) -> std::io::Result<(u16, String)> {
+    let timeout = Duration::from_secs_f64(timeout_seconds.clamp(0.05, 600.0));
+    let sock_addr: SocketAddr = addr.parse().map_err(|e| {
+        std::io::Error::new(ErrorKind::InvalidInput, format!("bad addr {addr}: {e}"))
+    })?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let _ = stream.set_nodelay(true);
+    let request = format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let deadline = crate::Stopwatch::start();
+    let mut response = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if deadline.elapsed_seconds() > timeout.as_secs_f64() {
+            return Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "scrape response deadline exceeded",
+            ));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let header_end = find_header_end(&response).ok_or_else(|| {
+        std::io::Error::new(ErrorKind::InvalidData, "response missing header terminator")
+    })?;
+    let head = String::from_utf8_lossy(&response[..header_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "response missing status"))?;
+    let body = String::from_utf8_lossy(&response[header_end..]).to_string();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    struct TestProvider {
+        registry: Registry,
+        events: crate::events::EventLog,
+    }
+
+    impl ScrapeProvider for TestProvider {
+        fn healthz_json(&self) -> String {
+            "{\"status\":\"healthy\",\"role\":\"test\"}".to_string()
+        }
+        fn registry_snapshot(&self) -> RegistrySnapshot {
+            self.registry.snapshot()
+        }
+        fn events_jsonl(&self) -> String {
+            self.events.jsonl()
+        }
+    }
+
+    fn provider() -> Arc<TestProvider> {
+        let registry = Registry::new();
+        registry
+            .counter("scrape_test_total", &[("route", "q")])
+            .add(7);
+        registry.histogram("scrape_test_micros", &[]).record(1500);
+        let events = crate::events::EventLog::new(8);
+        events.record_at(0.25, crate::events::EventKind::SlowQuery, Some(0), "1.5ms");
+        Arc::new(TestProvider { registry, events })
+    }
+
+    #[test]
+    fn serves_all_routes_with_correct_bodies() {
+        let p = provider();
+        let server = launch_scrape(p.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+
+        let (status, text) = http_get(&addr, "/metrics", 5.0).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(text, snapshot_prometheus_text(&p.registry.snapshot()));
+        assert!(text.contains("scrape_test_total{route=\"q\"} 7\n"));
+
+        let (status, json) = http_get(&addr, "/metrics.json", 5.0).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(json, snapshot_json(&p.registry.snapshot()));
+
+        let (status, health) = http_get(&addr, "/healthz", 5.0).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(health, "{\"status\":\"healthy\",\"role\":\"test\"}");
+
+        let (status, events) = http_get(&addr, "/events", 5.0).unwrap();
+        assert_eq!(status, 200);
+        assert!(events.contains("\"kind\":\"slow_query\""));
+
+        let (status, _) = http_get(&addr, "/nope", 5.0).unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_and_oversized_requests() {
+        let server = launch_scrape(provider(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.0 405"), "{out}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        let junk = vec![b'x'; MAX_REQUEST_BYTES + 1024];
+        s.write_all(&junk).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.0 431"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_do_not_interfere() {
+        let p = provider();
+        let server = launch_scrape(p.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        let expected = snapshot_prometheus_text(&p.registry.snapshot());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let (status, body) = http_get(&addr, "/metrics", 5.0).unwrap();
+                    assert_eq!(status, 200);
+                    assert_eq!(body, expected);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,273 @@
+//! `imageproof-obstop` — a terminal fleet monitor for the shard
+//! observability plane.
+//!
+//! Points at any mix of shard and coordinator scrape endpoints (the
+//! addresses `imageproof-shardd` prints for `--obs-addr`, or the demo's
+//! autobound ones), asks each for `/healthz` and `/metrics`, and renders
+//! one table row per endpoint plus the coordinator's windowed latency
+//! and fleet event counters when a coordinator is among them.
+//!
+//! ```sh
+//! cargo run --release --bin imageproof-obstop -- \
+//!     --scrape 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102
+//! # refresh every 2 seconds until killed
+//! cargo run --release --bin imageproof-obstop -- --scrape ... --watch 2
+//! ```
+//!
+//! Everything here is read-only HTTP against the scrape plane: obstop
+//! never joins the RPC fabric, so pointing it at a live fleet can slow
+//! nothing down and prove nothing wrong — it only reads the sidecar.
+
+use std::net::SocketAddr;
+
+struct Args {
+    scrape: Vec<SocketAddr>,
+    watch_seconds: Option<f64>,
+    timeout_seconds: f64,
+}
+
+fn parse_args() -> Args {
+    let mut scrape = Vec::new();
+    let mut watch_seconds = None;
+    let mut timeout_seconds = 5.0;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scrape" => {
+                scrape = value(&mut i)
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--watch" => watch_seconds = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--timeout" => timeout_seconds = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if scrape.is_empty() {
+        usage();
+    }
+    Args {
+        scrape,
+        watch_seconds,
+        timeout_seconds,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: imageproof-obstop --scrape addr,addr,... [--watch SECONDS] [--timeout SECONDS]\n\
+         \n\
+         scrapes /healthz and /metrics from each listed observability\n\
+         endpoint (shard or coordinator) and renders a fleet health table;\n\
+         --watch refreshes forever at the given interval"
+    );
+    std::process::exit(2);
+}
+
+// ---------------------------------------------------------------------------
+// Tiny flat-JSON field extraction — the healthz bodies are flat,
+// machine-written objects, so targeted key scans beat a JSON parser.
+
+/// The raw text following `"key": ` up to the next `,`/`}`/`]`, with one
+/// level of quotes stripped. `None` when the key is absent.
+fn json_field(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": ");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    if let Some(inner) = rest.strip_prefix('"') {
+        let end = inner.find('"')?;
+        return Some(inner[..end].to_string());
+    }
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+/// The value of the sorted-label Prometheus sample
+/// `name{labels} value`, scanned from text exposition lines.
+fn prom_sample(metrics: &str, name_and_labels: &str) -> Option<String> {
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix(name_and_labels) {
+            if let Some(v) = rest.strip_prefix(' ') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+struct Row {
+    endpoint: String,
+    role: String,
+    status: String,
+    detail: String,
+}
+
+fn endpoint_row(addr: SocketAddr, timeout: f64) -> (Row, Option<String>) {
+    let unreachable = |why: String| Row {
+        endpoint: addr.to_string(),
+        role: "?".to_string(),
+        status: "unreachable".to_string(),
+        detail: why,
+    };
+    let (status, body) = match imageproof_obs::http_get(&addr.to_string(), "/healthz", timeout) {
+        Ok(r) => r,
+        Err(e) => return (unreachable(e.to_string()), None),
+    };
+    if status != 200 {
+        return (unreachable(format!("healthz status {status}")), None);
+    }
+    let role = json_field(&body, "role").unwrap_or_else(|| "?".to_string());
+    let health = json_field(&body, "status").unwrap_or_else(|| "?".to_string());
+    match role.as_str() {
+        "shard" => {
+            let f = |k: &str| json_field(&body, k).unwrap_or_else(|| "?".to_string());
+            let row = Row {
+                endpoint: addr.to_string(),
+                role: format!("shard {}/{}", f("id"), f("shard_count")),
+                status: health,
+                detail: format!(
+                    "served={} queue={} up={}s err={} root={}",
+                    f("queries_served"),
+                    f("queue_depth"),
+                    f("uptime_seconds"),
+                    f("last_error"),
+                    &f("root")[..f("root").len().min(8)],
+                ),
+            };
+            (row, None)
+        }
+        "coordinator" => {
+            let shard_states: Vec<&str> = body.matches("\"state\": \"healthy\"").collect();
+            let total = body.matches("\"shard\": ").count();
+            let row = Row {
+                endpoint: addr.to_string(),
+                role: "coordinator".to_string(),
+                status: health,
+                detail: format!("{}/{} shards healthy", shard_states.len(), total),
+            };
+            // The coordinator's /metrics carries the fleet-level windowed
+            // latency and event series worth a second panel.
+            let metrics = imageproof_obs::http_get(&addr.to_string(), "/metrics", timeout)
+                .ok()
+                .filter(|(s, _)| *s == 200)
+                .map(|(_, m)| m);
+            (row, metrics)
+        }
+        other => {
+            let row = Row {
+                endpoint: addr.to_string(),
+                role: other.to_string(),
+                status: health,
+                detail: String::new(),
+            };
+            (row, None)
+        }
+    }
+}
+
+fn render_once(args: &Args) {
+    let mut rows = Vec::new();
+    let mut coordinator_metrics = None;
+    for &addr in &args.scrape {
+        let (row, metrics) = endpoint_row(addr, args.timeout_seconds);
+        if coordinator_metrics.is_none() {
+            coordinator_metrics = metrics;
+        }
+        rows.push(row);
+    }
+
+    let w = |s: &str, n: usize| format!("{s:<n$}");
+    println!(
+        "{} {} {} DETAIL",
+        w("ENDPOINT", 22),
+        w("ROLE", 13),
+        w("STATUS", 11)
+    );
+    for r in &rows {
+        println!(
+            "{} {} {} {}",
+            w(&r.endpoint, 22),
+            w(&r.role, 13),
+            w(&r.status, 11),
+            r.detail
+        );
+    }
+
+    if let Some(metrics) = coordinator_metrics {
+        println!("\nwindowed RPC latency (coordinator /metrics, micros):");
+        let shard_count = rows
+            .iter()
+            .filter(|r| r.role.starts_with("shard"))
+            .count()
+            .max(1);
+        for s in 0..shard_count.max(
+            // The coordinator may watch shards obstop was not pointed at;
+            // probe shard ids until a p50 sample stops appearing.
+            (0..64)
+                .take_while(|s| {
+                    prom_sample(
+                        &metrics,
+                        &format!(
+                            "imageproof_rpc_windowed_latency_micros{{quantile=\"p50\",shard=\"{s}\"}}"
+                        ),
+                    )
+                    .is_some()
+                })
+                .count(),
+        ) {
+            let q = |qn: &str| {
+                prom_sample(
+                    &metrics,
+                    &format!(
+                        "imageproof_rpc_windowed_latency_micros{{quantile=\"{qn}\",shard=\"{s}\"}}"
+                    ),
+                )
+                .unwrap_or_else(|| "n/a".to_string())
+            };
+            println!(
+                "  shard {s}: p50 {} | p90 {} | p99 {}",
+                q("p50"),
+                q("p90"),
+                q("p99")
+            );
+        }
+        let burn = prom_sample(&metrics, "imageproof_slo_burn_rate_milli")
+            .map(|m| format!("{} milli", m))
+            .unwrap_or_else(|| "n/a (empty window)".to_string());
+        println!("  SLO burn rate: {burn}");
+        println!("fleet events:");
+        for kind in imageproof_obs::EVENT_KINDS {
+            let n = prom_sample(
+                &metrics,
+                &format!("imageproof_fleet_events_total{{kind=\"{}\"}}", kind.name()),
+            )
+            .unwrap_or_else(|| "0".to_string());
+            println!("  {:<18} {n}", kind.name());
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.watch_seconds {
+        None => render_once(&args),
+        Some(interval) => loop {
+            render_once(&args);
+            println!();
+            std::thread::sleep(std::time::Duration::from_millis(
+                (interval.max(0.1) * 1000.0) as u64,
+            ));
+        },
+    }
+}

@@ -50,6 +50,10 @@ struct Args {
     scheme: Scheme,
     k: usize,
     queries: usize,
+    /// Scrape-endpoint bind address for this role (`--obs-addr`). The
+    /// demo autobinds `127.0.0.1:0` for every shard and the coordinator
+    /// and prints the resulting addresses.
+    obs_addr: Option<String>,
 }
 
 impl Default for Args {
@@ -64,6 +68,7 @@ impl Default for Args {
             scheme: Scheme::ImageProof,
             k: 5,
             queries: 3,
+            obs_addr: None,
         }
     }
 }
@@ -97,6 +102,7 @@ fn parse_args() -> Args {
                     .map(|a| a.parse().unwrap_or_else(|_| usage()))
                     .collect()
             }
+            "--obs-addr" => args.obs_addr = Some(value(&mut i)),
             "--scheme" => {
                 args.scheme = match value(&mut i).to_lowercase().as_str() {
                     "baseline" => Scheme::Baseline,
@@ -130,6 +136,11 @@ fn usage() -> ! {
          options: [--shards N] [--index I] [--connect addr,addr,...]\n\
          \x20        [--images N] [--codebook N] [-k N] [--queries N]\n\
          \x20        [--scheme baseline|imageproof|opt-bovw|opt-both]\n\
+         \x20        [--obs-addr HOST:PORT]\n\
+         \n\
+         --obs-addr serves /metrics, /metrics.json, /healthz, and /events\n\
+         for the role (the demo autobinds one per shard plus one for the\n\
+         coordinator and prints the addresses)\n\
          \n\
          build parameters must match across all processes of one deployment"
     );
@@ -187,7 +198,7 @@ fn main() {
                 );
                 std::process::exit(2);
             }
-            run_coordinator(&args, &corpus, &client, &system.manifest, endpoints);
+            run_coordinator(&args, &corpus, &client, &system.manifest, endpoints, &[]);
         }
         Mode::Demo => {
             let client = Client::new(system.published);
@@ -195,19 +206,40 @@ fn main() {
             let engines = ShardedSp::new(system.shards).into_shards();
             let shard_count = engines.len() as u32;
             let mut servers = Vec::new();
+            let mut scrapes = Vec::new();
             let mut endpoints = Vec::new();
             for (shard, engine) in engines.into_iter().enumerate() {
-                let server = ShardServer::new(engine, shard as u32, shard_count)
-                    .launch()
+                let (server, scrape) = ShardServer::new(engine, shard as u32, shard_count)
+                    .launch_observed("127.0.0.1:0")
                     .unwrap_or_else(|e| {
                         eprintln!("failed to launch shard {shard}: {e}");
                         std::process::exit(1);
                     });
-                println!("  shard {shard} listening on {}", server.addr());
+                println!(
+                    "  shard {shard} listening on {} (obs http://{})",
+                    server.addr(),
+                    scrape.addr()
+                );
                 endpoints.push(ShardEndpoint::single(server.addr()));
                 servers.push(server);
+                scrapes.push(scrape);
             }
-            run_coordinator(&args, &corpus, &client, &manifest, endpoints);
+            let mut demo_args = args;
+            if demo_args.obs_addr.is_none() {
+                demo_args.obs_addr = Some("127.0.0.1:0".to_string());
+            }
+            let scrape_addrs: Vec<SocketAddr> = scrapes.iter().map(|s| s.addr()).collect();
+            run_coordinator(
+                &demo_args,
+                &corpus,
+                &client,
+                &manifest,
+                endpoints,
+                &scrape_addrs,
+            );
+            for scrape in scrapes {
+                scrape.shutdown();
+            }
             for server in servers {
                 server.shutdown();
             }
@@ -218,18 +250,38 @@ fn main() {
 fn run_shard(args: Args, system: imageproof_core::ShardedSystem) -> ! {
     let mut engines = ShardedSp::new(system.shards).into_shards();
     let engine = engines.remove(args.index);
-    let server = ShardServer::new(engine, args.index as u32, args.shards as u32)
-        .launch()
-        .unwrap_or_else(|e| {
-            eprintln!("failed to launch shard {}: {e}", args.index);
-            std::process::exit(1);
-        });
-    println!(
-        "shard {}/{} listening on {} (kill the process to stop)",
-        args.index,
-        args.shards,
-        server.addr()
-    );
+    let builder = ShardServer::new(engine, args.index as u32, args.shards as u32);
+    let (server, scrape) = match &args.obs_addr {
+        Some(addr) => {
+            let (server, scrape) = builder.launch_observed(addr).unwrap_or_else(|e| {
+                eprintln!("failed to launch shard {}: {e}", args.index);
+                std::process::exit(1);
+            });
+            (server, Some(scrape))
+        }
+        None => {
+            let server = builder.launch().unwrap_or_else(|e| {
+                eprintln!("failed to launch shard {}: {e}", args.index);
+                std::process::exit(1);
+            });
+            (server, None)
+        }
+    };
+    match &scrape {
+        Some(s) => println!(
+            "shard {}/{} listening on {} (obs http://{}, kill the process to stop)",
+            args.index,
+            args.shards,
+            server.addr(),
+            s.addr()
+        ),
+        None => println!(
+            "shard {}/{} listening on {} (kill the process to stop)",
+            args.index,
+            args.shards,
+            server.addr()
+        ),
+    }
     loop {
         std::thread::park();
     }
@@ -241,6 +293,7 @@ fn run_coordinator(
     client: &Client,
     manifest: &ShardManifest,
     endpoints: Vec<ShardEndpoint>,
+    shard_obs: &[SocketAddr],
 ) {
     let shard_count = endpoints.len();
     let mut coord = RpcCoordinator::connect(endpoints, manifest, CoordinatorConfig::default())
@@ -249,6 +302,14 @@ fn run_coordinator(
             std::process::exit(1);
         });
     println!("coordinator connected: all {shard_count} hellos matched the manifest pin");
+    let scrape = args.obs_addr.as_deref().map(|addr| {
+        let scrape = coord.launch_scrape(addr).unwrap_or_else(|e| {
+            eprintln!("coordinator failed to bind obs endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("coordinator obs on http://{}", scrape.addr());
+        scrape
+    });
 
     for q in 0..args.queries {
         let source = ((q * 71 + 13) % args.images) as u64;
@@ -274,19 +335,98 @@ fn run_coordinator(
         );
     }
 
+    // One explicit heartbeat sweep: every shard must report a verified
+    // health frame under its manifest-pinned root.
+    let states = coord.heartbeat();
+    println!(
+        "heartbeat sweep: [{}]",
+        states
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
     let stats = coord.stats();
     println!(
         "per-shard RPC round-trip latency (over {} queries):",
         args.queries
     );
     for shard in 0..shard_count {
-        let ms = |q: f64| stats.latency_quantile(shard, q).unwrap_or(0.0) * 1e3;
+        let ms = |q: f64| match stats.latency_quantile(shard, q) {
+            Some(s) => format!("{:.1}", s * 1e3),
+            None => "n/a".to_string(),
+        };
         println!(
-            "  shard {shard}: p50 {:.1} ms | p95 {:.1} ms | max {:.1} ms",
+            "  shard {shard}: p50 {} ms | p95 {} ms | max {} ms",
             ms(0.5),
             ms(0.95),
             ms(1.0),
         );
     }
+    let windowed = coord.fleet().windowed_latency();
+    let wq = |p: f64| match windowed.quantile(p) {
+        Some(us) => format!("{:.1}", us as f64 / 1e3),
+        None => "n/a".to_string(),
+    };
+    println!(
+        "windowed RPC latency: p50 {} ms | p90 {} ms | p99 {} ms | SLO burn rate {}",
+        wq(0.5),
+        wq(0.9),
+        wq(0.99),
+        match coord.fleet().slo().burn_rate() {
+            Some(b) => format!("{b:.3}"),
+            None => "n/a".to_string(),
+        },
+    );
+    println!("fleet events: {}", coord.fleet().events().counts_json());
     println!("failovers: {}", stats.failovers);
+
+    // Self-scrape smoke: when an obs endpoint is up, scrape ourselves and
+    // every known shard endpoint the way an external monitor would, and
+    // only claim success if the whole fleet answers healthy.
+    if let Some(scrape) = &scrape {
+        let all_healthy = states
+            .iter()
+            .all(|s| *s == imageproof_core::rpc::ShardHealthState::Healthy);
+        obs_smoke(scrape.addr(), shard_obs, all_healthy);
+    }
+}
+
+/// Scrapes the coordinator's `/healthz` and every shard's `/metrics` over
+/// plain HTTP and prints `OBS SMOKE OK` (grep target for CI) only when the
+/// whole fleet answers and reports healthy.
+fn obs_smoke(coordinator: SocketAddr, shard_obs: &[SocketAddr], fleet_healthy: bool) {
+    let fail = |what: &str, detail: &str| -> ! {
+        eprintln!("OBS SMOKE FAILED: {what}: {detail}");
+        std::process::exit(1);
+    };
+    let (status, body) = imageproof_obs::http_get(&coordinator.to_string(), "/healthz", 5.0)
+        .unwrap_or_else(|e| fail("coordinator /healthz", &e.to_string()));
+    if status != 200 {
+        fail("coordinator /healthz", &format!("status {status}"));
+    }
+    if !body.contains("\"status\": \"healthy\"") {
+        fail("coordinator /healthz", &format!("not healthy: {body}"));
+    }
+    if !fleet_healthy {
+        fail("heartbeat sweep", "not every shard reported healthy");
+    }
+    for (shard, addr) in shard_obs.iter().enumerate() {
+        let (status, metrics) = imageproof_obs::http_get(&addr.to_string(), "/metrics", 5.0)
+            .unwrap_or_else(|e| fail(&format!("shard {shard} /metrics"), &e.to_string()));
+        if status != 200 {
+            fail(
+                &format!("shard {shard} /metrics"),
+                &format!("status {status}"),
+            );
+        }
+        if !metrics.contains("imageproof_shard_queries_served_total") {
+            fail(
+                &format!("shard {shard} /metrics"),
+                "missing imageproof_shard_queries_served_total",
+            );
+        }
+    }
+    println!("OBS SMOKE OK ({} shard scrape endpoints)", shard_obs.len());
 }

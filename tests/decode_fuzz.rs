@@ -22,8 +22,8 @@ use std::sync::OnceLock;
 
 use imageproof_akm::AkmParams;
 use imageproof_core::rpc::{
-    QueryPayload, Request, Response, TrimPayload, WireHistogram, WireMetricId, WireProfile,
-    WireRegistry, WireSpan, WireStats,
+    ErrorClass, QueryPayload, Request, Response, TrimPayload, WireHealth, WireHistogram,
+    WireMetricId, WireProfile, WireRegistry, WireSpan, WireStats,
 };
 use imageproof_core::{
     BovwVoVariant, Client, InvVoVariant, Owner, QueryResponse, QueryVo, Scheme, ServiceProvider,
@@ -516,6 +516,7 @@ fn rpc_samples() -> RpcSamples {
                 items: vec![(2, features)],
             },
         ),
+        ("Request[health]", Request::Health { id: 11 }),
     ];
     let responses = vec![
         (
@@ -569,8 +570,31 @@ fn rpc_samples() -> RpcSamples {
                 message: "malformed request frame".into(),
             },
         ),
+        (
+            "Response[health]",
+            Response::Health {
+                id: 11,
+                health: sample_wire_health(),
+            },
+        ),
     ];
     (requests, responses)
+}
+
+/// A heartbeat report with every field non-trivial, including a
+/// non-default error class (the last byte on the wire — the strictly
+/// decoded one worth corrupting).
+fn sample_wire_health() -> WireHealth {
+    use imageproof_crypto::Digest;
+    WireHealth {
+        shard_id: 3,
+        shard_count: 8,
+        root: Digest::of(b"fuzz-health-root"),
+        uptime_seconds: 321.0625,
+        queue_depth: 11,
+        queries_served: 4096,
+        last_error: ErrorClass::Oversize,
+    }
 }
 
 #[test]
@@ -586,6 +610,24 @@ fn rpc_response_decoding_is_total() {
     let (_, responses) = rpc_samples();
     for (name, sample) in &responses {
         fuzz_decode(name, sample);
+    }
+}
+
+/// The bare heartbeat report frame: truncations, bit flips, and garbage
+/// must all reject or round-trip — and the trailing error-class byte is a
+/// closed set, so any unknown class byte must be a typed decode error.
+#[test]
+fn rpc_health_frame_decoding_is_total() {
+    let sample = sample_wire_health();
+    fuzz_decode("WireHealth", &sample);
+    let mut wire = sample.to_wire();
+    let last = wire.len() - 1;
+    for hostile in [4u8, 5, 17, 99, 255] {
+        wire[last] = hostile;
+        assert!(
+            decode_total::<WireHealth>("WireHealth[hostile error class]", &wire).is_err(),
+            "error class byte {hostile} must be rejected, not invented"
+        );
     }
 }
 

@@ -323,3 +323,152 @@ fn sharded_stats_accessors_guard_empty_and_zero() {
     assert_eq!(stats.slowest_shard_seconds(), 0.0);
     assert_eq!(stats.merge_share(), 0.0, "0/0 wall seconds must not be NaN");
 }
+
+// --- satellite: the scrape plane is invisible to the served bytes ---
+
+/// Zero-perturbation for the *scrape* plane: the same deployment served
+/// with no scrape endpoints vs. with every shard observed, the
+/// coordinator's fleet endpoint live, and a monitor hammering `/metrics`
+/// and `/healthz` concurrently with the queries must put byte-identical
+/// payload frames on the RPC wire and assemble byte-identical VOs. A
+/// scrape can never block a query (every scrape answers mid-run) and can
+/// never change what is served.
+///
+/// Runs on one scheme: the full scheme × threads matrix is the main
+/// test's job; this one isolates the scrape variable. It deliberately
+/// never touches the global recording flag, so it can run concurrently
+/// with the matrix test that does.
+#[test]
+fn scrape_plane_never_blocks_or_perturbs_served_bytes() {
+    use std::sync::atomic::AtomicBool;
+
+    const SCHEME: Scheme = Scheme::ImageProof;
+    const N_SHARDS: usize = 2;
+    const ROUNDS: usize = 2;
+    let k = 4;
+    let system = rpc_util::build_system(SCHEME, N_SHARDS);
+    let client = Client::new(system.published);
+    let manifest = system.manifest;
+    let in_process = ShardedSp::new(system.shards);
+    let features = rpc_util::prepared().corpus.query_from_image(7, 20, 0xA11CE);
+    let expected_bytes = in_process.query(&features, k).0.vo.to_wire();
+
+    // One captured run of the deployment: fresh identical build, a
+    // recording proxy in front of shard 0, `ROUNDS` identical queries.
+    // With `observed` set, every shard gets a scrape endpoint, the
+    // coordinator serves its fleet endpoint, and a monitor thread hammers
+    // all of them for the whole run.
+    let run = |observed: bool| -> Vec<Vec<u8>> {
+        let served = ShardedSp::new(rpc_util::build_system(SCHEME, N_SHARDS).shards);
+        let engines = served.into_shards();
+        let mut servers = Vec::new();
+        let mut scrapes = Vec::new();
+        let mut endpoints = Vec::new();
+        for (shard, engine) in engines.into_iter().enumerate() {
+            let builder =
+                imageproof_core::rpc::ShardServer::new(engine, shard as u32, N_SHARDS as u32);
+            if observed {
+                let (server, scrape) = builder
+                    .launch_observed("127.0.0.1:0")
+                    .expect("launch observed shard server");
+                endpoints.push(ShardEndpoint::single(server.addr()));
+                servers.push(server);
+                scrapes.push(scrape);
+            } else {
+                let server = builder.launch().expect("launch shard server");
+                endpoints.push(ShardEndpoint::single(server.addr()));
+                servers.push(server);
+            }
+        }
+        let payloads: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let rec = Arc::clone(&payloads);
+        let proxy = rpc_util::Proxy::start(
+            endpoints[0].primary,
+            rpc_util::Fault::MapResponses(Arc::new(move |resp| {
+                match &resp {
+                    Response::Query { payload, .. } => rec.lock().unwrap().push(payload.to_wire()),
+                    Response::Trim { payload, .. } => rec.lock().unwrap().push(payload.to_wire()),
+                    _ => {}
+                }
+                Some(resp)
+            })),
+        );
+        endpoints[0] = ShardEndpoint::single(proxy.addr());
+        let mut coord = RpcCoordinator::connect(endpoints, &manifest, CoordinatorConfig::default())
+            .expect("coordinator connects");
+        let coord_scrape = observed.then(|| {
+            coord
+                .launch_scrape("127.0.0.1:0")
+                .expect("launch coordinator scrape endpoint")
+        });
+
+        // The concurrent monitor: loops over every scrape endpoint for
+        // the whole query run; each round-trip must answer 200.
+        let stop = Arc::new(AtomicBool::new(false));
+        let monitor = coord_scrape.as_ref().map(|cs| {
+            let mut addrs: Vec<String> = scrapes.iter().map(|s| s.addr().to_string()).collect();
+            addrs.push(cs.addr().to_string());
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> usize {
+                let mut ok = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    for addr in &addrs {
+                        for path in ["/metrics", "/healthz"] {
+                            let (status, body) = imageproof_suite::obs::http_get(addr, path, 5.0)
+                                .expect("mid-run scrape must not fail");
+                            assert_eq!(status, 200, "mid-run scrape of {path} must answer");
+                            assert!(!body.is_empty());
+                            ok += 1;
+                        }
+                    }
+                }
+                ok
+            })
+        });
+
+        for round in 0..ROUNDS {
+            let (resp, _) = coord.query(&features, k).expect("scraped query");
+            assert_eq!(
+                resp.vo.to_wire(),
+                expected_bytes,
+                "round {round} (observed={observed}): served VO bytes changed"
+            );
+            client
+                .verify_sharded(&features, k, &resp, &manifest)
+                .expect("response verifies");
+        }
+
+        stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = monitor {
+            let scrapes_answered = handle.join().expect("monitor thread");
+            assert!(
+                scrapes_answered > 0,
+                "the monitor must have scraped the fleet at least once mid-run"
+            );
+        }
+        drop(coord_scrape);
+        drop(coord);
+        drop(proxy);
+        for scrape in scrapes {
+            scrape.shutdown();
+        }
+        for server in servers {
+            server.shutdown();
+        }
+        // Telemetry sidecars (if the concurrently running matrix test has
+        // recording enabled) were never pushed: only payload frames count.
+        let frames = payloads.lock().unwrap().clone();
+        frames
+    };
+
+    let frames_unobserved = run(false);
+    let frames_observed = run(true);
+    assert!(
+        !frames_unobserved.is_empty(),
+        "the proxy must capture payload frames"
+    );
+    assert_eq!(
+        frames_unobserved, frames_observed,
+        "payload bytes on the wire must not depend on the scrape plane"
+    );
+}

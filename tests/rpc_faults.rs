@@ -245,3 +245,83 @@ fn endpoint_count_must_cover_the_manifest() {
         "got: {err}"
     );
 }
+
+#[test]
+fn heartbeat_loss_fails_over_before_any_query_times_out() {
+    // Proactive failure detection: with a generous *request* deadline (so
+    // a stalled query would block for a long time) but a tight heartbeat
+    // deadline, two heartbeat sweeps must walk the state machine
+    // healthy → degraded → failed-over-healthy and promote the
+    // manifest-pinned replica — all before any query is even issued. The
+    // query that follows then completes promptly on the replica with
+    // bytes identical to the in-process deployment.
+    use imageproof_core::rpc::ShardHealthState;
+    use imageproof_obs::EventKind;
+
+    let fx = fixture(Scheme::ImageProof, 1);
+    let healthy = fx.endpoints[0].primary;
+    let proxy = Proxy::start(healthy, Fault::StallResponses);
+    let endpoints = vec![ShardEndpoint::with_replicas(proxy.addr(), vec![healthy])];
+    let mut config = quick_config();
+    config.request_timeout_seconds = 30.0; // heartbeats must win, not this
+    let request_deadline = config.request_timeout_seconds;
+    let mut coord = RpcCoordinator::connect(endpoints, &fx.manifest, config).expect("connect");
+    assert_eq!(coord.health()[0].state, ShardHealthState::Healthy);
+
+    // Sweep 1: the stalled primary misses its heartbeat — degraded, but
+    // the endpoint chain is not walked yet.
+    let detect = imageproof_obs::Stopwatch::start();
+    assert_eq!(coord.heartbeat(), vec![ShardHealthState::Degraded]);
+    assert_eq!(
+        coord.stats().failovers,
+        0,
+        "degraded must not fail over yet"
+    );
+
+    // Sweep 2: the second miss crosses failover_after_misses — the
+    // replica is promoted (hello re-verified against the manifest pin)
+    // and the shard is healthy again.
+    assert_eq!(coord.heartbeat(), vec![ShardHealthState::Healthy]);
+    assert_eq!(coord.stats().failovers, 1, "expected exactly one failover");
+    let detection_seconds = detect.elapsed_seconds();
+    assert!(
+        detection_seconds < request_deadline / 2.0,
+        "heartbeat failover took {detection_seconds:.2}s — not ahead of the \
+         {request_deadline:.0}s query deadline"
+    );
+
+    // The promoted replica serves the identical bytes, well under the
+    // request deadline (nothing is waiting on the stalled primary).
+    let features = fx.corpus().query_from_image(5, 20, 1);
+    let served = imageproof_obs::Stopwatch::start();
+    let (resp, _) = coord.query(&features, 3).expect("post-failover query");
+    assert!(
+        served.elapsed_seconds() < request_deadline / 2.0,
+        "post-failover query still crawled"
+    );
+    let (local, _) = fx.sp.query(&features, 3);
+    assert_eq!(
+        resp.vo.to_wire(),
+        local.vo.to_wire(),
+        "post-failover response diverged from in-process bytes"
+    );
+    fx.client
+        .verify_sharded(&features, 3, &resp, &fx.manifest)
+        .expect("client verifies post-failover response");
+
+    // The event log tells the whole story with typed causes.
+    let events = coord.fleet().events();
+    assert!(
+        events.count(EventKind::Timeout) >= 2,
+        "both heartbeat misses must be logged"
+    );
+    assert_eq!(events.count(EventKind::Failover), 1);
+    assert!(
+        events.count(EventKind::HealthTransition) >= 2,
+        "healthy→degraded and degraded→healthy must both be logged"
+    );
+    assert!(
+        events.count(EventKind::HelloReverify) >= 1,
+        "the replica promotion must log its manifest re-verification"
+    );
+}

@@ -140,11 +140,15 @@ pub fn launch_shards(sp: ShardedSp) -> (Vec<RunningServer>, Vec<ShardEndpoint>) 
 }
 
 /// A coordinator config with short timeouts so stall tests stay fast.
+/// The heartbeat deadline stays well under the request deadline so
+/// heartbeat-driven failover can beat a stalled query to the punch.
 pub fn quick_config() -> CoordinatorConfig {
     CoordinatorConfig {
         request_timeout_seconds: 0.8,
         connect_timeout_seconds: 1.0,
         hello_timeout_seconds: 1.0,
+        heartbeat_timeout_seconds: 0.2,
+        ..CoordinatorConfig::default()
     }
 }
 
